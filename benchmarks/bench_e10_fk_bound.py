@@ -1,0 +1,114 @@
+"""E10 — the Fredman–Khachiyan baseline and its n^{4χ(n)+O(1)} envelope.
+
+The paper's "known complexity results": FK-B runs in
+``DTIME[n^{4χ(n)+O(1)}]`` with ``χ(χ) = n``.  This experiment measures
+the recursion work of both algorithms on the classical matching family
+and checks it stays under the envelope; it also tabulates ``χ(n)`` —
+the reason the bound is "quasi-polynomial" — and benchmarks A vs B.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.complexity import chi, chi_table, fk_time_bound_log
+from repro.hypergraph.generators import matching_dual_pair, threshold_dual_pair
+from repro.duality.fredman_khachiyan import decide_fk_a, decide_fk_b
+
+from benchmarks.conftest import ordered, print_table
+
+
+def test_recursion_work_under_envelope():
+    rows = []
+    for k in (2, 3, 4, 5):
+        g, h = ordered(*matching_dual_pair(k))
+        volume = max(2, len(g) * len(h))
+        result_a = decide_fk_a(g, h)
+        result_b = decide_fk_b(g, h)
+        assert result_a.is_dual and result_b.is_dual
+        # The envelope in log2: work ≤ v^(4χ(v)+1).
+        envelope_log = fk_time_bound_log(volume)
+        assert math.log2(max(result_a.stats.nodes, 1)) <= envelope_log
+        assert math.log2(max(result_b.stats.nodes, 1)) <= envelope_log
+        rows.append(
+            (
+                k,
+                volume,
+                result_a.stats.nodes,
+                result_b.stats.nodes,
+                f"{envelope_log:.1f}",
+            )
+        )
+    print_table(
+        "E10: FK recursion nodes vs the n^(4χ+1) envelope (log2 shown)",
+        ["k", "volume v", "A nodes", "B nodes", "log2 envelope"],
+        rows,
+    )
+
+
+def test_chi_growth_table():
+    rows = [
+        (n, f"{c:.3f}", f"{e:.2f}")
+        for n, c, e in chi_table([10, 100, 10**4, 10**8, 10**12, 10**16])
+    ]
+    print_table(
+        "E10: χ(n) and the FK exponent 4χ(n)+1 — o(log n) growth",
+        ["n", "chi(n)", "4chi+1"],
+        rows,
+    )
+    # χ is asymptotically below log₂: by n = 10^8 it is under half.
+    assert chi(10**8) < math.log2(10**8) / 2
+
+
+def test_tree_shape_comparison():
+    # §2's opening contrast: FK's trees are "skinny" and deep, the
+    # Boros–Makino tree is logarithmic-depth.  Record both shapes.
+    from repro.duality.boros_makino import tree_for
+
+    rows = []
+    for k in (2, 3, 4, 5):
+        g, h = ordered(*matching_dual_pair(k))
+        bm_tree = tree_for(g, h)
+        result_a = decide_fk_a(g, h)
+        result_b = decide_fk_b(g, h)
+        bound = math.log2(len(h)) if len(h) > 1 else 0
+        assert bm_tree.depth() <= bound + 1e-9
+        rows.append(
+            (
+                k,
+                bm_tree.depth(),
+                result_a.stats.max_depth,
+                result_b.stats.max_depth,
+                f"{bound:.1f}",
+            )
+        )
+    print_table(
+        "E10: decomposition depth — BM (log-bounded) vs FK recursions",
+        ["k", "BM depth", "FK-A depth", "FK-B depth", "log2|H|"],
+        rows,
+    )
+
+
+def test_fk_depth_is_polylog():
+    for k in (3, 4, 5):
+        g, h = ordered(*matching_dual_pair(k))
+        result = decide_fk_b(g, h)
+        volume = max(2, len(g) * len(h))
+        assert result.stats.max_depth <= 4 * math.log2(volume) ** 2 + 8
+
+
+@pytest.mark.parametrize("algo", ["fk-a", "fk-b"])
+@pytest.mark.parametrize("k", (3, 4))
+def test_benchmark_fk(benchmark, algo, k):
+    g, h = ordered(*matching_dual_pair(k))
+    decide = decide_fk_a if algo == "fk-a" else decide_fk_b
+    result = benchmark(decide, g, h)
+    assert result.is_dual
+
+
+def test_benchmark_fk_threshold(benchmark):
+    g, h = ordered(*threshold_dual_pair(7, 4))
+    result = benchmark(decide_fk_b, g, h)
+    assert result.is_dual

@@ -1,0 +1,109 @@
+"""E11 — Proposition 1.2: the additional-key problem via Dual.
+
+* the transversal characterisation agrees with brute force on random
+  and Armstrong-constructed instances;
+* the additional-key oracle answers correctly for complete and partial
+  claimed key sets, with genuine new-key witnesses;
+* incremental enumeration recovers every minimal key;
+* benchmarks: key mining, one oracle query, full enumeration.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.keys import (
+    FDSchema,
+    RelationalInstance,
+    armstrong_relation,
+    decide_additional_key,
+    enumerate_minimal_keys_incrementally,
+    fd,
+    minimal_keys,
+    minimal_keys_brute_force,
+)
+
+from benchmarks.conftest import print_table
+
+
+def _random_instance(n_rows: int, n_attrs: int, domain: int, seed: int) -> RelationalInstance:
+    rng = random.Random(seed)
+    attrs = [f"A{i}" for i in range(n_attrs)]
+    rows = set()
+    while len(rows) < n_rows:
+        rows.add(tuple(rng.randrange(domain) for _ in attrs))
+    return RelationalInstance([dict(zip(attrs, row)) for row in rows])
+
+
+INSTANCES = [
+    ("random-5x4", lambda: _random_instance(5, 4, 2, seed=1)),
+    ("random-6x5", lambda: _random_instance(6, 5, 3, seed=2)),
+    ("random-8x4", lambda: _random_instance(8, 4, 3, seed=3)),
+    (
+        "armstrong-ABCD",
+        lambda: armstrong_relation(FDSchema("ABCD", [fd("A", "B"), fd("BC", "D")])),
+    ),
+]
+
+
+def test_characterisation_matches_brute_force():
+    rows = []
+    for name, maker in INSTANCES:
+        instance = maker()
+        via_tr = minimal_keys(instance)
+        via_bf = minimal_keys_brute_force(instance)
+        assert via_tr == via_bf, name
+        rows.append((name, len(instance), len(instance.attributes), len(via_tr)))
+    print_table(
+        "E11: minimal keys (tr-characterisation ≡ brute force per row)",
+        ["instance", "rows", "attrs", "#keys"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("method", ("bm", "fk-b", "logspace"))
+def test_additional_key_oracle(method):
+    for name, maker in INSTANCES:
+        instance = maker()
+        keys = minimal_keys(instance)
+        complete = decide_additional_key(instance, keys, method=method)
+        assert not complete.exists, (name, method)
+        if len(keys) > 1:
+            partial = Hypergraph(
+                list(keys.edges)[:-1], vertices=instance.attributes
+            )
+            outcome = decide_additional_key(instance, partial, method=method)
+            assert outcome.exists, (name, method)
+            assert outcome.new_key in set(keys.edges)
+
+
+def test_incremental_enumeration():
+    for name, maker in INSTANCES:
+        instance = maker()
+        enumerated = enumerate_minimal_keys_incrementally(instance)
+        assert set(enumerated) == set(minimal_keys(instance).edges), name
+
+
+def test_benchmark_minimal_keys(benchmark):
+    instance = _random_instance(8, 5, 3, seed=9)
+    keys = benchmark(minimal_keys, instance)
+    assert len(keys) >= 1
+
+
+def test_benchmark_additional_key_query(benchmark):
+    instance = _random_instance(8, 5, 3, seed=9)
+    keys = minimal_keys(instance)
+    partial = Hypergraph(list(keys.edges)[:1], vertices=instance.attributes)
+    outcome = benchmark(
+        decide_additional_key, instance, partial, "bm", False
+    )
+    assert outcome.exists or len(keys) == 1
+
+
+def test_benchmark_key_enumeration(benchmark):
+    instance = _random_instance(7, 4, 3, seed=11)
+    keys = benchmark(enumerate_minimal_keys_incrementally, instance)
+    assert len(keys) >= 1

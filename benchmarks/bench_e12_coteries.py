@@ -1,0 +1,110 @@
+"""E12 — Proposition 1.3: coterie non-domination ⟺ self-duality.
+
+* classifies the standard constructions (majority/singleton/wheel/tree
+  non-dominated; grid dominated) and checks the verdicts against
+  brute-force domination search on the small systems;
+* on dominated coteries, builds an explicit dominating coterie from the
+  duality witness and verifies availability dominance numerically;
+* benchmarks the ND check across engines and the availability
+  computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coteries import (
+    availability,
+    dominating_coterie,
+    grid_coterie,
+    majority_coterie,
+    singleton_coterie,
+    tree_coterie,
+    wheel_coterie,
+)
+
+from benchmarks.conftest import print_table
+
+SYSTEMS = [
+    ("majority-3", lambda: majority_coterie(3), True),
+    ("majority-5", lambda: majority_coterie(5), True),
+    ("majority-7", lambda: majority_coterie(7), True),
+    ("singleton-5", lambda: singleton_coterie(5), True),
+    ("wheel-5", lambda: wheel_coterie(5), True),
+    ("wheel-6", lambda: wheel_coterie(6), True),
+    ("tree-3", lambda: tree_coterie(3), True),
+    ("grid-2x2", lambda: grid_coterie(2, 2), False),
+    ("grid-2x3", lambda: grid_coterie(2, 3), False),
+]
+
+
+def test_classification_table():
+    rows = []
+    for name, maker, expected_nd in SYSTEMS:
+        coterie = maker()
+        nd = coterie.is_nondominated(method="bm")
+        assert nd == expected_nd, name
+        rows.append(
+            (name, len(coterie.universe), len(coterie), "yes" if nd else "NO")
+        )
+    print_table(
+        "E12: non-domination of the standard constructions (Prop. 1.3)",
+        ["coterie", "sites", "quorums", "ND?"],
+        rows,
+    )
+
+
+def test_agreement_with_brute_force_search():
+    for name, maker, _ in SYSTEMS:
+        coterie = maker()
+        if len(coterie.universe) > 4:
+            continue  # brute-force domination search is doubly exponential
+        via_dual = coterie.is_nondominated()
+        via_search = not coterie.is_dominated_brute_force()
+        assert via_dual == via_search, name
+
+
+@pytest.mark.parametrize("method", ("bm", "fk-b", "logspace", "guess-check"))
+def test_engine_agreement(method):
+    for name, maker, expected_nd in SYSTEMS:
+        coterie = maker()
+        assert coterie.is_nondominated(method=method) == expected_nd, (
+            name,
+            method,
+        )
+
+
+def test_dominating_coterie_and_availability():
+    rows = []
+    for name, maker, expected_nd in SYSTEMS:
+        if expected_nd:
+            continue
+        coterie = maker()
+        better = dominating_coterie(coterie)
+        assert better is not None and better.dominates(coterie), name
+        for p in (0.3, 0.6, 0.9):
+            assert availability(better, p) >= availability(coterie, p) - 1e-12
+        rows.append(
+            (
+                name,
+                f"{availability(coterie, 0.9):.4f}",
+                f"{availability(better, 0.9):.4f}",
+            )
+        )
+    print_table(
+        "E12: availability at p=0.9 — dominated vs dominating coterie",
+        ["coterie", "A(dominated)", "A(dominating)"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("method", ("bm", "fk-b", "logspace"))
+def test_benchmark_nd_check(benchmark, method):
+    coterie = majority_coterie(7)
+    assert benchmark(coterie.is_nondominated, method)
+
+
+def test_benchmark_availability(benchmark):
+    coterie = majority_coterie(7)
+    value = benchmark(availability, coterie, 0.9)
+    assert 0.9 < value <= 1.0

@@ -1,0 +1,77 @@
+"""E13 (ablation) — the decomposition's free choices (Section 2).
+
+The paper notes ``T(G, H)`` is not unique and fixes the free choices one
+way; correctness is choice-independent (Prop. 2.1), but tree size and
+witness identity are not.  This ablation quantifies the effect of four
+deterministic tie-break policies on tree size, depth and verdict —
+verdicts must agree, sizes may differ — and benchmarks tree building
+under each policy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hypergraph.generators import (
+    matching_dual_pair,
+    perturb_drop_edge,
+    threshold_dual_pair,
+)
+from repro.duality.boros_makino import decide_boros_makino, tree_for
+from repro.duality.policies import ALL_POLICIES, policy_by_name
+
+from benchmarks.conftest import dual_workloads, ordered, print_table
+
+
+def test_policies_agree_on_verdicts():
+    for name, g, h in dual_workloads():
+        for policy in ALL_POLICIES:
+            assert decide_boros_makino(g, h, policy=policy).is_dual, (
+                name,
+                policy.name,
+            )
+    for k in (2, 3):
+        g, h = matching_dual_pair(k)
+        broken = perturb_drop_edge(h)
+        for policy in ALL_POLICIES:
+            result = decide_boros_makino(g, broken, policy=policy)
+            assert not result.is_dual, (k, policy.name)
+
+
+def test_policies_respect_prop_21_bounds():
+    # Any resolution keeps depth ≤ log|H| and κ ≤ |V||G|.
+    for name, g, h in dual_workloads():
+        g, h = ordered(g, h)
+        if len(h) <= 1:
+            continue
+        bound_depth = math.log2(len(h))
+        bound_branch = len(g.vertices | h.vertices) * len(g)
+        for policy in ALL_POLICIES:
+            tree = tree_for(g, h, policy=policy)
+            assert tree.depth() <= bound_depth + 1e-9, (name, policy.name)
+            assert tree.max_branching() <= bound_branch, (name, policy.name)
+
+
+def test_tree_size_ablation_table():
+    rows = []
+    for name, g, h in dual_workloads():
+        g, h = ordered(g, h)
+        sizes = []
+        for policy in ALL_POLICIES:
+            sizes.append(tree_for(g, h, policy=policy).node_count())
+        rows.append((name, *sizes))
+    print_table(
+        "E13: tree size by tie-break policy (verdicts identical)",
+        ["instance"] + [p.name for p in ALL_POLICIES],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("policy_name", [p.name for p in ALL_POLICIES])
+def test_benchmark_tree_build_by_policy(benchmark, policy_name):
+    g, h = ordered(*threshold_dual_pair(7, 4))
+    policy = policy_by_name(policy_name)
+    tree = benchmark(tree_for, g, h, policy)
+    assert tree.all_done()

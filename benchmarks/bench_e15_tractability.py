@@ -1,0 +1,86 @@
+"""E15 — the §6 tractability landscape, applied to the workload families.
+
+Section 6: ``Dual`` is tractable for acyclic hypergraphs (hypertree
+width 1) and for bounded degeneracy, while hypertree width ≥ 2 is as
+hard as the general case.  This experiment classifies every workload
+family with the structural analysers (GYO α-acyclicity, conformality,
+primal degeneracy, rank) and benchmarks the classifiers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.generators import (
+    cycle_graph_edges,
+    matching,
+    path_graph_edges,
+    random_simple,
+    threshold,
+)
+from repro.hypergraph.structure import (
+    is_alpha_acyclic,
+    is_conformal,
+    primal_degeneracy,
+    tractability_report,
+)
+
+from benchmarks.conftest import print_table
+
+FAMILIES = [
+    ("matching-4", lambda: matching(4)),
+    ("path-7", lambda: path_graph_edges(7)),
+    ("cycle-7", lambda: cycle_graph_edges(7)),
+    ("threshold-6-3", lambda: threshold(6, 3)),
+    ("threshold-7-4", lambda: threshold(7, 4)),
+    ("random-8-6", lambda: random_simple(8, 6, seed=5)),
+]
+
+
+def test_classification_table():
+    rows = []
+    for name, maker in FAMILIES:
+        hg = maker()
+        report = tractability_report(hg)
+        rows.append(
+            (
+                name,
+                "yes" if report.alpha_acyclic else "no",
+                "yes" if report.conformal else "no",
+                report.degeneracy,
+                report.rank,
+                report.verdict.split(":")[0],
+            )
+        )
+    print_table(
+        "E15: §6 tractability classification of the workload families",
+        ["family", "acyclic", "conformal", "degeneracy", "rank", "class"],
+        rows,
+    )
+
+
+def test_expected_classifications():
+    assert is_alpha_acyclic(matching(4))
+    assert is_alpha_acyclic(path_graph_edges(7))
+    assert not is_alpha_acyclic(cycle_graph_edges(7))
+    assert not is_alpha_acyclic(threshold(6, 3))
+    assert primal_degeneracy(path_graph_edges(7)) == 1
+    assert primal_degeneracy(cycle_graph_edges(7)) == 2
+    # Thresholds are dense: primal graph is complete.
+    assert primal_degeneracy(threshold(6, 3)) == 5
+
+
+def test_acyclic_implies_conformal_on_families():
+    for name, maker in FAMILIES:
+        hg = maker()
+        if is_alpha_acyclic(hg):
+            assert is_conformal(hg), name
+
+
+@pytest.mark.parametrize(
+    "name, maker", FAMILIES, ids=[name for name, _ in FAMILIES]
+)
+def test_benchmark_classifier(benchmark, name, maker):
+    hg = maker()
+    report = benchmark(tractability_report, hg)
+    assert report.verdict

@@ -1,0 +1,121 @@
+"""E16 — ref [26] extension: membership-query learning via Dual.
+
+* the GKMT learner is exact on all structural workload families
+  (borders match brute force);
+* the bill scales as the theory predicts: one duality check per border
+  point (plus the final YES) and ≤ (|V| + 1) queries per point;
+* engine ablation: the completeness checks can run on BM, FK-B or the
+  paper's quadratic-logspace algorithm with identical learned output;
+* benchmarks: learning a matching function, a threshold function, and
+  an itemset-infrequency oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.hypergraph.generators import matching, threshold
+from repro.itemsets.borders import borders
+from repro.itemsets.datasets import market_basket
+from repro.learning import MembershipOracle, learn_monotone_function
+
+from benchmarks.conftest import print_table
+
+
+FUNCTIONS = [
+    ("matching-2", lambda: matching(2)),
+    ("matching-3", lambda: matching(3)),
+    ("matching-4", lambda: matching(4)),
+    ("threshold-5-3", lambda: threshold(5, 3)),
+    ("threshold-6-3", lambda: threshold(6, 3)),
+    ("threshold-7-4", lambda: threshold(7, 4)),
+]
+
+
+def test_learner_exactness_across_families():
+    for name, maker in FUNCTIONS:
+        hg = maker()
+        oracle = MembershipOracle.from_hypergraph(hg)
+        learned = learn_monotone_function(oracle)
+        assert learned.minimal_true_points == hg, name
+        # false border = complements of tr (the CNF side)
+        expected_false = Hypergraph(
+            (hg.vertices - t for t in transversal_hypergraph(hg).edges),
+            vertices=hg.vertices,
+        )
+        assert learned.maximal_false_points == expected_false, name
+
+
+def test_bill_scales_with_border_size():
+    rows = []
+    for name, maker in FUNCTIONS:
+        hg = maker()
+        oracle = MembershipOracle.from_hypergraph(hg)
+        learned = learn_monotone_function(oracle)
+        n = len(oracle.universe)
+        border = len(learned.minimal_true_points) + len(
+            learned.maximal_false_points
+        )
+        assert learned.duality_checks == border - 2 + 1, name
+        assert learned.queries <= (n + 1) * border + 2, name
+        rows.append((name, n, border, learned.queries, learned.duality_checks))
+    print_table(
+        "E16: learning bill vs border size (ref [26])",
+        ["function", "|V|", "|MTP|+|MFP|", "queries", "Dual checks"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("method", ("bm", "fk-b", "logspace", "tractable"))
+def test_engine_ablation_identical_output(method):
+    hg = threshold(5, 3)
+    learned = learn_monotone_function(
+        MembershipOracle.from_hypergraph(hg), method=method
+    )
+    assert learned.minimal_true_points == hg
+
+
+def test_itemset_borders_from_queries():
+    relation = market_basket(n_items=7, n_rows=40, seed=13)
+    z = 12
+    oracle = MembershipOracle.from_infrequency(relation, z)
+    learned = learn_monotone_function(oracle)
+    is_plus, is_minus = borders(relation, z)
+    assert learned.minimal_true_points == is_minus
+    assert learned.maximal_false_points == is_plus
+    # the principled bound: (|items| + 1) queries per border set, far
+    # below the 2^|items| lattice scan the levelwise miner walks
+    border = len(is_plus) + len(is_minus)
+    assert learned.queries <= (len(relation.items) + 1) * border + 2
+    assert learned.queries < 2 ** len(relation.items)
+
+
+@pytest.mark.parametrize("k", (3, 4))
+def test_benchmark_learn_matching(benchmark, k):
+    def run():
+        oracle = MembershipOracle.from_hypergraph(matching(k))
+        return learn_monotone_function(oracle)
+
+    learned = benchmark(run)
+    assert len(learned.minimal_true_points) == k
+
+
+def test_benchmark_learn_threshold(benchmark):
+    def run():
+        oracle = MembershipOracle.from_hypergraph(threshold(6, 3))
+        return learn_monotone_function(oracle)
+
+    learned = benchmark(run)
+    assert len(learned.minimal_true_points) == 20
+
+
+def test_benchmark_learn_infrequency(benchmark):
+    relation = market_basket(n_items=6, n_rows=30, seed=11)
+
+    def run():
+        oracle = MembershipOracle.from_infrequency(relation, 9)
+        return learn_monotone_function(oracle)
+
+    learned = benchmark(run)
+    assert len(learned.minimal_true_points) >= 1

@@ -1,0 +1,178 @@
+"""E17 — refs [41, 24] extension: model-based diagnosis via Dual.
+
+* Reiter's hitting-set theorem holds on every injected circuit fault:
+  HS-tree diagnoses = tr(minimal conflicts) = brute force;
+* the Dual completeness check accepts exactly the full diagnosis sets
+  (and refutes every one-short subset), across engines;
+* the Greiner counterexample: Reiter's subset rule loses a diagnosis on
+  non-minimal labels, the corrected tree does not;
+* benchmarks: conflict learning, the HS-tree, and the Dual check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.diagnosis import (
+    CircuitDiagnosisProblem,
+    full_adder,
+    hs_tree_diagnoses,
+    minimal_conflicts,
+    minimal_conflicts_brute_force,
+    minimal_diagnoses,
+    one_bit_comparator,
+    two_bit_adder,
+    verify_diagnosis_completeness,
+)
+from repro.diagnosis.hstree import (
+    greiner_counterexample,
+    hs_tree_reiter_subset_rule,
+)
+
+from benchmarks.conftest import print_table
+
+
+FAULT_SCENARIOS = [
+    (
+        "adder/x1-low",
+        full_adder,
+        {"a": 1, "b": 0, "cin": 0},
+        {"x1": False},
+    ),
+    (
+        "adder/o1-high",
+        full_adder,
+        {"a": 0, "b": 0, "cin": 0},
+        {"o1": True},
+    ),
+    (
+        "comparator/x-high",
+        one_bit_comparator,
+        {"a": 1, "b": 1},
+        {"x": True},
+    ),
+    (
+        "2bit/c0-low",
+        two_bit_adder,
+        {"a0": 1, "b0": 1, "a1": 0, "b1": 1, "cin": 0},
+        {"c0": False},
+    ),
+    (
+        "2bit/double-fault",
+        two_bit_adder,
+        {"a0": 1, "b0": 1, "a1": 1, "b1": 1, "cin": 0},
+        {"c0": False, "x2": True},
+    ),
+]
+
+
+def scenario_problem(maker, inputs, faults) -> CircuitDiagnosisProblem:
+    return CircuitDiagnosisProblem.observe_fault(maker(), inputs, faults)
+
+
+def faulty_scenarios():
+    for name, maker, inputs, faults in FAULT_SCENARIOS:
+        problem = scenario_problem(maker, inputs, faults)
+        if problem.is_faulty_observation():
+            yield name, maker, inputs, faults
+
+
+def test_hitting_set_theorem_on_all_scenarios():
+    rows = []
+    for name, maker, inputs, faults in faulty_scenarios():
+        conflicts = minimal_conflicts(scenario_problem(maker, inputs, faults))
+        assert conflicts == minimal_conflicts_brute_force(
+            scenario_problem(maker, inputs, faults)
+        ), name
+        tree, stats = hs_tree_diagnoses(scenario_problem(maker, inputs, faults))
+        brute = minimal_diagnoses(
+            scenario_problem(maker, inputs, faults), "brute-force"
+        )
+        assert tree == brute, name
+        expected = transversal_hypergraph(conflicts).with_vertices(
+            tree.vertices
+        )
+        assert tree == expected, name
+        # the injected fault set is a hitting set, so some minimal
+        # diagnosis sits inside it
+        assert any(d <= set(faults) for d in tree.edges), name
+        rows.append(
+            (
+                name,
+                len(conflicts),
+                len(tree),
+                stats.nodes_expanded,
+                stats.labels_reused,
+            )
+        )
+    print_table(
+        "E17: Reiter's theorem on injected circuit faults",
+        ["scenario", "conflicts", "diagnoses", "tree nodes", "label reuse"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("method", ("bm", "fk-b", "logspace", "tractable"))
+def test_completeness_dual_check(method):
+    for name, maker, inputs, faults in faulty_scenarios():
+        problem = scenario_problem(maker, inputs, faults)
+        conflicts = minimal_conflicts(problem)
+        diagnoses = minimal_diagnoses(
+            scenario_problem(maker, inputs, faults), "hstree"
+        )
+        assert verify_diagnosis_completeness(
+            conflicts, diagnoses, method=method
+        ).is_dual, name
+        if len(diagnoses) > 1:
+            partial = Hypergraph(
+                list(diagnoses.edges)[:-1], vertices=diagnoses.vertices
+            )
+            refuted = verify_diagnosis_completeness(
+                conflicts, partial, method=method
+            )
+            assert not refuted.is_dual, name
+
+
+def test_greiner_correction_demonstration():
+    problem_factory, provider_factory, expected = greiner_counterexample()
+    buggy, stats = hs_tree_reiter_subset_rule(
+        problem_factory(), conflict_provider=provider_factory()
+    )
+    assert stats.subset_rule_firings > 0
+    assert set(buggy.edges) < set(expected.edges)
+    sound, _ = hs_tree_diagnoses(
+        problem_factory(), conflict_provider=provider_factory()
+    )
+    assert sound == expected
+
+
+def test_benchmark_minimal_conflicts(benchmark):
+    name, maker, inputs, faults = FAULT_SCENARIOS[0]
+
+    def run():
+        return minimal_conflicts(scenario_problem(maker, inputs, faults))
+
+    conflicts = benchmark(run)
+    assert len(conflicts) >= 1
+
+
+def test_benchmark_hstree(benchmark):
+    name, maker, inputs, faults = FAULT_SCENARIOS[3]
+
+    def run():
+        return hs_tree_diagnoses(scenario_problem(maker, inputs, faults))[0]
+
+    diagnoses = benchmark(run)
+    assert len(diagnoses) >= 1
+
+
+def test_benchmark_completeness_check(benchmark):
+    name, maker, inputs, faults = FAULT_SCENARIOS[3]
+    problem = scenario_problem(maker, inputs, faults)
+    conflicts = minimal_conflicts(problem)
+    diagnoses = minimal_diagnoses(
+        scenario_problem(maker, inputs, faults), "hstree"
+    )
+    result = benchmark(verify_diagnosis_completeness, conflicts, diagnoses)
+    assert result.is_dual

@@ -1,0 +1,163 @@
+"""E19 — refs [33, 19, 10] extension: Horn envelopes and abduction.
+
+* the KPS transversal construction is exact: envelope models equal the
+  intersection closure of the input models, across random and
+  structured model families;
+* the envelope blow-up (closure size / input size) is measured — the
+  approximation cost [19] studies;
+* abduction: minimal explanations via the border learner equal brute
+  force, and the completeness check is a Dual instance across engines;
+* benchmarks: envelope construction and explanation enumeration.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.logic import HornTheory, intersection_closure
+from repro.abduction import (
+    AbductionProblem,
+    maximal_non_explanations,
+    minimal_explanations,
+    minimal_explanations_brute_force,
+    verify_explanation_completeness,
+)
+from repro.envelopes import (
+    envelope_is_exact,
+    horn_envelope,
+    models_of_envelope,
+)
+from repro.envelopes.horn_envelope import envelope_blowup
+
+from benchmarks.conftest import print_table
+
+
+def random_models(n_atoms: int, n_models: int, seed: int) -> list[frozenset]:
+    rng = random.Random(seed)
+    atoms = [f"p{i}" for i in range(n_atoms)]
+    return [
+        frozenset(a for a in atoms if rng.random() < 0.5)
+        for _ in range(n_models)
+    ]
+
+
+MODEL_FAMILIES = [
+    ("xor-2", lambda: ([frozenset("a"), frozenset("b")], "ab")),
+    (
+        "majority-3",
+        lambda: (
+            [frozenset("ab"), frozenset("bc"), frozenset("ac")],
+            "abc",
+        ),
+    ),
+    ("random-4x4", lambda: (random_models(4, 4, seed=1), None)),
+    ("random-5x6", lambda: (random_models(5, 6, seed=2), None)),
+    ("random-5x3", lambda: (random_models(5, 3, seed=3), None)),
+]
+
+
+def test_envelope_models_equal_intersection_closure():
+    rows = []
+    for name, maker in MODEL_FAMILIES:
+        models, atoms = maker()
+        atoms = atoms or frozenset().union(*models)
+        got = models_of_envelope(models, atoms=atoms)
+        expected = intersection_closure(models)
+        assert got == expected, name
+        before, after = envelope_blowup(models, atoms=atoms)
+        clauses = len(horn_envelope(models, atoms=atoms))
+        rows.append((name, before, after, clauses,
+                     "exact" if envelope_is_exact(models, atoms=atoms) else "approx"))
+    print_table(
+        "E19: Horn envelope — input models vs closure (the [19] blow-up)",
+        ["family", "models", "closure", "clauses", "status"],
+        rows,
+    )
+
+
+def weather_problem() -> AbductionProblem:
+    theory = HornTheory.from_tuples(
+        [
+            (("rain",), "wet"),
+            (("sprinkler",), "wet"),
+            (("wet", "cold"), "ice"),
+            ((), "cold"),
+        ],
+        atoms=["rain", "sprinkler", "wet", "cold", "ice"],
+    )
+    return AbductionProblem(
+        theory, hypotheses={"rain", "sprinkler", "cold"}, query="ice"
+    )
+
+
+def random_definite_problem(seed: int) -> AbductionProblem:
+    rng = random.Random(seed)
+    atoms = list("abcdefq")
+    clauses = []
+    for _ in range(8):
+        body = frozenset(rng.sample(atoms[:-1], rng.randint(1, 2)))
+        head = rng.choice([a for a in atoms if a not in body])
+        clauses.append((body, head))
+    theory = HornTheory.from_tuples(clauses, atoms=atoms)
+    return AbductionProblem(theory, hypotheses="abc", query="q")
+
+
+def test_abduction_learner_equals_brute_force():
+    rows = []
+    problems = [("weather", weather_problem())] + [
+        (f"random-{s}", random_definite_problem(s)) for s in (1, 2, 3, 4)
+    ]
+    for name, problem in problems:
+        learned = minimal_explanations(problem)
+        brute = minimal_explanations_brute_force(problem)
+        assert learned == brute, name
+        rows.append((name, len(problem.theory), len(learned)))
+    print_table(
+        "E19: minimal abductive explanations (learner = brute force)",
+        ["problem", "clauses", "explanations"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("method", ("bm", "fk-b", "logspace"))
+def test_explanation_completeness_is_dual(method):
+    problem = weather_problem()
+    expl = minimal_explanations(problem)
+    non = maximal_non_explanations(problem)
+    assert verify_explanation_completeness(
+        problem, expl, non, method=method
+    ).is_dual
+    if len(expl) > 1:
+        partial = Hypergraph(
+            list(expl.edges)[:-1], vertices=problem.hypotheses
+        )
+        refuted = verify_explanation_completeness(
+            problem, partial, non, method=method
+        )
+        assert not refuted.is_dual
+
+
+def test_benchmark_envelope_construction(benchmark):
+    models, atoms = MODEL_FAMILIES[3][1]()
+    atoms = atoms or frozenset().union(*models)
+    theory = benchmark(horn_envelope, models, atoms)
+    assert len(theory) >= 1
+
+
+def test_benchmark_minimal_explanations(benchmark):
+    problem = weather_problem()
+
+    def run():
+        return minimal_explanations(weather_problem())
+
+    explanations = benchmark(run)
+    assert len(explanations) == 2
+
+
+def test_benchmark_intersection_closure(benchmark):
+    models = random_models(6, 8, seed=9)
+    closed = benchmark(intersection_closure, models)
+    assert len(closed) >= len(set(models))

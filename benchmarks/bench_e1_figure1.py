@@ -1,0 +1,60 @@
+"""E1 — regenerate Figure 1 (the paper's only figure).
+
+Re-derives the complexity-class lattice, asserts the figure's structure
+(DAG, the two Theorem 5.2 inclusions, the drawn incomparabilities, the
+Dual annotations) and benchmarks the full regeneration.
+"""
+
+from __future__ import annotations
+
+from repro.complexity import (
+    default_lattice,
+    figure1_dual_annotations,
+    figure1_edge_table,
+    figure1_report,
+    render_figure1,
+)
+
+
+def test_figure1_structure_matches_paper():
+    lattice = default_lattice()
+    assert lattice.is_dag()
+
+    # Theorem 5.2: the new class sits below both previous bounds.
+    assert lattice.includes("GC_LOG2_ITLOGSPACE", "DSPACE_LOG2")
+    assert lattice.includes("GC_LOG2_ITLOGSPACE", "BETA2P")
+
+    # The figure's key open separations.
+    assert lattice.incomparable("DSPACE_LOG2", "BETA2P")
+    assert lattice.incomparable("DSPACE_LOG2", "PTIME")
+    assert lattice.incomparable("DSPACE_LOG2", "NP")
+
+    # The tightest class containing Dual is exactly the Theorem 5.1 one.
+    assert lattice.minimal_classes_containing_dual() == ["GC_LOG2_ITLOGSPACE"]
+
+    # Ascent to PSPACE from everything.
+    for key in lattice.classes:
+        assert lattice.includes(key, "PSPACE")
+
+
+def test_figure1_rendering_in_sync():
+    diagram = render_figure1()
+    for cls in ("PSPACE", "NP", "DSPACE[log2n]", "GC(log2n,PTIME)=B2P",
+                "GC(log2n,[[LOGSPACEpol]]log)", "GC(log2n,LOGSPACE)",
+                "PTIME", "LOGSPACE"):
+        assert cls in diagram
+    table = figure1_edge_table()
+    assert len(table) == 9
+    annotations = figure1_dual_annotations()
+    assert sum(1 for a in annotations if a["contains_dual"]) == 5
+
+
+def test_print_figure1(capsys):
+    with capsys.disabled():
+        print()
+        print(figure1_report(), end="")
+
+
+def test_benchmark_figure1_regeneration(benchmark):
+    report = benchmark(figure1_report)
+    assert "Theorem 5.2" in report

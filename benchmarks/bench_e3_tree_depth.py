@@ -1,0 +1,64 @@
+"""E3 — Proposition 2.1(2): decomposition-tree depth ≤ log₂|H|.
+
+Sweeps the structural families, printing measured depth against the
+paper's bound, and benchmarks full tree construction on the scaling
+family (matchings, whose |H| doubles with k).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hypergraph.generators import matching_dual_pair, threshold_dual_pair
+from repro.duality.boros_makino import build_tree, tree_for
+
+from benchmarks.conftest import dual_workloads, ordered, print_table
+
+
+def test_depth_bound_sweep():
+    rows = []
+    for name, g, h in dual_workloads():
+        g, h = ordered(g, h)
+        if len(h) == 0:
+            continue
+        tree = tree_for(g, h)
+        bound = math.log2(len(h)) if len(h) > 1 else 0.0
+        assert tree.depth() <= bound + 1e-9, name
+        rows.append(
+            (name, len(h), tree.depth(), f"{bound:.2f}", tree.node_count())
+        )
+    print_table(
+        "E3: tree depth vs the log2|H| bound (Prop. 2.1(2))",
+        ["instance", "|H|", "depth", "log2|H|", "nodes"],
+        rows,
+    )
+
+
+def test_depth_scaling_on_matchings():
+    rows = []
+    for k in range(2, 7):
+        g, h = ordered(*matching_dual_pair(k))
+        tree = tree_for(g, h)
+        bound = math.log2(len(h))
+        assert tree.depth() <= bound + 1e-9
+        rows.append((k, len(h), tree.depth(), f"{bound:.1f}"))
+    print_table(
+        "E3: matching family scaling (|H| = 2^k)",
+        ["k", "|H|", "depth", "log2|H|"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("k", (3, 4, 5))
+def test_benchmark_tree_build(benchmark, k):
+    g, h = ordered(*matching_dual_pair(k))
+    tree = benchmark(build_tree, g, h)
+    assert tree.all_done()
+
+
+def test_benchmark_tree_build_threshold(benchmark):
+    g, h = ordered(*threshold_dual_pair(7, 4))
+    tree = benchmark(build_tree, g, h)
+    assert tree.all_done()

@@ -1,0 +1,54 @@
+"""E4 — Proposition 2.1(3): branching κ(α) ≤ |V|·|G| at every node.
+
+Sweeps the workloads checking every node's child count against the
+bound, prints the observed maxima (typically far below the bound), and
+benchmarks the single expansion step ``process_children`` — the unit of
+work the logspace ``next`` wraps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.generators import matching_dual_pair, threshold_dual_pair
+from repro.duality.boros_makino import process_children, tree_for
+from repro.duality.logspace import initial_attrs
+
+from benchmarks.conftest import dual_workloads, nondual_workloads, ordered, print_table
+
+
+def test_branching_bound_sweep():
+    rows = []
+    for name, g, h in dual_workloads() + nondual_workloads():
+        from repro.duality.conditions import prepare_instance
+
+        entry = prepare_instance(g, h)
+        if not entry.ok:
+            continue
+        gg, hh = ordered(entry.g, entry.h)
+        tree = tree_for(gg, hh)
+        bound = len(gg.vertices | hh.vertices) * len(gg)
+        for node in tree.nodes():
+            assert len(node.children) <= bound, (name, node.attrs.label)
+        rows.append((name, tree.max_branching(), bound))
+    print_table(
+        "E4: observed max branching vs the |V||G| bound (Prop. 2.1(3))",
+        ["instance", "max κ(α)", "|V|·|G|"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize(
+    "maker",
+    [
+        lambda: matching_dual_pair(4),
+        lambda: threshold_dual_pair(7, 4),
+    ],
+    ids=["matching-4", "threshold-7-4"],
+)
+def test_benchmark_process_step(benchmark, maker):
+    g, h = ordered(*maker())
+    root = initial_attrs(g, h)
+    outcome = benchmark(process_children, root, g, h)
+    assert isinstance(outcome, list)
+    assert len(outcome) <= len(g.vertices | h.vertices) * len(g)

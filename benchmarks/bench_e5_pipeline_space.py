@@ -1,0 +1,102 @@
+"""E5 — Lemma 3.1: self-composition in O(log² n) space, mechanically.
+
+Runs the ``T*`` pipeline simulator (on-demand bit recomputation, no
+intermediate storage) against the direct composition:
+
+* outputs agree exactly;
+* peak metered bits grow linearly in the number of stages (log stages ⟹
+  log² total) and polylogarithmically in the input size;
+* the recomputation blow-up (stage invocations) is reported — the time
+  price the lemma pays.
+
+Benchmarks both execution modes on the same chain.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.machine import FunctionTransducer, self_composition
+
+from benchmarks.conftest import print_table
+
+
+def _rotate(text: str) -> str:
+    return text[1:] + text[:1] if text else text
+
+
+def _parity_tag(text: str) -> str:
+    # Prepend the parity of '1' bits — a genuinely sequential statistic.
+    ones = sum(1 for ch in text if ch == "1")
+    return ("1" if ones % 2 else "0") + text[:-1]
+
+
+@pytest.mark.parametrize("fn, name", [(_rotate, "rotate"), (_parity_tag, "parity")])
+def test_recomputed_equals_direct(fn, name):
+    # Recomputation costs ~L^stages stage runs — tiny inputs on purpose.
+    for text, stages in (("01101001", 1), ("01101001", 2), ("0110", 4)):
+        pipeline = self_composition(FunctionTransducer(fn, name=name), stages)
+        assert pipeline.compute_recomputed(text) == pipeline.compute_direct(text)
+
+
+def test_space_linear_in_stages():
+    rows = []
+    peaks = []
+    for stages in (1, 2, 4, 8):
+        pipeline = self_composition(FunctionTransducer(_rotate), stages)
+        pipeline.compute_recomputed("abc")
+        report = pipeline.report()
+        peaks.append(report["peak_bits"])
+        rows.append((stages, report["peak_bits"], report["stage_invocations"]))
+    print_table(
+        "E5: peak bits and recomputation vs pipeline length (input 3 chars; "
+        "invocations grow ~L^stages — the lemma's time price)",
+        ["stages", "peak bits", "stage invocations"],
+        rows,
+    )
+    # Linearity in stage count: doubling stages at most ~doubles bits.
+    assert peaks[3] <= 2.6 * peaks[2]
+    assert peaks[2] <= 2.6 * peaks[1]
+    # And strictly grows (each live stage owns registers).
+    assert peaks[0] < peaks[1] < peaks[2] < peaks[3]
+
+
+def test_space_polylog_in_input_size():
+    rows = []
+    measurements = {}
+    for length in (4, 8, 16):
+        stages = max(1, int(math.log2(length)))
+        pipeline = self_composition(FunctionTransducer(_rotate), stages)
+        pipeline.compute_recomputed("a" * length)
+        peak = pipeline.meter.peak_bits
+        measurements[length] = peak
+        rows.append(
+            (length, stages, peak, f"{math.log2(length) ** 2:.0f}")
+        )
+    print_table(
+        "E5: log n stages — peak bits vs log²n envelope",
+        ["input n", "stages=log n", "peak bits", "log2^2 n"],
+        rows,
+    )
+    # 4x input growth must produce far less than 4x space growth.
+    assert measurements[16] < measurements[4] * (16 / 4)
+
+
+def test_recomputation_blowup_reported():
+    pipeline = self_composition(FunctionTransducer(_rotate), 6)
+    pipeline.compute_recomputed("abcdefgh")
+    # Strictly more invocations than stages — the time/space trade.
+    assert pipeline.invocations > 6
+
+
+@pytest.mark.parametrize("mode", ["recomputed", "direct"])
+def test_benchmark_pipeline(benchmark, mode):
+    pipeline = self_composition(FunctionTransducer(_rotate), 3)
+    text = "abcdefgh"
+    if mode == "recomputed":
+        out = benchmark(pipeline.compute_recomputed, text)
+    else:
+        out = benchmark(pipeline.compute_direct, text)
+    assert len(out) == len(text)

@@ -1,0 +1,126 @@
+"""E6 — Lemma 4.2 / Theorem 4.1: pathnode correctness and log²n space.
+
+* ``pathnode`` equals the materialised tree on every label (Lemma 4.2);
+* ``decompose`` reproduces the tree exactly (Theorem 4.1) — including
+  the paper-faithful exhaustive-PD(I) mode on a tiny instance;
+* the metered model space of the deepest resolution, swept over growing
+  matching instances, is fitted against ``a + b·log₂²(n)`` — the
+  theorem's envelope — with the fit quality asserted;
+* benchmarks: plain vs metered vs genuine-pipeline pathnode.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hypergraph.generators import matching_dual_pair
+from repro.duality.boros_makino import tree_for
+from repro.duality.logspace import (
+    decompose,
+    instance_size,
+    iter_tree_nodes,
+    pathnode,
+    pathnode_metered,
+    pathnode_pipeline,
+)
+
+from benchmarks.conftest import dual_workloads, ordered, print_table
+
+
+def test_pathnode_equals_tree_everywhere():
+    checked = 0
+    for name, g, h in dual_workloads():
+        g, h = ordered(g, h)
+        tree = tree_for(g, h)
+        for node in tree.nodes():
+            assert pathnode(g, h, node.attrs.label) == node.attrs, name
+            checked += 1
+    assert checked > 50
+    print(f"\n[E6] pathnode ≡ tree on {checked} labels across the workloads")
+
+
+def test_decompose_reproduces_tree():
+    for name, g, h in dual_workloads():
+        g, h = ordered(g, h)
+        tree = tree_for(g, h)
+        out = decompose(g, h)
+        assert [a.label for a in out["vertices"]] == sorted(tree.labels()), name
+        assert out["edges"] == sorted(tree.edges()), name
+
+
+def test_exhaustive_decompose_paper_faithful():
+    g, h = ordered(*matching_dual_pair(2))
+    pruned = decompose(g, h)
+    full = decompose(g, h, exhaustive=True)
+    assert [a.label for a in pruned["vertices"]] == [
+        a.label for a in full["vertices"]
+    ]
+    assert pruned["edges"] == full["edges"]
+
+
+def _fit_log_squared(samples: list[tuple[int, int]]) -> tuple[float, float]:
+    """Least-squares fit peak ≈ a + b·log₂²(n); returns (a, b)."""
+    xs = [math.log2(n) ** 2 for n, _ in samples]
+    ys = [peak for _, peak in samples]
+    n = len(xs)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    b = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / max(
+        sum((x - mean_x) ** 2 for x in xs), 1e-12
+    )
+    a = mean_y - b * mean_x
+    return a, b
+
+
+def test_space_fits_log_squared_envelope():
+    samples = []
+    rows = []
+    for k in range(2, 8):
+        g, h = ordered(*matching_dual_pair(k))
+        deepest = max(iter_tree_nodes(g, h), key=lambda a: a.depth)
+        _, meter = pathnode_metered(g, h, deepest.label)
+        n = instance_size(g, h)
+        samples.append((n, meter.peak_bits))
+        rows.append((k, n, meter.peak_bits, f"{math.log2(n) ** 2:.1f}"))
+    a, b = _fit_log_squared(samples)
+    # Fit quality: every sample within 35% of the fitted curve.
+    max_rel_err = 0.0
+    for n, peak in samples:
+        fitted = a + b * math.log2(n) ** 2
+        max_rel_err = max(max_rel_err, abs(fitted - peak) / max(peak, 1))
+    rows.append(("fit", f"a={a:.1f}", f"b={b:.2f}", f"maxerr={max_rel_err:.2f}"))
+    print_table(
+        "E6: metered peak bits vs a + b·log2²(n) (Theorem 4.1 envelope)",
+        ["k", "n", "peak bits", "log2^2(n)"],
+        rows,
+    )
+    assert max_rel_err < 0.35
+    # And sub-linear growth overall: n grows ~64x, space far less.
+    first_n, first_peak = samples[0]
+    last_n, last_peak = samples[-1]
+    assert (last_peak / first_peak) < (last_n / first_n) / 2
+
+
+@pytest.mark.parametrize("k", (3, 4, 5))
+def test_benchmark_pathnode_plain(benchmark, k):
+    g, h = ordered(*matching_dual_pair(k))
+    deepest = max(iter_tree_nodes(g, h), key=lambda a: a.depth)
+    attrs = benchmark(pathnode, g, h, deepest.label)
+    assert attrs is not None
+
+
+def test_benchmark_pathnode_metered(benchmark):
+    g, h = ordered(*matching_dual_pair(4))
+    deepest = max(iter_tree_nodes(g, h), key=lambda a: a.depth)
+    attrs, _meter = benchmark(pathnode_metered, g, h, deepest.label)
+    assert attrs is not None
+
+
+def test_benchmark_pathnode_pipeline(benchmark):
+    # The genuine bit-recomputing variant — orders of magnitude slower,
+    # which is the measured content of the space/time trade-off.
+    g, h = ordered(*matching_dual_pair(3))
+    deepest = max(iter_tree_nodes(g, h), key=lambda a: a.depth)
+    attrs, _pipe = benchmark(pathnode_pipeline, g, h, deepest.label)
+    assert attrs is not None

@@ -1,0 +1,90 @@
+"""E8 — Theorem 5.1 / Lemma 5.1: the guess-and-check bound, measured.
+
+* guessed bits equal the descriptor-size formula and stay within the
+  ``O(log² n)`` envelope across the scaling sweep;
+* soundness: the checker accepts the prover's certificate and rejects
+  corrupted ones; completeness: dual instances admit no certificate;
+* benchmarks: the checker (plain and metered) and the full decider.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hypergraph.generators import (
+    hard_nondual_pair,
+    matching_dual_pair,
+)
+from repro.duality.guess_and_check import (
+    certificate_for,
+    check_certificate,
+    check_certificate_metered,
+    decide_guess_and_check,
+)
+from repro.duality.logspace import descriptor_bits, instance_size
+
+from benchmarks.conftest import dual_workloads, ordered, print_table
+
+
+def test_guess_bits_envelope():
+    rows = []
+    for k in (2, 3, 4, 5, 6, 7):
+        g, h = ordered(*matching_dual_pair(k))
+        result = decide_guess_and_check(g, h)
+        n = instance_size(g, h)
+        envelope = 4 * math.log2(n) ** 2 + 16
+        assert result.stats.guessed_bits == descriptor_bits(g, h)
+        assert result.stats.guessed_bits <= envelope
+        rows.append(
+            (k, n, result.stats.guessed_bits, f"{math.log2(n) ** 2:.1f}")
+        )
+    print_table(
+        "E8: guessed certificate bits vs log2²(n) (Theorem 5.1)",
+        ["k", "n", "guess bits", "log2^2(n)"],
+        rows,
+    )
+
+
+def test_soundness_and_completeness():
+    # Completeness of refutation: non-dual ⟹ certificate exists + checks.
+    for k in (2, 3, 4):
+        g, h = ordered(*hard_nondual_pair(k))
+        pi = certificate_for(g, h)
+        assert pi is not None
+        assert check_certificate(g, h, pi)
+        # Corrupted guesses are rejected.
+        assert not check_certificate(g, h, pi + (10 ** 6,))
+        assert not check_certificate(g, h, (10 ** 6,) + pi)
+    # Soundness: dual ⟹ no certificate whatsoever.
+    for name, g, h in dual_workloads():
+        g, h = ordered(g, h)
+        assert certificate_for(g, h) is None, name
+
+
+def test_metered_check_space():
+    g, h = ordered(*hard_nondual_pair(4))
+    pi = certificate_for(g, h)
+    ok, meter = check_certificate_metered(g, h, pi)
+    assert ok
+    n = instance_size(g, h)
+    # The checker itself stays within the quadratic-logspace envelope
+    # (constant factor follows the pathnode register accounting).
+    assert meter.peak_bits <= 40 * math.log2(n) ** 2 + 200
+
+
+@pytest.mark.parametrize("k", (3, 4))
+def test_benchmark_checker(benchmark, k):
+    # Dropping an edge of the *large* side keeps the decomposition entry
+    # conditions (G ⊆ tr(H), H ⊆ tr(G)) intact, so a fail leaf exists.
+    g, h = ordered(*hard_nondual_pair(k))
+    pi = certificate_for(g, h)
+    ok = benchmark(check_certificate, g, h, pi)
+    assert ok
+
+
+def test_benchmark_decider(benchmark):
+    g, h = ordered(*matching_dual_pair(4))
+    result = benchmark(decide_guess_and_check, g, h)
+    assert result.is_dual

@@ -1,0 +1,111 @@
+"""E9 — Proposition 1.1: itemset-border identification via Dual.
+
+* identification agrees with the levelwise ground truth across datasets
+  and thresholds, for several engines (including the logspace one);
+* dualize-and-advance enumerates exactly ``IS⁺ ∪ IS⁻``, one new border
+  set per duality check (the Section 1 paradigm);
+* the [26] identity ``IS⁻ = tr(IS⁺ᶜ)`` holds on every mined border;
+* benchmarks: levelwise mining, one identification query, and the full
+  enumeration with two different engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import Hypergraph, complement_family, transversal_hypergraph
+from repro.itemsets import (
+    decide_identification,
+    enumerate_borders,
+    levelwise_borders,
+)
+from repro.itemsets.datasets import (
+    contrast_pair,
+    dense_random,
+    market_basket,
+    planted_borders,
+)
+
+from benchmarks.conftest import print_table
+
+DATASETS = [
+    ("market-9", lambda: (market_basket(n_items=9, n_rows=40, seed=21), 6)),
+    ("dense-7", lambda: (dense_random(n_items=7, n_rows=30, density=0.5, seed=4), 6)),
+    ("contrast-8", lambda: (contrast_pair(n_items=8, seed=5))),
+    ("planted-7", lambda: planted_borders(n_items=7, z=2, seed=6)[:2]),
+]
+
+
+def test_identification_matches_ground_truth():
+    rows = []
+    for name, maker in DATASETS:
+        relation, z = maker()
+        is_plus, is_minus = levelwise_borders(relation, z)
+        for method in ("bm", "fk-b", "logspace"):
+            outcome = decide_identification(
+                relation, z, is_minus, is_plus, method=method
+            )
+            assert outcome.complete, (name, method)
+            if len(is_plus) > 1:
+                partial = Hypergraph(
+                    list(is_plus.edges)[:-1], vertices=relation.items
+                )
+                outcome = decide_identification(
+                    relation, z, is_minus, partial, method=method
+                )
+                assert not outcome.complete, (name, method)
+        rows.append((name, len(relation), z, len(is_plus), len(is_minus)))
+    print_table(
+        "E9: datasets and their borders (identification verified per row)",
+        ["dataset", "|M|", "z", "|IS+|", "|IS-|"],
+        rows,
+    )
+
+
+def test_bridge_identity_on_mined_borders():
+    for name, maker in DATASETS:
+        relation, z = maker()
+        is_plus, is_minus = levelwise_borders(relation, z)
+        assert transversal_hypergraph(complement_family(is_plus)) == is_minus, name
+
+
+def test_enumeration_advances_once_per_border_set():
+    rows = []
+    for name, maker in DATASETS:
+        relation, z = maker()
+        expected = levelwise_borders(relation, z)
+        is_plus, is_minus, trace = enumerate_borders(relation, z, method="bm")
+        assert (is_plus, is_minus) == expected, name
+        assert trace.additions() == len(is_plus) + len(is_minus) - 1
+        rows.append(
+            (name, len(is_plus) + len(is_minus), trace.additions() + 1)
+        )
+    print_table(
+        "E9: dualize-and-advance — duality checks = border size (±seed)",
+        ["dataset", "|IS+ ∪ IS-|", "duality checks"],
+        rows,
+    )
+
+
+def test_benchmark_levelwise(benchmark):
+    relation, z = market_basket(n_items=9, n_rows=40, seed=21), 6
+    is_plus, is_minus = benchmark(levelwise_borders, relation, z)
+    assert len(is_plus) > 0
+
+
+def test_benchmark_identification_query(benchmark):
+    relation, z = market_basket(n_items=9, n_rows=40, seed=21), 6
+    is_plus, is_minus = levelwise_borders(relation, z)
+    outcome = benchmark(
+        decide_identification, relation, z, is_minus, is_plus, "bm", True
+    )
+    assert outcome.complete
+
+
+@pytest.mark.parametrize("method", ("bm", "fk-b"))
+def test_benchmark_enumeration(benchmark, method):
+    relation, z = market_basket(n_items=8, n_rows=30, seed=7), 5
+    is_plus, _is_minus, _trace = benchmark(
+        enumerate_borders, relation, z, method
+    )
+    assert len(is_plus) > 0

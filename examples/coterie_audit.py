@@ -1,0 +1,81 @@
+"""Auditing quorum systems: Proposition 1.3 end to end.
+
+A distributed database replicates over a handful of sites and wants a
+quorum system (coterie) for updates [35].  Dominated coteries are
+strictly worse — some other coterie is available whenever they are, and
+more.  Prop. 1.3: a coterie is non-dominated iff it equals its own
+minimal-transversal family, i.e. iff it is *self-dual* — one more face
+of the ``Dual`` problem.
+
+This example audits the classical constructions, exhibits an explicit
+dominating coterie for the dominated ones, and quantifies the damage
+with exact availability numbers.
+
+Run with ``python examples/coterie_audit.py``.
+"""
+
+from __future__ import annotations
+
+from repro._util import format_set
+from repro.coteries import (
+    availability,
+    coterie_from_votes,
+    dominating_coterie,
+    grid_coterie,
+    majority_coterie,
+    singleton_coterie,
+    tree_coterie,
+    wheel_coterie,
+)
+
+
+def main() -> None:
+    systems = [
+        ("majority(5)", majority_coterie(5)),
+        ("singleton(5)", singleton_coterie(5)),
+        ("wheel(5)", wheel_coterie(5)),
+        ("tree(depth 3)", tree_coterie(3)),
+        ("grid(2x2)", grid_coterie(2, 2)),
+        ("votes a:2 b:1 c:1", coterie_from_votes({"a": 2, "b": 1, "c": 1})),
+    ]
+
+    print(f"{'coterie':<20} {'quorums':>7} {'ND?':>5}   A(p=0.9)")
+    print("-" * 50)
+    for name, coterie in systems:
+        nd = coterie.is_nondominated(method="bm")
+        avail = availability(coterie, 0.9)
+        print(f"{name:<20} {len(coterie):>7} {'yes' if nd else 'NO':>5}   {avail:.4f}")
+
+    # ------------------------------------------------------------------
+    # Repairing a dominated coterie
+    # ------------------------------------------------------------------
+    grid = grid_coterie(2, 2)
+    print("\nthe 2x2 grid coterie is dominated; its quorums:")
+    for q in grid.quorums:
+        print(f"  {format_set(q)}")
+    better = dominating_coterie(grid, method="logspace")
+    print("a dominating coterie found via the logspace engine's witness:")
+    for q in better.quorums:
+        print(f"  {format_set(q)}")
+    for p in (0.5, 0.7, 0.9):
+        print(
+            f"  availability at p={p}: grid {availability(grid, p):.4f}  "
+            f"-> dominating {availability(better, p):.4f}"
+        )
+    assert better.dominates(grid)
+    assert better.is_nondominated() or True  # may itself be improvable
+
+    # ------------------------------------------------------------------
+    # The self-duality statement, explicitly
+    # ------------------------------------------------------------------
+    maj = majority_coterie(5)
+    result = maj.self_duality_result(method="guess-check")
+    print(
+        "\nmajority(5) self-duality via guess-and-check:",
+        "tr(H) = H" if result.is_dual else "tr(H) != H",
+        f"(guessed {result.stats.guessed_bits} certificate bits)",
+    )
+
+
+if __name__ == "__main__":
+    main()

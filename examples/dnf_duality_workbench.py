@@ -1,0 +1,88 @@
+"""A DNF duality workbench: engines, certificates and classical families.
+
+Plays with monotone-DNF duality the way a theoretician would: parse
+formulas, dualise them, compare every engine's verdict and work counters
+on the classical instance families (matchings, thresholds, self-dual
+majorities), and inspect what happens at the degenerate corners
+(constants TRUE/FALSE).
+
+Run with ``python examples/dnf_duality_workbench.py``.
+"""
+
+from __future__ import annotations
+
+from repro.dnf import MonotoneDNF, parse_dnf
+from repro.hypergraph.generators import (
+    matching_dual_pair,
+    self_dual_majority,
+    threshold_dual_pair,
+)
+from repro.duality import available_methods, decide_dnf_duality, decide_duality
+
+
+def formula_playground() -> None:
+    print("== formulas and their duals ==")
+    for text in ("a b | c", "a | b | c", "a b c", "a b | b c | a c"):
+        f = parse_dnf(text)
+        d = f.dual_formula()
+        marker = "  (self-dual!)" if d == f else ""
+        print(f"  ({f.to_text()})^d = {d.to_text()}{marker}")
+
+    # Duality of constants: FALSE^d = TRUE.
+    false, true = MonotoneDNF(), MonotoneDNF([frozenset()])
+    print(
+        "  FALSE dual TRUE:",
+        false.semantically_dual_to(true),
+        "| TRUE dual TRUE:",
+        true.semantically_dual_to(true),
+    )
+
+
+def engine_comparison() -> None:
+    print("\n== engine comparison on classical families ==")
+    workloads = [
+        ("matching k=4", *matching_dual_pair(4)),
+        ("threshold (7,4)", *threshold_dual_pair(7, 4)),
+        ("majority n=5 (self-dual)", self_dual_majority(5), self_dual_majority(5)),
+    ]
+    methods = [m for m in available_methods() if m != "truth-table"]
+    header = f"  {'instance':<26}" + "".join(f"{m:>13}" for m in methods)
+    print(header)
+    for name, g, h in workloads:
+        cells = []
+        for method in methods:
+            result = decide_duality(g, h, method=method)
+            work = result.stats.nodes
+            cells.append(f"{'ok' if result.is_dual else 'NO'}/{work:>5}")
+        print(f"  {name:<26}" + "".join(f"{c:>13}" for c in cells))
+    print("  (cell = verdict / subproblems-or-nodes explored)")
+
+
+def certificates_demo() -> None:
+    print("\n== certificates on a non-dual DNF pair ==")
+    f = parse_dnf("a b | c d")
+    g_wrong = parse_dnf("a c | a d | b c")  # misses the term b d
+    result = decide_dnf_duality(f, g_wrong, method="fk-b")
+    print(f"  f = {f.to_text()}")
+    print(f"  g = {g_wrong.to_text()}  (one prime implicant of f^d missing)")
+    print(f"  verdict: {'dual' if result.is_dual else 'NOT dual'}")
+    witness = result.certificate.witness
+    print(f"  witness: {sorted(map(str, witness))} — {result.certificate.kind.value}")
+
+    # The witness contains the missing minimal transversal:
+    from repro.duality.witness import extract_missing_minimal_transversal
+
+    missing = extract_missing_minimal_transversal(
+        f.hypergraph(), g_wrong.hypergraph(), witness
+    )
+    print(f"  minimalised to the missing dual term: {sorted(map(str, missing))}")
+
+
+def main() -> None:
+    formula_playground()
+    engine_comparison()
+    certificates_demo()
+
+
+if __name__ == "__main__":
+    main()

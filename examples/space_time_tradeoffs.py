@@ -1,0 +1,103 @@
+"""The space/time spectrum of monotone dualization — the paper's theme.
+
+The paper's research question is *space*: can ``Dual`` be decided in
+polylogarithmic workspace?  This walkthrough places three concrete
+algorithms from this repository on the space/time spectrum, on one
+instance family:
+
+1. **Berge multiplication** — one pass over the edges, but the whole
+   intermediate transversal family lives in memory (exponential peak);
+2. **DFS enumeration** (the ref [44] style) — polynomial working set
+   (one partial transversal + stack), paying with tree-node
+   recomputation;
+3. **the paper's quadratic-logspace algorithm** — ``pathnode`` resolves
+   any node of the Boros–Makino tree from ``O(log² n)`` metered bits of
+   model state, paying with massive recomputation (Lemma 3.1's
+   pipeline never stores intermediate outputs).
+
+Run with ``python examples/space_time_tradeoffs.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hypergraph.generators import matching, matching_dual_pair
+from repro.hypergraph.dfs_enumeration import dfs_enumeration_stats
+from repro.hypergraph.transversal import berge_peak_intermediate
+from repro.duality import decide_duality
+from repro.duality.logspace import (
+    descriptor_bits,
+    instance_size,
+    model_space_bits,
+)
+
+
+def main() -> None:
+    print("space/time spectrum on the matching family M_k")
+    print("(the classical hard family for dualization algorithms)\n")
+
+    header = (
+        f"{'k':>2}  {'|tr|':>5}  {'Berge peak (sets)':>18}  "
+        f"{'DFS peak (verts)':>17}  {'DFS nodes':>9}  "
+        f"{'logspace bits':>13}  {'log2^2(n)':>9}"
+    )
+    print(header)
+    for k in (3, 4, 5, 6, 7):
+        g = matching(k)
+        berge_peak = berge_peak_intermediate(g)
+        dfs = dfs_enumeration_stats(g)
+        g_side, h_side = matching_dual_pair(k)
+        gg, hh = (
+            (h_side, g_side)
+            if len(h_side) > len(g_side)
+            else (g_side, h_side)
+        )
+        bits = model_space_bits(gg, hh)
+        n = instance_size(gg, hh)
+        print(
+            f"{k:>2}  {2 ** k:>5}  {berge_peak:>18}  "
+            f"{dfs.peak_partial:>17}  {dfs.nodes:>9}  "
+            f"{bits:>13}  {math.log2(n) ** 2:>9.1f}"
+        )
+
+    print(
+        "\nreading the table:"
+        "\n  * Berge's working set grows with the output (2^k sets);"
+        "\n  * DFS holds ONE partial transversal (k vertices) — "
+        "polynomial space,\n    more visited nodes;"
+        "\n  * the paper's algorithm stores only a path descriptor and "
+        "the Lemma 3.1\n    registers — the metered bits track "
+        "O(log² n), far below both."
+    )
+
+    # The three deciders agree, of course — on a dual and a broken pair.
+    g, h = matching_dual_pair(4)
+    gg, hh = (h, g) if len(h) > len(g) else (g, h)
+    verdicts = {
+        method: decide_duality(gg, hh, method=method).is_dual
+        for method in ("berge", "dfs-enum", "logspace")
+    }
+    print(f"\nagreement on M_4 (dual): {verdicts}")
+    assert all(verdicts.values())
+
+    from repro.hypergraph import Hypergraph
+
+    broken = Hypergraph(list(hh.edges)[:-1], vertices=hh.vertices)
+    verdicts = {
+        method: decide_duality(gg, broken, method=method).is_dual
+        for method in ("berge", "dfs-enum", "logspace")
+    }
+    print(f"agreement on M_4 (one transversal dropped): {verdicts}")
+    assert not any(verdicts.values())
+
+    bits = descriptor_bits(gg, hh)
+    print(
+        f"\na NOT-DUAL certificate is one path descriptor: {bits} bits "
+        f"for this instance\n(Theorem 5.1's guess — the object that makes "
+        "the problem sit in GC(log² n, ·))"
+    )
+
+
+if __name__ == "__main__":
+    main()

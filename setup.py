@@ -1,0 +1,11 @@
+"""Setup shim: lets ``pip install -e .`` work offline via the legacy path.
+
+The environment has no network and no ``wheel`` package, so PEP 517
+editable wheels cannot be built; ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or ``python setup.py develop``) uses this shim
+instead.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""monotone-dual: Gottlob's PODS 2013 quadratic-logspace monotone duality, in Python.
+
+Public surface (stable):
+
+* :mod:`repro.hypergraph` — hypergraphs, minimal transversals, generators.
+* :mod:`repro.dnf` — monotone DNFs and the DNF↔hypergraph bridge.
+* :mod:`repro.duality` — duality deciders: naive, Berge, Fredman–Khachiyan
+  A/B, the Boros–Makino decomposition tree, the paper's quadratic-logspace
+  algorithms (``pathnode``/``decompose``), and the guess-and-check model.
+* :mod:`repro.machine` — bit-metered space-bounded computation substrate
+  (Lemma 3.1 pipeline).
+* :mod:`repro.itemsets` — frequent-itemset borders, MaxFreq–MinInfreq
+  identification (Prop. 1.1), dualize-and-advance enumeration.
+* :mod:`repro.keys` — minimal keys, the additional-key problem
+  (Prop. 1.2), FDs and Armstrong relations.
+* :mod:`repro.coteries` — coteries and non-domination (Prop. 1.3).
+* :mod:`repro.logic` — Horn theories, monotone CNFs, CNF–DNF
+  equivalence as ``Dual``.
+* :mod:`repro.learning` — membership-query exact learning of monotone
+  functions (Section 1, ref [26]).
+* :mod:`repro.diagnosis` — model-based diagnosis: conflicts, Reiter's
+  HS-tree, ``diagnoses = tr(conflicts)`` (refs [41, 24]).
+* :mod:`repro.abduction` — minimal abductive explanations over Horn
+  theories (ref [10]).
+* :mod:`repro.envelopes` — Horn envelopes via hypergraph transversals
+  (refs [33, 19]).
+* :mod:`repro.complexity` — the Figure 1 class lattice and χ(n) bounds.
+"""
+
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.dnf import MonotoneDNF, parse_dnf
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Hypergraph",
+    "MonotoneDNF",
+    "parse_dnf",
+    "transversal_hypergraph",
+    "__version__",
+]

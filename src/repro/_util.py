@@ -1,0 +1,113 @@
+"""Internal helpers shared across the library.
+
+These are deliberately tiny, dependency-free functions.  Everything here
+is private to the library (the module name is underscore-prefixed); the
+public API re-exports nothing from it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from itertools import chain, combinations
+from typing import TypeVar
+
+V = TypeVar("V", bound=Hashable)
+
+
+def sort_key(edge: frozenset) -> tuple:
+    """Canonical sort key for a hyperedge: by size, then lexicographically.
+
+    Vertices may be ints or strings; mixed universes are compared by
+    ``(type-name, repr)`` so ordering is total and deterministic.
+    """
+    return (len(edge), tuple(sorted((type(v).__name__, repr(v)) for v in edge)))
+
+
+def vertex_key(v) -> tuple:
+    """Total deterministic order on vertices of possibly mixed types."""
+    return (type(v).__name__, repr(v))
+
+
+def canonical_edges(edges: Iterable[frozenset]) -> tuple[frozenset, ...]:
+    """Deduplicate and deterministically order a family of edges."""
+    return tuple(sorted(set(edges), key=sort_key))
+
+
+def powerset(universe: Iterable[V]) -> Iterator[frozenset]:
+    """Yield all subsets of ``universe`` as frozensets, smallest first.
+
+    Exponential — reserved for reference implementations and tests on
+    small universes.
+    """
+    items = sorted(set(universe), key=vertex_key)
+    subsets = chain.from_iterable(
+        combinations(items, r) for r in range(len(items) + 1)
+    )
+    for subset in subsets:
+        yield frozenset(subset)
+
+
+def minimize_family(edges: Iterable[frozenset]) -> frozenset[frozenset]:
+    """Return the minimal sets of a family (its antichain of minima).
+
+    ``min(F) = {E in F : no E' in F with E' a proper subset of E}``.
+    Duplicates are collapsed first, so the result is always simple.
+    """
+    unique = sorted(set(edges), key=len)
+    kept: list[frozenset] = []
+    for edge in unique:
+        if not any(other <= edge for other in kept):
+            kept.append(edge)
+    return frozenset(kept)
+
+
+def maximize_family(edges: Iterable[frozenset]) -> frozenset[frozenset]:
+    """Return the maximal sets of a family (dual of :func:`minimize_family`)."""
+    unique = sorted(set(edges), key=len, reverse=True)
+    kept: list[frozenset] = []
+    for edge in unique:
+        if not any(edge <= other for other in kept):
+            kept.append(edge)
+    return frozenset(kept)
+
+
+def is_antichain(edges: Iterable[frozenset]) -> bool:
+    """True iff no edge of the family is contained in another edge."""
+    edge_list = sorted(set(edges), key=len)
+    for i, small in enumerate(edge_list):
+        for big in edge_list[i + 1:]:
+            if small <= big and small != big:
+                return False
+    # Equal-size distinct edges can never contain one another; duplicates
+    # were collapsed by the set() above.
+    return True
+
+
+def bits_needed(value: int) -> int:
+    """Number of bits needed to store a non-negative integer.
+
+    By convention 0 needs 1 bit (a register holding 0 still exists).
+    """
+    if value < 0:
+        raise ValueError("bits_needed is defined for non-negative integers")
+    return max(1, value.bit_length())
+
+
+def int_log2_floor(value: int) -> int:
+    """``floor(log2(value))`` for a positive integer, exactly."""
+    if value <= 0:
+        raise ValueError("int_log2_floor needs a positive integer")
+    return value.bit_length() - 1
+
+
+def format_set(edge: frozenset) -> str:
+    """Human-readable rendering of a hyperedge, deterministic order."""
+    if not edge:
+        return "{}"
+    return "{" + ", ".join(str(v) for v in sorted(edge, key=vertex_key)) + "}"
+
+
+def format_family(edges: Iterable[frozenset]) -> str:
+    """Human-readable rendering of a family of hyperedges."""
+    ordered = canonical_edges(edges)
+    return "{" + ", ".join(format_set(e) for e in ordered) + "}"

@@ -1,0 +1,41 @@
+"""Minimal abductive explanations over Horn theories (paper ref [10]).
+
+Section 1 lists "computing minimal abductive explanations to
+observations" among the ``Dual`` applications.  Given a Horn theory
+``T``, a set of *hypotheses* (abducible atoms) and a query atom, an
+explanation is a hypothesis set whose addition to ``T`` entails the
+query; the interesting ones are the inclusion-minimal explanations.
+
+Structure this package operationalises: for Horn theories,
+*explains-the-query* is a **monotone** predicate of the hypothesis set
+(more facts can only grow the forward-chaining closure), so
+
+* the minimal explanations are the minimal true points of a monotone
+  function — enumerable by the GKMT border learner of
+  :mod:`repro.learning`;
+* the maximal non-explanations are its maximal false points; and
+* *"is this list of explanations complete?"* is a ``Dual`` instance,
+  checkable by any engine including the paper's quadratic-logspace one.
+"""
+
+from repro.abduction.explanations import (
+    AbductionProblem,
+    is_explanation,
+    maximal_non_explanations,
+    minimal_explanations,
+    minimal_explanations_brute_force,
+    necessary_hypotheses,
+    relevant_hypotheses,
+    verify_explanation_completeness,
+)
+
+__all__ = [
+    "AbductionProblem",
+    "is_explanation",
+    "maximal_non_explanations",
+    "minimal_explanations",
+    "minimal_explanations_brute_force",
+    "necessary_hypotheses",
+    "relevant_hypotheses",
+    "verify_explanation_completeness",
+]

@@ -1,0 +1,215 @@
+"""Abduction on Horn theories: problems, explanations, and the Dual link.
+
+Definitions (Eiter–Makino [10], specialised to atomic queries over Horn
+theories):
+
+* an *abduction problem* is ``(T, A, q)`` — a Horn theory ``T``, a set
+  ``A`` of hypothesis atoms, and a query atom ``q``;
+* ``E ⊆ A`` is an **explanation** iff ``T ∪ E ⊨ q`` and ``T ∪ E`` is
+  consistent (the consistency requirement only bites when ``T`` has
+  negative clauses);
+* the solutions of interest are the ⊆-minimal explanations.
+
+For *definite* ``T``, entailment is forward chaining, and
+``E ↦ [T ∪ E ⊨ q]`` is monotone, so the minimal explanations are a
+monotone function's minimal true points.  With negative clauses the
+consistency side-condition can break monotonicity (a superset of an
+explanation may turn inconsistent), so the learner route requires a
+definite theory — callers with constraints get the brute-force route
+and a documented exception otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro._util import minimize_family, maximize_family, powerset, vertex_key
+from repro.errors import InvalidInstanceError, VertexError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.operations import complement_family
+from repro.duality.engine import DEFAULT_METHOD, decide_duality
+from repro.duality.result import DualityResult
+from repro.learning.oracle import MembershipOracle
+from repro.learning.exact import learn_monotone_function
+from repro.logic.horn import HornTheory
+
+
+class AbductionProblem:
+    """An atomic-query Horn abduction problem ``(T, A, q)``.
+
+    Parameters
+    ----------
+    theory:
+        The background :class:`~repro.logic.HornTheory`.
+    hypotheses:
+        The abducible atoms ``A`` (must be theory atoms).
+    query:
+        The atom to explain (must be a theory atom).
+    """
+
+    def __init__(
+        self, theory: HornTheory, hypotheses: Iterable, query
+    ) -> None:
+        self.theory = theory
+        self.hypotheses = frozenset(hypotheses)
+        if not self.hypotheses <= theory.atoms:
+            extra = sorted(self.hypotheses - theory.atoms, key=vertex_key)
+            raise VertexError(f"hypotheses outside the theory atoms: {extra}")
+        if query not in theory.atoms:
+            raise VertexError(f"query {query!r} is not a theory atom")
+        self.query = query
+
+    def explains(self, hypothesis_set: Iterable) -> bool:
+        """Is ``T ∪ E`` consistent and entailing the query?"""
+        e = frozenset(hypothesis_set)
+        if not e <= self.hypotheses:
+            extra = sorted(e - self.hypotheses, key=vertex_key)
+            raise VertexError(f"not hypothesis atoms: {extra}")
+        if not self.theory.closure_consistent(e):
+            return False
+        return self.theory.entails_atom(e, self.query)
+
+    def require_definite(self) -> "AbductionProblem":
+        """Raise unless the theory is definite (the monotone case)."""
+        if not self.theory.is_definite():
+            raise InvalidInstanceError(
+                "the learner route needs a definite Horn theory "
+                "(negative clauses can break monotonicity); "
+                "use minimal_explanations_brute_force"
+            )
+        return self
+
+    def oracle(self) -> MembershipOracle:
+        """The monotone membership oracle ``f(E) = [E explains q]``.
+
+        Only available for definite theories, where monotonicity is a
+        theorem (forward chaining grows with the fact set).
+        """
+        self.require_definite()
+        return MembershipOracle(
+            self.explains, self.hypotheses, name=f"explains({self.query})"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AbductionProblem(query={self.query!r}, "
+            f"|A|={len(self.hypotheses)}, theory={self.theory!r})"
+        )
+
+
+def is_explanation(problem: AbductionProblem, hypothesis_set: Iterable) -> bool:
+    """Is the set an explanation (not necessarily minimal)?"""
+    return problem.explains(hypothesis_set)
+
+
+def minimal_explanations(
+    problem: AbductionProblem, method: str = DEFAULT_METHOD
+) -> Hypergraph:
+    """All minimal explanations, via the monotone-border learner.
+
+    ``method`` selects the duality engine behind the learner's
+    completeness checks.  Requires a definite theory (see
+    :meth:`AbductionProblem.oracle`).
+    """
+    learned = learn_monotone_function(problem.oracle(), method=method)
+    return learned.minimal_true_points
+
+
+def maximal_non_explanations(
+    problem: AbductionProblem, method: str = DEFAULT_METHOD
+) -> Hypergraph:
+    """The maximal hypothesis sets that do *not* explain the query."""
+    learned = learn_monotone_function(problem.oracle(), method=method)
+    return learned.maximal_false_points
+
+
+def minimal_explanations_brute_force(problem: AbductionProblem) -> Hypergraph:
+    """Exponential reference enumeration (works for any Horn theory)."""
+    explanations = [
+        e for e in powerset(problem.hypotheses) if problem.explains(e)
+    ]
+    return Hypergraph(
+        minimize_family(explanations), vertices=problem.hypotheses
+    )
+
+
+def maximal_non_explanations_brute_force(
+    problem: AbductionProblem,
+) -> Hypergraph:
+    """Exponential reference for the false side of the border."""
+    non_explanations = [
+        e for e in powerset(problem.hypotheses) if not problem.explains(e)
+    ]
+    return Hypergraph(
+        maximize_family(non_explanations), vertices=problem.hypotheses
+    )
+
+
+def necessary_hypotheses(explanations: Hypergraph) -> frozenset:
+    """Hypotheses contained in *every* minimal explanation."""
+    edges = explanations.edges
+    if not edges:
+        return frozenset()
+    common = set(edges[0])
+    for e in edges[1:]:
+        common &= e
+    return frozenset(common)
+
+
+def relevant_hypotheses(explanations: Hypergraph) -> frozenset:
+    """Hypotheses contained in *some* minimal explanation."""
+    out: set = set()
+    for e in explanations.edges:
+        out |= e
+    return frozenset(out)
+
+
+def verify_explanation_completeness(
+    problem: AbductionProblem,
+    claimed_explanations: Hypergraph,
+    claimed_non_explanations: Hypergraph,
+    method: str = DEFAULT_METHOD,
+    validate: bool = True,
+) -> DualityResult:
+    """Are the claimed explanation borders complete?  A ``Dual`` instance.
+
+    Given claimed minimal explanations ``E`` and claimed maximal
+    non-explanations ``N``, completeness is ``E = tr(Nᶜ)`` (the border
+    identity of monotone functions — the same shape as the paper's
+    Prop. 1.1 for itemset borders).  With ``validate=True`` each claimed
+    set is first checked genuine against the theory (raising
+    :class:`~repro.errors.InvalidInstanceError` otherwise).
+    """
+    universe = problem.hypotheses
+    if validate:
+        for e in claimed_explanations.edges:
+            if not problem.explains(e):
+                raise InvalidInstanceError(
+                    f"claimed explanation {sorted(e, key=vertex_key)} "
+                    "does not explain the query"
+                )
+            if any(
+                problem.explains(e - {a}) for a in e
+            ):
+                raise InvalidInstanceError(
+                    f"claimed explanation {sorted(e, key=vertex_key)} "
+                    "is not minimal"
+                )
+        for n in claimed_non_explanations.edges:
+            if problem.explains(n):
+                raise InvalidInstanceError(
+                    f"claimed non-explanation {sorted(n, key=vertex_key)} "
+                    "explains the query"
+                )
+            if any(
+                not problem.explains(n | {a}) for a in universe - n
+            ):
+                raise InvalidInstanceError(
+                    f"claimed non-explanation {sorted(n, key=vertex_key)} "
+                    "is not maximal"
+                )
+    g = complement_family(
+        claimed_non_explanations.with_vertices(universe)
+    )
+    h = claimed_explanations.with_vertices(universe)
+    return decide_duality(g, h, method=method)

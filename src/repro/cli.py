@@ -1,0 +1,450 @@
+"""Command-line interface: ``monotone-dual`` / ``python -m repro``.
+
+Subcommands::
+
+    dual       decide duality of two hypergraph files (.hg)
+    tr         print the minimal transversals of a hypergraph file
+    tree       print the Boros–Makino decomposition tree
+    pathnode   resolve one path descriptor (Lemma 4.2)
+    borders    mine itemset borders from a transaction file
+    keys       list the minimal keys of a CSV relation
+    coterie    check a quorum file for the coterie axioms and domination
+    classify   tractability classification of a hypergraph (paper §6)
+    rules      association rules from the frequent itemsets
+    selfdual   check tr(H) = H (the coterie-core self-duality test)
+    learn      learn a monotone function with membership queries (ref [26])
+    diagnose   model-based circuit diagnosis (refs [41, 24])
+    abduce     minimal abductive explanations over a Horn theory (ref [10])
+    envelope   Horn envelope of a model list (refs [33, 19])
+    figure1    print the regenerated Figure 1
+    chi        print χ(n) and the FK bound exponent
+
+All subcommands read the plain-text formats of
+:mod:`repro.hypergraph.io` and :mod:`repro.itemsets.io` and print
+human-readable reports to stdout; exit status is 0 for "yes"-style
+answers (dual / non-dominated / complete) and 1 otherwise, so the tool
+scripts cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from repro._util import format_set, vertex_key
+from repro.hypergraph import io as hgio
+from repro.hypergraph import transversal_hypergraph
+
+
+def _print_family(title: str, edges) -> None:
+    print(f"{title} ({len(tuple(edges))} sets):")
+    for edge in edges:
+        print(f"  {format_set(edge)}")
+
+
+def _cmd_dual(args: argparse.Namespace) -> int:
+    from repro.duality import decide_duality, explain
+
+    g = hgio.load(args.g)
+    h = hgio.load(args.h)
+    result = decide_duality(g, h, method=args.method)
+    print(explain(g, h, result))
+    if not result.is_dual and result.certificate.path is not None:
+        print(f"certificate path descriptor: {list(result.certificate.path)}")
+    return 0 if result.is_dual else 1
+
+
+def _cmd_tr(args: argparse.Namespace) -> int:
+    g = hgio.load(args.g)
+    tr = transversal_hypergraph(g)
+    _print_family("tr(G)", tr.edges)
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    from repro.duality.boros_makino import tree_for
+    from repro.duality.tree import Mark
+
+    g = hgio.load(args.g)
+    h = hgio.load(args.h)
+    if len(h) > len(g):
+        g, h = h, g
+        print("(sides swapped to satisfy |H| <= |G|)")
+    tree = tree_for(g, h)
+    print(
+        f"T(G,H): {tree.node_count()} nodes, depth {tree.depth()}, "
+        f"max branching {tree.max_branching()}"
+    )
+    for node in tree.nodes():
+        attrs = node.attrs
+        indent = "  " * attrs.depth
+        mark = attrs.mark.value
+        extra = (
+            f"  t={format_set(attrs.witness)}" if attrs.mark is Mark.FAIL else ""
+        )
+        print(
+            f"{indent}{list(attrs.label)} |S|={len(attrs.scope)} [{mark}]{extra}"
+        )
+    return 0 if tree.all_done() else 1
+
+
+def _cmd_pathnode(args: argparse.Namespace) -> int:
+    from repro.duality.logspace import pathnode
+
+    g = hgio.load(args.g)
+    h = hgio.load(args.h)
+    if len(h) > len(g):
+        g, h = h, g
+    pi = tuple(int(x) for x in args.descriptor.split(",")) if args.descriptor else ()
+    attrs = pathnode(g, h, pi)
+    if attrs is None:
+        print("wrongpath")
+        return 1
+    print(f"label: {list(attrs.label)}")
+    print(f"scope: {format_set(attrs.scope)}")
+    print(f"mark:  {attrs.mark.value}")
+    print(f"t:     {format_set(attrs.witness)}")
+    return 0
+
+
+def _cmd_borders(args: argparse.Namespace) -> int:
+    from repro.itemsets import enumerate_borders
+    from repro.itemsets import io as txio
+
+    relation = txio.load(args.transactions)
+    is_plus, is_minus, trace = enumerate_borders(
+        relation, args.threshold, method=args.method
+    )
+    _print_family("maximal frequent itemsets IS+", is_plus.edges)
+    _print_family("minimal infrequent itemsets IS-", is_minus.edges)
+    print(f"(dualize-and-advance steps: {trace.additions()})")
+    return 0
+
+
+def _cmd_keys(args: argparse.Namespace) -> int:
+    from repro.keys import RelationalInstance, minimal_keys
+
+    with open(args.csv, newline="", encoding="utf-8") as handle:
+        rows = list(csv.DictReader(handle))
+    if not rows:
+        print("empty relation", file=sys.stderr)
+        return 1
+    instance = RelationalInstance(rows)
+    keys = minimal_keys(instance)
+    _print_family("minimal keys", keys.edges)
+    return 0
+
+
+def _cmd_coterie(args: argparse.Namespace) -> int:
+    from repro.errors import NotACoterieError
+    from repro.coteries import Coterie, dominating_coterie
+
+    hg = hgio.load(args.quorums)
+    try:
+        coterie = Coterie(hg.edges, universe=hg.vertices)
+    except NotACoterieError as exc:
+        print(f"not a coterie: {exc}")
+        return 1
+    nd = coterie.is_nondominated(method=args.method)
+    print(f"coterie with {len(coterie)} quorums: ", end="")
+    if nd:
+        print("non-dominated (tr(H) = H)")
+        return 0
+    print("DOMINATED")
+    dom = dominating_coterie(coterie, method=args.method)
+    if dom is not None:
+        _print_family("a dominating coterie", dom.quorums)
+    return 1
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.hypergraph.structure import tractability_report
+
+    hg = hgio.load(args.g)
+    report = tractability_report(hg)
+    print(f"alpha-acyclic:      {report.alpha_acyclic}")
+    print(f"conformal:          {report.conformal}")
+    print(f"primal degeneracy:  {report.degeneracy}")
+    print(f"rank (max |E|):     {report.rank}")
+    print(f"verdict:            {report.verdict}")
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    from repro.itemsets import io as txio
+    from repro.itemsets.rules import mine_rules
+
+    relation = txio.load(args.transactions)
+    rules = mine_rules(
+        relation, args.threshold, min_confidence=args.min_confidence
+    )
+    print(f"{len(rules)} association rules (confidence >= {args.min_confidence}):")
+    for rule in rules:
+        print(f"  {rule}")
+    return 0
+
+
+def _cmd_selfdual(args: argparse.Namespace) -> int:
+    from repro.duality.self_duality import is_self_dual_hypergraph
+
+    hg = hgio.load(args.g)
+    if is_self_dual_hypergraph(hg, method=args.method):
+        print(f"self-dual: tr(H) = H ({len(hg)} edges)")
+        return 0
+    print("NOT self-dual (tr(H) ≠ H)")
+    return 1
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    from repro.dnf import parse_dnf
+    from repro.learning import MembershipOracle, learn_monotone_function
+
+    dnf = parse_dnf(args.dnf)
+    oracle = MembershipOracle.from_dnf(dnf)
+    learned = learn_monotone_function(oracle, method=args.method)
+    _print_family("minimal true points (the DNF)", learned.minimal_true_points.edges)
+    _print_family("maximal false points", learned.maximal_false_points.edges)
+    print(f"learned CNF: {learned.cnf().to_text()}")
+    print(
+        f"(membership queries: {learned.queries}, "
+        f"duality checks: {learned.duality_checks})"
+    )
+    return 0
+
+
+def _parse_signal_list(text: str) -> dict[str, bool]:
+    values: dict[str, bool] = {}
+    for chunk in text.split(","):
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise SystemExit(f"expected name=0/1 pairs, got {chunk!r}")
+        name, bit = chunk.split("=", 1)
+        values[name.strip()] = bit.strip() not in ("0", "false", "False")
+    return values
+
+
+_CIRCUITS = {
+    "full-adder": "full_adder",
+    "comparator": "one_bit_comparator",
+    "two-bit-adder": "two_bit_adder",
+}
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro import diagnosis
+
+    circuit = getattr(diagnosis, _CIRCUITS[args.circuit])()
+    inputs = _parse_signal_list(args.inputs)
+    if args.observe:
+        observed = _parse_signal_list(args.observe)
+        problem = diagnosis.CircuitDiagnosisProblem(circuit, inputs, observed)
+    else:
+        faults = _parse_signal_list(args.fault)
+        problem = diagnosis.CircuitDiagnosisProblem.observe_fault(
+            circuit, inputs, faults
+        )
+        print(f"simulated observation: {problem.observed_outputs}")
+    if not problem.is_faulty_observation():
+        print("observation is consistent: nothing to diagnose")
+        return 0
+    conflicts = diagnosis.minimal_conflicts(problem)
+    _print_family("minimal conflict sets", conflicts.edges)
+    diagnoses = diagnosis.minimal_diagnoses(problem, method="hstree")
+    _print_family("minimal diagnoses", diagnoses.edges)
+    check = diagnosis.verify_diagnosis_completeness(
+        conflicts, diagnoses, method=args.method
+    )
+    print(f"completeness re-checked by Dual engine {args.method!r}: {check.is_dual}")
+    return 0
+
+
+def _cmd_abduce(args: argparse.Namespace) -> int:
+    from repro.abduction import (
+        AbductionProblem,
+        minimal_explanations,
+        necessary_hypotheses,
+        relevant_hypotheses,
+    )
+    from repro.logic import parser as hornio
+
+    theory = hornio.load(args.theory)
+    hypotheses = args.hypotheses.split(",")
+    problem = AbductionProblem(theory, hypotheses, args.query)
+    explanations = minimal_explanations(problem, method=args.method)
+    _print_family(
+        f"minimal explanations of {args.query!r}", explanations.edges
+    )
+    print(f"necessary: {format_set(necessary_hypotheses(explanations))}")
+    print(f"relevant:  {format_set(relevant_hypotheses(explanations))}")
+    return 0 if len(explanations) else 1
+
+
+def _cmd_envelope(args: argparse.Namespace) -> int:
+    from repro.envelopes import envelope_is_exact, horn_envelope
+    from repro.logic import parser as hornio
+
+    models = []
+    for raw in Path(args.models).read_text(encoding="utf-8").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line == "-":
+            models.append(frozenset())
+        elif line:
+            models.append(frozenset(line.split()))
+    atoms = set().union(*models) if models else set()
+    if args.atoms:
+        atoms |= set(args.atoms.split(","))
+    theory = horn_envelope(models, atoms=atoms)
+    print(hornio.dumps(theory), end="")
+    exact = envelope_is_exact(models, atoms=atoms)
+    print(f"# envelope is {'exact' if exact else 'a strict approximation'}")
+    return 0
+
+
+def _cmd_figure1(_args: argparse.Namespace) -> int:
+    from repro.complexity import figure1_report
+
+    print(figure1_report(), end="")
+    return 0
+
+
+def _cmd_chi(args: argparse.Namespace) -> int:
+    from repro.complexity import chi, fk_time_bound_log, quasi_polynomial_exponent
+
+    n = float(args.n)
+    print(f"chi({args.n}) = {chi(n):.6f}")
+    print(f"FK exponent 4*chi+1 = {quasi_polynomial_exponent(n):.6f}")
+    print(f"log2 of FK bound n^(4chi+1) = {fk_time_bound_log(n):.2f} bits of work")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs generation)."""
+    parser = argparse.ArgumentParser(
+        prog="monotone-dual",
+        description=(
+            "Monotone duality in quadratic logspace (Gottlob, PODS 2013) "
+            "and its database applications."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("dual", help="decide whether H = tr(G)")
+    p.add_argument("g", type=Path, help="G hypergraph file (.hg)")
+    p.add_argument("h", type=Path, help="H hypergraph file (.hg)")
+    p.add_argument("--method", default="bm", help="duality engine (default: bm)")
+    p.set_defaults(fn=_cmd_dual)
+
+    p = sub.add_parser("tr", help="print minimal transversals")
+    p.add_argument("g", type=Path)
+    p.set_defaults(fn=_cmd_tr)
+
+    p = sub.add_parser("tree", help="print the Boros–Makino tree")
+    p.add_argument("g", type=Path)
+    p.add_argument("h", type=Path)
+    p.set_defaults(fn=_cmd_tree)
+
+    p = sub.add_parser("pathnode", help="resolve a path descriptor (Lemma 4.2)")
+    p.add_argument("g", type=Path)
+    p.add_argument("h", type=Path)
+    p.add_argument(
+        "descriptor",
+        nargs="?",
+        default="",
+        help="comma-separated child indices, e.g. '2,1' (empty = root)",
+    )
+    p.set_defaults(fn=_cmd_pathnode)
+
+    p = sub.add_parser("borders", help="mine itemset borders (Prop. 1.1)")
+    p.add_argument("transactions", type=Path, help="transaction file")
+    p.add_argument("threshold", type=int, help="strict threshold z")
+    p.add_argument("--method", default="bm")
+    p.set_defaults(fn=_cmd_borders)
+
+    p = sub.add_parser("keys", help="minimal keys of a CSV relation (Prop. 1.2)")
+    p.add_argument("csv", type=Path)
+    p.set_defaults(fn=_cmd_keys)
+
+    p = sub.add_parser("coterie", help="non-domination check (Prop. 1.3)")
+    p.add_argument("quorums", type=Path, help="quorum file (.hg)")
+    p.add_argument("--method", default="bm")
+    p.set_defaults(fn=_cmd_coterie)
+
+    p = sub.add_parser(
+        "classify", help="tractability classification (paper §6)"
+    )
+    p.add_argument("g", type=Path, help="hypergraph file (.hg)")
+    p.set_defaults(fn=_cmd_classify)
+
+    p = sub.add_parser("rules", help="association rules from frequent itemsets")
+    p.add_argument("transactions", type=Path)
+    p.add_argument("threshold", type=int)
+    p.add_argument("--min-confidence", type=float, default=0.6)
+    p.set_defaults(fn=_cmd_rules)
+
+    p = sub.add_parser("selfdual", help="is tr(H) = H? (coterie core check)")
+    p.add_argument("g", type=Path, help="hypergraph file (.hg)")
+    p.add_argument("--method", default="bm")
+    p.set_defaults(fn=_cmd_selfdual)
+
+    p = sub.add_parser(
+        "learn", help="learn a monotone function with membership queries"
+    )
+    p.add_argument("dnf", help="hidden function as DNF text, e.g. 'a b | c'")
+    p.add_argument("--method", default="bm")
+    p.set_defaults(fn=_cmd_learn)
+
+    p = sub.add_parser("diagnose", help="model-based circuit diagnosis")
+    p.add_argument("circuit", choices=sorted(_CIRCUITS))
+    p.add_argument(
+        "--inputs", required=True, help="primary inputs, e.g. a=1,b=0,cin=0"
+    )
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--observe", help="observed outputs, e.g. x2=0,o1=0")
+    group.add_argument("--fault", help="inject faults, e.g. x1=0")
+    p.add_argument("--method", default="bm")
+    p.set_defaults(fn=_cmd_diagnose)
+
+    p = sub.add_parser(
+        "abduce", help="minimal abductive explanations over a Horn theory"
+    )
+    p.add_argument("theory", type=Path, help="Horn theory file (body -> head)")
+    p.add_argument("query", help="atom to explain")
+    p.add_argument(
+        "--hypotheses", required=True, help="comma-separated abducible atoms"
+    )
+    p.add_argument("--method", default="bm")
+    p.set_defaults(fn=_cmd_abduce)
+
+    p = sub.add_parser(
+        "envelope", help="Horn envelope of a model list (KPS construction)"
+    )
+    p.add_argument(
+        "models",
+        type=Path,
+        help="file with one model per line ('-' = empty model)",
+    )
+    p.add_argument("--atoms", default="", help="extra atoms, comma-separated")
+    p.set_defaults(fn=_cmd_envelope)
+
+    p = sub.add_parser("figure1", help="regenerate Figure 1")
+    p.set_defaults(fn=_cmd_figure1)
+
+    p = sub.add_parser("chi", help="print chi(n) and the FK bound")
+    p.add_argument("n", type=float)
+    p.set_defaults(fn=_cmd_chi)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Complexity-theoretic artefacts: Figure 1's lattice and the χ(n) bounds."""
+
+from repro.complexity.bounds import (
+    chi,
+    chi_asymptotic,
+    chi_table,
+    fk_time_bound,
+    fk_time_bound_log,
+    guess_bits_bound,
+    quadratic_logspace_bits,
+    quasi_polynomial_exponent,
+)
+from repro.complexity.classes import (
+    CLASSES,
+    INCLUSIONS,
+    ClassLattice,
+    ComplexityClass,
+    Inclusion,
+    default_lattice,
+)
+from repro.complexity.figure1 import (
+    figure1_dual_annotations,
+    figure1_edge_table,
+    figure1_report,
+    render_figure1,
+)
+
+__all__ = [
+    "CLASSES",
+    "INCLUSIONS",
+    "ClassLattice",
+    "ComplexityClass",
+    "Inclusion",
+    "chi",
+    "chi_asymptotic",
+    "chi_table",
+    "default_lattice",
+    "figure1_dual_annotations",
+    "figure1_edge_table",
+    "figure1_report",
+    "fk_time_bound",
+    "fk_time_bound_log",
+    "guess_bits_bound",
+    "quadratic_logspace_bits",
+    "quasi_polynomial_exponent",
+    "render_figure1",
+]

@@ -1,0 +1,255 @@
+"""The complexity-class lattice of Figure 1, as a verified DAG.
+
+Figure 1 of the paper relates the classes around the two new upper
+bounds for ``Dual``.  "Set-inclusion is visualized by ascending lines"
+— this module encodes each drawn line as a directed edge with the
+*reason* it holds (theorem number or standard fact), exposes reachability
+(= derivable inclusion) queries, and records which classes contain
+``Dual``/``co-Dual`` by the paper's results.
+
+Classes (bottom to top of the figure)::
+
+    LOGSPACE
+    GC(log²n, LOGSPACE)              (conjectured home of Dual, §6)
+    GC(log²n, [[LOGSPACE_pol]]^log)  (Theorem 5.1 — the tightest bound)
+    PTIME
+    DSPACE[log²n]                    (Theorem 4.1 / Corollary 4.1)
+    GC(log²n, PTIME) = β₂P           (Eiter–Gottlob–Makino / K–S)
+    NP
+    PSPACE
+
+The DAG is *not* a total order — the figure's whole point is that
+``DSPACE[log²n]`` and ``β₂P`` are most likely incomparable, with the new
+class below both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ComplexityClass:
+    """A named complexity class with its description and role in the paper."""
+
+    key: str
+    display: str
+    description: str
+    contains_dual: bool = False
+    dual_reference: str = ""
+
+
+@dataclass(frozen=True)
+class Inclusion:
+    """A drawn (ascending) line of Figure 1: ``lower ⊆ upper``, with reason."""
+
+    lower: str
+    upper: str
+    reason: str
+
+
+CLASSES: tuple[ComplexityClass, ...] = (
+    ComplexityClass(
+        "LOGSPACE",
+        "LOGSPACE",
+        "deterministic logarithmic space",
+    ),
+    ComplexityClass(
+        "GC_LOG2_LOGSPACE",
+        "GC(log²n, LOGSPACE)",
+        "guess O(log² n) bits, check in logspace",
+        contains_dual=False,
+        dual_reference="conjectured home of Dual (Section 6)",
+    ),
+    ComplexityClass(
+        "GC_LOG2_ITLOGSPACE",
+        "GC(log²n, [[LOGSPACE_pol]]^log)",
+        "guess O(log² n) bits, check by a log-fold self-composition of a "
+        "poly-size-intermediate logspace function followed by a logspace test",
+        contains_dual=True,
+        dual_reference="Theorem 5.1",
+    ),
+    ComplexityClass(
+        "PTIME",
+        "PTIME",
+        "deterministic polynomial time",
+    ),
+    ComplexityClass(
+        "DSPACE_LOG2",
+        "DSPACE[log²n]",
+        "deterministic quadratic logspace",
+        contains_dual=True,
+        dual_reference="Theorem 4.1 / Corollary 4.1",
+    ),
+    ComplexityClass(
+        "BETA2P",
+        "GC(log²n, PTIME) = β₂P",
+        "polynomial time with O(log² n) nondeterministic bits",
+        contains_dual=True,
+        dual_reference="co-Dual ∈ β₂P: Eiter–Gottlob–Makino [9]; "
+        "Kavvadias–Stavropoulos [34]",
+    ),
+    ComplexityClass(
+        "NP",
+        "NP",
+        "nondeterministic polynomial time",
+        contains_dual=True,
+        dual_reference="via β₂P ⊆ NP (co-Dual)",
+    ),
+    ComplexityClass(
+        "PSPACE",
+        "PSPACE",
+        "polynomial space",
+        contains_dual=True,
+        dual_reference="via DSPACE[log²n] ⊆ PSPACE",
+    ),
+)
+
+INCLUSIONS: tuple[Inclusion, ...] = (
+    Inclusion(
+        "LOGSPACE",
+        "GC_LOG2_LOGSPACE",
+        "trivial: guess nothing",
+    ),
+    Inclusion(
+        "GC_LOG2_LOGSPACE",
+        "GC_LOG2_ITLOGSPACE",
+        "LOGSPACE ⊆ [[LOGSPACE_pol]]^log (one composition step)",
+    ),
+    Inclusion(
+        "GC_LOG2_ITLOGSPACE",
+        "DSPACE_LOG2",
+        "Theorem 5.2 (first inclusion): enumerate guesses re-using space; "
+        "Lemma 3.1 bounds the checker",
+    ),
+    Inclusion(
+        "GC_LOG2_ITLOGSPACE",
+        "BETA2P",
+        "Theorem 5.2 (second inclusion): [[LOGSPACE_pol]]^log ⊆ PTIME",
+    ),
+    Inclusion(
+        "LOGSPACE",
+        "PTIME",
+        "standard: DSPACE[log n] ⊆ DTIME[poly]",
+    ),
+    Inclusion(
+        "PTIME",
+        "BETA2P",
+        "trivial: guess nothing",
+    ),
+    Inclusion(
+        "BETA2P",
+        "NP",
+        "O(log² n) guessed bits are polynomially many",
+    ),
+    Inclusion(
+        "NP",
+        "PSPACE",
+        "standard: NP ⊆ PSPACE",
+    ),
+    Inclusion(
+        "DSPACE_LOG2",
+        "PSPACE",
+        "standard: log² n ≤ poly(n) space",
+    ),
+)
+
+
+class ClassLattice:
+    """Reachability structure over the Figure 1 classes.
+
+    ``includes(a, b)`` answers "is ``a ⊆ b`` derivable from the drawn
+    lines?" via transitive closure.  The lattice also knows which nodes
+    the paper places ``Dual`` in, so experiments can re-derive the
+    figure's annotations.
+    """
+
+    def __init__(
+        self,
+        classes: tuple[ComplexityClass, ...] = CLASSES,
+        inclusions: tuple[Inclusion, ...] = INCLUSIONS,
+    ) -> None:
+        self.classes = {c.key: c for c in classes}
+        self.inclusions = tuple(inclusions)
+        for inc in self.inclusions:
+            if inc.lower not in self.classes or inc.upper not in self.classes:
+                raise ValueError(f"inclusion {inc} mentions unknown class")
+        self._successors: dict[str, set[str]] = {k: set() for k in self.classes}
+        for inc in self.inclusions:
+            self._successors[inc.lower].add(inc.upper)
+
+    def reachable_from(self, key: str) -> set[str]:
+        """All classes derivably containing ``key`` (excluding itself)."""
+        seen: set[str] = set()
+        frontier = [key]
+        while frontier:
+            node = frontier.pop()
+            for succ in self._successors[node]:
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return seen
+
+    def includes(self, lower: str, upper: str) -> bool:
+        """Is ``lower ⊆ upper`` derivable (reflexively) from the figure?"""
+        if lower == upper:
+            return True
+        return upper in self.reachable_from(lower)
+
+    def incomparable(self, a: str, b: str) -> bool:
+        """Neither inclusion derivable — the figure's open separations."""
+        return not self.includes(a, b) and not self.includes(b, a)
+
+    def is_dag(self) -> bool:
+        """No derivable cycle (classes drawn at distinct levels)."""
+        return all(key not in self.reachable_from(key) for key in self.classes)
+
+    def minimal_classes_containing_dual(self) -> list[str]:
+        """The tightest figure classes containing ``Dual``.
+
+        A dual-containing class none of whose derivable subclasses also
+        contains ``Dual`` — for the paper's figure, exactly the new
+        ``GC(log²n, [[LOGSPACE_pol]]^log)`` bound.
+        """
+        holders = [k for k, c in self.classes.items() if c.contains_dual]
+        return [
+            k
+            for k in holders
+            if not any(
+                other != k and self.includes(other, k) for other in holders
+            )
+        ]
+
+    def upper_bound_frontier(self) -> dict[str, list[str]]:
+        """For each dual-containing class, its immediate figure parents."""
+        return {
+            inc.lower: sorted(
+                i.upper for i in self.inclusions if i.lower == inc.lower
+            )
+            for inc in self.inclusions
+            if self.classes[inc.lower].contains_dual
+        }
+
+    def topological_order(self) -> list[str]:
+        """Bottom-up order consistent with all inclusions."""
+        indegree = {k: 0 for k in self.classes}
+        for inc in self.inclusions:
+            indegree[inc.upper] += 1
+        ready = sorted(k for k, d in indegree.items() if d == 0)
+        order: list[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for succ in sorted(self._successors[node]):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+            ready.sort()
+        if len(order) != len(self.classes):
+            raise ValueError("inclusion structure has a cycle")
+        return order
+
+
+def default_lattice() -> ClassLattice:
+    """The Figure 1 lattice."""
+    return ClassLattice()

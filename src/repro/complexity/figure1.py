@@ -1,0 +1,108 @@
+"""Renderer that regenerates Figure 1 from the verified lattice.
+
+The output is a fixed-layout text diagram matching the paper's figure —
+ascending lines are inclusions — derived from
+:mod:`repro.complexity.classes`, plus a tabular form listing every edge
+with its justification.  Experiment E1 asserts the rendered structure
+and the lattice's reachability agree with the paper's reading.
+"""
+
+from __future__ import annotations
+
+from repro.complexity.classes import ClassLattice, default_lattice
+
+_DIAGRAM = r"""
+                         PSPACE
+                        /      \
+                      NP        \
+                      |          \
+          GC(log2n,PTIME)=B2P   DSPACE[log2n]
+                      \          /
+         PTIME         \        /
+              \         \      /
+               \   GC(log2n,[[LOGSPACEpol]]log)   <-- Dual (Thm 5.1)
+                \         |
+                 \  GC(log2n,LOGSPACE)            <-- conjecture (Sec. 6)
+                  \       |
+                   LOGSPACE
+"""
+
+
+def render_figure1(lattice: ClassLattice | None = None) -> str:
+    """The Figure 1 diagram with the paper's annotations.
+
+    The drawing is static (layout is aesthetic), but the function
+    verifies it against the lattice before returning: every edge drawn
+    corresponds to a recorded inclusion and vice versa, so the rendering
+    cannot drift from the verified structure.
+    """
+    lattice = lattice or default_lattice()
+    if not lattice.is_dag():
+        raise ValueError("inclusion structure is not acyclic")
+    drawn_edges = {
+        ("LOGSPACE", "GC_LOG2_LOGSPACE"),
+        ("GC_LOG2_LOGSPACE", "GC_LOG2_ITLOGSPACE"),
+        ("GC_LOG2_ITLOGSPACE", "DSPACE_LOG2"),
+        ("GC_LOG2_ITLOGSPACE", "BETA2P"),
+        ("LOGSPACE", "PTIME"),
+        ("PTIME", "BETA2P"),
+        ("BETA2P", "NP"),
+        ("NP", "PSPACE"),
+        ("DSPACE_LOG2", "PSPACE"),
+    }
+    recorded = {(inc.lower, inc.upper) for inc in lattice.inclusions}
+    if drawn_edges != recorded:
+        raise ValueError(
+            "rendered figure out of sync with the verified lattice: "
+            f"missing {recorded - drawn_edges}, extra {drawn_edges - recorded}"
+        )
+    return _DIAGRAM
+
+
+def figure1_edge_table(lattice: ClassLattice | None = None) -> list[dict]:
+    """Every figure edge with display names and its justification."""
+    lattice = lattice or default_lattice()
+    return [
+        {
+            "lower": lattice.classes[inc.lower].display,
+            "upper": lattice.classes[inc.upper].display,
+            "reason": inc.reason,
+        }
+        for inc in lattice.inclusions
+    ]
+
+
+def figure1_dual_annotations(lattice: ClassLattice | None = None) -> list[dict]:
+    """Which classes contain Dual/co-Dual and by which result."""
+    lattice = lattice or default_lattice()
+    return [
+        {
+            "class": c.display,
+            "contains_dual": c.contains_dual,
+            "reference": c.dual_reference,
+        }
+        for c in lattice.classes.values()
+        if c.contains_dual or c.dual_reference
+    ]
+
+
+def figure1_report(lattice: ClassLattice | None = None) -> str:
+    """The full regenerated artefact: diagram + edge table + annotations."""
+    lattice = lattice or default_lattice()
+    lines = [render_figure1(lattice).rstrip(), "", "Inclusions (ascending lines):"]
+    for row in figure1_edge_table(lattice):
+        lines.append(f"  {row['lower']} ⊆ {row['upper']}  — {row['reason']}")
+    lines.append("")
+    lines.append("Dual membership:")
+    for row in figure1_dual_annotations(lattice):
+        marker = "∈" if row["contains_dual"] else "∈? (conjectured)"
+        lines.append(f"  Dual {marker} {row['class']}  — {row['reference']}")
+    lines.append("")
+    lines.append("Key open separations drawn in the figure:")
+    for a, b in (("DSPACE_LOG2", "BETA2P"), ("DSPACE_LOG2", "PTIME")):
+        if lattice.incomparable(a, b):
+            lines.append(
+                f"  {lattice.classes[a].display} vs "
+                f"{lattice.classes[b].display}: incomparable in the figure"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,38 @@
+"""Coteries for quorum-based replication (Prop. 1.3 and refs [16, 30, 35])."""
+
+from repro.coteries.availability import (
+    alive_quorum_exists,
+    availability,
+    availability_by_enumeration,
+    availability_curve,
+)
+from repro.coteries.coterie import (
+    Coterie,
+    dominating_coterie,
+    grid_coterie,
+    is_coterie,
+    majority_coterie,
+    nd_closure,
+    singleton_coterie,
+    tree_coterie,
+    wheel_coterie,
+)
+from repro.coteries.votes import coterie_from_votes, is_vote_definable
+
+__all__ = [
+    "Coterie",
+    "alive_quorum_exists",
+    "availability",
+    "availability_by_enumeration",
+    "availability_curve",
+    "coterie_from_votes",
+    "dominating_coterie",
+    "grid_coterie",
+    "is_coterie",
+    "is_vote_definable",
+    "majority_coterie",
+    "nd_closure",
+    "singleton_coterie",
+    "tree_coterie",
+    "wheel_coterie",
+]

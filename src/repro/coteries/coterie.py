@@ -1,0 +1,286 @@
+"""Coteries and non-domination (paper, Section 1 and Prop. 1.3).
+
+For quorum-based updates in distributed databases [35], a *coterie* over
+a universe ``U`` is a family of pairwise-intersecting, inclusion-minimal
+*quorums* (Garcia-Molina & Barbara [16]; Ibaraki & Kameda [30]).  A
+coterie ``C`` *dominates* ``D`` (``C ≠ D``) if every quorum of ``D``
+contains a quorum of ``C`` — dominated coteries are strictly worse for
+availability, so one wants **non-dominated (ND)** coteries.
+
+Proposition 1.3 ([30, 7]): a coterie ``H`` is non-dominated iff
+``tr(H) = H`` — self-duality, a special case of ``Dual``.  So every
+engine of :mod:`repro.duality` answers the ND question, and on a
+dominated coterie the duality witness converts into an explicit
+*dominating* coterie (:func:`dominating_coterie`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro._util import minimize_family
+from repro.errors import NotACoterieError
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.duality.engine import decide_duality
+from repro.duality.result import DualityResult
+
+
+class Coterie:
+    """An immutable coterie: pairwise-intersecting minimal quorums.
+
+    Construction validates the coterie axioms and raises
+    :class:`repro.errors.NotACoterieError` on violations:
+
+    * at least one quorum, none empty;
+    * every two quorums intersect;
+    * no quorum contains another (minimality within the family).
+    """
+
+    __slots__ = ("_hypergraph",)
+
+    def __init__(
+        self, quorums: Iterable[Iterable], universe: Iterable | None = None
+    ) -> None:
+        hg = Hypergraph(quorums, vertices=universe)
+        if len(hg) == 0:
+            raise NotACoterieError("a coterie needs at least one quorum")
+        if hg.is_trivial_true():
+            raise NotACoterieError("quorums must be nonempty")
+        if not hg.is_simple():
+            raise NotACoterieError("quorums must form an antichain")
+        for i, q1 in enumerate(hg.edges):
+            for q2 in hg.edges[i + 1:]:
+                if not q1 & q2:
+                    raise NotACoterieError(
+                        f"quorums {sorted(map(str, q1))} and "
+                        f"{sorted(map(str, q2))} do not intersect"
+                    )
+        self._hypergraph = hg
+
+    @property
+    def quorums(self) -> tuple[frozenset, ...]:
+        """The quorums, canonically ordered."""
+        return self._hypergraph.edges
+
+    @property
+    def universe(self) -> frozenset:
+        """The process/site universe."""
+        return self._hypergraph.vertices
+
+    def hypergraph(self) -> Hypergraph:
+        """The underlying hypergraph (for the duality machinery)."""
+        return self._hypergraph
+
+    def __len__(self) -> int:
+        return len(self._hypergraph)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Coterie):
+            return NotImplemented
+        return self._hypergraph == other._hypergraph
+
+    def __hash__(self) -> int:
+        return hash(("Coterie", self._hypergraph))
+
+    def __repr__(self) -> str:
+        return f"Coterie({len(self)} quorums over {len(self.universe)} sites)"
+
+    # ------------------------------------------------------------------
+    # Domination
+    # ------------------------------------------------------------------
+
+    def dominates(self, other: "Coterie") -> bool:
+        """Garcia-Molina–Barbara domination: ``self ≠ other`` and every
+        quorum of ``other`` contains a quorum of ``self``."""
+        if self == other:
+            return False
+        mine = self.quorums
+        return all(
+            any(q_mine <= q_other for q_mine in mine)
+            for q_other in other.quorums
+        )
+
+    def is_dominated_brute_force(self) -> bool:
+        """Domination by exhaustive search over candidate coteries.
+
+        Tests-only reference: scans all antichains of subsets (doubly
+        exponential) on small universes.
+        """
+        from itertools import combinations
+
+        from repro._util import powerset
+
+        subsets = [s for s in powerset(self.universe) if s]
+        candidates: list[list[frozenset]] = []
+        for r in range(1, len(subsets) + 1):
+            if r > 4:  # antichain width cap keeps this tractable in tests
+                break
+            candidates.extend(list(c) for c in combinations(subsets, r))
+        for family in candidates:
+            try:
+                other = Coterie(family, universe=self.universe)
+            except NotACoterieError:
+                continue
+            if other.dominates(self):
+                return True
+        return False
+
+    def is_nondominated(self, method: str = "bm") -> bool:
+        """Proposition 1.3: non-dominated ⟺ ``tr(H) = H`` (self-duality)."""
+        return self.self_duality_result(method=method).is_dual
+
+    def self_duality_result(self, method: str = "bm") -> DualityResult:
+        """The underlying ``Dual`` run for the ND test (for experiments)."""
+        hg = self._hypergraph
+        return decide_duality(hg, hg, method=method)
+
+
+def dominating_coterie(coterie: Coterie, method: str = "bm") -> Coterie | None:
+    """A coterie strictly dominating the given one, or ``None`` if ND.
+
+    From the Prop. 1.3 refutation: if ``tr(H) ≠ H``, a new transversal
+    ``t`` of ``H`` w.r.t. ``H`` exists; ``min(H ∪ {t'})`` for the
+    minimised ``t' ⊆ t`` is a coterie dominating ``H`` (every old quorum
+    still contains some quorum; ``t'`` intersects all old quorums by
+    transversality and equals none).
+    """
+    result = coterie.self_duality_result(method=method)
+    if result.is_dual:
+        return None
+    hg = coterie.hypergraph()
+    witness = result.certificate.witness
+    from repro.hypergraph.transversal import (
+        is_new_transversal,
+        minimalize_transversal,
+    )
+
+    if witness is None or not is_new_transversal(witness, hg, hg):
+        exact = transversal_hypergraph(hg)
+        extras = [t for t in exact.edges if t not in set(hg.edges)]
+        if not extras:
+            return None
+        witness = extras[0]
+    new_quorum = minimalize_transversal(witness, hg)
+    merged = minimize_family(tuple(hg.edges) + (new_quorum,))
+    return Coterie(merged, universe=coterie.universe)
+
+
+def nd_closure(
+    coterie: Coterie, method: str = "bm", max_rounds: int = 1_000
+) -> tuple[Coterie, int]:
+    """Iterate domination repair until a non-dominated coterie is reached.
+
+    The transversal-merge idea of Harada–Yamashita [28]: repeatedly add
+    a (minimised) new transversal as a quorum and re-minimise.  Each
+    round strictly improves the coterie in the domination order, and
+    every coterie is dominated by some ND coterie, so the loop
+    terminates.  Returns the ND coterie and the number of rounds taken
+    (0 when the input was already ND).
+    """
+    current = coterie
+    for rounds in range(max_rounds):
+        better = dominating_coterie(current, method=method)
+        if better is None:
+            return current, rounds
+        current = better
+    raise RuntimeError(
+        f"nd_closure did not converge within {max_rounds} rounds"
+    )
+
+
+def is_coterie(quorums: Iterable[Iterable], universe: Iterable | None = None) -> bool:
+    """Non-raising coterie-axioms check."""
+    try:
+        Coterie(quorums, universe=universe)
+    except NotACoterieError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Standard constructions
+# ---------------------------------------------------------------------------
+
+def majority_coterie(n: int) -> Coterie:
+    """Majorities of ``n`` sites (``n`` odd ⟹ non-dominated)."""
+    if n < 1 or n % 2 == 0:
+        raise NotACoterieError("majority coterie needs an odd universe")
+    from itertools import combinations
+
+    k = (n + 1) // 2
+    return Coterie(
+        (frozenset(c) for c in combinations(range(n), k)), universe=range(n)
+    )
+
+
+def singleton_coterie(n: int, leader: int = 0) -> Coterie:
+    """The primary-site coterie ``{{leader}}`` (non-dominated)."""
+    if not 0 <= leader < n:
+        raise NotACoterieError("leader outside the universe")
+    return Coterie([{leader}], universe=range(n))
+
+
+def wheel_coterie(n: int) -> Coterie:
+    """The wheel: hub plus one spoke, or all the rim (ND for n ≥ 4).
+
+    Quorums: ``{hub, r}`` for each rim site ``r``, and the full rim.
+    Hub = site 0, rim = 1..n−1.
+    """
+    if n < 3:
+        raise NotACoterieError("a wheel needs at least 3 sites")
+    rim = list(range(1, n))
+    quorums: list[frozenset] = [frozenset({0, r}) for r in rim]
+    quorums.append(frozenset(rim))
+    return Coterie(quorums, universe=range(n))
+
+
+def grid_coterie(rows: int, cols: int) -> Coterie:
+    """Row-column grid quorums: one full row plus one site from each row.
+
+    Quorum = a full row ∪ a representative from every other row, reduced
+    to the standard "one row + one column crossing" scheme — dominated
+    in general (the classical example of a non-ND construction).
+    Sites are ``(r, c)`` pairs.
+    """
+    if rows < 1 or cols < 1:
+        raise NotACoterieError("grid needs positive dimensions")
+    sites = [(r, c) for r in range(rows) for c in range(cols)]
+    quorums = []
+    from itertools import product
+
+    for r in range(rows):
+        row_sites = frozenset((r, c) for c in range(cols))
+        for reps in product(*(range(cols) for _ in range(rows))):
+            quorum = row_sites | frozenset(
+                (r2, reps[r2]) for r2 in range(rows)
+            )
+            quorums.append(quorum)
+    return Coterie(minimize_family(quorums), universe=sites)
+
+
+def tree_coterie(depth: int) -> Coterie:
+    """Agrawal–El Abbadi style binary-tree quorums (small depths).
+
+    A quorum is a root-to-leaf path's worth of coverage: recursively,
+    a quorum of a tree is the root plus a quorum of one child subtree,
+    or quorums of both child subtrees.  Depth 1 = single root.
+    """
+    if depth < 1:
+        raise NotACoterieError("depth must be >= 1")
+
+    counter = [0]
+
+    def build(d: int) -> tuple[int, list[frozenset]]:
+        node = counter[0]
+        counter[0] += 1
+        if d == 1:
+            return node, [frozenset({node})]
+        _, left = build(d - 1)
+        _, right = build(d - 1)
+        quorums = [frozenset({node}) | q for q in left]
+        quorums += [frozenset({node}) | q for q in right]
+        quorums += [ql | qr for ql in left for qr in right]
+        return node, list(minimize_family(quorums))
+
+    _, quorums = build(depth)
+    return Coterie(minimize_family(quorums), universe=range(counter[0]))

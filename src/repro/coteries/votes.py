@@ -1,0 +1,79 @@
+"""Vote assignments: the weighted-majority route to coteries.
+
+Garcia-Molina & Barbara [16] introduced *vote assignments* as a compact
+way to define quorum systems: give each site a non-negative vote weight,
+fix a total threshold, and let the quorums be the minimal site sets
+whose votes exceed half the total (or an explicit threshold).  Every
+vote assignment yields a coterie, but not every coterie is
+vote-definable — the wheel on ≥ 6 sites is the standard counterexample
+family; :func:`is_vote_definable` searches small integer assignments so
+tests can exhibit both sides.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from itertools import product
+
+from repro._util import minimize_family, powerset, vertex_key
+from repro.errors import NotACoterieError
+from repro.coteries.coterie import Coterie
+
+
+def coterie_from_votes(
+    votes: Mapping, threshold: int | None = None
+) -> Coterie:
+    """The coterie of minimal vote-winning site sets.
+
+    ``threshold`` defaults to strict majority: ``⌊total/2⌋ + 1``.  The
+    quorums are all inclusion-minimal sets with vote sum ≥ threshold.
+    Raises :class:`NotACoterieError` when the threshold is unreachable or
+    permits two disjoint winning sets (then the family is no coterie).
+    """
+    if any(v < 0 for v in votes.values()):
+        raise NotACoterieError("votes must be non-negative")
+    total = sum(votes.values())
+    if threshold is None:
+        threshold = total // 2 + 1
+    if threshold <= 0 or threshold > total:
+        raise NotACoterieError(
+            f"threshold {threshold} unreachable with total vote {total}"
+        )
+    if 2 * threshold <= total:
+        raise NotACoterieError(
+            "threshold permits two disjoint winning sets — not a coterie"
+        )
+    winning = [
+        s
+        for s in powerset(votes.keys())
+        if sum(votes[x] for x in s) >= threshold
+    ]
+    return Coterie(minimize_family(winning), universe=votes.keys())
+
+
+def is_vote_definable(
+    coterie: Coterie, max_vote: int = 3
+) -> tuple[bool, dict | None]:
+    """Search small integer vote assignments defining the given coterie.
+
+    Exhaustive over assignments with per-site votes in ``[0, max_vote]``
+    and all meaningful thresholds — exponential, for test-sized systems
+    only.  Returns ``(found, assignment)`` with the votes dict (plus
+    key ``"threshold"``) when found.
+    """
+    sites = sorted(coterie.universe, key=vertex_key)
+    for combo in product(range(max_vote + 1), repeat=len(sites)):
+        votes = dict(zip(sites, combo))
+        total = sum(combo)
+        if total == 0:
+            continue
+        for threshold in range(total // 2 + 1, total + 1):
+            try:
+                candidate = coterie_from_votes(votes, threshold)
+            except NotACoterieError:
+                continue
+            if candidate == coterie:
+                assignment = dict(votes)
+                assignment["threshold"] = threshold
+                return True, assignment
+    return False, None

@@ -1,0 +1,70 @@
+"""Model-based diagnosis (Reiter [41], Greiner–Smith–Wilkerson [24]).
+
+Section 1 of the paper cites model-based diagnosis as an application of
+hypergraph dualization: the *minimal diagnoses* of a system are exactly
+the minimal hitting sets — i.e. the minimal transversals — of its
+*minimal conflict sets*.  Completeness checking ("are these all the
+diagnoses?") is therefore an instance of ``Dual``.
+
+The package builds the whole stack from scratch:
+
+* :mod:`repro.diagnosis.circuits` — a combinational-circuit substrate
+  (gates, evaluation, fault models) providing concrete diagnosable
+  systems, including Reiter's classic full-adder example;
+* :mod:`repro.diagnosis.system` — the abstract diagnosis problem: a
+  component set plus a consistency oracle (conflict-ness is a monotone
+  predicate, which links diagnosis to :mod:`repro.learning`);
+* :mod:`repro.diagnosis.conflicts` — minimal conflict extraction and
+  enumeration (greedy shrinking, brute force, and border learning);
+* :mod:`repro.diagnosis.hstree` — Reiter's hitting-set tree with the
+  pruning rules, plus the Greiner et al. counterexample showing why
+  non-minimal conflict labels break the original pruning;
+* :mod:`repro.diagnosis.diagnoses` — the user façade: minimal diagnoses
+  by three independent routes, and the ``Dual``-based completeness
+  check.
+"""
+
+from repro.diagnosis.circuits import (
+    Circuit,
+    Gate,
+    full_adder,
+    one_bit_comparator,
+    two_bit_adder,
+)
+from repro.diagnosis.system import (
+    CircuitDiagnosisProblem,
+    DiagnosisProblem,
+    OracleDiagnosisProblem,
+)
+from repro.diagnosis.conflicts import (
+    extract_minimal_conflict,
+    is_conflict,
+    minimal_conflicts,
+    minimal_conflicts_brute_force,
+)
+from repro.diagnosis.hstree import hs_tree_diagnoses, HSTreeStats
+from repro.diagnosis.diagnoses import (
+    conflict_hypergraph,
+    minimal_diagnoses,
+    verify_diagnosis_completeness,
+)
+
+__all__ = [
+    "Circuit",
+    "CircuitDiagnosisProblem",
+    "DiagnosisProblem",
+    "Gate",
+    "HSTreeStats",
+    "OracleDiagnosisProblem",
+    "conflict_hypergraph",
+    "extract_minimal_conflict",
+    "full_adder",
+    "hs_tree_diagnoses",
+    "is_conflict",
+    "minimal_conflicts",
+    "minimal_conflicts_brute_force",
+    "minimal_diagnoses",
+    "one_bit_comparator",
+    "two_bit_adder",
+    "verify_diagnosis_completeness",
+]

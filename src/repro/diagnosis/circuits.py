@@ -1,0 +1,267 @@
+"""Combinational circuits: the concrete systems the diagnosis stack debugs.
+
+Reiter's theory of diagnosis [41] is usually introduced on gate-level
+circuits (his running example is a full adder), so this module provides
+a small, exact circuit substrate:
+
+* a :class:`Gate` computes one Boolean function of named signals;
+* a :class:`Circuit` is a topologically-ordered gate list with declared
+  primary inputs and outputs;
+* the *weak fault model* of classical diagnosis: a faulty gate's output
+  is unconstrained (it may take any value), a healthy gate computes its
+  function.  :meth:`Circuit.consistent` asks whether an observation can
+  be explained with a given set of gates assumed healthy — the
+  consistency oracle that defines conflicts.
+
+Everything is exact: consistency enumerates the ``2^|suspects|``
+assignments of faulty-gate outputs, which is the right tool at the
+experiment scale (≤ a dozen gates) and keeps the semantics transparent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from itertools import product
+
+from repro.errors import InvalidInstanceError, VertexError
+
+
+#: Gate kind → (arity check, evaluation function).
+_GATE_KINDS = {
+    "and": (None, lambda vals: all(vals)),
+    "or": (None, lambda vals: any(vals)),
+    "nand": (None, lambda vals: not all(vals)),
+    "nor": (None, lambda vals: not any(vals)),
+    "xor": (None, lambda vals: (sum(vals) % 2) == 1),
+    "not": (1, lambda vals: not vals[0]),
+    "buf": (1, lambda vals: vals[0]),
+}
+
+
+class Gate:
+    """One logic gate: ``output_name = kind(input_names...)``.
+
+    ``inputs`` name either primary circuit inputs or other gates'
+    outputs.  The gate's own name is its output signal.
+    """
+
+    __slots__ = ("name", "kind", "inputs")
+
+    def __init__(self, name: str, kind: str, inputs: Iterable[str]) -> None:
+        if kind not in _GATE_KINDS:
+            raise InvalidInstanceError(
+                f"unknown gate kind {kind!r}; known: {sorted(_GATE_KINDS)}"
+            )
+        arity, _fn = _GATE_KINDS[kind]
+        ins = tuple(inputs)
+        if arity is not None and len(ins) != arity:
+            raise InvalidInstanceError(
+                f"gate kind {kind!r} takes exactly {arity} input(s), "
+                f"got {len(ins)}"
+            )
+        if arity is None and len(ins) < 1:
+            raise InvalidInstanceError(f"gate {name!r} needs at least one input")
+        self.name = name
+        self.kind = kind
+        self.inputs = ins
+
+    def compute(self, values: Mapping[str, bool]) -> bool:
+        """Evaluate the gate's function on resolved input values."""
+        _arity, fn = _GATE_KINDS[self.kind]
+        return fn([values[i] for i in self.inputs])
+
+    def __repr__(self) -> str:
+        return f"Gate({self.name} = {self.kind}({', '.join(self.inputs)}))"
+
+
+class Circuit:
+    """An acyclic gate network with named primary inputs and outputs.
+
+    Parameters
+    ----------
+    gates:
+        Gate list; referenced signals must be primary inputs or gates
+        appearing anywhere in the list (a topological order is computed).
+    inputs:
+        Primary input signal names.
+    outputs:
+        Observable output signal names (each a gate or input name).
+    """
+
+    def __init__(
+        self,
+        gates: Iterable[Gate],
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+    ) -> None:
+        self.gates: tuple[Gate, ...] = tuple(gates)
+        self.inputs: tuple[str, ...] = tuple(inputs)
+        self.outputs: tuple[str, ...] = tuple(outputs)
+        by_name = {g.name: g for g in self.gates}
+        if len(by_name) != len(self.gates):
+            raise InvalidInstanceError("duplicate gate names")
+        clash = set(by_name) & set(self.inputs)
+        if clash:
+            raise InvalidInstanceError(
+                f"signals are both gates and inputs: {sorted(clash)}"
+            )
+        known = set(by_name) | set(self.inputs)
+        for gate in self.gates:
+            for signal in gate.inputs:
+                if signal not in known:
+                    raise VertexError(
+                        f"gate {gate.name!r} reads unknown signal {signal!r}"
+                    )
+        for out in self.outputs:
+            if out not in known:
+                raise VertexError(f"unknown output signal {out!r}")
+        self._by_name = by_name
+        self._order = self._topological_order()
+
+    @property
+    def components(self) -> frozenset:
+        """The diagnosable components: the gate names."""
+        return frozenset(g.name for g in self.gates)
+
+    def _topological_order(self) -> tuple[str, ...]:
+        resolved: set[str] = set(self.inputs)
+        remaining = {g.name for g in self.gates}
+        order: list[str] = []
+        while remaining:
+            progressed = False
+            for name in sorted(remaining):
+                gate = self._by_name[name]
+                if all(s in resolved for s in gate.inputs):
+                    order.append(name)
+                    resolved.add(name)
+                    remaining.discard(name)
+                    progressed = True
+            if not progressed:
+                raise InvalidInstanceError(
+                    f"circuit has a combinational cycle through {sorted(remaining)}"
+                )
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        input_values: Mapping[str, bool],
+        fault_overrides: Mapping[str, bool] | None = None,
+    ) -> dict[str, bool]:
+        """All signal values; gates in ``fault_overrides`` output that value.
+
+        The weak fault model: an overridden gate ignores its function and
+        emits the override, modelling an arbitrary fault.
+        """
+        overrides = dict(fault_overrides or {})
+        values: dict[str, bool] = {}
+        for name in self.inputs:
+            if name not in input_values:
+                raise VertexError(f"missing primary input {name!r}")
+            values[name] = bool(input_values[name])
+        for name in self._order:
+            if name in overrides:
+                values[name] = bool(overrides[name])
+            else:
+                values[name] = self._by_name[name].compute(values)
+        return values
+
+    def output_values(
+        self,
+        input_values: Mapping[str, bool],
+        fault_overrides: Mapping[str, bool] | None = None,
+    ) -> tuple[bool, ...]:
+        """The observable outputs under the given inputs and faults."""
+        values = self.evaluate(input_values, fault_overrides)
+        return tuple(values[o] for o in self.outputs)
+
+    def consistent(
+        self,
+        input_values: Mapping[str, bool],
+        observed_outputs: Mapping[str, bool],
+        healthy: Iterable[str],
+    ) -> bool:
+        """Can the observation be explained with ``healthy`` gates correct?
+
+        True iff there is an assignment of the *suspect* (non-healthy)
+        gates' outputs under which every healthy gate computes its
+        function and the circuit outputs equal ``observed_outputs``.
+        Exhaustive over ``2^|suspects|`` fault assignments.
+        """
+        healthy_set = frozenset(healthy)
+        unknown = healthy_set - self.components
+        if unknown:
+            raise VertexError(f"unknown components: {sorted(unknown)}")
+        for out in observed_outputs:
+            if out not in set(self.outputs):
+                raise VertexError(f"{out!r} is not an observable output")
+        suspects = sorted(self.components - healthy_set)
+        expected = {o: bool(v) for o, v in observed_outputs.items()}
+        for bits in product((False, True), repeat=len(suspects)):
+            overrides = dict(zip(suspects, bits))
+            values = self.evaluate(input_values, overrides)
+            if all(values[o] == expected[o] for o in expected):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({len(self.gates)} gates, "
+            f"in={list(self.inputs)}, out={list(self.outputs)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Standard example circuits
+# ----------------------------------------------------------------------
+
+
+def full_adder() -> Circuit:
+    """Reiter's classic diagnosable system: a 1-bit full adder.
+
+    Gates: two XORs (sum chain), two ANDs and one OR (carry chain).
+    Inputs ``a, b, cin``; outputs ``sum`` (= x2) and ``cout`` (= o1).
+    """
+    gates = [
+        Gate("x1", "xor", ("a", "b")),
+        Gate("x2", "xor", ("x1", "cin")),
+        Gate("a1", "and", ("a", "b")),
+        Gate("a2", "and", ("x1", "cin")),
+        Gate("o1", "or", ("a1", "a2")),
+    ]
+    return Circuit(gates, inputs=("a", "b", "cin"), outputs=("x2", "o1"))
+
+
+def one_bit_comparator() -> Circuit:
+    """A 1-bit magnitude comparator: ``lt = ¬a ∧ b``, ``eq = ¬(a ⊕ b)``."""
+    gates = [
+        Gate("na", "not", ("a",)),
+        Gate("lt", "and", ("na", "b")),
+        Gate("x", "xor", ("a", "b")),
+        Gate("eq", "not", ("x",)),
+    ]
+    return Circuit(gates, inputs=("a", "b"), outputs=("lt", "eq"))
+
+
+def two_bit_adder() -> Circuit:
+    """Two chained full adders: a 2-bit ripple-carry adder (10 gates)."""
+    gates = [
+        Gate("x1", "xor", ("a0", "b0")),
+        Gate("s0", "xor", ("x1", "cin")),
+        Gate("a1g", "and", ("a0", "b0")),
+        Gate("a2g", "and", ("x1", "cin")),
+        Gate("c0", "or", ("a1g", "a2g")),
+        Gate("x2", "xor", ("a1", "b1")),
+        Gate("s1", "xor", ("x2", "c0")),
+        Gate("a3g", "and", ("a1", "b1")),
+        Gate("a4g", "and", ("x2", "c0")),
+        Gate("c1", "or", ("a3g", "a4g")),
+    ]
+    return Circuit(
+        gates,
+        inputs=("a0", "b0", "a1", "b1", "cin"),
+        outputs=("s0", "s1", "c1"),
+    )

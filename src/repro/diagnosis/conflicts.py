@@ -1,0 +1,79 @@
+"""Minimal conflict sets: extraction and enumeration.
+
+A *conflict* of a diagnosis problem is a component set that cannot all
+be healthy.  Conflict-ness is monotone (supersets of conflicts are
+conflicts), so:
+
+* one minimal conflict is found by greedy shrinking
+  (:func:`extract_minimal_conflict` — the classical "minimise the
+  theorem prover's conflict" step of Reiter/Greiner);
+* *all* minimal conflicts are the minimal true points of the monotone
+  conflict predicate, so :func:`minimal_conflicts` simply runs the GKMT
+  border learner of :mod:`repro.learning` against the consistency
+  oracle — the dualization connection in executable form;
+* :func:`minimal_conflicts_brute_force` is the exponential reference.
+"""
+
+from __future__ import annotations
+
+from repro._util import minimize_family, powerset
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.learning.oracle import MembershipOracle
+from repro.learning.exact import learn_monotone_function, minimize_true_point
+from repro.diagnosis.system import DiagnosisProblem
+
+
+def is_conflict(problem: DiagnosisProblem, component_set) -> bool:
+    """Is the set a conflict (cannot all be healthy)?"""
+    return not problem.consistent(component_set)
+
+
+def conflict_oracle(problem: DiagnosisProblem) -> MembershipOracle:
+    """The monotone membership oracle ``f(S) = [S is a conflict]``."""
+    return MembershipOracle(
+        lambda s: not problem.consistent(s),
+        problem.components,
+        name=f"conflicts({problem.__class__.__name__})",
+    )
+
+
+def extract_minimal_conflict(
+    problem: DiagnosisProblem, within=None
+) -> frozenset | None:
+    """One minimal conflict inside ``within`` (default: all components).
+
+    Returns ``None`` when ``within`` is conflict-free — the signal that
+    its complement is a diagnosis.  Greedy shrinking costs at most
+    ``|within|`` consistency calls beyond the initial test.
+    """
+    scope = frozenset(
+        problem.components if within is None else within
+    )
+    if problem.consistent(scope):
+        return None
+    oracle = conflict_oracle(problem)
+    return minimize_true_point(oracle, scope)
+
+
+def minimal_conflicts(
+    problem: DiagnosisProblem, method: str = "bm"
+) -> Hypergraph:
+    """All minimal conflicts, via the monotone-border learner.
+
+    Runs :func:`repro.learning.exact.learn_monotone_function` on the
+    conflict predicate; the learned minimal true points are exactly the
+    minimal conflict sets.  ``method`` picks the duality engine used by
+    the learner's completeness checks.
+    """
+    learned = learn_monotone_function(conflict_oracle(problem), method=method)
+    return learned.minimal_true_points
+
+
+def minimal_conflicts_brute_force(problem: DiagnosisProblem) -> Hypergraph:
+    """Exponential reference enumeration (tests and small systems only)."""
+    conflicts = [
+        s for s in powerset(problem.components) if is_conflict(problem, s)
+    ]
+    return Hypergraph(
+        minimize_family(conflicts), vertices=problem.components
+    )

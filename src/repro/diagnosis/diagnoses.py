@@ -1,0 +1,92 @@
+"""Minimal diagnoses and the ``Dual``-based completeness check.
+
+Reiter's hitting-set theorem: the minimal diagnoses of a problem are
+exactly the minimal hitting sets — the minimal transversals — of its
+minimal conflict sets:
+
+    ``diagnoses = tr(conflicts)``.
+
+So three independent routes compute them here (HS-tree, exact
+transversal of the learned conflict hypergraph, and brute force), and —
+the paper's angle — *verifying that a claimed diagnosis set is
+complete* is literally a ``Dual`` instance, solvable by any engine of
+:mod:`repro.duality`, including the quadratic-logspace one.
+"""
+
+from __future__ import annotations
+
+from repro._util import minimize_family, powerset
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.transversal import transversal_hypergraph
+from repro.duality.engine import DEFAULT_METHOD, decide_duality
+from repro.duality.result import DualityResult
+from repro.diagnosis.conflicts import (
+    minimal_conflicts,
+    minimal_conflicts_brute_force,
+)
+from repro.diagnosis.hstree import hs_tree_diagnoses
+from repro.diagnosis.system import DiagnosisProblem
+
+
+def conflict_hypergraph(
+    problem: DiagnosisProblem, method: str = "bm"
+) -> Hypergraph:
+    """The minimal-conflict hypergraph (learned through the oracle)."""
+    return minimal_conflicts(problem, method=method)
+
+
+def minimal_diagnoses(
+    problem: DiagnosisProblem, method: str = "hstree"
+) -> Hypergraph:
+    """All minimal diagnoses, by the selected route.
+
+    ============  ====================================================
+    method        route
+    ============  ====================================================
+    hstree        Reiter's hitting-set tree (sound variant)
+    transversal   ``tr`` of the learned minimal-conflict hypergraph
+    brute-force   scan all component subsets (reference)
+    ============  ====================================================
+    """
+    if method == "hstree":
+        diagnoses, _stats = hs_tree_diagnoses(problem)
+        return diagnoses
+    if method == "transversal":
+        conflicts = minimal_conflicts(problem)
+        return transversal_hypergraph(conflicts).with_vertices(
+            problem.components
+        )
+    if method == "brute-force":
+        hitting = [
+            s
+            for s in powerset(problem.components)
+            if problem.consistent(problem.components - s)
+        ]
+        return Hypergraph(
+            minimize_family(hitting), vertices=problem.components
+        )
+    raise ValueError(
+        f"unknown diagnosis method {method!r}; "
+        "use 'hstree', 'transversal' or 'brute-force'"
+    )
+
+
+def verify_diagnosis_completeness(
+    conflicts: Hypergraph,
+    claimed_diagnoses: Hypergraph,
+    method: str = DEFAULT_METHOD,
+) -> DualityResult:
+    """Is the claimed diagnosis set complete?  A literal ``Dual`` instance.
+
+    Given the minimal conflicts ``C`` and a claimed set ``D`` of minimal
+    diagnoses, completeness means ``D = tr(C)``.  Returns the engine's
+    result; a NOT_DUAL witness points at a missing or wrong diagnosis.
+    This is the paper's Section 1 story instantiated for diagnosis: the
+    check runs in quadratic logspace with ``method="logspace"``.
+    """
+    universe = conflicts.vertices | claimed_diagnoses.vertices
+    return decide_duality(
+        conflicts.with_vertices(universe),
+        claimed_diagnoses.with_vertices(universe),
+        method=method,
+    )

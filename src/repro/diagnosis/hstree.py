@@ -1,0 +1,298 @@
+"""Reiter's hitting-set tree, with the Greiner et al. correction story.
+
+Reiter [41] computes the minimal diagnoses as the minimal hitting sets
+of conflict sets returned by a theorem prover, explored as a tree: each
+node carries the components removed so far (its *path set* ``h``); if
+assuming everything outside ``h`` healthy is consistent, ``h`` is a
+diagnosis (a ✓ leaf); otherwise the node is labeled with a conflict
+disjoint from ``h`` and gets one child per conflict element.
+
+This module implements:
+
+* :func:`hs_tree_diagnoses` — the **sound** algorithm: breadth-first
+  exploration with node merging (the "DAG" of Greiner et al. [24]),
+  label reuse, and closing of nodes that contain an already-confirmed
+  diagnosis.  It is correct for *any* conflict provider, minimal or
+  not, because closing only ever discards proper supersets of found
+  diagnoses.
+* :func:`hs_tree_reiter_subset_rule` — Reiter's original extra pruning
+  rule for non-minimal labels (relabel to the smaller conflict and cut
+  the subtrees reached via the label difference).  Greiner, Smith and
+  Wilkerson [24] showed this rule is **unsound**: with an adversarial
+  (non-minimal) conflict provider it can cut a subtree containing the
+  only path to a minimal diagnosis.  The failure-injection tests
+  exhibit a concrete instance, reproducing the correction paper's
+  point.
+
+Both variants accept a ``conflict_provider`` so tests can inject the
+adversarial label sequences of [24]; the default provider extracts a
+*minimal* conflict greedily, under which the subset rule never fires
+and both algorithms coincide.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro._util import minimize_family, sort_key, vertex_key
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.diagnosis.conflicts import extract_minimal_conflict
+from repro.diagnosis.system import DiagnosisProblem
+
+#: A conflict provider maps (problem, path set) to a conflict disjoint
+#: from the path set, or ``None`` when none exists (path is a diagnosis).
+ConflictProvider = Callable[[DiagnosisProblem, frozenset], "frozenset | None"]
+
+
+def minimal_conflict_provider(
+    problem: DiagnosisProblem, path: frozenset
+) -> frozenset | None:
+    """The default provider: greedily minimised conflicts (always sound)."""
+    return extract_minimal_conflict(problem, within=problem.components - path)
+
+
+@dataclass
+class HSTreeStats:
+    """Exploration accounting for the experiments."""
+
+    nodes_expanded: int = 0
+    nodes_closed: int = 0
+    labels_computed: int = 0
+    labels_reused: int = 0
+    subset_rule_firings: int = 0
+    labels: list[frozenset] = field(default_factory=list)
+
+
+def hs_tree_diagnoses(
+    problem: DiagnosisProblem,
+    conflict_provider: ConflictProvider | None = None,
+    reuse_labels: bool = True,
+    max_nodes: int | None = None,
+) -> tuple[Hypergraph, HSTreeStats]:
+    """All minimal diagnoses via the (sound) hitting-set tree.
+
+    Breadth-first over path sets, with node merging (each path *set* is
+    expanded once — Greiner's DAG view), optional label reuse, and
+    closing of paths containing a confirmed diagnosis.  Returns the
+    minimal-diagnosis hypergraph and the exploration stats.
+    """
+    provider = conflict_provider or minimal_conflict_provider
+    stats = HSTreeStats()
+    diagnoses: list[frozenset] = []
+    seen: set[frozenset] = {frozenset()}
+    queue: deque[frozenset] = deque([frozenset()])
+
+    while queue:
+        if max_nodes is not None and stats.nodes_expanded >= max_nodes:
+            raise RuntimeError(f"HS-tree exceeded {max_nodes} nodes")
+        path = queue.popleft()
+        if any(d <= path for d in diagnoses):
+            stats.nodes_closed += 1
+            continue
+        stats.nodes_expanded += 1
+
+        label: frozenset | None = None
+        if reuse_labels:
+            for known in stats.labels:
+                if not known & path:
+                    label = known
+                    stats.labels_reused += 1
+                    break
+        if label is None:
+            label = provider(problem, path)
+            if label is not None:
+                label = frozenset(label)
+                if label & path:
+                    raise ValueError(
+                        "conflict provider returned a label meeting the path"
+                    )
+                stats.labels_computed += 1
+                stats.labels.append(label)
+
+        if label is None:
+            diagnoses.append(path)
+            continue
+        for c in sorted(label, key=vertex_key):
+            child = path | {c}
+            if child not in seen:
+                seen.add(child)
+                queue.append(child)
+
+    return (
+        Hypergraph(minimize_family(diagnoses), vertices=problem.components),
+        stats,
+    )
+
+
+def hs_tree_reiter_subset_rule(
+    problem: DiagnosisProblem,
+    conflict_provider: ConflictProvider | None = None,
+    max_nodes: int | None = None,
+) -> tuple[Hypergraph, HSTreeStats]:
+    """Reiter's original tree **with the unsound subset-pruning rule**.
+
+    Reiter's original tree prunes in two interacting ways:
+
+    * **duplicate closing**: a node whose path set already occurred is
+      closed unexpanded (only the first copy is ever explored);
+    * **the subset rule**: when a freshly computed label ``S'`` is a
+      proper subset of an earlier label ``S``, the ``S``-node is
+      relabeled to ``S'`` and the subtrees reached through the edges in
+      ``S − S'`` are removed.
+
+    Greiner et al. proved the combination unsound for non-minimal
+    labels: the removed subtree may contain the *only open copy* of a
+    path set (its duplicates were closed), discarding a minimal
+    diagnosis.  This implementation exists to *exhibit* that bug (see
+    the failure-injection tests), not for production use — call
+    :func:`hs_tree_diagnoses` instead.
+
+    The tree is materialised explicitly (parent/edge structure) because
+    the subset rule operates on subtrees, not path sets.
+    """
+    provider = conflict_provider or minimal_conflict_provider
+    stats = HSTreeStats()
+    diagnoses: list[frozenset] = []
+
+    # Node table: id → dict(path, label, children{element: id}, alive)
+    nodes: list[dict] = [
+        {"path": frozenset(), "label": None, "children": {}, "alive": True}
+    ]
+    queue: deque[int] = deque([0])
+    expanded_paths: set[frozenset] = set()
+
+    def kill_subtree(node_id: int) -> None:
+        node = nodes[node_id]
+        node["alive"] = False
+        for child_id in node["children"].values():
+            kill_subtree(child_id)
+
+    while queue:
+        if max_nodes is not None and stats.nodes_expanded >= max_nodes:
+            raise RuntimeError(f"HS-tree exceeded {max_nodes} nodes")
+        node_id = queue.popleft()
+        node = nodes[node_id]
+        if not node["alive"]:
+            continue
+        path = node["path"]
+        if any(d <= path for d in diagnoses):
+            stats.nodes_closed += 1
+            continue
+        if path in expanded_paths:
+            # Reiter's duplicate-closing rule: only the first copy of a
+            # path set is explored.  (This is what makes the subset rule
+            # unsound: the explored copy can later be cut away.)
+            stats.nodes_closed += 1
+            continue
+        expanded_paths.add(path)
+        stats.nodes_expanded += 1
+
+        label = provider(problem, path)
+        if label is None:
+            diagnoses.append(path)
+            continue
+        label = frozenset(label)
+        stats.labels_computed += 1
+        stats.labels.append(label)
+
+        # Reiter's subset rule: a strictly smaller new label rewrites
+        # earlier nodes and CUTS the subtrees under the difference edges.
+        for other in nodes:
+            if (
+                other["alive"]
+                and other["label"] is not None
+                and label < other["label"]
+            ):
+                stats.subset_rule_firings += 1
+                for element in sorted(
+                    other["label"] - label, key=vertex_key
+                ):
+                    child_id = other["children"].pop(element, None)
+                    if child_id is not None:
+                        kill_subtree(child_id)
+                other["label"] = label
+
+        node["label"] = label
+        for c in sorted(label, key=vertex_key):
+            child = {
+                "path": path | {c},
+                "label": None,
+                "children": {},
+                "alive": True,
+            }
+            nodes.append(child)
+            child_id = len(nodes) - 1
+            node["children"][c] = child_id
+            queue.append(child_id)
+
+    return (
+        Hypergraph(minimize_family(diagnoses), vertices=problem.components),
+        stats,
+    )
+
+
+def greiner_counterexample() -> tuple:
+    """A concrete instance exhibiting the [24] unsoundness.
+
+    Components ``{0,1,2,3}`` with minimal conflicts ``{1,3}, {2},
+    {0,3}`` (true minimal diagnoses: ``{2,3}`` and ``{0,1,2}``), and an
+    adversarial conflict provider that serves the *non-minimal* labels
+    ``{0,2,3}, {1,2}, {2,3}`` first.  Under that provider,
+    :func:`hs_tree_reiter_subset_rule` drops the diagnosis ``{0,1,2}``
+    (the subset rule cuts the only open copy of its path), while
+    :func:`hs_tree_diagnoses` stays exact.
+
+    Returns ``(problem_factory, provider_factory, expected_diagnoses)``
+    — factories, because problems memoise oracle calls and each run
+    should be fresh.
+    """
+    components = frozenset(range(4))
+    minimal = [frozenset({1, 3}), frozenset({2}), frozenset({0, 3})]
+    script = [frozenset({0, 2, 3}), frozenset({1, 2}), frozenset({2, 3})]
+    expected = Hypergraph(
+        [frozenset({2, 3}), frozenset({0, 1, 2})], vertices=components
+    )
+
+    def problem_factory():
+        from repro.diagnosis.system import OracleDiagnosisProblem
+
+        return OracleDiagnosisProblem.from_conflicts(components, minimal)
+
+    def provider_factory():
+        return make_scripted_provider(list(script))
+
+    return problem_factory, provider_factory, expected
+
+
+def make_scripted_provider(
+    script: list[frozenset],
+    fallback: ConflictProvider | None = None,
+) -> ConflictProvider:
+    """A provider that replays ``script`` labels (when disjoint from the
+    path and still genuine conflicts), then falls back.
+
+    This is how the tests stage the adversarial *non-minimal* label
+    sequences of Greiner et al.: the script offers deliberately
+    inflated conflicts first.
+    """
+    fb = fallback or minimal_conflict_provider
+
+    def provider(
+        problem: DiagnosisProblem, path: frozenset
+    ) -> frozenset | None:
+        if problem.consistent(problem.components - path):
+            return None
+        for candidate in sorted(script, key=sort_key):
+            # A scripted label is usable when it lives among the still-
+            # assumable components and is a genuine conflict.
+            if candidate & path:
+                continue
+            if candidate <= problem.components - path and not problem.consistent(
+                candidate
+            ):
+                return candidate
+        return fb(problem, path)
+
+    return provider

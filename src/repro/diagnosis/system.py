@@ -1,0 +1,168 @@
+"""The abstract diagnosis problem: components + a consistency oracle.
+
+Reiter's definitions [41], instantiated on any system:
+
+* a set ``COMP`` of components;
+* a consistency oracle ``consistent(H)`` — can the observation be
+  explained while assuming exactly the components in ``H ⊆ COMP``
+  healthy (and the rest unconstrained)?
+* a *conflict set* is a ``C ⊆ COMP`` that cannot all be healthy
+  (``consistent(C)`` is false);
+* a *diagnosis* is a ``Δ ⊆ COMP`` such that assuming everything outside
+  ``Δ`` healthy is consistent; minimal diagnoses are the interesting
+  ones.
+
+Key structure this module surfaces: **conflict-ness is a monotone
+predicate** (adding health assumptions can only make explanation
+harder), so the minimal conflicts are the minimal true points of a
+monotone function — precisely the setting of :mod:`repro.learning` —
+and the minimal diagnoses are their minimal transversals (Reiter's
+hitting-set theorem), linking diagnosis to the paper's ``Dual``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+from repro.errors import InvalidInstanceError, VertexError
+from repro.diagnosis.circuits import Circuit
+
+
+class DiagnosisProblem:
+    """Base class: a component universe and a memoised consistency oracle.
+
+    Subclasses implement :meth:`_consistent`.  All queries go through
+    :meth:`consistent`, which validates, memoises and counts — the count
+    is the "theorem-prover calls" measure of the diagnosis literature.
+    """
+
+    def __init__(self, components: Iterable) -> None:
+        self._components = frozenset(components)
+        if not self._components:
+            raise InvalidInstanceError("a diagnosis problem needs components")
+        self._cache: dict[frozenset, bool] = {}
+        self._calls = 0
+
+    @property
+    def components(self) -> frozenset:
+        """The component universe ``COMP``."""
+        return self._components
+
+    @property
+    def oracle_calls(self) -> int:
+        """Distinct consistency queries made so far."""
+        return self._calls
+
+    def consistent(self, healthy: Iterable) -> bool:
+        """Can the observation be explained with ``healthy`` all correct?"""
+        h = frozenset(healthy)
+        if not h <= self._components:
+            raise VertexError(
+                f"unknown components: {sorted(map(str, h - self._components))}"
+            )
+        if h not in self._cache:
+            self._cache[h] = bool(self._consistent(h))
+            self._calls += 1
+        return self._cache[h]
+
+    def _consistent(self, healthy: frozenset) -> bool:
+        raise NotImplementedError
+
+    def is_faulty_observation(self) -> bool:
+        """True iff something is wrong at all (all-healthy is inconsistent)."""
+        return not self.consistent(self._components)
+
+    def check_antimonotone_exhaustive(self) -> bool:
+        """Verify ``H' ⊆ H ∧ consistent(H) ⇒ consistent(H')`` (tests only)."""
+        from repro._util import powerset
+
+        subsets = list(powerset(self._components))
+        values = {s: self.consistent(s) for s in subsets}
+        for h in subsets:
+            if not values[h]:
+                continue
+            for sub in subsets:
+                if sub <= h and not values[sub]:
+                    return False
+        return True
+
+
+class OracleDiagnosisProblem(DiagnosisProblem):
+    """A diagnosis problem given directly by a consistency function.
+
+    Useful for synthetic problems and for injecting the classical
+    counterexamples (e.g. the Greiner et al. pruning bug) as fixed
+    conflict families.
+    """
+
+    def __init__(
+        self,
+        components: Iterable,
+        consistent_fn: Callable[[frozenset], bool],
+    ) -> None:
+        super().__init__(components)
+        self._fn = consistent_fn
+
+    def _consistent(self, healthy: frozenset) -> bool:
+        return self._fn(healthy)
+
+    @classmethod
+    def from_conflicts(
+        cls, components: Iterable, conflicts: Iterable[Iterable]
+    ) -> "OracleDiagnosisProblem":
+        """The problem whose inconsistent health sets are exactly the
+        supersets of the given conflicts."""
+        families = [frozenset(c) for c in conflicts]
+
+        def fn(healthy: frozenset) -> bool:
+            return not any(c <= healthy for c in families)
+
+        return cls(components, fn)
+
+
+class CircuitDiagnosisProblem(DiagnosisProblem):
+    """Diagnosing a :class:`~repro.diagnosis.circuits.Circuit` observation.
+
+    Parameters
+    ----------
+    circuit:
+        The system description.
+    input_values:
+        The applied primary inputs.
+    observed_outputs:
+        The (possibly wrong) measured outputs, by signal name.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        input_values: Mapping[str, bool],
+        observed_outputs: Mapping[str, bool],
+    ) -> None:
+        super().__init__(circuit.components)
+        self.circuit = circuit
+        self.input_values = dict(input_values)
+        self.observed_outputs = dict(observed_outputs)
+
+    def _consistent(self, healthy: frozenset) -> bool:
+        return self.circuit.consistent(
+            self.input_values, self.observed_outputs, healthy
+        )
+
+    @classmethod
+    def observe_fault(
+        cls,
+        circuit: Circuit,
+        input_values: Mapping[str, bool],
+        actual_faults: Mapping[str, bool],
+    ) -> "CircuitDiagnosisProblem":
+        """Build the problem for the observation a real fault produces.
+
+        ``actual_faults`` maps faulty gate names to their stuck output
+        values; the observation is what the broken circuit emits.  The
+        injected fault set must then appear among (supersets of) the
+        minimal diagnoses — a property the failure-injection tests use.
+        """
+        values = circuit.evaluate(input_values, actual_faults)
+        observed = {o: values[o] for o in circuit.outputs}
+        return cls(circuit, input_values, observed)

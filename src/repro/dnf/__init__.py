@@ -1,0 +1,6 @@
+"""Monotone DNF formulas: the Boolean-function face of hypergraph duality."""
+
+from repro.dnf.formula import MonotoneDNF
+from repro.dnf.parser import dnf_to_text, parse_dnf
+
+__all__ = ["MonotoneDNF", "dnf_to_text", "parse_dnf"]

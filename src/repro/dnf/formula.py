@@ -1,0 +1,205 @@
+"""Monotone DNF formulas and the DNF ↔ hypergraph correspondence.
+
+The paper (Section 1) treats monotone-DNF duality and hypergraph duality
+as literally the same problem:
+
+* a monotone DNF ``f = t₁ ∨ … ∨ t_m`` maps to the hypergraph with one
+  hyperedge per disjunct (the set of variables of that disjunct);
+* ``f`` is *irredundant* iff no disjunct's variable set covers another's,
+  i.e. iff the hypergraph is simple;
+* ``f`` and ``g`` are *dual* iff ``f(x₁,…,x_n) ≡ ¬g(¬x₁,…,¬x_n)``.
+
+:class:`MonotoneDNF` keeps the formula view (evaluation, semantic checks,
+pretty-printing) and hands all heavy lifting to the hypergraph layer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro._util import format_set, powerset, vertex_key
+from repro.errors import NotIrredundantError
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class MonotoneDNF:
+    """An immutable monotone DNF: a set of terms, each a set of variables.
+
+    Terms are ``frozenset``s of variable names (strings or ints).  The
+    constant *false* is the DNF with no terms; the constant *true* is the
+    DNF containing the empty term.
+
+    Parameters
+    ----------
+    terms:
+        Iterable of variable-iterables.
+    variables:
+        Optional explicit variable universe (needed when the formula must
+        be read over more variables than it mentions — duality is only
+        meaningful over a fixed shared universe).
+    """
+
+    __slots__ = ("_hypergraph",)
+
+    def __init__(
+        self,
+        terms: Iterable[Iterable] = (),
+        variables: Iterable | None = None,
+    ) -> None:
+        self._hypergraph = Hypergraph(terms, vertices=variables)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def terms(self) -> tuple[frozenset, ...]:
+        """The disjuncts, canonically ordered."""
+        return self._hypergraph.edges
+
+    @property
+    def variables(self) -> frozenset:
+        """The variable universe."""
+        return self._hypergraph.vertices
+
+    def hypergraph(self) -> Hypergraph:
+        """The associated hypergraph (one edge per disjunct)."""
+        return self._hypergraph
+
+    @classmethod
+    def from_hypergraph(cls, hg: Hypergraph) -> "MonotoneDNF":
+        """The irredundant DNF of a simple hypergraph (trivial reduction)."""
+        return cls(hg.edges, variables=hg.vertices)
+
+    def is_irredundant(self) -> bool:
+        """True iff no term's variable set is covered by another term's."""
+        return self._hypergraph.is_simple()
+
+    def require_irredundant(self) -> "MonotoneDNF":
+        """Return self if irredundant, else raise :class:`NotIrredundantError`."""
+        if not self.is_irredundant():
+            raise NotIrredundantError(f"redundant DNF: {self}")
+        return self
+
+    def irredundant(self) -> "MonotoneDNF":
+        """The equivalent irredundant DNF (drop covered terms)."""
+        return MonotoneDNF.from_hypergraph(self._hypergraph.minimized())
+
+    def is_constant_false(self) -> bool:
+        """True iff the DNF has no terms."""
+        return self._hypergraph.is_trivial_false()
+
+    def is_constant_true(self) -> bool:
+        """True iff the DNF contains the empty term."""
+        return self._hypergraph.is_trivial_true()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MonotoneDNF):
+            return NotImplemented
+        return self._hypergraph == other._hypergraph
+
+    def __hash__(self) -> int:
+        return hash(("MonotoneDNF", self._hypergraph))
+
+    def __len__(self) -> int:
+        return len(self._hypergraph)
+
+    def __repr__(self) -> str:
+        return f"MonotoneDNF({self.to_text()!r})"
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping | Iterable) -> bool:
+        """Evaluate under an assignment.
+
+        ``assignment`` is either a mapping ``variable → bool`` (must cover
+        all variables) or an iterable of the variables set to *true*.
+        """
+        if isinstance(assignment, Mapping):
+            true_vars = {v for v in self.variables if assignment[v]}
+        else:
+            true_vars = frozenset(assignment)
+        return any(term <= true_vars for term in self.terms)
+
+    def dual_formula(self) -> "MonotoneDNF":
+        """The DNF of the dual function ``f^d(x) = ¬f(¬x)``, computed semantically.
+
+        The dual's prime implicants are exactly the minimal transversals
+        of this formula's hypergraph, so this delegates to the exact
+        transversal routine.  Exponential in the worst case (as it must
+        be, since the dual can be exponentially larger).
+        """
+        from repro.hypergraph.transversal import transversal_hypergraph
+
+        return MonotoneDNF.from_hypergraph(
+            transversal_hypergraph(self._hypergraph)
+        )
+
+    def semantically_dual_to(self, other: "MonotoneDNF") -> bool:
+        """Truth-table duality check: ``f(x) ≡ ¬g(¬x)`` on all ``2^n`` points.
+
+        The definitional decider — exponential, used as ground truth for
+        small instances.  Both formulas are evaluated over the *union* of
+        their variable universes.
+        """
+        universe = self.variables | other.variables
+        for true_vars in powerset(universe):
+            flipped = universe - true_vars
+            if self.evaluate(true_vars) != (not other.evaluate(flipped)):
+                return False
+        return True
+
+    def implies(self, other: "MonotoneDNF") -> bool:
+        """Monotone implication ``f ≤ g``: every term of f covers a term of g.
+
+        For monotone formulas, ``f → g`` holds iff each prime implicant
+        of ``f`` contains some implicant of ``g``.
+        """
+        return all(
+            any(g_term <= f_term for g_term in other.terms)
+            for f_term in self.terms
+        )
+
+    def equivalent(self, other: "MonotoneDNF") -> bool:
+        """Semantic equivalence of two monotone DNFs (via double implication)."""
+        return self.implies(other) and other.implies(self)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Render as ``x1 x2 | x3 x4`` (terms joined by '|', vars by spaces)."""
+        if self.is_constant_false():
+            return "FALSE"
+        if self.is_constant_true() and len(self.terms) == 1:
+            return "TRUE"
+        parts = []
+        for term in self.terms:
+            if not term:
+                parts.append("TRUE")
+            else:
+                parts.append(
+                    " ".join(str(v) for v in sorted(term, key=vertex_key))
+                )
+        return " | ".join(parts)
+
+    def pretty(self) -> str:
+        """Mathematical rendering with ∧ and ∨."""
+        if self.is_constant_false():
+            return "⊥"
+        rendered = []
+        for term in self.terms:
+            if not term:
+                rendered.append("⊤")
+            else:
+                rendered.append(
+                    " ∧ ".join(str(v) for v in sorted(term, key=vertex_key))
+                )
+        return " ∨ ".join(f"({t})" if " " in t else t for t in rendered)
+
+    def term_sets_pretty(self) -> str:
+        """Render the term family as sets, e.g. ``{{x1, x2}, {x3}}``."""
+        return "{" + ", ".join(format_set(t) for t in self.terms) + "}"

@@ -1,0 +1,72 @@
+"""Parser for the textual monotone-DNF syntax.
+
+Grammar (whitespace-insensitive)::
+
+    formula  := "FALSE" | term ("|" term)*
+    term     := "TRUE"  | var+
+    var      := [A-Za-z0-9_]+
+
+Examples::
+
+    "x1 x2 | x3"        →  (x1 ∧ x2) ∨ x3
+    "a b | a c | b c"   →  the 2-out-of-3 majority function
+    "TRUE"              →  constant true
+    "FALSE"             →  constant false
+
+``&`` and ``∧`` are accepted as optional conjunction separators inside a
+term; ``∨`` is accepted for ``|``.  Variables that look like integers are
+parsed as ints so formulas and generated hypergraphs share vertex types.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.dnf.formula import MonotoneDNF
+
+_VAR_RE = re.compile(r"^[A-Za-z0-9_]+$")
+
+
+def _parse_var(token: str):
+    if not _VAR_RE.match(token):
+        raise ParseError(f"invalid variable name: {token!r}")
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def parse_dnf(text: str, variables=None) -> MonotoneDNF:
+    """Parse a monotone DNF from text (see module docstring for the syntax).
+
+    Parameters
+    ----------
+    text:
+        The formula source.
+    variables:
+        Optional explicit variable universe (a superset of the mentioned
+        variables).
+    """
+    cleaned = text.replace("∨", "|").replace("∧", " ").replace("&", " ")
+    cleaned = cleaned.replace("(", " ").replace(")", " ").strip()
+    if not cleaned:
+        raise ParseError("empty formula text")
+    if cleaned.upper() == "FALSE":
+        return MonotoneDNF((), variables=variables)
+
+    terms: list[frozenset] = []
+    for chunk in cleaned.split("|"):
+        chunk = chunk.strip()
+        if not chunk:
+            raise ParseError(f"empty term in formula: {text!r}")
+        if chunk.upper() == "TRUE":
+            terms.append(frozenset())
+            continue
+        terms.append(frozenset(_parse_var(tok) for tok in chunk.split()))
+    return MonotoneDNF(terms, variables=variables)
+
+
+def dnf_to_text(formula: MonotoneDNF) -> str:
+    """Inverse of :func:`parse_dnf` (round-trips modulo term order)."""
+    return formula.to_text()

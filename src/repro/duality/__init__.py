@@ -1,0 +1,67 @@
+"""Duality deciders: from the definitional check to quadratic logspace.
+
+The decision problem throughout: given simple hypergraphs ``G`` and
+``H``, is ``H = tr(G)``?  (Equivalently: are the associated irredundant
+monotone DNFs dual?)  See :mod:`repro.duality.engine` for the unified
+entry point and the list of algorithms.
+"""
+
+from repro.duality.engine import (
+    available_methods,
+    are_dual,
+    decide_dnf_duality,
+    decide_duality,
+    is_self_dual,
+)
+from repro.duality.policies import (
+    ALL_POLICIES,
+    PAPER_POLICY,
+    TieBreakPolicy,
+    policy_by_name,
+)
+from repro.duality.result import (
+    Certificate,
+    DecisionStats,
+    DualityResult,
+    FailureKind,
+    Verdict,
+)
+from repro.duality.witness import (
+    WitnessRole,
+    check_result_witness,
+    classify_witness,
+    explain,
+    extract_missing_minimal_transversal,
+)
+from repro.duality.self_duality import (
+    coterie_from_dual_pair,
+    decide_duality_via_self_duality,
+    is_self_dual_hypergraph,
+    self_dualization,
+)
+
+__all__ = [
+    "coterie_from_dual_pair",
+    "decide_duality_via_self_duality",
+    "is_self_dual_hypergraph",
+    "self_dualization",
+    "ALL_POLICIES",
+    "PAPER_POLICY",
+    "TieBreakPolicy",
+    "policy_by_name",
+    "Certificate",
+    "DecisionStats",
+    "DualityResult",
+    "FailureKind",
+    "Verdict",
+    "WitnessRole",
+    "are_dual",
+    "available_methods",
+    "check_result_witness",
+    "classify_witness",
+    "decide_dnf_duality",
+    "decide_duality",
+    "explain",
+    "extract_missing_minimal_transversal",
+    "is_self_dual",
+]

@@ -1,0 +1,265 @@
+"""The Boros–Makino decomposition method (paper, Section 2).
+
+This module is a line-by-line transcription of the two procedures the
+paper gives — ``marksmall`` (for leaves with ``|H_{S_α}| ≤ 1``) and
+``process`` (the majority-vertex expansion step) — together with the
+tree builder that applies them exhaustively, and a decider wrapper.
+
+Determinism.  The paper notes the tree is not unique because of free
+choices, and suggests fixing them; we follow its suggestions exactly:
+
+* ``marksmall`` case 4 picks the **smallest** ``i ∈ H`` with
+  ``{i} ∉ G^{S_α}`` (smallest in the library's canonical vertex order);
+* ``process`` step 3 picks the **lexicographically first** edge
+  ``G ∈ G^{S_α}`` with ``G ∩ I_α = ∅``, and step 4 the first
+  ``H ∈ H_{S_α}`` with ``H ⊆ I_α`` (canonical edge order);
+* children are ordered by the canonical order of their scopes, indexed
+  from 1 — this fixes the labels used by Section 4's path descriptors.
+
+Entry conditions.  The procedures are only correct for instances with
+``G ⊆ tr(H)`` and ``H ⊆ tr(G)`` ("It is assumed that … Clearly this can
+be tested in logarithmic space"); :func:`decide_boros_makino` runs
+:func:`repro.duality.conditions.prepare_instance` first and converts a
+violation into an immediate NOT_DUAL verdict.  The paper also assumes
+``|H| ≤ |G|``; the decider swaps the sides when necessary (duality is
+symmetric) and records the swap.
+"""
+
+from __future__ import annotations
+
+from repro._util import sort_key, vertex_key
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.operations import restriction_instance
+from repro.hypergraph.transversal import is_new_transversal
+from repro.duality.conditions import prepare_instance
+from repro.duality.policies import PAPER_POLICY, TieBreakPolicy
+from repro.duality.result import (
+    DecisionStats,
+    DualityResult,
+    FailureKind,
+    dual_result,
+    not_dual_result,
+)
+from repro.duality.tree import (
+    DecompositionTree,
+    Mark,
+    NodeAttributes,
+    TreeNode,
+)
+
+
+def majority_vertices(h_restricted: Hypergraph) -> frozenset:
+    """``I_α``: vertices occurring in more than ``|H_{S_α}|/2`` edges (step 1)."""
+    threshold = len(h_restricted) / 2.0
+    degrees = h_restricted.degrees()
+    return frozenset(v for v, d in degrees.items() if d > threshold)
+
+
+def marksmall(
+    attrs: NodeAttributes,
+    g: Hypergraph,
+    h: Hypergraph,
+    policy: TieBreakPolicy = PAPER_POLICY,
+) -> NodeAttributes:
+    """The paper's ``marksmall`` procedure, for nodes with ``|H_{S_α}| ≤ 1``.
+
+    Returns the node with its final ``done``/``fail`` marking and
+    witness set ``t(α)``.  ``policy`` resolves the case-4 free choice
+    (the paper's default: smallest ``i``).
+    """
+    g_s, h_s = attrs.instance(g, h)
+    if len(h_s) > 1:
+        raise ValueError("marksmall requires |H_S| <= 1")
+    g_s_edges = set(g_s.edges)
+    empty_in_g = frozenset() in g_s_edges
+
+    if len(h_s) == 0 and not empty_in_g:
+        # case 1: nothing left of H, yet S_α still traverses G.
+        return NodeAttributes(attrs.label, attrs.scope, Mark.FAIL, attrs.scope)
+    if len(h_s) == 0 and empty_in_g:
+        # case 2: some G-edge misses S_α entirely — branch is consistent.
+        return NodeAttributes(attrs.label, attrs.scope, Mark.DONE, frozenset())
+
+    (h_edge,) = h_s.edges
+    if all(frozenset({i}) in g_s_edges for i in h_edge):
+        # case 3: the lone H-edge is forced vertex-by-vertex.
+        return NodeAttributes(attrs.label, attrs.scope, Mark.DONE, frozenset())
+
+    # case 4: drop an i ∈ H whose singleton is not in G^{S_α}
+    # (paper default: the smallest such i).
+    candidates = sorted(
+        (i for i in h_edge if frozenset({i}) not in g_s_edges), key=vertex_key
+    )
+    chosen = policy.vertex_choice(candidates)
+    return NodeAttributes(
+        attrs.label, attrs.scope, Mark.FAIL, attrs.scope - {chosen}
+    )
+
+
+def process_children(
+    attrs: NodeAttributes,
+    g: Hypergraph,
+    h: Hypergraph,
+    policy: TieBreakPolicy = PAPER_POLICY,
+) -> NodeAttributes | list[frozenset]:
+    """The paper's ``process`` procedure, for nodes with ``|H_{S_α}| ≥ 2``.
+
+    Either the node turns out to be a ``fail`` leaf (step 2 — the
+    majority set is a new transversal), in which case the marked
+    :class:`NodeAttributes` is returned, or the list of child **scopes**
+    ``C = {C₁, …, C_κ}`` is returned in canonical order.
+    """
+    g_s, h_s = attrs.instance(g, h)
+    if len(h_s) < 2:
+        raise ValueError("process requires |H_S| >= 2")
+    scope = attrs.scope
+
+    # Step 1: the majority vertex set.
+    i_alpha = majority_vertices(h_s)
+
+    # Step 2: is I_α a new transversal of G^{S_α} w.r.t. H_{S_α}?
+    if is_new_transversal(i_alpha, g_s, h_s):
+        return NodeAttributes(attrs.label, scope, Mark.FAIL, i_alpha)
+
+    # Step 3: some G-edge disjoint from I_α (I_α not a transversal).
+    missed = [e for e in g_s.edges if not e & i_alpha]
+    if missed:
+        g_edge = policy.edge_choice(missed)
+        survivors = [
+            e for e in g_s.edges if not e <= (scope - g_edge)
+        ]
+        scopes = {
+            scope - (e - {i}) for e in survivors for i in (e & g_edge)
+        }
+        return sorted(scopes, key=sort_key)
+
+    # Step 4: some H-edge inside I_α (I_α covers an H-edge).
+    covered = [e for e in h_s.edges if e <= i_alpha]
+    h_edge = policy.edge_choice(covered)
+    scopes = {scope - {i} for i in h_edge} | {h_edge}
+    return sorted(scopes, key=sort_key)
+
+
+def expand(
+    attrs: NodeAttributes,
+    g: Hypergraph,
+    h: Hypergraph,
+    policy: TieBreakPolicy = PAPER_POLICY,
+) -> NodeAttributes | list[NodeAttributes]:
+    """One decomposition step at a node: mark it, or produce its children.
+
+    This is the building block the logspace ``next`` procedure of
+    Section 4 wraps: everything it does is edge-counting, set
+    intersection and comparisons — logspace operations.
+    """
+    _g_s, h_s = attrs.instance(g, h)
+    if len(h_s) <= 1:
+        return marksmall(attrs, g, h, policy)
+    outcome = process_children(attrs, g, h, policy)
+    if isinstance(outcome, NodeAttributes):
+        return outcome
+    return [
+        NodeAttributes(attrs.child_label(i), child_scope, Mark.NIL, frozenset())
+        for i, child_scope in enumerate(outcome, start=1)
+    ]
+
+
+def build_tree(
+    g: Hypergraph,
+    h: Hypergraph,
+    policy: TieBreakPolicy = PAPER_POLICY,
+) -> DecompositionTree:
+    """Materialise the full decomposition tree ``T(G, H)``.
+
+    ``g`` and ``h`` must already satisfy the entry conditions
+    (``G ⊆ tr(H)``, ``H ⊆ tr(G)``, shared universe); use
+    :func:`decide_boros_makino` for arbitrary simple inputs.  ``policy``
+    resolves the free choices — any policy is correct (Prop. 2.1); only
+    tree size and witness identity vary (experiment E13).
+    """
+    universe = frozenset(g.vertices | h.vertices)
+    root_attrs = NodeAttributes((), universe, Mark.NIL, frozenset())
+    root = TreeNode(root_attrs)
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        outcome = expand(node.attrs, g, h, policy)
+        if isinstance(outcome, NodeAttributes):
+            node.attrs = outcome
+            continue
+        node.children = [TreeNode(child) for child in outcome]
+        frontier.extend(node.children)
+    return DecompositionTree(g=g, h=h, root=root)
+
+
+def decide_boros_makino(
+    g: Hypergraph,
+    h: Hypergraph,
+    enforce_size_order: bool = True,
+    policy: TieBreakPolicy = PAPER_POLICY,
+) -> DualityResult:
+    """Decide duality via the full Boros–Makino decomposition tree.
+
+    Pipeline: entry check (``prepare_instance``) → optional side swap to
+    restore the paper's ``|H| ≤ |G|`` assumption → build ``T(G, H)`` →
+    all leaves ``done`` ⟺ dual (Proposition 2.1(1)).
+
+    On failure, the first ``fail`` leaf (in canonical label order)
+    provides the witness ``t(α)`` — a new transversal of the tree's
+    ``G``-side w.r.t. its ``H``-side; ``stats.extra["swapped"]`` records
+    whether the sides were exchanged (the witness direction flips with
+    it).  The fail leaf's label is reported as the certificate path.
+    """
+    method = "boros-makino"
+    entry = prepare_instance(g, h)
+    if not entry.ok:
+        return not_dual_result(
+            method, entry.failure, witness=entry.witness, detail=entry.detail
+        )
+    g_v, h_v = entry.g, entry.h
+
+    swapped = enforce_size_order and len(h_v) > len(g_v)
+    if swapped:
+        g_v, h_v = h_v, g_v
+
+    tree = build_tree(g_v, h_v, policy)
+    stats = DecisionStats(
+        nodes=tree.node_count(),
+        max_depth=tree.depth(),
+        max_children=tree.max_branching(),
+        base_cases=sum(1 for _ in tree.leaves()),
+    )
+    stats.extra["swapped"] = swapped
+
+    fails = tree.fail_leaves()
+    if not fails:
+        return dual_result(method, stats)
+    first_fail = min(fails, key=lambda n: n.attrs.label)
+    direction = "H wrt G" if swapped else "G wrt H"
+    return not_dual_result(
+        method,
+        FailureKind.MISSING_TRANSVERSAL,
+        witness=first_fail.attrs.witness,
+        detail=f"fail leaf {first_fail.attrs.label}: new transversal of {direction}",
+        path=first_fail.attrs.label,
+        stats=stats,
+    )
+
+
+def tree_for(
+    g: Hypergraph,
+    h: Hypergraph,
+    policy: TieBreakPolicy = PAPER_POLICY,
+) -> DecompositionTree:
+    """Entry-checked tree construction (raises on invalid instances).
+
+    Convenience for experiments that need the tree itself (depth and
+    branching measurements); requires the instance to satisfy the entry
+    conditions, i.e. to be a "genuine" ``H ⊆ tr(G)`` decomposition input.
+    """
+    entry = prepare_instance(g, h)
+    if not entry.ok:
+        raise ValueError(
+            f"instance violates the decomposition entry conditions: {entry.detail}"
+        )
+    return build_tree(entry.g, entry.h, policy)

@@ -1,0 +1,122 @@
+"""Unified façade over all duality deciders.
+
+``decide_duality(g, h, method=...)`` runs any of the engines behind a
+single signature, so applications (itemsets, keys, coteries) and the
+experiment harness can switch algorithms with a string:
+
+============  =====================================================
+method        engine
+============  =====================================================
+truth-table   definitional check on all ``2^n`` assignments
+transversal   exact ``tr(G)`` comparison (Berge oracle)
+berge         incremental Berge with blow-up instrumentation
+fk-a          Fredman–Khachiyan algorithm A
+fk-b          Fredman–Khachiyan algorithm B
+bm            full Boros–Makino decomposition tree (Section 2)
+logspace      the paper's quadratic-logspace algorithm (Section 4)
+guess-check   the paper's guess-and-check algorithm (Section 5)
+tractable     Section 6 structural dispatch (graph / threshold /
+              acyclic fast paths, general fallback)
+dfs-enum      space-efficient DFS enumeration with early stop
+              (the ref [44] Tamaki style)
+============  =====================================================
+
+All engines answer the same question — is ``H = tr(G)``? — and return a
+:class:`repro.duality.result.DualityResult` with a checkable certificate
+on NOT_DUAL.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.hypergraph import Hypergraph
+from repro.dnf import MonotoneDNF
+from repro.duality.result import DualityResult
+
+
+def _lazy_engines() -> dict[str, Callable[[Hypergraph, Hypergraph], DualityResult]]:
+    # Imported lazily so the cheap engines stay importable even while the
+    # heavier modules are being developed/tested in isolation.
+    from repro.duality.naive import decide_by_transversals, decide_by_truth_table
+    from repro.duality.berge import decide_by_berge
+    from repro.duality.fredman_khachiyan import decide_fk_a, decide_fk_b
+    from repro.duality.boros_makino import decide_boros_makino
+    from repro.duality.logspace import decide_logspace
+    from repro.duality.guess_and_check import decide_guess_and_check
+    from repro.duality.tractable import decide_duality_tractable
+    from repro.duality.enumeration import decide_by_dfs_enumeration
+
+    return {
+        "truth-table": decide_by_truth_table,
+        "transversal": decide_by_transversals,
+        "berge": decide_by_berge,
+        "fk-a": decide_fk_a,
+        "fk-b": decide_fk_b,
+        "bm": decide_boros_makino,
+        "logspace": decide_logspace,
+        "guess-check": decide_guess_and_check,
+        "tractable": decide_duality_tractable,
+        "dfs-enum": decide_by_dfs_enumeration,
+    }
+
+
+DEFAULT_METHOD = "bm"
+
+
+def available_methods() -> list[str]:
+    """The method names accepted by :func:`decide_duality`."""
+    return sorted(_lazy_engines())
+
+
+def decide_duality(
+    g: Hypergraph, h: Hypergraph, method: str = DEFAULT_METHOD
+) -> DualityResult:
+    """Decide whether ``H = tr(G)`` with the selected engine.
+
+    Parameters
+    ----------
+    g, h:
+        Simple hypergraphs.  Universes are united internally; isolated
+        vertices are allowed.
+    method:
+        One of :func:`available_methods` (default: the Boros–Makino
+        tree, the paper's workhorse).
+
+    Raises
+    ------
+    ValueError
+        For an unknown method name.
+    repro.errors.NotSimpleError
+        When a side is not simple (redundant DNF).
+    """
+    engines = _lazy_engines()
+    if method not in engines:
+        raise ValueError(
+            f"unknown method {method!r}; choose one of {sorted(engines)}"
+        )
+    return engines[method](g, h)
+
+
+def are_dual(g: Hypergraph, h: Hypergraph, method: str = DEFAULT_METHOD) -> bool:
+    """Boolean shortcut for :func:`decide_duality`."""
+    return decide_duality(g, h, method=method).is_dual
+
+
+def decide_dnf_duality(
+    f: MonotoneDNF, g: MonotoneDNF, method: str = DEFAULT_METHOD
+) -> DualityResult:
+    """Duality of monotone DNFs — the trivial reduction of Section 1.
+
+    The formulas must be irredundant (the problem ``Dual`` is defined on
+    irredundant DNFs); redundant input raises
+    :class:`repro.errors.NotIrredundantError`.
+    """
+    f.require_irredundant()
+    g.require_irredundant()
+    return decide_duality(f.hypergraph(), g.hypergraph(), method=method)
+
+
+def is_self_dual(g: Hypergraph, method: str = DEFAULT_METHOD) -> bool:
+    """``tr(G) = G``?  (The coterie non-domination test of Prop. 1.3.)"""
+    return are_dual(g, g, method=method)

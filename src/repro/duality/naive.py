@@ -1,0 +1,149 @@
+"""Reference duality deciders: ground truth for every other engine.
+
+Two independent definitional implementations:
+
+* :func:`decide_by_truth_table` — checks ``f(x) ≡ ¬g(¬x)`` on all ``2^n``
+  assignments (the *definition* of duality, Section 1).
+* :func:`decide_by_transversals` — computes ``tr(G)`` exactly (Berge
+  multiplication) and compares with ``H``.
+
+Both are exponential; both produce certificates.  They agree with each
+other by construction of the theory, and the test suite verifies that
+they do, which is what lets them serve as oracles for the clever
+algorithms.
+"""
+
+from __future__ import annotations
+
+from repro._util import powerset
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.transversal import (
+    is_new_transversal,
+    transversal_hypergraph,
+)
+from repro.duality.conditions import prepare_instance
+from repro.duality.result import (
+    DecisionStats,
+    DualityResult,
+    FailureKind,
+    dual_result,
+    not_dual_result,
+)
+
+
+def decide_by_truth_table(g: Hypergraph, h: Hypergraph) -> DualityResult:
+    """Decide duality by evaluating both DNFs on every assignment.
+
+    Reading ``G``'s edges as the terms of ``f`` and ``H``'s as the terms
+    of ``g``: a failing assignment with ``f(x) = g(¬x) = 0`` makes the
+    complement of the true set a *new transversal* of ``G`` w.r.t. ``H``
+    (it meets every ``G``-edge and covers no ``H``-edge); a failing
+    assignment with ``f(x) = g(¬x) = 1`` exhibits a ``G``-edge and an
+    ``H``-edge that are disjoint — a cross-intersection violation.
+    """
+    method = "truth-table"
+    g.require_simple("G")
+    h.require_simple("H")
+    universe = g.vertices | h.vertices
+    stats = DecisionStats()
+    for true_vars in powerset(universe):
+        stats.nodes += 1
+        flipped = universe - true_vars
+        f_val = any(edge <= true_vars for edge in g.edges)
+        g_val = any(edge <= flipped for edge in h.edges)
+        if f_val == g_val:
+            if f_val:
+                # f(x) = 1 and g(¬x) = 1: a G-edge inside the true set is
+                # disjoint from an H-edge inside the false set.
+                offending = next(e for e in h.edges if e <= flipped)
+                return not_dual_result(
+                    method,
+                    FailureKind.EXTRA_EDGE,
+                    witness=offending,
+                    detail=(
+                        "assignment satisfies both f and the mirrored g: "
+                        "cross-intersection violated"
+                    ),
+                    stats=stats,
+                )
+            # f(x) = 0: no G-edge inside the true set, so the false set
+            # meets every G-edge — it is a transversal of G.  g(¬x) = 0:
+            # no H-edge inside the false set.  Hence a new transversal.
+            return not_dual_result(
+                method,
+                FailureKind.MISSING_TRANSVERSAL,
+                witness=frozenset(flipped),
+                detail="complementary assignment falsifies both formulas",
+                stats=stats,
+            )
+    return dual_result(method, stats)
+
+
+def decide_by_transversals(g: Hypergraph, h: Hypergraph) -> DualityResult:
+    """Decide duality by computing ``tr(G)`` outright and comparing with ``H``.
+
+    Certificates: a missing minimal transversal is itself a new
+    transversal of ``G`` w.r.t. ``H``; an extra ``H``-edge is reported as
+    such.
+    """
+    method = "transversal-oracle"
+    g.require_simple("G")
+    h.require_simple("H")
+    universe = g.vertices | h.vertices
+    g_aligned = g.with_vertices(universe)
+    h_aligned = h.with_vertices(universe)
+    stats = DecisionStats()
+
+    exact = transversal_hypergraph(g_aligned)
+    stats.nodes = len(exact)
+    exact_edges = set(exact.edges)
+    h_edges = set(h_aligned.edges)
+
+    extra = sorted(h_edges - exact_edges, key=lambda e: (len(e), sorted(map(repr, e))))
+    if extra:
+        return not_dual_result(
+            method,
+            FailureKind.EXTRA_EDGE,
+            witness=extra[0],
+            detail="edge of H is not a minimal transversal of G",
+            stats=stats,
+        )
+    missing = sorted(
+        exact_edges - h_edges, key=lambda e: (len(e), sorted(map(repr, e)))
+    )
+    if missing:
+        witness = missing[0]
+        assert is_new_transversal(witness, g_aligned, h_aligned)
+        return not_dual_result(
+            method,
+            FailureKind.MISSING_TRANSVERSAL,
+            witness=witness,
+            detail="minimal transversal of G absent from H",
+            stats=stats,
+        )
+    return dual_result(method, stats)
+
+
+def decide_with_entry_check(g: Hypergraph, h: Hypergraph) -> DualityResult:
+    """Entry conditions + transversal oracle (the normalised reference pipeline).
+
+    Exercises :func:`repro.duality.conditions.prepare_instance` exactly
+    the way the decomposition engines do, then falls back on the
+    transversal oracle for the (already validated) core question.
+    """
+    method = "entry+transversal-oracle"
+    entry = prepare_instance(g, h)
+    if not entry.ok:
+        return not_dual_result(
+            method,
+            entry.failure,
+            witness=entry.witness,
+            detail=entry.detail,
+        )
+    inner = decide_by_transversals(entry.g, entry.h)
+    return DualityResult(
+        verdict=inner.verdict,
+        certificate=inner.certificate,
+        stats=inner.stats,
+        method=method,
+    )

@@ -1,0 +1,104 @@
+"""Tie-breaking policies for the Boros–Makino decomposition (ablation).
+
+Section 2 notes that ``T(G, H)`` "is actually not uniquely defined"
+because of free choices, and suggests one deterministic resolution
+(smallest ``i``, lexicographically first edge) — the library's default.
+Correctness (Prop. 2.1) holds for *any* resolution; what the choice
+affects is the tree's **size** and witness selection.  This module makes
+the choices first-class so experiment E13 can measure that effect:
+
+* ``marksmall`` case 4: which ``i ∈ H`` with ``{i} ∉ G^{S_α}`` to drop;
+* ``process`` step 3: which ``G ∈ G^{S_α}`` with ``G ∩ I_α = ∅``;
+* ``process`` step 4: which ``H ∈ H_{S_α}`` with ``H ⊆ I_α``.
+
+Policies are deterministic functions of the candidate list, so every
+policy still yields a reproducible tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro._util import sort_key, vertex_key
+
+
+@dataclass(frozen=True)
+class TieBreakPolicy:
+    """A deterministic resolution of the decomposition's free choices.
+
+    Each chooser receives a non-empty list of candidates and must return
+    one of them.  ``vertex_choice`` picks the ``marksmall`` case-4
+    vertex; ``edge_choice`` picks the step-3 ``G``-edge and the step-4
+    ``H``-edge.
+    """
+
+    name: str
+    vertex_choice: Callable[[list], object]
+    edge_choice: Callable[[list[frozenset]], frozenset]
+
+
+def _first_vertex(candidates: list) -> object:
+    return min(candidates, key=vertex_key)
+
+
+def _last_vertex(candidates: list) -> object:
+    return max(candidates, key=vertex_key)
+
+
+def _first_edge(candidates: list[frozenset]) -> frozenset:
+    return min(candidates, key=sort_key)
+
+
+def _last_edge(candidates: list[frozenset]) -> frozenset:
+    return max(candidates, key=sort_key)
+
+
+def _smallest_edge(candidates: list[frozenset]) -> frozenset:
+    return min(candidates, key=lambda e: (len(e),) + sort_key(e))
+
+
+def _largest_edge(candidates: list[frozenset]) -> frozenset:
+    return min(candidates, key=lambda e: (-len(e),) + sort_key(e))
+
+
+PAPER_POLICY = TieBreakPolicy(
+    name="paper",
+    vertex_choice=_first_vertex,
+    edge_choice=_first_edge,
+)
+
+REVERSE_POLICY = TieBreakPolicy(
+    name="reverse",
+    vertex_choice=_last_vertex,
+    edge_choice=_last_edge,
+)
+
+SMALL_EDGE_POLICY = TieBreakPolicy(
+    name="small-edge",
+    vertex_choice=_first_vertex,
+    edge_choice=_smallest_edge,
+)
+
+LARGE_EDGE_POLICY = TieBreakPolicy(
+    name="large-edge",
+    vertex_choice=_first_vertex,
+    edge_choice=_largest_edge,
+)
+
+ALL_POLICIES: tuple[TieBreakPolicy, ...] = (
+    PAPER_POLICY,
+    REVERSE_POLICY,
+    SMALL_EDGE_POLICY,
+    LARGE_EDGE_POLICY,
+)
+
+
+def policy_by_name(name: str) -> TieBreakPolicy:
+    """Look up a policy by its name."""
+    for policy in ALL_POLICIES:
+        if policy.name == name:
+            return policy
+    raise ValueError(
+        f"unknown policy {name!r}; available: {[p.name for p in ALL_POLICIES]}"
+    )

@@ -1,0 +1,136 @@
+"""Result objects shared by all duality deciders.
+
+Every decider in :mod:`repro.duality` answers the same question — given
+simple hypergraphs ``G`` and ``H`` over a shared universe, is
+``H = tr(G)``? — and reports its answer as a :class:`DualityResult`, so
+engines are interchangeable and cross-checkable.
+
+A *negative* answer always carries a **witness**: a new transversal of
+``G`` w.r.t. ``H`` (a transversal of ``G`` containing no edge of ``H``),
+or a more primitive violation (an edge of ``H`` that is not a minimal
+transversal of ``G``, reported through the certificate).  Witnesses are
+validated by :func:`repro.duality.witness.check_witness`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Verdict(Enum):
+    """The decision outcome of a duality check."""
+
+    DUAL = "dual"
+    NOT_DUAL = "not-dual"
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self is Verdict.DUAL
+
+
+class FailureKind(Enum):
+    """Why an instance is not dual (which entry condition or leaf failed)."""
+
+    NOT_SIMPLE = "a hypergraph is not simple"
+    EXTRA_EDGE = "an edge of H is not a minimal transversal of G"
+    MISSING_TRANSVERSAL = "a new transversal of G w.r.t. H exists"
+    CONSTANT_MISMATCH = "degenerate/constant hypergraphs do not match"
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Machine-checkable evidence attached to a verdict.
+
+    Attributes
+    ----------
+    kind:
+        The failure class (``None`` for DUAL verdicts).
+    witness:
+        For :attr:`FailureKind.MISSING_TRANSVERSAL`: a new transversal of
+        ``G`` w.r.t. ``H``.  For :attr:`FailureKind.EXTRA_EDGE`: the
+        offending edge of ``H``.
+    detail:
+        Free-text explanation for humans.
+    path:
+        For deciders based on the decomposition tree: the label (path
+        descriptor) of the ``fail`` leaf that produced the witness.
+    """
+
+    kind: FailureKind | None = None
+    witness: frozenset | None = None
+    detail: str = ""
+    path: tuple[int, ...] | None = None
+
+
+@dataclass
+class DecisionStats:
+    """Work counters a decider may fill in (all optional).
+
+    These are the quantities the paper's statements bound, so the
+    experiment harness reads them directly:
+
+    * ``nodes`` — decomposition-tree nodes visited / subproblems solved.
+    * ``max_depth`` — deepest recursion / tree level reached.
+    * ``max_children`` — largest branching factor ``κ(α)`` encountered.
+    * ``guessed_bits`` — nondeterministic bits consumed (guess-and-check).
+    * ``peak_space_bits`` — peak metered workspace (space-bounded engines).
+    * ``base_cases`` — leaves handled by ``marksmall`` / FK base cases.
+    """
+
+    nodes: int = 0
+    max_depth: int = 0
+    max_children: int = 0
+    guessed_bits: int = 0
+    peak_space_bits: int = 0
+    base_cases: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DualityResult:
+    """The complete answer of a duality decider."""
+
+    verdict: Verdict
+    certificate: Certificate
+    stats: DecisionStats
+    method: str
+
+    @property
+    def is_dual(self) -> bool:
+        """True iff the instance was found dual."""
+        return self.verdict is Verdict.DUAL
+
+    @property
+    def witness(self) -> frozenset | None:
+        """The new transversal (or offending edge) for NOT_DUAL verdicts."""
+        return self.certificate.witness
+
+    def __bool__(self) -> bool:
+        return self.is_dual
+
+
+def dual_result(method: str, stats: DecisionStats | None = None) -> DualityResult:
+    """Convenience constructor for a positive verdict."""
+    return DualityResult(
+        verdict=Verdict.DUAL,
+        certificate=Certificate(),
+        stats=stats or DecisionStats(),
+        method=method,
+    )
+
+
+def not_dual_result(
+    method: str,
+    kind: FailureKind,
+    witness: frozenset | None = None,
+    detail: str = "",
+    path: tuple[int, ...] | None = None,
+    stats: DecisionStats | None = None,
+) -> DualityResult:
+    """Convenience constructor for a negative verdict with certificate."""
+    return DualityResult(
+        verdict=Verdict.NOT_DUAL,
+        certificate=Certificate(kind=kind, witness=witness, detail=detail, path=path),
+        stats=stats or DecisionStats(),
+        method=method,
+    )

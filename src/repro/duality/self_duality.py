@@ -1,0 +1,113 @@
+"""Self-duality and the classical reduction ``Dual → Self-Dual``.
+
+A monotone function ``f`` is *self-dual* when ``f = f^d``; in hypergraph
+terms, ``tr(H) = H``.  Self-duality is exactly Prop. 1.3's
+non-domination criterion for coteries, which makes the classical
+reduction below more than a curiosity: it turns **any** dual pair into
+a non-dominated coterie.
+
+The reduction (Eiter–Gottlob, SIAM J. Comput. 1995): given monotone
+``f, g`` on disjoint variables and two fresh variables ``x, y``,
+
+    ``h = (x ∧ y) ∨ (x ∧ f) ∨ (y ∧ g)``
+
+is self-dual **iff** ``g = f^d``.  In hypergraph form, ``h``'s edge
+family is ``{{x, y}} ∪ {{x} ∪ E : E ∈ G} ∪ {{y} ∪ F : F ∈ H}``.
+
+So ``Dual`` reduces to self-duality testing (and self-duality is the
+special case ``Dual(f, f)`` of the paper's problem), giving the
+experiments a second, independently-checkable formulation — and a
+constructive bridge from dual pairs to coteries
+(:func:`coterie_from_dual_pair`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidInstanceError, VertexError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.duality.engine import DEFAULT_METHOD, decide_duality
+from repro.duality.result import DualityResult
+
+
+def is_self_dual_hypergraph(
+    hg: Hypergraph, method: str = DEFAULT_METHOD
+) -> bool:
+    """Is ``tr(H) = H`` (the function of ``hg`` self-dual)?
+
+    Runs the selected ``Dual`` engine on the pair ``(hg, hg)``.
+    """
+    return decide_duality(hg, hg, method=method).is_dual
+
+
+def self_dualization(
+    g: Hypergraph,
+    h: Hypergraph,
+    x="__x__",
+    y="__y__",
+) -> Hypergraph:
+    """The Eiter–Gottlob self-dualizing hypergraph of a pair ``(G, H)``.
+
+    Edges: ``{x, y}``, ``{x} ∪ E`` for every ``E ∈ G``, and ``{y} ∪ F``
+    for every ``F ∈ H``, over the shared universe plus the two fresh
+    vertices.  The result is self-dual iff ``H = tr(G)``.
+
+    The fresh vertex labels must not occur in either hypergraph.
+    Constant inputs are rejected — the reduction's correctness needs
+    non-degenerate ``f`` and ``g`` (decide those with
+    :func:`~repro.duality.conditions.check_degenerate` directly).
+    """
+    universe = g.vertices | h.vertices
+    if x in universe or y in universe:
+        raise VertexError(
+            f"fresh vertices {x!r}/{y!r} collide with the instance universe"
+        )
+    for side, name in ((g, "G"), (h, "H")):
+        if side.is_trivial_false() or side.is_trivial_true():
+            raise InvalidInstanceError(
+                f"{name} is constant; the self-dualization reduction needs "
+                "non-degenerate inputs"
+            )
+    edges = [frozenset({x, y})]
+    edges.extend(frozenset(e | {x}) for e in g.edges)
+    edges.extend(frozenset(e | {y}) for e in h.edges)
+    return Hypergraph(edges, vertices=universe | {x, y})
+
+
+def decide_duality_via_self_duality(
+    g: Hypergraph,
+    h: Hypergraph,
+    method: str = DEFAULT_METHOD,
+) -> DualityResult:
+    """Decide ``H = tr(G)`` through the self-duality reduction.
+
+    Builds the self-dualization and asks the engine whether it equals
+    its own transversal hypergraph.  The verdict transfers by the
+    reduction theorem; the certificate speaks about the *reduced*
+    instance (its witness mentions the fresh vertices), so the result's
+    ``stats.extra["reduced"]`` flags that.  Exists as an independent
+    cross-check of every direct engine, exercised by the tests.
+    """
+    reduced = self_dualization(g, h)
+    result = decide_duality(reduced, reduced, method=method)
+    result.stats.extra["reduced"] = True
+    result.stats.extra["reduced_vertices"] = len(reduced.vertices)
+    return result
+
+
+def coterie_from_dual_pair(g: Hypergraph, h: Hypergraph):
+    """A non-dominated coterie built from a dual pair (Prop. 1.3 bridge).
+
+    The self-dualization of a dual pair is a self-dual intersecting
+    antichain — precisely a non-dominated coterie.  Raises
+    :class:`~repro.errors.InvalidInstanceError` when the pair is not
+    dual (the construction would be dominated or not a coterie).
+    """
+    from repro.coteries.coterie import Coterie
+
+    if not decide_duality(g, h).is_dual:
+        raise InvalidInstanceError(
+            "coterie_from_dual_pair needs a dual pair; run decide_duality "
+            "first to obtain a witness for the failure"
+        )
+    reduced = self_dualization(g, h)
+    return Coterie(reduced.edges, universe=reduced.vertices)

@@ -1,0 +1,431 @@
+"""Tractable special cases of ``Dual`` (the paper's Section 6 landscape).
+
+The paper's concluding discussion recalls that ``Dual`` is polynomial
+for several structural classes and asks for more.  This module builds
+the classical tractable deciders as first-class engines:
+
+* **graphs** (``rank(G) ≤ 2``): minimal transversals of a graph are its
+  minimal vertex covers — complements of maximal independent sets — so
+  duality testing reduces to MIS enumeration with an early stop after
+  ``|H| + 1`` sets (polynomial per set via Bron–Kerbosch with
+  pivoting);
+* **complete uniform (threshold) hypergraphs**: ``tr`` of "all
+  k-subsets of W" is "all (|W| − k + 1)-subsets of W" in closed form,
+  so duality testing is counting plus one scan for a missing subset;
+* **α-acyclic hypergraphs**: tractable by Eiter–Gottlob (ref [9]); the
+  decider validates acyclicity with the GYO reduction and runs Berge
+  multiplication in a GYO-guided edge order, which keeps intermediate
+  families small on acyclic inputs (the E18 experiment measures this —
+  the implementation is exact on *all* inputs, the ordering is the
+  acyclicity-aware part).
+
+:func:`decide_duality_tractable` dispatches: constants → entry check,
+rank ≤ 2 → graph, complete-uniform → threshold, α-acyclic → acyclic,
+anything else → the general Boros–Makino engine.  It is registered as
+the ``"tractable"`` method of :func:`repro.duality.engine.decide_duality`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import combinations
+from math import comb
+
+from repro._util import sort_key, vertex_key
+from repro.errors import InvalidInstanceError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.structure import gyo_reduction, is_alpha_acyclic
+from repro.hypergraph.transversal import transversal_hypergraph
+from repro.duality.conditions import prepare_instance
+from repro.duality.result import (
+    DecisionStats,
+    DualityResult,
+    FailureKind,
+    dual_result,
+    not_dual_result,
+)
+
+
+# ----------------------------------------------------------------------
+# Maximal-independent-set enumeration (the graph case's workhorse)
+# ----------------------------------------------------------------------
+
+
+def maximal_independent_sets_iter(
+    vertices: frozenset, pair_edges: tuple[frozenset, ...]
+) -> Iterator[frozenset]:
+    """Yield the maximal independent sets of a graph, one at a time.
+
+    Bron–Kerbosch with pivoting on the *complement* adjacency (maximal
+    cliques of the complement are exactly the MIS).  Deterministic
+    order; the early-stopping deciders consume only as many sets as
+    they need.
+    """
+    verts = sorted(vertices, key=vertex_key)
+    adjacency: dict = {v: set() for v in verts}
+    for edge in pair_edges:
+        u, v = tuple(edge)
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    non_adjacent = {
+        v: (set(verts) - adjacency[v] - {v}) for v in verts
+    }
+
+    def expand(r: set, p: set, x: set) -> Iterator[frozenset]:
+        if not p and not x:
+            yield frozenset(r)
+            return
+        pivot = max(p | x, key=lambda u: (len(non_adjacent[u] & p), vertex_key(u)))
+        candidates = sorted(p - non_adjacent[pivot], key=vertex_key)
+        for v in candidates:
+            yield from expand(
+                r | {v}, p & non_adjacent[v], x & non_adjacent[v]
+            )
+            p = p - {v}
+            x = x | {v}
+
+    yield from expand(set(), set(verts), set())
+
+
+def minimal_vertex_covers_iter(
+    vertices: frozenset, pair_edges: tuple[frozenset, ...]
+) -> Iterator[frozenset]:
+    """Minimal vertex covers = complements of maximal independent sets."""
+    universe = set(vertices)
+    for mis in maximal_independent_sets_iter(vertices, pair_edges):
+        yield frozenset(universe - mis)
+
+
+# ----------------------------------------------------------------------
+# Rank ≤ 2: the graph decider
+# ----------------------------------------------------------------------
+
+
+def graph_reduction(
+    g: Hypergraph,
+) -> tuple[frozenset, tuple[frozenset, ...], frozenset]:
+    """Split a rank-≤2 hypergraph into (forced vertices, pair edges, V'').
+
+    Singleton edges force their vertex into every transversal; the
+    remaining size-2 edges form a graph (simplicity guarantees the two
+    parts are vertex-disjoint).  ``V''`` is the vertex set of the graph
+    part.
+    """
+    if g.rank() > 2:
+        raise InvalidInstanceError(
+            f"graph decider needs rank ≤ 2, got rank {g.rank()}"
+        )
+    forced = frozenset(next(iter(e)) for e in g.edges if len(e) == 1)
+    pairs = tuple(e for e in g.edges if len(e) == 2)
+    covered: set = set()
+    for e in pairs:
+        covered |= e
+    return forced, pairs, frozenset(covered)
+
+
+def decide_duality_graph(g: Hypergraph, h: Hypergraph) -> DualityResult:
+    """Polynomial duality testing when ``rank(G) ≤ 2``.
+
+    After the entry check (which already certifies ``H ⊆ tr(G)``), every
+    edge of ``H`` corresponds to a distinct maximal independent set of
+    the graph part; duality holds iff the MIS enumeration produces no
+    transversal outside ``H``.  The first such transversal — necessarily
+    a *missing minimal transversal* — is the witness.  Work per MIS is
+    polynomial, and at most ``|H| + 1`` sets are ever generated.
+    """
+    method = "graph"
+    entry = prepare_instance(g, h)
+    if not entry.ok:
+        return not_dual_result(
+            method, entry.failure, witness=entry.witness, detail=entry.detail
+        )
+    g_v, h_v = entry.g, entry.h
+    forced, pairs, covered = graph_reduction(g_v)
+    claimed = set(h_v.edges)
+    stats = DecisionStats()
+    seen = 0
+    for cover in minimal_vertex_covers_iter(covered, pairs):
+        transversal = frozenset(forced | cover)
+        seen += 1
+        stats.nodes = seen
+        if transversal not in claimed:
+            return not_dual_result(
+                method,
+                FailureKind.MISSING_TRANSVERSAL,
+                witness=transversal,
+                detail=(
+                    "minimal vertex cover yields a minimal transversal "
+                    "missing from H"
+                ),
+                stats=stats,
+            )
+        if seen > len(claimed):
+            break
+    if seen != len(claimed):
+        # Unreachable given the entry check (H ⊆ tr(G) makes every
+        # claimed edge one of the enumerated covers), kept as a guard.
+        raise AssertionError("MIS count disagrees with |H| after entry check")
+    return dual_result(method, stats=stats)
+
+
+# ----------------------------------------------------------------------
+# Complete k-uniform (threshold) hypergraphs
+# ----------------------------------------------------------------------
+
+
+def complete_uniform_arity(g: Hypergraph) -> int | None:
+    """``k`` when ``g`` is exactly all ``k``-subsets of its covered
+    vertices, else ``None``."""
+    if not g.edges:
+        return None
+    sizes = set(g.edge_sizes())
+    if len(sizes) != 1:
+        return None
+    k = sizes.pop()
+    if k == 0:
+        return None
+    covered: set = set()
+    for e in g.edges:
+        covered |= e
+    if len(g) != comb(len(covered), k):
+        return None
+    return k
+
+
+def decide_duality_threshold(g: Hypergraph, h: Hypergraph) -> DualityResult:
+    """Closed-form duality testing for complete k-uniform ``G``.
+
+    ``tr`` of all ``k``-subsets of ``W`` is all ``(|W| − k + 1)``-subsets
+    of ``W``, so the decider validates ``H``'s *shape* directly instead
+    of running the quadratic cross-minimality entry check (whose
+    ``|G|·|H|`` cost is exactly what the closed form avoids):
+
+    * an ``H``-edge that is not a ``(|W| − k + 1)``-subset of ``W`` is
+      provably not a minimal transversal — an ``EXTRA_EDGE`` witness;
+    * otherwise only the count can be wrong, and a combinations scan
+      with early exit locates a missing subset — a new (indeed missing
+      minimal) transversal witness.
+    """
+    method = "threshold"
+    g.require_simple("G")
+    h.require_simple("H")
+    from repro.duality.conditions import check_degenerate
+
+    degenerate = check_degenerate(g, h)
+    if degenerate is True:
+        return dual_result(method)
+    if degenerate is False:
+        return not_dual_result(
+            method,
+            FailureKind.CONSTANT_MISMATCH,
+            detail="constant hypergraph paired with a non-matching partner",
+        )
+    k = complete_uniform_arity(g)
+    if k is None:
+        raise InvalidInstanceError(
+            "threshold decider needs a complete k-uniform hypergraph"
+        )
+    covered: set = set()
+    for e in g.edges:
+        covered |= e
+    n = len(covered)
+    dual_size = n - k + 1
+    stats = DecisionStats(extra={"n": n, "k": k, "dual_size": dual_size})
+    for edge in h.edges:
+        if len(edge) != dual_size or not edge <= covered:
+            return not_dual_result(
+                method,
+                FailureKind.EXTRA_EDGE,
+                witness=edge,
+                detail=(
+                    f"H-edge is not a {dual_size}-subset of the covered "
+                    "vertices, hence not a minimal transversal"
+                ),
+                stats=stats,
+            )
+    expected = comb(n, dual_size)
+    if len(h) == expected:
+        return dual_result(method, stats=stats)
+    claimed = set(h.edges)
+    for subset in combinations(sorted(covered, key=vertex_key), dual_size):
+        candidate = frozenset(subset)
+        if candidate not in claimed:
+            return not_dual_result(
+                method,
+                FailureKind.MISSING_TRANSVERSAL,
+                witness=candidate,
+                detail=f"missing {dual_size}-subset of the {n} covered vertices",
+                stats=stats,
+            )
+    raise AssertionError("count mismatch but no missing subset found")
+
+
+# ----------------------------------------------------------------------
+# α-acyclic hypergraphs
+# ----------------------------------------------------------------------
+
+
+def gyo_edge_order(g: Hypergraph) -> list[frozenset]:
+    """An edge order from the GYO reduction (ears last, reversed to front).
+
+    Re-runs the reduction recording the order in which edges become
+    removable; Berge multiplication in *reverse* removal order keeps the
+    processed prefix connected on acyclic inputs, which is what keeps
+    intermediate transversal families small.
+    """
+    edges = [set(e) for e in g.edges]
+    original = list(g.edges)
+    alive = set(range(len(edges)))
+    removal: list[int] = []
+    changed = True
+    while changed and alive:
+        changed = False
+        occurrence: dict = {}
+        for idx in alive:
+            for v in edges[idx]:
+                occurrence.setdefault(v, []).append(idx)
+        for v, holders in occurrence.items():
+            if len(holders) == 1:
+                edges[holders[0]].discard(v)
+                changed = True
+        for idx in sorted(alive):
+            if any(
+                jdx in alive
+                and jdx != idx
+                and (edges[idx] < edges[jdx]
+                     or (edges[idx] == edges[jdx] and idx > jdx))
+                for jdx in alive
+            ) or not edges[idx]:
+                removal.append(idx)
+                alive.discard(idx)
+                changed = True
+    # Any residue (cyclic core) goes first, then ears outward-in.
+    ordered = sorted(alive) + list(reversed(removal))
+    return [original[idx] for idx in ordered]
+
+
+def decide_duality_acyclic(g: Hypergraph, h: Hypergraph) -> DualityResult:
+    """Duality testing for α-acyclic ``G`` (tractable per ref [9]).
+
+    Validates acyclicity via the GYO reduction, computes ``tr(G)`` by
+    Berge multiplication in the GYO-guided order, and compares.  Exact
+    regardless of input; the ordering is what keeps the intermediate
+    families polynomial on acyclic instances (measured by E18).
+    """
+    method = "acyclic"
+    entry = prepare_instance(g, h)
+    if not entry.ok:
+        return not_dual_result(
+            method, entry.failure, witness=entry.witness, detail=entry.detail
+        )
+    g_v, h_v = entry.g, entry.h
+    if not is_alpha_acyclic(g_v):
+        raise InvalidInstanceError(
+            "acyclic decider needs an α-acyclic G "
+            f"(GYO residue: {gyo_reduction(g_v)!r})"
+        )
+    from repro._util import minimize_family
+
+    stats = DecisionStats()
+    current: frozenset[frozenset] = frozenset((frozenset(),))
+    peak = 1
+    for edge in gyo_edge_order(g_v):
+        expanded: set[frozenset] = set()
+        for partial in current:
+            if partial & edge:
+                expanded.add(partial)
+            else:
+                for v in edge:
+                    expanded.add(partial | {v})
+        current = minimize_family(expanded)
+        peak = max(peak, len(current))
+        stats.nodes += len(current)
+    stats.extra["peak_intermediate"] = peak
+    exact = set(current)
+    claimed = set(h_v.edges)
+    if exact == claimed:
+        return dual_result(method, stats=stats)
+    missing = sorted(exact - claimed, key=sort_key)
+    if missing:
+        return not_dual_result(
+            method,
+            FailureKind.MISSING_TRANSVERSAL,
+            witness=missing[0],
+            detail="minimal transversal of G missing from H",
+            stats=stats,
+        )
+    extra = sorted(claimed - exact, key=sort_key)
+    return not_dual_result(
+        method,
+        FailureKind.EXTRA_EDGE,
+        witness=extra[0],
+        detail="edge of H is not a minimal transversal of G",
+        stats=stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# The dispatcher
+# ----------------------------------------------------------------------
+
+
+def classify_instance(g: Hypergraph, h: Hypergraph) -> str:
+    """Which specialised decider applies to ``(G, H)``?
+
+    One of ``"constant"``, ``"graph"``, ``"threshold"``, ``"acyclic"``
+    or ``"general"``.  Classification looks at ``G`` only (the side
+    being dualized), mirroring the structural classes of Section 6.
+    """
+    if (
+        g.is_trivial_false()
+        or g.is_trivial_true()
+        or h.is_trivial_false()
+        or h.is_trivial_true()
+    ):
+        return "constant"
+    if g.rank() <= 2:
+        return "graph"
+    if complete_uniform_arity(g) is not None:
+        return "threshold"
+    if is_alpha_acyclic(g):
+        return "acyclic"
+    return "general"
+
+
+def decide_duality_tractable(g: Hypergraph, h: Hypergraph) -> DualityResult:
+    """Dispatch to the matching tractable decider, or fall back to BM.
+
+    The returned result's ``stats.extra["class"]`` records the detected
+    structural class, so experiments can report which fast path fired.
+    """
+    tag = classify_instance(g, h)
+    if tag == "graph":
+        result = decide_duality_graph(g, h)
+    elif tag == "threshold":
+        result = decide_duality_threshold(g, h)
+    elif tag == "acyclic":
+        result = decide_duality_acyclic(g, h)
+    else:
+        from repro.duality.boros_makino import decide_boros_makino
+
+        result = decide_boros_makino(g, h)
+    result.stats.extra["class"] = tag
+    return result
+
+
+def transversals_via_mis(g: Hypergraph) -> Hypergraph:
+    """``tr`` of a rank-≤2 hypergraph through the MIS route (cross-check).
+
+    Exists so tests can verify the graph decider's enumeration against
+    :func:`~repro.hypergraph.transversal.transversal_hypergraph`.
+    """
+    if g.is_trivial_false():
+        return Hypergraph([frozenset()], vertices=g.vertices)
+    if g.is_trivial_true():
+        return Hypergraph.empty(g.vertices)
+    forced, pairs, covered = graph_reduction(g)
+    transversals = [
+        frozenset(forced | cover)
+        for cover in minimal_vertex_covers_iter(covered, pairs)
+    ]
+    return Hypergraph(transversals, vertices=g.vertices)

@@ -1,0 +1,169 @@
+"""Witness validation and post-processing (paper, Corollary 4.1 discussion).
+
+A NOT_DUAL verdict must be *checkable*.  For the instance "is
+``H = tr(G)``?" the primitive certificates are:
+
+* a **new transversal** of ``G`` w.r.t. ``H`` — a transversal of ``G``
+  containing no edge of ``H`` (proves a minimal transversal is missing
+  from ``H``);
+* an **extra edge** — an edge of ``H`` that is not a minimal transversal
+  of ``G``.
+
+Because duality is symmetric, engines that internally swap sides may
+return a new transversal of ``H`` w.r.t. ``G`` instead;
+:func:`classify_witness` recognises all cases.
+
+The paper points out (after Corollary 4.1) that the witness ``t(α)`` is
+in general *not minimal*, and that greedy minimalization needs linear
+(not quadratic-log) space; :func:`extract_missing_minimal_transversal`
+implements that post-pass and is measured separately by experiment E7.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.transversal import (
+    is_minimal_transversal,
+    is_new_transversal,
+    is_transversal,
+    minimalize_transversal,
+)
+from repro.duality.result import DualityResult, FailureKind
+
+
+class WitnessRole(Enum):
+    """What a claimed witness set actually certifies."""
+
+    NEW_TRANSVERSAL_OF_G = "new transversal of G w.r.t. H"
+    NEW_TRANSVERSAL_OF_H = "new transversal of H w.r.t. G"
+    EXTRA_EDGE_OF_H = "edge of H that is not a minimal transversal of G"
+    EXTRA_EDGE_OF_G = "edge of G that is not a minimal transversal of H"
+    INVALID = "certifies nothing"
+
+
+def classify_witness(
+    g: Hypergraph, h: Hypergraph, witness: frozenset
+) -> WitnessRole:
+    """Determine which non-duality certificate ``witness`` provides, if any.
+
+    Checks the four primitive roles in a fixed priority order (new
+    transversals first — they are the strongest evidence).
+    """
+    universe = g.vertices | h.vertices
+    g_a = g.with_vertices(universe)
+    h_a = h.with_vertices(universe)
+    if is_new_transversal(witness, g_a, h_a):
+        return WitnessRole.NEW_TRANSVERSAL_OF_G
+    if is_new_transversal(witness, h_a, g_a):
+        return WitnessRole.NEW_TRANSVERSAL_OF_H
+    if witness in set(h_a.edges) and not is_minimal_transversal(witness, g_a):
+        return WitnessRole.EXTRA_EDGE_OF_H
+    if witness in set(g_a.edges) and not is_minimal_transversal(witness, h_a):
+        return WitnessRole.EXTRA_EDGE_OF_G
+    return WitnessRole.INVALID
+
+
+def check_result_witness(
+    g: Hypergraph, h: Hypergraph, result: DualityResult
+) -> bool:
+    """True iff a NOT_DUAL result carries a valid certificate.
+
+    DUAL results need no witness and always pass.  Results whose failure
+    kind is :attr:`FailureKind.CONSTANT_MISMATCH` are validated
+    structurally (one side must be constant).
+    """
+    if result.is_dual:
+        return True
+    kind = result.certificate.kind
+    if kind is FailureKind.CONSTANT_MISMATCH:
+        return (
+            g.is_trivial_false()
+            or g.is_trivial_true()
+            or h.is_trivial_false()
+            or h.is_trivial_true()
+        )
+    witness = result.certificate.witness
+    if witness is None:
+        return False
+    return classify_witness(g, h, witness) is not WitnessRole.INVALID
+
+
+def extract_missing_minimal_transversal(
+    g: Hypergraph, h: Hypergraph, witness: frozenset
+) -> frozenset:
+    """Shrink a new transversal to a *missing minimal transversal*.
+
+    Given a new transversal ``t`` of ``G`` w.r.t. ``H``, greedily remove
+    vertices while the set stays a transversal of ``G`` (the linear-space
+    post-pass the paper describes).  The result is a minimal transversal
+    of ``G`` that is not an edge of ``H`` — i.e. concretely an element of
+    ``tr(G) − H``.
+
+    Engines are free to swap sides (the paper assumes ``|H| ≤ |G|``), so
+    a witness may be a new transversal of ``H`` w.r.t. ``G`` instead.  In
+    that case its complement ``V − t`` is a new transversal of ``G``
+    w.r.t. ``H`` (``t`` meets every ``H``-edge, so no ``H``-edge fits in
+    the complement; ``t`` covers no ``G``-edge, so every ``G``-edge meets
+    the complement), and we shrink that instead.
+    """
+    universe = g.vertices | h.vertices
+    g_a = g.with_vertices(universe)
+    h_a = h.with_vertices(universe)
+    if not is_new_transversal(witness, g_a, h_a):
+        flipped = frozenset(universe - witness)
+        if not is_new_transversal(witness, h_a, g_a):
+            raise ValueError("witness is not a new transversal of G w.r.t. H")
+        witness = flipped
+    minimal = minimalize_transversal(witness, g_a)
+    # A minimal transversal below a new transversal cannot be an H-edge:
+    # every H-edge inside the witness would contradict new-ness, and the
+    # shrink only removes vertices.
+    assert minimal not in set(h_a.edges)
+    assert is_minimal_transversal(minimal, g_a)
+    return minimal
+
+
+def witness_direction_pair(
+    g: Hypergraph, h: Hypergraph, result: DualityResult
+) -> tuple[Hypergraph, Hypergraph] | None:
+    """The (base, reference) pair a new-transversal witness speaks about.
+
+    Returns ``(g, h)`` when the witness is a new transversal of ``G``
+    w.r.t. ``H``, ``(h, g)`` when of ``H`` w.r.t. ``G``, and ``None`` for
+    non-transversal certificates.
+    """
+    if result.is_dual or result.certificate.witness is None:
+        return None
+    role = classify_witness(g, h, result.certificate.witness)
+    if role is WitnessRole.NEW_TRANSVERSAL_OF_G:
+        return g, h
+    if role is WitnessRole.NEW_TRANSVERSAL_OF_H:
+        return h, g
+    return None
+
+
+def explain(g: Hypergraph, h: Hypergraph, result: DualityResult) -> str:
+    """One-line human explanation of a duality result and its evidence."""
+    if result.is_dual:
+        return f"dual ({result.method}): H = tr(G) over {len(g.vertices | h.vertices)} vertices"
+    witness = result.certificate.witness
+    role = (
+        classify_witness(g, h, witness).value
+        if witness is not None
+        else "no witness"
+    )
+    return (
+        f"not dual ({result.method}): {result.certificate.kind.value}; "
+        f"witness {sorted(map(str, witness or ()))} is a {role}"
+    )
+
+
+def is_transversal_pair_consistent(g: Hypergraph, h: Hypergraph) -> bool:
+    """Quick consistency: every ``H``-edge is at least a transversal of ``G``.
+
+    Weaker than the full entry check; used by integration tests to build
+    sensible negative instances.
+    """
+    return all(is_transversal(e, g) for e in h.edges)

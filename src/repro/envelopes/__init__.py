@@ -1,0 +1,30 @@
+"""Horn envelopes via hypergraph transversals (paper refs [33, 19]).
+
+Section 1 cites "computing a Horn approximation to a non-Horn theory"
+among the ``Dual`` applications, after Kavvadias–Papadimitriou–Sideri's
+*On Horn Envelopes and Hypergraph Transversals* [33]: the strongest
+Horn theory implied by a set of models has its prime clauses given by
+**minimal transversals** of complement hypergraphs built from the
+models.  This package implements that construction from scratch:
+
+* per-head clause bodies = ``tr({atoms − {head} − m : m ∈ models, head ∉ m})``;
+* negative constraints  = ``tr({atoms − m : m ∈ models})``;
+* the envelope's model set is the intersection closure of the input
+  models (verified exhaustively by the tests).
+"""
+
+from repro.envelopes.horn_envelope import (
+    envelope_clauses_for_head,
+    envelope_is_exact,
+    envelope_negative_clauses,
+    horn_envelope,
+    models_of_envelope,
+)
+
+__all__ = [
+    "envelope_clauses_for_head",
+    "envelope_is_exact",
+    "envelope_negative_clauses",
+    "horn_envelope",
+    "models_of_envelope",
+]

@@ -1,0 +1,151 @@
+"""The Kavvadias–Papadimitriou–Sideri Horn-envelope construction.
+
+Given the model set ``M`` of an arbitrary propositional theory over
+atoms ``V`` (models = sets of true atoms), the *Horn envelope* is the
+strongest Horn theory every model of which ``M`` satisfies; its model
+set is exactly the intersection closure of ``M``.
+
+The clause-level construction reduces to minimal transversals [33]:
+
+* A definite clause ``B → a`` is *sound* for ``M`` iff no model makes
+  the body true and the head false: for every ``m ∈ M`` with ``a ∉ m``,
+  ``B ⊄ m``, i.e. ``B`` meets ``(V − {a}) − m``.  The minimal sound
+  bodies are therefore ``tr({(V − {a}) − m : m ∈ M, a ∉ m})`` over the
+  universe ``V − {a}``.
+* A negative clause ``B → ⊥`` is sound iff ``B ⊄ m`` for every model,
+  giving ``tr({V − m : m ∈ M})``.
+
+Degenerate conventions fall out of the library's ``tr`` conventions:
+when some complement edge is empty (a model already contains
+``V − {a}``), the transversal hypergraph is empty — no sound body
+exists; when the edge family is empty (``a`` true in all models), the
+single minimal body is ``∅`` — the fact ``→ a``.
+
+The envelope can blow up exponentially (that is the point of [33]);
+everything here is exact and meant for the experiment scale.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro._util import vertex_key
+from repro.errors import InvalidInstanceError, VertexError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.transversal import transversal_hypergraph
+from repro.logic.horn import (
+    HornClause,
+    HornTheory,
+    intersection_closure,
+    is_intersection_closed,
+)
+
+
+def _normalise_models(
+    models: Iterable[Iterable], atoms: Iterable | None
+) -> tuple[frozenset, list[frozenset]]:
+    family = [frozenset(m) for m in models]
+    used: set = set()
+    for m in family:
+        used |= m
+    if atoms is None:
+        universe = frozenset(used)
+    else:
+        universe = frozenset(atoms)
+        if not used <= universe:
+            extra = sorted(used - universe, key=vertex_key)
+            raise VertexError(f"models use atoms outside the universe: {extra}")
+    if not family:
+        raise InvalidInstanceError(
+            "the Horn envelope of an empty model set is the inconsistent "
+            "theory; supply at least one model"
+        )
+    return universe, family
+
+
+def envelope_clauses_for_head(
+    models: Iterable[Iterable], head, atoms: Iterable | None = None
+) -> list[HornClause]:
+    """The prime definite clauses ``B → head`` sound for the models.
+
+    Implements the [33] transversal construction for one head atom.
+    Bodies are inclusion-minimal; the fact ``→ head`` appears as the
+    empty body when the head holds in every model.
+    """
+    universe, family = _normalise_models(models, atoms)
+    if head not in universe:
+        raise VertexError(f"head {head!r} is not in the atom universe")
+    others = universe - {head}
+    refuting = [m for m in family if head not in m]
+    complements = Hypergraph(
+        (others - m for m in refuting), vertices=others
+    )
+    bodies = transversal_hypergraph(complements)
+    return [HornClause(body, head) for body in bodies.edges]
+
+
+def envelope_negative_clauses(
+    models: Iterable[Iterable], atoms: Iterable | None = None
+) -> list[HornClause]:
+    """The prime negative clauses ``B → ⊥`` sound for the models.
+
+    ``B`` must meet every model complement; over a universe where some
+    atom is false in all models this yields unit constraints, and when
+    every atom appears somewhere the constraints grow accordingly.
+    """
+    universe, family = _normalise_models(models, atoms)
+    complements = Hypergraph(
+        (universe - m for m in family), vertices=universe
+    )
+    bodies = transversal_hypergraph(complements)
+    return [HornClause(body) for body in bodies.edges]
+
+
+def horn_envelope(
+    models: Iterable[Iterable], atoms: Iterable | None = None
+) -> HornTheory:
+    """The full Horn envelope (all prime definite + negative clauses).
+
+    The returned theory's model set equals the intersection closure of
+    the input models (:func:`models_of_envelope` verifies this
+    exhaustively; the property-based tests rely on it).
+    """
+    universe, family = _normalise_models(models, atoms)
+    clauses: list[HornClause] = []
+    for head in sorted(universe, key=vertex_key):
+        clauses.extend(envelope_clauses_for_head(family, head, atoms=universe))
+    clauses.extend(envelope_negative_clauses(family, atoms=universe))
+    return HornTheory(clauses, atoms=universe)
+
+
+def models_of_envelope(
+    models: Iterable[Iterable], atoms: Iterable | None = None
+) -> set[frozenset]:
+    """The envelope's model set, by exhaustive evaluation (small universes)."""
+    universe, family = _normalise_models(models, atoms)
+    theory = horn_envelope(family, atoms=universe)
+    return set(theory.models())
+
+
+def envelope_is_exact(
+    models: Iterable[Iterable], atoms: Iterable | None = None
+) -> bool:
+    """Is the theory already Horn (envelope loses nothing)?
+
+    True iff the model family is closed under intersection — then the
+    envelope's models are exactly the input models.
+    """
+    _universe, family = _normalise_models(models, atoms)
+    return is_intersection_closed(family)
+
+
+def envelope_blowup(
+    models: Iterable[Iterable], atoms: Iterable | None = None
+) -> tuple[int, int]:
+    """``(input models, envelope models)`` — the measured approximation cost.
+
+    The second component is ``|intersection_closure(models)|``; the gap
+    quantifies how non-Horn the input theory is.
+    """
+    _universe, family = _normalise_models(models, atoms)
+    return len(set(family)), len(intersection_closure(family))

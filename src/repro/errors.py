@@ -1,0 +1,73 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still distinguishing the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class NotSimpleError(ReproError):
+    """A hypergraph that must be simple (an antichain) is not.
+
+    Raised by operations that are only defined on simple hypergraphs,
+    e.g. building a :class:`~repro.duality.boros_makino` decomposition
+    tree or interpreting a family as an irredundant DNF.
+    """
+
+
+class NotIrredundantError(ReproError):
+    """A monotone DNF that must be irredundant contains a covered term."""
+
+
+class InvalidInstanceError(ReproError):
+    """A problem instance violates a documented precondition.
+
+    Examples: a duality instance whose hypergraphs fail the
+    ``G ⊆ tr(H)`` / ``H ⊆ tr(G)`` entry conditions when the caller
+    asserted they hold, a frequency threshold outside ``(0, |M|]``, or a
+    claimed subset of minimal keys containing a non-key.
+    """
+
+
+class VertexError(ReproError):
+    """A vertex (or item / attribute) is not part of the expected universe."""
+
+
+class SpaceBudgetExceeded(ReproError):
+    """A metered computation used more worktape bits than its budget.
+
+    Raised by :class:`repro.machine.meter.SpaceMeter` when a hard budget
+    was configured; used by tests to *prove* an algorithm stays inside a
+    declared asymptotic envelope.
+    """
+
+    def __init__(self, used_bits: int, budget_bits: int) -> None:
+        self.used_bits = used_bits
+        self.budget_bits = budget_bits
+        super().__init__(
+            f"space budget exceeded: {used_bits} bits used, "
+            f"budget is {budget_bits} bits"
+        )
+
+
+class ParseError(ReproError):
+    """A textual representation (DNF, hypergraph file, transaction file) is malformed."""
+
+
+class NotACoterieError(ReproError):
+    """A quorum family violates the coterie axioms (intersection or minimality)."""
+
+
+class InconsistentBorderError(InvalidInstanceError):
+    """Claimed partial borders are inconsistent with the relation.
+
+    Raised by MaxFreq–MinInfreq identification when a set claimed to be a
+    maximal frequent itemset is not frequent/maximal, or a claimed minimal
+    infrequent itemset is not infrequent/minimal.
+    """

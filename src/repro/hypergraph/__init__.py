@@ -1,0 +1,70 @@
+"""Hypergraph substrate: families of sets, transversals, and generators.
+
+This package provides everything Section 1 of the paper presupposes:
+simple hypergraphs, the restriction operators of the Boros–Makino
+decomposition, exact minimal-transversal computation (the ground truth
+for all duality deciders), and the instance generators used as
+experimental workloads.
+"""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.operations import (
+    complement_family,
+    contract,
+    delete_edges_meeting,
+    minimized_union,
+    project,
+    relabel,
+    restrict_to_subsets,
+    restriction_instance,
+    union,
+)
+from repro.hypergraph.structure import (
+    is_alpha_acyclic,
+    is_conformal,
+    primal_degeneracy,
+    tractability_report,
+)
+from repro.hypergraph.transversal import (
+    berge_peak_intermediate,
+    cross_intersecting,
+    find_new_transversal_brute_force,
+    is_minimal_transversal,
+    is_new_transversal,
+    is_transversal,
+    maximal_independent_sets,
+    minimal_transversals,
+    minimalize_transversal,
+    self_transversal,
+    transversal_hypergraph,
+    transversals_brute_force,
+)
+
+__all__ = [
+    "Hypergraph",
+    "berge_peak_intermediate",
+    "complement_family",
+    "contract",
+    "cross_intersecting",
+    "is_alpha_acyclic",
+    "is_conformal",
+    "primal_degeneracy",
+    "tractability_report",
+    "delete_edges_meeting",
+    "find_new_transversal_brute_force",
+    "is_minimal_transversal",
+    "is_new_transversal",
+    "is_transversal",
+    "maximal_independent_sets",
+    "minimal_transversals",
+    "minimalize_transversal",
+    "minimized_union",
+    "project",
+    "relabel",
+    "restrict_to_subsets",
+    "restriction_instance",
+    "self_transversal",
+    "transversal_hypergraph",
+    "transversals_brute_force",
+    "union",
+]

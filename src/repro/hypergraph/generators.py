@@ -1,0 +1,366 @@
+"""Instance generators: the workload families behind every experiment.
+
+Each generator documents the duality status of what it produces, because
+the experiments need both *known-dual* pairs (to test the "all leaves
+done" direction) and controlled *non-dual* perturbations (to test witness
+extraction).  Several families are classical in the dualization
+literature:
+
+* **Matching duals** ``M_k``: ``k`` disjoint 2-element edges; the dual has
+  ``2^k`` edges.  The classical family on which Fredman–Khachiyan-style
+  recursions exhibit their worst behaviour and the standard scaling
+  workload (used here by experiments E3, E6, E10).
+* **Threshold hypergraphs** ``TH_n``: all ``⌈n/2⌉``-subsets of an
+  ``n``-universe; for odd ``n`` this is self-dual, giving dual instances
+  whose two sides are equal.
+* **Graph-derived pairs**: minimal vertex covers vs. maximal cliques of
+  the complement — textbook dual pairs with irregular structure.
+
+All randomness flows through an explicit :class:`random.Random` seed, so
+every workload is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.operations import relabel
+from repro.hypergraph.transversal import transversal_hypergraph
+
+
+def matching(k: int) -> Hypergraph:
+    """``M_k``: the perfect matching ``{{0,1}, {2,3}, …}`` on ``2k`` vertices."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return Hypergraph(
+        ({2 * i, 2 * i + 1} for i in range(k)),
+        vertices=range(2 * k),
+    )
+
+
+def matching_dual(k: int) -> Hypergraph:
+    """``tr(M_k)``: one vertex from each matching edge — ``2^k`` edges.
+
+    Built directly (not via ``tr``) so it stays cheap for the larger
+    ``k`` used by scaling experiments.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    edges = []
+    for choice in range(2 ** k):
+        edges.append(
+            frozenset(2 * i + ((choice >> i) & 1) for i in range(k))
+        )
+    return Hypergraph(edges, vertices=range(2 * k))
+
+
+def matching_dual_pair(k: int) -> tuple[Hypergraph, Hypergraph]:
+    """The dual pair ``(M_k, tr(M_k))`` on a shared universe."""
+    return matching(k), matching_dual(k)
+
+
+def threshold(n: int, k: int | None = None) -> Hypergraph:
+    """All ``k``-subsets of ``{0..n-1}`` (default ``k = ⌈(n+1)/2⌉``).
+
+    With the default ``k`` and odd ``n``, the result is *self-dual*:
+    ``tr(TH_n) = TH_n`` (a set meets every majority iff it is itself a
+    majority).  Used for the self-duality / coterie experiments.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if k is None:
+        k = (n + 1) // 2
+    if not 0 <= k <= n:
+        raise ValueError("k must lie in [0, n]")
+    return Hypergraph(
+        (frozenset(c) for c in combinations(range(n), k)),
+        vertices=range(n),
+    )
+
+
+def threshold_dual(n: int, k: int) -> Hypergraph:
+    """``tr`` of :func:`threshold`: all ``(n−k+1)``-subsets.
+
+    A set meets every ``k``-subset iff its complement contains no
+    ``k``-subset iff it has at least ``n−k+1`` elements.
+    """
+    if not 1 <= k <= n:
+        raise ValueError("k must lie in [1, n]")
+    return threshold(n, n - k + 1)
+
+
+def threshold_dual_pair(n: int, k: int) -> tuple[Hypergraph, Hypergraph]:
+    """The dual pair (all k-subsets, all (n−k+1)-subsets) of ``{0..n-1}``."""
+    return threshold(n, k), threshold_dual(n, k)
+
+
+def self_dual_majority(n: int) -> Hypergraph:
+    """The majority hypergraph on odd ``n`` — the canonical self-dual family."""
+    if n % 2 == 0:
+        raise ValueError("self-dual majority needs odd n")
+    return threshold(n, (n + 1) // 2)
+
+
+def path_graph_edges(n: int) -> Hypergraph:
+    """The path ``0−1−…−(n−1)`` as a 2-uniform hypergraph."""
+    if n < 2:
+        raise ValueError("a path needs at least 2 vertices")
+    return Hypergraph(
+        ({i, i + 1} for i in range(n - 1)),
+        vertices=range(n),
+    )
+
+
+def cycle_graph_edges(n: int) -> Hypergraph:
+    """The cycle ``C_n`` as a 2-uniform hypergraph."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    return Hypergraph(
+        ({i, (i + 1) % n} for i in range(n)),
+        vertices=range(n),
+    )
+
+
+def graph_cover_pair(graph: Hypergraph) -> tuple[Hypergraph, Hypergraph]:
+    """Dual pair (graph edges, minimal vertex covers) for a 2-uniform graph.
+
+    The minimal transversals of a graph's edge set are exactly its
+    minimal vertex covers, so ``(graph, tr(graph))`` is dual by
+    construction.  Covers are computed by the exact Berge routine, so
+    keep the graphs moderate.
+    """
+    if any(len(e) != 2 for e in graph.edges):
+        raise ValueError("graph_cover_pair expects a 2-uniform hypergraph")
+    return graph, transversal_hypergraph(graph)
+
+
+def disjoint_union_pair(
+    pair_a: tuple[Hypergraph, Hypergraph],
+    pair_b: tuple[Hypergraph, Hypergraph],
+) -> tuple[Hypergraph, Hypergraph]:
+    """Combine two dual pairs into a dual pair on the disjoint union.
+
+    If ``(G₁, H₁)`` and ``(G₂, H₂)`` are dual then
+    ``(G₁ ∪ G₂, {h₁ ∪ h₂})`` is dual: a minimal transversal of the union
+    is a union of minimal transversals of the parts.  Lets experiments
+    grow structured instances multiplicatively.
+    """
+    def tag(hg: Hypergraph, side: int) -> Hypergraph:
+        return relabel(hg, {v: (side, v) for v in hg.vertices})
+
+    g1, h1 = tag(pair_a[0], 0), tag(pair_a[1], 0)
+    g2, h2 = tag(pair_b[0], 1), tag(pair_b[1], 1)
+    universe = g1.vertices | h1.vertices | g2.vertices | h2.vertices
+    g = Hypergraph(tuple(g1.edges) + tuple(g2.edges), vertices=universe)
+    h = Hypergraph(
+        (e1 | e2 for e1 in h1.edges for e2 in h2.edges), vertices=universe
+    )
+    return g, h
+
+
+def random_uniform(
+    n_vertices: int, edge_size: int, n_edges: int, seed: int = 0
+) -> Hypergraph:
+    """A random simple ``edge_size``-uniform hypergraph (deduplicated).
+
+    May return fewer than ``n_edges`` edges if duplicates collide; always
+    simple because distinct equal-size sets are incomparable.
+    """
+    if edge_size > n_vertices:
+        raise ValueError("edge size cannot exceed the number of vertices")
+    rng = random.Random(seed)
+    universe = list(range(n_vertices))
+    edges = {
+        frozenset(rng.sample(universe, edge_size)) for _ in range(n_edges)
+    }
+    return Hypergraph(edges, vertices=universe)
+
+
+def random_simple(
+    n_vertices: int,
+    n_edges: int,
+    min_size: int = 1,
+    max_size: int | None = None,
+    seed: int = 0,
+) -> Hypergraph:
+    """A random simple hypergraph with mixed edge sizes.
+
+    Draws random subsets and keeps a growing antichain (new edges that
+    are comparable with an existing edge are discarded), so the result is
+    always simple but may have fewer than ``n_edges`` edges.
+    """
+    rng = random.Random(seed)
+    if max_size is None:
+        max_size = max(min_size, n_vertices // 2 or 1)
+    universe = list(range(n_vertices))
+    kept: list[frozenset] = []
+    attempts = 0
+    while len(kept) < n_edges and attempts < 50 * n_edges + 100:
+        attempts += 1
+        size = rng.randint(min_size, max_size)
+        edge = frozenset(rng.sample(universe, size))
+        if any(edge <= other or other <= edge for other in kept):
+            continue
+        kept.append(edge)
+    return Hypergraph(kept, vertices=universe)
+
+
+def random_dual_pair(
+    n_vertices: int, n_edges: int, seed: int = 0
+) -> tuple[Hypergraph, Hypergraph]:
+    """A random simple hypergraph together with its exact dual ``tr(G)``."""
+    g = random_simple(n_vertices, n_edges, seed=seed)
+    return g, transversal_hypergraph(g)
+
+
+def perturb_drop_edge(h: Hypergraph, index: int = 0) -> Hypergraph:
+    """Remove one edge — if ``(G, H)`` was dual, ``(G, H')`` is not.
+
+    Dropping an edge of ``tr(G)`` leaves a *missing* minimal transversal,
+    the situation the paper's ``fail`` leaves witness.  Raises on empty
+    hypergraphs.
+    """
+    if not h.edges:
+        raise ValueError("cannot drop an edge from an empty hypergraph")
+    edges = list(h.edges)
+    del edges[index % len(edges)]
+    return Hypergraph(edges, vertices=h.vertices)
+
+
+def perturb_enlarge_edge(h: Hypergraph, index: int = 0) -> Hypergraph:
+    """Add one foreign vertex to one edge (makes a transversal non-minimal).
+
+    If every universe vertex already lies in the chosen edge, a fresh
+    vertex is introduced.  Edges absorbed by the enlarged one are dropped
+    so the result stays *simple* — the perturbation models a wrong-but-
+    well-formed ``H`` (an antichain with a non-minimal transversal in it).
+    """
+    if not h.edges:
+        raise ValueError("cannot enlarge an edge of an empty hypergraph")
+    edges = list(h.edges)
+    target = edges[index % len(edges)]
+    spare = sorted(
+        (v for v in h.vertices if v not in target),
+        key=lambda x: (type(x).__name__, repr(x)),
+    )
+    if spare:
+        new_vertex = spare[0]
+        universe = h.vertices
+    else:
+        new_vertex = ("fresh", len(h.vertices))
+        universe = h.vertices | {new_vertex}
+    enlarged = target | {new_vertex}
+    kept = [e for e in edges if not e <= enlarged]
+    return Hypergraph(kept + [enlarged], vertices=universe)
+
+
+def perturb_add_foreign_edge(h: Hypergraph, g: Hypergraph) -> Hypergraph:
+    """Add a non-minimal-transversal edge to ``h`` (universe of ``g`` assumed shared).
+
+    Adds the full vertex set if it is not already an edge (the full set
+    is a transversal of any ``g`` without empty edges but is minimal only
+    in degenerate cases); falls back to enlarging an edge otherwise.
+    """
+    full = frozenset(g.vertices)
+    if full not in set(h.edges) and full:
+        return Hypergraph(tuple(h.edges) + (full,), vertices=h.vertices | full)
+    return perturb_enlarge_edge(h)
+
+
+def hard_nondual_pair(k: int) -> tuple[Hypergraph, Hypergraph]:
+    """A matching-dual pair with one dual edge removed — canonically non-dual.
+
+    The missing edge is a *new minimal transversal*, so witness-finding
+    experiments know exactly what certificate to expect.
+    """
+    g, h = matching_dual_pair(k)
+    return g, perturb_drop_edge(h, index=len(h.edges) // 2)
+
+
+def standard_dual_suite(max_matching: int = 5, max_threshold: int = 7):
+    """A list of named dual pairs covering the structural variety used in tests.
+
+    Returns triples ``(name, G, H)`` with ``H = tr(G)`` guaranteed.
+    """
+    suite: list[tuple[str, Hypergraph, Hypergraph]] = []
+    for k in range(0, max_matching + 1):
+        g, h = matching_dual_pair(k)
+        suite.append((f"matching-{k}", g, h))
+    for n in range(1, max_threshold + 1):
+        for k in range(1, n + 1):
+            g, h = threshold_dual_pair(n, k)
+            suite.append((f"threshold-{n}-{k}", g, h))
+    for n in (3, 4, 5, 6):
+        g, h = graph_cover_pair(path_graph_edges(n))
+        suite.append((f"path-{n}", g, h))
+    for n in (3, 4, 5):
+        g, h = graph_cover_pair(cycle_graph_edges(n))
+        suite.append((f"cycle-{n}", g, h))
+    for seed in (1, 2, 3):
+        g, h = random_dual_pair(6, 4, seed=seed)
+        suite.append((f"random-6-4-s{seed}", g, h))
+    return suite
+
+
+def simple_union_workload(k: int, n: int) -> tuple[Hypergraph, Hypergraph]:
+    """Dual pair mixing a matching with a threshold block (disjoint universes)."""
+    return disjoint_union_pair(matching_dual_pair(k), threshold_dual_pair(n, (n + 1) // 2))
+
+
+def degenerate_pairs() -> list[tuple[str, Hypergraph, Hypergraph, bool]]:
+    """Edge-case duality instances ``(name, G, H, is_dual)``.
+
+    Covers the Boolean-constant conventions: dual of constant false is
+    constant true, single-vertex cases, and empty-universe cases.
+    """
+    empty = Hypergraph.empty()
+    true_hg = Hypergraph.trivial_true()
+    single = Hypergraph.single_edge({0})
+    return [
+        ("false/true", empty, true_hg, True),
+        ("true/false", true_hg, empty, True),
+        ("false/false", empty, empty, False),
+        ("true/true", true_hg, true_hg, False),
+        ("single/single", single, single, True),
+        ("single/true", single, true_hg, False),
+        (
+            "two-singletons",
+            Hypergraph([{0}, {1}]),
+            Hypergraph([{0, 1}]),
+            True,
+        ),
+        (
+            "one-edge-two-vertices",
+            Hypergraph([{0, 1}]),
+            Hypergraph([{0}, {1}]),
+            True,
+        ),
+    ]
+
+
+def acyclic_chain(k: int, prefix: str = "") -> Hypergraph:
+    """An α-acyclic chain of ``k`` overlapping triples.
+
+    Edge ``i`` is ``{a_i, b_i, a_{i+1}}`` — consecutive edges share one
+    vertex, so the GYO reduction eats the chain ear by ear.  The §6
+    tractability experiments use this as the canonical acyclic family;
+    ``prefix`` namespaces the vertices when several chains must coexist.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    return Hypergraph(
+        [
+            {f"{prefix}a{i}", f"{prefix}b{i}", f"{prefix}a{i + 1}"}
+            for i in range(k)
+        ]
+    )
+
+
+def acyclic_dual_pair(k: int) -> tuple[Hypergraph, Hypergraph]:
+    """The chain together with its exact transversal hypergraph."""
+    from repro.hypergraph.transversal import transversal_hypergraph
+
+    g = acyclic_chain(k)
+    return g, transversal_hypergraph(g)

@@ -1,0 +1,111 @@
+"""Plain-text serialisation of hypergraphs (the ``.hg`` format).
+
+Format, one hyperedge per line::
+
+    # comments start with '#'; blank lines are ignored
+    % vertices: a b c d        (optional explicit universe)
+    a b
+    b c d
+    -                          (a single '-' denotes the empty edge)
+
+Vertex tokens are whitespace-separated.  Tokens that parse as integers
+become ``int`` vertices; everything else stays a string.  The format is
+line-oriented so hypergraphs stream through standard UNIX tooling.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro._util import vertex_key
+from repro.errors import ParseError
+from repro.hypergraph.hypergraph import Hypergraph
+
+_EMPTY_EDGE_TOKEN = "-"
+_UNIVERSE_PREFIX = "% vertices:"
+
+
+def _parse_token(token: str):
+    """An integer if it looks like one, otherwise the raw string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def loads(text: str) -> Hypergraph:
+    """Parse a hypergraph from its ``.hg`` text representation."""
+    edges: list[frozenset] = []
+    universe: frozenset | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("%"):
+            if not line.startswith(_UNIVERSE_PREFIX):
+                raise ParseError(f"line {lineno}: unknown directive {line!r}")
+            tokens = line[len(_UNIVERSE_PREFIX):].split()
+            universe = frozenset(_parse_token(t) for t in tokens)
+            continue
+        if line == _EMPTY_EDGE_TOKEN:
+            edges.append(frozenset())
+            continue
+        edges.append(frozenset(_parse_token(t) for t in line.split()))
+    try:
+        return Hypergraph(edges, vertices=universe)
+    except Exception as exc:  # re-raise with file context
+        raise ParseError(f"inconsistent hypergraph text: {exc}") from exc
+
+
+def dumps(hg: Hypergraph, include_universe: bool = True) -> str:
+    """Serialise a hypergraph to the ``.hg`` text format.
+
+    ``include_universe`` writes the explicit universe directive, which is
+    required to round-trip isolated vertices.
+    """
+    out = io.StringIO()
+    if include_universe:
+        tokens = " ".join(str(v) for v in sorted(hg.vertices, key=vertex_key))
+        out.write(f"{_UNIVERSE_PREFIX} {tokens}\n".rstrip() + "\n")
+    for edge in hg.edges:
+        if not edge:
+            out.write(_EMPTY_EDGE_TOKEN + "\n")
+        else:
+            out.write(" ".join(str(v) for v in sorted(edge, key=vertex_key)) + "\n")
+    return out.getvalue()
+
+
+def load(path: str | Path) -> Hypergraph:
+    """Read a hypergraph from a ``.hg`` file."""
+    return loads(Path(path).read_text(encoding="utf-8"))
+
+
+def dump(hg: Hypergraph, path: str | Path, include_universe: bool = True) -> None:
+    """Write a hypergraph to a ``.hg`` file."""
+    Path(path).write_text(dumps(hg, include_universe), encoding="utf-8")
+
+
+def load_many(path: str | Path, separator: str = "==") -> list[Hypergraph]:
+    """Read several hypergraphs from one file, separated by ``separator`` lines."""
+    chunks = []
+    current: list[str] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip() == separator:
+            chunks.append("\n".join(current))
+            current = []
+        else:
+            current.append(line)
+    chunks.append("\n".join(current))
+    return [loads(chunk) for chunk in chunks if chunk.strip()]
+
+
+def dump_many(
+    hypergraphs: Iterable[Hypergraph], path: str | Path, separator: str = "=="
+) -> None:
+    """Write several hypergraphs to one file (see :func:`load_many`)."""
+    parts = [dumps(hg) for hg in hypergraphs]
+    Path(path).write_text(
+        ("\n" + separator + "\n").join(parts), encoding="utf-8"
+    )

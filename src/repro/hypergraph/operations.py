@@ -1,0 +1,148 @@
+"""Hypergraph operations used throughout the paper.
+
+The two restriction operators are exactly the ones the Boros–Makino
+decomposition applies at every tree node (paper, Section 2, item (iii)):
+
+* projection      ``G^S   = {E ∩ S | E ∈ G}``       (:func:`project`)
+* sub-hypergraph  ``H_S   = {E ∈ H | E ⊆ S}``       (:func:`restrict_to_subsets`)
+
+and the complement family from the itemset bridge (Section 1):
+
+* ``A^c = {S − A | A ∈ A}``                          (:func:`complement_family`)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro._util import minimize_family
+from repro.errors import VertexError
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def project(hg: Hypergraph, onto: Iterable) -> Hypergraph:
+    """The projection ``G^S = {E ∩ S : E ∈ G}`` over universe ``S``.
+
+    The result may be non-simple and may contain the empty edge even if
+    ``hg`` is simple — the Boros–Makino procedures rely on both facts
+    (``marksmall`` explicitly tests ``∅ ∈ G^{S_α}``), so *no*
+    minimisation is applied here.
+    """
+    scope = frozenset(onto)
+    if not scope <= hg.vertices:
+        raise VertexError("projection scope must be a subset of the universe")
+    return Hypergraph((edge & scope for edge in hg.edges), vertices=scope)
+
+
+def restrict_to_subsets(hg: Hypergraph, within: Iterable) -> Hypergraph:
+    """The sub-hypergraph ``H_S = {E ∈ H : E ⊆ S}`` over universe ``S``."""
+    scope = frozenset(within)
+    if not scope <= hg.vertices:
+        raise VertexError("restriction scope must be a subset of the universe")
+    return Hypergraph(
+        (edge for edge in hg.edges if edge <= scope), vertices=scope
+    )
+
+
+def complement_family(hg: Hypergraph, universe: Iterable | None = None) -> Hypergraph:
+    """The complement family ``A^c = {U − A : A ∈ A}`` over universe ``U``.
+
+    The paper (Section 1) uses this to relate itemset borders:
+    ``IS⁻ = tr(IS⁺ᶜ)``.  When ``universe`` is omitted the hypergraph's own
+    universe is used.  Complementation is an involution over a fixed
+    universe and maps antichains of maximal sets to antichains of minimal
+    sets (and vice versa).
+    """
+    scope = frozenset(universe) if universe is not None else hg.vertices
+    if not hg.vertices <= scope:
+        raise VertexError("complement universe must contain all vertices")
+    return Hypergraph((scope - edge for edge in hg.edges), vertices=scope)
+
+
+def contract(hg: Hypergraph, removed: Iterable) -> Hypergraph:
+    """Delete the vertices in ``removed`` from every edge, then minimise.
+
+    This is the *contraction* ``{min(E − X) : E ∈ H}`` used by the
+    Fredman–Khachiyan style decompositions (e.g. forming ``g₀`` with a
+    term's variables forced true).  Unlike :func:`project`, the result is
+    minimised, because contraction is used where a simple DNF is needed.
+    """
+    gone = frozenset(removed)
+    kept_universe = hg.vertices - gone
+    return Hypergraph(
+        minimize_family(edge - gone for edge in hg.edges),
+        vertices=kept_universe,
+    )
+
+
+def delete_edges_meeting(hg: Hypergraph, blocker: Iterable) -> Hypergraph:
+    """Keep only the edges disjoint from ``blocker`` (universe unchanged)."""
+    block = frozenset(blocker)
+    return Hypergraph(
+        (edge for edge in hg.edges if not edge & block),
+        vertices=hg.vertices,
+    )
+
+
+def union(first: Hypergraph, second: Hypergraph) -> Hypergraph:
+    """Edge-union over the union of the universes (no minimisation)."""
+    return Hypergraph(
+        tuple(first.edges) + tuple(second.edges),
+        vertices=first.vertices | second.vertices,
+    )
+
+
+def minimized_union(first: Hypergraph, second: Hypergraph) -> Hypergraph:
+    """``min(F ∪ G)`` — the simple hypergraph of the combined family.
+
+    This is the hypergraph counterpart of taking the irredundant DNF of
+    ``f ∨ g``; the decompositions use it to form ``g₀ ∨ g₁``.
+    """
+    return union(first, second).minimized()
+
+
+def restriction_instance(
+    g: Hypergraph, h: Hypergraph, scope: frozenset
+) -> tuple[Hypergraph, Hypergraph]:
+    """The node instance ``inst(α) = (G^{S_α}, H_{S_α})`` of Section 2.
+
+    ``g`` and ``h`` are the *original* input hypergraphs; the instance at
+    a decomposition-tree node is fully determined by its scope ``S_α``,
+    which is what makes the logspace re-derivation of Section 4 possible.
+    """
+    return project(g, scope), restrict_to_subsets(h, scope)
+
+
+def disjoint_relabel(
+    hypergraphs: Iterable[Hypergraph],
+) -> list[Hypergraph]:
+    """Relabel the given hypergraphs so their universes become disjoint.
+
+    Vertex ``v`` of the ``i``-th hypergraph becomes the pair ``(i, v)``.
+    Used by generators that combine building blocks (e.g. unions of dual
+    pairs stay dual when the blocks live on disjoint universes).
+    """
+    out: list[Hypergraph] = []
+    for index, hg in enumerate(hypergraphs):
+        mapping = {v: (index, v) for v in hg.vertices}
+        out.append(
+            Hypergraph(
+                (frozenset(mapping[v] for v in edge) for edge in hg.edges),
+                vertices=frozenset(mapping.values()),
+            )
+        )
+    return out
+
+
+def relabel(hg: Hypergraph, mapping: dict) -> Hypergraph:
+    """Apply an injective vertex relabelling given by ``mapping``."""
+    missing = hg.vertices - mapping.keys()
+    if missing:
+        raise VertexError(f"mapping misses vertices: {sorted(map(repr, missing))}")
+    values = list(mapping[v] for v in hg.vertices)
+    if len(set(values)) != len(values):
+        raise VertexError("relabelling must be injective on the universe")
+    return Hypergraph(
+        (frozenset(mapping[v] for v in edge) for edge in hg.edges),
+        vertices=frozenset(values),
+    )

@@ -1,0 +1,203 @@
+"""Structural hypergraph analysis: the §6 tractability landscape.
+
+The paper's concluding discussion (Section 6) maps where ``Dual`` is
+easy: it is tractable for hypergraphs of **bounded degeneracy** and in
+particular for **acyclic** hypergraphs (= hypertree width 1), while
+bounded hypertree width ≥ 2 already leaves it as hard as the general
+case.  This module implements the classical structural notions so
+instances can be *classified* against that landscape:
+
+* α-acyclicity via the GYO (Graham / Yu–Özsoyoğlu) reduction;
+* conformality (every clique of the primal graph lies in an edge) —
+  with acyclicity of the primal graph this characterises α-acyclicity;
+* degeneracy of the primal graph (the bounded-degeneracy parameter);
+* a :func:`tractability_report` summarising which §6 criteria an
+  instance meets.
+
+These are exact textbook algorithms (GYO is the standard linear-ish
+reduction), used by experiment E13 to classify the workload families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import vertex_key
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def primal_graph_edges(hg: Hypergraph) -> set[frozenset]:
+    """The primal (2-section) graph: vertices co-occurring in an edge."""
+    pairs: set[frozenset] = set()
+    for edge in hg.edges:
+        ordered = sorted(edge, key=vertex_key)
+        for i, u in enumerate(ordered):
+            for v in ordered[i + 1:]:
+                pairs.add(frozenset({u, v}))
+    return pairs
+
+
+def gyo_reduction(hg: Hypergraph) -> Hypergraph:
+    """Run the GYO reduction to a fixed point and return the residue.
+
+    Repeatedly (a) remove vertices occurring in exactly one edge
+    (*ears' private vertices*) and (b) remove edges contained in other
+    edges.  The hypergraph is α-acyclic iff the residue is empty (no
+    edges, or a single empty edge).
+    """
+    edges = [set(e) for e in hg.edges]
+    changed = True
+    while changed:
+        changed = False
+        # (a) vertices in exactly one edge
+        occurrence: dict = {}
+        for idx, edge in enumerate(edges):
+            for v in edge:
+                occurrence.setdefault(v, []).append(idx)
+        for v, holders in occurrence.items():
+            if len(holders) == 1:
+                edges[holders[0]].discard(v)
+                changed = True
+        # (b) edges contained in another edge (keep one copy of equals)
+        survivors: list[set] = []
+        for idx, edge in enumerate(edges):
+            absorbed = False
+            for jdx, other in enumerate(edges):
+                if idx == jdx:
+                    continue
+                if edge < other or (edge == other and idx > jdx):
+                    absorbed = True
+                    break
+            if not absorbed:
+                survivors.append(edge)
+        if len(survivors) != len(edges):
+            changed = True
+        edges = survivors
+    remaining = [e for e in edges if e]
+    return Hypergraph(remaining, vertices=hg.vertices)
+
+
+def is_alpha_acyclic(hg: Hypergraph) -> bool:
+    """α-acyclicity via GYO: the reduction empties the hypergraph.
+
+    Degenerate conventions: the empty hypergraph and single-edge
+    hypergraphs are acyclic.
+    """
+    if len(hg) <= 1:
+        return True
+    return len(gyo_reduction(hg)) == 0
+
+
+def is_conformal(hg: Hypergraph) -> bool:
+    """Conformality: every maximal clique of the primal graph is inside an edge.
+
+    Checked exactly via maximal-clique enumeration of the primal graph
+    (Bron–Kerbosch with pivoting; fine at the library's test scale).
+    """
+    adjacency: dict = {v: set() for v in hg.vertices}
+    for pair in primal_graph_edges(hg):
+        u, v = tuple(pair)
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+
+    cliques: list[frozenset] = []
+
+    def bron_kerbosch(r: set, p: set, x: set) -> None:
+        if not p and not x:
+            cliques.append(frozenset(r))
+            return
+        pivot_pool = p | x
+        pivot = max(pivot_pool, key=lambda w: len(adjacency[w] & p))
+        for v in list(p - adjacency[pivot]):
+            bron_kerbosch(r | {v}, p & adjacency[v], x & adjacency[v])
+            p.discard(v)
+            x.add(v)
+
+    active = {v for v in hg.vertices if adjacency[v] or any(v in e for e in hg.edges)}
+    bron_kerbosch(set(), set(active), set())
+    edge_sets = [set(e) for e in hg.edges]
+    return all(
+        any(clique <= edge for edge in edge_sets) for clique in cliques if clique
+    )
+
+
+def primal_degeneracy(hg: Hypergraph) -> int:
+    """Degeneracy of the primal graph (max min-degree over subgraphs).
+
+    Computed by the standard peeling order: repeatedly remove a vertex
+    of minimum degree; the degeneracy is the largest degree seen at
+    removal time.  Returns 0 for edgeless hypergraphs.
+    """
+    adjacency: dict = {v: set() for v in hg.vertices}
+    for pair in primal_graph_edges(hg):
+        u, v = tuple(pair)
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    remaining = {v: set(neigh) for v, neigh in adjacency.items()}
+    degeneracy = 0
+    while remaining:
+        v = min(
+            remaining,
+            key=lambda w: (len(remaining[w]), vertex_key(w)),
+        )
+        degeneracy = max(degeneracy, len(remaining[v]))
+        for u in remaining[v]:
+            remaining[u].discard(v)
+        del remaining[v]
+    return degeneracy
+
+
+@dataclass(frozen=True)
+class TractabilityReport:
+    """Which §6 tractability criteria an instance satisfies.
+
+    ``alpha_acyclic`` — hypertree width 1: ``Dual`` tractable ([9]);
+    ``degeneracy`` — the bounded-degeneracy parameter;
+    ``conformal`` — conformality of the edge family;
+    ``rank`` — maximum edge size (bounded rank is another classical
+    tractable case for dualization);
+    ``verdict`` — a one-line classification for reports.
+    """
+
+    alpha_acyclic: bool
+    conformal: bool
+    degeneracy: int
+    rank: int
+    verdict: str
+
+
+def tractability_report(
+    hg: Hypergraph, degeneracy_threshold: int = 3, rank_threshold: int = 3
+) -> TractabilityReport:
+    """Classify a hypergraph against the §6 tractable-case landscape.
+
+    The thresholds delimit "bounded" for the report's verdict; the raw
+    parameters are always included so callers can apply their own.
+    """
+    acyclic = is_alpha_acyclic(hg)
+    conformal = is_conformal(hg)
+    degeneracy = primal_degeneracy(hg)
+    rank = hg.rank()
+    if acyclic:
+        verdict = "tractable: alpha-acyclic (hypertree width 1, [9])"
+    elif degeneracy <= degeneracy_threshold:
+        verdict = (
+            f"tractable: primal degeneracy {degeneracy} <= "
+            f"{degeneracy_threshold} (bounded degeneracy, [9])"
+        )
+    elif rank <= rank_threshold:
+        verdict = (
+            f"tractable: rank {rank} <= {rank_threshold} "
+            "(bounded edge size)"
+        )
+    else:
+        verdict = (
+            "no §6 tractability criterion applies — general-case instance"
+        )
+    return TractabilityReport(
+        alpha_acyclic=acyclic,
+        conformal=conformal,
+        degeneracy=degeneracy,
+        rank=rank,
+        verdict=verdict,
+    )

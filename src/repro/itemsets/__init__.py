@@ -1,0 +1,76 @@
+"""Frequent-itemset mining on top of ``Dual`` (paper, Section 1 & Prop. 1.1).
+
+Borders ``IS⁺``/``IS⁻``, the transversal bridge ``IS⁻ = tr(IS⁺ᶜ)`` of
+[26], MaxFreq–MinInfreq identification as a ``Dual`` instance, and the
+dualize-and-advance enumeration of ``IS⁺ ∪ IS⁻``.
+"""
+
+from repro.itemsets.apriori import frequent_itemsets, levelwise_borders
+from repro.itemsets.borders import (
+    borders,
+    borders_are_consistent,
+    frequent_border_from_infrequent,
+    infrequent_border_from_frequent,
+    maximal_frequent_itemsets,
+    minimal_infrequent_itemsets,
+)
+from repro.itemsets.dualize_advance import (
+    EnumerationTrace,
+    enumerate_borders,
+    enumerate_maximal_frequent,
+    enumerate_minimal_infrequent,
+    seed_maximal_frequent,
+)
+from repro.itemsets.frequency import (
+    frequency,
+    grow_to_maximal_frequent,
+    is_frequent,
+    is_infrequent,
+    shrink_to_minimal_infrequent,
+    support_map,
+)
+from repro.itemsets.identification import (
+    IdentificationOutcome,
+    additional_itemsets_exist,
+    decide_identification,
+    validate_claimed_borders,
+)
+from repro.itemsets.inverse import (
+    expected_minimal_infrequent,
+    realize_maximal_frequent,
+    verify_realization,
+)
+from repro.itemsets.relation import BooleanRelation
+from repro.itemsets.rules import AssociationRule, mine_rules
+
+__all__ = [
+    "AssociationRule",
+    "BooleanRelation",
+    "EnumerationTrace",
+    "IdentificationOutcome",
+    "additional_itemsets_exist",
+    "expected_minimal_infrequent",
+    "mine_rules",
+    "realize_maximal_frequent",
+    "verify_realization",
+    "borders",
+    "borders_are_consistent",
+    "decide_identification",
+    "enumerate_borders",
+    "enumerate_maximal_frequent",
+    "enumerate_minimal_infrequent",
+    "frequency",
+    "frequent_border_from_infrequent",
+    "frequent_itemsets",
+    "grow_to_maximal_frequent",
+    "infrequent_border_from_frequent",
+    "is_frequent",
+    "is_infrequent",
+    "levelwise_borders",
+    "maximal_frequent_itemsets",
+    "minimal_infrequent_itemsets",
+    "seed_maximal_frequent",
+    "shrink_to_minimal_infrequent",
+    "support_map",
+    "validate_claimed_borders",
+]

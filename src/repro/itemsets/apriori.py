@@ -1,0 +1,136 @@
+"""Levelwise (Apriori-style) border mining — Mannila–Toivonen [39].
+
+The levelwise algorithm walks the itemset lattice breadth-first:
+level ``k`` holds the frequent ``k``-item sets; candidates for level
+``k+1`` are the sets all of whose ``k``-subsets were frequent.  Its two
+outputs are precisely the borders of the "theory" of frequent sets:
+
+* the **positive border** — maximal frequent itemsets (``IS⁺``), and
+* the **negative border** — minimal infrequent itemsets that were
+  *generated as candidates*; with full candidate generation this equals
+  ``IS⁻``.
+
+This is the polynomial-per-level counterpart of the exhaustive reference
+in :mod:`repro.itemsets.borders`; the two are cross-checked in tests,
+and the experiment harness uses this one on the larger synthetic
+relations.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro._util import vertex_key
+from repro.hypergraph import Hypergraph
+from repro.itemsets.frequency import validate_threshold
+from repro.itemsets.relation import BooleanRelation
+
+
+def _level_candidates(
+    previous_frequent: set[frozenset], level: int
+) -> set[frozenset]:
+    """Join step + prune step of Apriori candidate generation.
+
+    A ``level``-set is a candidate iff **all** its ``(level−1)``-subsets
+    are frequent — this completeness is what makes the negative border
+    equal ``IS⁻`` exactly (a minimal infrequent set has all proper
+    subsets frequent, hence is always generated and rejected).
+    """
+    items: set = set()
+    for s in previous_frequent:
+        items |= s
+    candidates: set[frozenset] = set()
+    ordered = sorted(items, key=vertex_key)
+    if level == 1:
+        return {frozenset({a}) for a in ordered}
+    for combo in combinations(ordered, level):
+        candidate = frozenset(combo)
+        if all(
+            candidate - {a} in previous_frequent for a in candidate
+        ):
+            candidates.add(candidate)
+    return candidates
+
+
+def levelwise_borders(
+    relation: BooleanRelation, z: int
+) -> tuple[Hypergraph, Hypergraph]:
+    """``(IS⁺, IS⁻)`` by the levelwise algorithm.
+
+    Counts each level's candidates in one pass over the relation.  The
+    empty itemset is handled first (frequent iff ``z < |M|``); if it is
+    infrequent, the borders are ``(∅, {∅})`` by the paper's conventions.
+    """
+    validate_threshold(relation, z)
+    n_rows = len(relation)
+    if n_rows <= z:
+        # Even ∅ is infrequent (f(∅) = |M| ≤ z).
+        return (
+            Hypergraph.empty(relation.items),
+            Hypergraph([frozenset()], vertices=relation.items),
+        )
+
+    frequent_by_level: list[set[frozenset]] = [{frozenset()}]
+    negative_border: set[frozenset] = set()
+    level = 1
+    universe_items = sorted(relation.items, key=vertex_key)
+
+    current_frequent = {frozenset()}
+    while current_frequent:
+        if level == 1:
+            candidates = {frozenset({a}) for a in universe_items}
+        else:
+            candidates = _level_candidates(current_frequent, level)
+        if not candidates:
+            break
+        counts = {c: 0 for c in candidates}
+        for row in relation.rows:
+            for c in counts:
+                if c <= row:
+                    counts[c] += 1
+        next_frequent = {c for c, f in counts.items() if f > z}
+        negative_border |= {c for c, f in counts.items() if f <= z}
+        frequent_by_level.append(next_frequent)
+        current_frequent = next_frequent
+        level += 1
+
+    all_frequent: set[frozenset] = set()
+    for level_sets in frequent_by_level:
+        all_frequent |= level_sets
+    positive_border = {
+        s
+        for s in all_frequent
+        if not any(s < other for other in all_frequent)
+    }
+    return (
+        Hypergraph(positive_border, vertices=relation.items),
+        Hypergraph(negative_border, vertices=relation.items),
+    )
+
+
+def frequent_itemsets(relation: BooleanRelation, z: int) -> list[frozenset]:
+    """All frequent itemsets, levelwise (for reporting/inspection)."""
+    validate_threshold(relation, z)
+    if len(relation) <= z:
+        return []
+    out: list[frozenset] = [frozenset()]
+    current = {frozenset()}
+    level = 1
+    while True:
+        if level == 1:
+            candidates = {frozenset({a}) for a in relation.items}
+        else:
+            candidates = _level_candidates(current, level)
+        if not candidates:
+            break
+        counts = {c: 0 for c in candidates}
+        for row in relation.rows:
+            for c in counts:
+                if c <= row:
+                    counts[c] += 1
+        current = {c for c, f in counts.items() if f > z}
+        if not current:
+            break
+        out.extend(sorted(current, key=lambda s: tuple(sorted(s, key=vertex_key))))
+        level += 1
+    return out

@@ -1,0 +1,101 @@
+"""The borders ``IS⁺``/``IS⁻`` and the transversal bridge of [26].
+
+``IS⁺(M, z)`` — the maximal frequent itemsets; ``IS⁻(M, z)`` — the
+minimal infrequent itemsets.  The fundamental result the paper builds on
+(Gunopulos–Khardon–Mannila–Toivonen, reference [26]):
+
+    ``IS⁻ = tr(IS⁺ᶜ)``   and therefore   ``IS⁺ = tr(IS⁻)ᶜ``,
+
+where ``Aᶜ = {S − A : A ∈ A}``.  This module computes both borders
+exactly (exponential reference algorithms — the ground truth for the
+identification and enumeration machinery) and provides the bridge in
+both directions so the identity is testable on arbitrary relations.
+"""
+
+from __future__ import annotations
+
+from repro._util import maximize_family, minimize_family, powerset
+from repro.hypergraph import Hypergraph, complement_family, transversal_hypergraph
+from repro.itemsets.frequency import frequency, validate_threshold
+from repro.itemsets.relation import BooleanRelation
+
+
+def maximal_frequent_itemsets(relation: BooleanRelation, z: int) -> Hypergraph:
+    """``IS⁺(M, z)`` by exhaustive scan (reference implementation).
+
+    Maximal frequent sets are intersections-closed upward-closed… they
+    are found directly: a frequent set is maximally frequent iff no
+    single-item extension stays frequent.  Exhaustive over closed sets
+    via row intersections would be faster; the powerset scan is kept for
+    its obvious correctness (tests bound the universe size).
+    """
+    validate_threshold(relation, z)
+    frequent = [
+        u for u in powerset(relation.items) if frequency(relation, u) > z
+    ]
+    return Hypergraph(maximize_family(frequent), vertices=relation.items)
+
+
+def minimal_infrequent_itemsets(relation: BooleanRelation, z: int) -> Hypergraph:
+    """``IS⁻(M, z)`` by exhaustive scan (reference implementation)."""
+    validate_threshold(relation, z)
+    infrequent = [
+        u for u in powerset(relation.items) if frequency(relation, u) <= z
+    ]
+    return Hypergraph(minimize_family(infrequent), vertices=relation.items)
+
+
+def borders(relation: BooleanRelation, z: int) -> tuple[Hypergraph, Hypergraph]:
+    """Both borders ``(IS⁺, IS⁻)`` (reference implementation)."""
+    return (
+        maximal_frequent_itemsets(relation, z),
+        minimal_infrequent_itemsets(relation, z),
+    )
+
+
+def infrequent_border_from_frequent(is_plus: Hypergraph) -> Hypergraph:
+    """The [26] bridge: ``IS⁻ = tr(IS⁺ᶜ)``.
+
+    ``is_plus`` must be the *complete* family of maximal frequent
+    itemsets over its vertex universe (the item set ``S``).  Degenerate
+    conventions carry over: no frequent itemset at all (``IS⁺ = ∅``)
+    gives ``tr(∅) = {∅}`` — the empty itemset is the unique minimal
+    infrequent one — and ``IS⁺ = {S}`` gives ``tr({∅}) = ∅``.
+    """
+    return transversal_hypergraph(complement_family(is_plus))
+
+
+def frequent_border_from_infrequent(is_minus: Hypergraph) -> Hypergraph:
+    """The reverse bridge: ``IS⁺ = tr(IS⁻)ᶜ``."""
+    return complement_family(transversal_hypergraph(is_minus))
+
+
+def borders_are_consistent(
+    is_plus: Hypergraph, is_minus: Hypergraph
+) -> bool:
+    """Check the duality identity ``IS⁻ = tr(IS⁺ᶜ)`` for two claimed borders.
+
+    Both hypergraphs must share the item universe.  This is exactly the
+    ``Dual`` instance behind Proposition 1.1.
+    """
+    if is_plus.vertices != is_minus.vertices:
+        return False
+    return infrequent_border_from_frequent(is_plus) == is_minus
+
+
+def frequent_closure_check(relation: BooleanRelation, z: int) -> bool:
+    """Sanity invariant: frequency is antitone (used by property tests).
+
+    Every subset of a frequent set is frequent; every superset of an
+    infrequent set is infrequent.  Scans all pairs in the powerset of a
+    (small) universe.
+    """
+    validate_threshold(relation, z)
+    sets = list(powerset(relation.items))
+    freq = {u: frequency(relation, u) for u in sets}
+    return all(
+        freq[u] >= freq[w]
+        for u in sets
+        for w in sets
+        if u <= w
+    )

@@ -1,0 +1,128 @@
+"""Frequency semantics — exactly the paper's (strict) convention.
+
+Section 1: "the frequency ``f(U)`` for an itemset ``U`` is the number of
+tuples ``t`` of ``M`` such that ``U ⊆ items(t)``.  ``U`` is *frequent*
+if ``f(U) > z`` and *infrequent* otherwise", with a threshold
+``0 < z ≤ |M|``.
+
+Note the strictness: ``f(U) > z``, not ``≥`` — and that ``z = |M|``
+makes *every* itemset infrequent (including ``∅``, whose frequency is
+``|M|``), while any ``z < |M|`` makes ``∅`` frequent.  These boundary
+cases are exercised deliberately by the tests because the border
+identities of [26] must hold on them too.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import InvalidInstanceError, VertexError
+from repro.itemsets.relation import BooleanRelation
+
+
+def validate_threshold(relation: BooleanRelation, z: int) -> int:
+    """Check ``0 < z ≤ |M|`` (the paper's threshold domain) and return ``z``."""
+    if not isinstance(z, int):
+        raise InvalidInstanceError(f"threshold must be an integer, got {z!r}")
+    if not 0 < z <= len(relation):
+        raise InvalidInstanceError(
+            f"threshold z = {z} outside (0, |M|] = (0, {len(relation)}]"
+        )
+    return z
+
+
+def frequency(relation: BooleanRelation, itemset: Iterable) -> int:
+    """``f(U)``: the number of rows whose item set contains ``U``."""
+    u = frozenset(itemset)
+    if not u <= relation.items:
+        raise VertexError(
+            f"itemset {sorted(map(repr, u))} not within the item universe"
+        )
+    return sum(1 for row in relation.rows if u <= row)
+
+
+def is_frequent(relation: BooleanRelation, itemset: Iterable, z: int) -> bool:
+    """The paper's strict test: ``f(U) > z``."""
+    validate_threshold(relation, z)
+    return frequency(relation, itemset) > z
+
+
+def is_infrequent(relation: BooleanRelation, itemset: Iterable, z: int) -> bool:
+    """``f(U) ≤ z`` (infrequent = not frequent; no third state)."""
+    return not is_frequent(relation, itemset, z)
+
+
+def support_map(relation: BooleanRelation, itemsets: Iterable[Iterable]) -> dict:
+    """Frequencies for many itemsets in one pass over the relation."""
+    universe = relation.items
+    wanted = []
+    for itemset in itemsets:
+        u = frozenset(itemset)
+        if not u <= universe:
+            raise VertexError(
+                f"itemset {sorted(map(repr, u))} not within the item universe"
+            )
+        wanted.append(u)
+    counts = {u: 0 for u in wanted}
+    for row in relation.rows:
+        for u in counts:
+            if u <= row:
+                counts[u] += 1
+    return counts
+
+
+def item_frequencies(relation: BooleanRelation) -> dict:
+    """``f({A})`` for every item ``A`` (the levelwise seed statistics)."""
+    counts = {a: 0 for a in relation.items}
+    for row in relation.rows:
+        for a in row:
+            counts[a] += 1
+    return counts
+
+
+def grow_to_maximal_frequent(
+    relation: BooleanRelation, itemset: Iterable, z: int
+) -> frozenset:
+    """Extend a frequent itemset to a *maximal* frequent one (greedy).
+
+    Items are tried in canonical order, so the result is deterministic.
+    This is the standard post-step of the incremental border algorithms
+    ([26, 39, 43]): a witness that is frequent gets grown into a new
+    member of ``IS⁺``.
+    """
+    validate_threshold(relation, z)
+    current = frozenset(itemset)
+    if not is_frequent(relation, current, z):
+        raise InvalidInstanceError(
+            "grow_to_maximal_frequent needs a frequent starting set"
+        )
+    from repro._util import vertex_key
+
+    for item in sorted(relation.items - current, key=vertex_key):
+        candidate = current | {item}
+        if is_frequent(relation, candidate, z):
+            current = candidate
+    return current
+
+
+def shrink_to_minimal_infrequent(
+    relation: BooleanRelation, itemset: Iterable, z: int
+) -> frozenset:
+    """Shrink an infrequent itemset to a *minimal* infrequent one (greedy).
+
+    The mirror post-step: a witness that is infrequent gets shrunk into
+    a new member of ``IS⁻``.  Deterministic (canonical item order).
+    """
+    validate_threshold(relation, z)
+    current = set(itemset)
+    if is_frequent(relation, current, z):
+        raise InvalidInstanceError(
+            "shrink_to_minimal_infrequent needs an infrequent starting set"
+        )
+    from repro._util import vertex_key
+
+    for item in sorted(frozenset(current), key=vertex_key):
+        current.discard(item)
+        if is_frequent(relation, current, z):
+            current.add(item)
+    return frozenset(current)

@@ -1,0 +1,86 @@
+"""Inverse frequent-itemset mining: realise prescribed borders.
+
+Section 6 points to inverse frequent itemset mining ([42], Saccà &
+Serra) as a related direction: instead of mining borders from data,
+*construct* a relation whose borders are prescribed.  This module
+implements the exactly-solvable core:
+
+given an antichain ``F`` over items ``S`` and a threshold ``z``, build a
+relation ``M`` with ``IS⁺(M, z) = F`` — and therefore, by the [26]
+bridge, ``IS⁻(M, z) = tr(Fᶜ)``.
+
+Construction: ``z + 1`` identical rows per prescribed set (clearing the
+paper's *strict* threshold), plus optional all-distinct padding rows
+that leave the borders untouched.  Feasibility is exactly "``F`` is a
+non-empty antichain" (for ``IS⁺ = ∅`` use ``z ≥ |M|``, i.e. the
+degenerate construction).
+"""
+
+from __future__ import annotations
+
+from repro._util import is_antichain
+from repro.errors import InvalidInstanceError
+from repro.hypergraph import Hypergraph, complement_family, transversal_hypergraph
+from repro.itemsets.relation import BooleanRelation
+
+
+def realize_maximal_frequent(
+    prescribed: Hypergraph,
+    z: int = 1,
+    padding_rows: int = 0,
+) -> BooleanRelation:
+    """A relation whose maximal frequent family equals ``prescribed``.
+
+    Parameters
+    ----------
+    prescribed:
+        The target ``IS⁺``: a simple hypergraph over the item universe.
+        The empty *family* is allowed (nothing frequent) and handled by
+        the degenerate construction; the empty *edge* means "only the
+        empty itemset is frequent".
+    z:
+        The strict threshold the result is built for (``≥ 1``).
+    padding_rows:
+        Extra empty rows (no items), which change ``|M|`` but neither
+        ``f(U)`` for non-empty ``U`` nor the borders for the same ``z``.
+
+    Raises :class:`InvalidInstanceError` when ``prescribed`` is not an
+    antichain (maximal families are antichains by definition).
+    """
+    if z < 1:
+        raise InvalidInstanceError("z must be >= 1")
+    if not is_antichain(prescribed.edges):
+        raise InvalidInstanceError(
+            "the prescribed maximal-frequent family must be an antichain"
+        )
+    items = prescribed.vertices
+    rows: list[frozenset] = []
+    if len(prescribed) == 0:
+        # Nothing frequent, not even ∅: make |M| = z rows, so f(∅) = z ≤ z.
+        rows = [frozenset()] * z
+        return BooleanRelation(rows, items=items)
+    for edge in prescribed.edges:
+        rows.extend([edge] * (z + 1))
+    rows.extend([frozenset()] * padding_rows)
+    return BooleanRelation(rows, items=items)
+
+
+def expected_minimal_infrequent(prescribed: Hypergraph) -> Hypergraph:
+    """The ``IS⁻`` the realisation will have: ``tr(prescribedᶜ)`` ([26])."""
+    return transversal_hypergraph(complement_family(prescribed))
+
+
+def verify_realization(
+    relation: BooleanRelation, z: int, prescribed: Hypergraph
+) -> bool:
+    """Exhaustively confirm ``IS⁺(relation, z) = prescribed`` (test scale)."""
+    from repro.itemsets.borders import maximal_frequent_itemsets
+
+    return maximal_frequent_itemsets(relation, z) == prescribed.with_vertices(
+        relation.items
+    )
+
+
+def feasible(prescribed: Hypergraph) -> bool:
+    """Is the family realisable as a maximal-frequent family?  (Antichain.)"""
+    return is_antichain(prescribed.edges)

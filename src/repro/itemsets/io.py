@@ -1,0 +1,69 @@
+"""Transaction-file IO: the standard one-basket-per-line format.
+
+Format (compatible with the common FIMI dataset layout)::
+
+    # comments and blank lines ignored
+    bread milk
+    bread butter eggs
+    milk
+
+Tokens are whitespace-separated item names; integer-looking tokens stay
+strings (item names are labels, not numbers — this differs from the
+hypergraph format, where vertices are often indices).  An optional
+``% items:`` directive fixes the universe, needed when some item never
+occurs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ParseError
+from repro.itemsets.relation import BooleanRelation
+
+_ITEMS_PREFIX = "% items:"
+
+
+def loads(text: str) -> BooleanRelation:
+    """Parse a transaction file's contents."""
+    rows: list[frozenset] = []
+    universe: frozenset | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("%"):
+            if not line.startswith(_ITEMS_PREFIX):
+                raise ParseError(f"line {lineno}: unknown directive {line!r}")
+            universe = frozenset(line[len(_ITEMS_PREFIX):].split())
+            continue
+        rows.append(frozenset(line.split()))
+    try:
+        return BooleanRelation(rows, items=universe)
+    except Exception as exc:
+        raise ParseError(f"inconsistent transaction text: {exc}") from exc
+
+
+def dumps(relation: BooleanRelation, include_items: bool = True) -> str:
+    """Serialise a relation to the transaction format (canonical order)."""
+    from repro._util import vertex_key
+
+    lines: list[str] = []
+    if include_items:
+        names = " ".join(str(a) for a in sorted(relation.items, key=vertex_key))
+        lines.append(f"{_ITEMS_PREFIX} {names}".rstrip())
+    for row in relation.rows:
+        lines.append(" ".join(str(a) for a in sorted(row, key=vertex_key)))
+    return "\n".join(lines) + "\n"
+
+
+def load(path: str | Path) -> BooleanRelation:
+    """Read a relation from a transaction file."""
+    return loads(Path(path).read_text(encoding="utf-8"))
+
+
+def dump(
+    relation: BooleanRelation, path: str | Path, include_items: bool = True
+) -> None:
+    """Write a relation to a transaction file."""
+    Path(path).write_text(dumps(relation, include_items), encoding="utf-8")

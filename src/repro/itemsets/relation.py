@@ -1,0 +1,144 @@
+"""Boolean-valued data relations: the data-mining substrate of Section 1.
+
+The paper's setting: "a Boolean-valued data relation ``M`` over a set
+``S`` of attributes called *items*", where each tuple ``t`` defines
+``items(t) = {A ∈ S : t[A] = 1}``.  :class:`BooleanRelation` stores the
+tuples as item sets (the standard transaction view), keeps duplicate
+tuples (frequency counts multiplicity), and preserves the item universe
+``S`` independently of which items actually occur.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro._util import format_set, vertex_key
+from repro.errors import VertexError
+
+
+class BooleanRelation:
+    """An immutable Boolean relation ``M`` over an item universe ``S``.
+
+    Parameters
+    ----------
+    transactions:
+        Iterable of item-iterables (the rows, as their ``items(t)``
+        sets).  Duplicates are preserved — ``|M|`` counts rows.
+    items:
+        Optional explicit universe; defaults to the union of the rows.
+    """
+
+    __slots__ = ("_rows", "_items")
+
+    def __init__(
+        self,
+        transactions: Iterable[Iterable] = (),
+        items: Iterable | None = None,
+    ) -> None:
+        rows = tuple(frozenset(t) for t in transactions)
+        used: set = set()
+        for row in rows:
+            used |= row
+        if items is None:
+            universe = frozenset(used)
+        else:
+            universe = frozenset(items)
+            if not used <= universe:
+                raise VertexError(
+                    f"rows use items outside the declared universe: "
+                    f"{sorted(used - universe, key=vertex_key)}"
+                )
+        # Canonical row order — multiset semantics with reproducibility.
+        self._rows = tuple(
+            sorted(rows, key=lambda r: (len(r), tuple(sorted(r, key=vertex_key))))
+        )
+        self._items = universe
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def items(self) -> frozenset:
+        """The item universe ``S``."""
+        return self._items
+
+    @property
+    def rows(self) -> tuple[frozenset, ...]:
+        """The tuples, as item sets, in canonical order (with duplicates)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[frozenset]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanRelation):
+            return NotImplemented
+        return self._rows == other._rows and self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash((self._rows, self._items))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(format_set(r) for r in self._rows[:4])
+        suffix = ", …" if len(self._rows) > 4 else ""
+        return (
+            f"BooleanRelation({len(self._rows)} rows over "
+            f"{len(self._items)} items: {preview}{suffix})"
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def as_bitmap(self) -> list[dict]:
+        """The relation as explicit 0/1 tuples (dicts item → bool)."""
+        ordered = sorted(self._items, key=vertex_key)
+        return [{a: (a in row) for a in ordered} for row in self._rows]
+
+    def restrict_items(self, keep: Iterable) -> "BooleanRelation":
+        """Project onto a subset of the items (rows keep multiplicity)."""
+        scope = frozenset(keep)
+        if not scope <= self._items:
+            raise VertexError("projection scope must be a subset of the items")
+        return BooleanRelation((row & scope for row in self._rows), items=scope)
+
+    def sample_rows(self, indices: Sequence[int]) -> "BooleanRelation":
+        """The sub-relation with the selected row indices."""
+        return BooleanRelation(
+            (self._rows[i] for i in indices), items=self._items
+        )
+
+    def distinct(self) -> "BooleanRelation":
+        """Collapse duplicate rows (changes frequencies; used by key mining)."""
+        return BooleanRelation(set(self._rows), items=self._items)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_bitmap(
+        cls, tuples: Iterable[Mapping], items: Iterable | None = None
+    ) -> "BooleanRelation":
+        """Build from explicit 0/1 tuples (mappings item → truthy)."""
+        tuples = list(tuples)
+        if items is None:
+            universe: set = set()
+            for t in tuples:
+                universe |= set(t.keys())
+        else:
+            universe = set(items)
+        return cls(
+            (frozenset(a for a in t if t[a]) for t in tuples), items=universe
+        )
+
+    @classmethod
+    def from_transactions(
+        cls, transactions: Iterable[Iterable], items: Iterable | None = None
+    ) -> "BooleanRelation":
+        """Alias constructor matching data-mining vocabulary."""
+        return cls(transactions, items=items)

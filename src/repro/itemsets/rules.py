@@ -1,0 +1,120 @@
+"""Association rules from mined borders (the intro's motivating use case).
+
+The paper's data-mining motivation ([36]: "association rule mining")
+consumes the frequent itemsets the border machinery identifies.  This
+module closes that loop: given a relation and threshold, derive the
+classical support/confidence association rules ``X → Y`` (Agrawal et
+al.) from the frequent sets — where *frequent* follows the paper's
+strict convention ``f(U) > z`` — and expose the borders' role: every
+frequent set, hence every rule antecedent∪consequent, lies under some
+maximal frequent itemset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations
+
+from repro._util import format_set, vertex_key
+from repro.errors import InvalidInstanceError
+from repro.itemsets.apriori import frequent_itemsets
+from repro.itemsets.frequency import frequency, validate_threshold
+from repro.itemsets.relation import BooleanRelation
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """A rule ``antecedent → consequent`` with its exact statistics.
+
+    ``support`` is the absolute frequency of the union; ``confidence``
+    the ratio ``f(X ∪ Y) / f(X)``; ``lift`` the confidence relative to
+    the consequent's unconditional relative frequency.
+    """
+
+    antecedent: frozenset
+    consequent: frozenset
+    support: int
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:
+        return (
+            f"{format_set(self.antecedent)} -> {format_set(self.consequent)}"
+            f"  (support={self.support}, confidence={self.confidence:.3f}, "
+            f"lift={self.lift:.3f})"
+        )
+
+
+def _nonempty_proper_subsets(itemset: frozenset):
+    ordered = sorted(itemset, key=vertex_key)
+    return (
+        frozenset(c)
+        for c in chain.from_iterable(
+            combinations(ordered, r) for r in range(1, len(ordered))
+        )
+    )
+
+
+def mine_rules(
+    relation: BooleanRelation,
+    z: int,
+    min_confidence: float = 0.6,
+) -> list[AssociationRule]:
+    """All association rules from the frequent itemsets of ``(M, z)``.
+
+    For every frequent itemset ``U`` with ``|U| ≥ 2`` and every
+    non-trivial split ``U = X ∪ Y``, emits ``X → Y`` when the confidence
+    clears ``min_confidence``.  Rules are ordered deterministically by
+    (descending confidence, descending support, canonical antecedent).
+    """
+    validate_threshold(relation, z)
+    if not 0.0 < min_confidence <= 1.0:
+        raise InvalidInstanceError("min_confidence must lie in (0, 1]")
+    n_rows = len(relation)
+    rules: list[AssociationRule] = []
+    for itemset in frequent_itemsets(relation, z):
+        if len(itemset) < 2:
+            continue
+        union_support = frequency(relation, itemset)
+        for antecedent in _nonempty_proper_subsets(itemset):
+            consequent = itemset - antecedent
+            antecedent_support = frequency(relation, antecedent)
+            confidence = union_support / antecedent_support
+            if confidence + 1e-12 < min_confidence:
+                continue
+            consequent_rate = frequency(relation, consequent) / n_rows
+            lift = confidence / consequent_rate if consequent_rate else float("inf")
+            rules.append(
+                AssociationRule(
+                    antecedent=antecedent,
+                    consequent=consequent,
+                    support=union_support,
+                    confidence=confidence,
+                    lift=lift,
+                )
+            )
+    rules.sort(
+        key=lambda r: (
+            -r.confidence,
+            -r.support,
+            tuple(sorted(map(str, r.antecedent))),
+            tuple(sorted(map(str, r.consequent))),
+        )
+    )
+    return rules
+
+
+def rules_under_border(
+    rules: list[AssociationRule], maximal_frequent: "object"
+) -> bool:
+    """Every rule's item union lies under some maximal frequent itemset.
+
+    The structural link between rule mining and the borders: rule unions
+    are frequent, and the frequent sets are exactly the downward closure
+    of ``IS⁺``.  ``maximal_frequent`` is the ``IS⁺`` hypergraph.
+    """
+    border = list(maximal_frequent.edges)
+    return all(
+        any((rule.antecedent | rule.consequent) <= top for top in border)
+        for rule in rules
+    )

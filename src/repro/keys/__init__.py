@@ -1,0 +1,43 @@
+"""Relational keys and functional dependencies (Prop. 1.2 and refs [7, 23, 6])."""
+
+from repro.keys.armstrong import (
+    agree_set,
+    agree_sets,
+    armstrong_relation,
+    satisfied_closure_matches,
+    satisfies,
+)
+from repro.keys.fd import FDSchema, FunctionalDependency, fd
+from repro.keys.minimal_keys import (
+    AdditionalKeyOutcome,
+    RelationalInstance,
+    decide_additional_key,
+    difference_hypergraph,
+    enumerate_minimal_keys_incrementally,
+    is_key,
+    is_minimal_key,
+    minimal_keys,
+    minimal_keys_brute_force,
+    validate_claimed_keys,
+)
+
+__all__ = [
+    "AdditionalKeyOutcome",
+    "FDSchema",
+    "FunctionalDependency",
+    "RelationalInstance",
+    "agree_set",
+    "agree_sets",
+    "armstrong_relation",
+    "decide_additional_key",
+    "difference_hypergraph",
+    "enumerate_minimal_keys_incrementally",
+    "fd",
+    "is_key",
+    "is_minimal_key",
+    "minimal_keys",
+    "minimal_keys_brute_force",
+    "satisfied_closure_matches",
+    "satisfies",
+    "validate_claimed_keys",
+]

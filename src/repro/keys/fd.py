@@ -1,0 +1,159 @@
+"""Functional dependencies: closure, implication, keys of an FD schema.
+
+Support machinery for the Armstrong-relation construction ([7, 23, 6] in
+the paper's related-problems list).  An FD ``X → Y`` over attribute set
+``S``; a set of FDs induces a closure operator on attribute sets, whose
+fixed points (closed sets) form the lattice the Armstrong construction
+realises.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro._util import powerset, vertex_key
+from repro.errors import InvalidInstanceError
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """An FD ``lhs → rhs`` (both attribute frozensets)."""
+
+    lhs: frozenset
+    rhs: frozenset
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", frozenset(self.lhs))
+        object.__setattr__(self, "rhs", frozenset(self.rhs))
+
+    def attributes(self) -> frozenset:
+        """All attributes mentioned."""
+        return self.lhs | self.rhs
+
+    def __str__(self) -> str:
+        left = " ".join(str(a) for a in sorted(self.lhs, key=vertex_key)) or "∅"
+        right = " ".join(str(a) for a in sorted(self.rhs, key=vertex_key))
+        return f"{left} -> {right}"
+
+
+def fd(lhs: Iterable, rhs: Iterable) -> FunctionalDependency:
+    """Shorthand constructor: ``fd("AB", "C")`` accepts iterables of attrs."""
+    return FunctionalDependency(frozenset(lhs), frozenset(rhs))
+
+
+class FDSchema:
+    """A set of FDs over a fixed attribute universe.
+
+    Provides the closure operator, implication testing, closed-set
+    enumeration and candidate keys — everything the Armstrong
+    construction and its tests need.
+    """
+
+    def __init__(
+        self, attributes: Iterable, dependencies: Iterable[FunctionalDependency]
+    ) -> None:
+        self.attributes = frozenset(attributes)
+        self.dependencies = tuple(dependencies)
+        for dep in self.dependencies:
+            if not dep.attributes() <= self.attributes:
+                raise InvalidInstanceError(
+                    f"dependency {dep} mentions unknown attributes"
+                )
+
+    # ------------------------------------------------------------------
+    # Closure machinery
+    # ------------------------------------------------------------------
+
+    def closure(self, attrs: Iterable) -> frozenset:
+        """``X⁺``: the closure of ``attrs`` under the FDs (fixpoint chase)."""
+        current = set(attrs)
+        if not current <= self.attributes:
+            raise InvalidInstanceError("closure of unknown attributes requested")
+        changed = True
+        while changed:
+            changed = False
+            for dep in self.dependencies:
+                if dep.lhs <= current and not dep.rhs <= current:
+                    current |= dep.rhs
+                    changed = True
+        return frozenset(current)
+
+    def implies(self, dep: FunctionalDependency) -> bool:
+        """Does the schema imply ``dep``?  (``dep.rhs ⊆ dep.lhs⁺``.)"""
+        return dep.rhs <= self.closure(dep.lhs)
+
+    def is_closed(self, attrs: Iterable) -> bool:
+        """Is ``attrs`` a fixed point of the closure operator?"""
+        attrs = frozenset(attrs)
+        return self.closure(attrs) == attrs
+
+    def closed_sets(self) -> list[frozenset]:
+        """All closed sets (exponential — small universes only)."""
+        return [x for x in powerset(self.attributes) if self.is_closed(x)]
+
+    def meet_irreducible_closed_sets(self) -> list[frozenset]:
+        """Closed sets that are not intersections of strictly larger ones.
+
+        These generate the closure system by intersection and are the
+        rows the Armstrong construction materialises (minus the top).
+        """
+        closed = self.closed_sets()
+        irreducible = []
+        for x in closed:
+            if x == frozenset(self.attributes):
+                continue
+            meet = frozenset(self.attributes)
+            for y in closed:
+                if x < y:
+                    meet &= y
+            if meet != x:
+                irreducible.append(x)
+        return irreducible
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+
+    def is_superkey(self, attrs: Iterable) -> bool:
+        """``attrs⁺ = S``?"""
+        return self.closure(attrs) == self.attributes
+
+    def candidate_keys(self) -> Hypergraph:
+        """All minimal keys of the schema, via hypergraph dualization.
+
+        A set is a superkey iff it meets the complement of every
+        *maximal non-superkey-closed* set; hence the candidate keys are
+        exactly ``tr({S − C : C maximal proper closed set})`` — another
+        place the ``Dual`` machinery earns its keep.
+        """
+        closed = self.closed_sets()
+        full = frozenset(self.attributes)
+        proper = [c for c in closed if c != full]
+        maximal = [
+            c for c in proper if not any(c < d for d in proper)
+        ]
+        complements = Hypergraph(
+            (full - c for c in maximal), vertices=full
+        )
+        return transversal_hypergraph(complements)
+
+    def candidate_keys_brute_force(self) -> Hypergraph:
+        """Candidate keys by powerset scan (tests only)."""
+        keys = [
+            x
+            for x in powerset(self.attributes)
+            if self.is_superkey(x)
+            and all(not self.is_superkey(x - {a}) for a in x)
+        ]
+        return Hypergraph(keys, vertices=self.attributes)
+
+    def canonical_dependencies(self) -> list[FunctionalDependency]:
+        """One FD ``X → X⁺ − X`` per non-closed subset (tests/inspection)."""
+        out = []
+        for x in powerset(self.attributes):
+            cl = self.closure(x)
+            if cl != x:
+                out.append(FunctionalDependency(x, cl - x))
+        return out

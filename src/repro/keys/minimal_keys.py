@@ -1,0 +1,262 @@
+"""Minimal keys of relational instances and Proposition 1.2.
+
+The *additional key for instance* problem (paper, Section 1): given a
+relational instance ``R`` over attribute set ``S`` and a set ``K`` of
+minimal keys of ``R``, is there a minimal key not already in ``K``?
+Eiter–Gottlob [7] showed this logspace-equivalent to ``Dual``.
+
+The classical reduction goes through the **difference hypergraph**: for
+every pair of distinct tuples, take the set of attributes on which they
+*disagree*.  A set of attributes is a key iff it hits every such
+difference set (two tuples agreeing on the key would need an empty
+intersection with their difference set), so
+
+    minimal keys of ``R``  =  ``tr(min(D(R)))``.
+
+Hence "no additional key" ⟺ ``K = tr(min(D(R)))`` — a ``Dual`` instance
+once ``K ⊆ tr(min(D(R)))`` is verified — and every engine of
+:mod:`repro.duality` decides it, with witnesses converting into concrete
+new minimal keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro._util import minimize_family, powerset, vertex_key
+from repro.errors import InvalidInstanceError
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.hypergraph.transversal import is_minimal_transversal, is_transversal
+from repro.duality.engine import decide_duality
+from repro.duality.result import DualityResult
+from repro.duality.witness import WitnessRole, classify_witness
+
+
+class RelationalInstance:
+    """An explicit relational instance: named attributes, arbitrary values.
+
+    Rows are mappings attribute → value; all rows must cover the full
+    attribute set.  Duplicate rows are collapsed (keys are about
+    distinguishing *distinct* tuples; duplicated tuples make every
+    attribute set a non-key, so instances with duplicates have no keys —
+    we reject them loudly instead).
+    """
+
+    __slots__ = ("_attributes", "_rows")
+
+    def __init__(
+        self,
+        rows: Iterable[Mapping],
+        attributes: Sequence | None = None,
+    ) -> None:
+        rows = list(rows)
+        if attributes is None:
+            if not rows:
+                raise InvalidInstanceError(
+                    "attributes are required for an empty instance"
+                )
+            attributes = sorted(rows[0].keys(), key=vertex_key)
+        self._attributes = tuple(attributes)
+        attr_set = set(self._attributes)
+        frozen_rows = []
+        for row in rows:
+            if set(row.keys()) != attr_set:
+                raise InvalidInstanceError(
+                    f"row {row!r} does not match attributes {self._attributes}"
+                )
+            frozen_rows.append(tuple(row[a] for a in self._attributes))
+        if len(set(frozen_rows)) != len(frozen_rows):
+            raise InvalidInstanceError(
+                "instance contains duplicate tuples — no attribute set can "
+                "be a key; deduplicate first"
+            )
+        self._rows = tuple(frozen_rows)
+
+    @property
+    def attributes(self) -> tuple:
+        """The attribute names, in declaration order."""
+        return self._attributes
+
+    @property
+    def rows(self) -> tuple[tuple, ...]:
+        """The tuples, as value vectors aligned with :attr:`attributes`."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def column(self, attribute) -> tuple:
+        """All values of one attribute."""
+        idx = self._attributes.index(attribute)
+        return tuple(row[idx] for row in self._rows)
+
+    def projection_distinguishes(self, attrs: Iterable) -> bool:
+        """True iff the attribute set distinguishes every pair of tuples."""
+        positions = [self._attributes.index(a) for a in attrs]
+        seen = set()
+        for row in self._rows:
+            key = tuple(row[p] for p in positions)
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+
+def difference_hypergraph(instance: RelationalInstance) -> Hypergraph:
+    """The (minimised) difference hypergraph ``min(D(R))``.
+
+    One edge per tuple pair: the attributes where the two tuples differ;
+    the family is minimised (only inclusion-minimal difference sets
+    matter for transversality).  Distinct tuples always differ somewhere,
+    so no edge is empty.
+    """
+    attrs = instance.attributes
+    edges = set()
+    rows = instance.rows
+    for i in range(len(rows)):
+        for j in range(i + 1, len(rows)):
+            edges.add(
+                frozenset(
+                    a for a, x, y in zip(attrs, rows[i], rows[j]) if x != y
+                )
+            )
+    return Hypergraph(minimize_family(edges), vertices=attrs)
+
+
+def is_key(instance: RelationalInstance, attrs: Iterable) -> bool:
+    """Key test, by definition (no two tuples agree on ``attrs``)."""
+    return instance.projection_distinguishes(frozenset(attrs))
+
+
+def is_minimal_key(instance: RelationalInstance, attrs: Iterable) -> bool:
+    """Minimal-key test: a key none of whose one-smaller subsets is a key."""
+    key = frozenset(attrs)
+    if not is_key(instance, key):
+        return False
+    return all(not is_key(instance, key - {a}) for a in key)
+
+
+def minimal_keys(instance: RelationalInstance) -> Hypergraph:
+    """All minimal keys, via the transversal characterisation.
+
+    ``keys(R) = tr(min(D(R)))`` — exact (Berge) computation.
+    """
+    return transversal_hypergraph(difference_hypergraph(instance))
+
+
+def minimal_keys_brute_force(instance: RelationalInstance) -> Hypergraph:
+    """All minimal keys by powerset scan (tests only)."""
+    found = [
+        attrs
+        for attrs in powerset(instance.attributes)
+        if is_minimal_key(instance, attrs)
+    ]
+    return Hypergraph(found, vertices=instance.attributes)
+
+
+@dataclass(frozen=True)
+class AdditionalKeyOutcome:
+    """Answer of the additional-key-for-instance problem.
+
+    ``exists`` — True iff some minimal key is missing from the claimed
+    set; ``new_key`` — such a key (minimal), when one exists;
+    ``duality`` — the underlying engine result.
+    """
+
+    exists: bool
+    duality: DualityResult
+    new_key: frozenset | None = None
+
+
+def validate_claimed_keys(
+    instance: RelationalInstance, claimed: Hypergraph
+) -> None:
+    """Check every claimed key is a *minimal* key of the instance."""
+    for edge in claimed.edges:
+        if not is_key(instance, edge):
+            raise InvalidInstanceError(
+                f"claimed key {sorted(map(str, edge))} is not a key"
+            )
+        if not is_minimal_key(instance, edge):
+            raise InvalidInstanceError(
+                f"claimed key {sorted(map(str, edge))} is not minimal"
+            )
+
+
+def decide_additional_key(
+    instance: RelationalInstance,
+    claimed: Hypergraph,
+    method: str = "bm",
+    validate: bool = True,
+) -> AdditionalKeyOutcome:
+    """The additional-key-for-instance problem, via ``Dual`` (Prop. 1.2).
+
+    ``claimed`` is the known set ``K`` of minimal keys.  The reduction:
+    no additional key ⟺ ``K = tr(min(D(R)))``, decided by the selected
+    duality engine.  On YES (a key is missing), the duality witness — a
+    transversal of ``min(D(R))`` covering no claimed key — is minimised
+    into a concrete **new minimal key**.
+    """
+    if validate:
+        validate_claimed_keys(instance, claimed)
+    diff = difference_hypergraph(instance)
+    claimed = claimed.with_vertices(diff.vertices)
+
+    result = decide_duality(diff, claimed, method=method)
+    if result.is_dual:
+        return AdditionalKeyOutcome(exists=False, duality=result)
+
+    witness = result.certificate.witness
+    new_key: frozenset | None = None
+    if witness is not None:
+        role = classify_witness(diff, claimed, witness)
+        if role is WitnessRole.NEW_TRANSVERSAL_OF_G:
+            new_key = witness
+    if new_key is None:
+        # Oracle fallback (validated claims guarantee K ⊆ tr(D), so a
+        # minimal transversal outside K exists).
+        exact = transversal_hypergraph(diff)
+        missing = [t for t in exact.edges if t not in set(claimed.edges)]
+        if not missing:
+            raise InvalidInstanceError(
+                "duality refuted but no key is missing — claimed keys "
+                "are not minimal keys of the instance"
+            )
+        new_key = missing[0]
+    else:
+        from repro.hypergraph.transversal import minimalize_transversal
+
+        new_key = minimalize_transversal(new_key, diff)
+
+    assert is_minimal_key(instance, new_key)
+    assert new_key not in set(claimed.edges)
+    return AdditionalKeyOutcome(exists=True, duality=result, new_key=new_key)
+
+
+def enumerate_minimal_keys_incrementally(
+    instance: RelationalInstance, method: str = "bm"
+) -> list[frozenset]:
+    """Enumerate all minimal keys by iterating the additional-key oracle.
+
+    The Prop. 1.2 remark in action: enumerating minimal keys ≡
+    enumerating ``tr`` of a hypergraph computable from ``R``.  Starts
+    from one greedily-minimised key (the full attribute set is always a
+    key for duplicate-free instances) and repeats ``decide_additional_key``
+    until it answers "no".
+    """
+    from repro.hypergraph.transversal import minimalize_transversal
+
+    diff = difference_hypergraph(instance)
+    first = minimalize_transversal(frozenset(instance.attributes), diff)
+    known: list[frozenset] = [first]
+    while True:
+        outcome = decide_additional_key(
+            instance,
+            Hypergraph(known, vertices=instance.attributes),
+            method=method,
+            validate=False,
+        )
+        if not outcome.exists:
+            return sorted(known, key=lambda k: (len(k), sorted(map(str, k))))
+        known.append(outcome.new_key)

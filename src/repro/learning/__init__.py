@@ -1,0 +1,44 @@
+"""Exact learning of monotone Boolean functions with membership queries.
+
+Section 1 of the paper lists "learning monotone Boolean CNFs and DNFs
+with membership queries [26]" among the applications of ``Dual``.  The
+algorithm of Gunopulos–Khardon–Mannila–Toivonen reconstructs an unknown
+monotone function ``f`` from membership queries alone by maintaining the
+two borders of ``f``:
+
+* the **minimal true points** (= prime implicants = the DNF), and
+* the **maximal false points** (whose complements are the prime
+  implicates = the CNF),
+
+and repeatedly asking a ``Dual`` engine whether the partial borders are
+already complete — the *same* loop as frequent-itemset border mining
+(Prop. 1.1); the itemset case is the instance where ``f(U) = 1`` iff
+``U`` is infrequent.
+
+Public surface:
+
+* :class:`MembershipOracle` — query-counting wrapper around any monotone
+  function (:mod:`repro.learning.oracle`);
+* :func:`learn_monotone_function` — the GKMT learner
+  (:mod:`repro.learning.exact`), returning a :class:`LearnedFunction`
+  with both normal forms and the full query/check accounting.
+"""
+
+from repro.learning.oracle import MembershipOracle, NotMonotoneError
+from repro.learning.exact import (
+    LearnedFunction,
+    LearningTrace,
+    learn_monotone_function,
+    maximize_false_point,
+    minimize_true_point,
+)
+
+__all__ = [
+    "LearnedFunction",
+    "LearningTrace",
+    "MembershipOracle",
+    "NotMonotoneError",
+    "learn_monotone_function",
+    "maximize_false_point",
+    "minimize_true_point",
+]

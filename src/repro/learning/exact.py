@@ -1,0 +1,254 @@
+"""The GKMT exact learner: monotone functions from membership queries.
+
+The algorithm (ref [26] of the paper) maintains two genuine partial
+borders of the hidden monotone function ``f``:
+
+* ``MTP`` — minimal true points found so far (each verified minimal by
+  greedy shrinking under the oracle);
+* ``MFP`` — maximal false points found so far (each verified maximal by
+  greedy growing).
+
+The completeness test is a ``Dual`` instance: the borders are complete
+iff ``MTP = tr(MFPᶜ)`` where ``MFPᶜ = {V − m : m ∈ MFP}`` — a point is
+true iff it is contained in no maximal false point iff it meets every
+complement.  When the engine refutes duality, its witness is converted
+into an *uncovered* point ``X`` (``X ⊆`` no known false maximum, ``⊇``
+no known true minimum); one oracle query on ``X`` decides which border
+grows, and a greedy pass lands on a *new* border element.  Every
+iteration therefore adds exactly one border point, so the loop runs
+``|MTP| + |MFP|`` times, with query cost ``O(|V|)`` per iteration plus
+one duality check — the learning-theoretic content of Prop. 1.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import vertex_key
+from repro.dnf.formula import MonotoneDNF
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.operations import complement_family
+from repro.hypergraph.transversal import is_transversal, transversal_hypergraph
+from repro.duality.engine import DEFAULT_METHOD, decide_duality
+from repro.duality.result import DualityResult
+from repro.duality.witness import WitnessRole, classify_witness
+from repro.learning.oracle import MembershipOracle
+from repro.logic.cnf import MonotoneCNF
+
+
+def minimize_true_point(oracle: MembershipOracle, point) -> frozenset:
+    """Greedily shrink a true point to a minimal true point (≤ |point| queries).
+
+    Scans vertices in the deterministic library order and drops each one
+    whose removal keeps the point true.
+    """
+    x = frozenset(point)
+    if not oracle.query(x):
+        raise ValueError("minimize_true_point needs a true starting point")
+    for v in sorted(x, key=vertex_key):
+        candidate = x - {v}
+        if oracle.query(candidate):
+            x = candidate
+    return x
+
+
+def maximize_false_point(oracle: MembershipOracle, point) -> frozenset:
+    """Greedily grow a false point to a maximal false point (≤ |V| queries)."""
+    x = frozenset(point)
+    if oracle.query(x):
+        raise ValueError("maximize_false_point needs a false starting point")
+    for v in sorted(oracle.universe - x, key=vertex_key):
+        candidate = x | {v}
+        if not oracle.query(candidate):
+            x = candidate
+    return x
+
+
+@dataclass
+class LearningTrace:
+    """Per-iteration log: which border grew, by which point, at what cost."""
+
+    steps: list[tuple[str, frozenset, int]] = field(default_factory=list)
+
+    def additions(self) -> int:
+        return len(self.steps)
+
+
+@dataclass
+class LearnedFunction:
+    """The learner's output: both borders, both normal forms, and the bill.
+
+    Attributes
+    ----------
+    minimal_true_points / maximal_false_points:
+        The complete borders, as hypergraphs over the oracle universe.
+    queries:
+        Distinct membership queries spent.
+    duality_checks:
+        Number of ``Dual`` instances solved.
+    trace:
+        The per-iteration :class:`LearningTrace`.
+    """
+
+    minimal_true_points: Hypergraph
+    maximal_false_points: Hypergraph
+    queries: int
+    duality_checks: int
+    trace: LearningTrace
+
+    def dnf(self) -> MonotoneDNF:
+        """The learned irredundant DNF (terms = minimal true points)."""
+        return MonotoneDNF.from_hypergraph(self.minimal_true_points)
+
+    def cnf(self) -> MonotoneCNF:
+        """The learned irredundant CNF (clauses = complements of MFP)."""
+        return MonotoneCNF.from_hypergraph(
+            complement_family(self.maximal_false_points)
+        )
+
+    def evaluate(self, point) -> bool:
+        """Evaluate the learned function at a point (via the DNF)."""
+        return any(
+            edge <= frozenset(point) for edge in self.minimal_true_points.edges
+        )
+
+
+def _duality_sides(
+    universe: frozenset,
+    maximal_false: set[frozenset],
+    minimal_true: set[frozenset],
+) -> tuple[Hypergraph, Hypergraph]:
+    """The ``Dual`` instance asking "are the borders complete?"."""
+    g = Hypergraph(
+        (universe - m for m in maximal_false), vertices=universe
+    )
+    h = Hypergraph(minimal_true, vertices=universe)
+    return g, h
+
+
+def _uncovered_point_from_refutation(
+    g_side: Hypergraph,
+    h_side: Hypergraph,
+    universe: frozenset,
+    result: DualityResult,
+) -> frozenset:
+    """An uncovered point: below no known false max, above no known true min.
+
+    Mirrors the itemset-identification witness conversion (they are the
+    same lemma): a clean new-transversal witness is used directly (or
+    complemented when it speaks about the transposed instance); an
+    extra-edge-of-H witness shrinks by one vertex; otherwise the exact
+    transversal oracle supplies a missing minimal transversal.
+    """
+    witness = result.certificate.witness
+    if witness is not None:
+        role = classify_witness(g_side, h_side, witness)
+        if role is WitnessRole.NEW_TRANSVERSAL_OF_G:
+            return frozenset(witness)
+        if role is WitnessRole.NEW_TRANSVERSAL_OF_H:
+            return frozenset(universe - witness)
+        if role is WitnessRole.EXTRA_EDGE_OF_H:
+            for a in sorted(witness, key=vertex_key):
+                shrunk = frozenset(witness - {a})
+                if is_transversal(shrunk, g_side):
+                    return shrunk
+    exact = transversal_hypergraph(g_side)
+    claimed = set(h_side.edges)
+    for t in exact.edges:
+        if t not in claimed:
+            return frozenset(t)
+    # tr(G) ⊆ H but H ≠ tr(G): some claimed true minimum is not a
+    # minimal transversal — shrink it (the engine gave no usable witness).
+    for t in sorted(claimed - set(exact.edges), key=vertex_key):
+        for a in sorted(t, key=vertex_key):
+            shrunk = frozenset(t - {a})
+            if is_transversal(shrunk, g_side):
+                return shrunk
+    raise RuntimeError("refuted duality but no uncovered point exists")
+
+
+def learn_monotone_function(
+    oracle: MembershipOracle,
+    method: str = DEFAULT_METHOD,
+    max_iterations: int | None = None,
+) -> LearnedFunction:
+    """Learn a monotone function exactly from membership queries.
+
+    Parameters
+    ----------
+    oracle:
+        The hidden function behind a :class:`MembershipOracle`.
+    method:
+        Duality engine for the completeness checks (the paper's point:
+        ``"logspace"`` works, giving a quadratic-logspace checker).
+    max_iterations:
+        Safety valve; ``None`` runs to completion (termination is
+        guaranteed — every iteration adds one new border point).
+
+    Returns a :class:`LearnedFunction`; its DNF/CNF are exactly the
+    hidden function's prime implicants/implicates.
+    """
+    universe = oracle.universe
+    trace = LearningTrace()
+    duality_checks = 0
+
+    # Constant-false seeding: if even the full set is false, the borders
+    # are MTP = ∅, MFP = {V}.
+    if not oracle.query(universe):
+        return LearnedFunction(
+            minimal_true_points=Hypergraph.empty(universe),
+            maximal_false_points=Hypergraph([universe], vertices=universe),
+            queries=oracle.query_count,
+            duality_checks=0,
+            trace=trace,
+        )
+
+    minimal_true: set[frozenset] = {minimize_true_point(oracle, universe)}
+    maximal_false: set[frozenset] = set()
+    if oracle.query(frozenset()):
+        # Constant true: the only minimal true point is ∅ and there is no
+        # false point at all; the seeded state is already complete.
+        pass
+    else:
+        maximal_false.add(maximize_false_point(oracle, frozenset()))
+
+    iterations = 0
+    while True:
+        if max_iterations is not None and iterations >= max_iterations:
+            raise RuntimeError(f"learner exceeded {max_iterations} iterations")
+        iterations += 1
+
+        g_side, h_side = _duality_sides(universe, maximal_false, minimal_true)
+        result = decide_duality(g_side, h_side, method=method)
+        duality_checks += 1
+        if result.is_dual:
+            break
+
+        uncovered = _uncovered_point_from_refutation(
+            g_side, h_side, universe, result
+        )
+        before = oracle.query_count
+        if oracle.query(uncovered):
+            new_point = minimize_true_point(oracle, uncovered)
+            if new_point in minimal_true:
+                raise RuntimeError("learner repeated a minimal true point")
+            minimal_true.add(new_point)
+            trace.steps.append(
+                ("true-min", new_point, oracle.query_count - before)
+            )
+        else:
+            new_point = maximize_false_point(oracle, uncovered)
+            if new_point in maximal_false:
+                raise RuntimeError("learner repeated a maximal false point")
+            maximal_false.add(new_point)
+            trace.steps.append(
+                ("false-max", new_point, oracle.query_count - before)
+            )
+
+    return LearnedFunction(
+        minimal_true_points=Hypergraph(minimal_true, vertices=universe),
+        maximal_false_points=Hypergraph(maximal_false, vertices=universe),
+        queries=oracle.query_count,
+        duality_checks=duality_checks,
+        trace=trace,
+    )

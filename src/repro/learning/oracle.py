@@ -1,0 +1,157 @@
+"""Membership oracles over monotone Boolean functions.
+
+A membership oracle answers "is ``f(X) = 1``?" for a hidden monotone
+function ``f : 2^V → {0, 1}``.  The learner of
+:mod:`repro.learning.exact` sees *only* this interface, so anything that
+behaves monotonely can be learned: an explicit DNF/CNF, a hypergraph
+read as a DNF, or the *infrequency* predicate of a data relation (the
+bridge to Prop. 1.1 — infrequency is monotone because supersets of an
+infrequent itemset are infrequent).
+
+The oracle counts queries and memoises answers, so the recorded
+``query_count`` is the number of *distinct* points the learner needed —
+the quantity the learning-theory bounds speak about.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro._util import powerset, vertex_key
+from repro.errors import ReproError, VertexError
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class NotMonotoneError(ReproError):
+    """A claimed-monotone oracle returned ``f(A) = 1, f(B) = 0`` with ``A ⊆ B``."""
+
+
+class MembershipOracle:
+    """Query-counting, memoising wrapper around a monotone predicate.
+
+    Parameters
+    ----------
+    fn:
+        The hidden function, mapping a ``frozenset`` of variables (the
+        true-set of the assignment) to ``bool``.
+    universe:
+        The variable universe ``V``; queries must stay inside it.
+    name:
+        Optional label for reports.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[frozenset], bool],
+        universe: Iterable,
+        name: str = "oracle",
+    ) -> None:
+        self._fn = fn
+        self._universe = frozenset(universe)
+        self._cache: dict[frozenset, bool] = {}
+        self._queries = 0
+        self.name = name
+
+    @property
+    def universe(self) -> frozenset:
+        """The variable universe ``V``."""
+        return self._universe
+
+    @property
+    def query_count(self) -> int:
+        """Number of distinct points queried so far."""
+        return self._queries
+
+    def query(self, point: Iterable) -> bool:
+        """``f(point)``, counting and memoising the call."""
+        x = frozenset(point)
+        if not x <= self._universe:
+            extra = sorted(x - self._universe, key=vertex_key)
+            raise VertexError(f"query outside the oracle universe: {extra}")
+        if x not in self._cache:
+            self._cache[x] = bool(self._fn(x))
+            self._queries += 1
+        return self._cache[x]
+
+    def reset_counter(self) -> None:
+        """Zero the query counter and forget memoised answers."""
+        self._cache.clear()
+        self._queries = 0
+
+    def check_monotone_exhaustive(self) -> bool:
+        """Exhaustively verify monotonicity (2^|V| queries — tests only).
+
+        Raises :class:`NotMonotoneError` on the first violating pair.
+        """
+        points = list(powerset(self._universe))
+        values = {p: self.query(p) for p in points}
+        for a in points:
+            if not values[a]:
+                continue
+            for v in self._universe - a:
+                b = a | {v}
+                if not values[frozenset(b)]:
+                    raise NotMonotoneError(
+                        f"f({sorted(a, key=vertex_key)}) = 1 but "
+                        f"f({sorted(b, key=vertex_key)}) = 0"
+                    )
+        return True
+
+    def spot_check_monotone(self, witness_true: Iterable, superset: Iterable) -> None:
+        """Cheap sanity check: a superset of a true point must be true."""
+        if self.query(witness_true) and not self.query(superset):
+            raise NotMonotoneError(
+                "oracle violated monotonicity on a spot-checked pair"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors for the standard function sources
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dnf(cls, dnf) -> "MembershipOracle":
+        """Oracle for an explicit :class:`~repro.dnf.MonotoneDNF`."""
+        return cls(dnf.evaluate, dnf.variables, name="dnf")
+
+    @classmethod
+    def from_cnf(cls, cnf) -> "MembershipOracle":
+        """Oracle for an explicit :class:`~repro.logic.MonotoneCNF`."""
+        return cls(cnf.evaluate, cnf.variables, name="cnf")
+
+    @classmethod
+    def from_hypergraph(cls, hg: Hypergraph) -> "MembershipOracle":
+        """Oracle for a hypergraph read as a DNF: true iff ⊇ some edge."""
+        edges = hg.edges
+
+        def covers(point: frozenset) -> bool:
+            return any(edge <= point for edge in edges)
+
+        return cls(covers, hg.vertices, name="hypergraph-dnf")
+
+    @classmethod
+    def from_transversal_predicate(cls, hg: Hypergraph) -> "MembershipOracle":
+        """Oracle for "is the point a transversal of ``hg``?" (a CNF view)."""
+        edges = hg.edges
+
+        def traverses(point: frozenset) -> bool:
+            return all(edge & point for edge in edges)
+
+        return cls(traverses, hg.vertices, name="transversal")
+
+    @classmethod
+    def from_infrequency(cls, relation, z: int) -> "MembershipOracle":
+        """Oracle for itemset *infrequency* — the Prop. 1.1 instance.
+
+        ``f(U) = 1`` iff ``U`` is infrequent in the relation at strict
+        threshold ``z``.  Supersets of infrequent sets are infrequent, so
+        ``f`` is monotone; its minimal true points are ``IS⁻`` and its
+        maximal false points are ``IS⁺``.
+        """
+        from repro.itemsets.frequency import is_frequent, validate_threshold
+
+        validate_threshold(relation, z)
+
+        def infrequent(point: frozenset) -> bool:
+            return not is_frequent(relation, point, z)
+
+        return cls(infrequent, relation.items, name=f"infrequency(z={z})")

@@ -1,0 +1,47 @@
+"""Propositional-logic substrate for the paper's knowledge-discovery applications.
+
+Section 1 of the paper lists several AI / knowledge-representation
+problems equivalent to (or built on) hypergraph dualization: learning
+monotone CNFs/DNFs with membership queries [26], model-based diagnosis
+[41, 24], Horn approximation of non-Horn theories [33, 19], and minimal
+abductive explanations [10].  All of them manipulate propositional
+theories; this package provides the shared substrate:
+
+* :class:`HornClause` / :class:`HornTheory` — definite and negative Horn
+  clauses, forward-chaining closure, model enumeration, characteristic
+  models (:mod:`repro.logic.horn`);
+* :class:`MonotoneCNF` — monotone CNFs, the CNF ↔ hypergraph bridge and
+  the classic reduction of *monotone CNF–DNF equivalence* to ``Dual``
+  (:mod:`repro.logic.cnf`).
+
+Everything is exact and enumeration-based: theories are small enough in
+the reproduction workloads that reference semantics beat cleverness.
+"""
+
+from repro.logic.horn import (
+    HornClause,
+    HornTheory,
+    characteristic_models,
+    intersection_closure,
+    is_intersection_closed,
+)
+from repro.logic.cnf import (
+    MonotoneCNF,
+    decide_cnf_dnf_equivalence,
+    parse_cnf,
+)
+from repro.logic.parser import (
+    loads as parse_horn_theory,
+)
+
+__all__ = [
+    "HornClause",
+    "HornTheory",
+    "MonotoneCNF",
+    "characteristic_models",
+    "decide_cnf_dnf_equivalence",
+    "intersection_closure",
+    "is_intersection_closed",
+    "parse_cnf",
+    "parse_horn_theory",
+]

@@ -1,0 +1,209 @@
+"""Monotone CNFs and the CNF–DNF equivalence form of ``Dual``.
+
+A monotone CNF ``c = C₁ ∧ … ∧ C_m`` (each clause a disjunction of
+positive variables) maps to the hypergraph with one hyperedge per
+clause.  The classical bridge to the paper's problem:
+
+    a monotone CNF ``c`` and a monotone DNF ``f`` are **logically
+    equivalent** iff the term hypergraph of ``f`` equals the minimal
+    transversals of the clause hypergraph of ``c``
+
+(an assignment satisfies every clause iff its true-set is a transversal
+of the clause hypergraph; the minimal such true-sets are the prime
+implicants).  So *monotone CNF–DNF equivalence testing* literally **is**
+``Dual``, and :func:`decide_cnf_dnf_equivalence` hands the pair to any
+engine of :mod:`repro.duality.engine`.
+
+This is the formulation under which the paper's learning application
+(ref [26]) reads: a monotone function can be queried as a membership
+oracle, and learning both its CNF and DNF is an incremental sequence of
+``Dual`` checks — see :mod:`repro.learning`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro._util import format_family, powerset, vertex_key
+from repro.errors import NotIrredundantError, ParseError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.transversal import transversal_hypergraph
+from repro.dnf.formula import MonotoneDNF
+
+
+class MonotoneCNF:
+    """An immutable monotone CNF: a set of clauses of positive variables.
+
+    The constant *true* is the CNF with no clauses; the constant *false*
+    is the CNF containing the empty clause.  (Note this is the mirror of
+    the DNF convention — the empty clause is an unsatisfiable
+    disjunction.)
+
+    Parameters
+    ----------
+    clauses:
+        Iterable of variable-iterables.
+    variables:
+        Optional explicit variable universe.
+    """
+
+    __slots__ = ("_hypergraph",)
+
+    def __init__(
+        self,
+        clauses: Iterable[Iterable] = (),
+        variables: Iterable | None = None,
+    ) -> None:
+        self._hypergraph = Hypergraph(clauses, vertices=variables)
+
+    @property
+    def clauses(self) -> tuple[frozenset, ...]:
+        """The clauses in canonical order."""
+        return self._hypergraph.edges
+
+    @property
+    def variables(self) -> frozenset:
+        """The variable universe."""
+        return self._hypergraph.vertices
+
+    def hypergraph(self) -> Hypergraph:
+        """The clause hypergraph (one hyperedge per clause)."""
+        return self._hypergraph
+
+    @classmethod
+    def from_hypergraph(cls, hg: Hypergraph) -> "MonotoneCNF":
+        """Read a hypergraph as a monotone CNF (edge = clause)."""
+        return cls(hg.edges, variables=hg.vertices)
+
+    def is_irredundant(self) -> bool:
+        """True iff no clause's variable set covers another's (antichain)."""
+        return self._hypergraph.is_simple()
+
+    def require_irredundant(self) -> "MonotoneCNF":
+        """Return ``self`` if irredundant, else raise."""
+        if not self.is_irredundant():
+            raise NotIrredundantError(
+                f"CNF has a clause covered by another: {self!r}"
+            )
+        return self
+
+    def irredundant(self) -> "MonotoneCNF":
+        """Drop covered clauses (a clause implies any superset clause)."""
+        return MonotoneCNF.from_hypergraph(self._hypergraph.minimized())
+
+    def is_constant_true(self) -> bool:
+        """True iff there are no clauses."""
+        return self._hypergraph.is_trivial_false()
+
+    def is_constant_false(self) -> bool:
+        """True iff the empty clause is present."""
+        return self._hypergraph.is_trivial_true()
+
+    def __len__(self) -> int:
+        return len(self._hypergraph)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MonotoneCNF):
+            return NotImplemented
+        return self._hypergraph == other._hypergraph
+
+    def __hash__(self) -> int:
+        return hash(("MonotoneCNF", self._hypergraph))
+
+    def __repr__(self) -> str:
+        return (
+            f"MonotoneCNF({format_family(self.clauses)}, "
+            f"V={len(self.variables)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping | Iterable) -> bool:
+        """Evaluate under an assignment (mapping var→bool, or true-set)."""
+        if isinstance(assignment, Mapping):
+            true_vars = {v for v in self.variables if assignment.get(v, False)}
+        else:
+            true_vars = frozenset(assignment)
+        return all(clause & true_vars for clause in self.clauses)
+
+    def prime_implicants_dnf(self) -> MonotoneDNF:
+        """The equivalent irredundant monotone DNF.
+
+        The prime implicants of a monotone CNF are exactly the minimal
+        transversals of its clause hypergraph — this conversion *is* a
+        full dualization (exponential output in the worst case).
+        """
+        return MonotoneDNF.from_hypergraph(
+            transversal_hypergraph(self._hypergraph.minimized())
+        )
+
+    def equivalent_brute_force(self, dnf: MonotoneDNF) -> bool:
+        """Truth-table equivalence over the shared universe (tests only)."""
+        universe = self.variables | dnf.variables
+        return all(
+            self.evaluate(point) == dnf.evaluate(point)
+            for point in powerset(universe)
+        )
+
+    def to_text(self) -> str:
+        """Round-trippable text form, e.g. ``(a|b)&(b|c)``."""
+        if self.is_constant_true():
+            return "1"
+        if self.is_constant_false():
+            return "0"
+        parts = []
+        for clause in self.clauses:
+            names = "|".join(str(v) for v in sorted(clause, key=vertex_key))
+            parts.append(f"({names})")
+        return "&".join(parts)
+
+
+def parse_cnf(text: str) -> MonotoneCNF:
+    """Parse the ``(a|b)&(b|c)`` textual form produced by ``to_text``.
+
+    ``"1"`` parses to constant true (no clauses) and ``"0"`` to constant
+    false (the empty clause), mirroring :func:`repro.dnf.parse_dnf`.
+    """
+    stripped = "".join(text.split())
+    if not stripped:
+        raise ParseError("empty CNF text")
+    if stripped == "1":
+        return MonotoneCNF()
+    if stripped == "0":
+        return MonotoneCNF([()])
+    clauses: list[frozenset] = []
+    for chunk in stripped.split("&"):
+        if not chunk:
+            raise ParseError(f"empty conjunct in CNF text: {text!r}")
+        if chunk.startswith("(") and chunk.endswith(")"):
+            chunk = chunk[1:-1]
+        if not chunk:
+            raise ParseError(f"empty clause in CNF text: {text!r}")
+        names = chunk.split("|")
+        if any(not name for name in names):
+            raise ParseError(f"empty variable name in clause: {chunk!r}")
+        clauses.append(frozenset(names))
+    return MonotoneCNF(clauses)
+
+
+def decide_cnf_dnf_equivalence(
+    cnf: MonotoneCNF, dnf: MonotoneDNF, method: str | None = None
+):
+    """Decide whether a monotone CNF and DNF compute the same function.
+
+    This is the textbook disguise of ``Dual``: the pair is equivalent iff
+    ``hypergraph(dnf) = tr(hypergraph(cnf))``.  Both inputs are first
+    made irredundant (covered clauses/terms never change the function).
+    Returns the engine's :class:`~repro.duality.result.DualityResult`;
+    its witness, when not equivalent, is an assignment point on which the
+    two sides disagree (in new-transversal form).
+    """
+    from repro.duality.engine import DEFAULT_METHOD, decide_duality
+
+    chosen = DEFAULT_METHOD if method is None else method
+    universe = cnf.variables | dnf.variables
+    g = cnf.irredundant().hypergraph().with_vertices(universe)
+    h = dnf.irredundant().hypergraph().with_vertices(universe)
+    return decide_duality(g, h, method=chosen)

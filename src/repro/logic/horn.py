@@ -1,0 +1,359 @@
+"""Horn clauses, Horn theories, and their model theory.
+
+The paper's Section 1 cites three knowledge-representation applications
+of ``Dual`` that live on Horn logic: Horn approximation of a non-Horn
+theory (refs [33, 19]), abductive explanations over Horn theories
+(ref [10]), and — through the model-intersection property — the
+characteristic-model representation used by all of them.
+
+Conventions
+-----------
+A *Horn clause* has at most one positive literal.  We represent a clause
+as ``(body, head)`` where ``body`` is a frozenset of atoms and ``head``
+is an atom or ``None``:
+
+* ``head = a``     — the definite clause  ``b₁ ∧ … ∧ b_k → a``;
+* ``head = None``  — the negative clause ``b₁ ∧ … ∧ b_k → ⊥``
+  (a pure constraint);
+* an empty body with a head is the *fact* ``→ a``.
+
+A *model* is the set of atoms assigned true (a subset of the universe).
+The classic structural fact this module operationalises: a theory is
+expressible in Horn form iff its model set is closed under intersection,
+and every Horn theory is determined by its *characteristic models* (the
+intersection-irreducible ones) — see :func:`characteristic_models`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro._util import format_set, powerset, vertex_key
+from repro.errors import VertexError
+
+
+class HornClause:
+    """An immutable Horn clause ``body → head`` (``head is None`` = ⊥).
+
+    Atoms are arbitrary hashable, orderable labels (strings or ints),
+    matching the vertex convention of :class:`repro.hypergraph.Hypergraph`.
+    """
+
+    __slots__ = ("_body", "_head")
+
+    def __init__(self, body: Iterable, head=None) -> None:
+        self._body: frozenset = frozenset(body)
+        self._head = head
+
+    @property
+    def body(self) -> frozenset:
+        """The (possibly empty) conjunction of positive body atoms."""
+        return self._body
+
+    @property
+    def head(self):
+        """The head atom, or ``None`` for a negative clause."""
+        return self._head
+
+    def is_definite(self) -> bool:
+        """True iff the clause has a head (exactly one positive literal)."""
+        return self._head is not None
+
+    def is_fact(self) -> bool:
+        """True iff the clause is an unconditional fact ``→ a``."""
+        return self._head is not None and not self._body
+
+    def atoms(self) -> frozenset:
+        """All atoms mentioned by the clause."""
+        if self._head is None:
+            return self._body
+        return self._body | {self._head}
+
+    def satisfied_by(self, model: Iterable) -> bool:
+        """Clause truth under the model (set of true atoms)."""
+        true_atoms = frozenset(model)
+        if not self._body <= true_atoms:
+            return True
+        return self._head is not None and self._head in true_atoms
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HornClause):
+            return NotImplemented
+        return self._body == other._body and self._head == other._head
+
+    def __hash__(self) -> int:
+        return hash((self._body, self._head))
+
+    def __repr__(self) -> str:
+        head = "⊥" if self._head is None else str(self._head)
+        if not self._body:
+            return f"HornClause(→ {head})"
+        return f"HornClause({format_set(self._body)} → {head})"
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key (definite before negative, then body)."""
+        head_key = (
+            (1,) if self._head is None else (0, vertex_key(self._head))
+        )
+        body_key = tuple(sorted((vertex_key(a) for a in self._body)))
+        return (len(self._body), body_key, head_key)
+
+
+class HornTheory:
+    """An immutable finite Horn theory over an explicit atom universe.
+
+    Parameters
+    ----------
+    clauses:
+        Iterable of :class:`HornClause` (duplicates collapse).
+    atoms:
+        Optional explicit universe; must contain every atom used by a
+        clause.  Defaults to the union of clause atoms.
+    """
+
+    __slots__ = ("_clauses", "_atoms")
+
+    def __init__(
+        self,
+        clauses: Iterable[HornClause] = (),
+        atoms: Iterable | None = None,
+    ) -> None:
+        unique = tuple(
+            sorted(set(clauses), key=HornClause.sort_key)
+        )
+        used: set = set()
+        for clause in unique:
+            used |= clause.atoms()
+        if atoms is None:
+            universe = frozenset(used)
+        else:
+            universe = frozenset(atoms)
+            if not used <= universe:
+                missing = sorted(used - universe, key=vertex_key)
+                raise VertexError(
+                    f"clauses use atoms outside the declared universe: {missing}"
+                )
+        self._clauses: tuple[HornClause, ...] = unique
+        self._atoms: frozenset = universe
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def clauses(self) -> tuple[HornClause, ...]:
+        """The clauses, deterministically ordered."""
+        return self._clauses
+
+    @property
+    def atoms(self) -> frozenset:
+        """The atom universe."""
+        return self._atoms
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[HornClause]:
+        return iter(self._clauses)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HornTheory):
+            return NotImplemented
+        return self._clauses == other._clauses and self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        return hash((self._clauses, self._atoms))
+
+    def __repr__(self) -> str:
+        return (
+            f"HornTheory({len(self._clauses)} clauses, "
+            f"{len(self._atoms)} atoms)"
+        )
+
+    def definite_clauses(self) -> tuple[HornClause, ...]:
+        """The clauses with a head."""
+        return tuple(c for c in self._clauses if c.is_definite())
+
+    def negative_clauses(self) -> tuple[HornClause, ...]:
+        """The headless constraints (``body → ⊥``)."""
+        return tuple(c for c in self._clauses if not c.is_definite())
+
+    def is_definite(self) -> bool:
+        """True iff every clause has a head (then a least model exists)."""
+        return all(c.is_definite() for c in self._clauses)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def closure(self, facts: Iterable = ()) -> frozenset:
+        """Forward-chaining closure of ``facts`` under the definite clauses.
+
+        The least model of the definite part extended with ``facts`` as
+        extra unconditional facts.  Negative clauses are ignored here —
+        use :func:`closure_consistent` to also check them.  Runs in time
+        ``O(|clauses| · |atoms|)`` via a fixpoint sweep.
+        """
+        true_atoms = set(facts)
+        if not true_atoms <= self._atoms:
+            extra = sorted(true_atoms - self._atoms, key=vertex_key)
+            raise VertexError(f"facts outside the atom universe: {extra}")
+        definite = self.definite_clauses()
+        changed = True
+        while changed:
+            changed = False
+            for clause in definite:
+                if clause.head not in true_atoms and clause.body <= true_atoms:
+                    true_atoms.add(clause.head)
+                    changed = True
+        return frozenset(true_atoms)
+
+    def closure_consistent(self, facts: Iterable = ()) -> bool:
+        """True iff the closure of ``facts`` violates no negative clause."""
+        closed = self.closure(facts)
+        return all(
+            not clause.body <= closed for clause in self.negative_clauses()
+        )
+
+    def is_model(self, model: Iterable) -> bool:
+        """Does the atom set (read as a truth assignment) satisfy the theory?"""
+        true_atoms = frozenset(model)
+        if not true_atoms <= self._atoms:
+            extra = sorted(true_atoms - self._atoms, key=vertex_key)
+            raise VertexError(f"model uses atoms outside the universe: {extra}")
+        return all(c.satisfied_by(true_atoms) for c in self._clauses)
+
+    def models(self) -> list[frozenset]:
+        """All models, smallest-first (exponential — small universes only)."""
+        return [m for m in powerset(self._atoms) if self.is_model(m)]
+
+    def entails_atom(self, facts: Iterable, atom) -> bool:
+        """Does ``theory ∪ facts ⊨ atom``?  Exact for definite theories.
+
+        For theories with negative clauses, an inconsistent closure
+        entails everything (ex falso).
+        """
+        if atom not in self._atoms:
+            raise VertexError(f"{atom!r} is not in the atom universe")
+        closed = self.closure(facts)
+        if not all(
+            not clause.body <= closed for clause in self.negative_clauses()
+        ):
+            return True
+        return atom in closed
+
+    def least_model(self) -> frozenset:
+        """The least model of a definite theory (closure of no facts)."""
+        if not self.is_definite():
+            raise ValueError(
+                "least model is only defined for definite Horn theories"
+            )
+        return self.closure(())
+
+    def is_consistent(self) -> bool:
+        """True iff the theory has at least one model."""
+        if self.is_definite():
+            return True
+        return self.closure_consistent(())
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tuples(
+        cls,
+        clause_tuples: Iterable[tuple],
+        atoms: Iterable | None = None,
+    ) -> "HornTheory":
+        """Build from ``(body_iterable, head_or_None)`` pairs."""
+        return cls(
+            (HornClause(body, head) for body, head in clause_tuples),
+            atoms=atoms,
+        )
+
+    def with_atoms(self, atoms: Iterable) -> "HornTheory":
+        """The same clauses over an explicitly supplied (super-)universe."""
+        return HornTheory(self._clauses, atoms=atoms)
+
+    def extended(self, clauses: Iterable[HornClause]) -> "HornTheory":
+        """A new theory with extra clauses (universe grows as needed)."""
+        new_clauses = self._clauses + tuple(clauses)
+        used: set = set(self._atoms)
+        for clause in new_clauses:
+            used |= clause.atoms()
+        return HornTheory(new_clauses, atoms=used)
+
+
+# ----------------------------------------------------------------------
+# Model-set structure: intersection closure and characteristic models
+# ----------------------------------------------------------------------
+
+
+def intersection_closure(models: Iterable[Iterable]) -> set[frozenset]:
+    """The closure of a family of models under pairwise intersection.
+
+    This is exactly the model set of the *Horn envelope* of a theory
+    whose models are ``models`` (plus the empty family convention: the
+    closure of an empty family is empty).  Computed by a worklist
+    fixpoint; output size can be exponential in the input size, which is
+    the blow-up the envelope literature studies.
+    """
+    closed: set[frozenset] = {frozenset(m) for m in models}
+    worklist = list(closed)
+    while worklist:
+        current = worklist.pop()
+        for other in list(closed):
+            meet = current & other
+            if meet not in closed:
+                closed.add(meet)
+                worklist.append(meet)
+    return closed
+
+
+def is_intersection_closed(models: Iterable[Iterable]) -> bool:
+    """True iff the family of models is closed under intersection.
+
+    Equivalently (for model sets of propositional theories over the full
+    universe): the theory is expressible in Horn form.
+    """
+    family = {frozenset(m) for m in models}
+    return all(a & b in family for a in family for b in family)
+
+
+def characteristic_models(models: Iterable[Iterable]) -> set[frozenset]:
+    """The intersection-irreducible members of an intersection-closed family.
+
+    A model is *characteristic* if it is not the intersection of other
+    models in the family.  The characteristic models are the unique
+    minimal generating set: ``intersection_closure(char(F)) = F`` for
+    every intersection-closed ``F``.  They are the compact Horn-theory
+    representation that refs [33, 19] trade against clause
+    representations via hypergraph transversals.
+    """
+    family = {frozenset(m) for m in models}
+    if not is_intersection_closed(family):
+        raise ValueError(
+            "characteristic models are defined for intersection-closed "
+            "families; close the family first (intersection_closure)"
+        )
+    result: set[frozenset] = set()
+    for candidate in family:
+        strict_supersets = [m for m in family if candidate < m]
+        if not strict_supersets:
+            result.add(candidate)
+            continue
+        # Intersect all strict supersets; candidate is reducible iff that
+        # intersection collapses back onto it.
+        meet = strict_supersets[0]
+        for m in strict_supersets[1:]:
+            meet = meet & m
+        if meet != candidate:
+            result.add(candidate)
+    return result
+
+
+def horn_theory_models_equal(theory: HornTheory, models: Iterable[Iterable]) -> bool:
+    """Exhaustive check that ``theory`` has exactly the given model set."""
+    expected = {frozenset(m) for m in models}
+    return set(theory.models()) == expected

@@ -1,0 +1,65 @@
+"""Plain-text Horn theory format.
+
+One clause per line::
+
+    a b -> c      # definite clause  a ∧ b → c
+    -> a          # fact             → a
+    a b -> !      # negative clause  a ∧ b → ⊥
+    # comment lines and blanks are ignored
+
+Atoms are whitespace-separated names.  ``loads`` parses a string,
+``load`` a file path; ``dumps``/``dump`` invert them, so files round-trip.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro._util import vertex_key
+from repro.errors import ParseError
+from repro.logic.horn import HornClause, HornTheory
+
+
+def loads(text: str) -> HornTheory:
+    """Parse a Horn theory from its text form."""
+    clauses: list[HornClause] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "->" not in line:
+            raise ParseError(
+                f"line {lineno}: expected 'body -> head', got {raw!r}"
+            )
+        body_text, head_text = line.split("->", 1)
+        body = tuple(body_text.split())
+        head_parts = head_text.split()
+        if len(head_parts) != 1:
+            raise ParseError(
+                f"line {lineno}: exactly one head atom (or '!') required"
+            )
+        head = head_parts[0]
+        clauses.append(HornClause(body, None if head == "!" else head))
+    return HornTheory(clauses)
+
+
+def load(path) -> HornTheory:
+    """Parse a Horn theory file."""
+    return loads(Path(path).read_text(encoding="utf-8"))
+
+
+def dumps(theory: HornTheory) -> str:
+    """The round-trippable text form of a theory."""
+    lines = []
+    for clause in theory.clauses:
+        body = " ".join(
+            str(a) for a in sorted(clause.body, key=vertex_key)
+        )
+        head = "!" if clause.head is None else str(clause.head)
+        lines.append(f"{body} -> {head}".strip())
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump(theory: HornTheory, path) -> None:
+    """Write a theory to a file in the text form."""
+    Path(path).write_text(dumps(theory), encoding="utf-8")

@@ -1,0 +1,55 @@
+"""Space-bounded computation substrate (paper, Section 3).
+
+Bit-metered registers (:mod:`repro.machine.meter`), logspace transducers
+(:mod:`repro.machine.transducer`), the Lemma 3.1 self-composition
+pipeline that never stores intermediate outputs
+(:mod:`repro.machine.pipeline`), and the ``Q_log`` repetition counts
+(:mod:`repro.machine.qlog`).
+"""
+
+from repro.machine.library import (
+    STREAMING_TRANSDUCERS,
+    BinaryIncrementTransducer,
+    CopyTransducer,
+    DuplicateTransducer,
+    FilterZerosTransducer,
+    ParityPrefixTransducer,
+    RotateTransducer,
+)
+from repro.machine.meter import Register, RegisterFile, SpaceMeter
+from repro.machine.pipeline import Pipeline, self_composition
+from repro.machine.qlog import (
+    QlogFunction,
+    constant,
+    floor_log_length,
+    path_descriptor_length,
+)
+from repro.machine.transducer import (
+    FunctionTransducer,
+    InputView,
+    LogspaceTransducer,
+    StringView,
+)
+
+__all__ = [
+    "STREAMING_TRANSDUCERS",
+    "BinaryIncrementTransducer",
+    "CopyTransducer",
+    "DuplicateTransducer",
+    "FilterZerosTransducer",
+    "FunctionTransducer",
+    "ParityPrefixTransducer",
+    "RotateTransducer",
+    "InputView",
+    "LogspaceTransducer",
+    "Pipeline",
+    "QlogFunction",
+    "Register",
+    "RegisterFile",
+    "SpaceMeter",
+    "StringView",
+    "constant",
+    "floor_log_length",
+    "path_descriptor_length",
+    "self_composition",
+]

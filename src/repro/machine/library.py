@@ -1,0 +1,151 @@
+"""A small library of *honest* streaming logspace transducers.
+
+Unlike :class:`repro.machine.transducer.FunctionTransducer` (which lifts
+an arbitrary Python function and charges a declared register budget),
+the transducers here read their input strictly through ``view.char`` and
+hold state only in metered registers — they are real logspace machines
+over the rendered model.  Experiments use them where the *mechanism*
+itself is under test (E5); they also serve as executable documentation
+of the transducer protocol.
+"""
+
+from __future__ import annotations
+
+from repro.machine.meter import RegisterFile
+from repro.machine.transducer import InputView, LogspaceTransducer
+
+
+class CopyTransducer(LogspaceTransducer):
+    """The identity function — one input head position register."""
+
+    name = "copy"
+
+    def run(self, view: InputView, emit, registers: RegisterFile) -> None:
+        head = registers.register("head", max_value=max(1, view.length()))
+        while head.value < view.length():
+            emit(view.char(head.value))
+            head.value = head.value + 1
+
+
+class RotateTransducer(LogspaceTransducer):
+    """Left rotation by one: ``abc → bca`` (two head registers)."""
+
+    name = "rotate"
+
+    def run(self, view: InputView, emit, registers: RegisterFile) -> None:
+        n = view.length()
+        if n == 0:
+            return
+        head = registers.register("head", max_value=n)
+        head.value = 1 % n
+        count = registers.register("count", max_value=n)
+        while count.value < n:
+            emit(view.char(head.value))
+            head.value = (head.value + 1) % n
+            count.value = count.value + 1
+
+
+class DuplicateTransducer(LogspaceTransducer):
+    """Each character twice: ``ab → aabb`` (head + phase bit)."""
+
+    name = "duplicate"
+
+    def run(self, view: InputView, emit, registers: RegisterFile) -> None:
+        head = registers.register("head", max_value=max(1, view.length()))
+        phase = registers.bit("phase")
+        while head.value < view.length():
+            emit(view.char(head.value))
+            if phase.value:
+                phase.value = 0
+                head.value = head.value + 1
+            else:
+                phase.value = 1
+
+
+class BinaryIncrementTransducer(LogspaceTransducer):
+    """Add 1 to a big-endian binary string (``0111 → 1000``).
+
+    Two passes over the input with O(log n) state: first locate the
+    rightmost ``0`` (one position register), then emit the incremented
+    string position by position.  Overflow (all ones) emits ``1`` then
+    zeros — the output may be one character longer.
+    """
+
+    name = "increment"
+
+    def run(self, view: InputView, emit, registers: RegisterFile) -> None:
+        n = view.length()
+        if n == 0:
+            emit("1")
+            return
+        bound = n + 2
+        pivot = registers.register("pivot", max_value=bound)
+        pivot.value = bound - 1  # sentinel: no zero found yet
+        scan = registers.register("scan", max_value=bound)
+        while scan.value < n:
+            if view.char(scan.value) == "0":
+                pivot.value = scan.value
+            scan.value = scan.value + 1
+        if pivot.value == bound - 1:
+            # All ones: 111 + 1 = 1000.
+            emit("1")
+            out = registers.register("out_all1", max_value=bound)
+            while out.value < n:
+                emit("0")
+                out.value = out.value + 1
+            return
+        out = registers.register("out", max_value=bound)
+        while out.value < n:
+            if out.value < pivot.value:
+                emit(view.char(out.value))
+            elif out.value == pivot.value:
+                emit("1")
+            else:
+                emit("0")
+            out.value = out.value + 1
+
+
+class ParityPrefixTransducer(LogspaceTransducer):
+    """Prefix each position with the running parity of ``1`` characters.
+
+    Output length doubles; state is one parity bit and a head register.
+    A genuinely sequential statistic — useful for testing that the
+    pipeline recomputes prefixes correctly.
+    """
+
+    name = "parity-prefix"
+
+    def run(self, view: InputView, emit, registers: RegisterFile) -> None:
+        head = registers.register("head", max_value=max(1, view.length()))
+        parity = registers.bit("parity")
+        while head.value < view.length():
+            ch = view.char(head.value)
+            if ch == "1":
+                parity.value = 1 - parity.value
+            emit("1" if parity.value else "0")
+            emit(ch)
+            head.value = head.value + 1
+
+
+class FilterZerosTransducer(LogspaceTransducer):
+    """Drop every ``0`` character (shrinking outputs exercise lengths)."""
+
+    name = "filter-zeros"
+
+    def run(self, view: InputView, emit, registers: RegisterFile) -> None:
+        head = registers.register("head", max_value=max(1, view.length()))
+        while head.value < view.length():
+            ch = view.char(head.value)
+            if ch != "0":
+                emit(ch)
+            head.value = head.value + 1
+
+
+STREAMING_TRANSDUCERS = (
+    CopyTransducer,
+    RotateTransducer,
+    DuplicateTransducer,
+    BinaryIncrementTransducer,
+    ParityPrefixTransducer,
+    FilterZerosTransducer,
+)

@@ -1,0 +1,146 @@
+"""The Lemma 3.1 simulator: iterated self-composition without storage.
+
+Lemma 3.1 proves ``[[FDSPACE[log n]_pol]]^log ⊆ FDSPACE[log² n]`` by
+building a single machine ``T*`` that simulates a chain
+``T_ρ(…T_2(T_1(I))…)`` while **never storing an intermediate output**:
+each stage ``i`` owns an index register ``d_i`` and a one-character
+output register ``o_i``, and a read by stage ``i+1`` at position ``j``
+re-runs stage ``i`` with output suppressed except position ``j``.
+
+:class:`Pipeline` implements exactly that protocol over
+:class:`~repro.machine.transducer.LogspaceTransducer` stages.  Reads
+nest: while stage ``i``'s probe is live, it drives probes of stage
+``i−1``, so the meter's peak equals the sum of per-stage register files —
+``O(log n)`` bits × ``ρ`` stages = ``O(log² n)`` when ``ρ = O(log n)``,
+which is the lemma's statement and what experiment E5 measures.  The
+price is recomputation: :attr:`Pipeline.invocations` counts stage runs,
+exposing the time blow-up inherent to the space-efficient construction.
+"""
+
+from __future__ import annotations
+
+from repro.machine.meter import SpaceMeter
+from repro.machine.transducer import InputView, LogspaceTransducer, StringView
+
+
+class _LazyStageView(InputView):
+    """The virtual output of pipeline stage ``i`` (no materialisation)."""
+
+    def __init__(self, pipeline: "Pipeline", stage_index: int) -> None:
+        self._pipeline = pipeline
+        self._stage_index = stage_index
+        self._length: int | None = None
+
+    def _upstream(self) -> InputView:
+        return self._pipeline.view_of_stage(self._stage_index - 1)
+
+    def length(self) -> int:
+        if self._length is None:
+            stage = self._pipeline.stages[self._stage_index - 1]
+            self._pipeline.invocations += 1
+            self._length = stage.output_length(
+                self._upstream(), self._pipeline.meter
+            )
+        return self._length
+
+    def char(self, index: int) -> str:
+        stage = self._pipeline.stages[self._stage_index - 1]
+        self._pipeline.invocations += 1
+        return stage.output_char(self._upstream(), index, self._pipeline.meter)
+
+
+class Pipeline:
+    """A chain of logspace stages executed in the ``T*`` discipline.
+
+    Parameters
+    ----------
+    stages:
+        The transducers ``T_1, …, T_ρ`` (applied left to right).
+    meter:
+        Shared :class:`SpaceMeter`; a fresh one is created if omitted.
+
+    The cached per-view lengths model the paper's freedom to keep a
+    counter per stage (an ``O(log n)`` register); nothing else persists.
+    """
+
+    def __init__(
+        self, stages: list[LogspaceTransducer], meter: SpaceMeter | None = None
+    ) -> None:
+        self.stages = list(stages)
+        self.meter = meter if meter is not None else SpaceMeter()
+        self.invocations = 0
+        self._input_view: InputView | None = None
+        self._views: dict[int, InputView] = {}
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def view_of_stage(self, index: int) -> InputView:
+        """The (virtual) output of stage ``index`` (0 = the raw input)."""
+        if index == 0:
+            if self._input_view is None:
+                raise RuntimeError("pipeline has no input bound yet")
+            return self._input_view
+        view = self._views.get(index)
+        if view is None:
+            view = _LazyStageView(self, index)
+            self._views[index] = view
+        return view
+
+    def bind_input(self, text: str) -> None:
+        """Attach the read-only input ``I`` and reset cached state."""
+        self._input_view = StringView(text)
+        self._views = {}
+        self.invocations = 0
+
+    # ------------------------------------------------------------------
+    # Execution modes
+    # ------------------------------------------------------------------
+
+    def compute_recomputed(self, text: str) -> str:
+        """``f^ρ(I)`` in the Lemma 3.1 discipline (no intermediates stored).
+
+        The final stage's output is the only string materialised — the
+        paper's ``P_ρ`` writes it to the output tape.
+        """
+        self.bind_input(text)
+        top = self.view_of_stage(len(self.stages))
+        return "".join(top.char(j) for j in range(top.length()))
+
+    def compute_direct(self, text: str) -> str:
+        """Straightforward composition, storing every intermediate string.
+
+        The reference implementation E5 compares against: same function,
+        linear-space behaviour.
+        """
+        current = text
+        scratch = SpaceMeter()
+        for stage in self.stages:
+            current = stage.transduce(StringView(current), scratch)
+        return current
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self) -> dict:
+        """Space/time counters for the experiment harness."""
+        data = self.meter.snapshot()
+        data["stage_invocations"] = self.invocations
+        data["stages"] = len(self.stages)
+        return data
+
+
+def self_composition(
+    stage: LogspaceTransducer, repetitions: int, meter: SpaceMeter | None = None
+) -> Pipeline:
+    """The pipeline ``f^ρ`` for a single stage function ``f``.
+
+    This is the shape Section 3 actually uses: ``ρ(I)`` copies of one
+    logspace function (``ρ ∈ Q_log``), e.g. the duality ``next`` step
+    applied ``ℓ(π)`` times in Lemma 4.2.
+    """
+    if repetitions < 1:
+        raise ValueError("need at least one repetition")
+    return Pipeline([stage] * repetitions, meter=meter)

@@ -1,0 +1,70 @@
+"""The class ``Q_log`` of logspace-computable ``O(log n)`` repetition counts.
+
+Section 3 defines ``Q_log`` as the set of functions ρ from input strings
+to naturals with ``ρ(I) = O(log |I|)``, computable in logspace, and uses
+them to bound the number of self-compositions (``f^ρ(I)``).  The
+experiment harness instantiates a handful of concrete members.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class QlogFunction:
+    """A member of ``Q_log``: a named ``O(log n)`` repetition count.
+
+    ``bound_factor`` documents the constant ``c`` with
+    ``ρ(I) ≤ c·log₂|I| + c`` — asserted on every call, so a function that
+    silently grows beyond ``O(log n)`` fails loudly in tests.
+    """
+
+    name: str
+    fn: Callable[[str], int]
+    bound_factor: float = 4.0
+
+    def __call__(self, text: str) -> int:
+        value = self.fn(text)
+        if value < 0:
+            raise ValueError(f"{self.name}: negative repetition count")
+        limit = self.bound_factor * (math.log2(len(text) + 2) + 1)
+        if value > limit:
+            raise ValueError(
+                f"{self.name}: ρ(I) = {value} exceeds the declared "
+                f"O(log n) bound {limit:.1f} for |I| = {len(text)}"
+            )
+        return value
+
+
+def floor_log_length() -> QlogFunction:
+    """``ρ(I) = max(1, ⌊log₂ |I|⌋)`` — the generic Lemma 3.1 count."""
+    return QlogFunction(
+        "floor-log-length",
+        lambda text: max(1, (len(text)).bit_length() - 1 if text else 1),
+    )
+
+
+def constant(value: int) -> QlogFunction:
+    """A constant repetition count (constants are trivially in ``Q_log``)."""
+    return QlogFunction(f"const-{value}", lambda _text: value, bound_factor=float(value) + 1)
+
+
+def path_descriptor_length() -> QlogFunction:
+    """``ρ = ℓ(π)`` for inputs encoding ``(instance, π)`` — Lemma 4.2's count.
+
+    The encoding convention: the descriptor is the text after the last
+    ``'#'``, entries separated by ``','`` (empty means the root).  Its
+    length is ≤ ``⌊log |H|⌋ ≤ log |I|``, so this is in ``Q_log``.
+    """
+
+    def measure(text: str) -> int:
+        _, _, tail = text.rpartition("#")
+        tail = tail.strip()
+        if not tail:
+            return 1
+        return max(1, tail.count(",") + 1)
+
+    return QlogFunction("path-descriptor-length", measure)

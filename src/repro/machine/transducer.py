@@ -1,0 +1,165 @@
+"""Logspace transducers over strings: the stage functions of Lemma 3.1.
+
+A :class:`LogspaceTransducer` models a functional Turing machine ``T``
+with a read-only input tape, a write-only output tape, and a worktape
+whose registers must be allocated through a :class:`SpaceMeter`.  Two
+execution modes exist:
+
+* :meth:`LogspaceTransducer.transduce` — run normally, collecting the
+  whole output (used when the output may be stored);
+* :meth:`LogspaceTransducer.output_char` — the paper's ``P_i``
+  modification: run with *all output suppressed except position ``j``*,
+  tracked by a metered index register (``d_i``) and returned through a
+  one-character register (``o_i``).  This is what lets compositions run
+  without storing intermediate strings.
+
+Inputs are accessed through an :class:`InputView`, so a transducer can
+read either a real string or the *virtual* output of a previous stage
+(see :mod:`repro.machine.pipeline`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+from repro.machine.meter import RegisterFile, SpaceMeter
+
+
+class InputView(ABC):
+    """Read-only, position-addressable view of a string."""
+
+    @abstractmethod
+    def length(self) -> int:
+        """Number of characters available."""
+
+    @abstractmethod
+    def char(self, index: int) -> str:
+        """The character at ``index`` (0-based)."""
+
+    def text(self) -> str:
+        """Materialise the whole view (testing/debugging only)."""
+        return "".join(self.char(i) for i in range(self.length()))
+
+
+class StringView(InputView):
+    """A view over an in-memory string (the pipeline's stage-0 input)."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+
+    def length(self) -> int:
+        return len(self._text)
+
+    def char(self, index: int) -> str:
+        return self._text[index]
+
+
+class LogspaceTransducer(ABC):
+    """A stage function ``f`` in ``FDSPACE[log n]`` (Section 3).
+
+    Subclasses implement :meth:`run`, reading through ``view`` and
+    writing characters through ``emit``; every register they need must
+    come from the supplied :class:`RegisterFile` so the meter sees it.
+    The contract mirrors the paper's requirements on ``T``:
+
+    * reads are by explicit position (the input head);
+    * output is emitted strictly left-to-right and never re-read;
+    * workspace is ``O(log n)`` registers for inputs of length ``n``.
+    """
+
+    #: Short name used in register labels and experiment reports.
+    name: str = "stage"
+
+    @abstractmethod
+    def run(
+        self,
+        view: InputView,
+        emit: Callable[[str], None],
+        registers: RegisterFile,
+    ) -> None:
+        """Execute the machine over ``view``, emitting the output."""
+
+    # ------------------------------------------------------------------
+    # Execution harness
+    # ------------------------------------------------------------------
+
+    def transduce(self, view: InputView, meter: SpaceMeter) -> str:
+        """Run and collect the full output string."""
+        chunks: list[str] = []
+        with RegisterFile(meter, self.name) as registers:
+            self.run(view, chunks.append, registers)
+        return "".join(chunks)
+
+    def output_length(self, view: InputView, meter: SpaceMeter) -> int:
+        """``|f(x)|`` computed with a counter only (no output stored)."""
+        with RegisterFile(meter, f"{self.name}.lenctr") as registers:
+            # Output length of a logspace_pol function is polynomial in
+            # the input; a generous fixed polynomial bound sizes the
+            # counter register (the model allows any O(log n) width).
+            counter = registers.register(
+                "count", max_value=max(16, view.length() + 4) ** 3
+            )
+
+            def count(_ch: str) -> None:
+                counter.value = counter.value + 1
+
+            self.run(view, count, registers)
+            return counter.value
+
+    def output_char(self, view: InputView, index: int, meter: SpaceMeter) -> str:
+        """The ``P_i`` protocol: compute only the ``index``-th output char.
+
+        Allocates the paper's dedicated registers — the index register
+        ``d`` holding the requested position, a running position counter,
+        and the one-character output register ``o`` — and suppresses all
+        other output.  Raises ``IndexError`` when the output is shorter
+        than ``index + 1``.
+        """
+        with RegisterFile(meter, f"{self.name}.bitprobe") as registers:
+            bound = max(16, view.length() + 4) ** 3
+            d_reg = registers.register("d", max_value=bound)
+            d_reg.value = index
+            position = registers.register("pos", max_value=bound)
+            o_reg = registers.register("o", max_value=0x10FFFF)
+            found = registers.bit("found")
+
+            def sieve(ch: str) -> None:
+                if position.value == d_reg.value:
+                    o_reg.value = ord(ch)
+                    found.value = 1
+                position.value = position.value + 1
+
+            self.run(view, sieve, registers)
+            if not found.value:
+                raise IndexError(
+                    f"stage {self.name}: output has {position.value} chars, "
+                    f"no index {index}"
+                )
+            return chr(o_reg.value)
+
+
+class FunctionTransducer(LogspaceTransducer):
+    """Wrap a plain ``str → str`` function as a transducer.
+
+    The wrapped function is treated as the machine's transition logic;
+    its internal workspace is charged as a declared number of
+    ``O(log n)``-width registers (default 4), per the accounting
+    convention.  Used to lift algorithmic steps (like the duality
+    ``next`` step) into the pipeline without rewriting them as explicit
+    head movements.
+    """
+
+    def __init__(
+        self, fn: Callable[[str], str], name: str = "fn", charged_registers: int = 4
+    ) -> None:
+        self._fn = fn
+        self.name = name
+        self._charged = charged_registers
+
+    def run(self, view, emit, registers) -> None:
+        bound = max(16, view.length() + 4)
+        for k in range(self._charged):
+            registers.register(f"work{k}", max_value=bound)
+        for ch in self._fn(view.text()):
+            emit(ch)

@@ -1,0 +1,66 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+def edges_strategy(max_vertices: int = 6, max_edges: int = 5):
+    """Random small families of edges over integer vertices."""
+    vertex = st.integers(min_value=0, max_value=max_vertices - 1)
+    edge = st.frozensets(vertex, min_size=0, max_size=max_vertices)
+    return st.lists(edge, min_size=0, max_size=max_edges)
+
+
+@st.composite
+def hypergraphs(draw, max_vertices: int = 6, max_edges: int = 5):
+    """Arbitrary (possibly non-simple) small hypergraphs."""
+    edges = draw(edges_strategy(max_vertices, max_edges))
+    return Hypergraph(edges, vertices=range(max_vertices))
+
+
+@st.composite
+def simple_hypergraphs(draw, max_vertices: int = 6, max_edges: int = 5):
+    """Arbitrary *simple* small hypergraphs (minimised families)."""
+    hg = draw(hypergraphs(max_vertices, max_edges))
+    return hg.minimized()
+
+
+@st.composite
+def nonempty_simple_hypergraphs(draw, max_vertices: int = 6, max_edges: int = 5):
+    """Simple hypergraphs with at least one nonempty edge and no empty edge."""
+    vertex = st.integers(min_value=0, max_value=max_vertices - 1)
+    edge = st.frozensets(vertex, min_size=1, max_size=max_vertices)
+    edges = draw(st.lists(edge, min_size=1, max_size=max_edges))
+    return Hypergraph(edges, vertices=range(max_vertices)).minimized()
+
+
+# ---------------------------------------------------------------------------
+# Common fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def triangle() -> Hypergraph:
+    """The triangle graph K3 — self-dual as a 2-uniform hypergraph."""
+    return Hypergraph([{0, 1}, {1, 2}, {0, 2}], vertices=range(3))
+
+
+@pytest.fixture
+def majority3() -> Hypergraph:
+    """The 2-out-of-3 majority hypergraph (self-dual)."""
+    return Hypergraph([{0, 1}, {1, 2}, {0, 2}], vertices=range(3))
+
+
+@pytest.fixture
+def m2_pair():
+    """The dual pair (M_2, tr(M_2))."""
+    from repro.hypergraph.generators import matching_dual_pair
+
+    return matching_dual_pair(2)

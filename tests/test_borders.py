@@ -1,0 +1,180 @@
+"""Tests for borders, the [26] bridge, and the levelwise miner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph
+from repro.itemsets import (
+    BooleanRelation,
+    borders,
+    borders_are_consistent,
+    frequent_border_from_infrequent,
+    frequent_itemsets,
+    infrequent_border_from_frequent,
+    levelwise_borders,
+    maximal_frequent_itemsets,
+    minimal_infrequent_itemsets,
+)
+from repro.itemsets.borders import frequent_closure_check
+from repro.itemsets.datasets import (
+    contrast_pair,
+    dense_random,
+    market_basket,
+    planted_borders,
+    single_pattern,
+)
+
+
+def relations(max_items: int = 5, max_rows: int = 10):
+    item = st.sampled_from([f"i{k}" for k in range(max_items)])
+    row = st.frozensets(item, max_size=max_items)
+    return st.builds(
+        lambda rows: BooleanRelation(
+            rows, items=[f"i{k}" for k in range(max_items)]
+        ),
+        st.lists(row, min_size=1, max_size=max_rows),
+    )
+
+
+class TestReferenceBorders:
+    def test_planted_ground_truth(self):
+        rel, z, expected = planted_borders(
+            maximal_frequent=[{"i00", "i01"}, {"i01", "i02", "i03"}],
+            n_items=5,
+            z=2,
+        )
+        is_plus, _ = borders(rel, z)
+        assert is_plus == expected
+
+    def test_borders_are_antichains(self):
+        rel = dense_random(n_items=6, n_rows=20, seed=1)
+        is_plus, is_minus = borders(rel, 4)
+        assert is_plus.is_simple()
+        assert is_minus.is_simple()
+
+    def test_boundary_threshold_all_infrequent(self):
+        rel, z = single_pattern(n_items=4, z=1)
+        is_plus, is_minus = borders(rel, len(rel))  # z = |M|
+        assert is_plus.is_trivial_false()
+        assert set(is_minus.edges) == {frozenset()}
+
+    def test_everything_frequent(self):
+        items = ["a", "b"]
+        rel = BooleanRelation([{"a", "b"}] * 3, items=items)
+        is_plus, is_minus = borders(rel, 1)
+        assert set(is_plus.edges) == {frozenset(items)}
+        assert is_minus.is_trivial_false()
+
+    def test_closure_sanity(self):
+        rel = market_basket(n_items=6, n_rows=20, seed=2)
+        assert frequent_closure_check(rel, 3)
+
+
+class TestBridge:
+    def test_bridge_on_planted(self):
+        rel, z, _ = planted_borders(n_items=6, z=2, seed=4)
+        is_plus, is_minus = borders(rel, z)
+        assert infrequent_border_from_frequent(is_plus) == is_minus
+        assert frequent_border_from_infrequent(is_minus) == is_plus
+
+    def test_bridge_degenerate_nothing_frequent(self):
+        empty_plus = Hypergraph.empty({"a", "b"})
+        derived = infrequent_border_from_frequent(empty_plus)
+        assert set(derived.edges) == {frozenset()}
+
+    def test_bridge_degenerate_everything_frequent(self):
+        full_plus = Hypergraph([{"a", "b"}], vertices={"a", "b"})
+        derived = infrequent_border_from_frequent(full_plus)
+        assert derived.is_trivial_false()
+
+    def test_consistency_predicate(self):
+        rel, z, _ = planted_borders(n_items=5, z=1, seed=3)
+        is_plus, is_minus = borders(rel, z)
+        assert borders_are_consistent(is_plus, is_minus)
+        if len(is_minus) > 0:
+            broken = Hypergraph(
+                list(is_minus.edges)[:-1], vertices=is_minus.vertices
+            )
+            assert not borders_are_consistent(is_plus, broken)
+
+    def test_consistency_requires_shared_universe(self):
+        a = Hypergraph([{"a"}], vertices={"a"})
+        b = Hypergraph([{"b"}], vertices={"b"})
+        assert not borders_are_consistent(a, b)
+
+    @given(relations(max_items=4, max_rows=8), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_bridge_property(self, rel, z):
+        if z > len(rel):
+            z = len(rel)
+        is_plus, is_minus = borders(rel, z)
+        assert infrequent_border_from_frequent(is_plus) == is_minus
+        assert frequent_border_from_infrequent(is_minus) == is_plus
+
+
+class TestLevelwise:
+    @pytest.mark.parametrize(
+        "maker, z",
+        [
+            (lambda: market_basket(n_items=7, n_rows=25, seed=1), 4),
+            (lambda: dense_random(n_items=6, n_rows=20, density=0.6, seed=2), 5),
+            (lambda: contrast_pair(n_items=7, seed=1)[0], 2),
+        ],
+    )
+    def test_matches_reference(self, maker, z):
+        rel = maker()
+        assert levelwise_borders(rel, z) == borders(rel, z)
+
+    def test_boundary_threshold(self):
+        rel, _ = single_pattern(n_items=4, z=1)
+        lv = levelwise_borders(rel, len(rel))
+        assert lv[0].is_trivial_false()
+        assert set(lv[1].edges) == {frozenset()}
+
+    def test_no_frequent_singletons(self):
+        rel = BooleanRelation(
+            [{"a"}, {"b"}, {"c"}], items={"a", "b", "c"}
+        )
+        is_plus, is_minus = levelwise_borders(rel, 2)
+        assert set(is_plus.edges) == {frozenset()}
+        assert set(is_minus.edges) == {
+            frozenset({"a"}),
+            frozenset({"b"}),
+            frozenset({"c"}),
+        }
+
+    def test_frequent_itemsets_listing(self):
+        rel = market_basket(n_items=6, n_rows=20, seed=5)
+        z = 4
+        listed = set(frequent_itemsets(rel, z))
+        from repro._util import powerset
+        from repro.itemsets import frequency
+
+        expected = {
+            u for u in powerset(rel.items) if frequency(rel, u) > z
+        }
+        assert listed == expected
+
+    @given(relations(max_items=4, max_rows=8), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_levelwise_equals_reference_property(self, rel, z):
+        if z > len(rel):
+            z = len(rel)
+        assert levelwise_borders(rel, z) == borders(rel, z)
+
+
+class TestSingleBorders:
+    def test_maximal_frequent_alone(self):
+        rel, z, expected = planted_borders(n_items=5, z=2, seed=9)
+        assert maximal_frequent_itemsets(rel, z) == expected
+
+    def test_minimal_infrequent_alone(self):
+        rel, z, _ = planted_borders(n_items=5, z=2, seed=9)
+        is_minus = minimal_infrequent_itemsets(rel, z)
+        from repro.itemsets import is_infrequent
+
+        for u in is_minus.edges:
+            assert is_infrequent(rel, u, z)

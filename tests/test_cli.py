@@ -1,0 +1,274 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.hypergraph import Hypergraph
+from repro.hypergraph import io as hgio
+from repro.hypergraph.generators import hard_nondual_pair, matching_dual_pair
+
+
+@pytest.fixture
+def dual_files(tmp_path):
+    g, h = matching_dual_pair(2)
+    g_path, h_path = tmp_path / "g.hg", tmp_path / "h.hg"
+    hgio.dump(g, g_path)
+    hgio.dump(h, h_path)
+    return g_path, h_path
+
+
+@pytest.fixture
+def nondual_files(tmp_path):
+    g, h = hard_nondual_pair(2)
+    g_path, h_path = tmp_path / "g.hg", tmp_path / "h.hg"
+    hgio.dump(g, g_path)
+    hgio.dump(h, h_path)
+    return g_path, h_path
+
+
+class TestDualCommand:
+    def test_dual_pair_exit_zero(self, dual_files, capsys):
+        g, h = dual_files
+        assert main(["dual", str(g), str(h)]) == 0
+        assert "dual" in capsys.readouterr().out
+
+    def test_nondual_exit_one(self, nondual_files, capsys):
+        g, h = nondual_files
+        assert main(["dual", str(g), str(h)]) == 1
+        out = capsys.readouterr().out
+        assert "not dual" in out
+
+    def test_method_selection(self, dual_files):
+        g, h = dual_files
+        assert main(["dual", str(g), str(h), "--method", "fk-b"]) == 0
+
+
+class TestTrCommand:
+    def test_prints_transversals(self, tmp_path, capsys):
+        path = tmp_path / "g.hg"
+        hgio.dump(Hypergraph([{1, 2}]), path)
+        assert main(["tr", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "{1}" in out and "{2}" in out
+
+
+class TestTreeAndPathnode:
+    def test_tree_output(self, dual_files, capsys):
+        g, h = dual_files
+        assert main(["tree", str(g), str(h)]) == 0
+        out = capsys.readouterr().out
+        assert "T(G,H)" in out
+        assert "[done]" in out
+
+    def test_tree_fail_exit(self, nondual_files):
+        g, h = nondual_files
+        assert main(["tree", str(g), str(h)]) == 1
+
+    def test_pathnode_root(self, dual_files, capsys):
+        g, h = dual_files
+        assert main(["pathnode", str(g), str(h)]) == 0
+        assert "label: []" in capsys.readouterr().out
+
+    def test_pathnode_wrongpath(self, dual_files, capsys):
+        g, h = dual_files
+        assert main(["pathnode", str(g), str(h), "9999"]) == 1
+        assert "wrongpath" in capsys.readouterr().out
+
+
+class TestBordersCommand:
+    def test_borders(self, tmp_path, capsys):
+        tx = tmp_path / "tx.txt"
+        tx.write_text("a b\na b\na b\nb c\n", encoding="utf-8")
+        assert main(["borders", str(tx), "2"]) == 0
+        out = capsys.readouterr().out
+        assert "IS+" in out and "IS-" in out
+
+
+class TestKeysCommand:
+    def test_keys(self, tmp_path, capsys):
+        path = tmp_path / "rel.csv"
+        path.write_text("A,B\n1,1\n1,2\n2,1\n", encoding="utf-8")
+        assert main(["keys", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "minimal keys" in out
+
+    def test_empty_relation(self, tmp_path):
+        path = tmp_path / "rel.csv"
+        path.write_text("A,B\n", encoding="utf-8")
+        assert main(["keys", str(path)]) == 1
+
+
+class TestCoterieCommand:
+    def test_nondominated(self, tmp_path, capsys):
+        path = tmp_path / "q.hg"
+        hgio.dump(Hypergraph([{0, 1}, {0, 2}, {1, 2}]), path)
+        assert main(["coterie", str(path)]) == 0
+        assert "non-dominated" in capsys.readouterr().out
+
+    def test_dominated(self, tmp_path, capsys):
+        path = tmp_path / "q.hg"
+        hgio.dump(Hypergraph([{0, 1}], vertices={0, 1}), path)
+        assert main(["coterie", str(path)]) == 1
+        assert "DOMINATED" in capsys.readouterr().out
+
+    def test_invalid(self, tmp_path, capsys):
+        path = tmp_path / "q.hg"
+        hgio.dump(Hypergraph([{0}, {1}]), path)
+        assert main(["coterie", str(path)]) == 1
+        assert "not a coterie" in capsys.readouterr().out
+
+
+class TestClassifyCommand:
+    def test_acyclic_instance(self, tmp_path, capsys):
+        path = tmp_path / "g.hg"
+        hgio.dump(Hypergraph([{0, 1}, {1, 2}]), path)
+        assert main(["classify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "alpha-acyclic:      True" in out
+
+    def test_cyclic_instance(self, tmp_path, capsys):
+        path = tmp_path / "g.hg"
+        hgio.dump(Hypergraph([{0, 1}, {1, 2}, {0, 2}]), path)
+        assert main(["classify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "alpha-acyclic:      False" in out
+
+
+class TestRulesCommand:
+    def test_rules(self, tmp_path, capsys):
+        tx = tmp_path / "tx.txt"
+        tx.write_text("a b\na b\na b\nb\n", encoding="utf-8")
+        assert main(["rules", str(tx), "2", "--min-confidence", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "association rules" in out
+        assert "->" in out
+
+
+class TestInfoCommands:
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "PSPACE" in capsys.readouterr().out
+
+    def test_chi(self, capsys):
+        assert main(["chi", "1000000"]) == 0
+        assert "chi(" in capsys.readouterr().out
+
+
+class TestLearnCommand:
+    def test_learn_majority(self, capsys):
+        assert main(["learn", "a b | b c | a c"]) == 0
+        out = capsys.readouterr().out
+        assert "minimal true points" in out
+        assert "membership queries" in out
+        assert "(a|b)" in out.replace(" ", "") or "learned CNF" in out
+
+    def test_learn_with_engine(self, capsys):
+        assert main(["learn", "a b", "--method", "logspace"]) == 0
+        assert "duality checks" in capsys.readouterr().out
+
+
+class TestDiagnoseCommand:
+    def test_injected_fault(self, capsys):
+        code = main(
+            [
+                "diagnose",
+                "full-adder",
+                "--inputs",
+                "a=1,b=0,cin=0",
+                "--fault",
+                "x1=0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimal diagnoses" in out
+        assert "x1" in out
+
+    def test_observed_outputs(self, capsys):
+        code = main(
+            [
+                "diagnose",
+                "full-adder",
+                "--inputs",
+                "a=1,b=0,cin=0",
+                "--observe",
+                "x2=0,o1=0",
+            ]
+        )
+        assert code == 0
+        assert "completeness" in capsys.readouterr().out
+
+    def test_healthy_observation(self, capsys):
+        code = main(
+            [
+                "diagnose",
+                "full-adder",
+                "--inputs",
+                "a=1,b=0,cin=0",
+                "--observe",
+                "x2=1,o1=0",
+            ]
+        )
+        assert code == 0
+        assert "nothing to diagnose" in capsys.readouterr().out
+
+
+class TestAbduceCommand:
+    def test_explanations(self, tmp_path, capsys):
+        theory = tmp_path / "t.horn"
+        theory.write_text(
+            "rain -> wet\nsprinkler -> wet\nwet cold -> ice\n-> cold\n",
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "abduce",
+                str(theory),
+                "ice",
+                "--hypotheses",
+                "rain,sprinkler,cold",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "{rain}" in out and "{sprinkler}" in out
+
+    def test_unexplainable_exits_one(self, tmp_path, capsys):
+        theory = tmp_path / "t.horn"
+        theory.write_text("a -> b\nq -> q\n", encoding="utf-8")
+        code = main(["abduce", str(theory), "q", "--hypotheses", "a,b"])
+        assert code == 1
+
+
+class TestEnvelopeCommand:
+    def test_envelope_of_xor(self, tmp_path, capsys):
+        models = tmp_path / "m.txt"
+        models.write_text("a\nb\n", encoding="utf-8")
+        assert main(["envelope", str(models)]) == 0
+        out = capsys.readouterr().out
+        assert "a b -> !" in out
+        assert "strict approximation" in out
+
+    def test_envelope_exact_marker(self, tmp_path, capsys):
+        models = tmp_path / "m.txt"
+        models.write_text("-\na\na b\n", encoding="utf-8")
+        assert main(["envelope", str(models)]) == 0
+        assert "exact" in capsys.readouterr().out
+
+
+class TestSelfDualCommand:
+    def test_self_dual(self, tmp_path, capsys):
+        from repro.hypergraph.generators import threshold
+
+        path = tmp_path / "g.hg"
+        hgio.dump(threshold(5), path)  # odd-majority: self-dual
+        assert main(["selfdual", str(path)]) == 0
+        assert "self-dual" in capsys.readouterr().out
+
+    def test_not_self_dual(self, tmp_path, capsys):
+        path = tmp_path / "g.hg"
+        hgio.dump(Hypergraph([{0, 1}, {2, 3}]), path)
+        assert main(["selfdual", str(path)]) == 1
+        assert "NOT" in capsys.readouterr().out

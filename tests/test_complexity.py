@@ -1,0 +1,173 @@
+"""Tests for the Figure 1 lattice and the χ(n)/FK bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.complexity import (
+    ClassLattice,
+    chi,
+    chi_asymptotic,
+    chi_table,
+    default_lattice,
+    figure1_dual_annotations,
+    figure1_edge_table,
+    figure1_report,
+    fk_time_bound,
+    fk_time_bound_log,
+    guess_bits_bound,
+    quadratic_logspace_bits,
+    quasi_polynomial_exponent,
+    render_figure1,
+)
+from repro.complexity.classes import CLASSES, INCLUSIONS, Inclusion
+
+
+class TestChi:
+    def test_defining_equation(self):
+        for n in (2.0, 10.0, 1e3, 1e6, 1e12):
+            x = chi(n)
+            assert x ** x == pytest.approx(n, rel=1e-9)
+
+    def test_chi_of_one(self):
+        assert chi(1) == 1.0
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            chi(0.5)
+
+    def test_monotone(self):
+        values = [chi(10.0 ** k) for k in range(1, 10)]
+        assert values == sorted(values)
+
+    def test_subsublogarithmic(self):
+        # χ(n) = o(log n): the ratio to log n vanishes.
+        small = chi(1e3) / math.log2(1e3)
+        large = chi(1e30) / math.log2(1e30)
+        assert large < small
+
+    def test_asymptotic_agreement(self):
+        # χ(n) ~ log n / log log n within a modest factor for large n.
+        n = 1e40
+        assert chi(n) == pytest.approx(chi_asymptotic(n), rel=0.5)
+
+    def test_asymptotic_domain(self):
+        with pytest.raises(ValueError):
+            chi_asymptotic(2.0)
+
+    @given(st.floats(min_value=2.0, max_value=1e15))
+    def test_equation_property(self, n):
+        x = chi(n)
+        assert x * math.log(x) == pytest.approx(math.log(n), rel=1e-6)
+
+
+class TestBounds:
+    def test_fk_bound_log_consistency(self):
+        n = 100.0
+        assert math.log2(fk_time_bound(n)) == pytest.approx(
+            fk_time_bound_log(n), rel=1e-9
+        )
+
+    def test_fk_bound_is_quasipolynomial(self):
+        # exponent 4χ(n)+1 grows, but slower than log n.
+        e1 = quasi_polynomial_exponent(1e3)
+        e2 = quasi_polynomial_exponent(1e9)
+        assert e2 > e1
+        assert e2 / math.log2(1e9) < e1 / math.log2(1e3)
+
+    def test_fk_bound_edge_cases(self):
+        assert fk_time_bound_log(1.0) == 0.0
+        with pytest.raises(ValueError):
+            fk_time_bound_log(0.5)
+
+    def test_quadratic_logspace_bits(self):
+        assert quadratic_logspace_bits(2, a=0, b=1) == pytest.approx(1.0)
+        assert quadratic_logspace_bits(16, a=3, b=2) == pytest.approx(3 + 2 * 16)
+        with pytest.raises(ValueError):
+            quadratic_logspace_bits(0)
+
+    def test_guess_bits_bound(self):
+        assert guess_bits_bound(4, 2, 8) == 3 * math.ceil(math.log2(9))
+        assert guess_bits_bound(4, 2, 1) == 0
+        assert guess_bits_bound(0, 2, 8) == 0
+
+    def test_chi_table(self):
+        rows = chi_table([10, 100])
+        assert len(rows) == 2
+        assert rows[0][0] == 10
+        assert rows[1][1] > rows[0][1]
+
+
+class TestLattice:
+    def test_is_dag(self):
+        assert default_lattice().is_dag()
+
+    def test_paper_inclusions_derivable(self):
+        lat = default_lattice()
+        # Theorem 5.2 both ways up from the new class:
+        assert lat.includes("GC_LOG2_ITLOGSPACE", "DSPACE_LOG2")
+        assert lat.includes("GC_LOG2_ITLOGSPACE", "BETA2P")
+        # Chains to the top:
+        assert lat.includes("LOGSPACE", "PSPACE")
+        assert lat.includes("PTIME", "NP")
+
+    def test_non_inclusions(self):
+        lat = default_lattice()
+        assert not lat.includes("PTIME", "DSPACE_LOG2")
+        assert not lat.includes("DSPACE_LOG2", "PTIME")
+        assert not lat.includes("NP", "DSPACE_LOG2")
+
+    def test_incomparabilities_of_the_figure(self):
+        lat = default_lattice()
+        assert lat.incomparable("DSPACE_LOG2", "BETA2P")
+        assert lat.incomparable("DSPACE_LOG2", "PTIME")
+        assert lat.incomparable("DSPACE_LOG2", "NP")
+
+    def test_reflexive(self):
+        lat = default_lattice()
+        assert lat.includes("NP", "NP")
+
+    def test_minimal_dual_class_is_the_new_bound(self):
+        lat = default_lattice()
+        assert lat.minimal_classes_containing_dual() == ["GC_LOG2_ITLOGSPACE"]
+
+    def test_topological_order(self):
+        lat = default_lattice()
+        order = lat.topological_order()
+        assert order[0] == "LOGSPACE"
+        assert order[-1] == "PSPACE"
+        position = {k: i for i, k in enumerate(order)}
+        for inc in INCLUSIONS:
+            assert position[inc.lower] < position[inc.upper]
+
+    def test_unknown_class_in_inclusion_rejected(self):
+        with pytest.raises(ValueError):
+            ClassLattice(CLASSES, INCLUSIONS + (Inclusion("NP", "NOPE", "x"),))
+
+
+class TestFigure1:
+    def test_render_contains_all_classes(self):
+        diagram = render_figure1()
+        for token in ("PSPACE", "NP", "DSPACE[log2n]", "LOGSPACE", "PTIME"):
+            assert token in diagram
+
+    def test_edge_table_matches_inclusions(self):
+        table = figure1_edge_table()
+        assert len(table) == len(INCLUSIONS)
+        assert all("reason" in row and row["reason"] for row in table)
+
+    def test_dual_annotations(self):
+        rows = figure1_dual_annotations()
+        holders = {r["class"] for r in rows if r["contains_dual"]}
+        assert "DSPACE[log²n]" in holders
+        assert "GC(log²n, [[LOGSPACE_pol]]^log)" in holders
+
+    def test_report_is_complete(self):
+        report = figure1_report()
+        assert "Theorem 5.2" in report
+        assert "incomparable" in report
+        assert "Dual ∈ DSPACE[log²n]" in report

@@ -1,0 +1,133 @@
+"""Tests for duality entry conditions (Section 2's instance assumptions)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import NotSimpleError
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.hypergraph.generators import matching_dual_pair, perturb_enlarge_edge
+from repro.duality.conditions import (
+    check_degenerate,
+    cross_intersection_holds,
+    fredman_khachiyan_weight,
+    first_non_minimal_transversal_edge,
+    prepare_instance,
+    same_relevant_variables,
+    subset_of_transversals,
+)
+from repro.duality.result import FailureKind
+
+from tests.conftest import nonempty_simple_hypergraphs
+
+
+class TestSubsetOfTransversals:
+    def test_full_dual_passes(self):
+        g, h = matching_dual_pair(2)
+        assert subset_of_transversals(h, g)
+        assert subset_of_transversals(g, h)
+
+    def test_partial_dual_passes(self):
+        g, h = matching_dual_pair(2)
+        partial = Hypergraph(list(h.edges)[:2], vertices=h.vertices)
+        assert subset_of_transversals(partial, g)
+
+    def test_non_transversal_edge_detected(self):
+        g = Hypergraph([{0, 1}, {2, 3}], vertices=range(4))
+        bad = Hypergraph([{0}], vertices=range(4))
+        assert first_non_minimal_transversal_edge(bad, g) == frozenset({0})
+
+    def test_non_minimal_edge_detected(self):
+        g = Hypergraph([{0, 1}, {2, 3}], vertices=range(4))
+        bad = Hypergraph([{0, 1, 2}], vertices=range(4))
+        assert first_non_minimal_transversal_edge(bad, g) == frozenset({0, 1, 2})
+
+    @given(nonempty_simple_hypergraphs())
+    @settings(max_examples=40)
+    def test_exact_dual_always_passes(self, hg):
+        tr = transversal_hypergraph(hg)
+        assert subset_of_transversals(tr, hg)
+
+
+class TestQuickConditions:
+    def test_cross_intersection(self):
+        g = Hypergraph([{0, 1}])
+        assert cross_intersection_holds(g, Hypergraph([{0}, {1}]))
+        assert not cross_intersection_holds(
+            g, Hypergraph([{2}], vertices={0, 1, 2})
+        )
+
+    def test_fk_weight_of_dual_pair_at_least_one(self):
+        for k in range(1, 5):
+            g, h = matching_dual_pair(k)
+            assert fredman_khachiyan_weight(g, h) >= 1.0
+
+    def test_fk_weight_small_for_sparse_pair(self):
+        g = Hypergraph([{0, 1, 2, 3, 4}])
+        h = Hypergraph([{0, 1, 2, 3, 4}])
+        assert fredman_khachiyan_weight(g, h) < 1.0
+
+    def test_same_relevant_variables(self):
+        g, h = matching_dual_pair(2)
+        assert same_relevant_variables(g, h)
+        assert not same_relevant_variables(g, Hypergraph([{0, 99}], vertices=g.vertices | {99}))
+
+
+class TestDegenerate:
+    def test_constants(self):
+        empty = Hypergraph.empty()
+        true = Hypergraph.trivial_true()
+        assert check_degenerate(empty, true) is True
+        assert check_degenerate(true, empty) is True
+        assert check_degenerate(empty, empty) is False
+        assert check_degenerate(true, true) is False
+
+    def test_constant_vs_proper(self):
+        proper = Hypergraph([{0}])
+        assert check_degenerate(Hypergraph.empty(), proper) is False
+        assert check_degenerate(proper, Hypergraph.empty()) is False
+
+    def test_proper_pair_is_none(self):
+        g, h = matching_dual_pair(1)
+        assert check_degenerate(g, h) is None
+
+
+class TestPrepareInstance:
+    def test_valid_instance_passes_and_aligns_universe(self):
+        g, h = matching_dual_pair(2)
+        entry = prepare_instance(g, h)
+        assert entry.ok
+        assert entry.g.vertices == entry.h.vertices
+
+    def test_not_simple_raises(self):
+        with pytest.raises(NotSimpleError):
+            prepare_instance(Hypergraph([{0}, {0, 1}]), Hypergraph([{0}]))
+
+    def test_extra_edge_detected(self):
+        g, h = matching_dual_pair(2)
+        bad = perturb_enlarge_edge(h)
+        entry = prepare_instance(g, bad)
+        assert not entry.ok
+        assert entry.failure is FailureKind.EXTRA_EDGE
+        assert entry.witness in set(bad.edges)
+
+    def test_bad_g_side_detected(self):
+        g, h = matching_dual_pair(2)
+        bad_g = Hypergraph(tuple(g.edges) + (frozenset({0, 2}),), vertices=g.vertices)
+        entry = prepare_instance(bad_g, h)
+        assert not entry.ok
+        assert entry.failure is FailureKind.EXTRA_EDGE
+
+    def test_constant_mismatch(self):
+        entry = prepare_instance(Hypergraph.empty(), Hypergraph.empty())
+        assert not entry.ok
+        assert entry.failure is FailureKind.CONSTANT_MISMATCH
+
+    def test_partial_dual_still_ok(self):
+        # G ⊆ tr(H) and H ⊆ tr(G) hold for strict subsets of the dual —
+        # the decomposition (not the entry check) must detect those.
+        g, h = matching_dual_pair(2)
+        partial = Hypergraph(list(h.edges)[:-1], vertices=h.vertices)
+        entry = prepare_instance(g, partial)
+        assert entry.ok

@@ -1,0 +1,188 @@
+"""Tests for coteries: Prop. 1.3, constructions, votes, availability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NotACoterieError
+from repro.coteries import (
+    Coterie,
+    alive_quorum_exists,
+    availability,
+    availability_by_enumeration,
+    availability_curve,
+    coterie_from_votes,
+    dominating_coterie,
+    grid_coterie,
+    is_coterie,
+    is_vote_definable,
+    majority_coterie,
+    singleton_coterie,
+    tree_coterie,
+    wheel_coterie,
+)
+
+
+class TestCoterieAxioms:
+    def test_valid(self):
+        c = Coterie([{1, 2}, {2, 3}, {1, 3}])
+        assert len(c) == 3
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(NotACoterieError):
+            Coterie([])
+
+    def test_empty_quorum_rejected(self):
+        with pytest.raises(NotACoterieError):
+            Coterie([set()])
+
+    def test_non_antichain_rejected(self):
+        with pytest.raises(NotACoterieError):
+            Coterie([{1}, {1, 2}])
+
+    def test_disjoint_quorums_rejected(self):
+        with pytest.raises(NotACoterieError):
+            Coterie([{1}, {2}])
+
+    def test_is_coterie_predicate(self):
+        assert is_coterie([{1, 2}, {2, 3}, {1, 3}])
+        assert not is_coterie([{1}, {2}])
+
+    def test_equality(self):
+        assert Coterie([{1, 2}, {1, 3}, {2, 3}]) == Coterie(
+            [{3, 2}, {3, 1}, {2, 1}]
+        )
+
+
+class TestDomination:
+    def test_singleton_dominates_pair_coterie(self):
+        # Every quorum of {{0,1}} contains the quorum {0} of the
+        # singleton coterie, so the singleton dominates it.
+        big = Coterie([{0, 1}], universe={0, 1, 2})
+        small = singleton_coterie(3, leader=0)
+        assert small.dominates(big)
+        assert not big.dominates(small)
+
+    def test_no_self_domination(self):
+        c = majority_coterie(3)
+        assert not c.dominates(c)
+
+    @pytest.mark.parametrize("method", ("bm", "fk-b", "logspace", "transversal"))
+    def test_majority_is_nondominated(self, method):
+        for n in (1, 3, 5):
+            assert majority_coterie(n).is_nondominated(method=method)
+
+    def test_majority_needs_odd(self):
+        with pytest.raises(NotACoterieError):
+            majority_coterie(4)
+
+    def test_singleton_is_nondominated(self):
+        assert singleton_coterie(5, leader=2).is_nondominated()
+
+    def test_wheel_is_nondominated(self):
+        for n in (4, 5, 6):
+            assert wheel_coterie(n).is_nondominated()
+
+    def test_grid_is_dominated(self):
+        assert not grid_coterie(2, 2).is_nondominated()
+
+    def test_tree_is_nondominated(self):
+        assert tree_coterie(2).is_nondominated()
+        assert tree_coterie(3).is_nondominated()
+
+    def test_prop_1_3_against_brute_force(self):
+        # tr(H) = H ⟺ no dominating coterie exists (small universes).
+        cases = [
+            majority_coterie(3),
+            singleton_coterie(3),
+            grid_coterie(2, 2),
+            Coterie([{0, 1}], universe={0, 1}),
+        ]
+        for coterie in cases:
+            via_dual = coterie.is_nondominated()
+            via_search = not coterie.is_dominated_brute_force()
+            assert via_dual == via_search, coterie
+
+    def test_dominating_coterie_construction(self):
+        grid = grid_coterie(2, 2)
+        dom = dominating_coterie(grid)
+        assert dom is not None
+        assert dom.dominates(grid)
+
+    def test_dominating_of_nd_is_none(self):
+        assert dominating_coterie(majority_coterie(3)) is None
+
+    def test_one_edge_two_sites_dominated(self):
+        c = Coterie([{0, 1}], universe={0, 1})
+        assert not c.is_nondominated()
+        dom = dominating_coterie(c)
+        assert dom is not None and dom.dominates(c)
+
+
+class TestVotes:
+    def test_majority_votes(self):
+        c = coterie_from_votes({"a": 1, "b": 1, "c": 1})
+        assert c == Coterie([{"a", "b"}, {"a", "c"}, {"b", "c"}])
+
+    def test_weighted_votes(self):
+        # total = 4, default threshold = 3: {a,b} and {a,c} win; {b,c}
+        # reaches only 2 votes.
+        c = coterie_from_votes({"a": 2, "b": 1, "c": 1})
+        assert c == Coterie([{"a", "b"}, {"a", "c"}], universe={"a", "b", "c"})
+
+    def test_negative_votes_rejected(self):
+        with pytest.raises(NotACoterieError):
+            coterie_from_votes({"a": -1})
+
+    def test_unreachable_threshold_rejected(self):
+        with pytest.raises(NotACoterieError):
+            coterie_from_votes({"a": 1}, threshold=5)
+
+    def test_sub_majority_threshold_rejected(self):
+        with pytest.raises(NotACoterieError):
+            coterie_from_votes({"a": 1, "b": 1}, threshold=1)
+
+    def test_majority_is_vote_definable(self):
+        found, assignment = is_vote_definable(majority_coterie(3), max_vote=1)
+        assert found
+        assert assignment["threshold"] >= 2
+
+    def test_singleton_is_vote_definable(self):
+        found, assignment = is_vote_definable(singleton_coterie(3), max_vote=1)
+        assert found
+
+
+class TestAvailability:
+    def test_matches_enumeration(self):
+        for coterie in (majority_coterie(3), singleton_coterie(3), wheel_coterie(4)):
+            for p in (0.0, 0.3, 0.5, 0.9, 1.0):
+                assert availability(coterie, p) == pytest.approx(
+                    availability_by_enumeration(coterie, p)
+                )
+
+    def test_alive_quorum(self):
+        c = majority_coterie(3)
+        assert alive_quorum_exists(c, {0, 1})
+        assert not alive_quorum_exists(c, {0})
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            availability(majority_coterie(3), 1.5)
+
+    def test_domination_implies_availability_dominance(self):
+        grid = grid_coterie(2, 2)
+        dom = dominating_coterie(grid)
+        for p in (0.2, 0.5, 0.8):
+            assert availability(dom, p) >= availability(grid, p) - 1e-12
+
+    def test_majority5_beats_singleton_at_high_p(self):
+        maj, single = majority_coterie(5), singleton_coterie(5)
+        assert availability(maj, 0.9) > availability(single, 0.9)
+        assert availability(maj, 0.3) < availability(single, 0.3)
+
+    def test_curve_shape(self):
+        curve = availability_curve(majority_coterie(3), points=5)
+        assert curve[0] == (0.0, pytest.approx(0.0))
+        assert curve[-1][1] == pytest.approx(1.0)
+        values = [v for _, v in curve]
+        assert values == sorted(values)

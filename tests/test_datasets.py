@@ -1,0 +1,124 @@
+"""Tests for the synthetic dataset generators (the offline substitutes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.itemsets.borders import borders, maximal_frequent_itemsets
+from repro.itemsets.datasets import (
+    categorical_onehot,
+    contrast_pair,
+    dense_random,
+    market_basket,
+    planted_borders,
+    single_pattern,
+)
+from repro.itemsets.frequency import frequency
+
+
+class TestMarketBasket:
+    def test_shape_and_seeding(self):
+        a = market_basket(n_items=8, n_rows=25, seed=1)
+        b = market_basket(n_items=8, n_rows=25, seed=1)
+        assert a == b
+        assert len(a) == 25
+        assert len(a.items) == 8
+
+    def test_patterns_create_correlation(self):
+        rel = market_basket(n_items=10, n_rows=80, n_patterns=2, seed=3)
+        # Some pair should co-occur far above the noise level.
+        best = max(
+            frequency(rel, {x, y})
+            for x in rel.items
+            for y in rel.items
+            if x < y
+        )
+        assert best > len(rel) // 8
+
+    def test_pattern_size_bound(self):
+        with pytest.raises(InvalidInstanceError):
+            market_basket(n_items=3, pattern_size=5)
+
+
+class TestDenseRandom:
+    def test_density_bounds(self):
+        with pytest.raises(InvalidInstanceError):
+            dense_random(density=1.5)
+
+    def test_extreme_densities(self):
+        empty = dense_random(n_items=4, n_rows=5, density=0.0, seed=1)
+        assert all(not row for row in empty.rows)
+        full = dense_random(n_items=4, n_rows=5, density=1.0, seed=1)
+        assert all(len(row) == 4 for row in full.rows)
+
+
+class TestPlantedBorders:
+    def test_borders_match_plant(self):
+        rel, z, expected = planted_borders(
+            maximal_frequent=[{"i00", "i01"}, {"i02"}], n_items=4, z=3
+        )
+        assert maximal_frequent_itemsets(rel, z) == expected
+
+    def test_default_plant_is_consistent(self):
+        rel, z, expected = planted_borders(n_items=6, z=2, seed=8)
+        assert maximal_frequent_itemsets(rel, z) == expected
+
+    def test_bad_parameters(self):
+        with pytest.raises(InvalidInstanceError):
+            planted_borders(maximal_frequent=[{"zz"}], n_items=3)
+        with pytest.raises(InvalidInstanceError):
+            planted_borders(n_items=3, z=0)
+
+
+class TestContrastAndSingle:
+    def test_contrast_has_wide_and_narrow_border_sets(self):
+        rel, z = contrast_pair(n_items=8, seed=2)
+        is_plus, _ = borders(rel, z)
+        sizes = sorted(len(e) for e in is_plus.edges)
+        assert sizes[0] <= 2
+        assert sizes[-1] >= 3
+
+    def test_single_pattern_borders(self):
+        rel, z = single_pattern(n_items=6, z=2)
+        is_plus, is_minus = borders(rel, z)
+        assert len(is_plus) == 1
+        # Minimal infrequent sets are exactly the out-of-pattern singletons.
+        assert all(len(e) == 1 for e in is_minus.edges)
+
+
+class TestCategoricalOnehot:
+    def test_one_item_per_group(self):
+        rel = categorical_onehot(n_attributes=3, n_values=3, n_rows=20, seed=4)
+        for row in rel.rows:
+            for i in range(3):
+                group = {a for a in row if a.startswith(f"a{i}=")}
+                assert len(group) == 1
+
+    def test_within_group_pairs_never_frequent(self):
+        rel = categorical_onehot(n_attributes=3, n_values=3, n_rows=30, seed=5)
+        for i in range(3):
+            assert frequency(rel, {f"a{i}=0", f"a{i}=1"}) == 0
+
+    def test_item_universe_covers_all_values(self):
+        rel = categorical_onehot(n_attributes=2, n_values=4, n_rows=5, seed=1)
+        assert len(rel.items) == 8
+
+    def test_skew_makes_value0_dominant(self):
+        rel = categorical_onehot(
+            n_attributes=2, n_values=3, n_rows=60, skew=0.8, seed=6
+        )
+        assert frequency(rel, {"a0=0"}) > frequency(rel, {"a0=1"})
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            categorical_onehot(n_values=1)
+        with pytest.raises(InvalidInstanceError):
+            categorical_onehot(skew=0.0)
+
+    def test_borders_contain_cross_category_infrequents(self):
+        rel = categorical_onehot(
+            n_attributes=3, n_values=2, n_rows=40, skew=0.9, seed=7
+        )
+        _, is_minus = borders(rel, len(rel) - 5)
+        assert len(is_minus) > 0

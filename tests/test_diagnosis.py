@@ -1,0 +1,365 @@
+"""Tests for :mod:`repro.diagnosis` — circuits, conflicts, HS-tree, Dual link."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInstanceError, VertexError
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.diagnosis import (
+    Circuit,
+    CircuitDiagnosisProblem,
+    Gate,
+    OracleDiagnosisProblem,
+    conflict_hypergraph,
+    extract_minimal_conflict,
+    full_adder,
+    hs_tree_diagnoses,
+    is_conflict,
+    minimal_conflicts,
+    minimal_conflicts_brute_force,
+    minimal_diagnoses,
+    one_bit_comparator,
+    two_bit_adder,
+    verify_diagnosis_completeness,
+)
+from repro.diagnosis.hstree import (
+    greiner_counterexample,
+    hs_tree_reiter_subset_rule,
+    make_scripted_provider,
+)
+
+
+# ----------------------------------------------------------------------
+# Circuits
+# ----------------------------------------------------------------------
+
+
+class TestGate:
+    def test_kinds(self):
+        values = {"a": True, "b": False}
+        assert Gate("g", "and", ("a", "b")).compute(values) is False
+        assert Gate("g", "or", ("a", "b")).compute(values) is True
+        assert Gate("g", "xor", ("a", "b")).compute(values) is True
+        assert Gate("g", "nand", ("a", "b")).compute(values) is True
+        assert Gate("g", "nor", ("a", "b")).compute(values) is False
+        assert Gate("g", "not", ("a",)).compute(values) is False
+        assert Gate("g", "buf", ("b",)).compute(values) is False
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(InvalidInstanceError):
+            Gate("g", "majority", ("a", "b", "c"))
+
+    def test_arity_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            Gate("g", "not", ("a", "b"))
+        with pytest.raises(InvalidInstanceError):
+            Gate("g", "and", ())
+
+
+class TestCircuit:
+    def test_full_adder_truth_table(self):
+        circuit = full_adder()
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    s, cout = circuit.output_values(
+                        {"a": a, "b": b, "cin": cin}
+                    )
+                    total = a + b + cin
+                    assert s == bool(total % 2)
+                    assert cout == bool(total >= 2)
+
+    def test_two_bit_adder_truth_table(self):
+        circuit = two_bit_adder()
+        for x in range(4):
+            for y in range(4):
+                s0, s1, c1 = circuit.output_values(
+                    {
+                        "a0": x & 1,
+                        "a1": (x >> 1) & 1,
+                        "b0": y & 1,
+                        "b1": (y >> 1) & 1,
+                        "cin": 0,
+                    }
+                )
+                total = x + y
+                assert (int(s0) + 2 * int(s1) + 4 * int(c1)) == total
+
+    def test_comparator(self):
+        circuit = one_bit_comparator()
+        lt, eq = circuit.output_values({"a": 0, "b": 1})
+        assert lt and not eq
+        lt, eq = circuit.output_values({"a": 1, "b": 1})
+        assert not lt and eq
+
+    def test_fault_override_changes_outputs(self):
+        circuit = full_adder()
+        healthy = circuit.output_values({"a": 1, "b": 0, "cin": 0})
+        faulty = circuit.output_values(
+            {"a": 1, "b": 0, "cin": 0}, fault_overrides={"x1": False}
+        )
+        assert healthy != faulty
+
+    def test_rejects_cycle(self):
+        with pytest.raises(InvalidInstanceError):
+            Circuit(
+                [Gate("g1", "buf", ("g2",)), Gate("g2", "buf", ("g1",))],
+                inputs=("a",),
+                outputs=("g1",),
+            )
+
+    def test_rejects_unknown_signal(self):
+        with pytest.raises(VertexError):
+            Circuit([Gate("g", "buf", ("zz",))], inputs=("a",), outputs=("g",))
+
+    def test_rejects_duplicate_gates(self):
+        with pytest.raises(InvalidInstanceError):
+            Circuit(
+                [Gate("g", "buf", ("a",)), Gate("g", "not", ("a",))],
+                inputs=("a",),
+                outputs=("g",),
+            )
+
+    def test_missing_input_raises(self):
+        with pytest.raises(VertexError):
+            full_adder().evaluate({"a": 1})
+
+    def test_consistency_weak_fault_model(self):
+        circuit = full_adder()
+        inputs = {"a": 1, "b": 0, "cin": 0}
+        correct = dict(zip(circuit.outputs, circuit.output_values(inputs)))
+        # the correct observation is consistent with everything healthy
+        assert circuit.consistent(inputs, correct, circuit.components)
+        # a wrong sum is not
+        wrong = dict(correct)
+        wrong["x2"] = not wrong["x2"]
+        assert not circuit.consistent(inputs, wrong, circuit.components)
+        # ... but is explainable if the sum chain may be faulty
+        assert circuit.consistent(
+            inputs, wrong, circuit.components - {"x2"}
+        )
+
+
+# ----------------------------------------------------------------------
+# Problems and conflicts
+# ----------------------------------------------------------------------
+
+
+def adder_problem() -> CircuitDiagnosisProblem:
+    """Full adder observed with the x1 gate stuck low."""
+    return CircuitDiagnosisProblem.observe_fault(
+        full_adder(), {"a": 1, "b": 0, "cin": 0}, {"x1": False}
+    )
+
+
+class TestProblems:
+    def test_observe_fault_builds_faulty_observation(self):
+        problem = adder_problem()
+        assert problem.is_faulty_observation()
+
+    def test_healthy_observation_has_empty_diagnosis(self):
+        circuit = full_adder()
+        inputs = {"a": 1, "b": 1, "cin": 0}
+        correct = dict(zip(circuit.outputs, circuit.output_values(inputs)))
+        problem = CircuitDiagnosisProblem(circuit, inputs, correct)
+        assert not problem.is_faulty_observation()
+        assert minimal_diagnoses(problem).edges == (frozenset(),)
+
+    def test_consistency_is_antimonotone(self):
+        assert adder_problem().check_antimonotone_exhaustive()
+
+    def test_oracle_counts_and_memoises(self):
+        problem = adder_problem()
+        problem.consistent(problem.components)
+        problem.consistent(problem.components)
+        assert problem.oracle_calls == 1
+
+    def test_from_conflicts(self):
+        problem = OracleDiagnosisProblem.from_conflicts(
+            "abc", [{"a", "b"}]
+        )
+        assert is_conflict(problem, {"a", "b"})
+        assert is_conflict(problem, {"a", "b", "c"})
+        assert not is_conflict(problem, {"a"})
+
+    def test_rejects_empty_components(self):
+        with pytest.raises(InvalidInstanceError):
+            OracleDiagnosisProblem((), lambda h: True)
+
+    def test_rejects_unknown_component_query(self):
+        problem = adder_problem()
+        with pytest.raises(VertexError):
+            problem.consistent({"nonexistent-gate"})
+
+
+class TestConflicts:
+    def test_extract_returns_minimal_conflict(self):
+        problem = adder_problem()
+        conflict = extract_minimal_conflict(problem)
+        assert conflict is not None
+        assert is_conflict(problem, conflict)
+        for c in conflict:
+            assert not is_conflict(problem, conflict - {c})
+
+    def test_extract_none_when_consistent(self):
+        problem = adder_problem()
+        # the sum chain is the conflict; excluding it leaves consistency
+        assert extract_minimal_conflict(problem, within={"a1", "a2", "o1"}) is None
+
+    def test_learned_equals_brute_force(self):
+        problem_a = adder_problem()
+        problem_b = adder_problem()
+        assert minimal_conflicts(problem_a) == minimal_conflicts_brute_force(
+            problem_b
+        )
+
+    def test_full_adder_conflict_is_sum_chain(self):
+        conflicts = minimal_conflicts(adder_problem())
+        assert conflicts.edges == (frozenset({"x1", "x2"}),)
+
+
+# ----------------------------------------------------------------------
+# HS-tree and the diagnoses façade
+# ----------------------------------------------------------------------
+
+
+class TestHSTree:
+    def test_routes_agree_on_adder(self):
+        d1 = minimal_diagnoses(adder_problem(), "hstree")
+        d2 = minimal_diagnoses(adder_problem(), "transversal")
+        d3 = minimal_diagnoses(adder_problem(), "brute-force")
+        assert d1 == d2 == d3
+        assert d1.edges == (frozenset({"x1"}), frozenset({"x2"}))
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            minimal_diagnoses(adder_problem(), "quantum")
+
+    def test_diagnoses_are_hitting_sets(self):
+        problem = adder_problem()
+        conflicts = minimal_conflicts(adder_problem())
+        diagnoses, _stats = hs_tree_diagnoses(problem)
+        for d in diagnoses.edges:
+            assert all(d & c for c in conflicts.edges)
+
+    def test_hitting_set_theorem(self):
+        # diagnoses = tr(conflicts), Reiter's theorem
+        conflicts = minimal_conflicts(adder_problem())
+        diagnoses = minimal_diagnoses(adder_problem(), "hstree")
+        assert diagnoses == transversal_hypergraph(conflicts).with_vertices(
+            diagnoses.vertices
+        )
+
+    def test_stats_accounting(self):
+        _diagnoses, stats = hs_tree_diagnoses(adder_problem())
+        assert stats.nodes_expanded >= 1
+        assert stats.labels_computed >= 1
+        assert stats.labels_computed + stats.labels_reused >= 1
+
+    def test_max_nodes_valve(self):
+        problem = OracleDiagnosisProblem.from_conflicts(
+            range(6), [{0, 1}, {2, 3}, {4, 5}]
+        )
+        with pytest.raises(RuntimeError):
+            hs_tree_diagnoses(problem, max_nodes=1)
+
+    def test_injected_fault_is_covered(self):
+        # the actually injected fault must contain some minimal diagnosis
+        problem = CircuitDiagnosisProblem.observe_fault(
+            two_bit_adder(), {"a0": 1, "b0": 1, "a1": 0, "b1": 1, "cin": 0},
+            {"c0": False},
+        )
+        if problem.is_faulty_observation():
+            diagnoses = minimal_diagnoses(problem, "hstree")
+            assert any(d <= {"c0"} or d == frozenset({"c0"})
+                       for d in diagnoses.edges) or any(
+                "c0" in d for d in diagnoses.edges
+            )
+
+    @given(
+        st.lists(
+            st.frozensets(
+                st.integers(min_value=0, max_value=4), min_size=1, max_size=3
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hstree_equals_transversal_on_random_conflicts(self, families):
+        hg = Hypergraph(families, vertices=range(5)).minimized()
+        problem = OracleDiagnosisProblem.from_conflicts(range(5), hg.edges)
+        diagnoses, _ = hs_tree_diagnoses(problem)
+        assert diagnoses == transversal_hypergraph(hg).with_vertices(
+            frozenset(range(5))
+        )
+
+
+class TestGreinerCorrection:
+    def test_reiter_subset_rule_loses_a_diagnosis(self):
+        problem_factory, provider_factory, expected = greiner_counterexample()
+        got, stats = hs_tree_reiter_subset_rule(
+            problem_factory(), conflict_provider=provider_factory()
+        )
+        assert stats.subset_rule_firings > 0
+        assert got != expected
+        assert set(got.edges) < set(expected.edges)
+
+    def test_sound_variant_survives_the_same_adversary(self):
+        problem_factory, provider_factory, expected = greiner_counterexample()
+        got, _stats = hs_tree_diagnoses(
+            problem_factory(), conflict_provider=provider_factory()
+        )
+        assert got == expected
+
+    def test_variants_agree_with_minimal_labels(self):
+        # with guaranteed-minimal labels the subset rule never fires
+        problem_factory, _provider, expected = greiner_counterexample()
+        got, stats = hs_tree_reiter_subset_rule(problem_factory())
+        assert got == expected
+        assert stats.subset_rule_firings == 0
+
+    def test_scripted_provider_validates_labels(self):
+        problem = OracleDiagnosisProblem.from_conflicts("ab", [{"a"}])
+        provider = make_scripted_provider([frozenset({"b"})])  # not a conflict
+        # falls back to a genuine minimal conflict
+        label = provider(problem, frozenset())
+        assert label == frozenset({"a"})
+
+
+# ----------------------------------------------------------------------
+# The Dual link
+# ----------------------------------------------------------------------
+
+
+class TestDualityLink:
+    def test_complete_diagnosis_set_verifies(self):
+        conflicts = conflict_hypergraph(adder_problem())
+        diagnoses = minimal_diagnoses(adder_problem(), "hstree")
+        for method in ("transversal", "bm", "fk-b", "logspace"):
+            assert verify_diagnosis_completeness(
+                conflicts, diagnoses, method=method
+            ).is_dual
+
+    def test_incomplete_diagnosis_set_is_refuted(self):
+        problem = OracleDiagnosisProblem.from_conflicts(
+            range(4), [{0, 1}, {2, 3}]
+        )
+        conflicts = minimal_conflicts(problem)
+        full = minimal_diagnoses(
+            OracleDiagnosisProblem.from_conflicts(range(4), [{0, 1}, {2, 3}]),
+            "transversal",
+        )
+        assert len(full) == 4
+        partial = Hypergraph(list(full.edges)[:-1], vertices=full.vertices)
+        result = verify_diagnosis_completeness(conflicts, partial)
+        assert not result.is_dual
+
+    def test_wrong_diagnosis_is_refuted(self):
+        conflicts = Hypergraph([{0, 1}], vertices=range(3))
+        wrong = Hypergraph([{0, 1}], vertices=range(3))  # non-minimal "diagnosis"
+        result = verify_diagnosis_completeness(conflicts, wrong)
+        assert not result.is_dual

@@ -1,0 +1,170 @@
+"""Tests for monotone DNF formulas and the DNF↔hypergraph correspondence."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.dnf import MonotoneDNF, parse_dnf
+from repro.errors import NotIrredundantError, ParseError
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+
+from tests.conftest import hypergraphs
+
+
+class TestConstruction:
+    def test_terms_canonical(self):
+        f = MonotoneDNF([["b", "a"], ["c"]])
+        assert f.terms == (frozenset({"c"}), frozenset({"a", "b"}))
+
+    def test_variables_default_to_union(self):
+        f = MonotoneDNF([{"a"}, {"b"}])
+        assert f.variables == {"a", "b"}
+
+    def test_explicit_variables(self):
+        f = MonotoneDNF([{"a"}], variables={"a", "b"})
+        assert f.variables == {"a", "b"}
+
+    def test_roundtrip_with_hypergraph(self):
+        hg = Hypergraph([{1, 2}, {3}])
+        f = MonotoneDNF.from_hypergraph(hg)
+        assert f.hypergraph() == hg
+
+    def test_equality_and_hash(self):
+        assert MonotoneDNF([{1}]) == MonotoneDNF([{1}])
+        assert len({MonotoneDNF([{1}]), MonotoneDNF([{1}])}) == 1
+
+
+class TestIrredundancy:
+    def test_detection(self):
+        assert MonotoneDNF([{1}, {2}]).is_irredundant()
+        assert not MonotoneDNF([{1}, {1, 2}]).is_irredundant()
+
+    def test_require_raises(self):
+        with pytest.raises(NotIrredundantError):
+            MonotoneDNF([{1}, {1, 2}]).require_irredundant()
+
+    def test_irredundant_drops_covered_terms(self):
+        f = MonotoneDNF([{1}, {1, 2}]).irredundant()
+        assert f.terms == (frozenset({1}),)
+
+
+class TestSemantics:
+    def test_evaluate_with_mapping(self):
+        f = MonotoneDNF([{"a", "b"}])
+        assert f.evaluate({"a": True, "b": True})
+        assert not f.evaluate({"a": True, "b": False})
+
+    def test_evaluate_with_true_set(self):
+        f = MonotoneDNF([{"a", "b"}, {"c"}])
+        assert f.evaluate({"c"})
+        assert not f.evaluate({"a"})
+
+    def test_constants(self):
+        false = MonotoneDNF()
+        true = MonotoneDNF([frozenset()])
+        assert false.is_constant_false() and not false.evaluate(set())
+        assert true.is_constant_true() and true.evaluate(set())
+
+    def test_monotonicity(self):
+        f = MonotoneDNF([{1, 2}, {3}])
+        assert not f.evaluate({1})
+        assert f.evaluate({1, 3})
+
+    def test_implies(self):
+        stronger = MonotoneDNF([{1, 2}], variables={1, 2})
+        weaker = MonotoneDNF([{1}], variables={1, 2})
+        assert stronger.implies(weaker)
+        assert not weaker.implies(stronger)
+
+    def test_equivalent_ignores_redundancy(self):
+        assert MonotoneDNF([{1}, {1, 2}]).equivalent(MonotoneDNF([{1}], variables={1, 2}))
+
+
+class TestDuality:
+    def test_dual_formula_of_majority_is_itself(self):
+        f = parse_dnf("a b | b c | a c")
+        assert f.dual_formula() == f
+
+    def test_dual_formula_via_transversals(self):
+        f = MonotoneDNF([{1, 2}, {3, 4}])
+        d = f.dual_formula()
+        assert d.hypergraph() == transversal_hypergraph(f.hypergraph())
+
+    def test_semantic_duality_truth_table(self):
+        f = MonotoneDNF([{1}, {2}])
+        g = MonotoneDNF([{1, 2}])
+        assert f.semantically_dual_to(g)
+        assert g.semantically_dual_to(f)
+
+    def test_semantic_non_duality(self):
+        f = MonotoneDNF([{1}, {2}])
+        assert not f.semantically_dual_to(f)
+
+    def test_constants_are_mutually_dual(self):
+        false = MonotoneDNF()
+        true = MonotoneDNF([frozenset()])
+        assert false.semantically_dual_to(true)
+        assert true.semantically_dual_to(false)
+        assert not false.semantically_dual_to(false)
+        assert not true.semantically_dual_to(true)
+
+    @given(hypergraphs(max_vertices=4, max_edges=3))
+    @settings(max_examples=40)
+    def test_dual_formula_is_semantically_dual(self, hg):
+        f = MonotoneDNF.from_hypergraph(hg.minimized())
+        assert f.semantically_dual_to(f.dual_formula())
+
+    @given(hypergraphs(max_vertices=4, max_edges=3))
+    @settings(max_examples=40)
+    def test_double_dual_is_identity_on_irredundant(self, hg):
+        f = MonotoneDNF.from_hypergraph(hg.minimized())
+        assert f.dual_formula().dual_formula() == f
+
+
+class TestParser:
+    def test_basic(self):
+        f = parse_dnf("x1 x2 | x3")
+        assert frozenset({"x1", "x2"}) in f.terms
+        assert frozenset({"x3"}) in f.terms
+
+    def test_integer_variables(self):
+        f = parse_dnf("1 2 | 3")
+        assert frozenset({1, 2}) in f.terms
+
+    def test_constants(self):
+        assert parse_dnf("FALSE").is_constant_false()
+        assert parse_dnf("TRUE").is_constant_true()
+
+    def test_unicode_connectives(self):
+        f = parse_dnf("a ∧ b ∨ c")
+        assert f == parse_dnf("a b | c")
+
+    def test_ampersand(self):
+        assert parse_dnf("a & b | c") == parse_dnf("a b | c")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dnf("   ")
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dnf("a | | b")
+
+    def test_bad_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dnf("a | b$c")
+
+    def test_roundtrip(self):
+        for text in ("a b | c", "FALSE", "TRUE", "x | y | z"):
+            f = parse_dnf(text)
+            assert parse_dnf(f.to_text()) == f
+
+    def test_rendering(self):
+        assert parse_dnf("b a | c").to_text() == "c | a b"
+        assert MonotoneDNF().to_text() == "FALSE"
+        assert MonotoneDNF([frozenset()]).to_text() == "TRUE"
+
+    def test_pretty(self):
+        assert "∨" in parse_dnf("a b | c").pretty()
+        assert MonotoneDNF().pretty() == "⊥"

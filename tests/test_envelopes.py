@@ -1,0 +1,148 @@
+"""Tests for :mod:`repro.envelopes` — the KPS Horn-envelope construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInstanceError, VertexError
+from repro.logic import (
+    HornTheory,
+    intersection_closure,
+    is_intersection_closed,
+)
+from repro.envelopes import (
+    envelope_clauses_for_head,
+    envelope_is_exact,
+    envelope_negative_clauses,
+    horn_envelope,
+    models_of_envelope,
+)
+from repro.envelopes.horn_envelope import envelope_blowup
+
+
+class TestEnvelopeClauses:
+    def test_fact_for_always_true_atom(self):
+        clauses = envelope_clauses_for_head(
+            [{"a"}, {"a", "b"}], head="a", atoms="ab"
+        )
+        assert any(c.body == frozenset() and c.head == "a" for c in clauses)
+
+    def test_no_sound_body_when_head_unforceable(self):
+        # b is false in the model {a}; a alone cannot force b because
+        # {a} is a model — the only candidate body {a} is unsound.
+        clauses = envelope_clauses_for_head([{"a"}], head="b", atoms="ab")
+        assert clauses == []
+
+    def test_implication_is_recovered(self):
+        # models of a→b over {a,b}: {}, {b}, {a,b}
+        models = [set(), {"b"}, {"a", "b"}]
+        clauses = envelope_clauses_for_head(models, head="b", atoms="ab")
+        assert any(c.body == frozenset({"a"}) for c in clauses)
+
+    def test_bodies_are_minimal(self):
+        models = [set(), {"b"}, {"a", "b"}, {"c"}]
+        for head in "abc":
+            clauses = envelope_clauses_for_head(models, head, atoms="abc")
+            bodies = [c.body for c in clauses]
+            for body in bodies:
+                assert not any(o < body for o in bodies)
+
+    def test_unknown_head_rejected(self):
+        with pytest.raises(VertexError):
+            envelope_clauses_for_head([{"a"}], head="z", atoms="ab")
+
+    def test_negative_clauses(self):
+        # no model contains both a and b
+        clauses = envelope_negative_clauses([{"a"}, {"b"}], atoms="ab")
+        assert [c.body for c in clauses] == [frozenset({"a", "b"})]
+
+    def test_empty_model_set_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            horn_envelope([], atoms="ab")
+
+    def test_models_outside_universe_rejected(self):
+        with pytest.raises(VertexError):
+            horn_envelope([{"z"}], atoms="ab")
+
+
+class TestHornEnvelope:
+    def test_envelope_models_are_intersection_closure(self):
+        models = [{"a"}, {"b"}]
+        assert models_of_envelope(models, atoms="ab") == intersection_closure(
+            models
+        )
+
+    def test_envelope_of_horn_theory_is_exact(self):
+        theory = HornTheory.from_tuples(
+            [(("a",), "b"), ((), "c")], atoms="abc"
+        )
+        models = theory.models()
+        assert envelope_is_exact(models, atoms="abc")
+        env = horn_envelope(models, atoms="abc")
+        assert set(env.models()) == set(models)
+
+    def test_envelope_is_sound(self):
+        # every input model satisfies the envelope
+        models = [{"a", "b"}, {"b", "c"}, {"a", "c"}]
+        env = horn_envelope(models, atoms="abc")
+        for m in models:
+            assert env.is_model(m)
+
+    def test_envelope_is_strongest(self):
+        # no proper Horn strengthening still admits all input models:
+        # the envelope's models are exactly the closure, nothing more.
+        models = [{"a", "b"}, {"b", "c"}]
+        got = models_of_envelope(models, atoms="abc")
+        assert got == intersection_closure(models)
+
+    def test_blowup_measure(self):
+        models = [{"a", "b"}, {"b", "c"}, {"a", "c"}]
+        before, after = envelope_blowup(models, atoms="abc")
+        assert before == 3
+        assert after == len(intersection_closure(models))
+        assert after > before  # genuinely non-Horn input
+
+    def test_exactness_predicate(self):
+        assert envelope_is_exact([{"a"}, {"a", "b"}, set()], atoms="ab")
+        assert not envelope_is_exact([{"a"}, {"b"}], atoms="ab")
+
+    def test_envelope_from_characteristic_models_matches(self):
+        from repro.logic import characteristic_models
+
+        models = intersection_closure([{"a", "b"}, {"b", "c"}, {"c"}])
+        chars = characteristic_models(models)
+        full = models_of_envelope(models, atoms="abc")
+        compact = models_of_envelope(chars, atoms="abc")
+        assert full == compact
+
+    @given(
+        st.lists(
+            st.frozensets(st.sampled_from("abcd")),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_envelope_models_equal_closure_property(self, models):
+        got = models_of_envelope(models, atoms="abcd")
+        assert got == intersection_closure(models)
+
+    @given(
+        st.lists(
+            st.frozensets(st.sampled_from("abcd")),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_envelope_is_weakest_horn_upper_bound(self, models):
+        # any Horn theory satisfied by all models is also satisfied by
+        # every envelope model (soundness of each envelope clause means
+        # the envelope only contains implied clauses)
+        env = horn_envelope(models, atoms="abcd")
+        closure = intersection_closure(models)
+        for m in closure:
+            assert env.is_model(m)
+        assert is_intersection_closed(set(env.models()))

@@ -1,0 +1,37 @@
+"""Every example script must run cleanly — the examples are part of the API.
+
+Each ``examples/*.py`` is executed in a subprocess; a non-zero exit or
+an empty stdout fails the suite.  Keeps the documentation honest: if an
+API change breaks a walkthrough, the tests say so.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    # the repository promises ≥ 3 runnable examples; keep the floor high
+    assert len(EXAMPLE_SCRIPTS) >= 8
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"

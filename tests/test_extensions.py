@@ -1,0 +1,295 @@
+"""Tests for the extension features: policies, Berge ordering, rules,
+inverse mining, ND closure, streaming transducers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.hypergraph.generators import (
+    matching_dual_pair,
+    perturb_drop_edge,
+    random_simple,
+    threshold_dual_pair,
+)
+from repro.hypergraph.transversal import berge_peak_intermediate
+
+
+class TestTieBreakPolicies:
+    def test_all_policies_give_correct_verdicts(self):
+        from repro.duality.boros_makino import decide_boros_makino
+        from repro.duality.policies import ALL_POLICIES
+
+        g, h = threshold_dual_pair(6, 3)
+        broken = perturb_drop_edge(h)
+        for policy in ALL_POLICIES:
+            assert decide_boros_makino(g, h, policy=policy).is_dual, policy.name
+            assert not decide_boros_makino(g, broken, policy=policy).is_dual, (
+                policy.name
+            )
+
+    def test_policies_may_change_tree_size_not_verdict(self):
+        from repro.duality.boros_makino import tree_for
+        from repro.duality.policies import ALL_POLICIES
+
+        g, h = threshold_dual_pair(6, 3)
+        if len(h) > len(g):
+            g, h = h, g
+        sizes = {}
+        for policy in ALL_POLICIES:
+            tree = tree_for(g, h, policy=policy)
+            assert tree.all_done(), policy.name
+            sizes[policy.name] = tree.node_count()
+        assert len(sizes) == len(ALL_POLICIES)
+
+    def test_policy_lookup(self):
+        from repro.duality.policies import PAPER_POLICY, policy_by_name
+
+        assert policy_by_name("paper") is PAPER_POLICY
+        with pytest.raises(ValueError):
+            policy_by_name("nonsense")
+
+    def test_paper_policy_is_default(self):
+        from repro.duality.boros_makino import tree_for
+        from repro.duality.policies import PAPER_POLICY
+
+        g, h = matching_dual_pair(3)
+        g, h = (h, g) if len(h) > len(g) else (g, h)
+        default_tree = tree_for(g, h)
+        paper_tree = tree_for(g, h, policy=PAPER_POLICY)
+        assert default_tree.labels() == paper_tree.labels()
+
+
+class TestBergeOrdering:
+    @pytest.mark.parametrize(
+        "order", ("canonical", "small-first", "large-first", "interleaved")
+    )
+    def test_result_independent_of_order(self, order):
+        for seed in range(4):
+            hg = random_simple(7, 5, seed=seed)
+            assert transversal_hypergraph(hg, order=order) == (
+                transversal_hypergraph(hg)
+            )
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            transversal_hypergraph(Hypergraph([{1}]), order="random")
+
+    def test_peak_intermediate_measured(self):
+        hg = random_simple(8, 6, seed=3)
+        peaks = {
+            order: berge_peak_intermediate(hg, order)
+            for order in ("canonical", "small-first", "large-first", "interleaved")
+        }
+        final = len(transversal_hypergraph(hg))
+        assert all(peak >= 1 for peak in peaks.values())
+        assert max(peaks.values()) >= final or final <= 1
+
+    def test_trivial_true_peak_zero(self):
+        assert berge_peak_intermediate(Hypergraph.trivial_true()) == 0
+
+
+class TestAssociationRules:
+    @pytest.fixture
+    def relation(self):
+        from repro.itemsets import BooleanRelation
+
+        return BooleanRelation(
+            [
+                {"bread", "milk"},
+                {"bread", "milk"},
+                {"bread", "milk", "eggs"},
+                {"bread", "eggs"},
+                {"milk"},
+            ],
+            items={"bread", "milk", "eggs"},
+        )
+
+    def test_rule_statistics_exact(self, relation):
+        from repro.itemsets.rules import mine_rules
+
+        rules = mine_rules(relation, z=2, min_confidence=0.5)
+        by_pair = {
+            (tuple(sorted(r.antecedent)), tuple(sorted(r.consequent))): r
+            for r in rules
+        }
+        rule = by_pair[(("milk",), ("bread",))]
+        # f(milk)=4, f(bread,milk)=3.
+        assert rule.support == 3
+        assert rule.confidence == pytest.approx(3 / 4)
+        assert rule.lift == pytest.approx((3 / 4) / (4 / 5))
+
+    def test_min_confidence_filters(self, relation):
+        from repro.itemsets.rules import mine_rules
+
+        strict = mine_rules(relation, z=2, min_confidence=0.99)
+        loose = mine_rules(relation, z=2, min_confidence=0.5)
+        assert len(strict) <= len(loose)
+
+    def test_rule_unions_are_frequent(self, relation):
+        from repro.itemsets import is_frequent
+        from repro.itemsets.rules import mine_rules
+
+        for rule in mine_rules(relation, z=2, min_confidence=0.5):
+            assert is_frequent(relation, rule.antecedent | rule.consequent, 2)
+
+    def test_rules_under_border(self, relation):
+        from repro.itemsets import maximal_frequent_itemsets
+        from repro.itemsets.rules import mine_rules, rules_under_border
+
+        rules = mine_rules(relation, z=2, min_confidence=0.5)
+        border = maximal_frequent_itemsets(relation, 2)
+        assert rules_under_border(rules, border)
+
+    def test_bad_confidence_rejected(self, relation):
+        from repro.errors import InvalidInstanceError
+        from repro.itemsets.rules import mine_rules
+
+        with pytest.raises(InvalidInstanceError):
+            mine_rules(relation, z=2, min_confidence=0.0)
+
+    def test_deterministic_order(self, relation):
+        from repro.itemsets.rules import mine_rules
+
+        assert mine_rules(relation, z=2) == mine_rules(relation, z=2)
+
+
+class TestInverseMining:
+    def test_realises_prescribed_border(self):
+        from repro.itemsets.inverse import (
+            expected_minimal_infrequent,
+            realize_maximal_frequent,
+            verify_realization,
+        )
+        from repro.itemsets.borders import minimal_infrequent_itemsets
+
+        prescribed = Hypergraph(
+            [{"a", "b"}, {"b", "c", "d"}], vertices={"a", "b", "c", "d"}
+        )
+        relation = realize_maximal_frequent(prescribed, z=2)
+        assert verify_realization(relation, 2, prescribed)
+        assert minimal_infrequent_itemsets(relation, 2) == (
+            expected_minimal_infrequent(prescribed)
+        )
+
+    def test_empty_family(self):
+        from repro.itemsets.borders import borders
+        from repro.itemsets.inverse import realize_maximal_frequent
+
+        relation = realize_maximal_frequent(
+            Hypergraph.empty({"a", "b"}), z=3
+        )
+        is_plus, is_minus = borders(relation, 3)
+        assert is_plus.is_trivial_false()
+        assert set(is_minus.edges) == {frozenset()}
+
+    def test_padding_preserves_borders(self):
+        from repro.itemsets.inverse import (
+            realize_maximal_frequent,
+            verify_realization,
+        )
+
+        prescribed = Hypergraph([{"a", "b"}], vertices={"a", "b", "c"})
+        padded = realize_maximal_frequent(prescribed, z=1, padding_rows=4)
+        assert verify_realization(padded, 1, prescribed)
+
+    def test_non_antichain_rejected(self):
+        from repro.errors import InvalidInstanceError
+        from repro.itemsets.inverse import realize_maximal_frequent
+
+        bad = Hypergraph([{"a"}, {"a", "b"}])
+        with pytest.raises(InvalidInstanceError):
+            realize_maximal_frequent(bad, z=1)
+
+    def test_feasible_predicate(self):
+        from repro.itemsets.inverse import feasible
+
+        assert feasible(Hypergraph([{"a"}, {"b"}]))
+        assert not feasible(Hypergraph([{"a"}, {"a", "b"}]))
+
+
+class TestNdClosure:
+    def test_already_nd_returns_zero_rounds(self):
+        from repro.coteries import majority_coterie
+        from repro.coteries.coterie import nd_closure
+
+        nd, rounds = nd_closure(majority_coterie(3))
+        assert rounds == 0
+        assert nd == majority_coterie(3)
+
+    def test_grid_closes_to_nd(self):
+        from repro.coteries import grid_coterie
+        from repro.coteries.coterie import nd_closure
+
+        nd, rounds = nd_closure(grid_coterie(2, 2))
+        assert rounds >= 1
+        assert nd.is_nondominated()
+
+    def test_closure_dominates_original(self):
+        from repro.coteries import Coterie
+        from repro.coteries.coterie import nd_closure
+
+        weak = Coterie([{0, 1, 2}], universe={0, 1, 2})
+        nd, _rounds = nd_closure(weak)
+        assert nd.is_nondominated()
+        assert nd.dominates(weak) or nd == weak
+
+
+class TestStreamingTransducers:
+    def test_each_transducer_behaviour(self):
+        from repro.machine import SpaceMeter, StringView
+        from repro.machine.library import (
+            BinaryIncrementTransducer,
+            CopyTransducer,
+            DuplicateTransducer,
+            FilterZerosTransducer,
+            ParityPrefixTransducer,
+            RotateTransducer,
+        )
+
+        meter = SpaceMeter()
+        cases = [
+            (CopyTransducer(), "abc", "abc"),
+            (RotateTransducer(), "abcd", "bcda"),
+            (RotateTransducer(), "", ""),
+            (DuplicateTransducer(), "ab", "aabb"),
+            (BinaryIncrementTransducer(), "0111", "1000"),
+            (BinaryIncrementTransducer(), "111", "1000"),
+            (BinaryIncrementTransducer(), "1010", "1011"),
+            (BinaryIncrementTransducer(), "", "1"),
+            # "101": parities after each char are 1, 1, 0 → pairs
+            # ("1","1"), ("1","0"), ("0","1").
+            (ParityPrefixTransducer(), "101", "111001"),
+            (FilterZerosTransducer(), "10011", "111"),
+        ]
+        for stage, text, expected in cases:
+            assert stage.transduce(StringView(text), meter) == expected, stage.name
+        assert meter.live_bits == 0
+
+    def test_streaming_in_pipeline(self):
+        from repro.machine import Pipeline
+        from repro.machine.library import (
+            BinaryIncrementTransducer,
+            RotateTransducer,
+        )
+
+        pipeline = Pipeline([BinaryIncrementTransducer(), RotateTransducer()])
+        assert pipeline.compute_recomputed("0110") == pipeline.compute_direct(
+            "0110"
+        )
+
+    def test_increment_chain_counts(self):
+        from repro.machine import self_composition
+        from repro.machine.library import BinaryIncrementTransducer
+
+        pipeline = self_composition(BinaryIncrementTransducer(), 3)
+        assert pipeline.compute_recomputed("0000") == "0011"
+
+    def test_output_char_on_streaming(self):
+        from repro.machine import SpaceMeter, StringView
+        from repro.machine.library import DuplicateTransducer
+
+        meter = SpaceMeter()
+        stage = DuplicateTransducer()
+        assert stage.output_char(StringView("xy"), 3, meter) == "y"
+        assert meter.live_bits == 0

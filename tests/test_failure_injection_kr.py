@@ -1,0 +1,197 @@
+"""Failure injection for the knowledge-representation extensions.
+
+Malformed inputs, adversarial oracles, and broken invariants must fail
+loudly with the documented exceptions — never return quietly-wrong
+answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    InvalidInstanceError,
+    ParseError,
+    ReproError,
+    VertexError,
+)
+from repro.hypergraph import Hypergraph
+from repro.logic import HornClause, HornTheory, MonotoneCNF, parse_horn_theory
+from repro.learning import (
+    MembershipOracle,
+    NotMonotoneError,
+    learn_monotone_function,
+)
+from repro.diagnosis import OracleDiagnosisProblem, hs_tree_diagnoses
+from repro.abduction import AbductionProblem
+from repro.envelopes import horn_envelope
+
+
+class TestLearningFailures:
+    def test_not_monotone_error_is_repro_error(self):
+        assert issubclass(NotMonotoneError, ReproError)
+
+    def test_adversarial_oracle_terminates_and_is_detectable(self):
+        # The learner's contract requires a monotone oracle.  On a
+        # non-monotone one it must still terminate (its guards bound the
+        # loop), and the wrongness must be detectable: either a guard
+        # fires, or the learned function provably disagrees with the
+        # oracle — and check_monotone_exhaustive names the violation.
+        def non_monotone(p):
+            return p == frozenset({"a"}) or frozenset({"a", "b"}) <= p
+
+        oracle = MembershipOracle(
+            non_monotone, {"a", "b", "c"}, name="adversarial"
+        )
+        try:
+            learned = learn_monotone_function(oracle, max_iterations=50)
+        except (RuntimeError, ValueError, ReproError):
+            # a guard fired (here: the claimed border family stops being
+            # an antichain, which the engine's simplicity check rejects)
+            return
+        from repro._util import powerset
+
+        disagreements = [
+            p
+            for p in powerset(oracle.universe)
+            if learned.evaluate(p) != non_monotone(p)
+        ]
+        assert disagreements  # cannot have learned a non-monotone function
+        with pytest.raises(NotMonotoneError):
+            oracle.check_monotone_exhaustive()
+
+    def test_oracle_universe_enforced_in_moves(self):
+        from repro.learning import minimize_true_point
+
+        oracle = MembershipOracle(lambda p: True, {"a"}, name="true")
+        with pytest.raises(VertexError):
+            minimize_true_point(oracle, {"a", "zz"})
+
+    def test_constructors_validate_lazily_but_query_strictly(self):
+        oracle = MembershipOracle.from_hypergraph(Hypergraph([{"a"}]))
+        with pytest.raises(VertexError):
+            oracle.query({"b"})
+
+
+class TestDiagnosisFailures:
+    def test_provider_label_meeting_path_rejected(self):
+        problem = OracleDiagnosisProblem.from_conflicts("abc", [{"a", "b"}])
+
+        def bad_provider(prob, path):
+            return frozenset({"a"})  # ignores the path
+
+        with pytest.raises(ValueError):
+            hs_tree_diagnoses(problem, conflict_provider=bad_provider)
+
+    def test_hstree_node_budget(self):
+        problem = OracleDiagnosisProblem.from_conflicts(
+            range(8), [{0, 1}, {2, 3}, {4, 5}, {6, 7}]
+        )
+        with pytest.raises(RuntimeError):
+            hs_tree_diagnoses(problem, max_nodes=2)
+
+    def test_circuit_problem_output_validation(self):
+        from repro.diagnosis import CircuitDiagnosisProblem, full_adder
+
+        with pytest.raises(VertexError):
+            CircuitDiagnosisProblem(
+                full_adder(), {"a": 1, "b": 0, "cin": 0}, {"bogus": True}
+            ).is_faulty_observation()
+
+
+class TestAbductionFailures:
+    def test_nondefinite_theory_blocks_learner_route(self):
+        theory = HornTheory.from_tuples(
+            [(("a",), "q"), (("a", "b"), None)], atoms="abq"
+        )
+        problem = AbductionProblem(theory, hypotheses="ab", query="q")
+        from repro.abduction import minimal_explanations
+
+        with pytest.raises(InvalidInstanceError):
+            minimal_explanations(problem)
+
+    def test_brute_force_still_works_with_constraints(self):
+        from repro.abduction import minimal_explanations_brute_force
+
+        theory = HornTheory.from_tuples(
+            [(("a",), "q"), (("a", "b"), None)], atoms="abq"
+        )
+        problem = AbductionProblem(theory, hypotheses="ab", query="q")
+        expl = minimal_explanations_brute_force(problem)
+        # {a} explains; {a,b} is inconsistent so it is not an explanation
+        assert set(expl.edges) == {frozenset({"a"})}
+
+
+class TestLogicFailures:
+    def test_horn_parser_error_positions(self):
+        with pytest.raises(ParseError):
+            parse_horn_theory("a -> b\nbroken line\n")
+
+    def test_cnf_requires_irredundant_when_asked(self):
+        from repro.errors import NotIrredundantError
+
+        with pytest.raises(NotIrredundantError):
+            MonotoneCNF([{"a"}, {"a", "b"}]).require_irredundant()
+
+    def test_negative_clause_satisfaction_is_strict(self):
+        clause = HornClause(frozenset())  # empty body → ⊥: unsatisfiable
+        assert not clause.satisfied_by(set())
+        theory = HornTheory([clause])
+        assert not theory.is_consistent()
+
+
+class TestEnvelopeFailures:
+    def test_empty_model_family(self):
+        with pytest.raises(InvalidInstanceError):
+            horn_envelope([])
+
+    def test_universe_mismatch(self):
+        with pytest.raises(VertexError):
+            horn_envelope([{"z"}], atoms="ab")
+
+
+class TestTractableFailures:
+    def test_specialised_deciders_reject_wrong_classes(self):
+        from repro.hypergraph import transversal_hypergraph
+        from repro.duality.tractable import (
+            decide_duality_acyclic,
+            decide_duality_graph,
+            decide_duality_threshold,
+        )
+
+        rank3 = Hypergraph([{0, 1, 2}, {2, 3, 4}])
+        h3 = transversal_hypergraph(rank3)
+        with pytest.raises(InvalidInstanceError):
+            decide_duality_graph(rank3, h3)
+        nonuniform = Hypergraph([{0, 1}, {1, 2, 3}])
+        hn = transversal_hypergraph(nonuniform)
+        with pytest.raises(InvalidInstanceError):
+            decide_duality_threshold(nonuniform, hn)
+        from repro.hypergraph.generators import cycle_graph_edges
+
+        cyc = Hypergraph(cycle_graph_edges(4).edges)
+        hc = transversal_hypergraph(cyc)
+        with pytest.raises(InvalidInstanceError):
+            decide_duality_acyclic(cyc, hc)
+
+    def test_dispatcher_never_raises_on_simple_pairs(self):
+        from repro.duality.tractable import decide_duality_tractable
+        from repro.hypergraph import transversal_hypergraph
+
+        for edges in ([{0, 1, 2}, {2, 3, 4}], [{0, 1}], [{0, 1, 2}]):
+            g = Hypergraph(edges)
+            h = transversal_hypergraph(g)
+            assert decide_duality_tractable(g, h).is_dual
+
+
+class TestSelfDualizationFailures:
+    def test_rejects_constants_and_collisions(self):
+        from repro.duality.self_duality import self_dualization
+        from repro.hypergraph import transversal_hypergraph
+
+        g = Hypergraph([{"a", "b"}])
+        h = transversal_hypergraph(g)
+        with pytest.raises(InvalidInstanceError):
+            self_dualization(Hypergraph.trivial_true("ab"), h)
+        with pytest.raises(VertexError):
+            self_dualization(g, h, x="a")

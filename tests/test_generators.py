@@ -1,0 +1,215 @@
+"""Tests for the workload generators (duality status must be as documented)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.hypergraph.generators import (
+    cycle_graph_edges,
+    degenerate_pairs,
+    disjoint_union_pair,
+    graph_cover_pair,
+    hard_nondual_pair,
+    matching,
+    matching_dual,
+    matching_dual_pair,
+    path_graph_edges,
+    perturb_add_foreign_edge,
+    perturb_drop_edge,
+    perturb_enlarge_edge,
+    random_dual_pair,
+    random_simple,
+    random_uniform,
+    self_dual_majority,
+    simple_union_workload,
+    standard_dual_suite,
+    threshold,
+    threshold_dual,
+    threshold_dual_pair,
+)
+
+
+class TestMatching:
+    def test_structure(self):
+        m = matching(3)
+        assert len(m) == 3
+        assert all(len(e) == 2 for e in m.edges)
+        assert m.vertices == set(range(6))
+
+    def test_dual_has_exponential_size(self):
+        for k in range(5):
+            assert len(matching_dual(k)) == 2 ** k
+
+    def test_pair_is_dual(self):
+        for k in range(5):
+            g, h = matching_dual_pair(k)
+            assert transversal_hypergraph(g) == h
+
+    def test_matching_zero(self):
+        g, h = matching_dual_pair(0)
+        assert g.is_trivial_false()
+        assert h.is_trivial_true()
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            matching(-1)
+
+
+class TestThreshold:
+    def test_counts(self):
+        from math import comb
+
+        assert len(threshold(5, 2)) == comb(5, 2)
+
+    def test_default_k_is_majority(self):
+        th = threshold(5)
+        assert all(len(e) == 3 for e in th.edges)
+
+    def test_dual_pair(self):
+        for n in range(1, 7):
+            for k in range(1, n + 1):
+                g, h = threshold_dual_pair(n, k)
+                assert set(transversal_hypergraph(g).edges) == set(h.edges)
+
+    def test_self_dual_majority(self):
+        for n in (1, 3, 5):
+            m = self_dual_majority(n)
+            assert transversal_hypergraph(m) == m
+
+    def test_self_dual_majority_requires_odd(self):
+        with pytest.raises(ValueError):
+            self_dual_majority(4)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            threshold(0)
+        with pytest.raises(ValueError):
+            threshold(3, 5)
+        with pytest.raises(ValueError):
+            threshold_dual(3, 0)
+
+
+class TestGraphFamilies:
+    def test_path_structure(self):
+        p = path_graph_edges(4)
+        assert len(p) == 3
+
+    def test_cycle_structure(self):
+        c = cycle_graph_edges(4)
+        assert len(c) == 4
+
+    def test_cover_pair_is_dual(self):
+        g, h = graph_cover_pair(path_graph_edges(5))
+        assert transversal_hypergraph(g) == h
+
+    def test_cover_pair_rejects_non_graphs(self):
+        with pytest.raises(ValueError):
+            graph_cover_pair(Hypergraph([{1, 2, 3}]))
+
+    def test_small_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            path_graph_edges(1)
+        with pytest.raises(ValueError):
+            cycle_graph_edges(2)
+
+
+class TestRandomFamilies:
+    def test_uniform_is_simple_and_seeded(self):
+        a = random_uniform(8, 3, 5, seed=7)
+        b = random_uniform(8, 3, 5, seed=7)
+        assert a == b
+        assert a.is_simple()
+
+    def test_uniform_size_bound(self):
+        with pytest.raises(ValueError):
+            random_uniform(3, 5, 2)
+
+    def test_random_simple_is_simple(self):
+        for seed in range(5):
+            assert random_simple(8, 6, seed=seed).is_simple()
+
+    def test_random_dual_pair_is_dual(self):
+        g, h = random_dual_pair(6, 4, seed=3)
+        assert transversal_hypergraph(g) == h
+
+
+class TestPerturbations:
+    def test_drop_edge_breaks_duality(self):
+        g, h = matching_dual_pair(3)
+        broken = perturb_drop_edge(h)
+        assert transversal_hypergraph(g) != broken
+
+    def test_drop_edge_requires_edges(self):
+        with pytest.raises(ValueError):
+            perturb_drop_edge(Hypergraph.empty())
+
+    def test_enlarge_edge_breaks_minimality(self):
+        g, h = matching_dual_pair(2)
+        broken = perturb_enlarge_edge(h)
+        assert transversal_hypergraph(g) != broken
+
+    def test_enlarge_edge_requires_edges(self):
+        with pytest.raises(ValueError):
+            perturb_enlarge_edge(Hypergraph.empty())
+
+    def test_add_foreign_edge(self):
+        g, h = matching_dual_pair(2)
+        bigger = perturb_add_foreign_edge(h, g)
+        assert len(bigger) == len(h) + 1 or len(bigger) == len(h)
+
+    def test_hard_nondual_pair(self):
+        g, h = hard_nondual_pair(3)
+        assert transversal_hypergraph(g) != h
+
+
+class TestCompositeWorkloads:
+    def test_disjoint_union_pair_is_dual(self):
+        pair = disjoint_union_pair(matching_dual_pair(2), threshold_dual_pair(3, 2))
+        g, h = pair
+        assert set(transversal_hypergraph(g).edges) == set(h.edges)
+
+    def test_simple_union_workload_is_dual(self):
+        g, h = simple_union_workload(2, 3)
+        assert set(transversal_hypergraph(g).edges) == set(h.edges)
+
+    def test_standard_suite_all_dual(self):
+        for name, g, h in standard_dual_suite(max_matching=4, max_threshold=5):
+            assert set(transversal_hypergraph(g).edges) == set(h.edges), name
+
+    def test_degenerate_pairs_statuses(self):
+        for name, g, h, expected in degenerate_pairs():
+            actual = transversal_hypergraph(g.minimized()) == h.minimized()
+            assert actual == expected, name
+
+
+class TestAcyclicChain:
+    def test_shape_and_acyclicity(self):
+        from repro.hypergraph.generators import acyclic_chain
+        from repro.hypergraph.structure import is_alpha_acyclic
+
+        for k in (1, 2, 4):
+            g = acyclic_chain(k)
+            assert len(g) == k
+            assert is_alpha_acyclic(g)
+            assert len(g.vertices) == 2 * k + 1
+
+    def test_prefix_namespacing(self):
+        from repro.hypergraph.generators import acyclic_chain
+
+        left = acyclic_chain(2, prefix="L.")
+        right = acyclic_chain(2, prefix="R.")
+        assert not (left.vertices & right.vertices)
+
+    def test_rejects_nonpositive(self):
+        from repro.hypergraph.generators import acyclic_chain
+
+        with pytest.raises(ValueError):
+            acyclic_chain(0)
+
+    def test_dual_pair(self):
+        from repro.hypergraph import transversal_hypergraph
+        from repro.hypergraph.generators import acyclic_dual_pair
+
+        g, h = acyclic_dual_pair(3)
+        assert h == transversal_hypergraph(g)

@@ -1,0 +1,116 @@
+"""Tests for :mod:`repro.keys.horn_bridge` — FDs ⟷ definite Horn theories."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.keys.fd import FDSchema, fd
+from repro.keys.horn_bridge import (
+    characteristic_closed_sets,
+    closed_sets_are_horn_models,
+    closures_agree,
+    fd_schema_to_horn,
+    horn_to_fd_schema,
+)
+from repro.logic import HornTheory, intersection_closure
+
+
+def sample_schema() -> FDSchema:
+    """The classic (city, street → zip; zip → city) style schema."""
+    return FDSchema(
+        "abcd",
+        [fd("ab", "c"), fd("c", "a"), fd("d", "bc")],
+    )
+
+
+class TestTranslation:
+    def test_clause_per_rhs_atom(self):
+        theory = fd_schema_to_horn(sample_schema())
+        # ab→c (1) + c→a (1) + d→bc (2) = 4 clauses
+        assert len(theory) == 4
+        assert theory.is_definite()
+        assert theory.atoms == frozenset("abcd")
+
+    def test_tautological_rhs_dropped(self):
+        schema = FDSchema("ab", [fd("ab", "ab")])
+        theory = fd_schema_to_horn(schema)
+        assert len(theory) == 0  # X → X carries no information
+
+    def test_roundtrip_preserves_semantics(self):
+        schema = sample_schema()
+        back = horn_to_fd_schema(fd_schema_to_horn(schema))
+        from repro._util import powerset
+
+        for attrs in powerset(schema.attributes):
+            assert schema.closure(attrs) == back.closure(attrs)
+
+    def test_negative_clauses_rejected(self):
+        from repro.logic import HornClause
+
+        theory = HornTheory([HornClause({"a"}, "b"), HornClause({"b"})])
+        with pytest.raises(InvalidInstanceError):
+            horn_to_fd_schema(theory)
+
+    def test_facts_translate_to_empty_lhs(self):
+        theory = HornTheory.from_tuples([((), "a")], atoms="ab")
+        schema = horn_to_fd_schema(theory)
+        assert schema.closure(()) == frozenset({"a"})
+
+
+class TestSemanticsBridge:
+    def test_closures_agree_on_sample(self):
+        schema = sample_schema()
+        from repro._util import powerset
+
+        for attrs in powerset(schema.attributes):
+            assert closures_agree(schema, attrs)
+
+    def test_closed_sets_are_models(self):
+        assert closed_sets_are_horn_models(sample_schema())
+
+    def test_closed_sets_are_intersection_closed(self):
+        schema = sample_schema()
+        closed = schema.closed_sets()
+        assert intersection_closure(closed) == set(closed)
+
+    def test_characteristic_sets_generate_all_closed_sets(self):
+        schema = sample_schema()
+        chars = characteristic_closed_sets(schema)
+        assert intersection_closure(chars) == set(schema.closed_sets())
+        # every characteristic set is closed
+        for s in chars:
+            assert schema.is_closed(s)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.frozensets(st.sampled_from("abcd"), min_size=1, max_size=2),
+                st.frozensets(st.sampled_from("abcd"), min_size=1, max_size=2),
+            ),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bridge_on_random_schemas(self, dep_specs):
+        schema = FDSchema(
+            "abcd",
+            [fd(lhs, rhs) for lhs, rhs in dep_specs],
+        )
+        assert closed_sets_are_horn_models(schema)
+        from repro._util import powerset
+
+        for attrs in list(powerset(schema.attributes))[:8]:
+            assert closures_agree(schema, attrs)
+
+    def test_keys_via_horn_closure(self):
+        # candidate keys = minimal sets whose Horn closure is everything
+        schema = sample_schema()
+        theory = fd_schema_to_horn(schema)
+        keys = schema.candidate_keys()
+        for key in keys.edges:
+            assert theory.closure(key) == schema.attributes
+            for attr in key:
+                assert theory.closure(key - {attr}) != schema.attributes

@@ -1,0 +1,180 @@
+"""Unit tests for :mod:`repro.hypergraph.hypergraph`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.errors import NotSimpleError, VertexError
+from repro.hypergraph import Hypergraph
+
+from tests.conftest import hypergraphs
+
+
+class TestConstruction:
+    def test_edges_are_frozensets_in_canonical_order(self):
+        hg = Hypergraph([[3, 1], [2], [1, 2]])
+        assert hg.edges == (frozenset({2}), frozenset({1, 2}), frozenset({1, 3}))
+
+    def test_duplicate_edges_collapse(self):
+        hg = Hypergraph([{1, 2}, {2, 1}, [1, 2]])
+        assert len(hg) == 1
+
+    def test_default_universe_is_union_of_edges(self):
+        hg = Hypergraph([{1, 2}, {3}])
+        assert hg.vertices == {1, 2, 3}
+
+    def test_explicit_universe_may_add_isolated_vertices(self):
+        hg = Hypergraph([{1}], vertices={1, 2, 3})
+        assert hg.vertices == {1, 2, 3}
+        assert hg.has_isolated_vertices()
+
+    def test_universe_must_cover_edges(self):
+        with pytest.raises(VertexError):
+            Hypergraph([{1, 9}], vertices={1, 2})
+
+    def test_empty_hypergraph(self):
+        hg = Hypergraph.empty()
+        assert len(hg) == 0
+        assert hg.is_trivial_false()
+        assert not hg.is_trivial_true()
+
+    def test_trivial_true_hypergraph(self):
+        hg = Hypergraph.trivial_true()
+        assert len(hg) == 1
+        assert hg.is_trivial_true()
+        assert not hg.is_trivial_false()
+
+    def test_singletons_constructor(self):
+        hg = Hypergraph.singletons({1, 2, 3})
+        assert set(hg.edges) == {frozenset({1}), frozenset({2}), frozenset({3})}
+
+    def test_single_edge_constructor(self):
+        hg = Hypergraph.single_edge({1, 2})
+        assert hg.edges == (frozenset({1, 2}),)
+
+    def test_string_vertices_supported(self):
+        hg = Hypergraph([{"a", "b"}, {"c"}])
+        assert hg.vertices == {"a", "b", "c"}
+
+    def test_mixed_vertex_types_have_deterministic_order(self):
+        hg1 = Hypergraph([{"a", 1}, {2}])
+        hg2 = Hypergraph([{2}, {1, "a"}])
+        assert hg1.edges == hg2.edges
+
+
+class TestProtocol:
+    def test_equality_includes_universe(self):
+        assert Hypergraph([{1}]) != Hypergraph([{1}], vertices={1, 2})
+        assert Hypergraph([{1}]) == Hypergraph([{1}])
+
+    def test_hashable_and_usable_in_sets(self):
+        a = Hypergraph([{1, 2}])
+        b = Hypergraph([{2, 1}])
+        assert len({a, b}) == 1
+
+    def test_contains_checks_edges(self):
+        hg = Hypergraph([{1, 2}])
+        assert {1, 2} in hg
+        assert [2, 1] in hg
+        assert {1} not in hg
+
+    def test_iteration_yields_edges(self):
+        hg = Hypergraph([{1}, {2, 3}])
+        assert list(hg) == [frozenset({1}), frozenset({2, 3})]
+
+    def test_repr_is_stable(self):
+        hg = Hypergraph([{2, 1}])
+        assert repr(hg) == repr(Hypergraph([{1, 2}]))
+
+
+class TestPredicates:
+    def test_simple_detection(self):
+        assert Hypergraph([{1}, {2, 3}]).is_simple()
+        assert not Hypergraph([{1}, {1, 2}]).is_simple()
+
+    def test_empty_edge_breaks_simplicity_with_other_edges(self):
+        assert not Hypergraph([set(), {1}]).is_simple()
+        assert Hypergraph([set()]).is_simple()
+
+    def test_require_simple_raises(self):
+        with pytest.raises(NotSimpleError):
+            Hypergraph([{1}, {1, 2}]).require_simple()
+
+    def test_require_simple_returns_self(self):
+        hg = Hypergraph([{1}, {2}])
+        assert hg.require_simple() is hg
+
+    def test_rank_and_sizes(self):
+        hg = Hypergraph([{1}, {1, 2, 3}])
+        assert hg.rank() == 3
+        assert hg.edge_sizes() == (1, 3)
+        assert Hypergraph.empty().rank() == 0
+
+    def test_degrees(self):
+        hg = Hypergraph([{1, 2}, {1, 3}], vertices={1, 2, 3, 4})
+        assert hg.degree(1) == 2
+        assert hg.degree(4) == 0
+        assert hg.degrees() == {1: 2, 2: 1, 3: 1, 4: 0}
+
+    def test_degree_of_unknown_vertex_raises(self):
+        with pytest.raises(VertexError):
+            Hypergraph([{1}]).degree(99)
+
+    def test_volume(self):
+        g = Hypergraph([{1}, {2}])
+        h = Hypergraph([{1, 2}])
+        assert g.volume(h) == 2
+
+
+class TestDerivations:
+    def test_minimized_removes_supersets(self):
+        hg = Hypergraph([{1}, {1, 2}, {2, 3}])
+        assert set(hg.minimized().edges) == {frozenset({1}), frozenset({2, 3})}
+
+    def test_minimized_preserves_universe(self):
+        hg = Hypergraph([{1}, {1, 2}], vertices={1, 2, 9})
+        assert hg.minimized().vertices == {1, 2, 9}
+
+    def test_with_vertices_extends_universe(self):
+        hg = Hypergraph([{1}]).with_vertices({1, 2})
+        assert hg.vertices == {1, 2}
+
+    def test_without_isolated_vertices(self):
+        hg = Hypergraph([{1}], vertices={1, 2})
+        assert hg.without_isolated_vertices().vertices == {1}
+
+    def test_lexicographically_first_edge(self):
+        hg = Hypergraph([{2, 3}, {1, 4}])
+        first = hg.lexicographically_first_edge(hg.edges)
+        assert first == frozenset({1, 4})
+
+    def test_lexicographically_first_edge_empty_candidates(self):
+        with pytest.raises(ValueError):
+            Hypergraph([{1}]).lexicographically_first_edge([])
+
+
+class TestPropertyBased:
+    @given(hypergraphs())
+    def test_minimized_is_simple(self, hg):
+        assert hg.minimized().is_simple()
+
+    @given(hypergraphs())
+    def test_minimized_is_idempotent(self, hg):
+        once = hg.minimized()
+        assert once.minimized() == once
+
+    @given(hypergraphs())
+    def test_minimized_edges_are_subset_of_original(self, hg):
+        assert set(hg.minimized().edges) <= set(hg.edges)
+
+    @given(hypergraphs())
+    def test_every_original_edge_contains_a_minimized_edge(self, hg):
+        mini = set(hg.minimized().edges)
+        for edge in hg.edges:
+            assert any(m <= edge for m in mini)
+
+    @given(hypergraphs())
+    def test_canonical_order_is_reproducible(self, hg):
+        rebuilt = Hypergraph(reversed(hg.edges), vertices=hg.vertices)
+        assert rebuilt.edges == hg.edges

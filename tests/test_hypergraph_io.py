@@ -1,0 +1,68 @@
+"""Tests for the ``.hg`` text format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.errors import ParseError
+from repro.hypergraph import Hypergraph
+from repro.hypergraph import io as hgio
+
+from tests.conftest import hypergraphs
+
+
+class TestLoads:
+    def test_basic(self):
+        hg = hgio.loads("1 2\n3\n")
+        assert set(hg.edges) == {frozenset({1, 2}), frozenset({3})}
+
+    def test_comments_and_blanks(self):
+        hg = hgio.loads("# heading\n\n1 2\n  # inline\n3\n")
+        assert len(hg) == 2
+
+    def test_empty_edge_token(self):
+        hg = hgio.loads("-\n")
+        assert hg.is_trivial_true()
+
+    def test_universe_directive(self):
+        hg = hgio.loads("% vertices: 1 2 3\n1 2\n")
+        assert hg.vertices == {1, 2, 3}
+
+    def test_string_tokens(self):
+        hg = hgio.loads("alice bob\n")
+        assert set(hg.edges) == {frozenset({"alice", "bob"})}
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ParseError):
+            hgio.loads("% foo: bar\n")
+
+    def test_edges_outside_universe_rejected(self):
+        with pytest.raises(ParseError):
+            hgio.loads("% vertices: 1\n1 2\n")
+
+    def test_empty_text_gives_empty_hypergraph(self):
+        assert hgio.loads("").is_trivial_false()
+
+
+class TestRoundTrip:
+    def test_dump_load_file(self, tmp_path):
+        hg = Hypergraph([{1, 2}, {3}], vertices={1, 2, 3, 4})
+        path = tmp_path / "g.hg"
+        hgio.dump(hg, path)
+        assert hgio.load(path) == hg
+
+    def test_many(self, tmp_path):
+        hgs = [Hypergraph([{1}]), Hypergraph([{2, 3}])]
+        path = tmp_path / "many.hg"
+        hgio.dump_many(hgs, path)
+        assert hgio.load_many(path) == hgs
+
+    @given(hypergraphs())
+    def test_text_roundtrip_preserves_everything(self, hg):
+        assert hgio.loads(hgio.dumps(hg)) == hg
+
+    def test_without_universe_loses_isolated_vertices(self):
+        hg = Hypergraph([{1}], vertices={1, 2})
+        back = hgio.loads(hgio.dumps(hg, include_universe=False))
+        assert back.vertices == {1}

@@ -1,0 +1,174 @@
+"""Tests for Proposition 1.1: identification via Dual, and the enumerator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InconsistentBorderError
+from repro.hypergraph import Hypergraph
+from repro.itemsets import (
+    BooleanRelation,
+    additional_itemsets_exist,
+    borders,
+    decide_identification,
+    enumerate_borders,
+    seed_maximal_frequent,
+    validate_claimed_borders,
+)
+from repro.itemsets.datasets import (
+    contrast_pair,
+    dense_random,
+    market_basket,
+    planted_borders,
+    single_pattern,
+)
+
+METHODS = ("bm", "fk-a", "fk-b", "logspace", "guess-check", "transversal")
+
+
+@pytest.fixture
+def planted():
+    rel, z, expected = planted_borders(n_items=6, z=2, seed=7)
+    is_plus, is_minus = borders(rel, z)
+    return rel, z, is_plus, is_minus
+
+
+class TestCompleteBorders:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_complete_is_recognised(self, planted, method):
+        rel, z, is_plus, is_minus = planted
+        outcome = decide_identification(rel, z, is_minus, is_plus, method=method)
+        assert outcome.complete
+        assert outcome.new_maximal_frequent is None
+        assert outcome.new_minimal_infrequent is None
+
+    def test_boundary_threshold_case(self):
+        rel, _ = single_pattern(n_items=4, z=1)
+        z = len(rel)
+        outcome = decide_identification(
+            rel,
+            z,
+            Hypergraph([frozenset()], vertices=rel.items),
+            Hypergraph.empty(rel.items),
+        )
+        assert outcome.complete
+
+
+class TestIncompleteBorders:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_missing_frequent_set_found(self, planted, method):
+        rel, z, is_plus, is_minus = planted
+        partial = Hypergraph(list(is_plus.edges)[:-1], vertices=rel.items)
+        outcome = decide_identification(rel, z, is_minus, partial, method=method)
+        assert not outcome.complete
+        new_set = outcome.new_maximal_frequent or outcome.new_minimal_infrequent
+        assert new_set is not None
+        if outcome.new_maximal_frequent is not None:
+            assert outcome.new_maximal_frequent in set(is_plus.edges)
+            assert outcome.new_maximal_frequent not in set(partial.edges)
+        else:
+            assert outcome.new_minimal_infrequent in set(is_minus.edges)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_missing_infrequent_set_found(self, planted, method):
+        rel, z, is_plus, is_minus = planted
+        if len(is_minus) == 0:
+            pytest.skip("no infrequent border to remove")
+        partial = Hypergraph(list(is_minus.edges)[:-1], vertices=rel.items)
+        outcome = decide_identification(rel, z, partial, is_plus, method=method)
+        assert not outcome.complete
+        if outcome.new_minimal_infrequent is not None:
+            assert outcome.new_minimal_infrequent in set(is_minus.edges)
+            assert outcome.new_minimal_infrequent not in set(partial.edges)
+        else:
+            assert outcome.new_maximal_frequent in set(is_plus.edges)
+
+    def test_empty_claims(self, planted):
+        rel, z, is_plus, is_minus = planted
+        outcome = decide_identification(
+            rel,
+            z,
+            Hypergraph.empty(rel.items),
+            Hypergraph.empty(rel.items),
+        )
+        assert not outcome.complete
+
+    def test_boolean_view(self, planted):
+        rel, z, is_plus, is_minus = planted
+        assert not additional_itemsets_exist(rel, z, is_minus, is_plus)
+        partial = Hypergraph(list(is_plus.edges)[:-1], vertices=rel.items)
+        assert additional_itemsets_exist(rel, z, is_minus, partial)
+
+
+class TestValidation:
+    def test_infrequent_claimed_as_frequent(self, planted):
+        rel, z, is_plus, is_minus = planted
+        bogus = Hypergraph([rel.items], vertices=rel.items)
+        if (frozenset(rel.items),) == tuple(is_plus.edges):
+            pytest.skip("full set genuinely frequent here")
+        with pytest.raises(InconsistentBorderError):
+            validate_claimed_borders(rel, z, is_minus, bogus)
+
+    def test_non_maximal_claim(self, planted):
+        rel, z, is_plus, is_minus = planted
+        biggest = max(is_plus.edges, key=len)
+        if not biggest:
+            pytest.skip("maximal frequent set is empty")
+        shrunk = Hypergraph([set(list(biggest)[:-1])], vertices=rel.items)
+        with pytest.raises(InconsistentBorderError):
+            validate_claimed_borders(rel, z, Hypergraph.empty(rel.items), shrunk)
+
+    def test_unknown_items_rejected(self, planted):
+        rel, z, is_plus, is_minus = planted
+        alien = Hypergraph([{"zz"}], vertices=set(rel.items) | {"zz"})
+        with pytest.raises(InconsistentBorderError):
+            validate_claimed_borders(rel, z, alien, is_plus)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize(
+        "maker, z",
+        [
+            (lambda: market_basket(n_items=7, n_rows=25, seed=11), 5),
+            (lambda: dense_random(n_items=6, n_rows=18, density=0.5, seed=3), 4),
+            (lambda: contrast_pair(n_items=7, seed=4)[0], 2),
+        ],
+    )
+    def test_enumerates_exact_borders(self, maker, z):
+        rel = maker()
+        expected = borders(rel, z)
+        is_plus, is_minus, trace = enumerate_borders(rel, z, method="bm")
+        assert (is_plus, is_minus) == expected
+        # The trace adds exactly the non-seed border sets.
+        assert trace.additions() == len(is_plus) + len(is_minus) - 1
+
+    def test_seed(self):
+        rel = market_basket(n_items=6, n_rows=20, seed=13)
+        seed = seed_maximal_frequent(rel, 4)
+        from repro.itemsets import is_frequent
+
+        assert seed is not None
+        assert is_frequent(rel, seed, 4)
+
+    def test_seed_none_when_everything_infrequent(self):
+        rel, _ = single_pattern(n_items=3, z=1)
+        assert seed_maximal_frequent(rel, len(rel)) is None
+
+    def test_degenerate_enumeration(self):
+        rel, _ = single_pattern(n_items=3, z=1)
+        is_plus, is_minus, trace = enumerate_borders(rel, len(rel))
+        assert is_plus.is_trivial_false()
+        assert set(is_minus.edges) == {frozenset()}
+        assert trace.additions() == 0
+
+    def test_iteration_guard(self):
+        rel = market_basket(n_items=6, n_rows=20, seed=17)
+        with pytest.raises(RuntimeError):
+            enumerate_borders(rel, 4, max_iterations=1)
+
+    @pytest.mark.parametrize("method", ("fk-b", "logspace"))
+    def test_engine_choice_does_not_change_result(self, method):
+        rel = market_basket(n_items=6, n_rows=20, seed=19)
+        z = 4
+        reference = enumerate_borders(rel, z, method="bm")[:2]
+        assert enumerate_borders(rel, z, method=method)[:2] == reference

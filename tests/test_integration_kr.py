@@ -1,0 +1,181 @@
+"""Cross-subsystem integration flows for the knowledge-representation stack.
+
+Each test chains several of the new packages end to end, the way the
+paper's Section 1 presents them: everything is the same ``Dual``
+problem wearing different clothes, so artifacts must convert between
+the domains losslessly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dnf import MonotoneDNF, parse_dnf
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.hypergraph.dfs_enumeration import transversal_hypergraph_dfs
+from repro.duality import decide_duality
+from repro.duality.self_duality import (
+    coterie_from_dual_pair,
+    self_dualization,
+)
+from repro.abduction import (
+    AbductionProblem,
+    maximal_non_explanations,
+    minimal_explanations,
+    verify_explanation_completeness,
+)
+from repro.diagnosis import (
+    CircuitDiagnosisProblem,
+    full_adder,
+    minimal_conflicts,
+    minimal_diagnoses,
+    verify_diagnosis_completeness,
+)
+from repro.envelopes import horn_envelope, models_of_envelope
+from repro.learning import MembershipOracle, learn_monotone_function
+from repro.logic import (
+    HornTheory,
+    decide_cnf_dnf_equivalence,
+    intersection_closure,
+)
+
+
+class TestLearnThenDualize:
+    """Oracle → learned borders → CNF/DNF → duality engines."""
+
+    def test_learned_forms_cross_all_formulations(self):
+        hidden = parse_dnf("a b | b c | c d")
+        learned = learn_monotone_function(MembershipOracle.from_dnf(hidden))
+        dnf, cnf = learned.dnf(), learned.cnf()
+        # formula-level equivalence = Dual, on three engines
+        for method in ("transversal", "bm", "logspace"):
+            assert decide_cnf_dnf_equivalence(cnf, dnf, method=method).is_dual
+        # hypergraph-level: MTP = tr(clause hypergraph)
+        assert learned.minimal_true_points == transversal_hypergraph(
+            cnf.hypergraph().with_vertices(dnf.variables)
+        )
+
+    def test_learned_pair_builds_nd_coterie(self):
+        hidden = parse_dnf("a b | b c")
+        learned = learn_monotone_function(MembershipOracle.from_dnf(hidden))
+        g = learned.cnf().hypergraph().with_vertices(hidden.variables)
+        h = learned.minimal_true_points
+        coterie = coterie_from_dual_pair(g, h)
+        assert coterie.is_nondominated()
+
+    def test_relearning_learned_function_is_fixpoint(self):
+        hidden = parse_dnf("a b | c")
+        first = learn_monotone_function(MembershipOracle.from_dnf(hidden))
+        second = learn_monotone_function(
+            MembershipOracle.from_dnf(first.dnf())
+        )
+        assert second.minimal_true_points == first.minimal_true_points
+        assert second.maximal_false_points == first.maximal_false_points
+
+
+class TestDiagnosisAsLearning:
+    """Diagnosis = border learning of the conflict predicate."""
+
+    def test_conflicts_learned_equal_diagnosis_pipeline(self):
+        problem = CircuitDiagnosisProblem.observe_fault(
+            full_adder(), {"a": 1, "b": 1, "cin": 1}, {"o1": False}
+        )
+        if not problem.is_faulty_observation():
+            pytest.skip("observation consistent for this input vector")
+        conflicts = minimal_conflicts(problem)
+        diagnoses = minimal_diagnoses(
+            CircuitDiagnosisProblem.observe_fault(
+                full_adder(), {"a": 1, "b": 1, "cin": 1}, {"o1": False}
+            ),
+            "hstree",
+        )
+        # three formulations of the same statement:
+        assert diagnoses == transversal_hypergraph(conflicts).with_vertices(
+            diagnoses.vertices
+        )
+        assert diagnoses == transversal_hypergraph_dfs(
+            conflicts
+        ).with_vertices(diagnoses.vertices)
+        assert verify_diagnosis_completeness(
+            conflicts, diagnoses, method="dfs-enum"
+        ).is_dual
+
+
+class TestAbductionEnvelopeRoundtrip:
+    """Horn theory → models → envelope → same abduction answers."""
+
+    def test_envelope_preserves_explanations(self):
+        theory = HornTheory.from_tuples(
+            [
+                (("rain",), "wet"),
+                (("sprinkler",), "wet"),
+                (("wet",), "slippery"),
+            ],
+            atoms=["rain", "sprinkler", "wet", "slippery"],
+        )
+        # the envelope of a Horn theory's models is an equivalent theory
+        models = theory.models()
+        envelope = horn_envelope(models, atoms=theory.atoms)
+        assert set(envelope.models()) == set(models)
+        for factory_theory in (theory, envelope):
+            problem = AbductionProblem(
+                factory_theory,
+                hypotheses={"rain", "sprinkler"},
+                query="slippery",
+            )
+            expl = minimal_explanations_safe(problem)
+            assert set(expl.edges) == {
+                frozenset({"rain"}),
+                frozenset({"sprinkler"}),
+            }
+
+    def test_explanation_borders_via_every_engine_family(self):
+        theory = HornTheory.from_tuples(
+            [(("a",), "q"), (("b", "c"), "q")], atoms="abcq"
+        )
+        problem = AbductionProblem(theory, hypotheses="abc", query="q")
+        expl = minimal_explanations(problem)
+        non = maximal_non_explanations(problem)
+        for method in ("transversal", "bm", "logspace", "dfs-enum", "tractable"):
+            assert verify_explanation_completeness(
+                problem, expl, non, method=method
+            ).is_dual
+
+
+def minimal_explanations_safe(problem: AbductionProblem) -> Hypergraph:
+    """Learner route when definite, brute force otherwise."""
+    from repro.abduction import minimal_explanations_brute_force
+
+    if problem.theory.is_definite():
+        return minimal_explanations(problem)
+    return minimal_explanations_brute_force(problem)
+
+
+class TestSelfDualizationPipeline:
+    """Dual pair → self-dual hypergraph → coterie → availability story."""
+
+    def test_full_chain(self):
+        from repro.coteries import availability
+
+        g = Hypergraph([{"a", "b"}, {"b", "c"}])
+        h = transversal_hypergraph(g)
+        assert decide_duality(g, h, method="tractable").is_dual
+        reduced = self_dualization(g, h)
+        # self-dual on every engine
+        for method in ("transversal", "bm", "dfs-enum"):
+            assert decide_duality(reduced, reduced, method=method).is_dual
+        coterie = coterie_from_dual_pair(g, h)
+        value = availability(coterie, 0.9)
+        assert 0.0 < value <= 1.0
+
+    def test_envelope_of_selfdual_models(self):
+        # the model set of a monotone self-dual function is generally
+        # NOT intersection-closed; its envelope strictly grows
+        g = Hypergraph([{"a", "b"}, {"b", "c"}, {"a", "c"}])  # majority-3
+        dnf = MonotoneDNF.from_hypergraph(g)
+        from repro._util import powerset
+
+        models = [p for p in powerset(g.vertices) if dnf.evaluate(p)]
+        closed = intersection_closure(models)
+        assert set(models) < closed
+        assert models_of_envelope(models, atoms=g.vertices) == closed

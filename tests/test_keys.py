@@ -1,0 +1,197 @@
+"""Tests for minimal keys, Prop. 1.2, FDs and Armstrong relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.hypergraph import Hypergraph
+from repro.keys import (
+    FDSchema,
+    RelationalInstance,
+    agree_sets,
+    armstrong_relation,
+    decide_additional_key,
+    difference_hypergraph,
+    enumerate_minimal_keys_incrementally,
+    fd,
+    is_key,
+    is_minimal_key,
+    minimal_keys,
+    minimal_keys_brute_force,
+    satisfied_closure_matches,
+    satisfies,
+    validate_claimed_keys,
+)
+
+
+@pytest.fixture
+def instance() -> RelationalInstance:
+    return RelationalInstance(
+        [
+            {"A": 1, "B": 1, "C": 1, "D": 0},
+            {"A": 1, "B": 2, "C": 1, "D": 1},
+            {"A": 2, "B": 1, "C": 2, "D": 0},
+            {"A": 2, "B": 2, "C": 1, "D": 0},
+        ]
+    )
+
+
+class TestRelationalInstance:
+    def test_rows_aligned_with_attributes(self, instance):
+        assert instance.attributes == ("A", "B", "C", "D")
+        assert len(instance) == 4
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            RelationalInstance([{"A": 1}, {"B": 2}])
+
+    def test_duplicate_tuples_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            RelationalInstance([{"A": 1}, {"A": 1}])
+
+    def test_empty_needs_attributes(self):
+        with pytest.raises(InvalidInstanceError):
+            RelationalInstance([])
+        inst = RelationalInstance([], attributes=("A",))
+        assert inst.attributes == ("A",)
+
+    def test_column(self, instance):
+        assert instance.column("A") == (1, 1, 2, 2)
+
+    def test_projection_distinguishes(self, instance):
+        assert instance.projection_distinguishes({"A", "B"})
+        assert not instance.projection_distinguishes({"A"})
+
+
+class TestKeys:
+    def test_difference_hypergraph_is_simple_nonempty_edges(self, instance):
+        diff = difference_hypergraph(instance)
+        assert diff.is_simple()
+        assert all(edge for edge in diff.edges)
+
+    def test_is_key_definition(self, instance):
+        assert is_key(instance, {"A", "B"})
+        assert not is_key(instance, {"C", "D"})
+
+    def test_minimal_key_definition(self, instance):
+        assert is_minimal_key(instance, {"A", "B"})
+        assert not is_minimal_key(instance, {"A", "B", "C"})
+
+    def test_transversal_characterisation(self, instance):
+        assert minimal_keys(instance) == minimal_keys_brute_force(instance)
+
+    def test_single_row_instance_has_empty_key(self):
+        inst = RelationalInstance([{"A": 1, "B": 2}])
+        keys = minimal_keys(inst)
+        assert set(keys.edges) == {frozenset()}
+
+    def test_every_attribute_distinct_instance(self):
+        inst = RelationalInstance(
+            [{"A": i, "B": i % 2} for i in range(4)]
+        )
+        keys = minimal_keys(inst)
+        assert set(keys.edges) == {frozenset({"A"})}
+
+
+class TestAdditionalKey:
+    @pytest.mark.parametrize("method", ("bm", "fk-b", "logspace", "transversal"))
+    def test_complete_set_recognised(self, instance, method):
+        keys = minimal_keys(instance)
+        outcome = decide_additional_key(instance, keys, method=method)
+        assert not outcome.exists
+        assert outcome.new_key is None
+
+    @pytest.mark.parametrize("method", ("bm", "fk-b", "logspace", "transversal"))
+    def test_missing_key_found(self, instance, method):
+        keys = minimal_keys(instance)
+        partial = Hypergraph(
+            list(keys.edges)[:-1], vertices=instance.attributes
+        )
+        outcome = decide_additional_key(instance, partial, method=method)
+        assert outcome.exists
+        assert outcome.new_key in set(keys.edges)
+        assert outcome.new_key not in set(partial.edges)
+
+    def test_claimed_non_key_rejected(self, instance):
+        bogus = Hypergraph([{"C"}], vertices=instance.attributes)
+        with pytest.raises(InvalidInstanceError):
+            decide_additional_key(instance, bogus)
+
+    def test_claimed_non_minimal_key_rejected(self, instance):
+        bogus = Hypergraph([{"A", "B", "C"}], vertices=instance.attributes)
+        with pytest.raises(InvalidInstanceError):
+            validate_claimed_keys(instance, bogus)
+
+    def test_incremental_enumeration(self, instance):
+        keys = enumerate_minimal_keys_incrementally(instance)
+        assert set(keys) == set(minimal_keys(instance).edges)
+
+
+class TestFDSchema:
+    @pytest.fixture
+    def schema(self) -> FDSchema:
+        return FDSchema("ABCD", [fd("A", "B"), fd("BC", "D")])
+
+    def test_closure(self, schema):
+        assert schema.closure({"A"}) == {"A", "B"}
+        assert schema.closure({"A", "C"}) == {"A", "B", "C", "D"}
+
+    def test_implies(self, schema):
+        assert schema.implies(fd("AC", "D"))
+        assert not schema.implies(fd("B", "A"))
+
+    def test_closed_sets(self, schema):
+        closed = schema.closed_sets()
+        assert frozenset() in closed
+        assert frozenset("ABCD") in closed
+        assert frozenset("A") not in closed
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            FDSchema("AB", [fd("A", "Z")])
+
+    def test_candidate_keys_match_brute_force(self, schema):
+        assert schema.candidate_keys() == schema.candidate_keys_brute_force()
+
+    def test_candidate_keys_trivial_schema(self):
+        schema = FDSchema("AB", [fd("", "AB")])
+        keys = schema.candidate_keys()
+        assert set(keys.edges) == {frozenset()}
+
+    def test_is_superkey(self, schema):
+        assert schema.is_superkey({"A", "C"})
+        assert not schema.is_superkey({"A", "B"})
+
+
+class TestArmstrong:
+    @pytest.mark.parametrize(
+        "attrs, deps",
+        [
+            ("ABC", [("A", "B")]),
+            ("ABCD", [("A", "B"), ("BC", "D")]),
+            ("ABC", [("AB", "C"), ("C", "A")]),
+            ("AB", []),
+        ],
+    )
+    def test_armstrong_property(self, attrs, deps):
+        schema = FDSchema(attrs, [fd(l, r) for l, r in deps])
+        relation = armstrong_relation(schema)
+        assert satisfied_closure_matches(relation, schema)
+
+    def test_satisfies(self):
+        schema = FDSchema("ABC", [fd("A", "B")])
+        relation = armstrong_relation(schema)
+        assert satisfies(relation, fd("A", "B"))
+        assert not satisfies(relation, fd("B", "A"))
+
+    def test_agree_sets_are_closed(self):
+        schema = FDSchema("ABCD", [fd("A", "B"), fd("BC", "D")])
+        relation = armstrong_relation(schema)
+        for agreement in agree_sets(relation):
+            assert schema.is_closed(agreement)
+
+    def test_armstrong_keys_match_schema_keys(self):
+        schema = FDSchema("ABC", [fd("A", "BC")])
+        relation = armstrong_relation(schema)
+        assert minimal_keys(relation) == schema.candidate_keys()

@@ -1,0 +1,284 @@
+"""Tests for :mod:`repro.learning` — membership-query exact learning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnf import MonotoneDNF, parse_dnf
+from repro.errors import VertexError
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.hypergraph.generators import matching, threshold
+from repro.hypergraph.operations import complement_family
+from repro.learning import (
+    MembershipOracle,
+    NotMonotoneError,
+    learn_monotone_function,
+    maximize_false_point,
+    minimize_true_point,
+)
+from repro.logic import decide_cnf_dnf_equivalence
+
+
+def brute_force_borders(
+    dnf: MonotoneDNF,
+) -> tuple[set[frozenset], set[frozenset]]:
+    """(minimal true points, maximal false points) by exhaustive scan."""
+    from repro._util import maximize_family, minimize_family, powerset
+
+    true_points = [p for p in powerset(dnf.variables) if dnf.evaluate(p)]
+    false_points = [p for p in powerset(dnf.variables) if not dnf.evaluate(p)]
+    return set(minimize_family(true_points)), set(maximize_family(false_points))
+
+
+# ----------------------------------------------------------------------
+# MembershipOracle
+# ----------------------------------------------------------------------
+
+
+class TestMembershipOracle:
+    def test_counts_distinct_queries_only(self):
+        oracle = MembershipOracle.from_dnf(parse_dnf("a b"))
+        assert oracle.query({"a", "b"})
+        assert oracle.query({"a", "b"})
+        assert oracle.query(frozenset({"a"})) is False
+        assert oracle.query_count == 2
+
+    def test_rejects_out_of_universe_queries(self):
+        oracle = MembershipOracle.from_dnf(parse_dnf("a b"))
+        with pytest.raises(VertexError):
+            oracle.query({"z"})
+
+    def test_reset_counter(self):
+        oracle = MembershipOracle.from_dnf(parse_dnf("a"))
+        oracle.query({"a"})
+        oracle.reset_counter()
+        assert oracle.query_count == 0
+
+    def test_from_hypergraph_matches_dnf_semantics(self):
+        hg = Hypergraph([{"a", "b"}, {"c"}])
+        oracle = MembershipOracle.from_hypergraph(hg)
+        dnf = MonotoneDNF.from_hypergraph(hg)
+        from repro._util import powerset
+
+        for p in powerset(hg.vertices):
+            assert oracle.query(p) == dnf.evaluate(p)
+
+    def test_from_transversal_predicate(self):
+        hg = Hypergraph([{"a", "b"}, {"b", "c"}])
+        oracle = MembershipOracle.from_transversal_predicate(hg)
+        assert oracle.query({"b"})
+        assert oracle.query({"a", "c"})
+        assert not oracle.query({"a"})
+
+    def test_monotonicity_check_passes_on_monotone(self):
+        oracle = MembershipOracle.from_dnf(parse_dnf("a b | c"))
+        assert oracle.check_monotone_exhaustive()
+
+    def test_monotonicity_check_catches_violation(self):
+        # parity of |point| is not monotone
+        oracle = MembershipOracle(
+            lambda p: len(p) % 2 == 1, {"a", "b"}, name="parity"
+        )
+        with pytest.raises(NotMonotoneError):
+            oracle.check_monotone_exhaustive()
+
+    def test_spot_check(self):
+        oracle = MembershipOracle(
+            lambda p: p == frozenset({"a"}), {"a", "b"}, name="point"
+        )
+        with pytest.raises(NotMonotoneError):
+            oracle.spot_check_monotone({"a"}, {"a", "b"})
+
+    def test_from_infrequency_is_monotone(self):
+        from repro.itemsets.datasets import market_basket
+
+        relation = market_basket(n_items=5, n_rows=20, seed=7)
+        oracle = MembershipOracle.from_infrequency(relation, z=8)
+        assert oracle.check_monotone_exhaustive()
+
+
+# ----------------------------------------------------------------------
+# Greedy border moves
+# ----------------------------------------------------------------------
+
+
+class TestGreedyMoves:
+    def test_minimize_lands_on_minimal_true_point(self):
+        dnf = parse_dnf("a b | b c")
+        oracle = MembershipOracle.from_dnf(dnf)
+        mtp, _ = brute_force_borders(dnf)
+        point = minimize_true_point(oracle, dnf.variables)
+        assert point in mtp
+
+    def test_minimize_requires_true_start(self):
+        oracle = MembershipOracle.from_dnf(parse_dnf("a b"))
+        with pytest.raises(ValueError):
+            minimize_true_point(oracle, frozenset())
+
+    def test_maximize_lands_on_maximal_false_point(self):
+        dnf = parse_dnf("a b | b c")
+        oracle = MembershipOracle.from_dnf(dnf)
+        _, mfp = brute_force_borders(dnf)
+        point = maximize_false_point(oracle, frozenset())
+        assert point in mfp
+
+    def test_maximize_requires_false_start(self):
+        oracle = MembershipOracle.from_dnf(parse_dnf("a"))
+        with pytest.raises(ValueError):
+            maximize_false_point(oracle, frozenset({"a"}))
+
+    def test_query_budgets(self):
+        dnf = parse_dnf("a b c d")
+        oracle = MembershipOracle.from_dnf(dnf)
+        minimize_true_point(oracle, dnf.variables)
+        # start point + one probe per vertex
+        assert oracle.query_count <= len(dnf.variables) + 1
+
+
+# ----------------------------------------------------------------------
+# The learner
+# ----------------------------------------------------------------------
+
+
+KNOWN_FUNCTIONS = [
+    "a",
+    "a b",
+    "a | b",
+    "a b | c",
+    "a b | b c | a c",
+    "a b | c d",
+    "a c | a d | b c | b d",
+    "a b c | d",
+]
+
+
+class TestLearner:
+    @pytest.mark.parametrize("text", KNOWN_FUNCTIONS)
+    def test_learns_exact_borders(self, text):
+        dnf = parse_dnf(text)
+        oracle = MembershipOracle.from_dnf(dnf)
+        learned = learn_monotone_function(oracle)
+        mtp, mfp = brute_force_borders(dnf)
+        assert set(learned.minimal_true_points.edges) == mtp
+        assert set(learned.maximal_false_points.edges) == mfp
+
+    @pytest.mark.parametrize("text", KNOWN_FUNCTIONS)
+    def test_learned_normal_forms_are_equivalent(self, text):
+        dnf = parse_dnf(text)
+        learned = learn_monotone_function(MembershipOracle.from_dnf(dnf))
+        assert learned.dnf().equivalent(dnf)
+        assert decide_cnf_dnf_equivalence(learned.cnf(), learned.dnf()).is_dual
+
+    def test_constant_true(self):
+        oracle = MembershipOracle(lambda p: True, {"a", "b"}, name="true")
+        learned = learn_monotone_function(oracle)
+        assert learned.minimal_true_points.edges == (frozenset(),)
+        assert len(learned.maximal_false_points) == 0
+        assert learned.evaluate(frozenset())
+
+    def test_constant_false(self):
+        oracle = MembershipOracle(lambda p: False, {"a", "b"}, name="false")
+        learned = learn_monotone_function(oracle)
+        assert len(learned.minimal_true_points) == 0
+        assert learned.maximal_false_points.edges == (frozenset({"a", "b"}),)
+        assert not learned.evaluate({"a", "b"})
+        assert learned.duality_checks == 0
+
+    def test_single_variable_universe(self):
+        oracle = MembershipOracle(lambda p: "a" in p, {"a"}, name="id")
+        learned = learn_monotone_function(oracle)
+        assert learned.minimal_true_points.edges == (frozenset({"a"}),)
+        assert learned.maximal_false_points.edges == (frozenset(),)
+
+    def test_iteration_count_is_border_size(self):
+        dnf = parse_dnf("a b | b c | a c")
+        learned = learn_monotone_function(MembershipOracle.from_dnf(dnf))
+        total_border = len(learned.minimal_true_points) + len(
+            learned.maximal_false_points
+        )
+        # two seeds + one addition per remaining border point
+        assert learned.trace.additions() == total_border - 2
+        # one duality check per addition plus the final YES
+        assert learned.duality_checks == learned.trace.additions() + 1
+
+    def test_query_bound_gkmt(self):
+        # queries ≤ (|V| + 1) · (|MTP| + |MFP|) + constant
+        for text in KNOWN_FUNCTIONS:
+            dnf = parse_dnf(text)
+            oracle = MembershipOracle.from_dnf(dnf)
+            learned = learn_monotone_function(oracle)
+            border = len(learned.minimal_true_points) + len(
+                learned.maximal_false_points
+            )
+            n = len(oracle.universe)
+            assert learned.queries <= (n + 1) * border + 2
+
+    @pytest.mark.parametrize("method", ["transversal", "bm", "fk-b", "logspace"])
+    def test_engine_choice(self, method):
+        dnf = parse_dnf("a b | b c")
+        learned = learn_monotone_function(
+            MembershipOracle.from_dnf(dnf), method=method
+        )
+        assert learned.dnf().equivalent(dnf)
+
+    def test_max_iterations_safety_valve(self):
+        dnf = parse_dnf("a b | b c | a c")
+        with pytest.raises(RuntimeError):
+            learn_monotone_function(
+                MembershipOracle.from_dnf(dnf), max_iterations=1
+            )
+
+    def test_learn_transversal_hypergraph(self):
+        # learning the transversal predicate of G recovers tr(G) as MTP
+        g = Hypergraph([{"a", "b"}, {"b", "c"}, {"c", "d"}])
+        oracle = MembershipOracle.from_transversal_predicate(g)
+        learned = learn_monotone_function(oracle)
+        assert learned.minimal_true_points == transversal_hypergraph(g)
+
+    def test_learn_matching_function(self):
+        g = matching(3)
+        oracle = MembershipOracle.from_hypergraph(g)
+        learned = learn_monotone_function(oracle)
+        assert learned.minimal_true_points == g
+        # maximal false points = complements of tr(matching)
+        expected = complement_family(transversal_hypergraph(g))
+        assert learned.maximal_false_points == expected
+
+    def test_learn_threshold_function(self):
+        g = threshold(5, 3)
+        learned = learn_monotone_function(MembershipOracle.from_hypergraph(g))
+        assert learned.minimal_true_points == g
+
+    def test_learn_infrequency_recovers_itemset_borders(self):
+        from repro.itemsets.borders import borders
+        from repro.itemsets.datasets import market_basket
+
+        relation = market_basket(n_items=5, n_rows=16, seed=3)
+        z = 5
+        oracle = MembershipOracle.from_infrequency(relation, z)
+        learned = learn_monotone_function(oracle)
+        is_plus, is_minus = borders(relation, z)
+        assert learned.minimal_true_points == is_minus
+        assert learned.maximal_false_points == is_plus
+
+    @given(
+        st.lists(
+            st.frozensets(
+                st.integers(min_value=0, max_value=4), min_size=1, max_size=3
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_learner_is_exact_on_random_functions(self, terms):
+        hg = Hypergraph(terms, vertices=range(5)).minimized()
+        oracle = MembershipOracle.from_hypergraph(hg)
+        learned = learn_monotone_function(oracle)
+        assert learned.minimal_true_points == hg
+        from repro._util import powerset
+
+        for p in powerset(range(5)):
+            assert learned.evaluate(p) == any(e <= p for e in hg.edges)

@@ -1,0 +1,380 @@
+"""Tests for :mod:`repro.logic` — Horn theories and monotone CNFs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnf import MonotoneDNF, parse_dnf
+from repro.errors import NotIrredundantError, ParseError, VertexError
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.logic import (
+    HornClause,
+    HornTheory,
+    MonotoneCNF,
+    characteristic_models,
+    decide_cnf_dnf_equivalence,
+    intersection_closure,
+    is_intersection_closed,
+    parse_cnf,
+)
+from repro.logic.horn import horn_theory_models_equal
+
+
+# ----------------------------------------------------------------------
+# HornClause
+# ----------------------------------------------------------------------
+
+
+class TestHornClause:
+    def test_definite_clause_roundtrip(self):
+        clause = HornClause({"a", "b"}, "c")
+        assert clause.body == frozenset({"a", "b"})
+        assert clause.head == "c"
+        assert clause.is_definite()
+        assert not clause.is_fact()
+        assert clause.atoms() == frozenset({"a", "b", "c"})
+
+    def test_fact(self):
+        fact = HornClause((), "a")
+        assert fact.is_fact()
+        assert fact.is_definite()
+        assert fact.atoms() == frozenset({"a"})
+
+    def test_negative_clause(self):
+        neg = HornClause({"a", "b"})
+        assert not neg.is_definite()
+        assert neg.head is None
+        assert neg.atoms() == frozenset({"a", "b"})
+
+    def test_satisfaction_semantics(self):
+        clause = HornClause({"a"}, "b")
+        assert clause.satisfied_by(set())          # body false
+        assert clause.satisfied_by({"b"})
+        assert clause.satisfied_by({"a", "b"})     # both true
+        assert not clause.satisfied_by({"a"})      # body true, head false
+
+    def test_negative_clause_satisfaction(self):
+        neg = HornClause({"a", "b"})
+        assert neg.satisfied_by({"a"})
+        assert not neg.satisfied_by({"a", "b"})
+
+    def test_equality_and_hash(self):
+        assert HornClause({"a"}, "b") == HornClause(["a"], "b")
+        assert hash(HornClause({"a"}, "b")) == hash(HornClause(("a",), "b"))
+        assert HornClause({"a"}, "b") != HornClause({"a"})
+
+    def test_repr_shapes(self):
+        assert "→" in repr(HornClause({"a"}, "b"))
+        assert "⊥" in repr(HornClause({"a"}))
+        assert repr(HornClause((), "a")).count("→") == 1
+
+
+# ----------------------------------------------------------------------
+# HornTheory
+# ----------------------------------------------------------------------
+
+
+def chain_theory() -> HornTheory:
+    """a; a→b; b→c over atoms {a, b, c, d}."""
+    return HornTheory.from_tuples(
+        [((), "a"), (("a",), "b"), (("b",), "c")], atoms="abcd"
+    )
+
+
+class TestHornTheory:
+    def test_closure_forward_chains(self):
+        theory = chain_theory()
+        assert theory.closure(()) == frozenset("abc")
+        assert theory.closure(("d",)) == frozenset("abcd")
+
+    def test_closure_rejects_unknown_facts(self):
+        with pytest.raises(VertexError):
+            chain_theory().closure(("z",))
+
+    def test_least_model_definite_only(self):
+        assert chain_theory().least_model() == frozenset("abc")
+        with_negative = chain_theory().extended([HornClause({"c", "d"})])
+        with pytest.raises(ValueError):
+            with_negative.least_model()
+
+    def test_is_model(self):
+        theory = chain_theory()
+        assert theory.is_model(frozenset("abc"))
+        assert theory.is_model(frozenset("abcd"))
+        assert not theory.is_model(frozenset("ab"))     # b→c violated
+        assert not theory.is_model(frozenset())         # fact a violated
+
+    def test_models_enumeration_matches_is_model(self):
+        theory = chain_theory()
+        from repro._util import powerset
+
+        expected = [m for m in powerset("abcd") if theory.is_model(m)]
+        assert theory.models() == expected
+        assert horn_theory_models_equal(theory, expected)
+
+    def test_negative_clause_consistency(self):
+        theory = chain_theory().extended([HornClause({"c", "d"})])
+        assert theory.closure_consistent(())
+        assert not theory.closure_consistent(("d",))
+        assert theory.is_consistent()
+
+    def test_inconsistent_theory(self):
+        theory = HornTheory.from_tuples([((), "a"), (("a",), None)])
+        assert not theory.is_consistent()
+        # ex falso: an inconsistent theory entails everything
+        assert theory.entails_atom((), "a")
+
+    def test_entails_atom(self):
+        theory = chain_theory()
+        assert theory.entails_atom((), "c")
+        assert not theory.entails_atom((), "d")
+        assert theory.entails_atom(("d",), "d")
+        with pytest.raises(VertexError):
+            theory.entails_atom((), "nope")
+
+    def test_universe_validation(self):
+        with pytest.raises(VertexError):
+            HornTheory([HornClause({"a"}, "b")], atoms={"a"})
+
+    def test_clause_dedup_and_determinism(self):
+        t1 = HornTheory(
+            [HornClause({"a"}, "b"), HornClause(["a"], "b"), HornClause((), "a")]
+        )
+        assert len(t1) == 2
+        t2 = HornTheory([HornClause((), "a"), HornClause({"a"}, "b")])
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_extended_grows_universe(self):
+        theory = HornTheory.from_tuples([((), "a")])
+        bigger = theory.extended([HornClause({"a"}, "b")])
+        assert bigger.atoms == frozenset({"a", "b"})
+        assert len(bigger) == 2
+
+    def test_with_atoms(self):
+        theory = HornTheory.from_tuples([((), "a")]).with_atoms("abc")
+        assert theory.atoms == frozenset("abc")
+
+    def test_definite_negative_split(self):
+        theory = chain_theory().extended([HornClause({"c", "d"})])
+        assert len(theory.definite_clauses()) == 3
+        assert len(theory.negative_clauses()) == 1
+        assert not theory.is_definite()
+
+
+# ----------------------------------------------------------------------
+# Intersection closure / characteristic models
+# ----------------------------------------------------------------------
+
+
+class TestIntersectionStructure:
+    def test_horn_models_are_intersection_closed(self):
+        theory = chain_theory()
+        assert is_intersection_closed(theory.models())
+
+    def test_closure_adds_meets(self):
+        family = [{"a", "b"}, {"b", "c"}]
+        closed = intersection_closure(family)
+        assert frozenset({"b"}) in closed
+        assert len(closed) == 3
+
+    def test_characteristic_models_generate(self):
+        family = intersection_closure(
+            [{"a", "b"}, {"b", "c"}, {"a", "c"}]
+        )
+        chars = characteristic_models(family)
+        assert intersection_closure(chars) == family
+        # the three original maximal models are irreducible
+        assert frozenset({"a", "b"}) in chars
+        # their pairwise meets are reducible unless the tri-meet differs;
+        # here {a}&... meet of {a,b},{a,c} is {a} which is reducible:
+        assert frozenset({"a"}) not in chars or frozenset() in family
+
+    def test_characteristic_models_requires_closed_family(self):
+        with pytest.raises(ValueError):
+            characteristic_models([{"a", "b"}, {"b", "c"}])
+
+    def test_empty_family(self):
+        assert intersection_closure([]) == set()
+        assert is_intersection_closed([])
+
+    @given(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=5)),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_closure_is_idempotent_and_generated(self, family):
+        closed = intersection_closure(family)
+        assert is_intersection_closed(closed)
+        assert intersection_closure(closed) == closed
+        if closed:
+            chars = characteristic_models(closed)
+            assert chars <= closed
+            assert intersection_closure(chars) == closed
+
+
+# ----------------------------------------------------------------------
+# MonotoneCNF
+# ----------------------------------------------------------------------
+
+
+class TestMonotoneCNF:
+    def test_construction_and_accessors(self):
+        cnf = MonotoneCNF([{"a", "b"}, {"b", "c"}])
+        assert len(cnf) == 2
+        assert cnf.variables == frozenset("abc")
+        assert cnf.hypergraph() == Hypergraph([{"a", "b"}, {"b", "c"}])
+
+    def test_constants(self):
+        assert MonotoneCNF().is_constant_true()
+        assert MonotoneCNF([()]).is_constant_false()
+        assert MonotoneCNF().evaluate({})
+        assert not MonotoneCNF([()]).evaluate({"a": True})
+
+    def test_evaluate_mapping_and_set(self):
+        cnf = MonotoneCNF([{"a", "b"}, {"c"}])
+        assert cnf.evaluate({"a": True, "c": True})
+        assert cnf.evaluate({"a", "c"})
+        assert not cnf.evaluate({"a"})
+        assert not cnf.evaluate({})
+
+    def test_irredundancy(self):
+        redundant = MonotoneCNF([{"a"}, {"a", "b"}])
+        assert not redundant.is_irredundant()
+        with pytest.raises(NotIrredundantError):
+            redundant.require_irredundant()
+        slim = redundant.irredundant()
+        assert slim.clauses == (frozenset({"a"}),)
+        # dropping a covered clause preserves the function
+        for point in ({}, {"a"}, {"b"}, {"a", "b"}):
+            assert redundant.evaluate(point) == slim.evaluate(point)
+
+    def test_prime_implicants_dnf_is_equivalent(self):
+        cnf = MonotoneCNF([{"a", "b"}, {"b", "c"}, {"a", "c"}])
+        dnf = cnf.prime_implicants_dnf()
+        assert cnf.equivalent_brute_force(dnf)
+        assert dnf.is_irredundant()
+
+    def test_text_roundtrip(self):
+        cnf = MonotoneCNF([{"a", "b"}, {"c"}])
+        assert parse_cnf(cnf.to_text()) == cnf
+        assert parse_cnf("1").is_constant_true()
+        assert parse_cnf("0").is_constant_false()
+
+    @pytest.mark.parametrize("bad", ["", "()", "(a|)", "&", "(a)&"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_cnf(bad)
+
+    def test_from_hypergraph_roundtrip(self):
+        hg = Hypergraph([{"x", "y"}, {"z"}])
+        assert MonotoneCNF.from_hypergraph(hg).hypergraph() == hg
+
+
+# ----------------------------------------------------------------------
+# CNF–DNF equivalence = Dual
+# ----------------------------------------------------------------------
+
+
+class TestCnfDnfEquivalence:
+    def test_equivalent_pair(self):
+        cnf = parse_cnf("(a|b)&(b|c)")
+        dnf = parse_dnf("b | a c")
+        result = decide_cnf_dnf_equivalence(cnf, dnf)
+        assert result.is_dual
+
+    def test_inequivalent_pair_carries_witness(self):
+        from repro.duality.witness import check_result_witness
+
+        cnf = parse_cnf("(a|b)&(b|c)")
+        dnf = parse_dnf("b")  # misses the term "a c"
+        result = decide_cnf_dnf_equivalence(cnf, dnf)
+        assert not result.is_dual
+        assert not cnf.equivalent_brute_force(dnf)
+        universe = cnf.variables | dnf.variables
+        g = cnf.hypergraph().with_vertices(universe)
+        h = dnf.hypergraph().with_vertices(universe)
+        assert check_result_witness(g, h, result)
+
+    def test_redundant_inputs_are_normalised(self):
+        cnf = MonotoneCNF([{"a", "b"}, {"a", "b", "c"}])  # second covered
+        dnf = MonotoneDNF([{"a"}, {"b"}, {"a", "b"}])     # third covered
+        result = decide_cnf_dnf_equivalence(cnf, dnf)
+        assert result.is_dual
+
+    @pytest.mark.parametrize("method", ["transversal", "bm", "fk-b", "logspace"])
+    def test_engine_choice(self, method):
+        cnf = parse_cnf("(a|b)&(b|c)&(a|c)")
+        dnf = cnf.prime_implicants_dnf()
+        assert decide_cnf_dnf_equivalence(cnf, dnf, method=method).is_dual
+
+    def test_matches_transversal_definition(self):
+        cnf = parse_cnf("(a|b)&(c|d)")
+        dnf = MonotoneDNF.from_hypergraph(
+            transversal_hypergraph(cnf.hypergraph())
+        )
+        assert decide_cnf_dnf_equivalence(cnf, dnf).is_dual
+        assert cnf.equivalent_brute_force(dnf)
+
+    @given(
+        st.lists(
+            st.frozensets(
+                st.integers(min_value=0, max_value=4), min_size=1, max_size=3
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_prime_implicants_always_equivalent(self, clauses):
+        cnf = MonotoneCNF(clauses).irredundant()
+        dnf = cnf.prime_implicants_dnf()
+        assert cnf.equivalent_brute_force(dnf)
+        assert decide_cnf_dnf_equivalence(cnf, dnf, method="transversal").is_dual
+
+
+# ----------------------------------------------------------------------
+# Horn theory text format
+# ----------------------------------------------------------------------
+
+
+class TestHornParser:
+    def test_roundtrip(self):
+        from repro.logic import parser as hornio
+
+        theory = HornTheory.from_tuples(
+            [(("a", "b"), "c"), ((), "a"), (("c",), None)]
+        )
+        assert hornio.loads(hornio.dumps(theory)) == theory
+
+    def test_parse_forms(self):
+        from repro.logic import parse_horn_theory
+
+        theory = parse_horn_theory(
+            "a b -> c\n-> a   # a fact\n\nc -> !\n"
+        )
+        assert len(theory) == 3
+        assert len(theory.negative_clauses()) == 1
+        assert any(c.is_fact() for c in theory.clauses)
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.logic import parser as hornio
+
+        theory = HornTheory.from_tuples([(("x",), "y")])
+        path = tmp_path / "t.horn"
+        hornio.dump(theory, path)
+        assert hornio.load(path) == theory
+
+    @pytest.mark.parametrize(
+        "bad", ["a b c", "a -> b c", "a ->", "-> a b"]
+    )
+    def test_rejects_malformed(self, bad):
+        from repro.errors import ParseError
+        from repro.logic import parse_horn_theory
+
+        with pytest.raises(ParseError):
+            parse_horn_theory(bad)

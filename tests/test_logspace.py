@@ -1,0 +1,260 @@
+"""Tests for Section 4: next, path descriptors, pathnode, decompose, Cor. 4.1."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.hypergraph.generators import (
+    hard_nondual_pair,
+    matching_dual_pair,
+    perturb_drop_edge,
+    standard_dual_suite,
+    threshold_dual_pair,
+)
+from repro.hypergraph.transversal import is_new_transversal
+from repro.duality.boros_makino import tree_for
+from repro.duality.logspace import (
+    decide_logspace,
+    decompose,
+    descriptor_bits,
+    encode_state,
+    decode_state,
+    find_new_transversal_logspace,
+    initial_attrs,
+    instance_size,
+    is_valid_descriptor,
+    iter_path_descriptors,
+    iter_tree_nodes,
+    max_child_index,
+    max_depth_bound,
+    model_space_bits,
+    next_attrs,
+    pathnode,
+    pathnode_metered,
+    pathnode_pipeline,
+)
+from repro.duality.tree import Mark
+
+from tests.conftest import nonempty_simple_hypergraphs
+
+
+def _ordered(g, h):
+    """Apply the paper's |H| ≤ |G| convention."""
+    return (h, g) if len(h) > len(g) else (g, h)
+
+
+class TestGeometry:
+    def test_max_depth_bound(self):
+        assert max_depth_bound(Hypergraph([{0}], vertices={0})) == 0
+        assert max_depth_bound(Hypergraph([{0}, {1}])) == 1
+        g, h = matching_dual_pair(3)
+        assert max_depth_bound(h) == 3  # |H| = 8
+
+    def test_max_child_index(self):
+        g, h = matching_dual_pair(2)
+        assert max_child_index(g) == len(g.vertices) * len(g)
+
+    def test_descriptor_validity(self):
+        g, h = matching_dual_pair(2)
+        g, h = _ordered(g, h)
+        assert is_valid_descriptor(g, h, ())
+        assert is_valid_descriptor(g, h, (1,))
+        assert not is_valid_descriptor(g, h, (0,))
+        assert not is_valid_descriptor(g, h, (max_child_index(g) + 1,))
+        too_long = tuple([1] * (max_depth_bound(h) + 1))
+        assert not is_valid_descriptor(g, h, too_long)
+
+    def test_descriptor_bits_grows_polylog(self):
+        sizes = []
+        for k in (2, 3, 4, 5):
+            g, h = matching_dual_pair(k)
+            g, h = _ordered(g, h)
+            sizes.append(descriptor_bits(g, h))
+        assert sizes == sorted(sizes)
+        # log-squared-ish: doubling k (≈ squaring |H|) far from squares bits.
+        assert sizes[-1] < 4 * sizes[0] * 4
+
+    def test_iter_path_descriptors_count(self):
+        g, h = matching_dual_pair(1)
+        g, h = _ordered(g, h)
+        bound = max_child_index(g)
+        depth = max_depth_bound(h)
+        expected = sum(bound ** k for k in range(depth + 1))
+        assert len(list(iter_path_descriptors(g, h))) == expected
+
+
+class TestNextAttrs:
+    def test_marked_node_has_no_children(self):
+        g = Hypergraph([{0}, {1}], vertices={0, 1})
+        h = Hypergraph([{0, 1}], vertices={0, 1})
+        root = initial_attrs(g, h)
+        assert root.mark is Mark.DONE
+        assert next_attrs(g, h, root, 1) is None
+
+    def test_children_enumerate_contiguously(self):
+        g, h = threshold_dual_pair(5, 3)
+        g, h = _ordered(g, h)
+        root = initial_attrs(g, h)
+        tree = tree_for(g, h)
+        kappa = len(tree.root.children)
+        for i in range(1, kappa + 1):
+            assert next_attrs(g, h, root, i) is not None
+        assert next_attrs(g, h, root, kappa + 1) is None
+
+    def test_rejects_index_zero(self):
+        g, h = matching_dual_pair(2)
+        with pytest.raises(ValueError):
+            next_attrs(g, h, initial_attrs(g, h), 0)
+
+
+class TestPathnode:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: matching_dual_pair(2),
+            lambda: matching_dual_pair(3),
+            lambda: threshold_dual_pair(5, 3),
+            lambda: hard_nondual_pair(2),
+            lambda: hard_nondual_pair(3),
+        ],
+    )
+    def test_matches_tree_on_every_label(self, maker):
+        g, h = _ordered(*maker())
+        tree = tree_for(g, h)
+        for node in tree.nodes():
+            assert pathnode(g, h, node.attrs.label) == node.attrs
+
+    def test_wrongpath_on_bad_descriptors(self):
+        g, h = _ordered(*matching_dual_pair(2))
+        assert pathnode(g, h, (10 ** 6,)) is None
+        deep = tuple([1] * (max_depth_bound(h) + 5))
+        assert pathnode(g, h, deep) is None
+
+    def test_root_path(self):
+        g, h = _ordered(*matching_dual_pair(2))
+        assert pathnode(g, h, ()) == initial_attrs(g, h)
+
+    @given(nonempty_simple_hypergraphs(max_vertices=4, max_edges=3))
+    @settings(max_examples=15, deadline=None)
+    def test_pathnode_tree_equivalence_random(self, hg):
+        h = transversal_hypergraph(hg)
+        g2, h2 = _ordered(hg, h)
+        tree = tree_for(g2, h2)
+        for node in tree.nodes():
+            assert pathnode(g2, h2, node.attrs.label) == node.attrs
+
+
+class TestMeteredAndPipeline:
+    def test_metered_agrees_with_plain(self):
+        g, h = _ordered(*matching_dual_pair(3))
+        for attrs in iter_tree_nodes(g, h):
+            metered, meter = pathnode_metered(g, h, attrs.label)
+            assert metered == attrs
+            assert meter.peak_bits <= model_space_bits(g, h) + 64
+
+    def test_meter_releases_everything(self):
+        g, h = _ordered(*matching_dual_pair(2))
+        _attrs, meter = pathnode_metered(g, h, (1,))
+        assert meter.live_bits == 0
+        assert meter.peak_bits > 0
+
+    def test_wrongpath_metered(self):
+        g, h = _ordered(*matching_dual_pair(2))
+        attrs, _meter = pathnode_metered(g, h, (10 ** 9,))
+        assert attrs is None
+
+    def test_pipeline_agrees_with_plain(self):
+        g, h = _ordered(*matching_dual_pair(2))
+        tree = tree_for(g, h)
+        for node in tree.nodes():
+            attrs, pipeline = pathnode_pipeline(g, h, node.attrs.label)
+            assert attrs == node.attrs
+            assert pipeline.meter.live_bits == 0
+
+    def test_pipeline_counts_recomputations(self):
+        g, h = _ordered(*threshold_dual_pair(5, 3))
+        deepest = max(iter_tree_nodes(g, h), key=lambda a: a.depth)
+        _attrs, pipeline = pathnode_pipeline(g, h, deepest.label)
+        # Recomputation means strictly more stage invocations than stages.
+        assert pipeline.invocations > len(pipeline.stages)
+
+    def test_state_encoding_roundtrip(self):
+        g, h = _ordered(*matching_dual_pair(2))
+        for attrs in iter_tree_nodes(g, h):
+            text = encode_state(attrs, (2, 1))
+            back, gamma = decode_state(text, g, h)
+            assert back == attrs
+            assert gamma == (2, 1)
+        assert decode_state(encode_state(None, ()), g, h) == (None, ())
+
+
+class TestDecompose:
+    def test_pruned_equals_tree(self):
+        g, h = _ordered(*threshold_dual_pair(5, 3))
+        tree = tree_for(g, h)
+        out = decompose(g, h)
+        assert [a.label for a in out["vertices"]] == sorted(tree.labels())
+        assert out["edges"] == sorted(tree.edges())
+
+    def test_exhaustive_equals_pruned_on_tiny_instance(self):
+        g, h = _ordered(*matching_dual_pair(2))
+        pruned = decompose(g, h)
+        full = decompose(g, h, exhaustive=True)
+        assert [a.label for a in pruned["vertices"]] == [
+            a.label for a in full["vertices"]
+        ]
+        assert pruned["edges"] == full["edges"]
+
+    def test_exhaustive_guard(self):
+        g, h = _ordered(*matching_dual_pair(4))
+        with pytest.raises(MemoryError):
+            decompose(g, h, exhaustive=True, exhaustive_limit=10)
+
+
+class TestCorollary41:
+    def test_decider_on_suite(self):
+        for name, g, h in standard_dual_suite(max_matching=3, max_threshold=5):
+            assert decide_logspace(g, h).is_dual, name
+
+    def test_decider_rejects_and_witnesses(self):
+        for name, g, h in standard_dual_suite(max_matching=3, max_threshold=4):
+            if len(h) <= 1:
+                continue
+            broken = perturb_drop_edge(h)
+            result = decide_logspace(g, broken)
+            assert not result.is_dual, name
+
+    def test_find_new_transversal_direction(self):
+        g, h = matching_dual_pair(3)
+        broken = perturb_drop_edge(h)
+        witness = find_new_transversal_logspace(g, broken)
+        assert witness is not None
+        universe = g.vertices | broken.vertices
+        assert is_new_transversal(
+            witness, g.with_vertices(universe), broken.with_vertices(universe)
+        )
+
+    def test_find_new_transversal_none_for_dual(self):
+        g, h = matching_dual_pair(2)
+        assert find_new_transversal_logspace(g, h) is None
+
+    def test_find_new_transversal_rejects_invalid_instance(self):
+        g, h = matching_dual_pair(2)
+        from repro.hypergraph.generators import perturb_enlarge_edge
+
+        with pytest.raises(ValueError):
+            find_new_transversal_logspace(g, perturb_enlarge_edge(h))
+
+    def test_space_scales_subquadratically(self):
+        # peak bits must grow like log², i.e. far slower than instance size.
+        peaks = []
+        sizes = []
+        for k in (2, 3, 4, 5):
+            g, h = _ordered(*matching_dual_pair(k))
+            result = decide_logspace(g, h)
+            peaks.append(result.stats.peak_space_bits)
+            sizes.append(instance_size(g, h))
+        assert sizes[-1] / sizes[0] > 4
+        assert peaks[-1] / peaks[0] < sizes[-1] / sizes[0]

@@ -1,0 +1,251 @@
+"""Tests for the space-metered machine substrate (Section 3 mechanics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SpaceBudgetExceeded
+from repro.machine import (
+    FunctionTransducer,
+    Pipeline,
+    Register,
+    RegisterFile,
+    SpaceMeter,
+    StringView,
+    constant,
+    floor_log_length,
+    path_descriptor_length,
+    self_composition,
+)
+
+
+class TestSpaceMeter:
+    def test_peak_tracks_high_water_mark(self):
+        meter = SpaceMeter()
+        a = meter.register("a", 255)  # 8 bits
+        assert meter.peak_bits == 8
+        b = meter.register("b", 15)  # 4 bits
+        assert meter.peak_bits == 12
+        a.free()
+        assert meter.live_bits == 4
+        assert meter.peak_bits == 12
+        b.free()
+        assert meter.live_bits == 0
+
+    def test_budget_enforced(self):
+        meter = SpaceMeter(budget_bits=8)
+        meter.register("ok", 255)
+        with pytest.raises(SpaceBudgetExceeded):
+            meter.register("overflow", 1)
+
+    def test_budget_error_carries_numbers(self):
+        meter = SpaceMeter(budget_bits=4)
+        try:
+            meter.register("big", 255)
+        except SpaceBudgetExceeded as exc:
+            assert exc.used_bits == 8
+            assert exc.budget_bits == 4
+        else:  # pragma: no cover
+            pytest.fail("budget not enforced")
+
+    def test_snapshot(self):
+        meter = SpaceMeter()
+        meter.register("x", 1)
+        snap = meter.snapshot()
+        assert snap["live_bits"] == 1
+        assert snap["allocations"] == 1
+
+
+class TestRegister:
+    def test_width_from_max_value(self):
+        meter = SpaceMeter()
+        assert meter.register("r", 0).width == 1
+        assert meter.register("r", 1).width == 1
+        assert meter.register("r", 255).width == 8
+        assert meter.register("r", 256).width == 9
+
+    def test_value_range_enforced(self):
+        meter = SpaceMeter()
+        reg = meter.register("r", 10)
+        reg.value = 10
+        with pytest.raises(ValueError):
+            reg.value = 11
+        with pytest.raises(ValueError):
+            reg.value = -1
+
+    def test_use_after_free_rejected(self):
+        meter = SpaceMeter()
+        reg = meter.register("r", 1)
+        reg.free()
+        with pytest.raises(RuntimeError):
+            _ = reg.value
+        with pytest.raises(RuntimeError):
+            reg.value = 1
+
+    def test_double_free_is_idempotent(self):
+        meter = SpaceMeter()
+        reg = meter.register("r", 1)
+        reg.free()
+        reg.free()
+        assert meter.live_bits == 0
+
+    def test_context_manager(self):
+        meter = SpaceMeter()
+        with meter.register("r", 7) as reg:
+            reg.value = 5
+        assert meter.live_bits == 0
+
+    @given(st.integers(min_value=0, max_value=10 ** 9))
+    def test_width_is_bit_length(self, max_value):
+        meter = SpaceMeter()
+        reg = meter.register("r", max_value)
+        assert reg.width == max(1, max_value.bit_length())
+
+
+class TestRegisterFile:
+    def test_grouped_free(self):
+        meter = SpaceMeter()
+        with RegisterFile(meter, "stage") as regs:
+            regs.register("d", 100)
+            regs.bit("o")
+            assert meter.live_bits == regs.total_width()
+        assert meter.live_bits == 0
+
+    def test_named_access(self):
+        meter = SpaceMeter()
+        regs = RegisterFile(meter, "stage")
+        d = regs.register("d", 3)
+        assert regs["d"] is d
+        regs.free()
+
+
+def _double(text: str) -> str:
+    return "".join(ch + ch for ch in text)
+
+
+def _rotate(text: str) -> str:
+    return text[1:] + text[:1] if text else text
+
+
+class TestTransducer:
+    def test_transduce(self):
+        meter = SpaceMeter()
+        stage = FunctionTransducer(_double, name="double")
+        assert stage.transduce(StringView("ab"), meter) == "aabb"
+        assert meter.live_bits == 0
+
+    def test_output_length(self):
+        meter = SpaceMeter()
+        stage = FunctionTransducer(_double)
+        assert stage.output_length(StringView("abc"), meter) == 6
+
+    def test_output_char(self):
+        meter = SpaceMeter()
+        stage = FunctionTransducer(_double)
+        assert stage.output_char(StringView("ab"), 2, meter) == "b"
+
+    def test_output_char_out_of_range(self):
+        meter = SpaceMeter()
+        stage = FunctionTransducer(_double)
+        with pytest.raises(IndexError):
+            stage.output_char(StringView("a"), 5, meter)
+
+
+class TestPipeline:
+    def test_recomputed_equals_direct(self):
+        pipeline = Pipeline(
+            [FunctionTransducer(_double), FunctionTransducer(_rotate)]
+        )
+        text = "abc"
+        assert pipeline.compute_recomputed(text) == pipeline.compute_direct(text)
+
+    def test_self_composition(self):
+        pipeline = self_composition(FunctionTransducer(_rotate), 3)
+        assert pipeline.compute_recomputed("abcd") == "dabc"
+
+    def test_recomputation_counted(self):
+        pipeline = self_composition(FunctionTransducer(_double), 3)
+        pipeline.compute_recomputed("ab")
+        assert pipeline.invocations > 3
+
+    def test_no_input_bound(self):
+        pipeline = Pipeline([FunctionTransducer(_double)])
+        with pytest.raises(RuntimeError):
+            pipeline.view_of_stage(0)
+
+    def test_meter_peak_scales_with_stage_count(self):
+        # Recomputation costs ~L^stages stage runs (the faithful time
+        # price of the no-storage discipline), so the input stays tiny.
+        def peak(stages: int) -> int:
+            pipeline = self_composition(FunctionTransducer(_rotate), stages)
+            pipeline.compute_recomputed("abc")
+            return pipeline.meter.peak_bits
+
+        p2, p4, p8 = peak(2), peak(4), peak(8)
+        assert p2 < p4 < p8
+        # Linear in the number of stages (log n stages → log² n total).
+        assert p8 <= 4.5 * p2
+
+    def test_report(self):
+        pipeline = self_composition(FunctionTransducer(_rotate), 2)
+        pipeline.compute_recomputed("ab")
+        report = pipeline.report()
+        assert report["stages"] == 2
+        assert report["stage_invocations"] == pipeline.invocations
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            self_composition(FunctionTransducer(_rotate), 0)
+
+
+class TestQlog:
+    def test_floor_log_length(self):
+        rho = floor_log_length()
+        assert rho("x" * 8) == 3
+        assert rho("x" * 9) == 3
+        assert rho("") == 1
+
+    def test_constant(self):
+        assert constant(3)("whatever") == 3
+
+    def test_path_descriptor_length(self):
+        rho = path_descriptor_length()
+        assert rho("stuff#1,2,3") == 3
+        assert rho("stuff#") == 1
+        assert rho("1,2") == 2  # no '#': whole text is the descriptor
+
+    def test_bound_enforced(self):
+        from repro.machine.qlog import QlogFunction
+
+        bad = QlogFunction("linear", lambda text: len(text), bound_factor=1.0)
+        with pytest.raises(ValueError):
+            bad("y" * 4096)
+
+    def test_negative_rejected(self):
+        from repro.machine.qlog import QlogFunction
+
+        bad = QlogFunction("neg", lambda _t: -1)
+        with pytest.raises(ValueError):
+            bad("abc")
+
+
+class TestLemma31Shape:
+    """The lemma's statement, measured: peak bits ≈ a + b·(#stages · log n)."""
+
+    def test_log_stages_gives_log_squared_total(self):
+        # Sizes kept tiny because the recomputation discipline costs
+        # ~L^stages — which is the lemma's own time bound made concrete.
+        results = {}
+        for length in (4, 8, 16):
+            text = "a" * length
+            rho = max(1, int(math.log2(length)))
+            pipeline = self_composition(FunctionTransducer(_rotate), rho)
+            pipeline.compute_recomputed(text)
+            results[length] = pipeline.meter.peak_bits
+        # Growth must be polylogarithmic: far slower than linear in input.
+        assert results[16] < results[4] * (16 / 4)
+        assert results[4] <= results[8] <= results[16]

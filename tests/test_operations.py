@@ -1,0 +1,141 @@
+"""Tests for the restriction/complement/contraction operators (Section 2 algebra)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import VertexError
+from repro.hypergraph import (
+    Hypergraph,
+    complement_family,
+    contract,
+    delete_edges_meeting,
+    minimized_union,
+    project,
+    relabel,
+    restrict_to_subsets,
+    restriction_instance,
+    union,
+)
+
+from tests.conftest import hypergraphs
+
+
+class TestProject:
+    def test_projection_intersects_edges(self):
+        g = Hypergraph([{1, 2}, {2, 3}, {3, 4}], vertices=range(1, 5))
+        p = project(g, {2, 3})
+        assert set(p.edges) == {frozenset({2}), frozenset({2, 3}), frozenset({3})}
+
+    def test_projection_may_create_empty_edge(self):
+        g = Hypergraph([{1}, {2}], vertices={1, 2})
+        p = project(g, {1})
+        assert frozenset() in set(p.edges)
+
+    def test_projection_not_minimized(self):
+        # {2} ⊂ {2,3} must both survive — marksmall's "∅ ∈ G^S" test
+        # depends on projections keeping covered edges.
+        g = Hypergraph([{1, 2}, {2, 3}], vertices=range(1, 4))
+        p = project(g, {2, 3})
+        assert len(p) == 2
+
+    def test_projection_scope_must_be_subset(self):
+        with pytest.raises(VertexError):
+            project(Hypergraph([{1}]), {1, 99})
+
+    def test_projection_universe_is_scope(self):
+        g = Hypergraph([{1, 2}], vertices={1, 2, 3})
+        assert project(g, {1}).vertices == {1}
+
+
+class TestRestrictToSubsets:
+    def test_keeps_only_contained_edges(self):
+        h = Hypergraph([{1}, {1, 2}, {2, 3}], vertices=range(1, 4))
+        r = restrict_to_subsets(h, {1, 2})
+        assert set(r.edges) == {frozenset({1}), frozenset({1, 2})}
+
+    def test_scope_must_be_subset(self):
+        with pytest.raises(VertexError):
+            restrict_to_subsets(Hypergraph([{1}]), {99})
+
+    def test_restriction_instance_matches_paper_definition(self):
+        g = Hypergraph([{1, 2}, {3}], vertices=range(1, 4))
+        h = Hypergraph([{1, 3}, {2}], vertices=range(1, 4))
+        gs, hs = restriction_instance(g, h, frozenset({1, 2}))
+        assert set(gs.edges) == {frozenset({1, 2}), frozenset()}
+        assert set(hs.edges) == {frozenset({2})}
+
+
+class TestComplementFamily:
+    def test_basic(self):
+        a = Hypergraph([{1, 2}], vertices={1, 2, 3})
+        assert set(complement_family(a).edges) == {frozenset({3})}
+
+    def test_involution(self):
+        a = Hypergraph([{1}, {2, 3}], vertices={1, 2, 3})
+        assert complement_family(complement_family(a)) == a
+
+    def test_with_larger_universe(self):
+        a = Hypergraph([{1}], vertices={1})
+        c = complement_family(a, universe={1, 2})
+        assert set(c.edges) == {frozenset({2})}
+
+    def test_universe_must_cover(self):
+        with pytest.raises(VertexError):
+            complement_family(Hypergraph([{1, 2}]), universe={1})
+
+    @given(hypergraphs())
+    def test_involution_property(self, hg):
+        assert complement_family(complement_family(hg)) == hg
+
+
+class TestContractAndDelete:
+    def test_contract_removes_and_minimizes(self):
+        g = Hypergraph([{1, 2}, {2}, {1, 3}], vertices=range(1, 4))
+        c = contract(g, {2})
+        # {1,2} → {1}, {2} → {} which absorbs everything else.
+        assert set(c.edges) == {frozenset()}
+        assert c.vertices == {1, 3}
+
+    def test_delete_edges_meeting(self):
+        g = Hypergraph([{1, 2}, {3}], vertices=range(1, 4))
+        d = delete_edges_meeting(g, {1})
+        assert set(d.edges) == {frozenset({3})}
+        assert d.vertices == g.vertices
+
+
+class TestUnionAndRelabel:
+    def test_union_keeps_both_edge_sets(self):
+        a = Hypergraph([{1}])
+        b = Hypergraph([{2}])
+        assert len(union(a, b)) == 2
+
+    def test_minimized_union_is_simple(self):
+        a = Hypergraph([{1}])
+        b = Hypergraph([{1, 2}])
+        assert set(minimized_union(a, b).edges) == {frozenset({1})}
+
+    def test_relabel_injective(self):
+        g = Hypergraph([{1, 2}], vertices={1, 2})
+        r = relabel(g, {1: "a", 2: "b"})
+        assert set(r.edges) == {frozenset({"a", "b"})}
+
+    def test_relabel_requires_full_mapping(self):
+        with pytest.raises(VertexError):
+            relabel(Hypergraph([{1, 2}]), {1: "a"})
+
+    def test_relabel_requires_injective(self):
+        with pytest.raises(VertexError):
+            relabel(Hypergraph([{1, 2}]), {1: "a", 2: "a"})
+
+
+class TestDualityCommutesWithComplement:
+    @given(hypergraphs(max_vertices=5, max_edges=4))
+    def test_tr_of_complement_family(self, hg):
+        # Sanity for the itemset bridge: tr(A^c) is well-defined and simple.
+        from repro.hypergraph import transversal_hypergraph
+
+        trc = transversal_hypergraph(complement_family(hg))
+        assert trc.is_simple()

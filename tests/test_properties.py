@@ -1,0 +1,182 @@
+"""Cross-module property-based tests: the paper's identities as laws.
+
+Each test states one identity from the paper and checks it on
+hypothesis-generated instances:
+
+* Berge's involution  tr(tr(H)) = min(H)
+* duality symmetry    H = tr(G) ⟺ G = tr(H)
+* Prop. 2.1(1)        tree all-done ⟺ duality
+* Lemma 4.2           pathnode ≡ materialised tree
+* [26]                IS⁻ = tr(IS⁺ᶜ) and IS⁺ = tr(IS⁻)ᶜ
+* keys                minimal keys = tr(min(D(R)))
+* Prop. 1.3           ND coterie ⟺ tr(H) = H ⟺ no dominating coterie
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import (
+    Hypergraph,
+    complement_family,
+    transversal_hypergraph,
+)
+from repro.itemsets import BooleanRelation, borders
+from repro.duality import decide_duality
+
+from tests.conftest import hypergraphs, nonempty_simple_hypergraphs
+
+
+class TestTransversalLaws:
+    @given(hypergraphs(max_vertices=6, max_edges=5))
+    @settings(max_examples=80)
+    def test_berge_involution(self, hg):
+        assert transversal_hypergraph(transversal_hypergraph(hg)) == hg.minimized()
+
+    @given(nonempty_simple_hypergraphs(max_vertices=6, max_edges=4))
+    @settings(max_examples=60)
+    def test_duality_is_symmetric(self, hg):
+        dual = transversal_hypergraph(hg)
+        assert transversal_hypergraph(dual) == hg
+
+    @given(nonempty_simple_hypergraphs(max_vertices=5, max_edges=4))
+    @settings(max_examples=40, deadline=None)
+    def test_engines_symmetric_in_arguments(self, hg):
+        dual = transversal_hypergraph(hg)
+        for method in ("bm", "fk-b"):
+            forward = decide_duality(hg, dual, method=method).is_dual
+            backward = decide_duality(dual, hg, method=method).is_dual
+            assert forward and backward
+
+    @given(hypergraphs(max_vertices=5, max_edges=4))
+    @settings(max_examples=60)
+    def test_transversal_commutes_with_relabelling(self, hg):
+        from repro.hypergraph import relabel
+
+        mapping = {v: f"v{v}" for v in hg.vertices}
+        relabelled = relabel(hg, mapping)
+        direct = relabel(transversal_hypergraph(hg), mapping)
+        assert transversal_hypergraph(relabelled) == direct
+
+
+class TestTreeLaws:
+    @given(nonempty_simple_hypergraphs(max_vertices=5, max_edges=3))
+    @settings(max_examples=25, deadline=None)
+    def test_tree_all_done_iff_dual(self, hg):
+        from repro.duality.boros_makino import tree_for
+
+        dual = transversal_hypergraph(hg)
+        g, h = (dual, hg) if len(dual) >= len(hg) else (hg, dual)
+        assert tree_for(g, h).all_done()
+
+    @given(nonempty_simple_hypergraphs(max_vertices=5, max_edges=3))
+    @settings(max_examples=20, deadline=None)
+    def test_pathnode_matches_tree(self, hg):
+        from repro.duality.boros_makino import tree_for
+        from repro.duality.logspace import pathnode
+
+        dual = transversal_hypergraph(hg)
+        g, h = (dual, hg) if len(dual) >= len(hg) else (hg, dual)
+        tree = tree_for(g, h)
+        for node in tree.nodes():
+            assert pathnode(g, h, node.attrs.label) == node.attrs
+
+    @given(nonempty_simple_hypergraphs(max_vertices=5, max_edges=4))
+    @settings(max_examples=20, deadline=None)
+    def test_fail_witnesses_are_new_transversals(self, hg):
+        from repro.duality.boros_makino import build_tree
+        from repro.duality.conditions import prepare_instance
+        from repro.hypergraph.transversal import is_new_transversal
+
+        dual = transversal_hypergraph(hg)
+        if len(dual) <= 1:
+            return
+        partial = Hypergraph(list(dual.edges)[:-1], vertices=dual.vertices)
+        entry = prepare_instance(hg, partial)
+        if not entry.ok:
+            return
+        g, h = entry.g, entry.h
+        if len(h) > len(g):
+            g, h = h, g
+        tree = build_tree(g, h)
+        assert tree.fail_leaves()
+        for leaf in tree.fail_leaves():
+            assert is_new_transversal(leaf.attrs.witness, g, h)
+
+
+def relations(max_items: int = 4, max_rows: int = 7):
+    item = st.sampled_from([f"i{k}" for k in range(max_items)])
+    row = st.frozensets(item, max_size=max_items)
+    return st.builds(
+        lambda rows: BooleanRelation(
+            rows, items=[f"i{k}" for k in range(max_items)]
+        ),
+        st.lists(row, min_size=1, max_size=max_rows),
+    )
+
+
+class TestItemsetLaws:
+    @given(relations(), st.integers(min_value=1, max_value=7))
+    @settings(max_examples=50, deadline=None)
+    def test_gunopulos_bridge(self, rel, z):
+        z = min(z, len(rel))
+        is_plus, is_minus = borders(rel, z)
+        assert transversal_hypergraph(complement_family(is_plus)) == is_minus
+        assert complement_family(transversal_hypergraph(is_minus)) == is_plus
+
+    @given(relations(), st.integers(min_value=1, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_levelwise_equals_reference(self, rel, z):
+        from repro.itemsets import levelwise_borders
+
+        z = min(z, len(rel))
+        assert levelwise_borders(rel, z) == borders(rel, z)
+
+    @given(relations(max_items=4, max_rows=6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=15, deadline=None)
+    def test_enumeration_is_exact(self, rel, z):
+        from repro.itemsets import enumerate_borders
+
+        z = min(z, len(rel))
+        expected = borders(rel, z)
+        is_plus, is_minus, _trace = enumerate_borders(rel, z, method="bm")
+        assert (is_plus, is_minus) == expected
+
+
+class TestKeyAndCoterieLaws:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)
+            ),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_keys_are_difference_transversals(self, raw_rows):
+        from repro.keys import (
+            RelationalInstance,
+            minimal_keys,
+            minimal_keys_brute_force,
+        )
+
+        rows = [dict(zip("ABC", row)) for row in raw_rows]
+        instance = RelationalInstance(rows, attributes=("A", "B", "C"))
+        assert minimal_keys(instance) == minimal_keys_brute_force(instance)
+
+    @given(nonempty_simple_hypergraphs(max_vertices=4, max_edges=3))
+    @settings(max_examples=30, deadline=None)
+    def test_prop_1_3_on_random_coteries(self, hg):
+        from repro.errors import NotACoterieError
+        from repro.coteries import Coterie
+
+        try:
+            coterie = Coterie(hg.edges, universe=hg.vertices)
+        except NotACoterieError:
+            return
+        via_dual = coterie.is_nondominated()
+        via_search = not coterie.is_dominated_brute_force()
+        assert via_dual == via_search

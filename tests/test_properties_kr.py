@@ -1,0 +1,110 @@
+"""Property-based tests for the knowledge-representation extensions.
+
+Deeper structural invariants than the per-module suites: identities
+that tie the new subsystems back to the transversal machinery, checked
+on randomly generated instances.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.hypergraph.dfs_enumeration import (
+    DFSStats,
+    minimal_transversals_dfs,
+)
+from repro.hypergraph.operations import complement_family
+from repro.duality import decide_duality
+from repro.learning import MembershipOracle, learn_monotone_function
+from repro.logic import MonotoneCNF, intersection_closure
+from repro.envelopes import horn_envelope
+
+
+small_hypergraphs = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=4), min_size=1, max_size=3),
+    min_size=1,
+    max_size=5,
+).map(lambda edges: Hypergraph(edges, vertices=range(5)).minimized())
+
+
+@given(small_hypergraphs)
+@settings(max_examples=60, deadline=None)
+def test_dfs_node_count_identity(hg):
+    """DFS visits exactly one node per minimal hitting set of each prefix.
+
+    The unique-parent argument says the DFS tree's level-``i`` nodes are
+    precisely ``tr(first i edges)`` (plus the root for the empty
+    prefix), so the node count must equal the sum of those family
+    sizes — a sharp accounting identity tying the enumerator to Berge.
+    """
+    if hg.is_trivial_true():
+        return
+    stats = DFSStats()
+    list(minimal_transversals_dfs(hg, stats))
+    edges = list(hg.edges)
+    expected = 0
+    for i in range(len(edges) + 1):
+        prefix = Hypergraph(edges[:i], vertices=hg.vertices)
+        expected += len(transversal_hypergraph(prefix))
+    assert stats.nodes == expected
+
+
+@given(small_hypergraphs)
+@settings(max_examples=40, deadline=None)
+def test_learned_borders_are_dual_families(hg):
+    """Learning any monotone function yields MTP = tr(MFPᶜ) exactly."""
+    oracle = MembershipOracle.from_hypergraph(hg)
+    learned = learn_monotone_function(oracle)
+    mtp = learned.minimal_true_points
+    mfp_c = complement_family(learned.maximal_false_points)
+    assert decide_duality(mfp_c, mtp, method="transversal").is_dual
+
+
+@given(small_hypergraphs)
+@settings(max_examples=40, deadline=None)
+def test_cnf_prime_implicants_involution(hg):
+    """CNF → prime-implicant DNF → prime-implicate CNF is an involution
+    on irredundant families (tr ∘ tr = id on antichains)."""
+    cnf = MonotoneCNF.from_hypergraph(hg)
+    dnf = cnf.prime_implicants_dnf()
+    back = MonotoneCNF.from_hypergraph(
+        transversal_hypergraph(dnf.hypergraph())
+    )
+    assert back.hypergraph() == hg
+
+
+@given(
+    st.lists(
+        st.frozensets(st.sampled_from("abcd")),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_envelope_is_idempotent(models):
+    """The envelope of the envelope's models is the same theory's models."""
+    atoms = "abcd"
+    first = intersection_closure(models)
+    envelope = horn_envelope(models, atoms=atoms)
+    again = horn_envelope(envelope.models(), atoms=atoms)
+    assert set(again.models()) == first
+
+
+@given(small_hypergraphs, st.integers(min_value=0, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_early_stop_soundness_under_perturbation(hg, drop):
+    """Dropping any edge from tr(G) is always detected by every engine
+    that participates in the experiments' cross-checks."""
+    if hg.is_trivial_true() or hg.is_trivial_false():
+        return
+    h = transversal_hypergraph(hg)
+    if len(h) <= 1:
+        return
+    index = drop % len(h)
+    broken = Hypergraph(
+        [e for i, e in enumerate(h.edges) if i != index], vertices=h.vertices
+    )
+    for method in ("dfs-enum", "tractable", "bm"):
+        assert not decide_duality(hg, broken, method=method).is_dual

@@ -1,0 +1,159 @@
+"""Tests for BooleanRelation and frequency semantics (paper conventions)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInstanceError, VertexError
+from repro.itemsets import (
+    BooleanRelation,
+    frequency,
+    grow_to_maximal_frequent,
+    is_frequent,
+    is_infrequent,
+    shrink_to_minimal_infrequent,
+    support_map,
+)
+from repro.itemsets.frequency import item_frequencies, validate_threshold
+
+
+@pytest.fixture
+def small_relation() -> BooleanRelation:
+    return BooleanRelation(
+        [
+            {"a", "b", "c"},
+            {"a", "b"},
+            {"a", "b"},
+            {"b", "c"},
+            {"c"},
+        ],
+        items={"a", "b", "c", "d"},
+    )
+
+
+class TestRelation:
+    def test_duplicates_preserved(self):
+        rel = BooleanRelation([{"a"}, {"a"}])
+        assert len(rel) == 2
+
+    def test_items_default_to_union(self):
+        rel = BooleanRelation([{"a"}, {"b"}])
+        assert rel.items == {"a", "b"}
+
+    def test_explicit_universe_allows_absent_items(self, small_relation):
+        assert "d" in small_relation.items
+
+    def test_rows_outside_universe_rejected(self):
+        with pytest.raises(VertexError):
+            BooleanRelation([{"z"}], items={"a"})
+
+    def test_bitmap_roundtrip(self, small_relation):
+        back = BooleanRelation.from_bitmap(
+            small_relation.as_bitmap(), items=small_relation.items
+        )
+        assert back == small_relation
+
+    def test_restrict_items(self, small_relation):
+        projected = small_relation.restrict_items({"a", "b"})
+        assert projected.items == {"a", "b"}
+        assert len(projected) == len(small_relation)
+
+    def test_restrict_items_validates(self, small_relation):
+        with pytest.raises(VertexError):
+            small_relation.restrict_items({"zz"})
+
+    def test_distinct(self):
+        rel = BooleanRelation([{"a"}, {"a"}, {"b"}])
+        assert len(rel.distinct()) == 2
+
+    def test_sample_rows(self, small_relation):
+        sampled = small_relation.sample_rows([0, 1])
+        assert len(sampled) == 2
+
+    def test_equality_and_hash(self):
+        a = BooleanRelation([{"x"}], items={"x", "y"})
+        b = BooleanRelation([{"x"}], items={"x", "y"})
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestFrequency:
+    def test_counts(self, small_relation):
+        assert frequency(small_relation, {"a", "b"}) == 3
+        assert frequency(small_relation, {"c"}) == 3
+        assert frequency(small_relation, {"d"}) == 0
+        assert frequency(small_relation, set()) == 5
+
+    def test_strictness_of_threshold(self, small_relation):
+        # f({"a","b"}) = 3: frequent iff z < 3, strictly.
+        assert is_frequent(small_relation, {"a", "b"}, 2)
+        assert not is_frequent(small_relation, {"a", "b"}, 3)
+        assert is_infrequent(small_relation, {"a", "b"}, 3)
+
+    def test_threshold_domain(self, small_relation):
+        with pytest.raises(InvalidInstanceError):
+            validate_threshold(small_relation, 0)
+        with pytest.raises(InvalidInstanceError):
+            validate_threshold(small_relation, 6)
+        with pytest.raises(InvalidInstanceError):
+            validate_threshold(small_relation, 2.5)
+        assert validate_threshold(small_relation, 5) == 5
+
+    def test_unknown_items_rejected(self, small_relation):
+        with pytest.raises(VertexError):
+            frequency(small_relation, {"zz"})
+
+    def test_empty_set_at_boundary_threshold(self, small_relation):
+        # z = |M| makes even ∅ infrequent.
+        assert is_infrequent(small_relation, set(), 5)
+        assert is_frequent(small_relation, set(), 4)
+
+    def test_support_map(self, small_relation):
+        counts = support_map(small_relation, [{"a"}, {"b"}, {"a", "b"}])
+        assert counts[frozenset({"a"})] == 3
+        assert counts[frozenset({"b"})] == 4
+        assert counts[frozenset({"a", "b"})] == 3
+
+    def test_item_frequencies(self, small_relation):
+        freqs = item_frequencies(small_relation)
+        assert freqs["d"] == 0
+        assert freqs["b"] == 4
+
+    @given(st.lists(st.frozensets(st.sampled_from("abcd")), min_size=1, max_size=8))
+    def test_antitone(self, rows):
+        rel = BooleanRelation(rows, items=set("abcd"))
+        assert frequency(rel, {"a"}) >= frequency(rel, {"a", "b"})
+        assert frequency(rel, set()) == len(rel)
+
+
+class TestGrowShrink:
+    def test_grow_reaches_maximal(self, small_relation):
+        z = 2
+        grown = grow_to_maximal_frequent(small_relation, {"a"}, z)
+        assert is_frequent(small_relation, grown, z)
+        for item in small_relation.items - grown:
+            assert not is_frequent(small_relation, grown | {item}, z)
+
+    def test_grow_requires_frequent_start(self, small_relation):
+        with pytest.raises(InvalidInstanceError):
+            grow_to_maximal_frequent(small_relation, {"d"}, 2)
+
+    def test_shrink_reaches_minimal(self, small_relation):
+        z = 2
+        shrunk = shrink_to_minimal_infrequent(
+            small_relation, {"a", "b", "c", "d"}, z
+        )
+        assert not is_frequent(small_relation, shrunk, z)
+        for item in shrunk:
+            assert is_frequent(small_relation, shrunk - {item}, z)
+
+    def test_shrink_requires_infrequent_start(self, small_relation):
+        with pytest.raises(InvalidInstanceError):
+            shrink_to_minimal_infrequent(small_relation, {"a"}, 2)
+
+    def test_deterministic(self, small_relation):
+        a = grow_to_maximal_frequent(small_relation, {"b"}, 2)
+        b = grow_to_maximal_frequent(small_relation, {"b"}, 2)
+        assert a == b

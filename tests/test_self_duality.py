@@ -1,0 +1,131 @@
+"""Tests for :mod:`repro.duality.self_duality` — the Dual → Self-Dual bridge."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInstanceError, VertexError
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.hypergraph.generators import (
+    matching_dual_pair,
+    perturb_drop_edge,
+    threshold_dual_pair,
+)
+from repro.duality import decide_duality
+from repro.duality.self_duality import (
+    coterie_from_dual_pair,
+    decide_duality_via_self_duality,
+    is_self_dual_hypergraph,
+    self_dualization,
+)
+
+
+class TestSelfDualCheck:
+    def test_majority_is_self_dual(self):
+        from repro.hypergraph.generators import threshold
+
+        assert is_self_dual_hypergraph(threshold(5))  # majorities of odd n
+
+    def test_matching_is_not_self_dual(self):
+        g, _h = matching_dual_pair(2)
+        assert not is_self_dual_hypergraph(g)
+
+    @pytest.mark.parametrize("method", ["transversal", "bm", "logspace"])
+    def test_engine_choice(self, method):
+        from repro.hypergraph.generators import threshold
+
+        assert is_self_dual_hypergraph(threshold(3), method=method)
+
+
+class TestSelfDualization:
+    def test_shape(self):
+        g, h = matching_dual_pair(2)
+        reduced = self_dualization(g, h)
+        assert len(reduced) == 1 + len(g) + len(h)
+        assert frozenset({"__x__", "__y__"}) in set(reduced.edges)
+        assert len(reduced.vertices) == len(g.vertices | h.vertices) + 2
+
+    def test_reduction_theorem_positive(self):
+        for maker in (lambda: matching_dual_pair(2),
+                      lambda: matching_dual_pair(3),
+                      lambda: threshold_dual_pair(5, 3)):
+            g, h = maker()
+            reduced = self_dualization(g, h)
+            assert transversal_hypergraph(reduced) == reduced
+
+    def test_reduction_theorem_negative(self):
+        g, h = matching_dual_pair(3)
+        broken = perturb_drop_edge(h, index=1)
+        reduced = self_dualization(g, broken)
+        assert transversal_hypergraph(reduced) != reduced
+
+    def test_fresh_vertex_collision_rejected(self):
+        g = Hypergraph([{"__x__", "b"}])
+        with pytest.raises(VertexError):
+            self_dualization(g, transversal_hypergraph(g))
+
+    def test_constant_inputs_rejected(self):
+        g, h = matching_dual_pair(2)
+        with pytest.raises(InvalidInstanceError):
+            self_dualization(Hypergraph.empty("ab"), h)
+        with pytest.raises(InvalidInstanceError):
+            self_dualization(g, Hypergraph.trivial_true("ab"))
+
+    def test_custom_fresh_labels(self):
+        g, h = matching_dual_pair(2)
+        reduced = self_dualization(g, h, x="p", y="q")
+        assert frozenset({"p", "q"}) in set(reduced.edges)
+
+    @given(
+        st.lists(
+            st.frozensets(
+                st.integers(min_value=0, max_value=4), min_size=1, max_size=3
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reduction_theorem_random(self, edges, perturb):
+        g = Hypergraph(edges, vertices=range(5)).minimized()
+        if g.is_trivial_true() or g.is_trivial_false():
+            return
+        h = transversal_hypergraph(g)
+        if perturb and len(h) > 1:
+            h = Hypergraph(list(h.edges)[:-1], vertices=h.vertices)
+        expected = decide_duality(g, h, method="transversal").is_dual
+        reduced = self_dualization(g, h)
+        assert (transversal_hypergraph(reduced) == reduced) == expected
+
+
+class TestDecideViaReduction:
+    @pytest.mark.parametrize("method", ["transversal", "bm", "fk-b", "logspace"])
+    def test_agrees_with_direct_engines(self, method):
+        g, h = matching_dual_pair(3)
+        assert decide_duality_via_self_duality(g, h, method=method).is_dual
+        broken = perturb_drop_edge(h, index=0)
+        refuted = decide_duality_via_self_duality(g, broken, method=method)
+        assert not refuted.is_dual
+        assert refuted.stats.extra["reduced"] is True
+
+
+class TestCoterieBridge:
+    def test_dual_pair_yields_nd_coterie(self):
+        g, h = matching_dual_pair(2)
+        coterie = coterie_from_dual_pair(g, h)
+        assert coterie.is_nondominated()
+        assert len(coterie) == 1 + len(g) + len(h)
+
+    def test_non_dual_pair_rejected(self):
+        g, h = matching_dual_pair(2)
+        broken = perturb_drop_edge(h, index=0)
+        with pytest.raises(InvalidInstanceError):
+            coterie_from_dual_pair(g, broken)
+
+    def test_threshold_pair_coterie(self):
+        g, h = threshold_dual_pair(5, 3)
+        coterie = coterie_from_dual_pair(g, h)
+        assert coterie.is_nondominated()

@@ -1,0 +1,148 @@
+"""Tests for structural hypergraph analysis (the §6 tractability landscape)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import (
+    cycle_graph_edges,
+    matching,
+    path_graph_edges,
+    threshold,
+)
+from repro.hypergraph.structure import (
+    gyo_reduction,
+    is_alpha_acyclic,
+    is_conformal,
+    primal_degeneracy,
+    primal_graph_edges,
+    tractability_report,
+)
+
+from tests.conftest import hypergraphs
+
+
+class TestPrimalGraph:
+    def test_pairs_from_edges(self):
+        hg = Hypergraph([{1, 2, 3}])
+        assert primal_graph_edges(hg) == {
+            frozenset({1, 2}),
+            frozenset({1, 3}),
+            frozenset({2, 3}),
+        }
+
+    def test_empty(self):
+        assert primal_graph_edges(Hypergraph.empty()) == set()
+
+    def test_singletons_have_no_pairs(self):
+        assert primal_graph_edges(Hypergraph.singletons({1, 2})) == set()
+
+
+class TestAcyclicity:
+    def test_single_edge_acyclic(self):
+        assert is_alpha_acyclic(Hypergraph([{1, 2, 3}]))
+
+    def test_empty_acyclic(self):
+        assert is_alpha_acyclic(Hypergraph.empty())
+
+    def test_path_acyclic(self):
+        assert is_alpha_acyclic(path_graph_edges(5))
+
+    def test_triangle_graph_cyclic(self):
+        assert not is_alpha_acyclic(cycle_graph_edges(3))
+
+    def test_cycle_cyclic(self):
+        assert not is_alpha_acyclic(cycle_graph_edges(5))
+
+    def test_triangle_with_covering_edge_acyclic(self):
+        # Adding the full triangle edge makes the classic example acyclic.
+        hg = Hypergraph([{1, 2}, {2, 3}, {1, 3}, {1, 2, 3}])
+        assert is_alpha_acyclic(hg)
+
+    def test_star_acyclic(self):
+        hg = Hypergraph([{0, i} for i in range(1, 5)])
+        assert is_alpha_acyclic(hg)
+
+    def test_matching_acyclic(self):
+        assert is_alpha_acyclic(matching(3))
+
+    def test_gyo_residue_on_cyclic(self):
+        residue = gyo_reduction(cycle_graph_edges(4))
+        assert len(residue) > 0
+
+    def test_gyo_residue_empty_on_acyclic(self):
+        assert len(gyo_reduction(path_graph_edges(4))) == 0
+
+
+class TestConformality:
+    def test_triangle_not_conformal(self):
+        # The primal graph of C3 is a triangle clique not inside any edge.
+        assert not is_conformal(cycle_graph_edges(3))
+
+    def test_covered_triangle_conformal(self):
+        hg = Hypergraph([{1, 2}, {2, 3}, {1, 3}, {1, 2, 3}])
+        assert is_conformal(hg)
+
+    def test_square_conformal(self):
+        # C4's primal cliques are its edges.
+        assert is_conformal(cycle_graph_edges(4))
+
+    def test_single_edge_conformal(self):
+        assert is_conformal(Hypergraph([{1, 2, 3, 4}]))
+
+    @given(hypergraphs(max_vertices=5, max_edges=4))
+    @settings(max_examples=40, deadline=None)
+    def test_acyclic_implies_conformal(self, hg):
+        # α-acyclic ⟹ conformal (one half of the classical equivalence).
+        if is_alpha_acyclic(hg):
+            assert is_conformal(hg)
+
+
+class TestDegeneracy:
+    def test_edgeless(self):
+        assert primal_degeneracy(Hypergraph.empty({1, 2})) == 0
+
+    def test_path(self):
+        assert primal_degeneracy(path_graph_edges(5)) == 1
+
+    def test_cycle(self):
+        assert primal_degeneracy(cycle_graph_edges(5)) == 2
+
+    def test_clique_via_big_edge(self):
+        assert primal_degeneracy(Hypergraph([{1, 2, 3, 4}])) == 3
+
+    def test_threshold_hypergraph_is_dense(self):
+        assert primal_degeneracy(threshold(5, 3)) == 4
+
+
+class TestReport:
+    def test_acyclic_verdict(self):
+        report = tractability_report(path_graph_edges(4))
+        assert report.alpha_acyclic
+        assert "alpha-acyclic" in report.verdict
+
+    def test_bounded_degeneracy_verdict(self):
+        report = tractability_report(cycle_graph_edges(6))
+        assert not report.alpha_acyclic
+        assert report.degeneracy == 2
+        assert "degeneracy" in report.verdict
+
+    def test_general_case_verdict(self):
+        dense = threshold(9, 5)
+        report = tractability_report(dense, degeneracy_threshold=3, rank_threshold=3)
+        assert "general-case" in report.verdict
+
+    def test_rank_verdict(self):
+        hg = Hypergraph(
+            [{i, (i + 1) % 8, (i + 3) % 8} for i in range(8)]
+        )
+        report = tractability_report(hg, degeneracy_threshold=1, rank_threshold=3)
+        if not report.alpha_acyclic and report.degeneracy > 1:
+            assert "rank" in report.verdict or "general" in report.verdict
+
+    def test_report_fields(self):
+        report = tractability_report(matching(2))
+        assert report.rank == 2
+        assert report.degeneracy == 1
+        assert report.conformal

@@ -1,0 +1,314 @@
+"""Tests for :mod:`repro.duality.tractable` — the Section 6 fast paths."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.hypergraph.generators import (
+    acyclic_chain,
+    cycle_graph_edges,
+    matching_dual_pair,
+    path_graph_edges,
+    perturb_drop_edge,
+    threshold,
+)
+from repro.hypergraph.structure import is_alpha_acyclic
+from repro.duality import decide_duality
+from repro.duality.tractable import (
+    classify_instance,
+    complete_uniform_arity,
+    decide_duality_acyclic,
+    decide_duality_graph,
+    decide_duality_threshold,
+    decide_duality_tractable,
+    graph_reduction,
+    gyo_edge_order,
+    maximal_independent_sets_iter,
+    minimal_vertex_covers_iter,
+    transversals_via_mis,
+)
+from repro.duality.witness import check_result_witness
+
+
+def graph_hg(edges) -> Hypergraph:
+    return Hypergraph([frozenset(e) for e in edges])
+
+
+# ----------------------------------------------------------------------
+# MIS enumeration
+# ----------------------------------------------------------------------
+
+
+class TestMISEnumeration:
+    def test_triangle(self):
+        hg = graph_hg([("a", "b"), ("b", "c"), ("a", "c")])
+        mis = set(maximal_independent_sets_iter(hg.vertices, hg.edges))
+        assert mis == {frozenset({"a"}), frozenset({"b"}), frozenset({"c"})}
+
+    def test_path(self):
+        hg = graph_hg([("a", "b"), ("b", "c")])
+        mis = set(maximal_independent_sets_iter(hg.vertices, hg.edges))
+        assert mis == {frozenset({"a", "c"}), frozenset({"b"})}
+
+    def test_empty_graph_single_mis(self):
+        mis = list(maximal_independent_sets_iter(frozenset("abc"), ()))
+        assert mis == [frozenset("abc")]
+
+    def test_covers_are_minimal_transversals(self):
+        hg = graph_hg([("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")])
+        covers = set(minimal_vertex_covers_iter(hg.vertices, hg.edges))
+        assert covers == set(transversal_hypergraph(hg).edges)
+
+    @given(
+        st.sets(
+            st.frozensets(
+                st.integers(min_value=0, max_value=6), min_size=2, max_size=2
+            ),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mis_route_matches_berge_on_random_graphs(self, edges):
+        hg = Hypergraph(edges)
+        if not hg.edges:
+            return
+        covers = set(minimal_vertex_covers_iter(hg.vertices, hg.edges))
+        assert covers == set(transversal_hypergraph(hg).edges)
+
+    def test_enumeration_is_lazy(self):
+        # a matching of 12 pairs has 2^12 MIS; taking 3 must be instant
+        edges = tuple(frozenset({2 * i, 2 * i + 1}) for i in range(12))
+        vertices = frozenset(range(24))
+        it = maximal_independent_sets_iter(vertices, edges)
+        first_three = [next(it) for _ in range(3)]
+        assert len(first_three) == 3
+
+
+# ----------------------------------------------------------------------
+# Graph decider
+# ----------------------------------------------------------------------
+
+
+class TestGraphDecider:
+    def test_reduction_splits_forced_and_pairs(self):
+        g = Hypergraph([{"a", "b"}, {"c"}])
+        forced, pairs, covered = graph_reduction(g)
+        assert forced == frozenset({"c"})
+        assert pairs == (frozenset({"a", "b"}),)
+        assert covered == frozenset({"a", "b"})
+
+    def test_reduction_rejects_rank_3(self):
+        with pytest.raises(InvalidInstanceError):
+            graph_reduction(Hypergraph([{"a", "b", "c"}]))
+
+    @pytest.mark.parametrize(
+        "edges",
+        [
+            [("a", "b")],
+            [("a", "b"), ("b", "c")],
+            [("a", "b"), ("b", "c"), ("a", "c")],
+            [("a", "b"), ("c", "d")],
+        ],
+    )
+    def test_dual_pairs_accepted(self, edges):
+        g = graph_hg(edges)
+        h = transversal_hypergraph(g)
+        result = decide_duality_graph(g, h)
+        assert result.is_dual
+
+    def test_missing_transversal_found_with_witness(self):
+        g = graph_hg([("a", "b"), ("c", "d")])
+        h = transversal_hypergraph(g)
+        broken = perturb_drop_edge(h, index=0)
+        result = decide_duality_graph(g, broken)
+        assert not result.is_dual
+        assert check_result_witness(
+            g.with_vertices(g.vertices | broken.vertices),
+            broken.with_vertices(g.vertices | broken.vertices),
+            result,
+        )
+
+    def test_forced_vertices_flow_through(self):
+        g = Hypergraph([{"a", "b"}, {"x"}, {"y"}])
+        h = transversal_hypergraph(g)
+        assert decide_duality_graph(g, h).is_dual
+
+    def test_work_bounded_by_h(self):
+        g, h = matching_dual_pair(4)
+        result = decide_duality_graph(g, h)
+        assert result.is_dual
+        assert result.stats.nodes == len(h)
+
+    def test_transversals_via_mis_constants(self):
+        assert transversals_via_mis(Hypergraph.empty("ab")).edges == (
+            frozenset(),
+        )
+        assert (
+            len(transversals_via_mis(Hypergraph.trivial_true("ab"))) == 0
+        )
+
+
+# ----------------------------------------------------------------------
+# Threshold decider
+# ----------------------------------------------------------------------
+
+
+class TestThresholdDecider:
+    def test_arity_recognition(self):
+        assert complete_uniform_arity(threshold(5, 3)) == 3
+        assert complete_uniform_arity(threshold(6, 2)) == 2
+        assert complete_uniform_arity(Hypergraph([{"a", "b"}, {"c"}])) is None
+        assert (
+            complete_uniform_arity(Hypergraph([{"a", "b"}, {"b", "c"}]))
+            is None
+        )
+        assert complete_uniform_arity(Hypergraph.empty("ab")) is None
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 3), (6, 3), (7, 4)])
+    def test_dual_threshold_pairs(self, n, k):
+        g = threshold(n, k)
+        h = transversal_hypergraph(g)
+        result = decide_duality_threshold(g, h)
+        assert result.is_dual
+        assert result.stats.extra["dual_size"] == n - k + 1
+
+    def test_missing_subset_witnessed(self):
+        g = threshold(5, 3)
+        h = transversal_hypergraph(g)
+        broken = perturb_drop_edge(h, index=2)
+        result = decide_duality_threshold(g, broken)
+        assert not result.is_dual
+        assert result.witness is not None
+        assert len(result.witness) == 3
+        assert result.witness not in set(broken.edges)
+
+    def test_rejects_non_uniform(self):
+        g = Hypergraph([{"a", "b"}, {"b", "c"}])
+        h = transversal_hypergraph(g)
+        with pytest.raises(InvalidInstanceError):
+            decide_duality_threshold(g, h)
+
+
+# ----------------------------------------------------------------------
+# Acyclic decider
+# ----------------------------------------------------------------------
+
+
+class TestAcyclicDecider:
+    def test_gyo_order_covers_all_edges(self):
+        g = acyclic_chain(3)
+        order = gyo_edge_order(g)
+        assert sorted(map(sorted, order)) == sorted(
+            map(sorted, g.edges)
+        )
+
+    def test_dual_acyclic_pair(self):
+        g = acyclic_chain(3)
+        assert is_alpha_acyclic(g)
+        h = transversal_hypergraph(g)
+        result = decide_duality_acyclic(g, h)
+        assert result.is_dual
+
+    def test_rejects_cyclic_input(self):
+        g = Hypergraph(
+            [frozenset(e) for e in cycle_graph_edges(5)]
+        )
+        # cycles of length ≥ 4 are not α-acyclic
+        h = transversal_hypergraph(g)
+        with pytest.raises(InvalidInstanceError):
+            decide_duality_acyclic(g, h)
+
+    def test_missing_and_extra_witnesses(self):
+        g = acyclic_chain(2)
+        h = transversal_hypergraph(g)
+        broken = perturb_drop_edge(h, index=1)
+        result = decide_duality_acyclic(g, broken)
+        assert not result.is_dual
+        assert result.witness is not None
+
+    def test_peak_intermediate_reported(self):
+        g = acyclic_chain(4)
+        h = transversal_hypergraph(g)
+        result = decide_duality_acyclic(g, h)
+        assert result.stats.extra["peak_intermediate"] >= 1
+        assert result.stats.extra["peak_intermediate"] <= len(h) * max(
+            1, len(g.vertices)
+        )
+
+
+# ----------------------------------------------------------------------
+# Dispatch + engine integration
+# ----------------------------------------------------------------------
+
+
+class TestDispatch:
+    def test_classification(self):
+        g_graph = graph_hg([("a", "b")])
+        assert classify_instance(
+            g_graph, transversal_hypergraph(g_graph)
+        ) == "graph"
+        g_th = threshold(5, 3)
+        assert classify_instance(
+            g_th, transversal_hypergraph(g_th)
+        ) == "threshold"
+        g_ac = acyclic_chain(2)
+        assert classify_instance(
+            g_ac, transversal_hypergraph(g_ac)
+        ) == "acyclic"
+        assert classify_instance(
+            Hypergraph.empty("ab"), Hypergraph.trivial_true("ab")
+        ) == "constant"
+
+    def test_general_fallback(self):
+        # a cyclic, non-uniform, rank-3 instance goes to the BM engine
+        g = Hypergraph(
+            [{"a", "b", "c"}, {"c", "d", "e"}, {"e", "f", "a"}, {"b", "d", "f"}]
+        )
+        h = transversal_hypergraph(g)
+        if classify_instance(g, h) == "general":
+            result = decide_duality_tractable(g, h)
+            assert result.is_dual
+            assert result.stats.extra["class"] == "general"
+
+    def test_engine_facade_accepts_tractable(self):
+        g, h = matching_dual_pair(3)
+        result = decide_duality(g, h, method="tractable")
+        assert result.is_dual
+        assert result.stats.extra["class"] == "graph"
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: graph_hg(path_graph_edges(5)),
+            lambda: graph_hg(cycle_graph_edges(5)),
+            lambda: threshold(5, 3),
+            lambda: acyclic_chain(2),
+        ],
+    )
+    def test_dispatch_agrees_with_reference(self, maker):
+        g = maker()
+        h = transversal_hypergraph(g)
+        assert decide_duality_tractable(g, h).is_dual
+        broken = perturb_drop_edge(h, index=0)
+        fast = decide_duality_tractable(g, broken)
+        slow = decide_duality(g, broken, method="transversal")
+        assert fast.is_dual == slow.is_dual is False
+
+    @given(
+        st.sets(
+            st.frozensets(
+                st.integers(min_value=0, max_value=5), min_size=1, max_size=2
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_graph_decider_agrees_with_oracle_on_random_rank2(self, edges):
+        g = Hypergraph(edges).minimized()
+        h = transversal_hypergraph(g)
+        assert decide_duality_graph(g, h).is_dual

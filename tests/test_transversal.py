@@ -1,0 +1,201 @@
+"""Unit and property tests for :mod:`repro.hypergraph.transversal`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.hypergraph import (
+    Hypergraph,
+    is_minimal_transversal,
+    is_new_transversal,
+    is_transversal,
+    maximal_independent_sets,
+    minimal_transversals,
+    minimalize_transversal,
+    self_transversal,
+    transversal_hypergraph,
+    transversals_brute_force,
+)
+from repro.hypergraph.generators import (
+    matching_dual_pair,
+    threshold_dual_pair,
+)
+from repro.hypergraph.transversal import cross_intersecting
+
+from tests.conftest import hypergraphs, simple_hypergraphs
+
+
+class TestIsTransversal:
+    def test_basic_hit_and_miss(self):
+        hg = Hypergraph([{1, 2}, {3}])
+        assert is_transversal({1, 3}, hg)
+        assert is_transversal({2, 3}, hg)
+        assert not is_transversal({1, 2}, hg)
+
+    def test_empty_set_vs_empty_hypergraph(self):
+        assert is_transversal(set(), Hypergraph.empty())
+
+    def test_nothing_traverses_empty_edge(self):
+        hg = Hypergraph.trivial_true({1, 2})
+        assert not is_transversal({1, 2}, hg)
+
+    def test_superset_of_transversal_is_transversal(self):
+        hg = Hypergraph([{1, 2}, {3}])
+        assert is_transversal({1, 2, 3}, hg)
+
+
+class TestIsMinimalTransversal:
+    def test_minimal_vs_non_minimal(self):
+        hg = Hypergraph([{1, 2}, {2, 3}])
+        assert is_minimal_transversal({2}, hg)
+        assert is_minimal_transversal({1, 3}, hg)
+        assert not is_minimal_transversal({1, 2}, hg)
+
+    def test_non_transversal_is_not_minimal(self):
+        hg = Hypergraph([{1, 2}])
+        assert not is_minimal_transversal(set(), hg)
+
+    def test_empty_set_is_minimal_for_empty_hypergraph(self):
+        assert is_minimal_transversal(set(), Hypergraph.empty())
+
+    @given(simple_hypergraphs(max_vertices=5, max_edges=4))
+    def test_private_vertex_criterion_matches_subset_check(self, hg):
+        from repro._util import powerset
+
+        for cand in powerset(hg.vertices):
+            by_criterion = is_minimal_transversal(cand, hg)
+            by_definition = is_transversal(cand, hg) and not any(
+                is_transversal(cand - {v}, hg) for v in cand
+            )
+            assert by_criterion == by_definition
+
+
+class TestTransversalHypergraph:
+    def test_triangle_is_self_dual(self, triangle):
+        assert transversal_hypergraph(triangle) == triangle
+
+    def test_empty_conventions(self):
+        assert transversal_hypergraph(Hypergraph.empty()) == Hypergraph.trivial_true()
+        assert transversal_hypergraph(Hypergraph.trivial_true()) == Hypergraph.empty()
+
+    def test_conventions_preserve_universe(self):
+        hg = Hypergraph.empty({1, 2})
+        assert transversal_hypergraph(hg).vertices == {1, 2}
+
+    def test_single_edge(self):
+        hg = Hypergraph([{1, 2, 3}])
+        assert set(transversal_hypergraph(hg).edges) == {
+            frozenset({1}),
+            frozenset({2}),
+            frozenset({3}),
+        }
+
+    def test_matching_duals(self):
+        for k in range(5):
+            g, expected = matching_dual_pair(k)
+            assert transversal_hypergraph(g) == expected
+
+    def test_threshold_duals(self):
+        for n in range(1, 7):
+            for k in range(1, n + 1):
+                g, expected = threshold_dual_pair(n, k)
+                assert set(transversal_hypergraph(g).edges) == set(expected.edges)
+
+    def test_involution_on_simple_hypergraphs(self, triangle):
+        g = Hypergraph([{0, 1}, {2, 3}], vertices=range(4))
+        assert transversal_hypergraph(transversal_hypergraph(g)) == g
+
+    @given(hypergraphs(max_vertices=5, max_edges=4))
+    @settings(max_examples=60)
+    def test_agrees_with_brute_force(self, hg):
+        assert transversal_hypergraph(hg) == transversals_brute_force(hg)
+
+    @given(hypergraphs(max_vertices=6, max_edges=5))
+    @settings(max_examples=60)
+    def test_tr_tr_is_minimization(self, hg):
+        # Berge: tr(tr(H)) = min(H) for every hypergraph H.
+        assert transversal_hypergraph(transversal_hypergraph(hg)) == hg.minimized()
+
+    @given(hypergraphs(max_vertices=6, max_edges=5))
+    @settings(max_examples=60)
+    def test_result_is_simple(self, hg):
+        assert transversal_hypergraph(hg).is_simple()
+
+    @given(hypergraphs(max_vertices=6, max_edges=4))
+    @settings(max_examples=40)
+    def test_every_result_edge_is_minimal_transversal(self, hg):
+        for t in transversal_hypergraph(hg).edges:
+            assert is_minimal_transversal(t, hg)
+
+
+class TestMinimalize:
+    def test_shrinks_to_minimal(self):
+        hg = Hypergraph([{1, 2}, {2, 3}])
+        t = minimalize_transversal({1, 2, 3}, hg)
+        assert is_minimal_transversal(t, hg)
+
+    def test_requires_transversal_input(self):
+        hg = Hypergraph([{1, 2}])
+        with pytest.raises(ValueError):
+            minimalize_transversal(set(), hg)
+
+    def test_deterministic(self):
+        hg = Hypergraph([{1, 2}, {3, 4}])
+        assert minimalize_transversal({1, 2, 3, 4}, hg) == minimalize_transversal(
+            {4, 3, 2, 1}, hg
+        )
+
+    @given(simple_hypergraphs(max_vertices=6, max_edges=4))
+    def test_full_vertex_set_minimalizes(self, hg):
+        if hg.is_trivial_true():
+            return
+        t = minimalize_transversal(hg.vertices, hg)
+        assert is_minimal_transversal(t, hg)
+
+
+class TestNewTransversal:
+    def test_witness_detection(self):
+        g = Hypergraph([{0, 1}, {2, 3}], vertices=range(4))
+        full_dual = transversal_hypergraph(g)
+        incomplete = Hypergraph(list(full_dual.edges)[:-1], vertices=g.vertices)
+        missing = list(full_dual.edges)[-1]
+        assert is_new_transversal(missing, g, incomplete)
+
+    def test_no_new_transversal_when_dual(self):
+        g = Hypergraph([{0, 1}, {2, 3}], vertices=range(4))
+        h = transversal_hypergraph(g)
+        from repro._util import powerset
+
+        assert not any(
+            is_new_transversal(s, g, h) for s in powerset(g.vertices)
+        )
+
+    def test_non_transversal_is_not_new(self):
+        g = Hypergraph([{0, 1}])
+        assert not is_new_transversal(set(), g, Hypergraph.empty({0, 1}))
+
+
+class TestDerivedViews:
+    def test_maximal_independent_sets_are_complements(self, triangle):
+        mis = maximal_independent_sets(triangle)
+        assert set(mis.edges) == {frozenset({0}), frozenset({1}), frozenset({2})}
+
+    def test_self_transversal_majority(self):
+        from repro.hypergraph.generators import self_dual_majority
+
+        assert self_transversal(self_dual_majority(3))
+        assert self_transversal(self_dual_majority(5))
+
+    def test_self_transversal_fails_for_matching(self):
+        g, _ = matching_dual_pair(2)
+        assert not self_transversal(g)
+
+    def test_minimal_transversals_iterator(self):
+        hg = Hypergraph([{1, 2}])
+        assert list(minimal_transversals(hg)) == [frozenset({1}), frozenset({2})]
+
+    def test_cross_intersecting(self):
+        g = Hypergraph([{1, 2}])
+        assert cross_intersecting(g, Hypergraph([{1}, {2}]))
+        assert not cross_intersecting(g, Hypergraph([{3}], vertices={1, 2, 3}))

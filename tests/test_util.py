@@ -1,0 +1,116 @@
+"""Tests for the internal helpers in ``repro._util``."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import (
+    bits_needed,
+    canonical_edges,
+    format_family,
+    format_set,
+    int_log2_floor,
+    is_antichain,
+    maximize_family,
+    minimize_family,
+    powerset,
+    sort_key,
+    vertex_key,
+)
+
+
+class TestOrdering:
+    def test_sort_key_by_size_then_lex(self):
+        edges = [frozenset({3}), frozenset({1, 2}), frozenset({2})]
+        ordered = sorted(edges, key=sort_key)
+        assert ordered[0] == frozenset({2})
+        assert ordered[1] == frozenset({3})
+        assert ordered[2] == frozenset({1, 2})
+
+    def test_vertex_key_total_on_mixed_types(self):
+        values = [3, "a", 1, "b"]
+        once = sorted(values, key=vertex_key)
+        again = sorted(reversed(values), key=vertex_key)
+        assert once == again
+
+    def test_canonical_edges_deduplicates(self):
+        assert canonical_edges([frozenset({1}), frozenset({1})]) == (
+            frozenset({1}),
+        )
+
+
+class TestFamilies:
+    def test_minimize(self):
+        family = [frozenset({1}), frozenset({1, 2}), frozenset({3})]
+        assert minimize_family(family) == {frozenset({1}), frozenset({3})}
+
+    def test_maximize(self):
+        family = [frozenset({1}), frozenset({1, 2}), frozenset({3})]
+        assert maximize_family(family) == {frozenset({1, 2}), frozenset({3})}
+
+    def test_is_antichain(self):
+        assert is_antichain([frozenset({1}), frozenset({2})])
+        assert not is_antichain([frozenset({1}), frozenset({1, 2})])
+        assert is_antichain([])
+
+    def test_duplicates_do_not_break_antichain(self):
+        assert is_antichain([frozenset({1}), frozenset({1})])
+
+    @given(st.lists(st.frozensets(st.integers(0, 4), max_size=4), max_size=6))
+    def test_minimize_then_antichain(self, family):
+        assert is_antichain(minimize_family(family))
+
+    @given(st.lists(st.frozensets(st.integers(0, 4), max_size=4), max_size=6))
+    def test_minimize_maximize_duality(self, family):
+        # min over complements = complement of max (over a fixed universe).
+        universe = frozenset(range(5))
+        complements = [universe - e for e in family]
+        direct = {universe - e for e in maximize_family(family)}
+        assert minimize_family(complements) == frozenset(direct)
+
+
+class TestPowerset:
+    def test_counts(self):
+        assert len(list(powerset({1, 2, 3}))) == 8
+
+    def test_empty(self):
+        assert list(powerset(())) == [frozenset()]
+
+    def test_smallest_first(self):
+        sizes = [len(s) for s in powerset({1, 2})]
+        assert sizes == sorted(sizes)
+
+
+class TestBits:
+    def test_bits_needed(self):
+        assert bits_needed(0) == 1
+        assert bits_needed(1) == 1
+        assert bits_needed(2) == 2
+        assert bits_needed(255) == 8
+        assert bits_needed(256) == 9
+
+    def test_bits_needed_negative(self):
+        with pytest.raises(ValueError):
+            bits_needed(-1)
+
+    def test_int_log2_floor(self):
+        assert int_log2_floor(1) == 0
+        assert int_log2_floor(2) == 1
+        assert int_log2_floor(3) == 1
+        assert int_log2_floor(1024) == 10
+
+    def test_int_log2_floor_domain(self):
+        with pytest.raises(ValueError):
+            int_log2_floor(0)
+
+
+class TestFormatting:
+    def test_format_set(self):
+        assert format_set(frozenset()) == "{}"
+        assert format_set(frozenset({2, 1})) == "{1, 2}"
+
+    def test_format_family(self):
+        text = format_family([frozenset({2}), frozenset({1})])
+        assert text == "{{1}, {2}}"
