@@ -1,0 +1,301 @@
+"""Perf-trajectory harness: before/after timings → ``BENCH_core.json``.
+
+Runs the two pytest experiment modules the bitset refactor touches most
+(E1 figure regeneration, E9 itemset borders) for wall-clock context, then
+times the refactored kernels directly — each one both through its bitset
+fast path ("after") and through the retained frozenset reference path
+("before": ``transversal_hypergraph_reference``, ``use_bitset=False``,
+``use_bitset_kernels(False)``, ``frequency_scan``) — and writes a
+machine-readable report so future PRs can diff the perf trajectory.
+(Exception: the bm rows' "before" only reverts the restriction
+operators — see the note at their construction — so they understate the
+refactor's full effect.)  Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # smaller sweep
+    PYTHONPATH=src python benchmarks/run_bench.py --out /tmp/bench.json
+
+The JSON layout:
+
+* ``suites``  — wall time and exit status of the pytest benchmark files;
+* ``engines`` — per engine/instance: before_s, after_s, speedup;
+* ``itemsets`` — frequency-counting kernels at ≥ 20 items / ≥ 200 rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.duality.boros_makino import decide_boros_makino  # noqa: E402
+from repro.duality.fredman_khachiyan import decide_fk_a, decide_fk_b  # noqa: E402
+from repro.hypergraph.generators import (  # noqa: E402
+    matching_dual_pair,
+    threshold,
+    threshold_dual_pair,
+)
+from repro.hypergraph.operations import use_bitset_kernels  # noqa: E402
+from repro.hypergraph.transversal import (  # noqa: E402
+    transversal_hypergraph,
+    transversal_hypergraph_reference,
+)
+from repro.itemsets.datasets import dense_random  # noqa: E402
+from repro.itemsets.frequency import frequency, frequency_scan, support_map  # noqa: E402
+from repro.itemsets.relation import BooleanRelation  # noqa: E402
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    """Minimum wall time of ``repeats`` runs (the usual benchmark floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_pytest_suite(module: str) -> dict:
+    """One pytest benchmark module, timed end to end."""
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", f"benchmarks/{module}", "-q"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    wall = time.perf_counter() - start
+    tail = proc.stdout.strip().splitlines()[-1] if proc.stdout.strip() else ""
+    return {"wall_s": round(wall, 3), "exit_code": proc.returncode, "summary": tail}
+
+
+def engine_rows(quick: bool) -> list[dict]:
+    """Before/after rows for the duality engines."""
+    rows = []
+
+    def row(engine, instance, g, h, before, after, repeats):
+        before_s = best_of(before, repeats)
+        after_s = best_of(after, repeats)
+        rows.append(
+            {
+                "engine": engine,
+                "instance": instance,
+                "n_vertices": len(g.vertices | h.vertices),
+                "volume": len(g) * len(h),
+                "before_s": round(before_s, 4),
+                "after_s": round(after_s, 4),
+                "speedup": round(before_s / after_s, 2) if after_s else None,
+            }
+        )
+
+    # transversal engine: tr(G) itself is the engine's whole cost.
+    tr_instances = [("threshold-9", threshold(9))]
+    if not quick:
+        tr_instances += [("threshold-11", threshold(11)), ("matching-9", matching_dual_pair(9)[0])]
+    for name, g in tr_instances:
+        row(
+            "transversal",
+            name,
+            g,
+            g,
+            lambda g=g: transversal_hypergraph_reference(g),
+            lambda g=g: transversal_hypergraph(g),
+            repeats=2 if not quick else 1,
+        )
+
+    # Fredman–Khachiyan A and B: mask recursion vs frozenset recursion.
+    fk_instances = [("threshold-9-5", threshold_dual_pair(9, 5))]
+    if not quick:
+        fk_instances += [
+            ("threshold-11-6", threshold_dual_pair(11, 6)),
+            ("matching-8", matching_dual_pair(8)),
+        ]
+    for name, (g, h) in fk_instances:
+        row(
+            "fk-a",
+            name,
+            g,
+            h,
+            lambda g=g, h=h: decide_fk_a(g, h, use_bitset=False),
+            lambda g=g, h=h: decide_fk_a(g, h, use_bitset=True),
+            repeats=3,
+        )
+        row(
+            "fk-b",
+            name,
+            g,
+            h,
+            lambda g=g, h=h: decide_fk_b(g, h, use_bitset=False),
+            lambda g=g, h=h: decide_fk_b(g, h, use_bitset=True),
+            repeats=3,
+        )
+
+    # Boros–Makino.  NOTE: use_bitset_kernels only reverts the
+    # restriction operators (project / restrict_to_subsets / contract);
+    # majority_vertices, marksmall and process_children run their mask
+    # inner loops unconditionally.  The bm "before" is therefore a
+    # partial revert — an underestimate of the full refactor's effect —
+    # which the per-row "before_scope" field records.
+    bm_instances = [("matching-6", matching_dual_pair(6))]
+    if not quick:
+        bm_instances.append(("matching-7", matching_dual_pair(7)))
+    for name, (g, h) in bm_instances:
+
+        def before(g=g, h=h):
+            use_bitset_kernels(False)
+            try:
+                decide_boros_makino(g, h)
+            finally:
+                use_bitset_kernels(True)
+
+        row(
+            "bm",
+            name,
+            g,
+            h,
+            before,
+            lambda g=g, h=h: decide_boros_makino(g, h),
+            repeats=2 if not quick else 1,
+        )
+        rows[-1]["before_scope"] = "restriction-ops-only"
+    return rows
+
+
+def itemset_rows(quick: bool) -> list[dict]:
+    """Before/after rows for frequency counting (≥ 20 items, ≥ 200 rows)."""
+    rows = []
+    shapes = [(24, 300, 0.5)]
+    if not quick:
+        shapes.append((32, 500, 0.4))
+    for n_items, n_rows, density in shapes:
+        relation = dense_random(
+            n_items=n_items, n_rows=n_rows, density=density, seed=42
+        )
+        # Re-wrap so cached bitmaps from generation don't skew the scan side.
+        relation = BooleanRelation(relation.rows, items=relation.items)
+        items = sorted(relation.items, key=repr)
+        import random as _random
+
+        rng = _random.Random(7)
+        queries = [
+            frozenset(rng.sample(items, rng.randint(1, 6))) for _ in range(200)
+        ]
+
+        def scan_all():
+            for u in queries:
+                frequency_scan(relation, u)
+
+        def bitmap_all():
+            for u in queries:
+                frequency(relation, u)
+
+        relation.vertical_bitmaps()  # build once; steady-state is what we time
+        before_s = best_of(scan_all, 3)
+        after_s = best_of(bitmap_all, 3)
+        rows.append(
+            {
+                "kernel": "frequency",
+                "instance": f"dense-{n_items}x{n_rows}",
+                "n_items": n_items,
+                "n_rows": n_rows,
+                "queries": len(queries),
+                "before_s": round(before_s, 4),
+                "after_s": round(after_s, 4),
+                "speedup": round(before_s / after_s, 2) if after_s else None,
+            }
+        )
+
+        def support_bitmap():
+            support_map(relation, queries)
+
+        def support_scan():
+            for u in queries:
+                frequency_scan(relation, u)
+
+        before_s = best_of(support_scan, 3)
+        after_s = best_of(support_bitmap, 3)
+        rows.append(
+            {
+                "kernel": "support_map",
+                "instance": f"dense-{n_items}x{n_rows}",
+                "n_items": n_items,
+                "n_rows": n_rows,
+                "queries": len(queries),
+                "before_s": round(before_s, 4),
+                "after_s": round(after_s, 4),
+                "speedup": round(before_s / after_s, 2) if after_s else None,
+            }
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_core.json",
+        help="output path (default: BENCH_core.json at the repo root)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sweep for smoke runs"
+    )
+    parser.add_argument(
+        "--skip-suites",
+        action="store_true",
+        help="skip the pytest E1/E9 wall-time runs",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "suites": {},
+        "engines": [],
+        "itemsets": [],
+    }
+
+    if not args.skip_suites:
+        for module in ("bench_e1_figure1.py", "bench_e9_itemsets.py"):
+            print(f"running pytest {module} ...", flush=True)
+            report["suites"][module.removesuffix(".py")] = run_pytest_suite(module)
+
+    print("timing duality engines (before = frozenset, after = bitset) ...")
+    report["engines"] = engine_rows(args.quick)
+    print("timing itemset frequency kernels ...")
+    report["itemsets"] = itemset_rows(args.quick)
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    width = max(
+        len(f"{r['engine']}/{r['instance']}") for r in report["engines"]
+    )
+    for r in report["engines"]:
+        label = f"{r['engine']}/{r['instance']}"
+        print(
+            f"  {label:<{width}}  before {r['before_s']:8.4f}s"
+            f"  after {r['after_s']:8.4f}s  x{r['speedup']}"
+        )
+    for r in report["itemsets"]:
+        label = f"{r['kernel']}/{r['instance']}"
+        print(
+            f"  {label:<{width}}  before {r['before_s']:8.4f}s"
+            f"  after {r['after_s']:8.4f}s  x{r['speedup']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

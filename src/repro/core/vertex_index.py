@@ -1,0 +1,119 @@
+"""Stable vertex↔bit mapping: the dictionary between set and mask domains.
+
+The whole bitset layer rests on one invariant: a :class:`VertexIndex`
+enumerates its universe in the library's canonical vertex order
+(:func:`repro._util.vertex_key`), so bit ``i`` is the ``i``-th vertex of
+that order.  Two consequences keep the fast path bit-for-bit compatible
+with the ``frozenset`` implementations:
+
+* ascending bit index  ⇔  ascending ``vertex_key`` — every loop that the
+  set-domain code runs "in canonical vertex order" can run over bits in
+  ascending position instead;
+* the canonical *edge* order ``(len(E), sorted vertex keys)`` coincides
+  with the mask order ``(popcount(m), ascending bit positions)`` — see
+  :func:`repro.core.bitset.mask_sort_key`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro._util import vertex_key
+from repro.errors import VertexError
+
+
+class VertexIndex:
+    """An immutable bijection between a vertex universe and bit positions.
+
+    Vertices are assigned bits ``0 … n-1`` in canonical (``vertex_key``)
+    order.  Encoding turns any vertex collection into an ``int`` mask;
+    decoding turns a mask back into a ``frozenset`` of vertices.
+    """
+
+    __slots__ = ("_vertices", "_bit_of", "_full")
+
+    def __init__(self, universe: Iterable) -> None:
+        self._vertices: tuple = tuple(sorted(set(universe), key=vertex_key))
+        self._bit_of: dict = {v: i for i, v in enumerate(self._vertices)}
+        self._full: int = (1 << len(self._vertices)) - 1
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def vertices(self) -> tuple:
+        """The universe in canonical order (bit ``i`` ↦ ``vertices[i]``)."""
+        return self._vertices
+
+    @property
+    def full_mask(self) -> int:
+        """The mask of the entire universe."""
+        return self._full
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._vertices)
+
+    def __contains__(self, vertex) -> bool:
+        return vertex in self._bit_of
+
+    def __repr__(self) -> str:
+        return f"VertexIndex({len(self._vertices)} vertices)"
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+
+    def position(self, vertex) -> int:
+        """The bit position of ``vertex`` (raises :class:`VertexError`)."""
+        try:
+            return self._bit_of[vertex]
+        except KeyError:
+            raise VertexError(f"{vertex!r} is not in this index") from None
+
+    def bit(self, vertex) -> int:
+        """The single-bit mask ``1 << position(vertex)``."""
+        return 1 << self.position(vertex)
+
+    def encode(self, vertices: Iterable) -> int:
+        """The mask of a vertex collection (all members must be indexed)."""
+        mask = 0
+        bit_of = self._bit_of
+        try:
+            for v in vertices:
+                mask |= 1 << bit_of[v]
+        except KeyError as exc:
+            raise VertexError(f"{exc.args[0]!r} is not in this index") from None
+        return mask
+
+    def encode_within(self, vertices: Iterable) -> int:
+        """The mask of ``vertices ∩ universe`` — foreign vertices are dropped.
+
+        Used by predicates such as transversality where a candidate set
+        may carry vertices outside ``V(H)``; those can never meet an edge,
+        so clipping preserves the set-domain semantics.
+        """
+        mask = 0
+        bit_of = self._bit_of
+        for v in vertices:
+            pos = bit_of.get(v)
+            if pos is not None:
+                mask |= 1 << pos
+        return mask
+
+    def decode(self, mask: int) -> frozenset:
+        """The vertex set of a mask."""
+        vertices = self._vertices
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(vertices[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(out)
+
+    def decode_many(self, masks: Iterable[int]) -> tuple[frozenset, ...]:
+        """Decode a sequence of masks, preserving order."""
+        return tuple(self.decode(m) for m in masks)

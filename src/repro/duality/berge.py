@@ -15,7 +15,7 @@ method sidesteps.
 
 from __future__ import annotations
 
-from repro._util import minimize_family
+from repro.core import VertexIndex, berge_step
 from repro.hypergraph import Hypergraph
 from repro.hypergraph.transversal import is_new_transversal
 from repro.duality.result import (
@@ -54,32 +54,33 @@ def decide_by_berge(
     universe = g.vertices | h.vertices
     stats = DecisionStats()
 
+    # The multiplication runs on integer masks (one Berge step per edge
+    # of G); only the final family is decoded back to frozensets for the
+    # comparison with H and the certificates.
+    index = VertexIndex(universe)
     if g.is_trivial_true():
-        current: frozenset[frozenset] = frozenset()
+        current_set: frozenset[frozenset] = frozenset()
     else:
-        current = frozenset((frozenset(),))
+        current_masks: tuple[int, ...] = (0,)
         for edge in g.edges:
-            expanded: set[frozenset] = set()
-            for partial in current:
-                if partial & edge:
-                    expanded.add(partial)
-                else:
-                    for v in edge:
-                        expanded.add(partial | {v})
-            current = minimize_family(expanded)
+            current_masks = berge_step(current_masks, index.encode(edge))
             stats.nodes += 1
             stats.extra["peak_intermediate"] = max(
-                stats.extra.get("peak_intermediate", 0), len(current)
+                stats.extra.get("peak_intermediate", 0), len(current_masks)
             )
-            if intermediate_cap is not None and len(current) > intermediate_cap:
+            if (
+                intermediate_cap is not None
+                and len(current_masks) > intermediate_cap
+            ):
                 raise MemoryError(
                     f"Berge intermediate family exceeded cap "
-                    f"({len(current)} > {intermediate_cap})"
+                    f"({len(current_masks)} > {intermediate_cap})"
                 )
+        current_set = frozenset(index.decode(m) for m in current_masks)
 
     h_edges = set(h.edges)
     extra = sorted(
-        h_edges - current, key=lambda e: (len(e), sorted(map(repr, e)))
+        h_edges - current_set, key=lambda e: (len(e), sorted(map(repr, e)))
     )
     if extra:
         return not_dual_result(
@@ -90,7 +91,7 @@ def decide_by_berge(
             stats=stats,
         )
     missing = sorted(
-        current - h_edges, key=lambda e: (len(e), sorted(map(repr, e)))
+        current_set - h_edges, key=lambda e: (len(e), sorted(map(repr, e)))
     )
     if missing:
         g_aligned = g.with_vertices(universe)

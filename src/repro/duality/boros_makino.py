@@ -28,6 +28,7 @@ symmetric) and records the swap.
 from __future__ import annotations
 
 from repro._util import sort_key, vertex_key
+from repro.core import iter_bits
 from repro.hypergraph import Hypergraph
 from repro.hypergraph.operations import restriction_instance
 from repro.hypergraph.transversal import is_new_transversal
@@ -49,10 +50,23 @@ from repro.duality.tree import (
 
 
 def majority_vertices(h_restricted: Hypergraph) -> frozenset:
-    """``I_α``: vertices occurring in more than ``|H_{S_α}|/2`` edges (step 1)."""
+    """``I_α``: vertices occurring in more than ``|H_{S_α}|/2`` edges (step 1).
+
+    One pass over the bitset view (shared with the step-2 check),
+    counting per-bit occurrences — ``O(Σ|E|)`` like the ``degrees()``
+    scan, but with int keys instead of vertex hashing.
+    """
     threshold = len(h_restricted) / 2.0
-    degrees = h_restricted.degrees()
-    return frozenset(v for v, d in degrees.items() if d > threshold)
+    family = h_restricted.bits()
+    counts: dict[int, int] = {}
+    for mask in family.masks:
+        for bit in iter_bits(mask):
+            counts[bit] = counts.get(bit, 0) + 1
+    majority = 0
+    for bit, count in counts.items():
+        if count > threshold:
+            majority |= bit
+    return family.index.decode(majority)
 
 
 def marksmall(
@@ -70,8 +84,8 @@ def marksmall(
     g_s, h_s = attrs.instance(g, h)
     if len(h_s) > 1:
         raise ValueError("marksmall requires |H_S| <= 1")
-    g_s_edges = set(g_s.edges)
-    empty_in_g = frozenset() in g_s_edges
+    g_family = g_s.bits()
+    empty_in_g = 0 in g_family
 
     if len(h_s) == 0 and not empty_in_g:
         # case 1: nothing left of H, yet S_α still traverses G.
@@ -81,14 +95,15 @@ def marksmall(
         return NodeAttributes(attrs.label, attrs.scope, Mark.DONE, frozenset())
 
     (h_edge,) = h_s.edges
-    if all(frozenset({i}) in g_s_edges for i in h_edge):
+    if all(g_family.index.bit(i) in g_family for i in h_edge):
         # case 3: the lone H-edge is forced vertex-by-vertex.
         return NodeAttributes(attrs.label, attrs.scope, Mark.DONE, frozenset())
 
     # case 4: drop an i ∈ H whose singleton is not in G^{S_α}
     # (paper default: the smallest such i).
     candidates = sorted(
-        (i for i in h_edge if frozenset({i}) not in g_s_edges), key=vertex_key
+        (i for i in h_edge if g_family.index.bit(i) not in g_family),
+        key=vertex_key,
     )
     chosen = policy.vertex_choice(candidates)
     return NodeAttributes(
@@ -122,11 +137,20 @@ def process_children(
         return NodeAttributes(attrs.label, scope, Mark.FAIL, i_alpha)
 
     # Step 3: some G-edge disjoint from I_α (I_α not a transversal).
-    missed = [e for e in g_s.edges if not e & i_alpha]
+    g_family = g_s.bits()
+    i_alpha_mask = g_family.index.encode_within(i_alpha)
+    missed = [
+        e
+        for e, m in zip(g_s.edges, g_family.masks)
+        if not m & i_alpha_mask
+    ]
     if missed:
         g_edge = policy.edge_choice(missed)
+        avoid_mask = g_family.index.encode(scope - g_edge)
         survivors = [
-            e for e in g_s.edges if not e <= (scope - g_edge)
+            e
+            for e, m in zip(g_s.edges, g_family.masks)
+            if m & avoid_mask != m
         ]
         scopes = {
             scope - (e - {i}) for e in survivors for i in (e & g_edge)
@@ -134,7 +158,13 @@ def process_children(
         return sorted(scopes, key=sort_key)
 
     # Step 4: some H-edge inside I_α (I_α covers an H-edge).
-    covered = [e for e in h_s.edges if e <= i_alpha]
+    h_family = h_s.bits()
+    covered_mask = h_family.index.encode_within(i_alpha)
+    covered = [
+        e
+        for e, m in zip(h_s.edges, h_family.masks)
+        if m & covered_mask == m
+    ]
     h_edge = policy.edge_choice(covered)
     scopes = {scope - {i} for i in h_edge} | {h_edge}
     return sorted(scopes, key=sort_key)

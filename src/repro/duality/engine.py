@@ -92,10 +92,24 @@ def decide_duality(
     """
     engines = _lazy_engines()
     if method not in engines:
-        raise ValueError(
-            f"unknown method {method!r}; choose one of {sorted(engines)}"
-        )
+        raise ValueError(_unknown_method_message(method, engines))
     return engines[method](g, h)
+
+
+def _unknown_method_message(method: str, engines: dict) -> str:
+    """A helpful error for a bad ``method``: every valid name, plus the
+    closest match when the input looks like a typo."""
+    from difflib import get_close_matches
+
+    names = sorted(engines)
+    message = (
+        f"unknown duality method {method!r}; valid methods are: "
+        + ", ".join(repr(name) for name in names)
+    )
+    close = get_close_matches(str(method), names, n=1)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    return message
 
 
 def are_dual(g: Hypergraph, h: Hypergraph, method: str = DEFAULT_METHOD) -> bool:

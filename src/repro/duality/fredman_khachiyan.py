@@ -36,6 +36,7 @@ from itertools import chain
 
 from repro._util import minimize_family, vertex_key
 from repro.complexity.bounds import chi
+from repro.core import VertexIndex, antichain_minima, iter_bits, mask_sort_key
 from repro.hypergraph import Hypergraph
 from repro.duality.result import (
     DecisionStats,
@@ -163,12 +164,17 @@ def _base_case(
         stats.base_cases += 1
         return False, ("11", _first_edge(f))
 
-    # Cross-intersection: every F-edge must meet every G-edge.
-    for e in f:
-        for e2 in g:
-            if not e & e2:
-                stats.base_cases += 1
-                return False, ("11", universe - e2)
+    # Cross-intersection: every F-edge must meet every G-edge.  The
+    # early-exit scan runs in hash order; on failure the witness is
+    # re-selected canonically so the certificate is deterministic and
+    # identical to the mask path's.
+    if any(not e & e2 for e in f for e2 in g):
+        stats.base_cases += 1
+        offending = min(
+            (e2 for e2 in g if any(not e & e2 for e in f)),
+            key=lambda e2: (len(e2), sorted(map(vertex_key, e2))),
+        )
+        return False, ("11", universe - offending)
 
     # Single-term sides: f = single term t is dual exactly to the
     # singletons of t (given cross-intersection and simplicity).
@@ -248,6 +254,212 @@ def _decide(
     return None
 
 
+# ---------------------------------------------------------------------------
+# Mask-domain recursion (the bitset fast path)
+# ---------------------------------------------------------------------------
+# Mirrors of the frozenset helpers above with edges as integer masks over
+# a shared VertexIndex.  Every free choice — frequent-variable selection,
+# tie-breaking, witness selection, variable scan order — is resolved in
+# the same canonical order (ascending bit position ⇔ ascending
+# vertex_key), so both paths return the identical failing assignment.
+# The frozenset originals stay as the reference the equivalence suite
+# and the perf harness compare against.
+
+# A mask-domain failing assignment: ("00" | "11", true-variable mask).
+_MaskAssignment = tuple[str, int]
+
+
+def _split_m(
+    edges: frozenset[int], xbit: int
+) -> tuple[frozenset[int], frozenset[int], frozenset[int]]:
+    """Mask twin of :func:`_split`: ``(F₀, F₁, min(F₀ ∪ F₁))``.
+
+    The minimalised component is a frozenset (like the original), so the
+    order-free :func:`antichain_minima` suffices — no canonical sort.
+    """
+    f0 = frozenset(e for e in edges if not e & xbit)
+    f1 = frozenset(e & ~xbit for e in edges if e & xbit)
+    return f0, f1, frozenset(antichain_minima(f0 | f1))
+
+
+def _first_edge_m(edges: frozenset[int]) -> int:
+    """Canonically-first mask (deterministic witness selection)."""
+    return min(edges, key=mask_sort_key)
+
+
+def _weight_m(f: frozenset[int], g: frozenset[int]) -> float:
+    """The FK mass in the mask domain (popcount instead of ``len``)."""
+    return sum(2.0 ** -e.bit_count() for e in f) + sum(
+        2.0 ** -e.bit_count() for e in g
+    )
+
+
+def _low_weight_assignment_m(f: frozenset[int], g: frozenset[int]) -> int:
+    """Mask twin of :func:`_low_weight_assignment` (same scan order)."""
+    f_alive = {e: e.bit_count() for e in f}
+    g_alive = {e: e.bit_count() for e in g}
+    union = 0
+    for e in chain(f, g):
+        union |= e
+    true_mask = 0
+    for vbit in iter_bits(union):
+        weight_true = sum(
+            2.0 ** -(c - (1 if e & vbit else 0)) for e, c in f_alive.items()
+        ) + sum(2.0 ** -c for e, c in g_alive.items() if not e & vbit)
+        weight_false = sum(
+            2.0 ** -c for e, c in f_alive.items() if not e & vbit
+        ) + sum(
+            2.0 ** -(c - (1 if e & vbit else 0)) for e, c in g_alive.items()
+        )
+        if weight_true <= weight_false:
+            true_mask |= vbit
+            f_alive = {
+                e: (c - 1 if e & vbit else c) for e, c in f_alive.items()
+            }
+            g_alive = {e: c for e, c in g_alive.items() if not e & vbit}
+        else:
+            f_alive = {e: c for e, c in f_alive.items() if not e & vbit}
+            g_alive = {
+                e: (c - 1 if e & vbit else c) for e, c in g_alive.items()
+            }
+    return true_mask
+
+
+def _most_frequent_variable_m(
+    f: frozenset[int], g: frozenset[int]
+) -> tuple[int, float]:
+    """Mask twin of :func:`_most_frequent_variable`; returns ``(bit position,
+    frequency)`` with ties broken by ascending position (the canonical
+    vertex order), exactly like the frozenset original.  One ``O(Σ|E|)``
+    counting pass, matching the reference's cost."""
+    counts_f: dict[int, int] = {}
+    counts_g: dict[int, int] = {}
+    for e in f:
+        for bit in iter_bits(e):
+            counts_f[bit] = counts_f.get(bit, 0) + 1
+    for e in g:
+        for bit in iter_bits(e):
+            counts_g[bit] = counts_g.get(bit, 0) + 1
+    n_f, n_g = len(f), len(g)
+    best_bit = 0
+    best_freq = -1.0
+    # Single-bit masks sort ascending exactly by position.
+    for bit in sorted(set(counts_f) | set(counts_g)):
+        freq = max(
+            counts_f.get(bit, 0) / n_f if n_f else 0.0,
+            counts_g.get(bit, 0) / n_g if n_g else 0.0,
+        )
+        if freq > best_freq:
+            best_bit, best_freq = bit, freq
+    return best_bit.bit_length() - 1, best_freq
+
+
+def _base_case_m(
+    f: frozenset[int], g: frozenset[int], stats: DecisionStats
+) -> tuple[bool, _MaskAssignment | None] | None:
+    """Mask twin of :func:`_base_case` (``0`` is the empty edge)."""
+    universe = 0
+    for e in chain(f, g):
+        universe |= e
+
+    if not f:  # f ≡ false
+        stats.base_cases += 1
+        if g == frozenset({0}):
+            return True, None
+        if not g:
+            return False, ("00", 0)
+        return False, ("00", universe)
+    if 0 in f:  # f ≡ true
+        stats.base_cases += 1
+        if not g:
+            return True, None
+        return False, ("11", universe & ~_first_edge_m(g))
+    if not g:  # g ≡ false, f non-constant
+        stats.base_cases += 1
+        return False, ("00", 0)
+    if 0 in g:  # g ≡ true, f non-constant
+        stats.base_cases += 1
+        return False, ("11", _first_edge_m(f))
+
+    # Cross-intersection, with the same canonical witness re-selection
+    # as the frozenset path (set iteration order differs between the
+    # two domains; the min() makes the certificate identical).
+    if any(not e & e2 for e in f for e2 in g):
+        stats.base_cases += 1
+        offending = min(
+            (e2 for e2 in g if any(not e & e2 for e in f)),
+            key=mask_sort_key,
+        )
+        return False, ("11", universe & ~offending)
+
+    if len(f) == 1:
+        stats.base_cases += 1
+        (term,) = f
+        singles = frozenset(iter_bits(term))
+        if g == singles:
+            return True, None
+        missing_bit = next(b for b in iter_bits(term) if b not in g)
+        return False, ("00", universe & ~missing_bit)
+    if len(g) == 1:
+        resolved = _base_case_m(g, f, stats)
+        if resolved is None:
+            return None
+        is_dual, failing = resolved
+        if failing is None:
+            return is_dual, None
+        kind, true_mask = failing
+        return is_dual, (kind, universe & ~true_mask)
+
+    if _weight_m(f, g) < 1.0:
+        stats.base_cases += 1
+        return False, ("00", _low_weight_assignment_m(f, g))
+
+    return None
+
+
+def _decide_m(
+    f: frozenset[int],
+    g: frozenset[int],
+    stats: DecisionStats,
+    depth: int,
+    use_b: bool,
+) -> _MaskAssignment | None:
+    """Mask twin of :func:`_decide` — the same recursion, ints throughout."""
+    stats.nodes += 1
+    stats.max_depth = max(stats.max_depth, depth)
+
+    resolved = _base_case_m(f, g, stats)
+    if resolved is not None:
+        _is_dual, failing = resolved
+        return failing
+
+    position, freq = _most_frequent_variable_m(f, g)
+    xbit = 1 << position
+    f0, _f1, f_at_1 = _split_m(f, xbit)
+    g0, g1, g_at_1 = _split_m(g, xbit)
+
+    failing = _decide_m(f0, g_at_1, stats, depth + 1, use_b)
+    if failing is not None:
+        return failing
+
+    volume = max(len(f) * len(g), 2)
+    if use_b and freq < 1.0 / chi(volume) and g1:
+        for u in sorted(g1, key=mask_sort_key):
+            f_prime = frozenset(e for e in f_at_1 if not e & u)
+            g0_u = frozenset(antichain_minima(e2 & ~u for e2 in g0))
+            failing = _decide_m(f_prime, g0_u, stats, depth + 1, use_b)
+            if failing is not None:
+                kind, true_mask = failing
+                return kind, true_mask | xbit
+        return None
+
+    failing = _decide_m(f_at_1, g0, stats, depth + 1, use_b)
+    if failing is not None:
+        kind, true_mask = failing
+        return kind, true_mask | xbit
+    return None
+
+
 def _assignment_to_result(
     method: str,
     g: Hypergraph,
@@ -278,34 +490,57 @@ def _assignment_to_result(
     )
 
 
-def _decide_fk(g: Hypergraph, h: Hypergraph, use_b: bool) -> DualityResult:
+def _decide_fk(
+    g: Hypergraph, h: Hypergraph, use_b: bool, use_bitset: bool = True
+) -> DualityResult:
     method = "fredman-khachiyan-B" if use_b else "fredman-khachiyan-A"
     g.require_simple("G")
     h.require_simple("H")
     stats = DecisionStats()
-    failing = _decide(
-        frozenset(g.edges), frozenset(h.edges), stats, depth=0, use_b=use_b
-    )
+    if use_bitset:
+        index = VertexIndex(g.vertices | h.vertices)
+        failing_m = _decide_m(
+            frozenset(index.encode(e) for e in g.edges),
+            frozenset(index.encode(e) for e in h.edges),
+            stats,
+            depth=0,
+            use_b=use_b,
+        )
+        failing = (
+            None
+            if failing_m is None
+            else (failing_m[0], index.decode(failing_m[1]))
+        )
+    else:
+        failing = _decide(
+            frozenset(g.edges), frozenset(h.edges), stats, depth=0, use_b=use_b
+        )
     if failing is None:
         return dual_result(method, stats)
     return _assignment_to_result(method, g, h, failing, stats)
 
 
-def decide_fk_a(g: Hypergraph, h: Hypergraph) -> DualityResult:
+def decide_fk_a(
+    g: Hypergraph, h: Hypergraph, use_bitset: bool = True
+) -> DualityResult:
     """Fredman–Khachiyan algorithm A: binary recursion on a frequent variable.
 
     Decides ``H = tr(G)`` for simple hypergraphs over a shared universe
     in ``n^{O(log² n)}``-ish time (A's bound is ``n^{O(log n)}`` with the
     original frequency analysis); certificates as in
-    :mod:`repro.duality.result`.
+    :mod:`repro.duality.result`.  ``use_bitset=False`` selects the
+    frozenset reference recursion (identical verdicts and certificates).
     """
-    return _decide_fk(g, h, use_b=False)
+    return _decide_fk(g, h, use_b=False, use_bitset=use_bitset)
 
 
-def decide_fk_b(g: Hypergraph, h: Hypergraph) -> DualityResult:
+def decide_fk_b(
+    g: Hypergraph, h: Hypergraph, use_bitset: bool = True
+) -> DualityResult:
     """Fredman–Khachiyan algorithm B: the ``n^{4χ(n)+O(1)}`` refinement.
 
     Falls back on A's branching when a frequent variable exists and uses
-    the per-``g₁``-term decomposition otherwise.
+    the per-``g₁``-term decomposition otherwise.  ``use_bitset=False``
+    selects the frozenset reference recursion.
     """
-    return _decide_fk(g, h, use_b=True)
+    return _decide_fk(g, h, use_b=True, use_bitset=use_bitset)

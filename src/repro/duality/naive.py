@@ -16,6 +16,7 @@ algorithms.
 from __future__ import annotations
 
 from repro._util import powerset
+from repro.core import VertexIndex
 from repro.hypergraph import Hypergraph
 from repro.hypergraph.transversal import (
     is_new_transversal,
@@ -46,16 +47,28 @@ def decide_by_truth_table(g: Hypergraph, h: Hypergraph) -> DualityResult:
     h.require_simple("H")
     universe = g.vertices | h.vertices
     stats = DecisionStats()
+
+    # Assignments are enumerated in the library's powerset order (by
+    # size, then lexicographically in canonical vertex order) so the
+    # first failing assignment — and hence the certificate — matches the
+    # frozenset implementation; each term evaluation is one mask test.
+    index = VertexIndex(universe)
+    full = index.full_mask
+    g_masks = tuple(index.encode(e) for e in g.edges)
+    h_pairs = tuple((e, index.encode(e)) for e in h.edges)
     for true_vars in powerset(universe):
         stats.nodes += 1
-        flipped = universe - true_vars
-        f_val = any(edge <= true_vars for edge in g.edges)
-        g_val = any(edge <= flipped for edge in h.edges)
+        true_mask = index.encode(true_vars)
+        flipped_mask = full & ~true_mask
+        f_val = any(m & true_mask == m for m in g_masks)
+        g_val = any(m & flipped_mask == m for _e, m in h_pairs)
         if f_val == g_val:
             if f_val:
                 # f(x) = 1 and g(¬x) = 1: a G-edge inside the true set is
                 # disjoint from an H-edge inside the false set.
-                offending = next(e for e in h.edges if e <= flipped)
+                offending = next(
+                    e for e, m in h_pairs if m & flipped_mask == m
+                )
                 return not_dual_result(
                     method,
                     FailureKind.EXTRA_EDGE,
@@ -72,7 +85,7 @@ def decide_by_truth_table(g: Hypergraph, h: Hypergraph) -> DualityResult:
             return not_dual_result(
                 method,
                 FailureKind.MISSING_TRANSVERSAL,
-                witness=frozenset(flipped),
+                witness=index.decode(flipped_mask),
                 detail="complementary assignment falsifies both formulas",
                 stats=stats,
             )

@@ -37,6 +37,7 @@ from repro.hypergraph.transversal import (
     minimalize_transversal,
     self_transversal,
     transversal_hypergraph,
+    transversal_hypergraph_reference,
     transversals_brute_force,
 )
 
@@ -65,6 +66,7 @@ __all__ = [
     "restriction_instance",
     "self_transversal",
     "transversal_hypergraph",
+    "transversal_hypergraph_reference",
     "transversals_brute_force",
     "union",
 ]

@@ -23,11 +23,10 @@ from collections.abc import Iterable, Iterator
 from repro._util import (
     canonical_edges,
     format_family,
-    is_antichain,
-    minimize_family,
     sort_key,
     vertex_key,
 )
+from repro.core import BitsetFamily, VertexIndex
 from repro.errors import NotSimpleError, VertexError
 
 
@@ -50,7 +49,7 @@ class Hypergraph:
     are reproducible across runs.
     """
 
-    __slots__ = ("_edges", "_vertices", "_hash")
+    __slots__ = ("_edges", "_vertices", "_hash", "_bits")
 
     def __init__(
         self,
@@ -74,6 +73,7 @@ class Hypergraph:
         self._edges: tuple[frozenset, ...] = frozen
         self._vertices: frozenset = universe
         self._hash: int | None = None
+        self._bits = None
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -116,8 +116,13 @@ class Hypergraph:
     # ------------------------------------------------------------------
 
     def is_simple(self) -> bool:
-        """True iff no hyperedge contains another (the family is an antichain)."""
-        return is_antichain(self._edges)
+        """True iff no hyperedge contains another (the family is an antichain).
+
+        Checked on the bitset view (one ``&``-compare per edge pair); the
+        view is cached, so deciders that call :meth:`require_simple` and
+        then run mask kernels pay for the encoding once.
+        """
+        return self.bits().is_antichain()
 
     def require_simple(self, what: str = "hypergraph") -> "Hypergraph":
         """Return ``self`` if simple, else raise :class:`NotSimpleError`."""
@@ -167,15 +172,63 @@ class Hypergraph:
         return len(self) * len(other)
 
     # ------------------------------------------------------------------
+    # Bitset view
+    # ------------------------------------------------------------------
+
+    def bits(self) -> BitsetFamily:
+        """The lazily-built bitset view of this hypergraph.
+
+        A :class:`repro.core.BitsetFamily` over a :class:`VertexIndex`
+        covering (at least) the universe, built once and cached.
+        Because the canonical edge order equals the canonical mask
+        order, ``bits().masks[i]`` encodes ``edges[i]``.  The view is a
+        derived cache — the ``frozenset`` edges remain the source of
+        truth.
+
+        Restriction operators attach views that share the *parent*
+        hypergraph's index, so a decomposition node never rebuilds an
+        index; consumers must therefore treat the index as a superset of
+        the universe (extra bits simply never occur in any mask).
+        """
+        if self._bits is None:
+            index = VertexIndex(self._vertices)
+            self._bits = BitsetFamily(
+                index,
+                tuple(index.encode(edge) for edge in self._edges),
+                canonical=True,
+            )
+        return self._bits
+
+    @classmethod
+    def _from_canonical(
+        cls, edges: tuple[frozenset, ...], vertices: frozenset
+    ) -> "Hypergraph":
+        """Internal fast constructor: edges already deduplicated, in
+        canonical order, and within ``vertices``.  Callers (the bitset
+        fast paths) guarantee the invariants the public constructor
+        re-establishes by sorting."""
+        hg = cls.__new__(cls)
+        hg._edges = edges
+        hg._vertices = vertices
+        hg._hash = None
+        hg._bits = None
+        return hg
+
+    # ------------------------------------------------------------------
     # Derivations
     # ------------------------------------------------------------------
 
     def minimized(self) -> "Hypergraph":
         """The simple hypergraph ``min(H)`` of inclusion-minimal edges.
 
-        The vertex universe is preserved.
+        The vertex universe is preserved.  Runs in the mask domain via
+        the bitset view; the result is identical to minimising the
+        ``frozenset`` family directly.
         """
-        return Hypergraph(minimize_family(self._edges), vertices=self._vertices)
+        family = self.bits().minimized()
+        out = Hypergraph._from_canonical(family.decode(), self._vertices)
+        out._bits = family
+        return out
 
     def with_vertices(self, vertices: Iterable) -> "Hypergraph":
         """Same edges over an explicitly supplied (super-)universe."""

@@ -16,8 +16,29 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro._util import minimize_family
+from repro.core import BitsetFamily, mask_sort_key
 from repro.errors import VertexError
 from repro.hypergraph.hypergraph import Hypergraph
+
+#: When True (the default), the restriction operators run on the bitset
+#: view of the input.  :func:`use_bitset_kernels` flips it — the perf
+#: harness uses the switch to measure the frozenset path "before" the
+#: refactor without checking out old code.
+_USE_BITSET = True
+
+
+def use_bitset_kernels(enabled: bool) -> bool:
+    """Enable/disable the mask fast path of :func:`project`,
+    :func:`restrict_to_subsets` and :func:`contract`; returns the
+    previous setting.
+
+    Both paths produce identical hypergraphs — this exists for the
+    equivalence tests and the before/after benchmark harness only.
+    """
+    global _USE_BITSET
+    previous = _USE_BITSET
+    _USE_BITSET = enabled
+    return previous
 
 
 def project(hg: Hypergraph, onto: Iterable) -> Hypergraph:
@@ -27,21 +48,60 @@ def project(hg: Hypergraph, onto: Iterable) -> Hypergraph:
     ``hg`` is simple — the Boros–Makino procedures rely on both facts
     (``marksmall`` explicitly tests ``∅ ∈ G^{S_α}``), so *no*
     minimisation is applied here.
+
+    This is the per-node workhorse of the decomposition engines (every
+    tree node projects the original ``G`` onto its scope), so the fast
+    path intersects masks and sorts by the mask key instead of paying a
+    ``frozenset`` intersection plus ``sort_key`` per edge.
     """
     scope = frozenset(onto)
     if not scope <= hg.vertices:
         raise VertexError("projection scope must be a subset of the universe")
-    return Hypergraph((edge & scope for edge in hg.edges), vertices=scope)
+    if not _USE_BITSET:
+        return Hypergraph((edge & scope for edge in hg.edges), vertices=scope)
+    family = hg.bits()
+    index = family.index
+    scope_mask = index.encode(scope)
+    projected = sorted(
+        {mask & scope_mask for mask in family.masks}, key=mask_sort_key
+    )
+    result = Hypergraph._from_canonical(
+        tuple(index.decode(mask) for mask in projected), scope
+    )
+    # Share the parent's index: decomposition nodes restrict the same
+    # original hypergraphs thousands of times, and rebuilding a
+    # VertexIndex per node would dominate the node's actual work.
+    result._bits = BitsetFamily(index, tuple(projected), canonical=True)
+    return result
 
 
 def restrict_to_subsets(hg: Hypergraph, within: Iterable) -> Hypergraph:
-    """The sub-hypergraph ``H_S = {E ∈ H : E ⊆ S}`` over universe ``S``."""
+    """The sub-hypergraph ``H_S = {E ∈ H : E ⊆ S}`` over universe ``S``.
+
+    The fast path filters with one submask test per edge; the surviving
+    edges are reused as-is (already canonical, already deduplicated).
+    """
     scope = frozenset(within)
     if not scope <= hg.vertices:
         raise VertexError("restriction scope must be a subset of the universe")
-    return Hypergraph(
-        (edge for edge in hg.edges if edge <= scope), vertices=scope
+    if not _USE_BITSET:
+        return Hypergraph(
+            (edge for edge in hg.edges if edge <= scope), vertices=scope
+        )
+    family = hg.bits()
+    scope_mask = family.index.encode(scope)
+    kept_pairs = [
+        (edge, mask)
+        for edge, mask in zip(hg.edges, family.masks)
+        if mask & scope_mask == mask
+    ]
+    result = Hypergraph._from_canonical(
+        tuple(edge for edge, _mask in kept_pairs), scope
     )
+    result._bits = BitsetFamily(
+        family.index, tuple(mask for _edge, mask in kept_pairs), canonical=True
+    )
+    return result
 
 
 def complement_family(hg: Hypergraph, universe: Iterable | None = None) -> Hypergraph:
@@ -69,10 +129,22 @@ def contract(hg: Hypergraph, removed: Iterable) -> Hypergraph:
     """
     gone = frozenset(removed)
     kept_universe = hg.vertices - gone
-    return Hypergraph(
-        minimize_family(edge - gone for edge in hg.edges),
-        vertices=kept_universe,
+    if not _USE_BITSET:
+        return Hypergraph(
+            minimize_family(edge - gone for edge in hg.edges),
+            vertices=kept_universe,
+        )
+    from repro.core import minimalize_masks
+
+    family = hg.bits()
+    index = family.index
+    keep_mask = index.full_mask & ~index.encode_within(gone)
+    contracted = minimalize_masks(mask & keep_mask for mask in family.masks)
+    result = Hypergraph._from_canonical(
+        tuple(index.decode(mask) for mask in contracted), kept_universe
     )
+    result._bits = BitsetFamily(index, contracted, canonical=True)
+    return result
 
 
 def delete_edges_meeting(hg: Hypergraph, blocker: Iterable) -> Hypergraph:

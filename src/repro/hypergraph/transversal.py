@@ -23,6 +23,14 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 
 from repro._util import minimize_family, powerset, sort_key
+from repro.core import (
+    BitsetFamily,
+    covers_none,
+    is_minimal_transversal_mask,
+    iter_bits,
+    meets_all,
+    transversal_masks,
+)
 from repro.hypergraph.hypergraph import Hypergraph
 
 
@@ -30,10 +38,12 @@ def is_transversal(candidate: Iterable, hg: Hypergraph) -> bool:
     """True iff ``candidate`` meets every edge of ``hg``.
 
     The empty set is a transversal of the empty hypergraph; nothing is a
-    transversal of a hypergraph containing the empty edge.
+    transversal of a hypergraph containing the empty edge.  Runs as one
+    ``&``-test per edge on the bitset view; candidate vertices outside
+    ``V(hg)`` cannot meet an edge and are ignored.
     """
-    cand = frozenset(candidate)
-    return all(cand & edge for edge in hg.edges)
+    family = hg.bits()
+    return meets_all(family.index.encode_within(candidate), family.masks)
 
 
 def is_minimal_transversal(candidate: Iterable, hg: Hypergraph) -> bool:
@@ -45,12 +55,16 @@ def is_minimal_transversal(candidate: Iterable, hg: Hypergraph) -> bool:
     size, unlike testing all subsets.
     """
     cand = frozenset(candidate)
-    if not is_transversal(cand, hg):
+    family = hg.bits()
+    index = family.index
+    mask = index.encode_within(cand)
+    if not meets_all(mask, family.masks):
         return False
-    for v in cand:
-        if not any(cand & edge == {v} for edge in hg.edges):
-            return False
-    return True
+    if any(v not in index for v in cand):
+        # A vertex outside V(hg) occurs in no edge, so it can have no
+        # witness edge — the transversal is not minimal.
+        return False
+    return is_minimal_transversal_mask(mask, family.masks)
 
 
 def is_new_transversal(
@@ -64,7 +78,10 @@ def is_new_transversal(
     cand = frozenset(candidate)
     if not is_transversal(cand, hg):
         return False
-    return not any(edge <= cand for edge in known.edges)
+    known_family = known.bits()
+    return covers_none(
+        known_family.index.encode_within(cand), known_family.masks
+    )
 
 
 def minimalize_transversal(candidate: Iterable, hg: Hypergraph) -> frozenset:
@@ -76,19 +93,25 @@ def minimalize_transversal(candidate: Iterable, hg: Hypergraph) -> frozenset:
     pass needs *linear* space in ``|V|`` (to remember removals), which
     is why the quadratic-logspace bound covers the non-minimal witness
     only.  Vertices are scanned in canonical order so the result is
-    deterministic.
+    deterministic (ascending bit position *is* canonical vertex order;
+    vertices outside ``V(hg)`` never affect transversality, so the
+    greedy scan always removes them).
     """
-    cand = set(candidate)
-    if not is_transversal(cand, hg):
+    family = hg.bits()
+    index = family.index
+    mask = index.encode_within(candidate)
+    if not meets_all(mask, family.masks):
         raise ValueError("minimalize_transversal needs a transversal to start from")
-    for v in sorted(frozenset(cand), key=lambda x: (type(x).__name__, repr(x))):
-        cand.discard(v)
-        if not is_transversal(cand, hg):
-            cand.add(v)
-    return frozenset(cand)
+    for bit in iter_bits(mask):
+        trial = mask & ~bit
+        if meets_all(trial, family.masks):
+            mask = trial
+    return index.decode(mask)
 
 
-def transversal_hypergraph(hg: Hypergraph, order: str = "canonical") -> Hypergraph:
+def transversal_hypergraph(
+    hg: Hypergraph, order: str = "canonical", impl: str = "bitset"
+) -> Hypergraph:
     """Compute ``tr(hg)`` exactly by Berge multiplication.
 
     Processes edges one at a time, maintaining the minimal transversals
@@ -105,7 +128,37 @@ def transversal_hypergraph(hg: Hypergraph, order: str = "canonical") -> Hypergra
     * ``"small-first"`` / ``"large-first"`` — by edge size;
     * ``"interleaved"`` — alternate smallest/largest remaining.
 
+    ``impl`` selects the inner-loop representation: ``"bitset"`` runs
+    the multiplication on integer masks (the fast path), ``"frozenset"``
+    on frozensets (the reference the bitset path is tested against).
+    Both produce the identical hypergraph.
+
     The result's universe equals ``hg``'s universe.
+    """
+    if impl == "frozenset":
+        return transversal_hypergraph_reference(hg, order)
+    if impl != "bitset":
+        raise ValueError(f"unknown impl {impl!r}; choose bitset or frozenset")
+    if hg.is_trivial_true():
+        return Hypergraph.empty(hg.vertices)
+    index = hg.bits().index
+    masks = transversal_masks(
+        index.encode(edge) for edge in _multiplication_order(hg, order)
+    )
+    family = BitsetFamily(index, masks, canonical=True)
+    result = Hypergraph._from_canonical(family.decode(), hg.vertices)
+    result._bits = family
+    return result
+
+
+def transversal_hypergraph_reference(
+    hg: Hypergraph, order: str = "canonical"
+) -> Hypergraph:
+    """The original frozenset-domain Berge multiplication.
+
+    Kept callable as the equivalence oracle for the bitset kernel (the
+    randomized property tests assert both paths agree edge-for-edge) and
+    as the "before" side of the performance harness.
     """
     if hg.is_trivial_true():
         return Hypergraph.empty(hg.vertices)
@@ -157,17 +210,13 @@ def berge_peak_intermediate(hg: Hypergraph, order: str = "canonical") -> int:
     """
     if hg.is_trivial_true():
         return 0
-    current: frozenset[frozenset] = frozenset((frozenset(),))
+    from repro.core import berge_step
+
+    index = hg.bits().index
+    current: tuple[int, ...] = (0,)
     peak = 1
     for edge in _multiplication_order(hg, order):
-        expanded: set[frozenset] = set()
-        for partial in current:
-            if partial & edge:
-                expanded.add(partial)
-            else:
-                for v in edge:
-                    expanded.add(partial | {v})
-        current = minimize_family(expanded)
+        current = berge_step(current, index.encode(edge))
         peak = max(peak, len(current))
     return peak
 

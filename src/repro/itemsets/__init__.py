@@ -23,6 +23,7 @@ from repro.itemsets.dualize_advance import (
 )
 from repro.itemsets.frequency import (
     frequency,
+    frequency_scan,
     grow_to_maximal_frequent,
     is_frequent,
     is_infrequent,
@@ -60,6 +61,7 @@ __all__ = [
     "enumerate_maximal_frequent",
     "enumerate_minimal_infrequent",
     "frequency",
+    "frequency_scan",
     "frequent_border_from_infrequent",
     "frequent_itemsets",
     "grow_to_maximal_frequent",

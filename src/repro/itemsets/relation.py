@@ -28,7 +28,7 @@ class BooleanRelation:
         Optional explicit universe; defaults to the union of the rows.
     """
 
-    __slots__ = ("_rows", "_items")
+    __slots__ = ("_rows", "_items", "_vertical")
 
     def __init__(
         self,
@@ -53,6 +53,7 @@ class BooleanRelation:
             sorted(rows, key=lambda r: (len(r), tuple(sorted(r, key=vertex_key))))
         )
         self._items = universe
+        self._vertical = None
 
     # ------------------------------------------------------------------
     # Protocol
@@ -93,6 +94,31 @@ class BooleanRelation:
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
+
+    def vertical_bitmaps(self) -> tuple[dict, int]:
+        """The vertical (item-major) bitmap view: ``(columns, full_mask)``.
+
+        ``columns[A]`` is an ``int`` whose bit ``i`` is set iff row ``i``
+        (in canonical row order) contains item ``A``; ``full_mask`` has
+        one bit per row.  With this view, ``f(U)`` is the popcount of the
+        AND-chain of ``U``'s columns — the frequency kernel of the
+        itemset layer.  Built once and cached; a derived view only, the
+        row tuples remain the source of truth.  The column mapping is
+        an immutable proxy so callers cannot corrupt the cache.
+        """
+        if self._vertical is None:
+            from types import MappingProxyType
+
+            columns = {item: 0 for item in self._items}
+            for position, row in enumerate(self._rows):
+                bit = 1 << position
+                for item in row:
+                    columns[item] |= bit
+            self._vertical = (
+                MappingProxyType(columns),
+                (1 << len(self._rows)) - 1,
+            )
+        return self._vertical
 
     def as_bitmap(self) -> list[dict]:
         """The relation as explicit 0/1 tuples (dicts item → bool)."""

@@ -1,0 +1,269 @@
+"""Bitset/frozenset equivalence: the mask kernels agree with the set code.
+
+The bitset layer (:mod:`repro.core`) re-implements the library's hot
+loops on integer masks.  These property-style tests pin the contract on
+randomized instances from :mod:`repro.hypergraph.generators`:
+
+* kernel level — minimalisation, maximalisation, antichain and
+  transversality checks match :mod:`repro._util` /
+  :mod:`repro.hypergraph.transversal` semantics;
+* engine level — deciders running on masks return the *identical*
+  :class:`DualityResult` (verdict and certificate) as the frozenset
+  reference paths;
+* application level — vertical-bitmap frequency counting equals the
+  definitional row scan.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro._util import is_antichain, maximize_family, minimize_family
+from repro.core import (
+    BitsetFamily,
+    VertexIndex,
+    mask_sort_key,
+    masks_are_antichain,
+    maximalize_masks,
+    minimalize_masks,
+)
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import (
+    hard_nondual_pair,
+    perturb_drop_edge,
+    perturb_enlarge_edge,
+    random_dual_pair,
+    random_simple,
+    standard_dual_suite,
+)
+from repro.hypergraph.operations import use_bitset_kernels
+from repro.hypergraph.transversal import (
+    is_minimal_transversal,
+    is_new_transversal,
+    is_transversal,
+    minimalize_transversal,
+    transversal_hypergraph,
+    transversal_hypergraph_reference,
+)
+from repro.itemsets.datasets import dense_random, market_basket
+from repro.itemsets.frequency import (
+    frequency,
+    frequency_scan,
+    item_frequencies,
+    support_map,
+)
+
+
+def random_families(count: int = 40, seed: int = 7):
+    """Random (universe, family-of-frozensets) pairs, non-simple included."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        n = rng.randint(1, 12)
+        universe = list(range(n))
+        edges = [
+            frozenset(rng.sample(universe, rng.randint(0, n)))
+            for _ in range(rng.randint(0, 10))
+        ]
+        yield universe, edges
+
+
+class TestVertexIndex:
+    def test_roundtrip_on_mixed_universe(self):
+        universe = {1, 2, "a", "b", (0, "x")}
+        index = VertexIndex(universe)
+        for subset in (set(), {1}, {"a", (0, "x")}, universe):
+            assert index.decode(index.encode(subset)) == frozenset(subset)
+
+    def test_bit_order_is_canonical_vertex_order(self):
+        from repro._util import vertex_key
+
+        universe = [5, 3, "z", "aa", 10]
+        index = VertexIndex(universe)
+        assert list(index.vertices) == sorted(set(universe), key=vertex_key)
+
+    def test_encode_within_clips_foreign_vertices(self):
+        index = VertexIndex([1, 2, 3])
+        assert index.encode_within([1, "ghost", 3]) == index.encode([1, 3])
+
+    def test_mask_order_equals_edge_sort_key_order(self):
+        from repro._util import sort_key
+
+        for universe, edges in random_families(20, seed=13):
+            index = VertexIndex(universe)
+            by_mask = sorted(
+                set(edges), key=lambda e: mask_sort_key(index.encode(e))
+            )
+            by_key = sorted(set(edges), key=sort_key)
+            assert by_mask == by_key
+
+
+class TestKernelEquivalence:
+    def test_minimalize_matches_minimize_family(self):
+        for universe, edges in random_families():
+            index = VertexIndex(universe)
+            masks = minimalize_masks(index.encode(e) for e in edges)
+            assert frozenset(index.decode(m) for m in masks) == minimize_family(
+                edges
+            )
+            # Canonical ordering on top of the set equality.
+            assert list(masks) == sorted(masks, key=mask_sort_key)
+
+    def test_maximalize_matches_maximize_family(self):
+        for universe, edges in random_families(seed=11):
+            index = VertexIndex(universe)
+            masks = maximalize_masks(index.encode(e) for e in edges)
+            assert frozenset(index.decode(m) for m in masks) == maximize_family(
+                edges
+            )
+
+    def test_antichain_check_matches(self):
+        for universe, edges in random_families(seed=23):
+            index = VertexIndex(universe)
+            assert masks_are_antichain(
+                index.encode(e) for e in edges
+            ) == is_antichain(edges)
+
+    def test_family_transversal_matches_reference(self):
+        for seed in range(12):
+            hg = random_simple(7, 5, seed=seed)
+            family = BitsetFamily.from_sets(hg.edges, universe=hg.vertices)
+            decoded = family.transversal_family().decode()
+            expected = transversal_hypergraph_reference(hg)
+            assert decoded == expected.edges
+
+
+class TestTransversalEquivalence:
+    def test_bitset_berge_equals_frozenset_berge(self):
+        for name, g, _h in standard_dual_suite(max_matching=4, max_threshold=5):
+            fast = transversal_hypergraph(g)
+            slow = transversal_hypergraph_reference(g)
+            assert fast == slow, name
+            assert fast.edges == slow.edges, name  # same canonical order
+
+    def test_orders_agree_between_impls(self):
+        g = random_simple(8, 6, seed=3)
+        for order in ("canonical", "small-first", "large-first", "interleaved"):
+            assert transversal_hypergraph(
+                g, order=order
+            ) == transversal_hypergraph_reference(g, order=order)
+
+    def test_predicates_against_definition(self):
+        rng = random.Random(5)
+        for seed in range(25):
+            hg = random_simple(8, 5, seed=seed)
+            candidate = frozenset(
+                v for v in hg.vertices if rng.random() < 0.5
+            )
+            definitional = all(candidate & e for e in hg.edges)
+            assert is_transversal(candidate, hg) == definitional
+            minimal_def = definitional and all(
+                any(candidate & e == {v} for e in hg.edges) for v in candidate
+            )
+            assert is_minimal_transversal(candidate, hg) == minimal_def
+
+    def test_new_transversal_against_definition(self):
+        for seed in range(10):
+            g, h = random_dual_pair(6, 4, seed=seed)
+            if not h.edges:
+                continue
+            broken = perturb_drop_edge(h)
+            dropped = set(h.edges) - set(broken.edges)
+            witness = next(iter(dropped))
+            assert is_new_transversal(witness, g, broken)
+            assert not is_new_transversal(witness, g, h)
+
+    def test_minimalize_transversal_ignores_foreign_vertices(self):
+        hg = Hypergraph([{1, 2}, {3, 4}])
+        result = minimalize_transversal({1, 3, "ghost"}, hg)
+        assert result <= hg.vertices
+        assert is_minimal_transversal(result, hg)
+
+
+class TestEngineEquivalence:
+    """Mask and frozenset engine paths return identical DualityResults."""
+
+    def _instances(self):
+        for name, g, h in standard_dual_suite(max_matching=4, max_threshold=5):
+            yield name, g, h
+            if h.edges:
+                yield name + "+drop", g, perturb_drop_edge(h)
+                yield name + "+enlarge", g, perturb_enlarge_edge(h)
+        for k in (2, 3):
+            yield f"hard-{k}", *hard_nondual_pair(k)
+        for seed in (11, 12, 13):
+            yield f"random-{seed}", *random_dual_pair(7, 5, seed=seed)
+
+    @pytest.mark.parametrize("use_b", (False, True))
+    def test_fredman_khachiyan_paths_agree(self, use_b):
+        from repro.duality.fredman_khachiyan import decide_fk_a, decide_fk_b
+
+        decide = decide_fk_b if use_b else decide_fk_a
+        for name, g, h in self._instances():
+            fast = decide(g, h, use_bitset=True)
+            slow = decide(g, h, use_bitset=False)
+            assert fast.verdict == slow.verdict, name
+            assert fast.certificate == slow.certificate, name
+
+    @pytest.mark.parametrize("method", ("bm", "logspace"))
+    def test_decomposition_engines_unchanged_by_kernel_toggle(self, method):
+        from repro.duality.engine import decide_duality
+
+        for name, g, h in self._instances():
+            fast = decide_duality(g, h, method=method)
+            use_bitset_kernels(False)
+            try:
+                slow = decide_duality(g, h, method=method)
+            finally:
+                use_bitset_kernels(True)
+            assert fast.verdict == slow.verdict, (name, method)
+            assert fast.certificate == slow.certificate, (name, method)
+
+    def test_all_engines_agree_on_randomized_instances(self):
+        from repro.duality.engine import decide_duality
+
+        methods = ("transversal", "berge", "fk-a", "fk-b", "bm", "logspace")
+        for name, g, h in self._instances():
+            verdicts = {
+                m: decide_duality(g, h, method=m).verdict for m in methods
+            }
+            assert len(set(verdicts.values())) == 1, (name, verdicts)
+
+
+class TestFrequencyEquivalence:
+    def _relations(self):
+        yield market_basket(n_items=10, n_rows=60, seed=3)
+        yield dense_random(n_items=8, n_rows=40, density=0.4, seed=9)
+        yield dense_random(n_items=12, n_rows=80, density=0.6, seed=10)
+
+    def test_bitmap_frequency_equals_row_scan(self):
+        rng = random.Random(1)
+        for relation in self._relations():
+            items = sorted(relation.items, key=repr)
+            for _ in range(30):
+                u = rng.sample(items, rng.randint(0, min(5, len(items))))
+                assert frequency(relation, u) == frequency_scan(relation, u)
+
+    def test_support_map_equals_row_scan(self):
+        rng = random.Random(2)
+        for relation in self._relations():
+            items = sorted(relation.items, key=repr)
+            queries = [
+                frozenset(rng.sample(items, rng.randint(0, 3)))
+                for _ in range(20)
+            ]
+            support = support_map(relation, queries)
+            assert support == {
+                u: frequency_scan(relation, u) for u in set(queries)
+            }
+
+    def test_item_frequencies_equal_row_scan(self):
+        for relation in self._relations():
+            assert item_frequencies(relation) == {
+                a: frequency_scan(relation, {a}) for a in relation.items
+            }
+
+    def test_empty_itemset_counts_all_rows(self):
+        relation = market_basket(n_items=6, n_rows=25, seed=4)
+        assert frequency(relation, ()) == len(relation)

@@ -272,3 +272,45 @@ class TestSelfDualCommand:
         hgio.dump(Hypergraph([{0, 1}, {2, 3}]), path)
         assert main(["selfdual", str(path)]) == 1
         assert "NOT" in capsys.readouterr().out
+
+
+class TestConsoleScriptParity:
+    """The installed ``repro`` command and ``python -m repro`` are the
+    same entry point (pyproject's console script routes to
+    ``repro.cli:main``), so the three invocation styles must agree."""
+
+    def test_entry_point_declared_and_resolvable(self):
+        import tomllib
+        from pathlib import Path
+
+        pyproject = Path(__file__).parents[1] / "pyproject.toml"
+        metadata = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+        scripts = metadata["project"]["scripts"]
+        assert scripts["repro"] == "repro.cli:main"
+        assert scripts["monotone-dual"] == "repro.cli:main"
+        # The declared target resolves to the callable this suite tests.
+        module_name, _, attr = scripts["repro"].partition(":")
+        import importlib
+
+        assert getattr(importlib.import_module(module_name), attr) is main
+
+    def test_python_m_repro_matches_direct_main(self, capsys):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        assert main(["chi", "64"]) == 0
+        direct = capsys.readouterr().out
+
+        src = Path(__file__).parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "chi", "64"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0
+        assert proc.stdout == direct

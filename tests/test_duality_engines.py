@@ -203,3 +203,23 @@ class TestRandomDualPairs:
             result = decide_duality(g, broken, method=method)
             assert not result.is_dual, method
             assert check_result_witness(g, broken, result), method
+
+
+class TestUnknownMethodError:
+    def test_error_lists_every_valid_method(self):
+        from repro.duality.engine import available_methods
+
+        g = Hypergraph([{1, 2}])
+        h = Hypergraph([{1}, {2}])
+        with pytest.raises(ValueError) as excinfo:
+            decide_duality(g, h, method="no-such-engine")
+        message = str(excinfo.value)
+        assert "no-such-engine" in message
+        for name in available_methods():
+            assert repr(name) in message
+
+    def test_error_suggests_the_closest_method(self):
+        g = Hypergraph([{1, 2}])
+        h = Hypergraph([{1}, {2}])
+        with pytest.raises(ValueError, match=r"did you mean 'fk-a'\?"):
+            decide_duality(g, h, method="fk_a")
