@@ -19,13 +19,21 @@ The JSON layout:
 
 * ``suites``  — wall time and exit status of the pytest benchmark files;
 * ``engines`` — per engine/instance: before_s, after_s, speedup;
-* ``itemsets`` — frequency-counting kernels at ≥ 20 items / ≥ 200 rows.
+* ``itemsets`` — frequency-counting kernels at ≥ 20 items / ≥ 200 rows;
+* ``parallel`` — serial vs multi-process rows (batch ``solve_many``,
+  sharded single-instance solving, portfolio racing).
+
+Each run also **appends** a compact summary entry to a history file
+(``BENCH_trend.json`` by default, ``--trend``/``--label`` to steer), so
+the perf trajectory accumulates across PRs instead of being overwritten
+per snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -53,6 +61,8 @@ from repro.hypergraph.transversal import (  # noqa: E402
 from repro.itemsets.datasets import dense_random  # noqa: E402
 from repro.itemsets.frequency import frequency, frequency_scan, support_map  # noqa: E402
 from repro.itemsets.relation import BooleanRelation  # noqa: E402
+from repro.duality import decide_duality  # noqa: E402
+from repro.parallel import race_portfolio, solve_many  # noqa: E402
 
 
 def best_of(fn, repeats: int = 3) -> float:
@@ -239,6 +249,184 @@ def itemset_rows(quick: bool) -> list[dict]:
     return rows
 
 
+def _batch_workload(quick: bool) -> list[tuple]:
+    """A multi-instance batch of *distinct* dual pairs (``solve_many``
+    dedupes repeats, so the workload must not contain any)."""
+    pairs = [
+        threshold_dual_pair(10, 5),
+        threshold_dual_pair(11, 6),
+        threshold_dual_pair(11, 5),
+        threshold_dual_pair(9, 5),
+        matching_dual_pair(8),
+        matching_dual_pair(7),
+    ]
+    if not quick:
+        pairs += [
+            threshold_dual_pair(12, 6),
+            threshold_dual_pair(10, 6),
+            threshold_dual_pair(12, 5),
+            matching_dual_pair(6),
+        ]
+    return pairs
+
+
+def parallel_rows(quick: bool) -> list[dict]:
+    """Serial vs parallel rows for the PR-2 subsystem.
+
+    * ``solve_many`` — the batch front end, one serial engine per
+      worker: the row the ROADMAP's "parallel speedup" trend tracks.
+    * ``decide_duality(n_jobs=2)`` — sharded solving of one instance.
+    * ``portfolio`` — racing wall time vs the slowest racer's serial
+      time (the cost an unlucky fixed engine choice would pay).
+    """
+    rows = []
+    repeats = 1 if quick else 2
+
+    pairs = _batch_workload(quick)
+    serial_s = best_of(lambda: solve_many(pairs, method="fk-b", n_jobs=1), repeats)
+    parallel_s = best_of(lambda: solve_many(pairs, method="fk-b", n_jobs=2), repeats)
+    rows.append(
+        {
+            "kernel": "solve_many",
+            "instance": f"batch-{len(pairs)}x-fk-b",
+            "n_instances": len(pairs),
+            "n_jobs": 2,
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        }
+    )
+
+    g, h = threshold_dual_pair(11, 6) if quick else threshold_dual_pair(12, 6)
+    serial_s = best_of(lambda: decide_duality(g, h, method="fk-b"), repeats)
+    parallel_s = best_of(
+        lambda: decide_duality(g, h, method="fk-b", n_jobs=2), repeats
+    )
+    rows.append(
+        {
+            "kernel": "sharded-fk-b",
+            "instance": f"threshold-{len(g.vertices)}",
+            "n_jobs": 2,
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        }
+    )
+
+    engines = ("fk-b", "bm", "logspace")
+    per_engine = {
+        engine: best_of(lambda e=engine: decide_duality(g, h, method=e), 1)
+        for engine in engines
+    }
+    race_s = best_of(lambda: race_portfolio(g, h, engines=engines, n_jobs=3), 1)
+    worst = max(per_engine.values())
+    rows.append(
+        {
+            "kernel": "portfolio",
+            "instance": f"threshold-{len(g.vertices)}",
+            "n_jobs": 3,
+            "serial_s": round(worst, 4),
+            "serial_scope": "slowest racer",
+            "parallel_s": round(race_s, 4),
+            "speedup": round(worst / race_s, 2) if race_s else None,
+            "per_engine_s": {e: round(t, 4) for e, t in per_engine.items()},
+        }
+    )
+
+    # Batch portfolio: the same multi-instance batch under
+    # method="portfolio", serial fallback (n_jobs=1 runs every racer to
+    # completion) vs per-instance process racing.  Racing wins even on a
+    # single core — concurrency hedges the engine choice, so the batch
+    # finishes in about the fastest racer's time instead of the sum.
+    race_pairs = [
+        matching_dual_pair(7),
+        threshold_dual_pair(10, 5),
+        threshold_dual_pair(11, 6),
+    ]
+
+    def batch_sequential():
+        for pg, ph in race_pairs:
+            race_portfolio(pg, ph, engines=engines, n_jobs=1)
+
+    def batch_raced():
+        for pg, ph in race_pairs:
+            race_portfolio(pg, ph, engines=engines, n_jobs=3)
+
+    serial_s = best_of(batch_sequential, 1)
+    parallel_s = best_of(batch_raced, 1)
+    rows.append(
+        {
+            "kernel": "batch-portfolio",
+            "instance": f"batch-{len(race_pairs)}x-portfolio",
+            "n_instances": len(race_pairs),
+            "n_jobs": 3,
+            "serial_s": round(serial_s, 4),
+            "serial_scope": "n_jobs=1 fallback (all racers run)",
+            "parallel_s": round(parallel_s, 4),
+            "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        }
+    )
+    for row in rows:
+        row["cpus"] = os.cpu_count()
+    return rows
+
+
+def _git_label() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unversioned"
+
+
+def append_trend(report: dict, trend_path: Path, label: str) -> None:
+    """Append this run's summary to the per-PR history file.
+
+    A corrupt or wrong-shaped history file must not discard a completed
+    benchmark run: it is set aside with a warning and a fresh history is
+    started.
+    """
+    history = []
+    if trend_path.exists():
+        try:
+            history = json.loads(trend_path.read_text(encoding="utf-8"))
+            if not isinstance(history, list):
+                raise ValueError(f"expected a JSON list, got {type(history).__name__}")
+        except (ValueError, OSError) as exc:
+            backup = trend_path.with_suffix(".json.corrupt")
+            trend_path.replace(backup)
+            print(
+                f"warning: unreadable trend history ({exc}); "
+                f"moved to {backup} and starting fresh"
+            )
+            history = []
+    entry = {
+        "label": label,
+        "generated_at": report["generated_at"],
+        "python": report["python"],
+        "quick": report["quick"],
+        "engines": {
+            f"{row['engine']}/{row['instance']}": row["speedup"]
+            for row in report["engines"]
+        },
+        "itemsets": {
+            f"{row['kernel']}/{row['instance']}": row["speedup"]
+            for row in report["itemsets"]
+        },
+        "parallel": report["parallel"],
+    }
+    history.append(entry)
+    trend_path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -255,6 +443,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the pytest E1/E9 wall-time runs",
     )
+    parser.add_argument(
+        "--trend",
+        type=Path,
+        default=REPO_ROOT / "BENCH_trend.json",
+        help="history file to append to (default: BENCH_trend.json)",
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="history entry label (default: the current git short hash)",
+    )
     args = parser.parse_args(argv)
 
     report = {
@@ -264,6 +463,7 @@ def main(argv: list[str] | None = None) -> int:
         "suites": {},
         "engines": [],
         "itemsets": [],
+        "parallel": [],
     }
 
     if not args.skip_suites:
@@ -275,9 +475,13 @@ def main(argv: list[str] | None = None) -> int:
     report["engines"] = engine_rows(args.quick)
     print("timing itemset frequency kernels ...")
     report["itemsets"] = itemset_rows(args.quick)
+    print("timing parallel subsystem (serial vs n_jobs=2 / racing) ...")
+    report["parallel"] = parallel_rows(args.quick)
 
     args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.out}")
+    append_trend(report, args.trend, args.label or _git_label())
+    print(f"appended trend entry to {args.trend}")
 
     width = max(
         len(f"{r['engine']}/{r['instance']}") for r in report["engines"]
@@ -293,6 +497,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"  {label:<{width}}  before {r['before_s']:8.4f}s"
             f"  after {r['after_s']:8.4f}s  x{r['speedup']}"
+        )
+    for r in report["parallel"]:
+        label = f"{r['kernel']}/{r['instance']}"
+        print(
+            f"  {label:<{width}}  serial {r['serial_s']:8.4f}s"
+            f"  parallel {r['parallel_s']:8.4f}s  x{r['speedup']}"
         )
     return 0
 

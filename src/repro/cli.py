@@ -3,6 +3,7 @@
 Subcommands::
 
     dual       decide duality of two hypergraph files (.hg)
+    batch      solve many duality instance files through a worker pool
     tr         print the minimal transversals of a hypergraph file
     tree       print the Boros–Makino decomposition tree
     pathnode   resolve one path descriptor (Lemma 4.2)
@@ -49,11 +50,53 @@ def _cmd_dual(args: argparse.Namespace) -> int:
 
     g = hgio.load(args.g)
     h = hgio.load(args.h)
-    result = decide_duality(g, h, method=args.method)
+    jobs = args.jobs
+    if args.method == "portfolio" and jobs == 1:
+        # The point of the portfolio is the race: default to one worker
+        # per engine rather than the run-everything sequential fallback.
+        jobs = -1
+    result = decide_duality(g, h, method=args.method, n_jobs=jobs)
     print(explain(g, h, result))
     if not result.is_dual and result.certificate.path is not None:
         print(f"certificate path descriptor: {list(result.certificate.path)}")
+    portfolio = result.stats.extra.get("portfolio")
+    if portfolio is not None:
+        timings = ", ".join(
+            f"{engine}={t * 1000:.1f}ms" if t is not None else f"{engine}=-"
+            for engine, t in portfolio["timings_s"].items()
+        )
+        print(f"portfolio winner: {portfolio['winner']} ({timings})")
     return 0 if result.is_dual else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.parallel import ResultCache, solve_many
+
+    cache = ResultCache.load(args.cache) if args.cache else None
+    start = time.perf_counter()
+    items = solve_many(
+        args.instances, method=args.method, n_jobs=args.jobs, cache=cache
+    )
+    wall = time.perf_counter() - start
+    width = max(len(Path(src).name) for src in map(str, args.instances))
+    for item in items:
+        name = Path(item.source).name if item.source else "<inline>"
+        verdict = "dual    " if item.is_dual else "NOT dual"
+        suffix = "  [cached]" if item.cached else f"  {item.elapsed_s * 1000:8.1f}ms"
+        print(f"  {name:<{width}}  {verdict}{suffix}")
+    n_dual = sum(1 for item in items if item.is_dual)
+    summary = (
+        f"{len(items)} instances ({n_dual} dual, {len(items) - n_dual} not), "
+        f"method={args.method}, jobs={args.jobs}, wall {wall:.3f}s"
+    )
+    if cache is not None:
+        summary += f", cache hits/misses {cache.hits}/{cache.misses}"
+        saved = cache.save(args.cache)
+        summary += f", {saved} entries saved"
+    print(summary)
+    return 0 if n_dual == len(items) else 1
 
 
 def _cmd_tr(args: argparse.Namespace) -> int:
@@ -334,8 +377,50 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dual", help="decide whether H = tr(G)")
     p.add_argument("g", type=Path, help="G hypergraph file (.hg)")
     p.add_argument("h", type=Path, help="H hypergraph file (.hg)")
-    p.add_argument("--method", default="bm", help="duality engine (default: bm)")
+    p.add_argument(
+        "--method",
+        default="bm",
+        help="duality engine (default: bm; 'portfolio' races several)",
+    )
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for sharded solving (default: 1; "
+            "--method portfolio defaults to one racer per engine)"
+        ),
+    )
     p.set_defaults(fn=_cmd_dual)
+
+    p = sub.add_parser(
+        "batch",
+        help="solve many duality instance files (G == H per file)",
+        description=(
+            "Each instance file holds two hypergraphs in .hg format "
+            "separated by a '==' line; instances stream through a worker "
+            "pool with an optional canonical-hash result cache."
+        ),
+    )
+    p.add_argument(
+        "instances", nargs="+", type=Path, help="instance files (.hg, G == H)"
+    )
+    p.add_argument("--method", default="fk-b", help="duality engine (default: fk-b)")
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (default: 1; -1 = all cores)",
+    )
+    p.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        help="JSON result cache, read before and written after the run",
+    )
+    p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser("tr", help="print minimal transversals")
     p.add_argument("g", type=Path)

@@ -19,7 +19,14 @@ tractable     Section 6 structural dispatch (graph / threshold /
               acyclic fast paths, general fallback)
 dfs-enum      space-efficient DFS enumeration with early stop
               (the ref [44] Tamaki style)
+portfolio     several engines raced on the instance, first finisher
+              wins (:mod:`repro.parallel.portfolio`)
 ============  =====================================================
+
+``decide_duality`` additionally accepts ``n_jobs`` (sharded
+multi-process solving for ``fk-a``/``fk-b``/``bm``/``logspace`` via
+:mod:`repro.parallel`) and passes engine-specific keyword options
+through after validating them against the engine's signature.
 
 All engines answer the same question — is ``H = tr(G)``? — and return a
 :class:`repro.duality.result.DualityResult` with a checkable certificate
@@ -63,14 +70,64 @@ def _lazy_engines() -> dict[str, Callable[[Hypergraph, Hypergraph], DualityResul
 
 DEFAULT_METHOD = "bm"
 
+#: Methods with a sharded multi-process path behind ``n_jobs > 1``
+#: (mirrors :data:`repro.parallel.executor.PARALLEL_METHODS`; duplicated
+#: here so the facade can report errors without importing the package).
+PARALLEL_METHODS = ("fk-a", "fk-b", "bm", "logspace")
+
 
 def available_methods() -> list[str]:
-    """The method names accepted by :func:`decide_duality`."""
-    return sorted(_lazy_engines())
+    """The method names accepted by :func:`decide_duality`.
+
+    Includes ``"portfolio"`` — not an algorithm of its own but a race of
+    several (see :mod:`repro.parallel.portfolio`).
+    """
+    return sorted([*_lazy_engines(), "portfolio"])
+
+
+def _engine_options(fn: Callable) -> dict[str, object]:
+    """The sanctioned keyword options of an engine: every defaulted
+    parameter after the two hypergraph positionals."""
+    from inspect import Parameter, signature
+
+    options = {}
+    for name, param in list(signature(fn).parameters.items())[2:]:
+        if param.default is not Parameter.empty or param.kind is Parameter.KEYWORD_ONLY:
+            options[name] = param.default
+    return options
+
+
+def _reject_unknown_options(method: str, fn: Callable, options: dict) -> None:
+    """The uniform option check: every engine kwarg must be sanctioned.
+
+    Raises ``ValueError`` naming both the offending option(s) and the
+    full sanctioned list for the chosen method, so callers never have to
+    guess which engine accepts what.
+    """
+    allowed = _engine_options(fn)
+    unknown = sorted(set(options) - set(allowed))
+    if not unknown:
+        return
+    if allowed:
+        sanctioned = ", ".join(
+            f"{name}={default!r}" for name, default in sorted(allowed.items())
+        )
+        hint = f"sanctioned options for {method!r}: {sanctioned}"
+    else:
+        hint = f"method {method!r} accepts no engine options"
+    raise ValueError(
+        f"unknown option(s) {', '.join(map(repr, unknown))} "
+        f"for duality method {method!r}; {hint}"
+    )
 
 
 def decide_duality(
-    g: Hypergraph, h: Hypergraph, method: str = DEFAULT_METHOD
+    g: Hypergraph,
+    h: Hypergraph,
+    method: str = DEFAULT_METHOD,
+    *,
+    n_jobs: int = 1,
+    **options,
 ) -> DualityResult:
     """Decide whether ``H = tr(G)`` with the selected engine.
 
@@ -81,19 +138,61 @@ def decide_duality(
         vertices are allowed.
     method:
         One of :func:`available_methods` (default: the Boros–Makino
-        tree, the paper's workhorse).
+        tree, the paper's workhorse).  ``"portfolio"`` races several
+        engines and returns the first finisher.
+    n_jobs:
+        Worker processes: ``1`` (default) runs serially in-process,
+        ``-1`` uses every core (for ``"portfolio"``: one worker per
+        engine, even beyond the core count).  Values above 1 are
+        honoured for the sharded methods (``fk-a``, ``fk-b``, ``bm``,
+        ``logspace``) and ``"portfolio"``; other engines have no
+        parallel path and reject them.  Verdicts and certificates never
+        depend on ``n_jobs``.
+    options:
+        Engine-specific keyword options (e.g. ``use_bitset=False`` for
+        the FK reference recursion, ``policy=`` for the tree engines).
+        Unknown options are rejected with the sanctioned list.
 
     Raises
     ------
     ValueError
-        For an unknown method name.
+        For an unknown method name, an unknown engine option, or an
+        ``n_jobs`` request the method cannot honour.
     repro.errors.NotSimpleError
         When a side is not simple (redundant DNF).
     """
     engines = _lazy_engines()
+    if method == "portfolio":
+        from repro.parallel.portfolio import race_portfolio
+
+        _reject_unknown_options(method, race_portfolio, options)
+        # -1 means "one worker per engine" for a race (engines may
+        # outnumber cores; oversubscription is the hedge, so the racer
+        # is not capped at cpu_count like the sharded paths are).
+        return race_portfolio(
+            g, h, n_jobs=(None if n_jobs == -1 else n_jobs), **options
+        )
     if method not in engines:
         raise ValueError(_unknown_method_message(method, engines))
-    return engines[method](g, h)
+    fn = engines[method]
+    _reject_unknown_options(method, fn, options)
+    if n_jobs != 1:
+        # repro.parallel stays unimported on the serial path — plain
+        # serial use never pays for the subsystem.
+        from repro.parallel.executor import decide_duality_parallel, resolve_n_jobs
+
+        jobs = resolve_n_jobs(n_jobs)
+        if jobs != 1:
+            if method not in PARALLEL_METHODS:
+                raise ValueError(
+                    f"method {method!r} has no parallel path (n_jobs={n_jobs}); "
+                    f"methods honouring n_jobs > 1: "
+                    f"{', '.join(map(repr, PARALLEL_METHODS))} and 'portfolio'"
+                )
+            return decide_duality_parallel(
+                g, h, method=method, n_jobs=jobs, **options
+            )
+    return fn(g, h, **options)
 
 
 def _unknown_method_message(method: str, engines: dict) -> str:
@@ -101,7 +200,7 @@ def _unknown_method_message(method: str, engines: dict) -> str:
     closest match when the input looks like a typo."""
     from difflib import get_close_matches
 
-    names = sorted(engines)
+    names = sorted([*engines, "portfolio"])
     message = (
         f"unknown duality method {method!r}; valid methods are: "
         + ", ".join(repr(name) for name in names)
@@ -112,9 +211,16 @@ def _unknown_method_message(method: str, engines: dict) -> str:
     return message
 
 
-def are_dual(g: Hypergraph, h: Hypergraph, method: str = DEFAULT_METHOD) -> bool:
+def are_dual(
+    g: Hypergraph,
+    h: Hypergraph,
+    method: str = DEFAULT_METHOD,
+    *,
+    n_jobs: int = 1,
+    **options,
+) -> bool:
     """Boolean shortcut for :func:`decide_duality`."""
-    return decide_duality(g, h, method=method).is_dual
+    return decide_duality(g, h, method=method, n_jobs=n_jobs, **options).is_dual
 
 
 def decide_dnf_duality(

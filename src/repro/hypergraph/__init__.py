@@ -7,6 +7,12 @@ for all duality deciders), and the instance generators used as
 experimental workloads.
 """
 
+from repro.hypergraph.canonical import (
+    canonical_digest,
+    from_mask_payload,
+    instance_key,
+    mask_payload,
+)
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.operations import (
     complement_family,
@@ -44,6 +50,10 @@ from repro.hypergraph.transversal import (
 __all__ = [
     "Hypergraph",
     "berge_peak_intermediate",
+    "canonical_digest",
+    "from_mask_payload",
+    "instance_key",
+    "mask_payload",
     "complement_family",
     "contract",
     "cross_intersecting",

@@ -1,0 +1,116 @@
+"""Canonical mask payloads and canonical hashing of hypergraphs.
+
+Two facilities the parallel subsystem (:mod:`repro.parallel`) is built
+on, both direct consequences of the PR-1 invariant that the canonical
+edge order *equals* the canonical mask order over a
+:class:`repro.core.VertexIndex`:
+
+* **Mask payloads** — a hypergraph serialised as ``(vertices, masks)``:
+  the universe in canonical vertex order plus one integer per edge in
+  canonical edge order.  Payloads are tuples of primitives, so they
+  pickle in microseconds and cross process boundaries cheaply; several
+  hypergraphs over the same universe share one vertex tuple (the shard
+  planner ships the header once and one mask family per shard).
+
+* **Canonical hashes** — deterministic digests of the *structure*
+  (:func:`canonical_digest`: invariant under order-preserving vertex
+  relabellings, since it hashes bit positions, not labels) and of the
+  *labelled instance* (:func:`instance_key`: additionally binds the
+  vertex labels and the engine, which is what a result cache must key
+  on — certificates mention labelled vertices, so a structural key
+  alone would serve one labelling's witness to another labelling).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core import BitsetFamily, VertexIndex
+from repro.hypergraph.hypergraph import Hypergraph
+
+#: A hypergraph as primitives: (vertex tuple in canonical order,
+#: mask tuple in canonical edge order).
+MaskPayload = tuple[tuple, tuple[int, ...]]
+
+
+def mask_payload(hg: Hypergraph) -> MaskPayload:
+    """Serialise a hypergraph to its canonical ``(vertices, masks)`` pair.
+
+    The inverse is :func:`from_mask_payload`; the round trip is exact
+    (universe, edges and edge order all survive).
+    """
+    family = hg.bits()
+    # The view's index may be a superset universe when the hypergraph
+    # was produced by a restriction operator; re-encode against the
+    # hypergraph's own universe so payloads are self-contained.
+    if len(family.index) == len(hg.vertices):
+        return family.index.vertices, tuple(family.masks)
+    index = VertexIndex(hg.vertices)
+    return index.vertices, tuple(index.encode(edge) for edge in hg.edges)
+
+
+def from_mask_payload(payload: MaskPayload) -> Hypergraph:
+    """Rebuild a hypergraph from :func:`mask_payload` output.
+
+    The payload's vertex tuple is already in canonical order and its
+    masks in canonical edge order, so the fast constructor applies and
+    the bitset view is attached for free (no re-encoding).
+    """
+    vertices, masks = payload
+    index = VertexIndex(vertices)
+    hg = Hypergraph._from_canonical(
+        tuple(index.decode(mask) for mask in masks), frozenset(vertices)
+    )
+    hg._bits = BitsetFamily(index, tuple(masks), canonical=True)
+    return hg
+
+
+def _structure_bytes(hg: Hypergraph) -> bytes:
+    """A deterministic byte encoding of the mask structure.
+
+    ``n`` (universe size) followed by each edge mask in canonical edge
+    order, each as a fixed-width little-endian field.  Labels do not
+    participate — only which bit positions co-occur in which edges.
+    """
+    _vertices, masks = mask_payload(hg)
+    n = len(_vertices)
+    width = max(1, (n + 7) // 8)
+    out = bytearray(b"HG1")
+    out += n.to_bytes(4, "little")
+    out += len(masks).to_bytes(4, "little")
+    for mask in masks:
+        out += mask.to_bytes(width, "little")
+    return bytes(out)
+
+
+def canonical_digest(hg: Hypergraph) -> str:
+    """A structural digest: sha256 over the canonical mask encoding.
+
+    Invariant under any vertex relabelling that preserves the canonical
+    vertex order (e.g. the same family built over ``0..n-1`` or over
+    ``"a".."z"``): such relabellings leave every bit position, and hence
+    every mask, unchanged.  Distinct mask families give distinct digests
+    (up to sha256 collisions).
+    """
+    return hashlib.sha256(_structure_bytes(hg)).hexdigest()
+
+
+def instance_key(g: Hypergraph, h: Hypergraph, method: str = "") -> str:
+    """A cache key for the duality instance ``(G, H)`` under ``method``.
+
+    Unlike :func:`canonical_digest` this binds the vertex *labels* too
+    (certificates are labelled sets — a structural key would let one
+    labelling's cached witness answer for a differently-labelled twin)
+    and the engine name (different engines return different, though
+    equally valid, certificates).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(method.encode("utf-8"))
+    for hg in (g, h):
+        vertices, _masks = mask_payload(hg)
+        hasher.update(b"|V|")
+        for v in vertices:
+            hasher.update(repr(v).encode("utf-8"))
+            hasher.update(b"\x00")
+        hasher.update(_structure_bytes(hg))
+    return hasher.hexdigest()

@@ -1,0 +1,73 @@
+"""Parallel execution subsystem: sharding, portfolio racing, batching.
+
+PR 1 made subinstances cheap to *represent* (a handful of machine
+integers over a shared :class:`~repro.core.VertexIndex`); this package
+makes them cheap to *ship*.  Three independent levers, all returning
+results bit-for-bit identical to the serial engines:
+
+* **Sharded solving** — :func:`decide_duality_parallel` splits one
+  instance along the engines' own decomposition structure (FK branch
+  pairs, Boros–Makino tree children, logspace projections) and merges
+  worker verdicts in the serial visiting order.  Reached from the
+  facade as ``decide_duality(g, h, method="fk-b", n_jobs=4)``.
+
+* **Portfolio racing** — :func:`race_portfolio` runs several engines on
+  the same instance concurrently and keeps the first finisher
+  (``decide_duality(g, h, method="portfolio")``).
+
+* **Batch workloads** — :func:`solve_many` streams many ``.hg``
+  instances through a worker pool with a canonical-hash
+  :class:`ResultCache` (``repro batch`` on the command line).
+
+Layering: this package sits on top of :mod:`repro.duality` and
+:mod:`repro.hypergraph`; the engine facade imports it lazily, so plain
+serial use never pays for it.  Everything falls back to deterministic
+in-process execution at ``n_jobs=1`` — ``multiprocessing`` is touched
+only when real parallelism is requested.
+"""
+
+from repro.parallel.batch import (
+    BatchItem,
+    ResultCache,
+    load_instance,
+    solve_many,
+)
+from repro.parallel.executor import (
+    FK_SHARDS_PER_JOB,
+    PARALLEL_METHODS,
+    WorkerPool,
+    decide_duality_parallel,
+    resolve_n_jobs,
+    solve_shards,
+)
+from repro.parallel.planner import (
+    Shard,
+    ShardPlan,
+    plan_bm,
+    plan_fk,
+    plan_logspace,
+)
+from repro.parallel.portfolio import (
+    DEFAULT_PORTFOLIO,
+    race_portfolio,
+)
+
+__all__ = [
+    "BatchItem",
+    "DEFAULT_PORTFOLIO",
+    "FK_SHARDS_PER_JOB",
+    "PARALLEL_METHODS",
+    "ResultCache",
+    "Shard",
+    "ShardPlan",
+    "WorkerPool",
+    "decide_duality_parallel",
+    "load_instance",
+    "plan_bm",
+    "plan_fk",
+    "plan_logspace",
+    "race_portfolio",
+    "resolve_n_jobs",
+    "solve_many",
+    "solve_shards",
+]

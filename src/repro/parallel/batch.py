@@ -1,0 +1,286 @@
+"""Batch front end: stream many duality instances through the pool.
+
+``solve_many`` is the library face of the ``repro batch`` CLI: it takes
+a heterogeneous stream of instances — ``(G, H)`` pairs or paths to
+``.hg`` instance files (two hypergraphs separated by a ``==`` line, the
+:func:`repro.hypergraph.io.load_many` convention) — and solves them with
+a serial engine per worker.  Parallelism here is *across* instances
+(each worker runs the ordinary serial decider on a whole instance), so
+every verdict and certificate is identical to a serial
+:func:`repro.duality.decide_duality` call by construction; sharding
+*within* one instance is :mod:`repro.parallel.executor`'s job.
+
+Results are memoised in a :class:`ResultCache` keyed by
+:func:`repro.hypergraph.canonical.instance_key` — the canonical-edge-
+order hash of both sides plus the engine name.  The key binds vertex
+labels (certificates are labelled sets) and the method (each engine has
+its own deterministic certificate), so a hit can replay the cached
+result verbatim.  ``method="portfolio"`` is the one exception — its
+winner is timing-dependent, so caching it is refused.  The cache
+persists to JSON when given a path, making repeated CLI sweeps over a
+corpus incremental.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.duality.result import (
+    Certificate,
+    DecisionStats,
+    DualityResult,
+    FailureKind,
+    Verdict,
+)
+from repro.hypergraph import Hypergraph, instance_key, mask_payload, from_mask_payload
+from repro.hypergraph import io as hgio
+from repro.parallel.executor import WorkerPool, resolve_n_jobs
+
+
+class ResultCache:
+    """A verdict/certificate cache keyed by canonical instance hash.
+
+    In memory the cache stores :class:`DualityResult` objects directly.
+    ``save``/``load`` round-trip through JSON for persistence across
+    processes and CLI runs; entries whose witnesses are not
+    JSON-representable (exotic vertex types) are silently kept
+    memory-only.  Replayed results carry fresh stats with
+    ``extra["cached"] = True`` — work counters are not replayed, only
+    the answer is.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, DualityResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> DualityResult | None:
+        """The cached result for ``key``, counting the hit/miss."""
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: DualityResult) -> None:
+        self._entries[key] = result
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _entry_to_json(result: DualityResult) -> dict | None:
+        cert = result.certificate
+        entry = {
+            "verdict": result.verdict.value,
+            "method": result.method,
+            "kind": cert.kind.name if cert.kind is not None else None,
+            "witness": sorted(cert.witness, key=repr) if cert.witness is not None else None,
+            "detail": cert.detail,
+            "path": list(cert.path) if cert.path is not None else None,
+        }
+        try:
+            json.dumps(entry)
+        except TypeError:
+            return None
+        return entry
+
+    @staticmethod
+    def _entry_from_json(entry: dict) -> DualityResult:
+        stats = DecisionStats()
+        stats.extra["cached"] = True
+        return DualityResult(
+            verdict=Verdict(entry["verdict"]),
+            certificate=Certificate(
+                kind=FailureKind[entry["kind"]] if entry["kind"] else None,
+                witness=(
+                    frozenset(entry["witness"])
+                    if entry["witness"] is not None
+                    else None
+                ),
+                detail=entry.get("detail", ""),
+                path=tuple(entry["path"]) if entry["path"] is not None else None,
+            ),
+            stats=stats,
+            method=entry["method"],
+        )
+
+    def save(self, path: str | Path) -> int:
+        """Write the JSON-representable entries; returns how many."""
+        out = {}
+        for key, result in self._entries.items():
+            entry = self._entry_to_json(result)
+            if entry is not None:
+                out[key] = entry
+        Path(path).write_text(
+            json.dumps(out, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return len(out)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ResultCache":
+        """Read a cache written by :meth:`save` (missing file → empty)."""
+        cache = cls()
+        path = Path(path)
+        if not path.exists():
+            return cache
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        for key, entry in raw.items():
+            cache._entries[key] = cls._entry_from_json(entry)
+        return cache
+
+
+@dataclass
+class BatchItem:
+    """One solved (or replayed) instance of a batch.
+
+    ``source`` is the file path for path inputs (``None`` for in-memory
+    pairs); ``key`` the canonical cache key; ``elapsed_s`` the solve
+    wall time (0.0 for cache hits).
+    """
+
+    source: str | None
+    key: str
+    result: DualityResult
+    elapsed_s: float
+    cached: bool = False
+
+    @property
+    def is_dual(self) -> bool:
+        return self.result.is_dual
+
+
+def load_instance(path: str | Path) -> tuple[Hypergraph, Hypergraph]:
+    """Read one ``.hg`` instance file: ``G``, a ``==`` line, then ``H``."""
+    hypergraphs = hgio.load_many(path)
+    if len(hypergraphs) != 2:
+        raise ValueError(
+            f"{path}: an instance file must contain exactly two hypergraphs "
+            f"separated by '==' (found {len(hypergraphs)})"
+        )
+    return hypergraphs[0], hypergraphs[1]
+
+
+def solve_batch_entry(payload: tuple) -> tuple[DualityResult, float]:
+    """Worker: solve one instance with the serial facade (module-level)."""
+    g_payload, h_payload, method = payload
+    from repro.duality import decide_duality
+
+    g = from_mask_payload(g_payload)
+    h = from_mask_payload(h_payload)
+    start = time.perf_counter()
+    result = decide_duality(g, h, method=method)
+    return result, time.perf_counter() - start
+
+
+def solve_many(
+    instances,
+    method: str = "fk-b",
+    n_jobs: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[BatchItem]:
+    """Decide a batch of duality instances, optionally in parallel.
+
+    Parameters
+    ----------
+    instances:
+        An iterable of ``(G, H)`` :class:`Hypergraph` pairs and/or
+        path-likes to ``.hg`` instance files (see :func:`load_instance`).
+    method:
+        Any :func:`repro.duality.available_methods` name (including
+        ``"portfolio"``, which runs its sequential fallback inside each
+        worker — pools do not nest).
+    n_jobs:
+        Worker processes for the cache-miss instances; ``1`` solves
+        in-process, ``-1`` uses every core.
+    cache:
+        A :class:`ResultCache` consulted before solving and updated
+        after; hits replay the stored result with ``elapsed_s = 0``.
+
+    Results come back in input order, and each miss is solved by the
+    ordinary serial engine inside its worker — so the batch's verdicts
+    and certificates are exactly what one-at-a-time serial calls would
+    produce.
+    """
+    resolve_n_jobs(n_jobs)  # validate early, before any loading
+    if cache is not None and method == "portfolio":
+        # A portfolio winner is timing-dependent, so its certificate is
+        # not a deterministic function of the instance — exactly what a
+        # replay cache must not store.
+        raise ValueError(
+            "method='portfolio' cannot be cached: the winning engine "
+            "(and hence the certificate) depends on timing; pick a "
+            "concrete engine or drop the cache"
+        )
+    sources: list[str | None] = []
+    pairs: list[tuple[Hypergraph, Hypergraph]] = []
+    for item in instances:
+        if isinstance(item, (str, Path)):
+            sources.append(str(item))
+            pairs.append(load_instance(item))
+        else:
+            g, h = item
+            sources.append(None)
+            pairs.append((g, h))
+
+    keys = [instance_key(g, h, method) for g, h in pairs]
+    items: list[BatchItem | None] = [None] * len(pairs)
+    miss_positions: list[int] = []
+    seen_misses: dict[str, int] = {}
+    for pos, key in enumerate(keys):
+        if key in seen_misses:
+            # Duplicate within the batch: solve once, replay below
+            # (without consulting the cache again — one instance, one
+            # recorded miss).
+            miss_positions.append(pos)
+            continue
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            items[pos] = BatchItem(
+                source=sources[pos],
+                key=key,
+                result=cached,
+                elapsed_s=0.0,
+                cached=True,
+            )
+        else:
+            seen_misses[key] = pos
+            miss_positions.append(pos)
+
+    unique_positions = sorted(seen_misses.values())
+    payloads = []
+    for pos in unique_positions:
+        g, h = pairs[pos]
+        payloads.append((mask_payload(g), mask_payload(h), method))
+
+    pool = WorkerPool(n_jobs)
+    outcomes = pool.map(solve_batch_entry, payloads)
+    solved = {
+        keys[pos]: outcome for pos, outcome in zip(unique_positions, outcomes)
+    }
+
+    for pos in miss_positions:
+        key = keys[pos]
+        result, elapsed = solved[key]
+        duplicate = seen_misses[key] != pos
+        items[pos] = BatchItem(
+            source=sources[pos],
+            key=key,
+            result=result,
+            elapsed_s=0.0 if duplicate else elapsed,
+            cached=duplicate,
+        )
+        if cache is not None and not duplicate:
+            cache.put(key, result)
+    return items

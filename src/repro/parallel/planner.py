@@ -1,0 +1,352 @@
+"""Shard planner: split one duality instance into independent subinstances.
+
+Every decomposition engine in :mod:`repro.duality` reduces an instance
+to subinstances that can be solved *independently* — the property the
+paper's self-reduction arguments (and Eiter–Gottlob–Makino's
+"polynomially many subproblems" decompositions) rest on, and exactly
+what a worker pool needs.  The planner performs the first few reduction
+steps **in the parent process**, mirroring the serial engine's free
+choices bit for bit, and emits a :class:`ShardPlan`: a shared header
+(the instance as canonical mask payloads over one
+:class:`~repro.core.VertexIndex`) plus one compact payload per shard.
+
+Three shard shapes, one per engine family:
+
+* **FK branch pairs** (``fk-a``/``fk-b``) — the planner unrolls the top
+  of the Fredman–Khachiyan recursion: each expansion replaces a leaf
+  subproblem ``(f, g)`` by its branch children in the serial visiting
+  order (the ``x=0`` branch first, then the ``x=1`` branch or the
+  per-``u ∈ g₁`` B-subproblems).  A shard is a pair of mask families
+  plus the *delta* mask of variables forced true along its path, so the
+  merged failing assignment equals the serial one exactly.
+
+* **BM tree children** (``bm``) — the planner expands the decomposition
+  tree's root with :func:`repro.duality.boros_makino.expand`; each child
+  scope becomes a shard whose worker builds that subtree.
+
+* **Logspace projections** (``logspace``) — the planner resolves the
+  root and its children with Section 4's ``next`` procedure; each
+  interior child becomes a shard whose worker continues the
+  ``iter_tree_nodes`` DFS from that child's attributes.
+
+Merging (in :mod:`repro.parallel.executor`) re-applies the serial
+engine's priority rules — first failing FK branch in DFS order, first
+``fail`` leaf in canonical label order — so verdicts *and certificates*
+are identical to the serial engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import VertexIndex, antichain_minima, mask_sort_key
+from repro.complexity.bounds import chi
+from repro.duality.boros_makino import expand
+from repro.duality.conditions import prepare_instance
+from repro.duality.fredman_khachiyan import (
+    _base_case_m,
+    _most_frequent_variable_m,
+    _split_m,
+)
+from repro.duality.logspace import initial_attrs, next_attrs
+from repro.duality.policies import PAPER_POLICY, TieBreakPolicy
+from repro.duality.result import DecisionStats, DualityResult
+from repro.duality.tree import Mark, NodeAttributes
+from repro.hypergraph import Hypergraph, mask_payload
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent subinstance, as a picklable payload.
+
+    ``order`` is the shard's position in the serial engine's visiting
+    order — the merge priority.  ``payload`` is a tuple of primitives
+    whose shape depends on ``kind`` (``"fk"``, ``"bm"``, ``"ls"``).
+    """
+
+    kind: str
+    order: int
+    payload: tuple
+
+
+@dataclass
+class ShardPlan:
+    """The output of a planner: shards plus parent-side merge context.
+
+    ``header`` is shipped to every worker (instance mask payloads and
+    engine options); ``shards`` are the per-worker payloads.  When the
+    instance resolves during planning (entry-condition violation, a
+    degenerate pair, or a root that is itself a leaf), ``resolved``
+    holds the finished result and ``shards`` is empty.
+
+    The remaining fields are merge context that never leaves the parent:
+    the validated sides, the vertex index, whether the sides were
+    swapped, and the planning work already accounted (so merged stats
+    line up with the serial engines').
+    """
+
+    method: str
+    header: tuple
+    shards: tuple[Shard, ...] = ()
+    resolved: DualityResult | None = None
+    g: Hypergraph | None = None
+    h: Hypergraph | None = None
+    index: VertexIndex | None = None
+    swapped: bool = False
+    plan_stats: DecisionStats = field(default_factory=DecisionStats)
+    extra: dict = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Fredman–Khachiyan branch pairs
+# ---------------------------------------------------------------------------
+
+#: A planner-side FK leaf: (f masks, g masks, delta mask, depth).
+_FkLeaf = tuple[frozenset, frozenset, int, int]
+
+
+def _fk_children(leaf: _FkLeaf, use_b: bool) -> list[_FkLeaf]:
+    """The branch children of an expandable FK leaf, in serial visiting
+    order — exactly the subcalls ``_decide_m`` would issue."""
+    f, g, delta, depth = leaf
+    position, freq = _most_frequent_variable_m(f, g)
+    xbit = 1 << position
+    f0, _f1, f_at_1 = _split_m(f, xbit)
+    g0, g1, g_at_1 = _split_m(g, xbit)
+
+    children: list[_FkLeaf] = [(f0, g_at_1, delta, depth + 1)]
+    volume = max(len(f) * len(g), 2)
+    if use_b and freq < 1.0 / chi(volume) and g1:
+        for u in sorted(g1, key=mask_sort_key):
+            f_prime = frozenset(e for e in f_at_1 if not e & u)
+            g0_u = frozenset(antichain_minima(e2 & ~u for e2 in g0))
+            children.append((f_prime, g0_u, delta | xbit, depth + 1))
+    else:
+        children.append((f_at_1, g0, delta | xbit, depth + 1))
+    return children
+
+
+def _fk_expandable(leaf: _FkLeaf) -> bool:
+    """True iff the serial recursion would split this subproblem (its
+    base case does not resolve it)."""
+    f, g, _delta, _depth = leaf
+    return _base_case_m(f, g, DecisionStats()) is None
+
+
+def plan_fk(
+    g: Hypergraph,
+    h: Hypergraph,
+    use_b: bool,
+    target_shards: int,
+) -> ShardPlan:
+    """Unroll the top of the FK recursion into ``≈ target_shards`` leaves.
+
+    Expansion replaces, repeatedly, the largest-volume expandable leaf
+    by its branch children *in place*, so the leaf list stays in the
+    serial DFS order.  Each expansion corresponds to one interior
+    ``_decide_m`` call, which the plan's stats pre-account.
+    """
+    method = "fredman-khachiyan-B" if use_b else "fredman-khachiyan-A"
+    g.require_simple("G")
+    h.require_simple("H")
+    index = VertexIndex(g.vertices | h.vertices)
+    root: _FkLeaf = (
+        frozenset(index.encode(e) for e in g.edges),
+        frozenset(index.encode(e) for e in h.edges),
+        0,
+        0,
+    )
+
+    plan_stats = DecisionStats()
+    # Each entry pairs a leaf with its (cached) expandability.
+    entries: list[tuple[_FkLeaf, bool]] = [(root, _fk_expandable(root))]
+    while len(entries) < target_shards:
+        candidates = [
+            (len(leaf[0]) * len(leaf[1]), pos)
+            for pos, (leaf, can_expand) in enumerate(entries)
+            if can_expand
+        ]
+        if not candidates:
+            break
+        _volume, pos = max(candidates, key=lambda c: (c[0], -c[1]))
+        leaf, _ = entries[pos]
+        children = _fk_children(leaf, use_b)
+        plan_stats.nodes += 1
+        plan_stats.max_depth = max(plan_stats.max_depth, leaf[3])
+        entries[pos : pos + 1] = [
+            (child, _fk_expandable(child)) for child in children
+        ]
+
+    leaves = [leaf for leaf, _ in entries]
+    shards = tuple(
+        Shard(
+            kind="fk",
+            order=i,
+            payload=(tuple(f), tuple(gm), delta, depth, use_b),
+        )
+        for i, (f, gm, delta, depth) in enumerate(leaves)
+    )
+    return ShardPlan(
+        method=method,
+        header=(),
+        shards=shards,
+        g=g,
+        h=h,
+        index=index,
+        plan_stats=plan_stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Boros–Makino tree children
+# ---------------------------------------------------------------------------
+
+def plan_bm(
+    g: Hypergraph,
+    h: Hypergraph,
+    enforce_size_order: bool = True,
+    policy: TieBreakPolicy = PAPER_POLICY,
+) -> ShardPlan:
+    """One shard per child of the decomposition tree's root.
+
+    Mirrors :func:`repro.duality.boros_makino.decide_boros_makino`'s
+    prologue (entry check, side swap) in the parent; a root that is
+    itself a leaf is resolved by the executor without any worker.
+    """
+    from repro.duality.result import FailureKind, dual_result, not_dual_result
+
+    method = "boros-makino"
+    entry = prepare_instance(g, h)
+    if not entry.ok:
+        return ShardPlan(
+            method=method,
+            header=(),
+            resolved=not_dual_result(
+                method, entry.failure, witness=entry.witness, detail=entry.detail
+            ),
+        )
+    g_v, h_v = entry.g, entry.h
+    swapped = enforce_size_order and len(h_v) > len(g_v)
+    if swapped:
+        g_v, h_v = h_v, g_v
+
+    universe = frozenset(g_v.vertices | h_v.vertices)
+    index = VertexIndex(universe)
+    root_attrs = NodeAttributes((), universe, Mark.NIL, frozenset())
+    outcome = expand(root_attrs, g_v, h_v, policy)
+
+    if isinstance(outcome, NodeAttributes):
+        # Single-node tree: resolve exactly as the serial decider would.
+        stats = DecisionStats(nodes=1, max_depth=0, max_children=0, base_cases=1)
+        stats.extra["swapped"] = swapped
+        if outcome.mark is Mark.DONE:
+            resolved = dual_result(method, stats)
+        else:
+            direction = "H wrt G" if swapped else "G wrt H"
+            resolved = not_dual_result(
+                method,
+                FailureKind.MISSING_TRANSVERSAL,
+                witness=outcome.witness,
+                detail=(
+                    f"fail leaf {outcome.label}: new transversal of {direction}"
+                ),
+                path=outcome.label,
+                stats=stats,
+            )
+        return ShardPlan(method=method, header=(), resolved=resolved)
+
+    g_vertices, g_masks = mask_payload(g_v)
+    _h_vertices, h_masks = mask_payload(h_v)
+    header = (g_vertices, g_masks, h_masks, policy)
+    shards = tuple(
+        Shard(
+            kind="bm",
+            order=i,
+            payload=(child.label, index.encode(child.scope)),
+        )
+        for i, child in enumerate(outcome)
+    )
+    plan_stats = DecisionStats(max_children=len(outcome))
+    return ShardPlan(
+        method=method,
+        header=header,
+        shards=shards,
+        g=g_v,
+        h=h_v,
+        index=index,
+        swapped=swapped,
+        plan_stats=plan_stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Logspace projections
+# ---------------------------------------------------------------------------
+
+def plan_logspace(g: Hypergraph, h: Hypergraph) -> ShardPlan:
+    """One shard per interior child of the root, via the ``next`` procedure.
+
+    Children that the Lemma 4.1 finalisation already marks (``done`` or
+    ``fail`` leaves) carry their attributes in the plan itself — the
+    executor accounts for them without dispatching a worker.
+    """
+    from repro.duality.result import not_dual_result
+
+    method = "logspace"
+    entry = prepare_instance(g, h)
+    if not entry.ok:
+        return ShardPlan(
+            method=method,
+            header=(),
+            resolved=not_dual_result(
+                method, entry.failure, witness=entry.witness, detail=entry.detail
+            ),
+        )
+    g_v, h_v = entry.g, entry.h
+    swapped = len(h_v) > len(g_v)
+    if swapped:
+        g_v, h_v = h_v, g_v
+
+    index = VertexIndex(g_v.vertices | h_v.vertices)
+    root = initial_attrs(g_v, h_v)
+
+    children: list[NodeAttributes] = []
+    if root.mark is Mark.NIL:
+        i = 1
+        while True:
+            child = next_attrs(g_v, h_v, root, i)
+            if child is None:
+                break
+            children.append(child)
+            i += 1
+
+    g_vertices, g_masks = mask_payload(g_v)
+    _h_vertices, h_masks = mask_payload(h_v)
+    header = (g_vertices, g_masks, h_masks)
+    shards = []
+    leaf_children: dict[int, NodeAttributes] = {}
+    for i, child in enumerate(children):
+        if child.mark is Mark.NIL:
+            shards.append(
+                Shard(
+                    kind="ls",
+                    order=i,
+                    payload=(child.label, index.encode(child.scope)),
+                )
+            )
+        else:
+            leaf_children[i] = child
+
+    plan = ShardPlan(
+        method=method,
+        header=header,
+        shards=tuple(shards),
+        g=g_v,
+        h=h_v,
+        index=index,
+        swapped=swapped,
+    )
+    plan.extra["root"] = root
+    plan.extra["n_children"] = len(children)
+    plan.extra["leaf_children"] = leaf_children
+    return plan

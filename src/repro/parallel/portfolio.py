@@ -1,0 +1,140 @@
+"""Engine portfolio racing: several deciders, first finisher wins.
+
+``Dual``'s engines have incomparable strengths — ``fk-b`` dominates on
+random instances, ``bm``/``logspace`` on decomposition-friendly ones,
+``tractable`` recognises the paper's Section 6 classes outright.  A
+portfolio sidesteps per-instance engine selection: run a complement of
+engines on the *same* instance concurrently and keep the first verdict.
+Every engine is a correct decider, so the first finisher's verdict is
+the instance's verdict, and its certificate is that engine's serial
+certificate, unchanged.
+
+Two modes:
+
+* ``n_jobs > 1`` — one process per engine (capped at ``n_jobs``); the
+  first process to return wins and the rest are terminated.  Losers'
+  timings are unknown (recorded as ``None``).
+* ``n_jobs = 1`` — the deterministic in-process fallback: every engine
+  runs to completion, all timings are recorded, and the winner is the
+  engine with the smallest wall time (ties broken by portfolio order).
+
+Either way the returned :class:`DualityResult` is the winning engine's
+own result object with ``stats.extra["portfolio"]`` describing the race
+(winner, per-engine timings in seconds, mode).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.duality.result import DualityResult
+from repro.hypergraph import Hypergraph, from_mask_payload, mask_payload
+from repro.parallel.executor import resolve_n_jobs
+
+#: The default complement of racers: the FK workhorse, the two
+#: decomposition-tree engines, and the Section 6 structural dispatch.
+DEFAULT_PORTFOLIO = ("fk-b", "bm", "logspace", "tractable")
+
+
+def _race_payloads(
+    g: Hypergraph, h: Hypergraph, engines: tuple[str, ...]
+) -> list[tuple]:
+    g_vertices, g_masks = mask_payload(g)
+    h_vertices, h_masks = mask_payload(h)
+    return [
+        (engine, (g_vertices, g_masks), (h_vertices, h_masks))
+        for engine in engines
+    ]
+
+
+def run_portfolio_entry(payload: tuple) -> tuple:
+    """Solve the instance with one engine (module-level for pickling).
+
+    Returns ``(engine, elapsed_s, result, error)`` — errors are reported
+    rather than raised so one crashing engine cannot kill the race.
+    """
+    engine, g_payload, h_payload = payload
+    from repro.duality import decide_duality
+
+    g = from_mask_payload(g_payload)
+    h = from_mask_payload(h_payload)
+    start = time.perf_counter()
+    try:
+        result = decide_duality(g, h, method=engine)
+    except Exception as exc:  # pragma: no cover - defensive
+        return engine, time.perf_counter() - start, None, repr(exc)
+    return engine, time.perf_counter() - start, result, None
+
+
+def race_portfolio(
+    g: Hypergraph,
+    h: Hypergraph,
+    engines: tuple[str, ...] | list[str] = DEFAULT_PORTFOLIO,
+    n_jobs: int | None = None,
+) -> DualityResult:
+    """Race ``engines`` on ``(g, h)``; return the first finisher's result.
+
+    ``n_jobs=None`` uses one worker per engine; ``n_jobs=1`` selects the
+    sequential fallback (all engines run, fastest wins).  The winner's
+    result is returned unchanged except for ``stats.extra["portfolio"]``.
+    """
+    engines = tuple(engines)
+    if not engines:
+        raise ValueError("portfolio needs at least one engine")
+    from repro.duality.engine import available_methods
+
+    unknown = [e for e in engines if e not in available_methods() or e == "portfolio"]
+    if unknown:
+        raise ValueError(
+            f"unknown portfolio engine(s) {unknown}; "
+            f"valid engines: {', '.join(m for m in available_methods() if m != 'portfolio')}"
+        )
+    jobs = len(engines) if n_jobs is None else resolve_n_jobs(n_jobs)
+
+    timings: dict[str, float | None] = {}
+    if jobs == 1 or len(engines) == 1:
+        from repro.duality import decide_duality
+
+        results: dict[str, DualityResult] = {}
+        for engine in engines:
+            start = time.perf_counter()
+            results[engine] = decide_duality(g, h, method=engine)
+            timings[engine] = time.perf_counter() - start
+        winner = min(engines, key=lambda e: (timings[e], engines.index(e)))
+        result = results[winner]
+        mode = "sequential"
+    else:
+        import multiprocessing
+
+        payloads = _race_payloads(g, h, engines)
+        timings = {engine: None for engine in engines}
+        winner = None
+        result = None
+        with multiprocessing.get_context().Pool(
+            min(jobs, len(engines))
+        ) as pool:
+            for engine, elapsed, engine_result, error in pool.imap_unordered(
+                run_portfolio_entry, payloads, chunksize=1
+            ):
+                timings[engine] = elapsed
+                if error is not None:
+                    continue
+                winner, result = engine, engine_result
+                break
+            pool.terminate()
+        if result is None:
+            raise RuntimeError(
+                f"every portfolio engine failed on this instance: {engines}"
+            )
+        mode = "race"
+
+    result.stats.extra["portfolio"] = {
+        "winner": winner,
+        "mode": mode,
+        "engines": list(engines),
+        "timings_s": {
+            engine: (round(t, 6) if t is not None else None)
+            for engine, t in timings.items()
+        },
+    }
+    return result
