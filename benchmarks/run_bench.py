@@ -63,6 +63,7 @@ from repro.itemsets.frequency import frequency, frequency_scan, support_map  # n
 from repro.itemsets.relation import BooleanRelation  # noqa: E402
 from repro.duality import decide_duality  # noqa: E402
 from repro.parallel import race_portfolio, solve_many  # noqa: E402
+from repro.service import EnginePool  # noqa: E402
 
 
 def best_of(fn, repeats: int = 3) -> float:
@@ -363,6 +364,42 @@ def parallel_rows(quick: bool) -> list[dict]:
             "serial_s": round(serial_s, 4),
             "serial_scope": "n_jobs=1 fallback (all racers run)",
             "parallel_s": round(parallel_s, 4),
+            "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        }
+    )
+    # Persistent pool vs per-call spawn: many small batches of small
+    # instances — the service workload.  "serial" pays a fresh worker
+    # pool per batch (the PR-2 behaviour); "parallel" spawns an
+    # EnginePool once and streams every batch through the warm workers.
+    small_pairs = [
+        matching_dual_pair(k) for k in (2, 3, 4, 5)
+    ] + [
+        threshold_dual_pair(n, k)
+        for n, k in ((5, 3), (6, 3), (7, 4), (8, 4), (7, 3), (6, 4), (8, 5), (9, 4))
+    ]
+    small_batches = [small_pairs[i : i + 2] for i in range(0, len(small_pairs), 2)]
+
+    def per_call_pools():
+        for batch in small_batches:
+            solve_many(batch, method="fk-b", n_jobs=2)
+
+    def persistent_pool():
+        with EnginePool(2) as pool:
+            for batch in small_batches:
+                solve_many(batch, method="fk-b", pool=pool)
+
+    serial_s = best_of(per_call_pools, repeats)
+    parallel_s = best_of(persistent_pool, repeats)
+    rows.append(
+        {
+            "kernel": "service-pool",
+            "instance": f"{len(small_batches)}-batches-of-2-fk-b",
+            "n_instances": len(small_pairs),
+            "n_jobs": 2,
+            "serial_s": round(serial_s, 4),
+            "serial_scope": "fresh WorkerPool per batch",
+            "parallel_s": round(parallel_s, 4),
+            "parallel_scope": "one warm EnginePool for every batch",
             "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
         }
     )

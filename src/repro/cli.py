@@ -4,6 +4,7 @@ Subcommands::
 
     dual       decide duality of two hypergraph files (.hg)
     batch      solve many duality instance files through a worker pool
+    serve      persistent engine service: stream instances, get JSON verdicts
     tr         print the minimal transversals of a hypergraph file
     tree       print the Boros–Makino decomposition tree
     pathnode   resolve one path descriptor (Lemma 4.2)
@@ -97,6 +98,88 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         summary += f", {saved} entries saved"
     print(summary)
     return 0 if n_dual == len(items) else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` mode: a persistent engine service over warm workers.
+
+    Instance files given on the command line are answered as one batch;
+    with none (or ``-``), paths are read line by line from stdin and
+    each is answered as soon as it arrives — the workers and the result
+    cache stay warm in between, so a long-running client pays the spawn
+    cost once.  One JSON verdict per line on stdout.  A missing or
+    malformed instance file yields an error line for *that* request and
+    the session keeps serving — it never tears down the warm pool.
+    """
+    import json
+
+    from repro.service import EngineService, response_to_json
+
+    sources = [str(p) for p in args.instances if str(p) != "-"]
+    use_stdin = not sources or any(str(p) == "-" for p in args.instances)
+
+    exit_status = 0
+    with EngineService(
+        method=args.method,
+        n_jobs=args.jobs,
+        cache=args.cache,
+    ) as service:
+        def emit(responses) -> None:
+            nonlocal exit_status
+            for response in responses:
+                print(json.dumps(response_to_json(response)), flush=True)
+                if not response.is_dual:
+                    exit_status = 1
+
+        def emit_error(source: str, exc: Exception) -> None:
+            nonlocal exit_status
+            print(
+                json.dumps({"source": source, "error": str(exc)}),
+                flush=True,
+            )
+            exit_status = 1
+
+        def serve_one(source: str) -> None:
+            # Any failure — unreadable file at submit, or a solver-side
+            # error at drain (engine preconditions, not-simple inputs) —
+            # is this request's error line; the session keeps serving.
+            try:
+                service.submit(source)
+            except Exception as exc:
+                emit_error(source, exc)
+                return
+            try:
+                emit(service.drain())
+            except Exception as exc:
+                emit_error(source, exc)
+
+        def serve_batch(batch: list[str]) -> None:
+            submitted = []
+            for source in batch:
+                try:
+                    service.submit(source)
+                    submitted.append(source)
+                except Exception as exc:
+                    emit_error(source, exc)
+            try:
+                emit(service.drain())
+            except Exception:
+                # One request somewhere in the batch failed at solve
+                # time; replay them individually so only the culprit
+                # gets an error line.
+                for source in submitted:
+                    serve_one(source)
+
+        serve_batch(sources)
+        if use_stdin:
+            for raw in sys.stdin:
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                serve_one(line)
+        if args.stats:
+            print(json.dumps({"stats": service.stats()}), flush=True)
+    return exit_status
 
 
 def _cmd_tr(args: argparse.Namespace) -> int:
@@ -421,6 +504,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON result cache, read before and written after the run",
     )
     p.set_defaults(fn=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="persistent engine service: instances in, JSON verdicts out",
+        description=(
+            "Answer duality instances over a persistent worker pool.  "
+            "Instance files (.hg, G == H) given as arguments are solved "
+            "as one batch; without arguments (or with '-') instance "
+            "paths are read from stdin one per line and answered as "
+            "they arrive.  Workers spawn once per serve session; the "
+            "optional cache persists verdicts across sessions.  Output "
+            "is one JSON object per verdict."
+        ),
+    )
+    p.add_argument(
+        "instances",
+        nargs="*",
+        type=Path,
+        help="instance files (.hg, G == H); none or '-' = read paths from stdin",
+    )
+    p.add_argument("--method", default="fk-b", help="duality engine (default: fk-b)")
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="persistent worker processes (default: 1; -1 = all cores)",
+    )
+    p.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        help="JSON result cache, loaded at start and saved at shutdown",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a final JSON stats line (requests, hits, pool health)",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("tr", help="print minimal transversals")
     p.add_argument("g", type=Path)

@@ -20,7 +20,11 @@ contrasts its working set against Berge's intermediate families.
 from __future__ import annotations
 
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.hypergraph.dfs_enumeration import DFSStats, minimal_transversals_dfs
+from repro.hypergraph.dfs_enumeration import (
+    DFSStats,
+    minimal_transversal_masks_dfs,
+    minimal_transversals_dfs,
+)
 from repro.duality.conditions import prepare_instance
 from repro.duality.result import (
     DecisionStats,
@@ -33,12 +37,21 @@ from repro.duality.result import (
 METHOD = "dfs-enum"
 
 
-def decide_by_dfs_enumeration(g: Hypergraph, h: Hypergraph) -> DualityResult:
+def decide_by_dfs_enumeration(
+    g: Hypergraph, h: Hypergraph, use_bitset: bool = True
+) -> DualityResult:
     """Decide ``H = tr(G)`` by early-stopping DFS enumeration of ``tr(G)``.
 
     Exact on every instance; the decision needs at most ``|H| + 1``
     enumerated transversals.  ``stats.extra`` carries the DFS working-set
     accounting (peak partial size, tree nodes) for the space experiments.
+
+    ``use_bitset=True`` (default) runs the whole scan in the mask
+    domain — the enumeration *and* the membership test against ``H``
+    are integer compares over one shared index; the witness is decoded
+    only on failure.  ``use_bitset=False`` is the ``frozenset``
+    reference; both paths are bit-for-bit identical (verdict,
+    certificate, and work counters).
     """
     entry = prepare_instance(g, h)
     if not entry.ok:
@@ -46,26 +59,41 @@ def decide_by_dfs_enumeration(g: Hypergraph, h: Hypergraph) -> DualityResult:
             METHOD, entry.failure, witness=entry.witness, detail=entry.detail
         )
     g_v, h_v = entry.g, entry.h
-    claimed = set(h_v.edges)
     dfs_stats = DFSStats()
     stats = DecisionStats()
+    if use_bitset:
+        family = g_v.bits()
+        index = family.index
+        claimed_masks = frozenset(index.encode(e) for e in h_v.edges)
+        enumerator = minimal_transversal_masks_dfs(family, dfs_stats)
+        claimed_size = len(claimed_masks)
+        missing = lambda t: t not in claimed_masks  # noqa: E731
+        decode = index.decode
+    else:
+        claimed = set(h_v.edges)
+        enumerator = minimal_transversals_dfs(
+            g_v, dfs_stats, use_bitset=False
+        )
+        claimed_size = len(claimed)
+        missing = lambda t: t not in claimed  # noqa: E731
+        decode = lambda t: t  # noqa: E731
     seen = 0
-    for transversal in minimal_transversals_dfs(g_v, dfs_stats):
+    for transversal in enumerator:
         seen += 1
         stats.nodes = dfs_stats.nodes
         stats.extra["peak_partial"] = dfs_stats.peak_partial
-        if transversal not in claimed:
+        if missing(transversal):
             return not_dual_result(
                 METHOD,
                 FailureKind.MISSING_TRANSVERSAL,
-                witness=transversal,
+                witness=decode(transversal),
                 detail="DFS enumeration reached a transversal outside H",
                 stats=stats,
             )
-        if seen > len(claimed):  # pragma: no cover - shielded by entry check
+        if seen > claimed_size:  # pragma: no cover - shielded by entry check
             break
     stats.nodes = dfs_stats.nodes
     stats.extra["peak_partial"] = dfs_stats.peak_partial
-    if seen != len(claimed):  # pragma: no cover - shielded by entry check
+    if seen != claimed_size:  # pragma: no cover - shielded by entry check
         raise AssertionError("enumeration count disagrees after entry check")
     return dual_result(METHOD, stats=stats)

@@ -32,6 +32,15 @@ from itertools import combinations
 from math import comb
 
 from repro._util import sort_key, vertex_key
+from repro.core import (
+    VertexIndex,
+    antichain_minima,
+    is_submask,
+    iter_bits,
+    iter_positions,
+    mask_sort_key,
+    popcount,
+)
 from repro.errors import InvalidInstanceError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.structure import gyo_reduction, is_alpha_acyclic
@@ -96,6 +105,49 @@ def minimal_vertex_covers_iter(
         yield frozenset(universe - mis)
 
 
+def maximal_independent_set_masks(
+    covered_mask: int, pair_masks: tuple[int, ...]
+) -> Iterator[int]:
+    """The mask-domain twin of :func:`maximal_independent_sets_iter`.
+
+    Identical Bron–Kerbosch recursion, identical pivot rule (max by
+    ``(|non-adjacent ∩ P|, vertex order)``; ascending bit position *is*
+    ascending ``vertex_key`` by the :class:`~repro.core.VertexIndex`
+    invariant), identical candidate order — so the yielded masks decode
+    to the reference's sets in the reference's order.
+    """
+    adjacency: dict[int, int] = {
+        pos: 0 for pos in iter_positions(covered_mask)
+    }
+    for pair in pair_masks:
+        u, v = iter_positions(pair)
+        adjacency[u] |= 1 << v
+        adjacency[v] |= 1 << u
+    non_adjacent = {
+        pos: covered_mask & ~adjacency[pos] & ~(1 << pos)
+        for pos in adjacency
+    }
+
+    def expand(r: int, p: int, x: int) -> Iterator[int]:
+        if not p and not x:
+            yield r
+            return
+        best = None
+        best_key = None
+        for pos in iter_positions(p | x):
+            key = (popcount(non_adjacent[pos] & p), pos)
+            if best_key is None or key > best_key:
+                best_key, best = key, pos
+        candidates = p & ~non_adjacent[best]
+        for bit in iter_bits(candidates):
+            non_adj = non_adjacent[bit.bit_length() - 1]
+            yield from expand(r | bit, p & non_adj, x & non_adj)
+            p &= ~bit
+            x |= bit
+
+    yield from expand(0, covered_mask, 0)
+
+
 # ----------------------------------------------------------------------
 # Rank ≤ 2: the graph decider
 # ----------------------------------------------------------------------
@@ -123,7 +175,9 @@ def graph_reduction(
     return forced, pairs, frozenset(covered)
 
 
-def decide_duality_graph(g: Hypergraph, h: Hypergraph) -> DualityResult:
+def decide_duality_graph(
+    g: Hypergraph, h: Hypergraph, use_bitset: bool = True
+) -> DualityResult:
     """Polynomial duality testing when ``rank(G) ≤ 2``.
 
     After the entry check (which already certifies ``H ⊆ tr(G)``), every
@@ -132,6 +186,11 @@ def decide_duality_graph(g: Hypergraph, h: Hypergraph) -> DualityResult:
     transversal outside ``H``.  The first such transversal — necessarily
     a *missing minimal transversal* — is the witness.  Work per MIS is
     polynomial, and at most ``|H| + 1`` sets are ever generated.
+
+    ``use_bitset=True`` (default) runs the Bron–Kerbosch enumeration
+    and the membership scan in the mask domain over one shared index;
+    ``use_bitset=False`` is the ``frozenset`` reference.  Both paths
+    are bit-for-bit identical.
     """
     method = "graph"
     entry = prepare_instance(g, h)
@@ -141,27 +200,47 @@ def decide_duality_graph(g: Hypergraph, h: Hypergraph) -> DualityResult:
         )
     g_v, h_v = entry.g, entry.h
     forced, pairs, covered = graph_reduction(g_v)
-    claimed = set(h_v.edges)
     stats = DecisionStats()
+    if use_bitset:
+        index = g_v.bits().index
+        claimed_masks = frozenset(index.encode(e) for e in h_v.edges)
+        forced_mask = index.encode(forced)
+        covered_mask = index.encode(covered)
+        pair_masks = tuple(index.encode(e) for e in pairs)
+        covers = (
+            forced_mask | (covered_mask & ~mis)
+            for mis in maximal_independent_set_masks(covered_mask, pair_masks)
+        )
+        claimed_size = len(claimed_masks)
+        missing = lambda t: t not in claimed_masks  # noqa: E731
+        decode = index.decode
+    else:
+        claimed = set(h_v.edges)
+        covers = (
+            frozenset(forced | cover)
+            for cover in minimal_vertex_covers_iter(covered, pairs)
+        )
+        claimed_size = len(claimed)
+        missing = lambda t: t not in claimed  # noqa: E731
+        decode = lambda t: t  # noqa: E731
     seen = 0
-    for cover in minimal_vertex_covers_iter(covered, pairs):
-        transversal = frozenset(forced | cover)
+    for transversal in covers:
         seen += 1
         stats.nodes = seen
-        if transversal not in claimed:
+        if missing(transversal):
             return not_dual_result(
                 method,
                 FailureKind.MISSING_TRANSVERSAL,
-                witness=transversal,
+                witness=decode(transversal),
                 detail=(
                     "minimal vertex cover yields a minimal transversal "
                     "missing from H"
                 ),
                 stats=stats,
             )
-        if seen > len(claimed):
+        if seen > claimed_size:
             break
-    if seen != len(claimed):
+    if seen != claimed_size:
         # Unreachable given the entry check (H ⊆ tr(G) makes every
         # claimed edge one of the enumerated covers), kept as a guard.
         raise AssertionError("MIS count disagrees with |H| after entry check")
@@ -192,7 +271,9 @@ def complete_uniform_arity(g: Hypergraph) -> int | None:
     return k
 
 
-def decide_duality_threshold(g: Hypergraph, h: Hypergraph) -> DualityResult:
+def decide_duality_threshold(
+    g: Hypergraph, h: Hypergraph, use_bitset: bool = True
+) -> DualityResult:
     """Closed-form duality testing for complete k-uniform ``G``.
 
     ``tr`` of all ``k``-subsets of ``W`` is all ``(|W| − k + 1)``-subsets
@@ -231,6 +312,45 @@ def decide_duality_threshold(g: Hypergraph, h: Hypergraph) -> DualityResult:
     n = len(covered)
     dual_size = n - k + 1
     stats = DecisionStats(extra={"n": n, "k": k, "dual_size": dual_size})
+    if use_bitset:
+        # One shared index for both sides: the shape scan is a popcount
+        # plus a submask test per H-edge, the missing-subset scan ORs
+        # bit triples instead of building frozensets.
+        index = VertexIndex(g.vertices | h.vertices)
+        covered_mask = index.encode(covered)
+        h_masks = tuple(index.encode(e) for e in h.edges)
+        for edge, mask in zip(h.edges, h_masks):
+            if popcount(mask) != dual_size or not is_submask(mask, covered_mask):
+                return not_dual_result(
+                    method,
+                    FailureKind.EXTRA_EDGE,
+                    witness=edge,
+                    detail=(
+                        f"H-edge is not a {dual_size}-subset of the covered "
+                        "vertices, hence not a minimal transversal"
+                    ),
+                    stats=stats,
+                )
+        expected = comb(n, dual_size)
+        if len(h) == expected:
+            return dual_result(method, stats=stats)
+        claimed_masks = frozenset(h_masks)
+        bits = [1 << pos for pos in iter_positions(covered_mask)]
+        for subset in combinations(bits, dual_size):
+            candidate = 0
+            for bit in subset:
+                candidate |= bit
+            if candidate not in claimed_masks:
+                return not_dual_result(
+                    method,
+                    FailureKind.MISSING_TRANSVERSAL,
+                    witness=index.decode(candidate),
+                    detail=(
+                        f"missing {dual_size}-subset of the {n} covered vertices"
+                    ),
+                    stats=stats,
+                )
+        raise AssertionError("count mismatch but no missing subset found")
     for edge in h.edges:
         if len(edge) != dual_size or not edge <= covered:
             return not_dual_result(
@@ -304,13 +424,20 @@ def gyo_edge_order(g: Hypergraph) -> list[frozenset]:
     return [original[idx] for idx in ordered]
 
 
-def decide_duality_acyclic(g: Hypergraph, h: Hypergraph) -> DualityResult:
+def decide_duality_acyclic(
+    g: Hypergraph, h: Hypergraph, use_bitset: bool = True
+) -> DualityResult:
     """Duality testing for α-acyclic ``G`` (tractable per ref [9]).
 
     Validates acyclicity via the GYO reduction, computes ``tr(G)`` by
     Berge multiplication in the GYO-guided order, and compares.  Exact
     regardless of input; the ordering is what keeps the intermediate
     families polynomial on acyclic instances (measured by E18).
+
+    ``use_bitset=True`` (default) runs the Berge steps and the final
+    comparison in the mask domain (one ``&`` per containment test);
+    ``use_bitset=False`` keeps the ``frozenset`` reference.  Both paths
+    are bit-for-bit identical, counters included.
     """
     method = "acyclic"
     entry = prepare_instance(g, h)
@@ -324,9 +451,47 @@ def decide_duality_acyclic(g: Hypergraph, h: Hypergraph) -> DualityResult:
             "acyclic decider needs an α-acyclic G "
             f"(GYO residue: {gyo_reduction(g_v)!r})"
         )
+    stats = DecisionStats()
+    if use_bitset:
+        index = g_v.bits().index
+        peak = 1
+        current_masks: list[int] = [0]
+        for edge in gyo_edge_order(g_v):
+            edge_mask = index.encode(edge)
+            expanded_masks: set[int] = set()
+            for partial in current_masks:
+                if partial & edge_mask:
+                    expanded_masks.add(partial)
+                else:
+                    for bit in iter_bits(edge_mask):
+                        expanded_masks.add(partial | bit)
+            current_masks = antichain_minima(expanded_masks)
+            peak = max(peak, len(current_masks))
+            stats.nodes += len(current_masks)
+        stats.extra["peak_intermediate"] = peak
+        exact_masks = set(current_masks)
+        claimed_masks = {index.encode(e) for e in h_v.edges}
+        if exact_masks == claimed_masks:
+            return dual_result(method, stats=stats)
+        missing_masks = sorted(exact_masks - claimed_masks, key=mask_sort_key)
+        if missing_masks:
+            return not_dual_result(
+                method,
+                FailureKind.MISSING_TRANSVERSAL,
+                witness=index.decode(missing_masks[0]),
+                detail="minimal transversal of G missing from H",
+                stats=stats,
+            )
+        extra = sorted(claimed_masks - exact_masks, key=mask_sort_key)
+        return not_dual_result(
+            method,
+            FailureKind.EXTRA_EDGE,
+            witness=index.decode(extra[0]),
+            detail="edge of H is not a minimal transversal of G",
+            stats=stats,
+        )
     from repro._util import minimize_family
 
-    stats = DecisionStats()
     current: frozenset[frozenset] = frozenset((frozenset(),))
     peak = 1
     for edge in gyo_edge_order(g_v):
@@ -392,19 +557,25 @@ def classify_instance(g: Hypergraph, h: Hypergraph) -> str:
     return "general"
 
 
-def decide_duality_tractable(g: Hypergraph, h: Hypergraph) -> DualityResult:
+def decide_duality_tractable(
+    g: Hypergraph, h: Hypergraph, use_bitset: bool = True
+) -> DualityResult:
     """Dispatch to the matching tractable decider, or fall back to BM.
 
     The returned result's ``stats.extra["class"]`` records the detected
     structural class, so experiments can report which fast path fired.
+    ``use_bitset=False`` routes the specialised deciders through their
+    ``frozenset`` reference paths (the general BM fallback always runs
+    its own mask kernels); verdicts and certificates are identical
+    either way.
     """
     tag = classify_instance(g, h)
     if tag == "graph":
-        result = decide_duality_graph(g, h)
+        result = decide_duality_graph(g, h, use_bitset=use_bitset)
     elif tag == "threshold":
-        result = decide_duality_threshold(g, h)
+        result = decide_duality_threshold(g, h, use_bitset=use_bitset)
     elif tag == "acyclic":
-        result = decide_duality_acyclic(g, h)
+        result = decide_duality_acyclic(g, h, use_bitset=use_bitset)
     else:
         from repro.duality.boros_makino import decide_boros_makino
 

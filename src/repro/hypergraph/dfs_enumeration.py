@@ -32,9 +32,10 @@ measures against Berge's peak.
 from __future__ import annotations
 
 from collections.abc import Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro._util import vertex_key
+from repro.core import BitsetFamily, iter_bits, popcount
 from repro.hypergraph.hypergraph import Hypergraph
 
 
@@ -65,8 +66,56 @@ def _has_private_edge(vertex, partial: frozenset, edges, upto: int) -> bool:
     return False
 
 
+def minimal_transversal_masks_dfs(
+    family: BitsetFamily, stats: DFSStats | None = None
+) -> Iterator[int]:
+    """The DFS enumeration entirely in the mask domain.
+
+    Yields the minimal transversals of ``family`` as integer masks, in
+    exactly the order the ``frozenset`` reference produces them: edges
+    in canonical order, branch vertices in ascending bit position
+    (= canonical vertex order, the :class:`~repro.core.VertexIndex`
+    invariant).  The whole inner loop is ``&``-and-compare arithmetic —
+    the private-edge minimality check is one equality per prefix edge.
+    """
+    s = stats or DFSStats()
+    masks = family.masks
+    if 0 in family:
+        return  # an empty edge: no transversal exists
+    if not masks:
+        s.yielded += 1
+        yield 0
+        return
+    n_edges = len(masks)
+
+    def dfs(partial: int, idx: int) -> Iterator[int]:
+        s.nodes += 1
+        s.peak_partial = max(s.peak_partial, popcount(partial))
+        s.peak_depth = max(s.peak_depth, idx)
+        if idx == n_edges:
+            s.yielded += 1
+            yield partial
+            return
+        edge = masks[idx]
+        if partial & edge:
+            yield from dfs(partial, idx + 1)
+            return
+        prefix = masks[: idx + 1]
+        for bit in iter_bits(edge):
+            child = partial | bit
+            # Minimality invariant: every vertex keeps a private edge
+            # among the processed prefix (bit's private edge is `edge`).
+            if all(
+                any(child & e == u for e in prefix)
+                for u in iter_bits(child)
+            ):
+                yield from dfs(child, idx + 1)
+
+    yield from dfs(0, 0)
+
+
 def minimal_transversals_dfs(
-    hg: Hypergraph, stats: DFSStats | None = None
+    hg: Hypergraph, stats: DFSStats | None = None, use_bitset: bool = True
 ) -> Iterator[frozenset]:
     """Yield every minimal transversal of ``hg`` exactly once (DFS order).
 
@@ -74,8 +123,20 @@ def minimal_transversals_dfs(
     stack.  Pass a :class:`DFSStats` to record the working-set peaks.
     The degenerate conventions match ``transversal_hypergraph``:
     no edges → the single empty transversal; an empty edge → nothing.
+
+    ``use_bitset=True`` (default) runs the mask-domain twin
+    (:func:`minimal_transversal_masks_dfs`) and decodes each result;
+    ``use_bitset=False`` keeps the original ``frozenset`` recursion —
+    the reference the equivalence tests compare against.  Both paths
+    yield identical sets in identical order with identical stats.
     """
     s = stats or DFSStats()
+    if use_bitset:
+        family = hg.bits()
+        index = family.index
+        for mask in minimal_transversal_masks_dfs(family, s):
+            yield index.decode(mask)
+        return
     if hg.is_trivial_true():
         return
     edges = list(hg.edges)

@@ -32,9 +32,17 @@ from repro.parallel.batch import (
     load_instance,
     solve_many,
 )
+from repro.parallel.codec import (
+    CodecError,
+    decode_value,
+    decode_vertex_set,
+    encode_value,
+    encode_vertex_set,
+)
 from repro.parallel.executor import (
     FK_SHARDS_PER_JOB,
     PARALLEL_METHODS,
+    TREE_SHARDS_PER_JOB,
     WorkerPool,
     decide_duality_parallel,
     resolve_n_jobs,
@@ -54,14 +62,20 @@ from repro.parallel.portfolio import (
 
 __all__ = [
     "BatchItem",
+    "CodecError",
     "DEFAULT_PORTFOLIO",
     "FK_SHARDS_PER_JOB",
     "PARALLEL_METHODS",
     "ResultCache",
     "Shard",
     "ShardPlan",
+    "TREE_SHARDS_PER_JOB",
     "WorkerPool",
     "decide_duality_parallel",
+    "decode_value",
+    "decode_vertex_set",
+    "encode_value",
+    "encode_vertex_set",
     "load_instance",
     "plan_bm",
     "plan_fk",

@@ -37,6 +37,11 @@ from repro.duality.result import (
 )
 from repro.hypergraph import Hypergraph, instance_key, mask_payload, from_mask_payload
 from repro.hypergraph import io as hgio
+from repro.parallel.codec import (
+    CodecError,
+    decode_vertex_set,
+    encode_vertex_set,
+)
 from repro.parallel.executor import WorkerPool, resolve_n_jobs
 
 
@@ -45,11 +50,13 @@ class ResultCache:
 
     In memory the cache stores :class:`DualityResult` objects directly.
     ``save``/``load`` round-trip through JSON for persistence across
-    processes and CLI runs; entries whose witnesses are not
-    JSON-representable (exotic vertex types) are silently kept
-    memory-only.  Replayed results carry fresh stats with
-    ``extra["cached"] = True`` — work counters are not replayed, only
-    the answer is.
+    processes and CLI runs.  Witness vertices travel through the tagged
+    codec of :mod:`repro.parallel.codec`, so every vertex type the
+    library constructs (ints, strings, nested tuples, frozensets)
+    survives the round trip with its exact type; only truly exotic
+    labels (user-defined objects) fall back to memory-only entries.
+    Replayed results carry fresh stats with ``extra["cached"] = True`` —
+    work counters are not replayed, only the answer is.
     """
 
     def __init__(self) -> None:
@@ -82,19 +89,18 @@ class ResultCache:
     @staticmethod
     def _entry_to_json(result: DualityResult) -> dict | None:
         cert = result.certificate
-        entry = {
+        try:
+            witness = encode_vertex_set(cert.witness)
+        except CodecError:
+            return None
+        return {
             "verdict": result.verdict.value,
             "method": result.method,
             "kind": cert.kind.name if cert.kind is not None else None,
-            "witness": sorted(cert.witness, key=repr) if cert.witness is not None else None,
+            "witness": witness,
             "detail": cert.detail,
             "path": list(cert.path) if cert.path is not None else None,
         }
-        try:
-            json.dumps(entry)
-        except TypeError:
-            return None
-        return entry
 
     @staticmethod
     def _entry_from_json(entry: dict) -> DualityResult:
@@ -104,11 +110,7 @@ class ResultCache:
             verdict=Verdict(entry["verdict"]),
             certificate=Certificate(
                 kind=FailureKind[entry["kind"]] if entry["kind"] else None,
-                witness=(
-                    frozenset(entry["witness"])
-                    if entry["witness"] is not None
-                    else None
-                ),
+                witness=decode_vertex_set(entry["witness"]),
                 detail=entry.get("detail", ""),
                 path=tuple(entry["path"]) if entry["path"] is not None else None,
             ),
@@ -130,14 +132,22 @@ class ResultCache:
 
     @classmethod
     def load(cls, path: str | Path) -> "ResultCache":
-        """Read a cache written by :meth:`save` (missing file → empty)."""
+        """Read a cache written by :meth:`save` (missing file → empty).
+
+        Entries from older cache formats (pre-codec plain witnesses)
+        fail to decode and are dropped — a stale entry becomes a miss,
+        never a wrong answer.
+        """
         cache = cls()
         path = Path(path)
         if not path.exists():
             return cache
         raw = json.loads(path.read_text(encoding="utf-8"))
         for key, entry in raw.items():
-            cache._entries[key] = cls._entry_from_json(entry)
+            try:
+                cache._entries[key] = cls._entry_from_json(entry)
+            except (CodecError, KeyError, ValueError):
+                continue
         return cache
 
 
@@ -189,6 +199,7 @@ def solve_many(
     method: str = "fk-b",
     n_jobs: int | None = 1,
     cache: ResultCache | None = None,
+    pool=None,
 ) -> list[BatchItem]:
     """Decide a batch of duality instances, optionally in parallel.
 
@@ -203,17 +214,24 @@ def solve_many(
         worker — pools do not nest).
     n_jobs:
         Worker processes for the cache-miss instances; ``1`` solves
-        in-process, ``-1`` uses every core.
+        in-process, ``-1`` uses every core.  Ignored when ``pool`` is
+        given.
     cache:
         A :class:`ResultCache` consulted before solving and updated
         after; hits replay the stored result with ``elapsed_s = 0``.
+    pool:
+        An already-warm pool with a ``map(fn, items)`` method — normally
+        a :class:`repro.service.EnginePool` — to reuse across batches
+        instead of paying the per-call worker spawn.  The caller owns
+        its lifecycle (this function never shuts it down).
 
     Results come back in input order, and each miss is solved by the
     ordinary serial engine inside its worker — so the batch's verdicts
     and certificates are exactly what one-at-a-time serial calls would
     produce.
     """
-    resolve_n_jobs(n_jobs)  # validate early, before any loading
+    if pool is None:
+        resolve_n_jobs(n_jobs)  # validate early, before any loading
     if cache is not None and method == "portfolio":
         # A portfolio winner is timing-dependent, so its certificate is
         # not a deterministic function of the instance — exactly what a
@@ -264,7 +282,8 @@ def solve_many(
         g, h = pairs[pos]
         payloads.append((mask_payload(g), mask_payload(h), method))
 
-    pool = WorkerPool(n_jobs)
+    if pool is None:
+        pool = WorkerPool(n_jobs)
     outcomes = pool.map(solve_batch_entry, payloads)
     solved = {
         keys[pos]: outcome for pos, outcome in zip(unique_positions, outcomes)

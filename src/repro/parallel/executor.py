@@ -53,6 +53,11 @@ PARALLEL_METHODS = ("fk-a", "fk-b", "bm", "logspace")
 #: the pool balance branches of uneven volume.
 FK_SHARDS_PER_JOB = 4
 
+#: Recursive-plan targets for the tree engines: how many shards to aim
+#: for per worker when ``n_jobs > 1``.  Oversharding (×2) lets the pool
+#: balance skewed decomposition trees.
+TREE_SHARDS_PER_JOB = 2
+
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
     """Normalise an ``n_jobs`` request: ``None``/1 → 1, ``-1`` → all cores."""
@@ -231,12 +236,20 @@ def _merge_fk(plan: ShardPlan, outcomes: Sequence[tuple]) -> DualityResult:
 
 def _merge_bm(plan: ShardPlan, outcomes: Sequence[tuple]) -> DualityResult:
     stats = DecisionStats(
-        nodes=1,  # the root, expanded during planning
+        # Interior nodes the planner expanded itself (the root, plus any
+        # node it re-sharded through on a recursive plan).
+        nodes=plan.plan_stats.nodes,
         max_depth=0,
         max_children=plan.plan_stats.max_children,
         base_cases=0,
     )
     fails: list[tuple[tuple[int, ...], frozenset]] = []
+    for leaf in plan.extra.get("planned_leaves", ()):
+        stats.nodes += 1
+        stats.max_depth = max(stats.max_depth, leaf.depth)
+        stats.base_cases += 1
+        if leaf.mark is Mark.FAIL:
+            fails.append((leaf.label, leaf.witness))
     for nodes, max_depth, max_branching, n_leaves, shard_fails in outcomes:
         stats.nodes += nodes
         stats.max_depth = max(stats.max_depth, max_depth)
@@ -262,33 +275,40 @@ def _merge_bm(plan: ShardPlan, outcomes: Sequence[tuple]) -> DualityResult:
 def _merge_logspace(plan: ShardPlan, outcomes: Sequence[tuple]) -> DualityResult:
     from repro.duality.logspace import pathnode_metered
 
-    root: NodeAttributes = plan.extra["root"]
-    leaf_children: dict[int, NodeAttributes] = plan.extra["leaf_children"]
-    n_children: int = plan.extra["n_children"]
+    # Accounting units in the serial DFS order.  Lexicographic label
+    # order *is* DFS pre-order (a parent's label is a proper prefix of
+    # its children's), so sorting planned nodes and shard subtrees by
+    # label replays the serial decider's visiting order at any re-shard
+    # depth.
+    planned_nodes: list[NodeAttributes] = plan.extra["planned_nodes"]
+    units: list[tuple[tuple[int, ...], str, object]] = [
+        (attrs.label, "node", attrs) for attrs in planned_nodes
+    ]
+    units += [
+        (tuple(shard.payload[0]), "shard", outcome)
+        for shard, outcome in zip(plan.shards, outcomes)
+    ]
+    units.sort(key=lambda unit: unit[0])
 
-    stats = DecisionStats(nodes=1, max_depth=0)
+    stats = DecisionStats(nodes=0, max_depth=0)
     stats.extra["swapped"] = plan.swapped
     deepest: tuple[int, ...] = ()
     deepest_depth = 0
     first_fail: tuple[tuple[int, ...], frozenset] | None = None
 
-    if root.mark is Mark.FAIL:
-        first_fail = (root.label, root.witness)
-
-    by_order = {shard.order: outcome for shard, outcome in zip(plan.shards, outcomes)}
-    for i in range(n_children):
-        if i in leaf_children:
-            child = leaf_children[i]
+    for _label, kind, payload in units:
+        if kind == "node":
+            attrs: NodeAttributes = payload
             stats.nodes += 1
-            if child.depth > deepest_depth:
-                deepest_depth = child.depth
-                deepest = child.label
-            if child.mark is Mark.FAIL and (
-                first_fail is None or child.label < first_fail[0]
+            if attrs.depth > deepest_depth:
+                deepest_depth = attrs.depth
+                deepest = attrs.label
+            if attrs.mark is Mark.FAIL and (
+                first_fail is None or attrs.label < first_fail[0]
             ):
-                first_fail = (child.label, child.witness)
+                first_fail = (attrs.label, attrs.witness)
             continue
-        nodes, max_depth, first_max_label, fail = by_order[i]
+        nodes, max_depth, first_max_label, fail = payload
         stats.nodes += nodes
         if max_depth > deepest_depth:
             deepest_depth = max_depth
@@ -319,11 +339,20 @@ def _merge_logspace(plan: ShardPlan, outcomes: Sequence[tuple]) -> DualityResult
 # Front door
 # ---------------------------------------------------------------------------
 
-def solve_shards(plan: ShardPlan, n_jobs: int | None = 1) -> DualityResult:
-    """Run a plan's shards through a :class:`WorkerPool` and merge."""
+def solve_shards(
+    plan: ShardPlan, n_jobs: int | None = 1, pool=None
+) -> DualityResult:
+    """Run a plan's shards through a worker pool and merge.
+
+    ``pool`` may be any object with a ``map(fn, items)`` method — e.g. a
+    persistent :class:`repro.service.EnginePool` — in which case
+    ``n_jobs`` is ignored and the caller keeps ownership of the pool's
+    lifecycle; otherwise a transient :class:`WorkerPool` is used.
+    """
     if plan.resolved is not None:
         return plan.resolved
-    pool = WorkerPool(n_jobs)
+    if pool is None:
+        pool = WorkerPool(n_jobs)
     if plan.method in ("fredman-khachiyan-A", "fredman-khachiyan-B"):
         outcomes = pool.map(run_fk_shard, [s.payload for s in plan.shards])
         return _merge_fk(plan, outcomes)
@@ -347,6 +376,7 @@ def decide_duality_parallel(
     h: Hypergraph,
     method: str = "fk-b",
     n_jobs: int | None = 1,
+    pool=None,
     **options,
 ) -> DualityResult:
     """Sharded parallel duality decision, equivalent to the serial engines.
@@ -354,8 +384,13 @@ def decide_duality_parallel(
     ``method`` must be one of :data:`PARALLEL_METHODS`.  Verdicts and
     certificates are identical to ``decide_duality(g, h, method=method)``
     for every ``n_jobs`` — parallelism changes wall time only.
+
+    ``pool`` reuses a persistent pool (e.g. a
+    :class:`repro.service.EnginePool`) for the shard fan-out instead of
+    spawning a transient one per call; its ``n_jobs`` then sizes the
+    shard plan.
     """
-    jobs = resolve_n_jobs(n_jobs)
+    jobs = resolve_n_jobs(n_jobs if pool is None else pool.n_jobs)
     if method in ("fk-a", "fk-b"):
         if options.pop("use_bitset", True) is False:
             raise ValueError(
@@ -369,17 +404,23 @@ def decide_duality_parallel(
         plan = plan_fk(
             g, h, use_b=(method == "fk-b"), target_shards=jobs * FK_SHARDS_PER_JOB
         )
-        result = solve_shards(plan, jobs)
+        result = solve_shards(plan, jobs, pool=pool)
     elif method == "bm":
+        options.setdefault(
+            "target_shards", jobs * TREE_SHARDS_PER_JOB if jobs > 1 else None
+        )
         plan = plan_bm(g, h, **options)
-        result = solve_shards(plan, jobs)
+        result = solve_shards(plan, jobs, pool=pool)
     elif method == "logspace":
+        target = options.pop(
+            "target_shards", jobs * TREE_SHARDS_PER_JOB if jobs > 1 else None
+        )
         if options:
             raise ValueError(
                 f"unknown option(s) for parallel 'logspace': {sorted(options)}"
             )
-        plan = plan_logspace(g, h)
-        result = solve_shards(plan, jobs)
+        plan = plan_logspace(g, h, target_shards=target)
+        result = solve_shards(plan, jobs, pool=pool)
     else:
         raise ValueError(
             f"method {method!r} has no sharded parallel path; "

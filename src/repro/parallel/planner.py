@@ -29,10 +29,23 @@ Three shard shapes, one per engine family:
   interior child becomes a shard whose worker continues the
   ``iter_tree_nodes`` DFS from that child's attributes.
 
+Shard plans for ``bm`` and ``logspace`` are **recursive**: when asked
+for more shards than the root has children (``target_shards``), the
+planner keeps expanding the largest-estimated-volume frontier node —
+re-sharding a shard — until the target is met or nothing worth
+splitting remains.  A skewed decomposition tree (one giant child, many
+trivial ones) therefore still yields balanced work, where a one-level
+plan would put the whole tree in a single worker.  Every node the
+planner expands or discovers is recorded in the plan (the *planned
+nodes*), so the merge can reconstruct the serial engine's counters and
+visiting order exactly, at any re-shard depth.
+
 Merging (in :mod:`repro.parallel.executor`) re-applies the serial
 engine's priority rules — first failing FK branch in DFS order, first
-``fail`` leaf in canonical label order — so verdicts *and certificates*
-are identical to the serial engines.
+``fail`` leaf in canonical label order (which *is* DFS pre-order:
+a parent's label is a proper prefix of its children's, so
+lexicographic label order equals the serial visiting order) — so
+verdicts *and certificates* are identical to the serial engines.
 """
 
 from __future__ import annotations
@@ -198,20 +211,88 @@ def plan_fk(
 
 
 # ---------------------------------------------------------------------------
-# Boros–Makino tree children
+# Boros–Makino tree children (recursive)
 # ---------------------------------------------------------------------------
+
+#: Frontier nodes with a restricted volume below this are never worth
+#: re-sharding — their subtrees are cheaper than the dispatch overhead.
+RESHARD_MIN_VOLUME = 4
+
+
+def _restricted_volume(
+    attrs: NodeAttributes, g: Hypergraph, h: Hypergraph
+) -> int:
+    """The work estimate for a frontier node: ``|G^S| · |H_S|``."""
+    g_s, h_s = attrs.instance(g, h)
+    return len(g_s) * len(h_s)
+
+
+def _grow_frontier(
+    children: list[NodeAttributes],
+    target_shards: int | None,
+    g: Hypergraph,
+    h: Hypergraph,
+    expand_node,
+) -> list[NodeAttributes]:
+    """Shared frontier expansion: split the biggest subtree until
+    ``target_shards`` frontier nodes exist (or nothing is worth
+    splitting).
+
+    ``expand_node(attrs)`` performs one engine-specific expansion step,
+    records the node (and any marked children) in the caller's plan
+    bookkeeping, and returns the node's unexpanded interior children —
+    or ``None`` when the node turned out to be a leaf.  Volume
+    estimates (which materialise restricted sub-instances) are only
+    computed when expansion will actually be attempted: with
+    ``target_shards=None``, or a frontier already at target, the
+    children are returned as-is.
+    """
+    if target_shards is None or len(children) >= target_shards:
+        return children
+    frontier = [
+        (attrs, _restricted_volume(attrs, g, h)) for attrs in children
+    ]
+    while len(frontier) < target_shards:
+        candidates = [
+            (volume, pos)
+            for pos, (_attrs, volume) in enumerate(frontier)
+            if volume >= RESHARD_MIN_VOLUME
+        ]
+        if not candidates:
+            break
+        _volume, pos = max(candidates, key=lambda c: (c[0], -c[1]))
+        attrs, _ = frontier.pop(pos)
+        grandchildren = expand_node(attrs)
+        if grandchildren is None:
+            continue
+        frontier[pos:pos] = [
+            (child, _restricted_volume(child, g, h))
+            for child in grandchildren
+        ]
+    return [attrs for attrs, _volume in frontier]
+
 
 def plan_bm(
     g: Hypergraph,
     h: Hypergraph,
     enforce_size_order: bool = True,
     policy: TieBreakPolicy = PAPER_POLICY,
+    target_shards: int | None = None,
 ) -> ShardPlan:
-    """One shard per child of the decomposition tree's root.
+    """Shard the decomposition tree, re-sharding big subtrees on demand.
 
     Mirrors :func:`repro.duality.boros_makino.decide_boros_makino`'s
     prologue (entry check, side swap) in the parent; a root that is
     itself a leaf is resolved by the executor without any worker.
+
+    ``target_shards=None`` reproduces the one-level plan (one shard per
+    root child).  With a target, the planner repeatedly expands the
+    frontier node of largest estimated volume — mirroring the serial
+    engine's own expansion bit for bit — until the frontier holds
+    ``target_shards`` nodes or only trivial subtrees remain.  Leaves
+    discovered along the way stay in the plan (``extra["planned_leaves"]``)
+    so merged stats and the fail-leaf priority match the serial engine
+    at every re-shard depth.
     """
     from repro.duality.result import FailureKind, dual_result, not_dual_result
 
@@ -255,6 +336,26 @@ def plan_bm(
             )
         return ShardPlan(method=method, header=(), resolved=resolved)
 
+    # Recursive frontier expansion: plan-state updated by the callback,
+    # selection/splicing shared with plan_logspace via _grow_frontier.
+    # Expanding a node mirrors the serial builder bit for bit, so
+    # plan-time work is pre-accounting, not extra work.
+    plan_state = {"interior": 1, "max_children": len(outcome)}  # the root
+    planned_leaves: list[NodeAttributes] = []
+
+    def expand_bm_node(attrs: NodeAttributes) -> list[NodeAttributes] | None:
+        child_outcome = expand(attrs, g_v, h_v, policy)
+        if isinstance(child_outcome, NodeAttributes):
+            planned_leaves.append(child_outcome)
+            return None
+        plan_state["interior"] += 1
+        plan_state["max_children"] = max(
+            plan_state["max_children"], len(child_outcome)
+        )
+        return child_outcome
+
+    frontier = _grow_frontier(outcome, target_shards, g_v, h_v, expand_bm_node)
+
     g_vertices, g_masks = mask_payload(g_v)
     _h_vertices, h_masks = mask_payload(h_v)
     header = (g_vertices, g_masks, h_masks, policy)
@@ -264,10 +365,12 @@ def plan_bm(
             order=i,
             payload=(child.label, index.encode(child.scope)),
         )
-        for i, child in enumerate(outcome)
+        for i, child in enumerate(frontier)
     )
-    plan_stats = DecisionStats(max_children=len(outcome))
-    return ShardPlan(
+    plan_stats = DecisionStats(
+        nodes=plan_state["interior"], max_children=plan_state["max_children"]
+    )
+    plan = ShardPlan(
         method=method,
         header=header,
         shards=shards,
@@ -277,18 +380,47 @@ def plan_bm(
         swapped=swapped,
         plan_stats=plan_stats,
     )
+    plan.extra["planned_leaves"] = planned_leaves
+    return plan
 
 
 # ---------------------------------------------------------------------------
 # Logspace projections
 # ---------------------------------------------------------------------------
 
-def plan_logspace(g: Hypergraph, h: Hypergraph) -> ShardPlan:
-    """One shard per interior child of the root, via the ``next`` procedure.
+def _ls_children(
+    g: Hypergraph, h: Hypergraph, attrs: NodeAttributes
+) -> list[NodeAttributes]:
+    """All children of an interior node via Lemma 4.1's ``next``."""
+    children: list[NodeAttributes] = []
+    i = 1
+    while True:
+        child = next_attrs(g, h, attrs, i)
+        if child is None:
+            break
+        children.append(child)
+        i += 1
+    return children
 
-    Children that the Lemma 4.1 finalisation already marks (``done`` or
-    ``fail`` leaves) carry their attributes in the plan itself — the
-    executor accounts for them without dispatching a worker.
+
+def plan_logspace(
+    g: Hypergraph, h: Hypergraph, target_shards: int | None = None
+) -> ShardPlan:
+    """Shard the Section 4 DFS, re-sharding big projections on demand.
+
+    One shard per unexpanded interior node of the plan frontier.  Nodes
+    the planner resolves itself — the root, any interior node it
+    re-sharded through, and every ``done``/``fail`` leaf the Lemma 4.1
+    finalisation marks along the way — are carried in
+    ``extra["planned_nodes"]``; the executor accounts for them without
+    dispatching a worker, walking plan nodes and shard outcomes in
+    label (= DFS) order so the ``deepest`` tracker and the fail-leaf
+    priority replay the serial decider exactly.
+
+    ``target_shards=None`` keeps the one-level plan (the root's interior
+    children); with a target, the largest-estimated-volume frontier node
+    is expanded via ``next`` until the target is met or only trivial
+    projections remain.
     """
     from repro.duality.result import not_dual_result
 
@@ -310,43 +442,49 @@ def plan_logspace(g: Hypergraph, h: Hypergraph) -> ShardPlan:
     index = VertexIndex(g_v.vertices | h_v.vertices)
     root = initial_attrs(g_v, h_v)
 
-    children: list[NodeAttributes] = []
+    planned_nodes: list[NodeAttributes] = [root]
+    root_children: list[NodeAttributes] = []
     if root.mark is Mark.NIL:
-        i = 1
-        while True:
-            child = next_attrs(g_v, h_v, root, i)
-            if child is None:
-                break
-            children.append(child)
-            i += 1
+        for child in _ls_children(g_v, h_v, root):
+            if child.mark is Mark.NIL:
+                root_children.append(child)
+            else:
+                planned_nodes.append(child)
+
+    def expand_ls_node(attrs: NodeAttributes) -> list[NodeAttributes]:
+        planned_nodes.append(attrs)
+        nil_children: list[NodeAttributes] = []
+        for child in _ls_children(g_v, h_v, attrs):
+            if child.mark is Mark.NIL:
+                nil_children.append(child)
+            else:
+                planned_nodes.append(child)
+        return nil_children
+
+    frontier = _grow_frontier(
+        root_children, target_shards, g_v, h_v, expand_ls_node
+    )
 
     g_vertices, g_masks = mask_payload(g_v)
     _h_vertices, h_masks = mask_payload(h_v)
     header = (g_vertices, g_masks, h_masks)
-    shards = []
-    leaf_children: dict[int, NodeAttributes] = {}
-    for i, child in enumerate(children):
-        if child.mark is Mark.NIL:
-            shards.append(
-                Shard(
-                    kind="ls",
-                    order=i,
-                    payload=(child.label, index.encode(child.scope)),
-                )
-            )
-        else:
-            leaf_children[i] = child
+    shards = tuple(
+        Shard(
+            kind="ls",
+            order=i,
+            payload=(child.label, index.encode(child.scope)),
+        )
+        for i, child in enumerate(frontier)
+    )
 
     plan = ShardPlan(
         method=method,
         header=header,
-        shards=tuple(shards),
+        shards=shards,
         g=g_v,
         h=h_v,
         index=index,
         swapped=swapped,
     )
-    plan.extra["root"] = root
-    plan.extra["n_children"] = len(children)
-    plan.extra["leaf_children"] = leaf_children
+    plan.extra["planned_nodes"] = planned_nodes
     return plan

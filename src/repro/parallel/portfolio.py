@@ -66,6 +66,11 @@ def run_portfolio_entry(payload: tuple) -> tuple:
     return engine, time.perf_counter() - start, result, None
 
 
+def run_portfolio_entry_queue(payload: tuple, queue) -> None:
+    """Race worker body: solve and report through the result queue."""
+    queue.put(run_portfolio_entry(payload))
+
+
 def race_portfolio(
     g: Hypergraph,
     h: Hypergraph,
@@ -104,24 +109,71 @@ def race_portfolio(
         result = results[winner]
         mode = "sequential"
     else:
+        # One raw daemon Process per racer, reporting through a queue.
+        # Deliberately NOT multiprocessing.Pool: terminating a Pool that
+        # still has queued tasks can deadlock its _handle_tasks helper
+        # thread against _terminate_pool (a long-standing CPython race);
+        # Process.terminate() has no helper threads to wedge.
         import multiprocessing
+        from queue import Empty
 
-        payloads = _race_payloads(g, h, engines)
+        ctx = multiprocessing.get_context()
+        results_queue = ctx.Queue()
+        pending = _race_payloads(g, h, engines)
         timings = {engine: None for engine in engines}
         winner = None
         result = None
-        with multiprocessing.get_context().Pool(
-            min(jobs, len(engines))
-        ) as pool:
-            for engine, elapsed, engine_result, error in pool.imap_unordered(
-                run_portfolio_entry, payloads, chunksize=1
-            ):
-                timings[engine] = elapsed
-                if error is not None:
+        running: list = []
+
+        def launch_next() -> None:
+            proc = ctx.Process(
+                target=run_portfolio_entry_queue,
+                args=(pending.pop(0), results_queue),
+                daemon=True,
+            )
+            proc.start()
+            running.append(proc)
+
+        for _ in range(min(jobs, len(pending))):
+            launch_next()
+        while result is None:
+            try:
+                engine, elapsed, engine_result, error = results_queue.get(
+                    timeout=0.1
+                )
+            except Empty:
+                if any(proc.is_alive() for proc in running):
                     continue
-                winner, result = engine, engine_result
-                break
-            pool.terminate()
+                if pending:
+                    # Every in-flight racer died without reporting (hard
+                    # kill, segfault); keep the race going with the next
+                    # engine instead of polling forever.
+                    launch_next()
+                    continue
+                # Every racer is gone; allow one grace read for a result
+                # still in flight through the queue's feeder pipe.
+                try:
+                    engine, elapsed, engine_result, error = results_queue.get(
+                        timeout=1.0
+                    )
+                except Empty:
+                    break
+            timings[engine] = elapsed
+            if error is not None:
+                if pending:
+                    launch_next()
+                continue
+            winner, result = engine, engine_result
+        for proc in running:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in running:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.kill()
+                proc.join(timeout=5)
+        results_queue.cancel_join_thread()
+        results_queue.close()
         if result is None:
             raise RuntimeError(
                 f"every portfolio engine failed on this instance: {engines}"

@@ -1,0 +1,37 @@
+"""Persistent engine service: warm workers behind a cached request queue.
+
+The :mod:`repro.parallel` subsystem made one call fast; this package
+makes *many* calls cheap.  Its pieces:
+
+* :class:`EnginePool` — a persistent worker pool with an explicit
+  **start / submit / drain / shutdown** lifecycle.  Workers spawn once
+  and stay warm across arbitrarily many ``decide_duality``/
+  ``solve_many`` batches (both accept ``pool=``); a worker that dies
+  mid-batch is detected, the pool respawns, and the lost work re-runs.
+* :class:`EngineService` — the request-queue front end ``repro serve``
+  drives: a :class:`~repro.parallel.batch.ResultCache` wired *in front*
+  of the queue (optionally persisted across sessions), ``submit`` /
+  ``drain`` semantics, and responses in submission order with the same
+  verdicts and certificates serial calls would produce.
+* :func:`response_to_json` — one JSON verdict line per answer, with
+  witnesses through the lossless vertex codec.
+
+Layering: ``repro.service`` sits on top of ``repro.parallel`` (it reuses
+``solve_many``'s cache/dedup logic and the shard executors); nothing
+below imports it, and plain library use never pays for it.
+"""
+
+from repro.service.pool import EnginePool, PoolClosedError
+from repro.service.server import (
+    EngineService,
+    ServiceResponse,
+    response_to_json,
+)
+
+__all__ = [
+    "EnginePool",
+    "EngineService",
+    "PoolClosedError",
+    "ServiceResponse",
+    "response_to_json",
+]

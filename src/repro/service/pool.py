@@ -1,0 +1,289 @@
+"""A persistent, reusable worker pool with an explicit lifecycle.
+
+:class:`repro.parallel.executor.WorkerPool` is deliberately transient:
+every ``map`` spawns a fresh ``multiprocessing.Pool`` and tears it down.
+That is the right shape for one-shot library calls, but a service that
+answers many small requests pays the fork-and-import cost on every one
+of them.  :class:`EnginePool` keeps the workers *warm* instead:
+
+* **start / submit / drain / shutdown** — an explicit lifecycle.
+  ``start`` spawns the workers once; ``submit`` enqueues work and
+  returns a ticket; ``drain`` waits for everything outstanding and
+  hands the results back by ticket; ``shutdown`` releases the workers.
+  ``drain`` leaves the pool warm — submit→drain cycles can repeat
+  indefinitely on the same worker processes.
+* **deterministic fallback** — ``n_jobs=1`` never touches
+  ``multiprocessing``: work runs in-process in submission order, the
+  same convention the rest of :mod:`repro.parallel` uses, so tests and
+  single-core environments exercise identical code paths.
+* **worker-death recovery** — the process backend is
+  :class:`concurrent.futures.ProcessPoolExecutor`, which (unlike
+  ``multiprocessing.Pool``) *detects* an abruptly dead worker instead
+  of hanging.  The pool catches the broken-pool error, respawns the
+  workers (a new *generation*), and resubmits the work that never
+  completed.  Work functions must therefore be idempotent — every
+  function this library ships to workers is a pure decision procedure,
+  so re-running one is always safe.
+* **observability** — ``generations`` counts worker spawns (a warm pool
+  stays at 1 across arbitrarily many batches — the property the tests
+  assert), ``tasks_completed``/``restarts`` count throughput and
+  recoveries, and :meth:`worker_pids` probes which processes are
+  actually serving.
+
+The pool is duck-compatible with ``WorkerPool`` (it has ``map``), so
+:func:`repro.parallel.batch.solve_many` and
+:func:`repro.parallel.executor.solve_shards` accept one via their
+``pool=`` parameter and reuse it across calls.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable
+
+from repro.parallel.executor import resolve_n_jobs
+
+
+class PoolClosedError(RuntimeError):
+    """Work was submitted to a pool after :meth:`EnginePool.shutdown`."""
+
+
+def _probe_pid(_item) -> int:
+    """Worker-side probe (module-level for pickling): the worker's PID."""
+    return os.getpid()
+
+
+class _Pending:
+    """One submitted work item: its payload and (eventually) outcome."""
+
+    __slots__ = ("fn", "item", "future", "done", "value", "error")
+
+    def __init__(self, fn: Callable, item) -> None:
+        self.fn = fn
+        self.item = item
+        self.future = None
+        self.done = False
+        self.value = None
+        self.error: BaseException | None = None
+
+    def settle(self) -> None:
+        """Record the outcome of a finished future."""
+        if self.done or self.future is None:
+            return
+        try:
+            self.value = self.future.result()
+        except BaseException as exc:  # noqa: BLE001 - re-raised at collect
+            self.error = exc
+        self.done = True
+
+
+class EnginePool:
+    """Warm worker processes with start/submit/drain/shutdown lifecycle."""
+
+    #: How many times a broken worker set is respawned before giving up.
+    MAX_RESTARTS = 3
+
+    def __init__(self, n_jobs: int | None = 1) -> None:
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self._executor = None
+        self._started = False
+        self._closed = False
+        self._pending: dict[int, _Pending] = {}
+        self._next_ticket = 0
+        #: Worker-set spawns so far (1 after ``start`` until a recovery).
+        self.generations = 0
+        #: Successfully completed work items.
+        self.tasks_completed = 0
+        #: Worker-death recoveries performed.
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started and not self._closed
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def start(self) -> "EnginePool":
+        """Spawn the workers (idempotent; a no-op at ``n_jobs=1``)."""
+        if self._closed:
+            raise PoolClosedError("cannot start a pool after shutdown")
+        if not self._started:
+            self._started = True
+            self._spawn()
+        return self
+
+    def _spawn(self) -> None:
+        self.generations += 1
+        if self.n_jobs == 1:
+            return
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.n_jobs,
+            mp_context=multiprocessing.get_context(),
+        )
+
+    def shutdown(self) -> None:
+        """Release the workers.  Idempotent: repeated calls are no-ops.
+
+        Outstanding submissions are discarded (drain first if their
+        results matter).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pending.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "EnginePool":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Work
+    # ------------------------------------------------------------------
+
+    def submit(self, fn: Callable, item) -> int:
+        """Enqueue ``fn(item)``; returns a ticket for :meth:`drain`.
+
+        ``fn`` must be a module-level (picklable) function when
+        ``n_jobs > 1``.  Submitting is legal any time before
+        ``shutdown`` — including after a ``drain`` (the workers stay
+        warm between batches).
+        """
+        if self._closed:
+            raise PoolClosedError(
+                "pool is shut down; create a new EnginePool to submit again"
+            )
+        self.start()
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        pending = _Pending(fn, item)
+        self._pending[ticket] = pending
+        if self._executor is None:
+            # In-process mode: run right away, in submission order.
+            try:
+                pending.value = fn(item)
+            except BaseException as exc:  # noqa: BLE001 - re-raised at collect
+                pending.error = exc
+            pending.done = True
+        else:
+            pending.future = self._executor.submit(fn, item)
+        return ticket
+
+    def drain(self) -> dict[int, object]:
+        """Wait for every outstanding submission; results by ticket.
+
+        The pool stays warm afterwards — ``submit`` keeps working on the
+        same worker processes.  If a worker died mid-batch, the workers
+        are respawned and the lost items re-run transparently (counted
+        in ``restarts``).  A work-function exception is re-raised here,
+        and the batch is cleared either way — a failed drain never
+        poisons the next one.
+        """
+        tickets = sorted(self._pending)
+        try:
+            results = self._collect(tickets)
+        finally:
+            for ticket in tickets:
+                self._pending.pop(ticket, None)
+        return results
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """``[fn(item) for item in items]`` on the warm workers.
+
+        Duck-compatible with ``WorkerPool.map``; unlike it, repeated
+        calls reuse the live workers instead of spawning per call.
+        """
+        tickets = [self.submit(fn, item) for item in items]
+        try:
+            results = self._collect(tickets)
+        finally:
+            for ticket in tickets:
+                self._pending.pop(ticket, None)
+        return [results[ticket] for ticket in tickets]
+
+    def worker_pids(self) -> frozenset[int]:
+        """The PIDs actually answering work right now (self at ``n_jobs=1``).
+
+        Probes with one task per worker slot; a warm pool reports the
+        same set across batches, a respawned one a disjoint set.
+        """
+        return frozenset(self.map(_probe_pid, range(max(1, self.n_jobs))))
+
+    # ------------------------------------------------------------------
+    # Collection and recovery
+    # ------------------------------------------------------------------
+
+    def _collect(self, tickets: list[int]) -> dict[int, object]:
+        from concurrent.futures import BrokenExecutor
+
+        attempts = 0
+        while True:
+            broken = False
+            for ticket in tickets:
+                pending = self._pending[ticket]
+                if pending.done:
+                    continue
+                # settle() never raises (outcomes are recorded in
+                # .error); a dead worker surfaces as a BrokenExecutor
+                # *outcome*, which flags the whole batch for recovery.
+                pending.settle()
+                if isinstance(pending.error, BrokenExecutor):
+                    pending.done = False
+                    pending.error = None
+                    broken = True
+                    break
+            if not broken:
+                break
+            attempts += 1
+            if attempts > self.MAX_RESTARTS:
+                raise RuntimeError(
+                    f"worker pool broke {attempts} times; giving up "
+                    f"(restarts so far: {self.restarts})"
+                )
+            self._recover()
+
+        out: dict[int, object] = {}
+        for ticket in tickets:
+            pending = self._pending[ticket]
+            if pending.error is not None:
+                raise pending.error
+            self.tasks_completed += 1
+            out[ticket] = pending.value
+        return out
+
+    def _recover(self) -> None:
+        """Respawn the workers and resubmit everything unfinished."""
+        from concurrent.futures import BrokenExecutor
+
+        self.restarts += 1
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._spawn()
+        for pending in self._pending.values():
+            if pending.done and isinstance(pending.error, BrokenExecutor):
+                # A sibling casualty of the same dead worker set.
+                pending.done = False
+                pending.error = None
+            if not pending.done and self._executor is not None:
+                pending.future = self._executor.submit(pending.fn, pending.item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("warm" if self._started else "new")
+        return (
+            f"EnginePool(n_jobs={self.n_jobs}, {state}, "
+            f"generation={self.generations}, completed={self.tasks_completed})"
+        )

@@ -1,0 +1,258 @@
+"""The engine service: a long-lived front end over the warm pool.
+
+:class:`EngineService` is what ``repro serve`` (and any embedding
+application) talks to.  It owns three pieces and wires them in the
+right order:
+
+1. a :class:`~repro.parallel.batch.ResultCache` **in front** of the
+   queue — repeat instances are answered from the cache without ever
+   reaching a worker, and the cache optionally persists to disk so
+   hits survive across service sessions;
+2. a request queue — ``submit`` accepts instances (``(G, H)`` pairs or
+   ``.hg`` instance paths) and returns request ids; ``drain`` flushes
+   the queue through the pool and returns responses in submission
+   order;
+3. a persistent :class:`~repro.service.pool.EnginePool` — workers spawn
+   once per service lifetime, not once per request batch.
+
+Verdicts stream as JSON-ready dicts (:func:`response_to_json`): vertex
+labels travel through the lossless codec of
+:mod:`repro.parallel.codec`, so a service answering over tuples or
+strings round-trips its certificates exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.duality.result import DualityResult
+from repro.hypergraph import Hypergraph
+from repro.parallel.batch import BatchItem, ResultCache, load_instance, solve_many
+from repro.parallel.codec import CodecError, encode_vertex_set
+from repro.service.pool import EnginePool, PoolClosedError
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One answered request.
+
+    ``request_id`` is the ticket ``submit`` returned; ``source`` the
+    instance file path (``None`` for in-memory pairs); ``cached`` True
+    when the verdict came from the cache instead of a worker.
+    """
+
+    request_id: int
+    source: str | None
+    key: str
+    result: DualityResult
+    elapsed_s: float
+    cached: bool
+
+    @property
+    def is_dual(self) -> bool:
+        return self.result.is_dual
+
+
+class EngineService:
+    """A persistent duality-deciding service: cache → queue → warm pool."""
+
+    def __init__(
+        self,
+        method: str = "fk-b",
+        n_jobs: int | None = 1,
+        cache: ResultCache | str | Path | None = None,
+        pool: EnginePool | None = None,
+    ) -> None:
+        """Start a service session.
+
+        ``cache`` may be a live :class:`ResultCache`, a path (loaded
+        now, saved on :meth:`close` — the cross-session persistence
+        mode), or ``None`` for no caching.  ``pool`` lets several
+        services share one warm :class:`EnginePool`; a pool the service
+        created itself is shut down on :meth:`close`, a borrowed one is
+        left running.
+        """
+        self.method = method
+        if method == "portfolio" and cache is not None:
+            # Fail at session start, not mid-drain: a portfolio winner is
+            # timing-dependent, which is exactly what a replay cache must
+            # not store (same rule as solve_many's).
+            raise ValueError(
+                "method='portfolio' cannot be cached: the winning engine "
+                "(and hence the certificate) depends on timing; pick a "
+                "concrete engine or drop the cache"
+            )
+        self._cache_path: Path | None = None
+        if isinstance(cache, (str, Path)):
+            self._cache_path = Path(cache)
+            self.cache: ResultCache | None = ResultCache.load(self._cache_path)
+        else:
+            self.cache = cache
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else EnginePool(n_jobs)
+        self.pool.start()
+        self._queue: list[tuple[int, str | None, tuple]] = []
+        self._next_id = 0
+        self.requests = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Queue
+    # ------------------------------------------------------------------
+
+    def submit(self, instance) -> int:
+        """Queue one instance: a ``(G, H)`` pair or a ``.hg`` path.
+
+        Returns the request id used in the matching
+        :class:`ServiceResponse`.  Raises :class:`PoolClosedError`
+        after :meth:`close`.  Path instances are loaded *here*, so a
+        missing or malformed file fails its own submit with the caller
+        still knowing which request it was — it can never take down a
+        later ``drain`` (and the rest of the queue) with it.
+        """
+        if self._closed:
+            raise PoolClosedError("service is closed; open a new EngineService")
+        if isinstance(instance, (str, Path)):
+            source: str | None = str(instance)
+            pair = load_instance(instance)
+        else:
+            source = None
+            g, h = instance
+            pair = (g, h)
+        request_id = self._next_id
+        self._next_id += 1
+        self._queue.append((request_id, source, pair))
+        self.requests += 1
+        return request_id
+
+    def drain(self) -> list[ServiceResponse]:
+        """Answer everything queued, in submission order.
+
+        Cache hits never reach the pool; misses are solved by the warm
+        workers with the ordinary serial engines (verdicts and
+        certificates identical to one-at-a-time ``decide_duality``
+        calls).  The service stays open — submit/drain cycles repeat on
+        the same workers.
+        """
+        if self._closed:
+            raise PoolClosedError("service is closed; open a new EngineService")
+        if not self._queue:
+            return []
+        batch, self._queue = self._queue, []
+        items = solve_many(
+            [pair for _id, _source, pair in batch],
+            method=self.method,
+            cache=self.cache,
+            pool=self.pool,
+        )
+        return [
+            self._response(request_id, source, item)
+            for (request_id, source, _pair), item in zip(batch, items)
+        ]
+
+    @staticmethod
+    def _response(
+        request_id: int, source: str | None, item: BatchItem
+    ) -> ServiceResponse:
+        return ServiceResponse(
+            request_id=request_id,
+            source=source,
+            key=item.key,
+            result=item.result,
+            elapsed_s=item.elapsed_s,
+            cached=item.cached,
+        )
+
+    def _solve_one(self, instance) -> ServiceResponse:
+        if self._queue:
+            # Draining here would answer the queued requests too and
+            # have nowhere to deliver them — refuse rather than silently
+            # discard someone's answers.
+            raise ValueError(
+                f"{len(self._queue)} request(s) already queued; call "
+                "drain() first, or submit this instance to the queue too"
+            )
+        self.submit(instance)
+        (response,) = self.drain()
+        return response
+
+    def solve(self, g: Hypergraph, h: Hypergraph) -> ServiceResponse:
+        """Answer one in-memory pair now (the queue must be empty)."""
+        return self._solve_one((g, h))
+
+    def solve_file(self, path: str | Path) -> ServiceResponse:
+        """Answer one ``.hg`` instance file now (the queue must be empty)."""
+        return self._solve_one(path)
+
+    # ------------------------------------------------------------------
+    # Lifecycle and introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A snapshot of service health for logs and tests."""
+        out = {
+            "requests": self.requests,
+            "queued": len(self._queue),
+            "method": self.method,
+            "n_jobs": self.pool.n_jobs,
+            "pool_generations": self.pool.generations,
+            "pool_restarts": self.pool.restarts,
+            "tasks_completed": self.pool.tasks_completed,
+        }
+        if self.cache is not None:
+            out["cache_hits"] = self.cache.hits
+            out["cache_misses"] = self.cache.misses
+            out["cache_entries"] = len(self.cache)
+        return out
+
+    def close(self) -> None:
+        """End the session: persist the cache, release owned workers.
+
+        Idempotent.  A borrowed pool (one passed into the constructor)
+        is left running for its other users.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._cache_path is not None and self.cache is not None:
+            self.cache.save(self._cache_path)
+        if self._owns_pool:
+            self.pool.shutdown()
+
+    def __enter__(self) -> "EngineService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def response_to_json(response: ServiceResponse) -> dict:
+    """A JSON-safe dict for one verdict line of the ``serve`` stream.
+
+    Witness vertices go through the lossless tagged codec; a witness
+    outside the codec's type table (user-defined objects) degrades to
+    its ``repr`` strings rather than failing the whole stream.
+    """
+    result = response.result
+    cert = result.certificate
+    try:
+        witness = encode_vertex_set(cert.witness)
+    except CodecError:
+        witness = (
+            sorted(map(repr, cert.witness)) if cert.witness is not None else None
+        )
+    return {
+        "id": response.request_id,
+        "source": response.source,
+        "key": response.key,
+        "method": result.method,
+        "verdict": result.verdict.value,
+        "dual": result.is_dual,
+        "cached": response.cached,
+        "elapsed_ms": round(response.elapsed_s * 1000, 3),
+        "kind": cert.kind.name if cert.kind is not None else None,
+        "witness": witness,
+        "path": list(cert.path) if cert.path is not None else None,
+        "detail": cert.detail,
+    }

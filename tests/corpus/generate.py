@@ -1,0 +1,136 @@
+"""Regenerate the golden corpus (``python tests/corpus/generate.py``).
+
+Each ``.hg`` file holds one duality instance (``G``, a ``==`` line,
+``H``); ``MANIFEST.json`` records the expected verdict and why the
+instance is in the corpus.  The families deliberately cover the
+regressions past PRs tripped over:
+
+* **skewed decomposition trees** — a tiny matching glued to a threshold
+  block: the BM/logspace root has one giant child and several trivial
+  ones, the shape one-level shard plans balance worst;
+* **forced-true deltas** — matching instances drive the FK-B branch
+  whose per-``u`` subproblems carry a delta of forced-true variables;
+  the non-dual variant checks the delta is re-applied to the witness;
+* **single-vertex edges** — singleton edges force vertices into every
+  transversal (the ``graph_reduction`` forced part);
+* **constants** — the Boolean-constant conventions (``tr(∅) = {∅}``);
+* **extra-edge certificates** — an enlarged (non-minimal) H-edge, the
+  entry-check failure path.
+
+Verdicts in the manifest were cross-checked by every engine at
+generation time; the replay tests assert today's engines still agree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.duality import decide_duality
+from repro.hypergraph import Hypergraph
+from repro.hypergraph import io as hgio
+from repro.hypergraph.generators import (
+    acyclic_dual_pair,
+    graph_cover_pair,
+    cycle_graph_edges,
+    hard_nondual_pair,
+    matching_dual_pair,
+    perturb_enlarge_edge,
+    random_dual_pair,
+    threshold_dual_pair,
+)
+from repro.hypergraph.operations import relabel
+
+HERE = Path(__file__).resolve().parent
+
+
+def skewed_pair() -> tuple[Hypergraph, Hypergraph]:
+    """M_1 ⊎ TH(7,4) with integer labels: one giant root child, one tiny."""
+    g1, h1 = matching_dual_pair(1)  # vertices 0..1
+    g2, h2 = threshold_dual_pair(7, 4)
+    shift = {v: v + 2 for v in g2.vertices}
+    g2, h2 = relabel(g2, shift), relabel(h2, shift)
+    universe = g1.vertices | g2.vertices
+    g = Hypergraph(tuple(g1.edges) + tuple(g2.edges), vertices=universe)
+    h = Hypergraph(
+        (e1 | e2 for e1 in h1.edges for e2 in h2.edges), vertices=universe
+    )
+    return g, h
+
+
+def single_vertex_pair() -> tuple[Hypergraph, Hypergraph]:
+    """Singleton edges mixed with a pair edge (forced vertices)."""
+    g = Hypergraph([{0}, {1, 2}, {3}], vertices=range(4))
+    h = Hypergraph([{0, 1, 3}, {0, 2, 3}], vertices=range(4))
+    return g, h
+
+
+def main() -> None:
+    instances: dict[str, tuple[Hypergraph, Hypergraph, str]] = {}
+
+    g, h = skewed_pair()
+    instances["skewed-union"] = (g, h, "skewed decomposition tree (M1 ⊎ TH74)")
+    instances["skewed-union-drop"] = (
+        g,
+        Hypergraph(list(h.edges)[:-1], vertices=h.vertices),
+        "skewed tree with a missing transversal deep in the giant child",
+    )
+
+    g, h = matching_dual_pair(4)
+    instances["matching-4"] = (g, h, "FK-B forced-true deltas (dual)")
+    instances["matching-4-broken"] = (
+        *hard_nondual_pair(4),
+        "FK-B delta applied to the failing assignment (non-dual)",
+    )
+
+    instances["single-vertex-edges"] = (
+        *single_vertex_pair(),
+        "singleton edges force vertices into every transversal",
+    )
+
+    instances["constants"] = (
+        Hypergraph.empty(),
+        Hypergraph.trivial_true(),
+        "tr(∅) = {∅}: the Boolean-constant convention",
+    )
+
+    g, h = threshold_dual_pair(7, 4)
+    instances["threshold-7-4"] = (g, h, "self-dual-adjacent threshold pair")
+    instances["threshold-7-4-enlarged"] = (
+        g,
+        perturb_enlarge_edge(h),
+        "an enlarged H-edge: EXTRA_EDGE certificate via the entry check",
+    )
+
+    instances["cycle-5"] = (
+        *graph_cover_pair(cycle_graph_edges(5)),
+        "graph instance (rank 2): the tractable graph decider's home turf",
+    )
+    instances["acyclic-4"] = (
+        *acyclic_dual_pair(4),
+        "α-acyclic chain: GYO-guided Berge fast path",
+    )
+    instances["random-7-5"] = (
+        *random_dual_pair(7, 5, seed=11),
+        "irregular random dual pair",
+    )
+
+    manifest: dict[str, dict] = {}
+    engines = ("bm", "logspace", "fk-a", "fk-b", "dfs-enum", "tractable")
+    for name, (g, h, why) in sorted(instances.items()):
+        verdicts = {e: decide_duality(g, h, method=e).is_dual for e in engines}
+        assert len(set(verdicts.values())) == 1, (name, verdicts)
+        hgio.dump_many([g, h], HERE / f"{name}.hg")
+        manifest[name] = {
+            "file": f"{name}.hg",
+            "verdict": "dual" if verdicts[engines[0]] else "not-dual",
+            "why": why,
+        }
+    (HERE / "MANIFEST.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {len(manifest)} corpus instances to {HERE}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,243 @@
+"""Differential conformance fuzzer: every engine, every path, one answer.
+
+``Dual`` is the rare problem where we have *nine* independent deciders
+(plus a definitional truth-table check), most of them with two data
+paths (integer-mask kernels vs the ``frozenset`` reference) and several
+with a sharded multi-process path.  Randomised differential testing
+exploits that redundancy: any disagreement on any instance is a bug in
+at least one engine, with the instance as a free reproducer.
+
+The fuzzer is seeded and sized through the environment so CI can run a
+heavy sweep while the tier-1 suite stays fast:
+
+* ``REPRO_CONFORMANCE_INSTANCES`` — how many random instances
+  (default 60; CI runs ≥ 500);
+* ``REPRO_CONFORMANCE_SEED`` — the master seed (default 20260726).
+
+Contracts checked per instance:
+
+* all engines return the **same verdict**, and every NOT_DUAL verdict
+  carries a witness that :func:`check_result_witness` validates;
+* for each engine with a ``use_bitset`` toggle (``fk-a``, ``fk-b``,
+  ``guess-check``, ``dfs-enum``, ``tractable``) and for the tree
+  engines' global kernel toggle (``bm``, ``logspace``), the mask and
+  ``frozenset`` paths return **bit-for-bit identical results** —
+  verdict, certificate, and work counters;
+* the sharded paths (``fk-a``, ``fk-b``, ``bm``, ``logspace``) are
+  identical to serial at ``n_jobs=1`` on every instance and at
+  ``n_jobs=2`` (through one persistent :class:`EnginePool`) on a
+  stride sample.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.duality import check_result_witness, decide_duality
+from repro.hypergraph import Hypergraph, transversal_hypergraph
+from repro.hypergraph.generators import (
+    degenerate_pairs,
+    perturb_drop_edge,
+    perturb_enlarge_edge,
+    random_simple,
+)
+from repro.hypergraph.operations import use_bitset_kernels
+from repro.parallel import decide_duality_parallel
+from repro.service import EnginePool
+
+N_INSTANCES = int(os.environ.get("REPRO_CONFORMANCE_INSTANCES", "60"))
+SEED = int(os.environ.get("REPRO_CONFORMANCE_SEED", "20260726"))
+
+#: Every decision engine.  ``truth-table`` is definitional (2^n
+#: assignments) and feasible because the generator caps universes at 7
+#: vertices; ``transversal`` is the Berge oracle.
+ALL_ENGINES = (
+    "fk-a",
+    "fk-b",
+    "bm",
+    "logspace",
+    "berge",
+    "guess-check",
+    "dfs-enum",
+    "tractable",
+    "truth-table",
+)
+
+#: Engines with a per-call ``use_bitset`` reference toggle.
+TOGGLED_ENGINES = ("fk-a", "fk-b", "guess-check", "dfs-enum", "tractable")
+
+#: Engines whose mask kernels sit behind the global operations toggle.
+KERNEL_TOGGLED_ENGINES = ("bm", "logspace")
+
+SHARDED_ENGINES = ("fk-a", "fk-b", "bm", "logspace")
+
+#: Every how-many instances the expensive n_jobs=2 process fan-out runs.
+PROCESS_STRIDE = max(1, N_INSTANCES // 20)
+
+
+def _generate_corpus(n: int, seed: int):
+    """``n`` seeded random instances: dual, perturbed, and adversarial.
+
+    Universes stay ≤ 7 vertices so the truth-table engine stays feasible
+    (2^7 assignments).  Roughly half the instances are exact dual pairs
+    ``(G, tr(G))``; the rest are perturbations with known failure modes
+    (dropped transversal, enlarged edge, unrelated H) plus the
+    degenerate constant pairs sprinkled in.
+    """
+    rng = random.Random(seed)
+    corpus = []
+    degenerates = degenerate_pairs()
+    while len(corpus) < n:
+        roll = rng.random()
+        if roll < 0.04:
+            name, g, h, _dual = degenerates[rng.randrange(len(degenerates))]
+            corpus.append((f"degenerate:{name}", g, h))
+            continue
+        n_vertices = rng.randint(3, 7)
+        g = random_simple(
+            n_vertices=n_vertices,
+            n_edges=rng.randint(1, 5),
+            min_size=1,
+            max_size=rng.randint(1, min(4, n_vertices)),
+            seed=rng.randrange(1 << 30),
+        )
+        if g.is_trivial_false():
+            continue
+        h = transversal_hypergraph(g)
+        if roll < 0.50:
+            corpus.append((f"dual:{len(corpus)}", g, h))
+        elif roll < 0.65 and len(h) > 1:
+            corpus.append(
+                (f"drop:{len(corpus)}", g, perturb_drop_edge(h, rng.randrange(len(h))))
+            )
+        elif roll < 0.80 and len(h) >= 1:
+            corpus.append(
+                (
+                    f"enlarge:{len(corpus)}",
+                    g,
+                    perturb_enlarge_edge(h, rng.randrange(len(h))),
+                )
+            )
+        else:
+            other = random_simple(
+                n_vertices=rng.randint(3, 7),
+                n_edges=rng.randint(1, 5),
+                seed=rng.randrange(1 << 30),
+            )
+            if other.is_trivial_false():
+                continue
+            corpus.append((f"unrelated:{len(corpus)}", g, other))
+    return corpus
+
+
+CORPUS = _generate_corpus(N_INSTANCES, SEED)
+
+
+def _identical(a, b) -> bool:
+    """Bit-for-bit result identity: verdict, certificate, counters."""
+    return (
+        a.verdict == b.verdict
+        and a.certificate == b.certificate
+        and a.method == b.method
+        and a.stats.nodes == b.stats.nodes
+        and a.stats.max_depth == b.stats.max_depth
+        and a.stats.max_children == b.stats.max_children
+        and a.stats.base_cases == b.stats.base_cases
+    )
+
+
+def test_corpus_is_seeded_and_sized():
+    assert len(CORPUS) == N_INSTANCES
+    assert _generate_corpus(5, SEED)[0][0] == _generate_corpus(5, SEED)[0][0]
+
+
+def test_all_engines_agree_on_every_instance():
+    """One verdict per instance, witnesses valid, across all 9 engines."""
+    for name, g, h in CORPUS:
+        reference = decide_duality(g, h, method="bm")
+        for engine in ALL_ENGINES:
+            result = decide_duality(g, h, method=engine)
+            assert result.verdict == reference.verdict, (name, engine)
+            if not result.is_dual and result.witness is not None:
+                assert check_result_witness(g, h, result), (name, engine)
+
+
+def test_mask_and_frozenset_paths_identical():
+    """`use_bitset=False` references replay the mask paths exactly."""
+    for name, g, h in CORPUS:
+        for engine in TOGGLED_ENGINES:
+            fast = decide_duality(g, h, method=engine, use_bitset=True)
+            reference = decide_duality(g, h, method=engine, use_bitset=False)
+            assert _identical(fast, reference), (name, engine)
+            assert fast.stats.extra == reference.stats.extra, (name, engine)
+
+
+def test_kernel_toggle_paths_identical():
+    """The tree engines under the global restriction-kernel toggle."""
+    for name, g, h in CORPUS[:: max(1, N_INSTANCES // 100 or 1)]:
+        for engine in KERNEL_TOGGLED_ENGINES:
+            fast = decide_duality(g, h, method=engine)
+            use_bitset_kernels(False)
+            try:
+                reference = decide_duality(g, h, method=engine)
+            finally:
+                use_bitset_kernels(True)
+            assert _identical(fast, reference), (name, engine)
+
+
+def test_sharded_in_process_identical_to_serial():
+    """n_jobs=1 sharded solving replays the serial engines exactly."""
+    for name, g, h in CORPUS:
+        for engine in SHARDED_ENGINES:
+            serial = decide_duality(g, h, method=engine)
+            sharded = decide_duality_parallel(g, h, method=engine, n_jobs=1)
+            assert sharded.verdict == serial.verdict, (name, engine)
+            assert sharded.certificate == serial.certificate, (name, engine)
+
+
+def test_sharded_two_workers_identical_to_serial():
+    """n_jobs=2 through one persistent pool, on a stride sample."""
+    with EnginePool(2) as pool:
+        for name, g, h in CORPUS[::PROCESS_STRIDE]:
+            for engine in SHARDED_ENGINES:
+                serial = decide_duality(g, h, method=engine)
+                sharded = decide_duality_parallel(g, h, method=engine, pool=pool)
+                assert sharded.verdict == serial.verdict, (name, engine)
+                assert sharded.certificate == serial.certificate, (name, engine)
+        assert pool.generations == 1  # the whole sweep, one worker spawn
+
+
+def test_recursive_shard_plans_identical_to_serial():
+    """Multi-level bm/logspace plans at several targets, stats included."""
+    from repro.parallel import plan_bm, plan_logspace, solve_shards
+
+    for name, g, h in CORPUS[:: max(1, N_INSTANCES // 50 or 1)]:
+        for engine, plan_fn in (("bm", plan_bm), ("logspace", plan_logspace)):
+            serial = decide_duality(g, h, method=engine)
+            for target in (2, 6):
+                plan = plan_fn(g, h, target_shards=target)
+                merged = solve_shards(plan, 1)
+                assert merged.verdict == serial.verdict, (name, engine, target)
+                assert merged.certificate == serial.certificate, (
+                    name,
+                    engine,
+                    target,
+                )
+                assert merged.stats.nodes == serial.stats.nodes, (
+                    name,
+                    engine,
+                    target,
+                )
+                assert merged.stats.max_depth == serial.stats.max_depth
+
+
+@pytest.mark.parametrize("engine", ["fk-b", "bm"])
+def test_dual_verdicts_match_ground_truth(engine):
+    """Instances built as (G, tr(G)) must come out DUAL."""
+    for name, g, h in CORPUS:
+        if not name.startswith("dual:"):
+            continue
+        assert decide_duality(g, h, method=engine).is_dual, name

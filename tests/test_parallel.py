@@ -38,10 +38,13 @@ from repro.parallel import (
     ResultCache,
     WorkerPool,
     decide_duality_parallel,
+    plan_bm,
     plan_fk,
+    plan_logspace,
     race_portfolio,
     resolve_n_jobs,
     solve_many,
+    solve_shards,
 )
 
 from tests.conftest import nonempty_simple_hypergraphs
@@ -132,6 +135,62 @@ class TestShardedStats:
         assert len(plan.shards) >= 8
         # Orders are the serial DFS positions.
         assert [s.order for s in plan.shards] == list(range(len(plan.shards)))
+
+
+class TestRecursiveShardPlans:
+    """Multi-level bm/logspace plans: more shards, same answers."""
+
+    def _skewed(self):
+        # One tiny block glued to one big block: the root's children are
+        # very uneven, so a one-level plan cannot balance the work.
+        return threshold_dual_pair(9, 5)
+
+    def test_bm_reshards_past_the_root_children(self):
+        g, h = self._skewed()
+        one_level = plan_bm(g, h)
+        recursive = plan_bm(g, h, target_shards=len(one_level.shards) + 4)
+        assert len(recursive.shards) > len(one_level.shards)
+        # Re-sharding expanded interior nodes beyond the root.
+        assert recursive.plan_stats.nodes > one_level.plan_stats.nodes
+
+    def test_logspace_reshards_past_the_root_children(self):
+        g, h = self._skewed()
+        one_level = plan_logspace(g, h)
+        recursive = plan_logspace(g, h, target_shards=len(one_level.shards) + 4)
+        assert len(recursive.shards) > len(one_level.shards)
+        assert len(recursive.extra["planned_nodes"]) > len(
+            one_level.extra["planned_nodes"]
+        )
+
+    @pytest.mark.parametrize("method", ["bm", "logspace"])
+    def test_recursive_plans_preserve_results_and_stats(self, method):
+        plan_fn = plan_bm if method == "bm" else plan_logspace
+        for name, g, h in CORPUS:
+            serial = decide_duality(g, h, method=method)
+            for target in (2, 5, 11):
+                plan = plan_fn(g, h, target_shards=target)
+                merged = solve_shards(plan, 1)
+                assert merged.verdict == serial.verdict, (name, target)
+                assert merged.certificate == serial.certificate, (name, target)
+                assert merged.stats.nodes == serial.stats.nodes, (name, target)
+                assert merged.stats.max_depth == serial.stats.max_depth
+                if method == "bm":
+                    assert merged.stats.base_cases == serial.stats.base_cases
+                    assert (
+                        merged.stats.max_children == serial.stats.max_children
+                    )
+                else:
+                    assert (
+                        merged.stats.peak_space_bits
+                        == serial.stats.peak_space_bits
+                    ), (name, target)
+
+    def test_facade_engages_recursive_plans_at_n_jobs_2(self):
+        g, h = self._skewed()
+        result = decide_duality(g, h, method="bm", n_jobs=2)
+        reference = decide_duality(g, h, method="bm")
+        assert result.certificate == reference.certificate
+        assert result.stats.extra["n_shards"] >= len(plan_bm(g, h).shards)
 
 
 class TestFacadeParallelOptions:

@@ -1,0 +1,508 @@
+"""Tests for the persistent engine service (:mod:`repro.service`).
+
+Three contracts:
+
+* **lifecycle** — the :class:`EnginePool` spawns workers once and keeps
+  them warm across batches; drain leaves it usable, shutdown is
+  idempotent, submits after shutdown fail loudly, and a worker dying
+  mid-batch is recovered without losing or corrupting answers;
+* **service semantics** — :class:`EngineService` answers in submission
+  order with verdicts and certificates identical to serial
+  ``decide_duality`` calls, and its cache sits in *front* of the pool
+  (hits never reach a worker, and persist across sessions);
+* **lossless persistence** — the tagged codec round-trips every vertex
+  type the library constructs, tuples included.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.duality import decide_duality
+from repro.hypergraph import io as hgio
+from repro.hypergraph.generators import (
+    disjoint_union_pair,
+    hard_nondual_pair,
+    matching_dual_pair,
+    perturb_drop_edge,
+    threshold_dual_pair,
+)
+from repro.parallel import (
+    CodecError,
+    ResultCache,
+    decide_duality_parallel,
+    decode_value,
+    encode_value,
+    solve_many,
+)
+from repro.service import EnginePool, EngineService, PoolClosedError, response_to_json
+
+
+def _double(x):
+    """Module-level (picklable) work function."""
+    return 2 * x
+
+
+def _die_unless_flagged(arg):
+    """Kill the hosting worker once, then behave (module-level).
+
+    ``arg`` is ``(flag_path, value)``.  The first worker to run this
+    creates the flag and dies abruptly (``os._exit`` — no exception, no
+    cleanup, exactly what a segfault or OOM kill looks like to the
+    parent).  Retries see the flag and succeed.
+    """
+    flag, value = arg
+    if not os.path.exists(flag):
+        with open(flag, "w", encoding="utf-8") as handle:
+            handle.write("died")
+        os._exit(13)
+    return 2 * value
+
+
+# ---------------------------------------------------------------------------
+# EnginePool lifecycle
+# ---------------------------------------------------------------------------
+
+class TestEnginePoolLifecycle:
+    def test_in_process_map(self):
+        with EnginePool(1) as pool:
+            assert pool.map(_double, [1, 2, 3]) == [2, 4, 6]
+            assert pool.generations == 1
+
+    def test_submit_then_drain_in_submission_order(self):
+        with EnginePool(1) as pool:
+            tickets = [pool.submit(_double, n) for n in (5, 6, 7)]
+            results = pool.drain()
+            assert [results[t] for t in tickets] == [10, 12, 14]
+
+    def test_submit_after_drain_keeps_working(self):
+        with EnginePool(1) as pool:
+            pool.submit(_double, 1)
+            assert list(pool.drain().values()) == [2]
+            # drain leaves the pool warm — this must not raise.
+            ticket = pool.submit(_double, 21)
+            assert pool.drain()[ticket] == 42
+            assert pool.generations == 1
+
+    def test_double_shutdown_is_a_noop(self):
+        pool = EnginePool(1).start()
+        pool.shutdown()
+        pool.shutdown()  # must not raise
+        assert pool.closed
+
+    def test_submit_after_shutdown_raises(self):
+        pool = EnginePool(1).start()
+        pool.shutdown()
+        with pytest.raises(PoolClosedError, match="shut down"):
+            pool.submit(_double, 1)
+        with pytest.raises(PoolClosedError):
+            pool.start()
+
+    def test_start_is_idempotent(self):
+        pool = EnginePool(2)
+        try:
+            pool.start()
+            pool.start()
+            assert pool.generations == 1
+        finally:
+            pool.shutdown()
+
+    def test_workers_stay_warm_across_batches(self):
+        with EnginePool(2) as pool:
+            seen: set[int] = set()
+            for batch in range(5):
+                assert pool.map(_double, list(range(8))) == [
+                    2 * n for n in range(8)
+                ]
+                seen |= pool.worker_pids()
+            assert os.getpid() not in seen  # real subprocesses
+            # One generation creates at most n_jobs worker processes,
+            # ever.  A pool that respawned per batch would have minted
+            # fresh pids each time (5 batches × 2 workers > 2).
+            assert len(seen) <= pool.n_jobs
+            assert pool.generations == 1
+
+    def test_worker_death_mid_batch_recovers(self, tmp_path):
+        flag = str(tmp_path / "died.flag")
+        with EnginePool(2) as pool:
+            results = pool.map(
+                _die_unless_flagged, [(flag, n) for n in range(6)]
+            )
+            assert results == [2 * n for n in range(6)]
+            assert pool.restarts >= 1
+            assert pool.generations == pool.restarts + 1
+        assert os.path.exists(flag)
+
+    def test_worker_error_propagates_without_breaking_the_pool(self):
+        with EnginePool(1) as pool:
+            pool.submit(_double, 1)
+            pool.submit(len, 3)  # TypeError: int has no len()
+            with pytest.raises(TypeError):
+                pool.drain()
+            # The failed batch is fully cleared — no stale tickets to
+            # re-raise or leak into later drains (regression: a task
+            # exception used to poison every subsequent drain).
+            assert pool.drain() == {}
+            assert pool.map(_double, [4]) == [8]
+
+    def test_failed_map_does_not_poison_later_batches(self):
+        with EnginePool(1) as pool:
+            with pytest.raises(TypeError):
+                pool.map(len, [1, 2, 3])
+            assert pool.drain() == {}
+            ticket = pool.submit(_double, 5)
+            assert pool.drain() == {ticket: 10}
+
+
+# ---------------------------------------------------------------------------
+# Pool reuse by the parallel subsystem
+# ---------------------------------------------------------------------------
+
+class TestPoolReuse:
+    def test_solve_many_spawns_workers_once_across_batches(self):
+        pairs_a = [matching_dual_pair(3), threshold_dual_pair(7, 4)]
+        pairs_b = [hard_nondual_pair(3), matching_dual_pair(2)]
+        with EnginePool(2) as pool:
+            seen = set(pool.worker_pids())
+            items_a = solve_many(pairs_a, method="fk-b", pool=pool)
+            items_b = solve_many(pairs_b, method="fk-b", pool=pool)
+            seen |= pool.worker_pids()
+            assert pool.generations == 1  # spawned exactly once…
+            assert len(seen) <= pool.n_jobs  # …no fresh processes per batch
+        for (g, h), item in zip(pairs_a + pairs_b, items_a + items_b):
+            reference = decide_duality(g, h, method="fk-b")
+            assert item.result.verdict == reference.verdict
+            assert item.result.certificate == reference.certificate
+
+    def test_sharded_solving_through_persistent_pool(self):
+        g, h = threshold_dual_pair(9, 5)
+        with EnginePool(2) as pool:
+            for method in ("fk-b", "bm", "logspace"):
+                reference = decide_duality(g, h, method=method)
+                sharded = decide_duality_parallel(g, h, method=method, pool=pool)
+                assert sharded.verdict == reference.verdict, method
+                assert sharded.certificate == reference.certificate, method
+            assert pool.generations == 1
+
+
+# ---------------------------------------------------------------------------
+# EngineService
+# ---------------------------------------------------------------------------
+
+class TestEngineService:
+    def _instances(self):
+        return [
+            matching_dual_pair(3),
+            threshold_dual_pair(7, 4),
+            hard_nondual_pair(3),
+        ]
+
+    def test_responses_in_submission_order_and_serial_identical(self):
+        with EngineService(method="bm") as service:
+            ids = [service.submit(pair) for pair in self._instances()]
+            responses = service.drain()
+        assert [r.request_id for r in responses] == ids
+        for (g, h), response in zip(self._instances(), responses):
+            reference = decide_duality(g, h, method="bm")
+            assert response.result.verdict == reference.verdict
+            assert response.result.certificate == reference.certificate
+
+    def test_cache_sits_in_front_of_the_pool(self):
+        cache = ResultCache()
+        with EngineService(method="fk-b", cache=cache) as service:
+            for pair in self._instances():
+                service.submit(pair)
+            service.drain()
+            solved_after_first = service.pool.tasks_completed
+            for pair in self._instances():
+                service.submit(pair)
+            second = service.drain()
+        assert all(r.cached for r in second)
+        # Hits never reached a worker.
+        assert service.pool.tasks_completed == solved_after_first
+        assert cache.hits == len(self._instances())
+
+    def test_cache_hits_across_two_service_sessions(self, tmp_path):
+        cache_path = tmp_path / "service-cache.json"
+        with EngineService(method="fk-b", cache=cache_path) as first:
+            for pair in self._instances():
+                first.submit(pair)
+            originals = first.drain()
+        assert cache_path.exists()
+
+        with EngineService(method="fk-b", cache=cache_path) as second:
+            for pair in self._instances():
+                second.submit(pair)
+            replayed = second.drain()
+            assert second.pool.tasks_completed == 0  # everything from cache
+        for original, replay in zip(originals, replayed):
+            assert replay.cached
+            assert replay.result.verdict == original.result.verdict
+            assert replay.result.certificate == original.result.certificate
+
+    def test_solve_and_solve_file(self, tmp_path):
+        g, h = matching_dual_pair(2)
+        path = tmp_path / "m2.hg"
+        hgio.dump_many([g, h], path)
+        with EngineService() as service:
+            assert service.solve(g, h).is_dual
+            response = service.solve_file(path)
+            assert response.is_dual and response.source == str(path)
+
+    def test_solve_refuses_to_discard_queued_requests(self):
+        with EngineService(method="bm") as service:
+            queued = service.submit(matching_dual_pair(3))
+            with pytest.raises(ValueError, match="already queued"):
+                service.solve(*matching_dual_pair(2))
+            # The queued request is still answerable afterwards.
+            (response,) = service.drain()
+            assert response.request_id == queued and response.is_dual
+
+    def test_bad_path_fails_its_own_submit_not_the_drain(self, tmp_path):
+        g, h = matching_dual_pair(2)
+        good = tmp_path / "good.hg"
+        hgio.dump_many([g, h], good)
+        with EngineService(method="bm") as service:
+            service.submit(good)
+            with pytest.raises(FileNotFoundError):
+                service.submit(tmp_path / "missing.hg")
+            # The good request drains normally despite the bad submit.
+            (response,) = service.drain()
+            assert response.is_dual
+
+    def test_submit_after_close_raises(self):
+        service = EngineService()
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(PoolClosedError, match="closed"):
+            service.submit(matching_dual_pair(2))
+        with pytest.raises(PoolClosedError):
+            service.drain()
+
+    def test_borrowed_pool_survives_service_close(self):
+        with EnginePool(1) as pool:
+            service = EngineService(pool=pool)
+            service.submit(matching_dual_pair(2))
+            service.drain()
+            service.close()
+            assert not pool.closed
+            assert pool.map(_double, [1]) == [2]
+
+    def test_stats_snapshot(self):
+        with EngineService(method="bm", cache=ResultCache()) as service:
+            service.submit(matching_dual_pair(2))
+            service.drain()
+            stats = service.stats()
+        assert stats["requests"] == 1
+        assert stats["pool_generations"] == 1
+        assert stats["cache_misses"] == 1
+
+    def test_response_to_json_is_json_serialisable(self):
+        with EngineService(method="bm") as service:
+            ok = service.solve(*matching_dual_pair(2))
+            bad = service.solve(*hard_nondual_pair(3))
+        for response in (ok, bad):
+            line = json.dumps(response_to_json(response))
+            decoded = json.loads(line)
+            assert decoded["dual"] == response.is_dual
+        assert json.loads(json.dumps(response_to_json(bad)))["witness"]
+
+
+# ---------------------------------------------------------------------------
+# The serve CLI
+# ---------------------------------------------------------------------------
+
+class TestServeCommand:
+    @pytest.fixture
+    def instance_files(self, tmp_path):
+        files = []
+        for name, pair in (
+            ("dual-m3", matching_dual_pair(3)),
+            ("broken", hard_nondual_pair(3)),
+        ):
+            path = tmp_path / f"{name}.hg"
+            hgio.dump_many(pair, path)
+            files.append(path)
+        return files
+
+    def test_serve_files_streams_json_verdicts(self, instance_files, capsys):
+        status = main(["serve", *map(str, instance_files)])
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert status == 1  # one instance is not dual
+        assert [line["dual"] for line in lines] == [True, False]
+        assert lines[1]["witness"] is not None
+
+    def test_serve_stdin_streams_and_caches(
+        self, instance_files, tmp_path, capsys, monkeypatch
+    ):
+        import io
+
+        cache = tmp_path / "cache.json"
+        stdin_lines = f"{instance_files[0]}\n# comment\n{instance_files[0]}\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin_lines))
+        status = main(["serve", "--cache", str(cache), "--stats"])
+        out = capsys.readouterr().out.strip().splitlines()
+        assert status == 0
+        verdicts = [json.loads(line) for line in out[:-1]]
+        assert [v["cached"] for v in verdicts] == [False, True]
+        stats = json.loads(out[-1])["stats"]
+        assert stats["cache_hits"] == 1
+        assert cache.exists()
+
+    def test_serve_survives_a_bad_path_on_stdin(
+        self, instance_files, capsys, monkeypatch
+    ):
+        import io
+
+        stdin_lines = f"missing-file.hg\n{instance_files[0]}\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin_lines))
+        status = main(["serve"])
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert status == 1  # the bad path is reported as a failure…
+        assert "error" in lines[0]
+        assert lines[1]["dual"] is True  # …but the session kept serving
+
+    def test_serve_survives_a_solver_side_error(
+        self, instance_files, tmp_path, capsys, monkeypatch
+    ):
+        import io
+
+        # Parses fine, but G is not simple — the engine raises at solve
+        # time, well past submit's load.
+        not_simple = tmp_path / "not-simple.hg"
+        not_simple.write_text("0\n0 1\n==\n0\n", encoding="utf-8")
+        stdin_lines = f"{not_simple}\n{instance_files[0]}\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin_lines))
+        status = main(["serve"])
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert status == 1
+        assert "error" in lines[0] and "simple" in lines[0]["error"]
+        assert lines[1]["dual"] is True  # the session kept serving
+
+    def test_serve_batch_isolates_the_failing_file(self, instance_files, tmp_path, capsys):
+        not_simple = tmp_path / "not-simple.hg"
+        not_simple.write_text("0\n0 1\n==\n0\n", encoding="utf-8")
+        status = main(
+            ["serve", str(instance_files[0]), str(not_simple)]
+        )
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert status == 1
+        by_kind = {"error" in line: line for line in lines}
+        assert by_kind[True]["source"] == str(not_simple)
+        assert by_kind[False]["dual"] is True
+
+    def test_serve_cache_across_cli_sessions(self, instance_files, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        main(["serve", str(instance_files[0]), "--cache", str(cache)])
+        capsys.readouterr()
+        main(["serve", str(instance_files[0]), "--cache", str(cache)])
+        (line,) = capsys.readouterr().out.strip().splitlines()
+        assert json.loads(line)["cached"] is True
+
+
+# ---------------------------------------------------------------------------
+# Lossless codec and cache persistence
+# ---------------------------------------------------------------------------
+
+class TestCodec:
+    VALUES = [
+        0,
+        -7,
+        10**30,
+        True,
+        False,
+        "vertex",
+        "",
+        "with spaces / unicode ∅",
+        None,
+        2.5,
+        (0, 1),
+        ("fresh", 4),
+        (0, ("nested", (1, 2))),
+        frozenset({1, 2, 3}),
+        frozenset({("a", 1), ("b", 2)}),
+        (),
+        frozenset(),
+    ]
+
+    def test_round_trip_preserves_value_and_type(self):
+        for value in self.VALUES:
+            decoded = decode_value(encode_value(value))
+            assert decoded == value
+            assert type(decoded) is type(value)
+
+    def test_bool_does_not_collapse_to_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert type(decode_value(encode_value(1))) is int
+
+    def test_json_round_trip(self):
+        for value in self.VALUES:
+            wire = json.loads(json.dumps(encode_value(value)))
+            assert decode_value(wire) == value
+
+    def test_exotic_types_rejected(self):
+        with pytest.raises(CodecError):
+            encode_value(object())
+        with pytest.raises(CodecError):
+            decode_value(["?", 1])
+
+    def test_cache_persists_tuple_labelled_witnesses(self, tmp_path):
+        # disjoint_union_pair labels vertices (side, v) — the exact case
+        # the old JSON persistence silently dropped.
+        g, h = disjoint_union_pair(matching_dual_pair(2), matching_dual_pair(1))
+        broken = perturb_drop_edge(h)
+        cache = ResultCache()
+        (original,) = solve_many([(g, broken)], method="bm", cache=cache)
+        assert not original.is_dual
+        assert any(isinstance(v, tuple) for v in original.result.witness)
+
+        path = tmp_path / "cache.json"
+        assert cache.save(path) == 1  # persisted, not dropped
+        reloaded = ResultCache.load(path)
+        (replayed,) = solve_many([(g, broken)], method="bm", cache=reloaded)
+        assert replayed.cached
+        assert replayed.result.certificate == original.result.certificate
+        assert replayed.result.witness == original.result.witness
+        assert all(
+            type(a) is type(b)
+            for a, b in zip(
+                sorted(replayed.result.witness, key=repr),
+                sorted(original.result.witness, key=repr),
+            )
+        )
+
+    def test_pre_codec_cache_entries_become_misses(self, tmp_path):
+        path = tmp_path / "old-cache.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "deadbeef": {
+                        "verdict": "not-dual",
+                        "method": "bm",
+                        "kind": "MISSING_TRANSVERSAL",
+                        "witness": [0, 2],  # old, untagged format
+                        "detail": "",
+                        "path": None,
+                    }
+                }
+            ),
+            encoding="utf-8",
+        )
+        cache = ResultCache.load(path)
+        assert len(cache) == 0  # dropped, not mis-decoded
