@@ -5,6 +5,8 @@ Subcommands::
     dual       decide duality of two hypergraph files (.hg)
     batch      solve many duality instance files through a worker pool
     serve      persistent engine service: stream instances, get JSON verdicts
+               (--listen HOST:PORT serves them over TCP instead)
+    client     send instances to a 'serve --listen' server, verdicts back
     tr         print the minimal transversals of a hypergraph file
     tree       print the Boros–Makino decomposition tree
     pathnode   resolve one path descriptor (Lemma 4.2)
@@ -110,10 +112,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cost once.  One JSON verdict per line on stdout.  A missing or
     malformed instance file yields an error line for *that* request and
     the session keeps serving — it never tears down the warm pool.
+
+    With ``--listen HOST:PORT`` the service binds a TCP socket instead:
+    any number of ``repro client`` sessions (or raw JSON-lines writers)
+    share the one warm pool and the one crash-safe cache until SIGINT
+    or a client ``shutdown`` request stops it gracefully.
     """
     import json
 
     from repro.service import EngineService, response_to_json
+
+    if args.listen:
+        return _serve_listen(args)
 
     sources = [str(p) for p in args.instances if str(p) != "-"]
     use_stdin = not sources or any(str(p) == "-" for p in args.instances)
@@ -172,13 +182,137 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         serve_batch(sources)
         if use_stdin:
-            for raw in sys.stdin:
-                line = raw.strip()
-                if not line or line.startswith("#"):
-                    continue
-                serve_one(line)
+            # Ctrl-C and a closed stdout pipe are both normal ends of a
+            # streaming session, not tracebacks; whatever was answered
+            # (and cached) so far stands, and the context manager still
+            # flushes the cache and releases the pool.
+            try:
+                for raw in sys.stdin:
+                    line = raw.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    serve_one(line)
+            except KeyboardInterrupt:
+                pass
+            except BrokenPipeError:
+                exit_status = 1
         if args.stats:
-            print(json.dumps({"stats": service.stats()}), flush=True)
+            try:
+                print(json.dumps({"stats": service.stats()}), flush=True)
+            except BrokenPipeError:
+                # stdout died mid-session; the stats line goes with it.
+                exit_status = 1
+    return exit_status
+
+
+def _serve_listen(args: argparse.Namespace) -> int:
+    """The ``serve --listen`` mode: the TCP front end, SIGINT to stop."""
+    import json
+
+    from repro.net import DualityServer, parse_address
+
+    if args.instances:
+        raise SystemExit(
+            "serve --listen takes no instance arguments; "
+            "send instances with 'repro client' instead"
+        )
+    host, port = parse_address(args.listen)
+    server = DualityServer(
+        host=host,
+        port=port,
+        method=args.method,
+        n_jobs=args.jobs,
+        cache=args.cache,
+    )
+    server.start()
+    bound_host, bound_port = server.address
+    try:
+        print(
+            json.dumps({"listening": {"host": bound_host, "port": bound_port}}),
+            flush=True,
+        )
+        server.wait()  # until a client 'shutdown' request …
+    except KeyboardInterrupt:
+        pass  # … or Ctrl-C; either way shut down gracefully below
+    finally:
+        server.shutdown()
+    if args.stats:
+        print(json.dumps({"stats": server.stats()}), flush=True)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """The ``client`` mode: ship instances to a ``serve --listen`` server.
+
+    Instance files are read on *this* machine and sent inline through
+    the lossless codec, so the server needs no shared filesystem.  One
+    JSON verdict (or error) line per instance on stdout, answers as
+    they arrive.  Exit status 0 when every instance is dual, 1
+    otherwise (the ``repro dual`` convention).
+    """
+    import json
+
+    from repro.net import DualityClient, ProtocolError, RequestError
+
+    paths = [str(p) for p in args.instances if str(p) != "-"]
+    use_stdin = not paths or any(str(p) == "-" for p in args.instances)
+
+    exit_status = 0
+    try:
+        client = DualityClient(args.address, timeout=args.timeout)
+    except (OSError, ValueError) as exc:
+        # No server (or a bad address) is an error line and status 1,
+        # not a traceback — scripts probe liveness with this.
+        print(json.dumps({"error": f"connect {args.address}: {exc}"}), flush=True)
+        return 1
+    with client:
+        def serve_one(path: str) -> None:
+            nonlocal exit_status
+            try:
+                response = client.solve_path(path, method=args.method)
+            except (RequestError, OSError, ValueError) as exc:
+                print(json.dumps({"source": path, "error": str(exc)}), flush=True)
+                exit_status = 1
+                return
+            response["source"] = path
+            print(json.dumps(response), flush=True)
+            if not response.get("dual"):
+                exit_status = 1
+
+        try:
+            # A receive failure closes the client (the stream has no
+            # trustworthy next frame); stop asking once that happens.
+            for path in paths:
+                if client.closed:
+                    break
+                serve_one(path)
+            if use_stdin:
+                for raw in sys.stdin:
+                    line = raw.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    if client.closed:
+                        break
+                    serve_one(line)
+            if args.stats and not client.closed:
+                print(json.dumps({"stats": client.stats()}), flush=True)
+        except KeyboardInterrupt:
+            pass
+        except BrokenPipeError:
+            exit_status = 1
+        except (RequestError, ProtocolError, OSError) as exc:
+            # A dead or desynced connection ends the session with an
+            # error line, never a traceback.
+            print(json.dumps({"error": str(exc)}), flush=True)
+            exit_status = 1
+        if args.shutdown and not client.closed:
+            try:
+                client.shutdown_server()
+            except (RequestError, ProtocolError, OSError) as exc:
+                # e.g. a second --shutdown racing a server already
+                # closing; report it, don't crash over it.
+                print(json.dumps({"error": f"shutdown: {exc}"}), flush=True)
+                exit_status = 1
     return exit_status
 
 
@@ -513,9 +647,16 @@ def build_parser() -> argparse.ArgumentParser:
             "Instance files (.hg, G == H) given as arguments are solved "
             "as one batch; without arguments (or with '-') instance "
             "paths are read from stdin one per line and answered as "
-            "they arrive.  Workers spawn once per serve session; the "
-            "optional cache persists verdicts across sessions.  Output "
-            "is one JSON object per verdict."
+            "they arrive.  With --listen HOST:PORT the service binds a "
+            "TCP socket instead and any number of 'repro client' "
+            "sessions share the one warm pool (Ctrl-C or a client "
+            "shutdown request stops it gracefully: in-flight requests "
+            "drain, the cache flushes, the pool closes).  Workers spawn "
+            "once per serve session; the optional cache persists "
+            "verdicts across sessions — saved atomically after every "
+            "computed verdict, and a damaged cache file degrades to "
+            "misses at startup instead of failing.  Output is one JSON "
+            "object per verdict."
         ),
     )
     p.add_argument(
@@ -536,7 +677,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache",
         type=Path,
         default=None,
-        help="JSON result cache, loaded at start and saved at shutdown",
+        help=(
+            "JSON result cache: loaded (tolerantly) at start, written "
+            "atomically after each new verdict and at shutdown"
+        ),
+    )
+    p.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "serve over TCP instead of stdin/stdout (port 0 = pick a "
+            "free port; the bound address is printed as the first line)"
+        ),
     )
     p.add_argument(
         "--stats",
@@ -544,6 +697,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a final JSON stats line (requests, hits, pool health)",
     )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="send duality instances to a 'repro serve --listen' server",
+        description=(
+            "Connect to a running 'repro serve --listen HOST:PORT' "
+            "server and decide instances over it.  Instance files are "
+            "read locally and shipped inline (no shared filesystem "
+            "needed); without arguments (or with '-') paths are read "
+            "from stdin one per line.  One JSON verdict per line, "
+            "exit status 0 iff every instance is dual."
+        ),
+    )
+    p.add_argument("address", help="server address, HOST:PORT")
+    p.add_argument(
+        "instances",
+        nargs="*",
+        type=Path,
+        help="instance files (.hg, G == H); none or '-' = read paths from stdin",
+    )
+    p.add_argument(
+        "--method",
+        default=None,
+        help="per-request engine override (default: the server's engine)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="socket timeout in seconds (default: 60)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the server's JSON stats line after the instances",
+    )
+    p.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the server to shut down gracefully afterwards",
+    )
+    p.set_defaults(fn=_cmd_client)
 
     p = sub.add_parser("tr", help="print minimal transversals")
     p.add_argument("g", type=Path)

@@ -1,0 +1,39 @@
+"""Network front end: the duality service over TCP, many clients at once.
+
+:mod:`repro.service` made many calls cheap inside one process; this
+package puts them on a socket.  A :class:`DualityServer` multiplexes
+any number of connections onto **one** warm
+:class:`~repro.service.EnginePool` and **one** thread-safe, crash-safe
+:class:`~repro.parallel.batch.ResultCache`; a :class:`DualityClient`
+talks to it in JSON lines (:mod:`repro.net.protocol`), shipping
+instances inline through the lossless vertex codec.  CLI:
+``repro serve --listen HOST:PORT`` on the server side,
+``repro client HOST:PORT`` on the client side.
+
+Layering: ``repro.net`` sits on top of ``repro.service`` (it drives
+:class:`~repro.service.EngineService` views); nothing below imports it,
+and library use without a network never pays for it.
+"""
+
+from repro.net.client import DualityClient
+from repro.net.protocol import (
+    LineTooLong,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    RequestError,
+    decode_hypergraph,
+    encode_hypergraph,
+)
+from repro.net.server import DualityServer, parse_address
+
+__all__ = [
+    "DualityClient",
+    "DualityServer",
+    "LineTooLong",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "RequestError",
+    "decode_hypergraph",
+    "encode_hypergraph",
+    "parse_address",
+]

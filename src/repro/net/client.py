@@ -1,0 +1,239 @@
+"""A client library for the JSON-lines duality service.
+
+:class:`DualityClient` speaks the :mod:`repro.net.protocol` wire format
+to a :class:`~repro.net.server.DualityServer`: connect once, then
+``solve`` / ``solve_many`` as often as the session needs — the server
+keeps its pool warm and its cache hot between requests.  Instances are
+shipped *inline* through the lossless codec (``.hg`` paths are read on
+the client's machine), so client and server need not share a
+filesystem; :meth:`DualityClient.solve_server_path` asks the server to
+load one of its own files instead.
+
+Responses are the plain JSON dicts of the wire (the
+:func:`repro.service.response_to_json` fields): ``solve`` raises
+:class:`~repro.net.protocol.RequestError` on a per-request error, while
+``solve_many`` pipelines every request onto the socket first and then
+collects answers, returning error responses in-line (``"ok": false``)
+so one bad instance cannot hide the other verdicts.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+
+from repro.hypergraph import Hypergraph
+from repro.net.protocol import (
+    LineReader,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    RequestError,
+    encode_hypergraph,
+    send_json,
+)
+from repro.parallel.batch import load_instance
+
+
+class DualityClient:
+    """Connect / solve / solve_many / close over one TCP connection."""
+
+    #: How many ``solve_many`` requests may be in flight at once.  The
+    #: server answers request *k* before reading *k+1*, so an unbounded
+    #: pipeline fills the kernel buffers on both sides and deadlocks
+    #: both ends in ``sendall``; a bounded window keeps the wire
+    #: saturated without ever outrunning the reader.
+    PIPELINE_WINDOW = 32
+
+    def __init__(
+        self,
+        host: str,
+        port: int | None = None,
+        timeout: float = 60.0,
+        max_line_bytes: int = MAX_LINE_BYTES,
+    ) -> None:
+        """Connect to ``host:port`` (or one ``"HOST:PORT"`` string).
+
+        ``timeout`` bounds every blocking socket operation; a server
+        that stops answering surfaces as ``TimeoutError`` rather than a
+        hang.
+        """
+        if port is None:
+            from repro.net.server import parse_address
+
+            host, port = parse_address(host)
+        self._address = (host, port)
+        self._sock: socket.socket | None = socket.create_connection(
+            self._address, timeout=timeout
+        )
+        self._reader = LineReader(self._sock, max_line_bytes)
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
+
+    def _require_open(self) -> socket.socket:
+        if self._sock is None:
+            raise RuntimeError("client is closed; connect a new DualityClient")
+        return self._sock
+
+    def _send(self, request: dict) -> int:
+        """Assign an id and put one request on the wire.
+
+        A failed (possibly partial) write closes the client, same as a
+        failed read: a half-written frame leaves nothing trustworthy to
+        append a next request to.
+        """
+        sock = self._require_open()
+        request_id = self._next_id
+        self._next_id += 1
+        request["id"] = request_id
+        try:
+            send_json(sock, request)
+        except BaseException:
+            self.close()
+            raise
+        return request_id
+
+    def _receive(self, request_id: int) -> dict:
+        """Read one response line and match it to ``request_id``.
+
+        Any failure here — a timeout, a cut connection, a malformed or
+        out-of-order response — closes the client: after a missed or
+        half-read answer the stream has no trustworthy next frame, and
+        a late response would be mis-matched to the next request.
+        """
+        self._require_open()
+        import json
+
+        try:
+            line = self._reader.readline()
+            if line is None:
+                raise ConnectionError(
+                    "server closed the connection before answering"
+                )
+            try:
+                response = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise ProtocolError(f"malformed response line: {exc}") from exc
+            if not isinstance(response, dict):
+                raise ProtocolError(f"response is not an object: {response!r}")
+            if response.get("id") != request_id:
+                raise ProtocolError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {request_id} (responses must arrive in order)"
+                )
+        except BaseException:
+            self.close()
+            raise
+        return response
+
+    def request(self, request: dict) -> dict:
+        """One raw request/response round trip (ids handled here)."""
+        return self._receive(self._send(request))
+
+    @staticmethod
+    def _checked(response: dict) -> dict:
+        if not response.get("ok"):
+            raise RequestError(response.get("error") or {})
+        return response
+
+    # ------------------------------------------------------------------
+    # The service API
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Liveness probe: True when the server answers."""
+        return bool(self._checked(self.request({"op": "ping"})).get("pong"))
+
+    def stats(self) -> dict:
+        """The server's health snapshot (pool, cache, counters)."""
+        return self._checked(self.request({"op": "stats"}))["stats"]
+
+    def solve(
+        self, g: Hypergraph, h: Hypergraph, method: str | None = None
+    ) -> dict:
+        """Decide one in-memory pair; raises :class:`RequestError` on error."""
+        return self._checked(self.request(self._solve_request((g, h), method)))
+
+    def solve_path(self, path: str | Path, method: str | None = None) -> dict:
+        """Decide one *client-side* ``.hg`` instance file (shipped inline)."""
+        return self._checked(
+            self.request(self._solve_request(load_instance(path), method))
+        )
+
+    def solve_server_path(
+        self, path: str | Path, method: str | None = None
+    ) -> dict:
+        """Ask the server to load and decide one of *its own* ``.hg`` files."""
+        request: dict = {"op": "solve", "path": str(path)}
+        if method is not None:
+            request["method"] = method
+        return self._checked(self.request(request))
+
+    def solve_many(self, instances, method: str | None = None) -> list[dict]:
+        """Decide a batch, pipelined: all requests out, then all answers.
+
+        ``instances`` mixes ``(G, H)`` pairs and client-side ``.hg``
+        paths.  Responses come back in input order; a per-request error
+        is returned as its ``"ok": false`` object instead of raised, so
+        the rest of the batch still gets verdicts.
+        """
+        from collections import deque
+
+        requests = [
+            self._solve_request(
+                load_instance(item) if isinstance(item, (str, Path)) else item,
+                method,
+            )
+            for item in instances
+        ]
+        responses: list[dict] = []
+        pending: deque[int] = deque()
+        for request in requests:
+            pending.append(self._send(request))
+            if len(pending) >= self.PIPELINE_WINDOW:
+                responses.append(self._receive(pending.popleft()))
+        while pending:
+            responses.append(self._receive(pending.popleft()))
+        return responses
+
+    def shutdown_server(self) -> dict:
+        """Ask the server to shut down gracefully (drain, flush, close)."""
+        return self._checked(self.request({"op": "shutdown"}))
+
+    @staticmethod
+    def _solve_request(
+        pair: tuple[Hypergraph, Hypergraph], method: str | None
+    ) -> dict:
+        g, h = pair
+        request: dict = {
+            "op": "solve",
+            "g": encode_hypergraph(g),
+            "h": encode_hypergraph(h),
+        }
+        if method is not None:
+            request["method"] = method
+        return request
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "DualityClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

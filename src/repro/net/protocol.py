@@ -1,0 +1,165 @@
+"""The wire protocol of the duality service: JSON lines over TCP.
+
+One request per line, one response per line, UTF-8 JSON objects, ``\n``
+terminated — the network shape of what ``repro serve`` already speaks
+over stdin/stdout, so every UNIX tool that can write lines can drive a
+:class:`~repro.net.server.DualityServer` directly.
+
+Requests
+--------
+
+======== ==================================================================
+op       fields
+======== ==================================================================
+solve    ``id`` (echoed back), optional ``method`` (per-request engine
+         override), and the instance: either inline ``g`` + ``h``
+         hypergraphs (:func:`encode_hypergraph`) or a server-side
+         ``path`` to an ``.hg`` instance file
+ping     liveness probe; answered with ``{"pong": true}``
+stats    server/pool/cache health snapshot
+shutdown ask the server to stop: in-flight requests drain, the cache is
+         flushed atomically, the pool closes
+======== ==================================================================
+
+Responses carry ``"ok": true`` plus the verdict fields of
+:func:`repro.service.response_to_json`, or ``"ok": false`` plus an
+``error`` object ``{"type", "message"}`` — errors are *per request*;
+they never tear down the connection, let alone the server.
+
+Framing is length-sane: a line longer than ``max_line_bytes`` (default
+:data:`MAX_LINE_BYTES`) is refused with a protocol error and the
+connection is closed, because a half-read oversized line has no
+trustworthy resynchronisation point.
+
+Hypergraphs travel through the lossless tagged codec of
+:mod:`repro.parallel.codec` (one encoded vertex list per edge, plus the
+universe for isolated vertices), so tuple- or frozenset-labelled
+instances round-trip the wire with their exact vertex types.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.hypergraph import Hypergraph
+from repro.parallel.codec import decode_vertex_set, encode_vertex_set
+
+#: Default ceiling for one request/response line (4 MiB of JSON text).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: The request operations a server understands.
+OPERATIONS = ("solve", "ping", "stats", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A malformed request/response line or an ill-typed field."""
+
+
+class LineTooLong(ProtocolError):
+    """A line exceeded the negotiated ``max_line_bytes`` ceiling."""
+
+
+class RequestError(RuntimeError):
+    """A server-side per-request failure, re-raised client-side.
+
+    ``info`` is the error object off the wire: ``{"type", "message"}``.
+    """
+
+    def __init__(self, info: dict) -> None:
+        super().__init__(f"{info.get('type', 'Error')}: {info.get('message', '')}")
+        self.info = info
+
+
+# ---------------------------------------------------------------------------
+# Hypergraphs on the wire
+# ---------------------------------------------------------------------------
+
+
+def encode_hypergraph(hg: Hypergraph) -> dict:
+    """A JSON-safe, lossless wire form: codec-tagged edges + universe."""
+    return {
+        "vertices": encode_vertex_set(hg.vertices),
+        "edges": [encode_vertex_set(edge) for edge in hg.edges],
+    }
+
+
+def decode_hypergraph(payload) -> Hypergraph:
+    """Invert :func:`encode_hypergraph`; raises :class:`ProtocolError`."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"hypergraph payload must be an object, got {type(payload).__name__}"
+        )
+    try:
+        edges = [decode_vertex_set(edge) for edge in payload["edges"]]
+        vertices = decode_vertex_set(payload.get("vertices"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed hypergraph payload: {exc}") from exc
+    return Hypergraph(edges, vertices=vertices)
+
+
+# ---------------------------------------------------------------------------
+# Line framing
+# ---------------------------------------------------------------------------
+
+
+def send_json(sock: socket.socket, obj: dict) -> None:
+    """Write one JSON object as one ``\n``-terminated line."""
+    sock.sendall(json.dumps(obj).encode("utf-8") + b"\n")
+
+
+def parse_request(line: bytes) -> dict:
+    """Decode one request line into its dict; raises :class:`ProtocolError`."""
+    try:
+        request = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"request line is not valid JSON: {exc}") from exc
+    if not isinstance(request, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(request).__name__}"
+        )
+    op = request.get("op", "solve")
+    if op not in OPERATIONS:
+        raise ProtocolError(
+            f"unknown op {op!r}; valid ops: {', '.join(OPERATIONS)}"
+        )
+    return request
+
+
+class LineReader:
+    """A buffered line reader over a socket with a hard length ceiling.
+
+    ``readline`` returns one line without its terminator, ``None`` on a
+    clean EOF (a trailing partial line — a client that died mid-request
+    — is discarded), and raises :class:`LineTooLong` once the buffer
+    exceeds ``max_line_bytes`` without a newline.  A socket timeout
+    simply propagates (`TimeoutError`); buffered partial data survives
+    it, so callers can poll a shutdown flag between reads.
+    """
+
+    def __init__(self, sock: socket.socket, max_line_bytes: int = MAX_LINE_BYTES):
+        self._sock = sock
+        self._max = max_line_bytes
+        self._buffer = bytearray()
+        self._eof = False
+
+    def readline(self) -> bytes | None:
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                return line
+            if self._eof:
+                # Whatever is left has no terminator: a connection cut
+                # mid-request.  Dropping it is the only safe reading.
+                return None
+            if len(self._buffer) > self._max:
+                raise LineTooLong(
+                    f"request line exceeds {self._max} bytes without a newline"
+                )
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                self._eof = True
+                continue
+            self._buffer.extend(chunk)

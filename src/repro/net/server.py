@@ -1,0 +1,433 @@
+"""A threaded TCP front end over :class:`~repro.service.EngineService`.
+
+Many clients, one warm pool: the server owns a single
+:class:`~repro.service.pool.EnginePool` and a single (thread-safe)
+:class:`~repro.parallel.batch.ResultCache`, and multiplexes every
+connection onto them — one accept loop, one handler thread per
+connection, one solve at a time through the shared service lock (the
+pool is the compute resource; the lock just keeps the submit/drain
+queue coherent).  Per-request ``method`` overrides are served by
+per-method :class:`EngineService` views that all borrow the same pool
+and cache, so a mixed-engine workload still shares every warm worker
+and every cached verdict.
+
+Lifecycle: :meth:`DualityServer.start` binds and spawns the accept
+loop; :meth:`DualityServer.shutdown` (or a client ``shutdown`` request,
+or ``KeyboardInterrupt`` in the CLI) drains in-flight requests, flushes
+the cache atomically to its path, then closes the pool.  Handler
+threads poll the closing flag between requests on a short socket
+timeout, so shutdown is graceful but bounded.
+
+Crash-safety: the cache is also persisted after every computed verdict
+(``autosave_every``; default 1), so even a ``kill -9``'d server loses
+no verdict it already answered, and the atomic
+:meth:`~repro.parallel.batch.ResultCache.save` guarantees the file on
+disk is always a loadable generation.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from pathlib import Path
+
+from repro.net.protocol import (
+    LineReader,
+    LineTooLong,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_hypergraph,
+    parse_request,
+    send_json,
+)
+from repro.parallel.batch import ResultCache
+from repro.service import EnginePool, EngineService, response_to_json
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` string (``:PORT`` alone means localhost)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"expected HOST:PORT (e.g. 127.0.0.1:7171), got {text!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+class DualityServer:
+    """JSON-lines-over-TCP duality service: shared pool, shared cache."""
+
+    #: How often (seconds) idle handler threads poll the closing flag.
+    POLL_INTERVAL = 0.2
+
+    #: How long (seconds) one response write may take before the client
+    #: is declared stalled and its connection dropped.
+    SEND_TIMEOUT = 30.0
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        method: str = "fk-b",
+        n_jobs: int | None = 1,
+        cache: ResultCache | str | Path | None = None,
+        max_line_bytes: int = MAX_LINE_BYTES,
+        autosave_every: int = 1,
+    ) -> None:
+        """Configure a server (nothing binds until :meth:`start`).
+
+        ``port=0`` asks the OS for a free port (read it back from
+        :attr:`address` after ``start``).  ``cache`` follows
+        :class:`EngineService`'s convention: a live cache, a JSON path
+        (loaded tolerantly now, flushed atomically while serving), or
+        ``None``.  ``autosave_every`` persists the path-backed cache
+        once at least that many new verdicts accumulated (1 = after
+        every computed verdict; 0 disables autosave, leaving only the
+        shutdown flush).
+        """
+        self._host = host
+        self._port = port
+        self.method = method
+        self.n_jobs = n_jobs
+        self.max_line_bytes = max_line_bytes
+        self.autosave_every = autosave_every
+        self._cache_path: Path | None = None
+        if isinstance(cache, (str, Path)):
+            self._cache_path = Path(cache)
+            self.cache: ResultCache | None = ResultCache.load(self._cache_path)
+        else:
+            self.cache = cache
+        self.pool = EnginePool(n_jobs)
+        self._services: dict[str, EngineService] = {}
+        # Guards the _services dict itself (stats() snapshots it while
+        # solves insert); _solve_lock stays the coarse solve serializer
+        # so a cheap stats request never queues behind a long solve.
+        self._services_lock = threading.Lock()
+        self._solve_lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._handlers: list[threading.Thread] = []
+        self._connections: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._closing = threading.Event()
+        self._stopped = threading.Event()
+        self._count_lock = threading.Lock()
+        self.connections_accepted = 0
+        self.requests_served = 0
+        self.errors = 0
+
+    def _count(self, counter: str) -> None:
+        with self._count_lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._listener is None:
+            raise RuntimeError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "DualityServer":
+        """Bind, listen, and spawn the accept loop (idempotent)."""
+        if self._closing.is_set():
+            raise RuntimeError("server has been shut down; create a new one")
+        if self._listener is not None:
+            return self
+        # Bind before spawning workers: a taken port must fail with
+        # nothing to clean up, not leak a running pool.
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((self._host, self._port))
+            listener.listen()
+            self.pool.start()
+        except BaseException:
+            listener.close()
+            self.pool.shutdown()
+            raise
+        # Poll rather than block in accept(): closing a socket does not
+        # reliably wake a thread blocked in accept() on it, so a timed
+        # accept checking the closing flag is what makes shutdown work.
+        listener.settimeout(self.POLL_INTERVAL)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="duality-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Stop serving gracefully: drain, flush the cache, close the pool.
+
+        Safe to call from any thread (including a handler answering a
+        ``shutdown`` request) and idempotent.  In-flight requests finish
+        and get their responses; idle connections are closed at the
+        next poll tick.
+        """
+        self._begin_shutdown()
+        thread = self._accept_thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout)
+        if not self._stopped.is_set():
+            # start() was never called (or the accept thread is wedged):
+            # finalize inline so the pool and cache are still released.
+            self._finalize()
+
+    def wait(self) -> None:
+        """Block until the server has fully stopped (CLI foreground)."""
+        while not self._stopped.wait(0.5):
+            pass
+
+    def __enter__(self) -> "DualityServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    def _begin_shutdown(self) -> None:
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - platform quirk
+                pass
+
+    # ------------------------------------------------------------------
+    # Accept loop and finalization
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        try:
+            while not self._closing.is_set():
+                try:
+                    conn, _addr = self._listener.accept()
+                except TimeoutError:
+                    continue  # poll tick: re-check the closing flag
+                except OSError:
+                    break  # listener closed by shutdown
+                conn.settimeout(None)  # handlers set their own timeout
+                self._count("connections_accepted")
+                with self._conn_lock:
+                    self._connections.add(conn)
+                # Drop finished handler threads so a long-lived server
+                # doesn't accumulate one dead Thread per connection.
+                self._handlers = [
+                    h for h in self._handlers if h.is_alive()
+                ]
+                handler = threading.Thread(
+                    target=self._handle,
+                    args=(conn,),
+                    name=f"duality-conn-{self.connections_accepted}",
+                    daemon=True,
+                )
+                self._handlers.append(handler)
+                handler.start()
+        finally:
+            self._begin_shutdown()
+            self._finalize()
+
+    def _finalize(self) -> None:
+        if self._stopped.is_set():
+            return
+        for handler in self._handlers:
+            if handler is not threading.current_thread():
+                handler.join(timeout=10)
+        with self._conn_lock:
+            leftover = list(self._connections)
+            self._connections.clear()
+        for conn in leftover:  # pragma: no cover - stragglers only
+            try:
+                conn.close()
+            except OSError:
+                pass
+        with self._solve_lock:
+            for service in self._services.values():
+                service.close()  # borrowed pool/cache survive
+            if self._cache_path is not None and self.cache is not None:
+                if self.cache.new_since_save:
+                    self.cache.save(self._cache_path)
+            self.pool.shutdown()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Per-connection handling
+    # ------------------------------------------------------------------
+
+    def _handle(self, conn: socket.socket) -> None:
+        conn.settimeout(self.POLL_INTERVAL)
+        reader = LineReader(conn, self.max_line_bytes)
+        try:
+            while not self._closing.is_set():
+                try:
+                    line = reader.readline()
+                except TimeoutError:
+                    continue
+                except LineTooLong as exc:
+                    # No trustworthy framing past an oversized line:
+                    # report and hang up, leaving other clients alone.
+                    self._send_error(conn, None, exc)
+                    break
+                if line is None:  # clean EOF or mid-request disconnect
+                    break
+                if not line.strip():
+                    continue
+                if not self._serve_line(conn, line):
+                    break
+        except OSError:
+            # The client vanished mid-read or mid-write; its in-flight
+            # request (if any) is abandoned with it.
+            pass
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _serve_line(self, conn: socket.socket, line: bytes) -> bool:
+        """Answer one request line; False ends the connection."""
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self._send_error(conn, None, exc)
+            return True  # framing is intact: keep serving this client
+        request_id = request.get("id")
+        op = request.get("op", "solve")
+        try:
+            if op == "ping":
+                payload = {"id": request_id, "ok": True, "pong": True}
+            elif op == "stats":
+                payload = {"id": request_id, "ok": True, "stats": self.stats()}
+            elif op == "shutdown":
+                payload = {"id": request_id, "ok": True, "shutting_down": True}
+            else:
+                response = self._solve_request(request)
+                payload = {"ok": True}
+                payload.update(response_to_json(response))
+                payload["id"] = request_id  # the wire id wins over the queue's
+            # Count before sending: the moment the client has its
+            # answer, stats() must already reflect it.
+            self._count("requests_served")
+        except Exception as exc:  # noqa: BLE001 - per-request error object
+            self._send_error(conn, request_id, exc)
+            return True
+        self._send(conn, payload)
+        if op == "shutdown":
+            self._begin_shutdown()
+            return False
+        return True
+
+    def _send(self, conn: socket.socket, payload: dict) -> None:
+        """One response write under its own (generous) timeout.
+
+        The per-connection poll timeout is for *reads*; a multi-second
+        write just means the client is slow draining its buffer, not
+        that anything is wrong.  A send that fails anyway — the client
+        stalled past :data:`SEND_TIMEOUT` or vanished — propagates its
+        ``OSError`` so the handler drops the connection: after a
+        partial line there is no way to keep the stream coherent.
+        """
+        conn.settimeout(self.SEND_TIMEOUT)
+        try:
+            send_json(conn, payload)
+        finally:
+            conn.settimeout(self.POLL_INTERVAL)
+
+    def _solve_request(self, request: dict):
+        method = request.get("method") or self.method
+        if not isinstance(method, str):
+            raise ProtocolError(f"method must be a string, got {method!r}")
+        if "path" in request:
+            instance = str(request["path"])
+        elif "g" in request and "h" in request:
+            instance = (
+                decode_hypergraph(request["g"]),
+                decode_hypergraph(request["h"]),
+            )
+        else:
+            raise ProtocolError(
+                "a solve request needs either inline 'g' and 'h' "
+                "hypergraphs or a server-side 'path'"
+            )
+        with self._solve_lock:
+            service = self._service_for(method)
+            if isinstance(instance, str):
+                response = service.solve_file(instance)
+            else:
+                response = service.solve(*instance)
+            self._maybe_autosave()
+        return response
+
+    def _service_for(self, method: str) -> EngineService:
+        """The per-method service view (shared pool, shared cache)."""
+        with self._services_lock:
+            service = self._services.get(method)
+        if service is None:
+            service = EngineService(
+                method=method,
+                # A portfolio winner is timing-dependent — exactly what
+                # a replay cache must not store (solve_many's rule).
+                cache=None if method == "portfolio" else self.cache,
+                pool=self.pool,
+            )
+            with self._services_lock:
+                self._services[method] = service
+        return service
+
+    def _maybe_autosave(self) -> None:
+        if (
+            self.autosave_every > 0
+            and self._cache_path is not None
+            and self.cache is not None
+            and self.cache.new_since_save >= self.autosave_every
+        ):
+            self.cache.save(self._cache_path)
+
+    def _send_error(
+        self, conn: socket.socket, request_id, exc: Exception
+    ) -> None:
+        self._count("errors")
+        # A failed error write propagates like any failed response
+        # write: the handler closes the connection.
+        self._send(
+            conn,
+            {
+                "id": request_id,
+                "ok": False,
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                },
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A JSON-safe health snapshot (also the ``stats`` op's answer)."""
+        out = {
+            "method": self.method,
+            "n_jobs": self.pool.n_jobs,
+            "connections_accepted": self.connections_accepted,
+            "requests_served": self.requests_served,
+            "errors": self.errors,
+            "pool_generations": self.pool.generations,
+            "pool_restarts": self.pool.restarts,
+            "tasks_completed": self.pool.tasks_completed,
+        }
+        with self._services_lock:
+            out["methods_served"] = sorted(self._services)
+        if self.cache is not None:
+            out["cache_entries"] = len(self.cache)
+            out["cache_hits"] = self.cache.hits
+            out["cache_misses"] = self.cache.misses
+        return out

@@ -24,7 +24,11 @@ corpus incremental.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import threading
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -57,30 +61,53 @@ class ResultCache:
     labels (user-defined objects) fall back to memory-only entries.
     Replayed results carry fresh stats with ``extra["cached"] = True`` —
     work counters are not replayed, only the answer is.
+
+    The cache is thread-safe: a long-lived service multiplexes many
+    connection handlers onto one instance, so every read and write
+    takes an internal lock, and :meth:`save` is atomic (a temp-file
+    write followed by ``os.replace``) so a crash mid-save leaves the
+    previous generation of the file intact, never a truncated one.
     """
 
     def __init__(self) -> None:
         self._entries: dict[str, DualityResult] = {}
+        self._lock = threading.RLock()
+        self._new_since_save = 0
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def new_since_save(self) -> int:
+        """Entries added since the last :meth:`save` (or construction).
+
+        Lets a long-lived service persist only when there is something
+        new — drain-time autosaves stay free on all-hit batches.
+        """
+        with self._lock:
+            return self._new_since_save
 
     def get(self, key: str) -> DualityResult | None:
         """The cached result for ``key``, counting the hit/miss."""
-        result = self._entries.get(key)
-        if result is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return result
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return result
 
     def put(self, key: str, result: DualityResult) -> None:
-        self._entries[key] = result
+        with self._lock:
+            self._entries[key] = result
+            self._new_since_save += 1
 
     # ------------------------------------------------------------------
     # Persistence
@@ -119,15 +146,43 @@ class ResultCache:
         )
 
     def save(self, path: str | Path) -> int:
-        """Write the JSON-representable entries; returns how many."""
-        out = {}
-        for key, result in self._entries.items():
-            entry = self._entry_to_json(result)
-            if entry is not None:
-                out[key] = entry
-        Path(path).write_text(
-            json.dumps(out, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        """Write the JSON-representable entries; returns how many.
+
+        The write is atomic: the JSON lands in a temp sibling first and
+        is ``os.replace``d into place, so a crash (even ``kill -9``)
+        mid-save leaves either the previous generation of the file or
+        the new one — never a truncated, unparseable hybrid.
+        """
+        with self._lock:
+            out = {}
+            for key, result in self._entries.items():
+                entry = self._entry_to_json(result)
+                if entry is not None:
+                    out[key] = entry
+            snapshotted = self._new_since_save
+        path = Path(path)
+        data = json.dumps(out, indent=1, sort_keys=True) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
         )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            # Only a *successful* write retires the dirty count — a
+            # failed save must leave the entries marked unsaved so the
+            # next flush (or the shutdown flush) retries them.  Entries
+            # added while the file was being written stay counted.
+            self._new_since_save -= min(snapshotted, self._new_since_save)
         return len(out)
 
     @classmethod
@@ -136,17 +191,37 @@ class ResultCache:
 
         Entries from older cache formats (pre-codec plain witnesses)
         fail to decode and are dropped — a stale entry becomes a miss,
-        never a wrong answer.
+        never a wrong answer.  The same degrade-to-misses rule covers
+        the whole file: an unreadable or corrupt cache yields an empty
+        cache with a warning, so a damaged file can cost recomputation
+        but can never block a service from starting.
         """
         cache = cls()
         path = Path(path)
         if not path.exists():
             return cache
-        raw = json.loads(path.read_text(encoding="utf-8"))
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"result cache {path} is unreadable ({exc}); "
+                f"starting with an empty cache",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return cache
+        if not isinstance(raw, dict):
+            warnings.warn(
+                f"result cache {path} does not hold a JSON object; "
+                f"starting with an empty cache",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return cache
         for key, entry in raw.items():
             try:
                 cache._entries[key] = cls._entry_from_json(entry)
-            except (CodecError, KeyError, ValueError):
+            except (CodecError, KeyError, TypeError, ValueError):
                 continue
         return cache
 

@@ -20,7 +20,9 @@ Two modes:
 
 Either way the returned :class:`DualityResult` is the winning engine's
 own result object with ``stats.extra["portfolio"]`` describing the race
-(winner, per-engine timings in seconds, mode).
+(winner, per-engine timings in seconds, mode, and any per-engine
+errors — a crashing racer is reported and its slot handed to the next
+queued engine, never silently dropped; only all engines failing raises).
 """
 
 from __future__ import annotations
@@ -61,7 +63,7 @@ def run_portfolio_entry(payload: tuple) -> tuple:
     start = time.perf_counter()
     try:
         result = decide_duality(g, h, method=engine)
-    except Exception as exc:  # pragma: no cover - defensive
+    except Exception as exc:
         return engine, time.perf_counter() - start, None, repr(exc)
     return engine, time.perf_counter() - start, result, None
 
@@ -97,15 +99,33 @@ def race_portfolio(
     jobs = len(engines) if n_jobs is None else resolve_n_jobs(n_jobs)
 
     timings: dict[str, float | None] = {}
+    failures: dict[str, str] = {}
     if jobs == 1 or len(engines) == 1:
         from repro.duality import decide_duality
 
         results: dict[str, DualityResult] = {}
+        caught: dict[str, Exception] = {}
         for engine in engines:
             start = time.perf_counter()
-            results[engine] = decide_duality(g, h, method=engine)
+            try:
+                results[engine] = decide_duality(g, h, method=engine)
+            except Exception as exc:
+                # Same contract as the race: a crashing engine is
+                # reported and the survivors keep competing.
+                caught[engine] = exc
+                failures[engine] = repr(exc)
             timings[engine] = time.perf_counter() - start
-        winner = min(engines, key=lambda e: (timings[e], engines.index(e)))
+        if not results:
+            # No winner to return, so surface the real failure: the
+            # first engine's exception (typically an input-validation
+            # error every engine shares, e.g. NotSimpleError), with the
+            # other engines' verdicts on it attached.
+            first = next(iter(caught.values()))
+            first.add_note(
+                f"every portfolio engine failed on this instance: {failures}"
+            )
+            raise first
+        winner = min(results, key=lambda e: (timings[e], engines.index(e)))
         result = results[winner]
         mode = "sequential"
     else:
@@ -160,6 +180,10 @@ def race_portfolio(
                     break
             timings[engine] = elapsed
             if error is not None:
+                # The racer crashed: remember why, and put the next
+                # queued engine on its vacated slot so the race keeps
+                # its width instead of silently narrowing.
+                failures[engine] = error
                 if pending:
                     launch_next()
                 continue
@@ -176,7 +200,8 @@ def race_portfolio(
         results_queue.close()
         if result is None:
             raise RuntimeError(
-                f"every portfolio engine failed on this instance: {engines}"
+                f"every portfolio engine failed on this instance: "
+                f"{engines} ({failures})"
             )
         mode = "race"
 
@@ -184,6 +209,7 @@ def race_portfolio(
         "winner": winner,
         "mode": mode,
         "engines": list(engines),
+        "errors": dict(failures),
         "timings_s": {
             engine: (round(t, 6) if t is not None else None)
             for engine, t in timings.items()

@@ -63,12 +63,16 @@ class EngineService:
         n_jobs: int | None = 1,
         cache: ResultCache | str | Path | None = None,
         pool: EnginePool | None = None,
+        autosave: bool = True,
     ) -> None:
         """Start a service session.
 
         ``cache`` may be a live :class:`ResultCache`, a path (loaded
-        now, saved on :meth:`close` — the cross-session persistence
-        mode), or ``None`` for no caching.  ``pool`` lets several
+        now, persisted after every :meth:`drain` that computed new
+        verdicts and again on :meth:`close` — the cross-session
+        persistence mode), or ``None`` for no caching.  ``autosave=
+        False`` restores the save-only-on-close behaviour for callers
+        that batch their own persistence.  ``pool`` lets several
         services share one warm :class:`EnginePool`; a pool the service
         created itself is shut down on :meth:`close`, a borrowed one is
         left running.
@@ -84,6 +88,7 @@ class EngineService:
                 "concrete engine or drop the cache"
             )
         self._cache_path: Path | None = None
+        self._autosave = autosave
         if isinstance(cache, (str, Path)):
             self._cache_path = Path(cache)
             self.cache: ResultCache | None = ResultCache.load(self._cache_path)
@@ -133,7 +138,10 @@ class EngineService:
         workers with the ordinary serial engines (verdicts and
         certificates identical to one-at-a-time ``decide_duality``
         calls).  The service stays open — submit/drain cycles repeat on
-        the same workers.
+        the same workers.  In path-cache mode every drain that computed
+        new verdicts persists them (atomically) before returning, so a
+        session that crashes later has lost nothing it already
+        answered.
         """
         if self._closed:
             raise PoolClosedError("service is closed; open a new EngineService")
@@ -146,6 +154,8 @@ class EngineService:
             cache=self.cache,
             pool=self.pool,
         )
+        if self._autosave:
+            self.persist()
         return [
             self._response(request_id, source, item)
             for (request_id, source, _pair), item in zip(batch, items)
@@ -206,6 +216,21 @@ class EngineService:
             out["cache_entries"] = len(self.cache)
         return out
 
+    def persist(self) -> int:
+        """Flush new cache entries to the session's cache path (if any).
+
+        A no-op without a path-backed cache or when nothing changed
+        since the last save; returns the number of entries on disk
+        after the flush (0 when skipped).  The underlying
+        :meth:`ResultCache.save` is atomic, so a crash mid-persist
+        leaves the previous cache generation loadable.
+        """
+        if self._cache_path is None or self.cache is None:
+            return 0
+        if self.cache.new_since_save == 0:
+            return 0
+        return self.cache.save(self._cache_path)
+
     def close(self) -> None:
         """End the session: persist the cache, release owned workers.
 
@@ -215,8 +240,7 @@ class EngineService:
         if self._closed:
             return
         self._closed = True
-        if self._cache_path is not None and self.cache is not None:
-            self.cache.save(self._cache_path)
+        self.persist()
         if self._owns_pool:
             self.pool.shutdown()
 

@@ -1,0 +1,601 @@
+"""Tests for the TCP front end (:mod:`repro.net`).
+
+The contracts:
+
+* **correctness over the wire** — N concurrent clients against one
+  server get verdicts bit-for-bit identical to serial
+  ``decide_duality`` (witnesses through the lossless codec included);
+* **fault isolation** — a client disconnecting mid-request, a client
+  abandoning its response, and a malformed or oversized request line
+  each cost at most their own connection, never the server or the
+  other clients;
+* **crash-safe persistence** — the cache file on disk is always a
+  loadable generation: saves are atomic (``kill -9`` mid-save leaves
+  the previous generation), a corrupt file degrades to an empty cache
+  with a warning, and a service session that dies after ``drain`` has
+  already persisted every verdict it computed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.duality import decide_duality
+from repro.hypergraph import Hypergraph
+from repro.hypergraph import io as hgio
+from repro.hypergraph.generators import (
+    disjoint_union_pair,
+    hard_nondual_pair,
+    matching_dual_pair,
+    perturb_drop_edge,
+    threshold_dual_pair,
+)
+from repro.net import (
+    DualityClient,
+    DualityServer,
+    LineTooLong,
+    ProtocolError,
+    RequestError,
+    decode_hypergraph,
+    encode_hypergraph,
+    parse_address,
+)
+from repro.net.protocol import parse_request
+from repro.parallel import ResultCache, solve_many
+from repro.parallel.batch import load_instance
+from repro.parallel.codec import decode_vertex_set
+from repro.service import EngineService
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+
+
+def _corpus_paths() -> list[Path]:
+    return sorted(CORPUS_DIR.glob("*.hg"))
+
+
+def _instances():
+    return [
+        matching_dual_pair(3),
+        threshold_dual_pair(7, 4),
+        hard_nondual_pair(3),
+        (
+            lambda pair: (pair[0], perturb_drop_edge(pair[1]))
+        )(disjoint_union_pair(matching_dual_pair(2), matching_dual_pair(1))),
+    ]
+
+
+def _reference_fields(g, h, method="fk-b") -> dict:
+    """The wire-comparable projection of a serial decide_duality call."""
+    result = decide_duality(g, h, method=method)
+    cert = result.certificate
+    return {
+        "verdict": result.verdict.value,
+        "kind": cert.kind.name if cert.kind is not None else None,
+        "witness": cert.witness,
+        "path": list(cert.path) if cert.path is not None else None,
+    }
+
+
+def _response_fields(response: dict) -> dict:
+    return {
+        "verdict": response["verdict"],
+        "kind": response["kind"],
+        "witness": decode_vertex_set(response["witness"]),
+        "path": response["path"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Protocol building blocks
+# ---------------------------------------------------------------------------
+
+class TestProtocol:
+    def test_hypergraph_round_trip_is_lossless(self):
+        pairs = _instances()
+        for g, h in pairs:
+            for hg in (g, h):
+                wire = json.loads(json.dumps(encode_hypergraph(hg)))
+                back = decode_hypergraph(wire)
+                assert back == hg
+                assert back.vertices == hg.vertices  # isolated ones too
+
+    def test_tuple_labels_survive_with_exact_types(self):
+        g, _h = disjoint_union_pair(matching_dual_pair(2), matching_dual_pair(1))
+        back = decode_hypergraph(encode_hypergraph(g))
+        assert back == g
+        assert all(
+            any(type(v) is tuple for v in edge) for edge in back.edges
+        )
+
+    def test_parse_request_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            parse_request(b"this is not json")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_request(b"[1, 2, 3]")
+        with pytest.raises(ProtocolError, match="unknown op"):
+            parse_request(b'{"op": "explode"}')
+
+    def test_decode_hypergraph_rejects_malformed_payloads(self):
+        with pytest.raises(ProtocolError, match="must be an object"):
+            decode_hypergraph([1, 2])
+        with pytest.raises(ProtocolError, match="malformed hypergraph"):
+            decode_hypergraph({"edges": [["?", 0]]})
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:7171") == ("127.0.0.1", 7171)
+        assert parse_address(":9000") == ("127.0.0.1", 9000)
+        for bad in ("nohost", "host:", "host:port", ""):
+            with pytest.raises(ValueError, match="HOST:PORT"):
+                parse_address(bad)
+
+
+# ---------------------------------------------------------------------------
+# The server: correctness over the wire
+# ---------------------------------------------------------------------------
+
+class TestServerCorrectness:
+    def test_solve_matches_serial_bit_for_bit(self):
+        with DualityServer(method="fk-b") as server:
+            with DualityClient(*server.address) as client:
+                for g, h in _instances():
+                    response = client.solve(g, h)
+                    assert _response_fields(response) == _reference_fields(g, h)
+
+    def test_concurrent_clients_get_serial_identical_verdicts(self):
+        instances = _instances()
+        references = [_reference_fields(g, h) for g, h in instances]
+        errors: list[BaseException] = []
+
+        with DualityServer(method="fk-b", cache=ResultCache()) as server:
+            host, port = server.address
+
+            def one_client(order: int) -> None:
+                try:
+                    with DualityClient(host, port) as client:
+                        # Each client hits the instances in a different
+                        # rotation so requests interleave on the server.
+                        indices = [
+                            (order + k) % len(instances)
+                            for k in range(len(instances))
+                        ]
+                        for index in indices:
+                            g, h = instances[index]
+                            response = client.solve(g, h)
+                            assert (
+                                _response_fields(response) == references[index]
+                            ), f"client {order}, instance {index}"
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=one_client, args=(order,))
+                for order in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            stats = server.stats()
+
+        assert not errors, errors
+        assert stats["connections_accepted"] == 4
+        assert stats["requests_served"] == 4 * len(_instances())
+        # The shared cache answered the repeats: at most one miss per
+        # distinct instance ever reached the shared pool.
+        assert stats["cache_misses"] == len(_instances())
+
+    def test_solve_many_pipelines_in_order(self):
+        instances = _instances()
+        with DualityServer(method="bm") as server:
+            with DualityClient(*server.address) as client:
+                responses = client.solve_many(instances)
+        for (g, h), response in zip(instances, responses):
+            assert response["ok"]
+            assert _response_fields(response) == _reference_fields(g, h, "bm")
+
+    def test_per_request_method_override(self):
+        g, h = matching_dual_pair(3)
+        with DualityServer(method="fk-b") as server:
+            with DualityClient(*server.address) as client:
+                default = client.solve(g, h)
+                overridden = client.solve(g, h, method="bm")
+                stats = client.stats()
+        assert default["method"] == decide_duality(g, h, method="fk-b").method
+        assert overridden["method"] == decide_duality(g, h, method="bm").method
+        assert sorted(stats["methods_served"]) == ["bm", "fk-b"]
+
+    def test_portfolio_method_is_served_uncached(self, tmp_path):
+        # A portfolio winner is timing-dependent, so the server must
+        # serve it past the shared cache, not through it.
+        g, h = matching_dual_pair(3)
+        with DualityServer(cache=tmp_path / "cache.json") as server:
+            with DualityClient(*server.address) as client:
+                first = client.solve(g, h, method="portfolio")
+                second = client.solve(g, h, method="portfolio")
+        assert first["dual"] is True and second["dual"] is True
+        assert first["cached"] is False and second["cached"] is False
+
+    def test_server_side_path_and_client_side_path(self, tmp_path):
+        g, h = matching_dual_pair(2)
+        path = tmp_path / "m2.hg"
+        hgio.dump_many([g, h], path)
+        with DualityServer() as server:
+            with DualityClient(*server.address) as client:
+                inline = client.solve_path(path)  # read here, shipped inline
+                server_side = client.solve_server_path(path)
+        assert inline["dual"] is True
+        assert server_side["dual"] is True
+        assert server_side["source"] == str(path)
+
+    def test_ping_and_shutdown_request(self):
+        server = DualityServer().start()
+        with DualityClient(*server.address) as client:
+            assert client.ping()
+            reply = client.shutdown_server()
+            assert reply["shutting_down"]
+        server.wait()
+        assert server._stopped.is_set()
+        server.shutdown()  # idempotent after the fact
+
+    def test_server_lifecycle_edges(self):
+        server = DualityServer()
+        with pytest.raises(RuntimeError, match="not started"):
+            server.address
+        server.shutdown()  # never started: still releases the pool
+        assert server.pool.closed
+        with pytest.raises(RuntimeError, match="shut down"):
+            server.start()
+
+    def test_start_is_idempotent(self):
+        with DualityServer() as server:
+            address = server.address
+            assert server.start().address == address
+
+    def test_client_after_close_refuses(self):
+        with DualityServer() as server:
+            client = DualityClient(*server.address)
+            client.close()
+            client.close()  # idempotent
+            assert client.closed
+            with pytest.raises(RuntimeError, match="closed"):
+                client.ping()
+
+
+# ---------------------------------------------------------------------------
+# The server: fault isolation
+# ---------------------------------------------------------------------------
+
+class TestServerFaultIsolation:
+    def test_solver_error_is_a_request_error_not_a_teardown(self):
+        not_simple = Hypergraph([frozenset({0}), frozenset({0, 1})])
+        h = Hypergraph([frozenset({0})])
+        with DualityServer() as server:
+            with DualityClient(*server.address) as client:
+                with pytest.raises(RequestError, match="simple"):
+                    client.solve(not_simple, h)
+                with pytest.raises(RequestError, match="unknown duality method"):
+                    client.solve(*matching_dual_pair(2), method="quantum")
+                with pytest.raises(RequestError):
+                    client.solve_server_path("no/such/file.hg")
+                # The same connection still answers real work.
+                assert client.solve(*matching_dual_pair(2))["dual"] is True
+
+    def test_solve_many_reports_errors_inline(self):
+        not_simple = Hypergraph([frozenset({0}), frozenset({0, 1})])
+        h = Hypergraph([frozenset({0})])
+        good = matching_dual_pair(2)
+        with DualityServer() as server:
+            with DualityClient(*server.address) as client:
+                responses = client.solve_many([good, (not_simple, h), good])
+        assert [r["ok"] for r in responses] == [True, False, True]
+        assert "simple" in responses[1]["error"]["message"]
+
+    def test_mid_request_disconnect_leaves_server_serving(self):
+        g, h = matching_dual_pair(3)
+        with DualityServer() as server:
+            host, port = server.address
+            # A client that dies mid-request: half a JSON line, no
+            # terminator, then a hard close.
+            raw = socket.create_connection((host, port))
+            raw.sendall(b'{"op": "solve", "g": {"edges": [')
+            raw.close()
+            # A client that sends a full request and vanishes before
+            # reading its answer.
+            raw = socket.create_connection((host, port))
+            raw.sendall(b'{"op": "ping"}\n')
+            raw.close()
+            time.sleep(0.3)  # let the handlers observe both corpses
+            with DualityClient(host, port) as client:
+                assert client.solve(g, h)["dual"] is True
+
+    def test_malformed_line_answers_error_and_keeps_serving(self):
+        g, h = matching_dual_pair(3)
+        with DualityServer() as server:
+            host, port = server.address
+            with DualityClient(host, port) as victim, DualityClient(
+                host, port
+            ) as bystander:
+                victim._sock.sendall(b"definitely not json\n")
+                line = victim._reader.readline()
+                error = json.loads(line)
+                assert error["ok"] is False
+                assert error["error"]["type"] == "ProtocolError"
+                # Framing stayed line-aligned: the same connection
+                # recovers, and other clients never noticed.
+                assert victim.ping()
+                assert bystander.solve(g, h)["dual"] is True
+
+    def test_oversized_line_is_refused_and_the_connection_closed(self):
+        with DualityServer(max_line_bytes=256) as server:
+            host, port = server.address
+            raw = socket.create_connection((host, port))
+            raw.sendall(b"x" * 1024)  # no newline, over the ceiling
+            wire = raw.makefile("rb")
+            error = json.loads(wire.readline())
+            assert error["ok"] is False
+            assert error["error"]["type"] == "LineTooLong"
+            # The server hangs up (no resync point past a truncation)…
+            assert wire.readline() == b""
+            raw.close()
+            # …but keeps serving fresh connections.
+            with DualityClient(host, port) as client:
+                assert client.ping()
+
+    def test_line_reader_length_ceiling(self):
+        left, right = socket.socketpair()
+        try:
+            from repro.net.protocol import LineReader
+
+            reader = LineReader(right, max_line_bytes=64)
+            left.sendall(b"a" * 128)
+            with pytest.raises(LineTooLong):
+                reader.readline()
+        finally:
+            left.close()
+            right.close()
+
+
+# ---------------------------------------------------------------------------
+# Crash-safe persistence
+# ---------------------------------------------------------------------------
+
+class TestCrashSafePersistence:
+    def test_cache_persists_across_server_generations(self, tmp_path):
+        cache_path = tmp_path / "net-cache.json"
+        g, h = matching_dual_pair(3)
+        with DualityServer(cache=cache_path) as server:
+            with DualityClient(*server.address) as client:
+                assert client.solve(g, h)["cached"] is False
+                # Autosave already flushed — before shutdown.
+                assert cache_path.exists()
+        with DualityServer(cache=cache_path) as server:
+            with DualityClient(*server.address) as client:
+                assert client.solve(g, h)["cached"] is True
+
+    def test_kill_dash_nine_mid_save_leaves_a_loadable_cache(self, tmp_path):
+        """SIGKILL a process that is atomically re-saving a large cache
+        in a tight loop; whatever instant it died at, the file on disk
+        must parse as a complete (previous or current) generation."""
+        cache_path = tmp_path / "cache.json"
+        seed_path = tmp_path / "seed.json"
+
+        cache = ResultCache()
+        (item,) = solve_many([matching_dual_pair(3)], method="fk-b", cache=cache)
+        entries = ResultCache._entry_to_json(item.result)
+        # A deliberately large file so a non-atomic writer would very
+        # likely be caught mid-write by the kill below.
+        seed = {f"key-{i:06d}": entries for i in range(4000)}
+        seed_path.write_text(json.dumps(seed), encoding="utf-8")
+
+        script = textwrap.dedent(
+            """
+            import sys
+            sys.path.insert(0, sys.argv[3])
+            from repro.parallel.batch import ResultCache
+            cache = ResultCache.load(sys.argv[1])
+            assert len(cache) > 0
+            print("ready", flush=True)
+            while True:
+                cache.save(sys.argv[2])
+            """
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        child = subprocess.Popen(
+            [sys.executable, "-c", script, str(seed_path), str(cache_path), src],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert child.stdout.readline().strip() == "ready"
+            deadline = time.monotonic() + 30
+            while not cache_path.exists() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            time.sleep(0.05)  # land the kill inside some save cycle
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:  # pragma: no cover - cleanup
+                child.kill()
+                child.wait()
+
+        reloaded = ResultCache.load(cache_path)  # must not raise
+        assert len(reloaded) == 4000
+        # No stray temp generations left behind either.
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_corrupt_cache_file_degrades_to_misses_with_a_warning(
+        self, tmp_path
+    ):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text('{"truncated": ', encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            cache = ResultCache.load(cache_path)
+        assert len(cache) == 0
+
+        cache_path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="JSON object"):
+            cache = ResultCache.load(cache_path)
+        assert len(cache) == 0
+
+        # A damaged cache must never block service startup.
+        with pytest.warns(RuntimeWarning):
+            with EngineService(method="fk-b", cache=cache_path) as service:
+                assert service.solve(*matching_dual_pair(2)).is_dual
+        # …and the session repaired the file on disk.
+        reloaded = ResultCache.load(cache_path)
+        assert len(reloaded) == 1
+
+    def test_failed_save_keeps_entries_marked_unsaved(self, tmp_path):
+        """A save that dies (disk full, unwritable dir) must not retire
+        the dirty count — the shutdown flush has to retry the write."""
+        cache = ResultCache()
+        solve_many([matching_dual_pair(2)], method="fk-b", cache=cache)
+        assert cache.new_since_save == 1
+        with pytest.raises(FileNotFoundError):
+            cache.save(tmp_path / "no" / "such" / "dir" / "cache.json")
+        assert cache.new_since_save == 1  # still dirty
+        good = tmp_path / "cache.json"
+        assert cache.save(good) == 1
+        assert cache.new_since_save == 0
+        assert len(ResultCache.load(good)) == 1
+
+    def test_non_dict_cache_entry_is_skipped_not_fatal(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text('{"key": "not an entry"}', encoding="utf-8")
+        assert len(ResultCache.load(cache_path)) == 0
+
+    def test_session_killed_after_drain_loses_nothing(self, tmp_path):
+        """Regression: verdicts used to persist only in close(), so a
+        crashed session lost everything it computed."""
+        cache_path = tmp_path / "cache.json"
+        service = EngineService(method="fk-b", cache=cache_path)
+        service.submit(matching_dual_pair(3))
+        service.submit(hard_nondual_pair(3))
+        originals = service.drain()
+        # The session "crashes" here: no close(), no atexit, nothing.
+        del service
+
+        with EngineService(method="fk-b", cache=cache_path) as second:
+            second.submit(matching_dual_pair(3))
+            second.submit(hard_nondual_pair(3))
+            replayed = second.drain()
+            assert second.pool.tasks_completed == 0  # all hits
+        for original, replay in zip(originals, replayed):
+            assert replay.cached
+            assert replay.result.verdict == original.result.verdict
+            assert replay.result.certificate == original.result.certificate
+
+    def test_autosave_false_restores_save_on_close_only(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        with EngineService(
+            method="fk-b", cache=cache_path, autosave=False
+        ) as service:
+            service.submit(matching_dual_pair(2))
+            service.drain()
+            assert not cache_path.exists()
+        assert cache_path.exists()
+
+    def test_save_skips_when_nothing_new(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        with EngineService(method="fk-b", cache=cache_path) as service:
+            service.solve(*matching_dual_pair(2))
+            first_stat = cache_path.stat().st_mtime_ns
+            service.solve(*matching_dual_pair(2))  # a pure cache hit
+            assert cache_path.stat().st_mtime_ns == first_stat
+
+
+# ---------------------------------------------------------------------------
+# The CLI: serve --listen and client, end to end over the golden corpus
+# ---------------------------------------------------------------------------
+
+class TestNetCli:
+    @pytest.fixture
+    def running_server(self, tmp_path):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--cache",
+                str(tmp_path / "cli-cache.json"),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        banner = json.loads(server.stdout.readline())
+        address = f"127.0.0.1:{banner['listening']['port']}"
+        yield server, address, env
+        if server.poll() is None:
+            server.terminate()
+            server.wait(timeout=15)
+
+    def test_client_cli_against_corpus_matches_serial(self, running_server):
+        server, address, env = running_server
+        paths = _corpus_paths()[:4]
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "client", address, *map(str, paths)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=240,
+        )
+        lines = [json.loads(line) for line in out.stdout.strip().splitlines()]
+        assert len(lines) == len(paths)
+        for path, line in zip(paths, lines):
+            g, h = load_instance(path)
+            assert _response_fields(line) == _reference_fields(g, h)
+            assert line["source"] == str(path)
+        expected = 0 if all(line["dual"] for line in lines) else 1
+        assert out.returncode == expected
+
+    def test_client_shutdown_stops_the_server_gracefully(self, running_server):
+        server, address, env = running_server
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "client",
+                address,
+                str(_corpus_paths()[0]),
+                "--shutdown",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=240,
+        )
+        assert out.returncode in (0, 1)
+        assert server.wait(timeout=30) == 0
+
+    def test_sigint_shuts_the_server_down_cleanly(self, running_server):
+        server, _address, _env = running_server
+        server.send_signal(signal.SIGINT)
+        assert server.wait(timeout=30) == 0
+
+    def test_listen_rejects_instance_arguments(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="repro client"):
+            main(["serve", "--listen", "127.0.0.1:0", "whatever.hg"])

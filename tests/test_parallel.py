@@ -277,6 +277,96 @@ class TestPortfolio:
         assert set(result.stats.extra["portfolio"]["timings_s"]) == {"fk-a", "bm"}
 
 
+class TestPortfolioCrashPaths:
+    """A racer whose engine raises is reported and replaced, not dropped."""
+
+    def _not_simple_pair(self):
+        # {0} ⊂ {0, 1} makes G non-simple: every engine's precondition
+        # check raises, which is the deterministic stand-in for an
+        # engine crash inside a racer.
+        g = Hypergraph([frozenset({0}), frozenset({0, 1})])
+        h = Hypergraph([frozenset({0})])
+        return g, h
+
+    def test_run_portfolio_entry_reports_instead_of_raising(self):
+        from repro.parallel.portfolio import run_portfolio_entry
+
+        g, h = self._not_simple_pair()
+        engine, elapsed, result, error = run_portfolio_entry(
+            ("fk-b", mask_payload(g), mask_payload(h))
+        )
+        assert engine == "fk-b"
+        assert elapsed >= 0.0
+        assert result is None
+        assert error is not None and "NotSimple" in error
+
+    def test_sequential_mode_survives_a_crashing_engine(self, monkeypatch):
+        from repro import duality
+
+        real = duality.decide_duality
+
+        def crashy(g, h, method="bm", **kw):
+            if method == "bm":
+                raise RuntimeError("engine bm exploded")
+            return real(g, h, method=method, **kw)
+
+        monkeypatch.setattr(duality, "decide_duality", crashy)
+        g, h = matching_dual_pair(3)
+        result = race_portfolio(g, h, engines=("bm", "fk-b"), n_jobs=1)
+        race = result.stats.extra["portfolio"]
+        assert result.is_dual
+        assert race["winner"] == "fk-b"
+        assert "bm" in race["errors"] and "exploded" in race["errors"]["bm"]
+        assert race["timings_s"]["bm"] is not None  # reported, not dropped
+
+    def test_race_mode_replaces_crashed_racers(self, monkeypatch):
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("monkeypatching racers requires fork semantics")
+        from repro import duality
+
+        real = duality.decide_duality
+
+        def crashy(g, h, method="bm", **kw):
+            if method in ("bm", "logspace"):
+                raise RuntimeError(f"engine {method} exploded")
+            return real(g, h, method=method, **kw)
+
+        monkeypatch.setattr(duality, "decide_duality", crashy)
+        g, h = matching_dual_pair(3)
+        # Two slots, three engines: both initial racers crash, so the
+        # race must relaunch fk-b on a vacated slot and still answer.
+        result = race_portfolio(
+            g, h, engines=("bm", "logspace", "fk-b"), n_jobs=2
+        )
+        race = result.stats.extra["portfolio"]
+        assert result.is_dual
+        assert race["mode"] == "race"
+        assert race["winner"] == "fk-b"
+        assert set(race["errors"]) == {"bm", "logspace"}
+        reference = decide_duality(g, h, method="fk-b")
+        assert result.verdict == reference.verdict
+        assert result.certificate == reference.certificate
+
+    def test_every_engine_failing_raises_with_the_reasons(self):
+        from repro.errors import NotSimpleError
+
+        g, h = self._not_simple_pair()
+        # Sequential mode re-raises the shared underlying failure (the
+        # pre-existing every-engine-rejects-non-simple contract) with
+        # the other engines' outcomes attached as a note.
+        with pytest.raises(NotSimpleError) as info:
+            race_portfolio(g, h, engines=("fk-b", "bm"), n_jobs=1)
+        assert any(
+            "every portfolio engine failed" in note
+            for note in getattr(info.value, "__notes__", [])
+        )
+        # Race mode only has the racers' error reprs to report.
+        with pytest.raises(RuntimeError, match="every portfolio engine"):
+            race_portfolio(g, h, engines=("fk-b", "bm"), n_jobs=2)
+
+
 # ---------------------------------------------------------------------------
 # Canonical hashing
 # ---------------------------------------------------------------------------

@@ -415,6 +415,36 @@ class TestServeCommand:
         (line,) = capsys.readouterr().out.strip().splitlines()
         assert json.loads(line)["cached"] is True
 
+    def test_serve_stdin_exits_cleanly_on_ctrl_c(
+        self, instance_files, tmp_path, capsys, monkeypatch
+    ):
+        """Ctrl-C mid-stream is a normal session end: no traceback, the
+        verdicts answered so far stand, and the cache is still flushed."""
+
+        class InterruptedStdin:
+            def __init__(self, lines):
+                self._lines = iter(lines)
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                line = next(self._lines)
+                if line is None:
+                    raise KeyboardInterrupt
+                return line
+
+        cache = tmp_path / "cache.json"
+        monkeypatch.setattr(
+            "sys.stdin", InterruptedStdin([f"{instance_files[0]}\n", None])
+        )
+        status = main(["serve", "--cache", str(cache), "--stats"])
+        out = capsys.readouterr().out.strip().splitlines()
+        assert status == 0
+        assert json.loads(out[0])["dual"] is True
+        assert json.loads(out[-1])["stats"]["requests"] == 1
+        assert cache.exists()  # flushed despite the interrupt
+
 
 # ---------------------------------------------------------------------------
 # Lossless codec and cache persistence
