@@ -21,7 +21,9 @@ The JSON layout:
 * ``engines`` — per engine/instance: before_s, after_s, speedup;
 * ``itemsets`` — frequency-counting kernels at ≥ 20 items / ≥ 200 rows;
 * ``parallel`` — serial vs multi-process rows (batch ``solve_many``,
-  sharded single-instance solving, portfolio racing).
+  sharded single-instance solving, portfolio racing, warm-pool
+  amortization, and the ``server-concurrent`` scheduler-saturation row:
+  4 TCP clients with a fast/slow mix vs the same requests serialized).
 
 Each run also **appends** a compact summary entry to a history file
 (``BENCH_trend.json`` by default, ``--trend``/``--label`` to steer), so
@@ -400,6 +402,64 @@ def parallel_rows(quick: bool) -> list[dict]:
             "serial_scope": "fresh WorkerPool per batch",
             "parallel_s": round(parallel_s, 4),
             "parallel_scope": "one warm EnginePool for every batch",
+            "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        }
+    )
+    # Scheduler saturation: 4 concurrent clients (one of them on a
+    # deliberately slow instance) against one warm TCP server, vs the
+    # same requests serialized through one client at a time.  The PR-5
+    # row: with no solve lock, fast requests overtake the slow one, so
+    # concurrency wins wall-clock wherever cores exist (and costs
+    # nothing on one core).  No cache — every request computes, both
+    # sides.
+    from repro.net import DualityClient, DualityServer
+
+    slow_pair = (
+        threshold_dual_pair(11, 6) if quick else threshold_dual_pair(12, 6)
+    )
+    client_workloads = [
+        [slow_pair],
+        [matching_dual_pair(7), threshold_dual_pair(9, 5)],
+        [threshold_dual_pair(10, 5), matching_dual_pair(6)],
+        [threshold_dual_pair(10, 6), threshold_dual_pair(8, 4)],
+    ]
+
+    with DualityServer(method="fk-b", n_jobs=2) as server:
+        host, port = server.address
+
+        def run_client(workload):
+            with DualityClient(host, port, timeout=600) as client:
+                client.solve_many(workload)
+
+        def serialized():
+            for workload in client_workloads:
+                run_client(workload)
+
+        def concurrent():
+            import threading
+
+            threads = [
+                threading.Thread(target=run_client, args=(workload,))
+                for workload in client_workloads
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        run_client(client_workloads[1])  # warm the pool off the clock
+        serial_s = best_of(serialized, 1)
+        parallel_s = best_of(concurrent, 1)
+    rows.append(
+        {
+            "kernel": "server-concurrent",
+            "instance": f"{len(client_workloads)}-clients-mixed-fk-b",
+            "n_instances": sum(len(w) for w in client_workloads),
+            "n_jobs": 2,
+            "serial_s": round(serial_s, 4),
+            "serial_scope": "one client at a time (the old solve-lock shape)",
+            "parallel_s": round(parallel_s, 4),
+            "parallel_scope": "4 concurrent clients, shared scheduler",
             "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
         }
     )

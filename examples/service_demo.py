@@ -1,6 +1,6 @@
-"""The persistent engine service: warm workers, cached verdicts, JSON out.
+"""The engine scheduler: warm workers, tickets, cached verdicts, JSON out.
 
-PR 3's subsystem in one walkthrough:
+PRs 3 and 5 in one walkthrough:
 
 1. an :class:`EnginePool` with an explicit lifecycle — workers spawn
    once and answer several batches (``generations`` stays at 1),
@@ -9,7 +9,10 @@ PR 3's subsystem in one walkthrough:
 3. a second service session over the same cache file — every answer is
    a cache hit, no worker ever runs,
 4. sharded single-instance solving and recursive shard plans routed
-   through the same persistent pool.
+   through the same persistent pool,
+5. the PR-5 scheduler: tickets resolving out of submission order (a
+   slow instance never delays a fast one) and cache hits resolving at
+   submit time.
 
 Run me::
 
@@ -103,3 +106,31 @@ with EnginePool(n_jobs=2) as pool:
             f"(identical certificate to serial)"
         )
     print(f"worker generations: {pool.generations}")
+
+# ---------------------------------------------------------------------------
+# 5. The concurrent scheduler: tickets complete out of order
+# ---------------------------------------------------------------------------
+
+print("\n— tickets: out-of-order completion, submission-order drain —")
+from repro.parallel import ResultCache  # noqa: E402
+
+completed: list[str] = []
+with EngineService(method="fk-b", n_jobs=2, cache=ResultCache()) as service:
+    slow = service.submit(threshold_dual_pair(12, 6))   # ~100x the fast one
+    fast = service.submit(matching_dual_pair(3))
+    slow.add_done_callback(lambda t: completed.append("slow"))
+    fast.add_done_callback(lambda t: completed.append("fast"))
+    # Each ticket is an int request id *and* a future:
+    print(f"request ids: slow={int(slow)}, fast={int(fast)}")
+    print(f"fast verdict: {fast.result().result.verdict.value}")
+    responses = service.drain()                         # submission order
+    assert [r.request_id for r in responses] == [slow, fast]
+    print(f"completion order: {completed} (drain order: [slow, fast])")
+
+    # A repeat of an answered instance resolves at submit time — no
+    # drain, no worker run.
+    solved_before = service.pool.tasks_completed
+    hit = service.submit(matching_dual_pair(3), collect=False)
+    assert hit.done() and hit.result().cached
+    assert service.pool.tasks_completed == solved_before
+    print("repeat instance: resolved at submit, straight from the cache")

@@ -103,15 +103,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """The ``serve`` mode: a persistent engine service over warm workers.
+    """The ``serve`` mode: the request scheduler over warm workers.
 
-    Instance files given on the command line are answered as one batch;
-    with none (or ``-``), paths are read line by line from stdin and
-    each is answered as soon as it arrives — the workers and the result
-    cache stay warm in between, so a long-running client pays the spawn
-    cost once.  One JSON verdict per line on stdout.  A missing or
-    malformed instance file yields an error line for *that* request and
-    the session keeps serving — it never tears down the warm pool.
+    Instance files given on the command line are scheduled as one
+    overlapping batch (verdicts print in input order); with none (or
+    ``-``), paths are read line by line from stdin and each is answered
+    as soon as it arrives — the workers and the result cache stay warm
+    in between, so a long-running client pays the spawn cost once.  One
+    JSON verdict per line on stdout.  A missing or malformed instance
+    file, or a solver-side error, yields an error line for *that*
+    request and the session keeps serving — per-request tickets mean a
+    bad instance can never take the rest of a batch down with it.
 
     With ``--listen HOST:PORT`` the service binds a TCP socket instead:
     any number of ``repro client`` sessions (or raw JSON-lines writers)
@@ -133,14 +135,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         method=args.method,
         n_jobs=args.jobs,
         cache=args.cache,
+        cache_max_entries=args.cache_max,
     ) as service:
-        def emit(responses) -> None:
-            nonlocal exit_status
-            for response in responses:
-                print(json.dumps(response_to_json(response)), flush=True)
-                if not response.is_dual:
-                    exit_status = 1
-
         def emit_error(source: str, exc: Exception) -> None:
             nonlocal exit_status
             print(
@@ -149,38 +145,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             exit_status = 1
 
-        def serve_one(source: str) -> None:
-            # Any failure — unreadable file at submit, or a solver-side
-            # error at drain (engine preconditions, not-simple inputs) —
-            # is this request's error line; the session keeps serving.
+        def await_ticket(source: str, ticket) -> None:
+            nonlocal exit_status
             try:
-                service.submit(source)
+                response = ticket.result()
             except Exception as exc:
                 emit_error(source, exc)
                 return
+            print(json.dumps(response_to_json(response)), flush=True)
+            if not response.is_dual:
+                exit_status = 1
+
+        def serve_one(source: str) -> None:
+            # A failure at submit (unreadable file) or at solve time
+            # (engine preconditions, not-simple inputs) is this
+            # request's error line; the session keeps serving.
             try:
-                emit(service.drain())
+                ticket = service.submit(source, collect=False)
             except Exception as exc:
                 emit_error(source, exc)
+                return
+            await_ticket(source, ticket)
 
-        def serve_batch(batch: list[str]) -> None:
-            submitted = []
-            for source in batch:
-                try:
-                    service.submit(source)
-                    submitted.append(source)
-                except Exception as exc:
-                    emit_error(source, exc)
+        # Schedule the whole command line first — at n_jobs > 1 the
+        # instances overlap on the pool — then emit in input order.
+        tickets = []
+        for source in sources:
             try:
-                emit(service.drain())
-            except Exception:
-                # One request somewhere in the batch failed at solve
-                # time; replay them individually so only the culprit
-                # gets an error line.
-                for source in submitted:
-                    serve_one(source)
-
-        serve_batch(sources)
+                tickets.append((source, service.submit(source, collect=False)))
+            except Exception as exc:
+                emit_error(source, exc)
+        for source, ticket in tickets:
+            await_ticket(source, ticket)
         if use_stdin:
             # Ctrl-C and a closed stdout pipe are both normal ends of a
             # streaming session, not tracebacks; whatever was answered
@@ -223,6 +219,7 @@ def _serve_listen(args: argparse.Namespace) -> int:
         method=args.method,
         n_jobs=args.jobs,
         cache=args.cache,
+        cache_max_entries=args.cache_max,
     )
     server.start()
     bound_host, bound_port = server.address
@@ -245,14 +242,19 @@ def _cmd_client(args: argparse.Namespace) -> int:
     """The ``client`` mode: ship instances to a ``serve --listen`` server.
 
     Instance files are read on *this* machine and sent inline through
-    the lossless codec, so the server needs no shared filesystem.  One
-    JSON verdict (or error) line per instance on stdout, answers as
-    they arrive.  Exit status 0 when every instance is dual, 1
-    otherwise (the ``repro dual`` convention).
+    the lossless codec, so the server needs no shared filesystem.
+    Command-line files are pipelined as one batch (the server's
+    scheduler overlaps them; verdicts print in input order); stdin
+    paths are answered one per line as they arrive.  One JSON verdict
+    (or error) line per instance on stdout.  Exit status 0 when every
+    instance is dual, **nonzero** when any is non-dual or any line is
+    an error — a server-side ``{"ok": false}`` response included, so
+    scripts can trust the status (the ``repro dual`` convention).
     """
     import json
 
     from repro.net import DualityClient, ProtocolError, RequestError
+    from repro.parallel.batch import load_instance
 
     paths = [str(p) for p in args.instances if str(p) != "-"]
     use_stdin = not paths or any(str(p) == "-" for p in args.instances)
@@ -266,26 +268,56 @@ def _cmd_client(args: argparse.Namespace) -> int:
         print(json.dumps({"error": f"connect {args.address}: {exc}"}), flush=True)
         return 1
     with client:
-        def serve_one(path: str) -> None:
+        def emit_error(path: str, detail: str) -> None:
             nonlocal exit_status
-            try:
-                response = client.solve_path(path, method=args.method)
-            except (RequestError, OSError, ValueError) as exc:
-                print(json.dumps({"source": path, "error": str(exc)}), flush=True)
-                exit_status = 1
+            print(json.dumps({"source": path, "error": detail}), flush=True)
+            exit_status = 1
+
+        def emit_response(path: str, response: dict) -> None:
+            nonlocal exit_status
+            if not response.get("ok"):
+                info = response.get("error") or {}
+                emit_error(
+                    path,
+                    f"{info.get('type', 'Error')}: {info.get('message', '')}",
+                )
                 return
             response["source"] = path
             print(json.dumps(response), flush=True)
             if not response.get("dual"):
                 exit_status = 1
 
+        def serve_one(path: str) -> None:
+            try:
+                response = client.solve_path(path, method=args.method)
+            except (RequestError, OSError, ValueError) as exc:
+                emit_error(path, str(exc))
+                return
+            emit_response(path, response)
+
+        def serve_pipelined(batch: list[str]) -> None:
+            # One pipelined batch: every loadable file goes out before
+            # the first answer is awaited, so the server's scheduler
+            # overlaps them; an unreadable file costs only its own
+            # error line.
+            loaded = []
+            for path in batch:
+                try:
+                    loaded.append((path, load_instance(path)))
+                except (OSError, ValueError) as exc:
+                    emit_error(path, str(exc))
+            if not loaded or client.closed:
+                return
+            responses = client.solve_many(
+                [pair for _path, pair in loaded], method=args.method
+            )
+            for (path, _pair), response in zip(loaded, responses):
+                emit_response(path, response)
+
         try:
             # A receive failure closes the client (the stream has no
             # trustworthy next frame); stop asking once that happens.
-            for path in paths:
-                if client.closed:
-                    break
-                serve_one(path)
+            serve_pipelined(paths)
             if use_stdin:
                 for raw in sys.stdin:
                     line = raw.strip()
@@ -680,6 +712,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "JSON result cache: loaded (tolerantly) at start, written "
             "atomically after each new verdict and at shutdown"
+        ),
+    )
+    p.add_argument(
+        "--cache-max",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "cap the result cache at N entries with LRU eviction "
+            "(default: unbounded)"
         ),
     )
     p.add_argument(

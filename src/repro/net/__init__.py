@@ -1,14 +1,18 @@
-"""Network front end: the duality service over TCP, many clients at once.
+"""Network front end: the duality scheduler over TCP, many clients at once.
 
-:mod:`repro.service` made many calls cheap inside one process; this
-package puts them on a socket.  A :class:`DualityServer` multiplexes
-any number of connections onto **one** warm
+:mod:`repro.service` made many concurrent calls cheap inside one
+process; this package puts them on a socket.  A :class:`DualityServer`
+multiplexes any number of connections onto **one** warm
 :class:`~repro.service.EnginePool` and **one** thread-safe, crash-safe
-:class:`~repro.parallel.batch.ResultCache`; a :class:`DualityClient`
-talks to it in JSON lines (:mod:`repro.net.protocol`), shipping
-instances inline through the lossless vertex codec.  CLI:
-``repro serve --listen HOST:PORT`` on the server side,
-``repro client HOST:PORT`` on the client side.
+:class:`~repro.parallel.batch.ResultCache` — with no solve lock:
+every request is dispatched straight to the service scheduler and its
+response is written the moment the verdict exists, out of request
+order when a fast instance overtakes a slow one.  A
+:class:`DualityClient` talks to it in JSON lines
+(:mod:`repro.net.protocol`), shipping instances inline through the
+lossless vertex codec and re-ordering pipelined answers by their
+echoed ``id``.  CLI: ``repro serve --listen HOST:PORT`` on the server
+side, ``repro client HOST:PORT`` on the client side.
 
 Layering: ``repro.net`` sits on top of ``repro.service`` (it drives
 :class:`~repro.service.EngineService` views); nothing below imports it,
@@ -23,6 +27,7 @@ from repro.net.protocol import (
     RequestError,
     decode_hypergraph,
     encode_hypergraph,
+    parse_response,
 )
 from repro.net.server import DualityServer, parse_address
 
@@ -36,4 +41,5 @@ __all__ = [
     "decode_hypergraph",
     "encode_hypergraph",
     "parse_address",
+    "parse_response",
 ]

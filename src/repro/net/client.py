@@ -12,9 +12,12 @@ load one of its own files instead.
 Responses are the plain JSON dicts of the wire (the
 :func:`repro.service.response_to_json` fields): ``solve`` raises
 :class:`~repro.net.protocol.RequestError` on a per-request error, while
-``solve_many`` pipelines every request onto the socket first and then
-collects answers, returning error responses in-line (``"ok": false``)
-so one bad instance cannot hide the other verdicts.
+``solve_many`` pipelines requests onto the socket and collects answers
+**as they arrive — out of request order** when the server's concurrent
+scheduler finishes a fast instance ahead of a slow one.  Arrivals are
+matched to requests by their echoed ``id``, and the results still come
+back in input order, with error responses in-line (``"ok": false``) so
+one bad instance cannot hide the other verdicts.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.net.protocol import (
     ProtocolError,
     RequestError,
     encode_hypergraph,
+    parse_response,
     send_json,
 )
 from repro.parallel.batch import load_instance
@@ -38,10 +42,10 @@ class DualityClient:
     """Connect / solve / solve_many / close over one TCP connection."""
 
     #: How many ``solve_many`` requests may be in flight at once.  The
-    #: server answers request *k* before reading *k+1*, so an unbounded
-    #: pipeline fills the kernel buffers on both sides and deadlocks
-    #: both ends in ``sendall``; a bounded window keeps the wire
-    #: saturated without ever outrunning the reader.
+    #: concurrent server reads ahead and answers out of order, but a
+    #: bounded window still caps how much response data can pile up in
+    #: kernel buffers (and how much scheduling state either side holds)
+    #: while keeping the pool saturated.
     PIPELINE_WINDOW = 32
 
     def __init__(
@@ -99,38 +103,55 @@ class DualityClient:
             raise
         return request_id
 
-    def _receive(self, request_id: int) -> dict:
-        """Read one response line and match it to ``request_id``.
+    def _read_response(self) -> dict:
+        """Read the next response line off the wire, whatever its id.
 
-        Any failure here — a timeout, a cut connection, a malformed or
-        out-of-order response — closes the client: after a missed or
-        half-read answer the stream has no trustworthy next frame, and
-        a late response would be mis-matched to the next request.
+        Any failure here — a timeout, a cut connection, a malformed
+        response — closes the client: after a missed or half-read
+        answer the stream has no trustworthy next frame.
         """
         self._require_open()
-        import json
-
         try:
             line = self._reader.readline()
             if line is None:
                 raise ConnectionError(
                     "server closed the connection before answering"
                 )
-            try:
-                response = json.loads(line.decode("utf-8"))
-            except (UnicodeDecodeError, ValueError) as exc:
-                raise ProtocolError(f"malformed response line: {exc}") from exc
-            if not isinstance(response, dict):
-                raise ProtocolError(f"response is not an object: {response!r}")
-            if response.get("id") != request_id:
-                raise ProtocolError(
-                    f"response id {response.get('id')!r} does not match "
-                    f"request id {request_id} (responses must arrive in order)"
-                )
+            return parse_response(line)
         except BaseException:
             self.close()
             raise
+
+    def _receive(self, request_id: int) -> dict:
+        """Read one response line and match it to ``request_id``.
+
+        For single-outstanding-request round trips: with nothing else
+        in flight the next response *must* answer this request, so a
+        mismatched id is a desynced stream and closes the client.
+        Pipelined callers use :meth:`_receive_any` instead, because the
+        concurrent server legitimately answers out of request order.
+        """
+        response = self._read_response()
+        if response.get("id") != request_id:
+            self.close()
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match request "
+                f"id {request_id} (no other request was outstanding)"
+            )
         return response
+
+    def _receive_any(self, outstanding: set[int]) -> tuple[int, dict]:
+        """Read the next response and match it to *some* outstanding id."""
+        response = self._read_response()
+        request_id = response.get("id")
+        if request_id not in outstanding:
+            self.close()
+            raise ProtocolError(
+                f"response id {request_id!r} does not match any outstanding "
+                f"request ({sorted(outstanding)})"
+            )
+        outstanding.discard(request_id)
+        return request_id, response
 
     def request(self, request: dict) -> dict:
         """One raw request/response round trip (ids handled here)."""
@@ -176,15 +197,17 @@ class DualityClient:
         return self._checked(self.request(request))
 
     def solve_many(self, instances, method: str | None = None) -> list[dict]:
-        """Decide a batch, pipelined: all requests out, then all answers.
+        """Decide a batch, pipelined; results in input order regardless.
 
         ``instances`` mixes ``(G, H)`` pairs and client-side ``.hg``
-        paths.  Responses come back in input order; a per-request error
-        is returned as its ``"ok": false`` object instead of raised, so
+        paths.  Requests stream onto the socket through a bounded
+        window and answers are accepted **in whatever order the
+        server's scheduler finishes them** — a slow instance never
+        delays collection of the fast ones behind it.  The returned
+        list is nevertheless in input order; a per-request error is
+        returned as its ``"ok": false`` object instead of raised, so
         the rest of the batch still gets verdicts.
         """
-        from collections import deque
-
         requests = [
             self._solve_request(
                 load_instance(item) if isinstance(item, (str, Path)) else item,
@@ -192,15 +215,20 @@ class DualityClient:
             )
             for item in instances
         ]
-        responses: list[dict] = []
-        pending: deque[int] = deque()
+        order: list[int] = []
+        arrived: dict[int, dict] = {}
+        outstanding: set[int] = set()
         for request in requests:
-            pending.append(self._send(request))
-            if len(pending) >= self.PIPELINE_WINDOW:
-                responses.append(self._receive(pending.popleft()))
-        while pending:
-            responses.append(self._receive(pending.popleft()))
-        return responses
+            request_id = self._send(request)
+            order.append(request_id)
+            outstanding.add(request_id)
+            if len(outstanding) >= self.PIPELINE_WINDOW:
+                request_id, response = self._receive_any(outstanding)
+                arrived[request_id] = response
+        while outstanding:
+            request_id, response = self._receive_any(outstanding)
+            arrived[request_id] = response
+        return [arrived[request_id] for request_id in order]
 
     def shutdown_server(self) -> dict:
         """Ask the server to shut down gracefully (drain, flush, close)."""

@@ -26,6 +26,18 @@ Responses carry ``"ok": true`` plus the verdict fields of
 ``error`` object ``{"type", "message"}`` — errors are *per request*;
 they never tear down the connection, let alone the server.
 
+**Responses may arrive out of request order.**  The server schedules
+every solve on a shared worker pool and writes each response the
+moment its verdict exists, so a fast instance overtakes a slow one
+pipelined before it — that is the whole point of the concurrent
+scheduler.  The echoed ``id`` is the correlation key: clients that
+pipeline must match responses to requests by ``id``
+(:meth:`repro.net.client.DualityClient.solve_many` does, and still
+returns results in input order).  Non-solve ops (``ping``, ``stats``,
+``shutdown``) are answered inline by the connection's reader, and one
+connection's response lines never interleave mid-line (a dedicated
+writer serialises them).
+
 Framing is length-sane: a line longer than ``max_line_bytes`` (default
 :data:`MAX_LINE_BYTES`) is refused with a protocol error and the
 connection is closed, because a half-read oversized line has no
@@ -124,6 +136,22 @@ def parse_request(line: bytes) -> dict:
             f"unknown op {op!r}; valid ops: {', '.join(OPERATIONS)}"
         )
     return request
+
+
+def parse_response(line: bytes) -> dict:
+    """Decode one response line into its dict; raises :class:`ProtocolError`.
+
+    Shape checks only — correlation (matching the echoed ``id`` to an
+    outstanding request) is the caller's job, because pipelined
+    responses legitimately arrive out of request order.
+    """
+    try:
+        response = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"malformed response line: {exc}") from exc
+    if not isinstance(response, dict):
+        raise ProtocolError(f"response is not an object: {response!r}")
+    return response
 
 
 class LineReader:

@@ -1,32 +1,45 @@
-"""A threaded TCP front end over :class:`~repro.service.EngineService`.
+"""A concurrent TCP front end over the :mod:`repro.service` scheduler.
 
-Many clients, one warm pool: the server owns a single
-:class:`~repro.service.pool.EnginePool` and a single (thread-safe)
-:class:`~repro.parallel.batch.ResultCache`, and multiplexes every
-connection onto them — one accept loop, one handler thread per
-connection, one solve at a time through the shared service lock (the
-pool is the compute resource; the lock just keeps the submit/drain
-queue coherent).  Per-request ``method`` overrides are served by
-per-method :class:`EngineService` views that all borrow the same pool
-and cache, so a mixed-engine workload still shares every warm worker
-and every cached verdict.
+Many clients, one warm pool — and since PR 5, **many solves at once**:
+the server owns a single :class:`~repro.service.pool.EnginePool` and a
+single (thread-safe) :class:`~repro.parallel.batch.ResultCache`, and
+every connection dispatches its requests straight to the shared
+scheduler.  There is no solve lock: each request becomes a
+:class:`~repro.service.ServiceTicket`, and its response is written to
+the wire **the moment it completes — out of request order** when a
+fast instance overtakes a slow one.  The protocol already correlates
+by ``id`` (echoed back verbatim), and
+:meth:`~repro.net.client.DualityClient.solve_many` re-orders arrivals,
+so a slow instance on one connection never head-of-line-blocks fast
+requests on another (or even on the same) connection.  Per-request
+``method`` overrides are served by per-method
+:class:`~repro.service.EngineService` views that all borrow the same
+pool and cache, so a mixed-engine workload still shares every warm
+worker and every cached verdict.
+
+Each connection runs two threads: a *reader* that parses request lines
+and dispatches tickets, and a *writer* that drains a FIFO outbox onto
+the socket — completion callbacks only ever enqueue, so a client that
+is slow to read its responses stalls its own writer thread and nobody
+else's.
 
 Lifecycle: :meth:`DualityServer.start` binds and spawns the accept
 loop; :meth:`DualityServer.shutdown` (or a client ``shutdown`` request,
-or ``KeyboardInterrupt`` in the CLI) drains in-flight requests, flushes
-the cache atomically to its path, then closes the pool.  Handler
-threads poll the closing flag between requests on a short socket
-timeout, so shutdown is graceful but bounded.
+or ``KeyboardInterrupt`` in the CLI) waits for in-flight tickets to
+deliver, flushes the cache atomically to its path, then closes the
+pool.  Handler threads poll the closing flag between requests on a
+short socket timeout, so shutdown is graceful but bounded.
 
-Crash-safety: the cache is also persisted after every computed verdict
-(``autosave_every``; default 1), so even a ``kill -9``'d server loses
-no verdict it already answered, and the atomic
-:meth:`~repro.parallel.batch.ResultCache.save` guarantees the file on
-disk is always a loadable generation.
+Crash-safety: the cache is persisted after every computed verdict
+(``autosave_every``; default 1) *before* the verdict is written to the
+wire, so even a ``kill -9``'d server loses no verdict a client ever
+saw, and the atomic :meth:`~repro.parallel.batch.ResultCache.save`
+guarantees the file on disk is always a loadable generation.
 """
 
 from __future__ import annotations
 
+import queue
 import socket
 import threading
 from pathlib import Path
@@ -54,8 +67,92 @@ def parse_address(text: str) -> tuple[str, int]:
     return host or "127.0.0.1", int(port)
 
 
+class _Connection:
+    """One client connection: a reader's socket plus an ordered writer.
+
+    Completion callbacks (and the reader itself) never touch the socket
+    directly — they :meth:`send` payloads into a FIFO outbox that a
+    dedicated writer thread drains.  That gives every connection
+    strictly ordered, non-interleaved response lines with no lock
+    around the socket, and confines a stalled client to its own writer.
+
+    The writer sends on a ``dup()`` of the socket so its (generous)
+    send timeout never races the reader's short poll timeout — socket
+    timeouts live on the Python socket object, not the connection.
+    """
+
+    _CLOSE = object()
+
+    def __init__(self, sock: socket.socket, index: int, send_timeout: float):
+        self.sock = sock
+        self.dead = False  # a send failed; the wire is untrustworthy
+        self._wire = sock.dup()
+        self._wire.settimeout(send_timeout)
+        self._outbox: queue.SimpleQueue = queue.SimpleQueue()
+        self._pending = 0
+        self._cond = threading.Condition()
+        self._finished = False
+        self.writer = threading.Thread(
+            target=self._write_loop, name=f"duality-send-{index}", daemon=True
+        )
+        self.writer.start()
+
+    # -- in-flight accounting (per connection) -------------------------
+
+    def track(self) -> None:
+        with self._cond:
+            self._pending += 1
+
+    def settle(self) -> None:
+        with self._cond:
+            self._pending -= 1
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until every tracked request has been delivered."""
+        with self._cond:
+            return self._cond.wait_for(lambda: self._pending == 0, timeout)
+
+    # -- the write side -------------------------------------------------
+
+    def send(self, payload: dict) -> None:
+        """Enqueue one response line (FIFO; dropped once the wire died)."""
+        self._outbox.put(payload)
+
+    def _write_loop(self) -> None:
+        while True:
+            payload = self._outbox.get()
+            if payload is self._CLOSE:
+                return
+            if self.dead:
+                continue  # discard: the client is gone
+            try:
+                send_json(self._wire, payload)
+            except OSError:
+                # Stalled past the send timeout or vanished: this
+                # connection is over, but its in-flight verdicts are
+                # already cached — only the delivery is lost.
+                self.dead = True
+
+    def finish(self, timeout: float = 10.0) -> None:
+        """Flush the outbox and stop the writer (idempotent)."""
+        if not self._finished:
+            self._finished = True
+            self._outbox.put(self._CLOSE)
+        if self.writer is not threading.current_thread():
+            self.writer.join(timeout)
+
+    def close(self) -> None:
+        self.finish()
+        for sock in (self._wire, self.sock):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
 class DualityServer:
-    """JSON-lines-over-TCP duality service: shared pool, shared cache."""
+    """JSON-lines-over-TCP duality scheduler: shared pool, shared cache."""
 
     #: How often (seconds) idle handler threads poll the closing flag.
     POLL_INTERVAL = 0.2
@@ -63,6 +160,10 @@ class DualityServer:
     #: How long (seconds) one response write may take before the client
     #: is declared stalled and its connection dropped.
     SEND_TIMEOUT = 30.0
+
+    #: How long (seconds) a closing connection or server waits for its
+    #: in-flight tickets to deliver before giving up on them.
+    DRAIN_TIMEOUT = 30.0
 
     def __init__(
         self,
@@ -73,6 +174,7 @@ class DualityServer:
         cache: ResultCache | str | Path | None = None,
         max_line_bytes: int = MAX_LINE_BYTES,
         autosave_every: int = 1,
+        cache_max_entries: int | None = None,
     ) -> None:
         """Configure a server (nothing binds until :meth:`start`).
 
@@ -80,10 +182,11 @@ class DualityServer:
         :attr:`address` after ``start``).  ``cache`` follows
         :class:`EngineService`'s convention: a live cache, a JSON path
         (loaded tolerantly now, flushed atomically while serving), or
-        ``None``.  ``autosave_every`` persists the path-backed cache
-        once at least that many new verdicts accumulated (1 = after
-        every computed verdict; 0 disables autosave, leaving only the
-        shutdown flush).
+        ``None``; ``cache_max_entries`` caps a path-loaded cache with
+        LRU eviction (``None`` = unbounded).  ``autosave_every``
+        persists the path-backed cache once at least that many new
+        verdicts accumulated (1 = after every computed verdict; 0
+        disables autosave, leaving only the shutdown flush).
         """
         self._host = host
         self._port = port
@@ -94,24 +197,31 @@ class DualityServer:
         self._cache_path: Path | None = None
         if isinstance(cache, (str, Path)):
             self._cache_path = Path(cache)
-            self.cache: ResultCache | None = ResultCache.load(self._cache_path)
+            self.cache: ResultCache | None = ResultCache.load(
+                self._cache_path, max_entries=cache_max_entries
+            )
         else:
             self.cache = cache
         self.pool = EnginePool(n_jobs)
         self._services: dict[str, EngineService] = {}
         # Guards the _services dict itself (stats() snapshots it while
-        # solves insert); _solve_lock stays the coarse solve serializer
-        # so a cheap stats request never queues behind a long solve.
+        # handler threads insert); there is no solve lock — requests
+        # from every connection schedule concurrently on the pool.
         self._services_lock = threading.Lock()
-        self._solve_lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._handlers: list[threading.Thread] = []
-        self._connections: set[socket.socket] = set()
+        self._connections: set[_Connection] = set()
         self._conn_lock = threading.Lock()
         self._closing = threading.Event()
         self._stopped = threading.Event()
         self._count_lock = threading.Lock()
+        # Server-wide in-flight tickets: shutdown waits for this to hit
+        # zero so every scheduled verdict gets delivered (or its
+        # connection declared dead) before the pool closes.
+        self._inflight = 0
+        self._idle = threading.Event()
+        self._idle.set()
         self.connections_accepted = 0
         self.requests_served = 0
         self.errors = 0
@@ -161,7 +271,8 @@ class DualityServer:
         return self
 
     def shutdown(self, timeout: float = 30.0) -> None:
-        """Stop serving gracefully: drain, flush the cache, close the pool.
+        """Stop serving gracefully: deliver in-flight verdicts, flush
+        the cache, close the pool.
 
         Safe to call from any thread (including a handler answering a
         ``shutdown`` request) and idempotent.  In-flight requests finish
@@ -211,10 +322,12 @@ class DualityServer:
                     continue  # poll tick: re-check the closing flag
                 except OSError:
                     break  # listener closed by shutdown
-                conn.settimeout(None)  # handlers set their own timeout
                 self._count("connections_accepted")
+                connection = _Connection(
+                    conn, self.connections_accepted, self.SEND_TIMEOUT
+                )
                 with self._conn_lock:
-                    self._connections.add(conn)
+                    self._connections.add(connection)
                 # Drop finished handler threads so a long-lived server
                 # doesn't accumulate one dead Thread per connection.
                 self._handlers = [
@@ -222,7 +335,7 @@ class DualityServer:
                 ]
                 handler = threading.Thread(
                     target=self._handle,
-                    args=(conn,),
+                    args=(connection,),
                     name=f"duality-conn-{self.connections_accepted}",
                     daemon=True,
                 )
@@ -235,35 +348,37 @@ class DualityServer:
     def _finalize(self) -> None:
         if self._stopped.is_set():
             return
+        # Every scheduled ticket delivers (or its client is declared
+        # dead) before the workers disappear underneath it.
+        self._idle.wait(self.DRAIN_TIMEOUT)
         for handler in self._handlers:
             if handler is not threading.current_thread():
                 handler.join(timeout=10)
         with self._conn_lock:
             leftover = list(self._connections)
             self._connections.clear()
-        for conn in leftover:  # pragma: no cover - stragglers only
-            try:
-                conn.close()
-            except OSError:
-                pass
-        with self._solve_lock:
-            for service in self._services.values():
-                service.close()  # borrowed pool/cache survive
-            if self._cache_path is not None and self.cache is not None:
-                if self.cache.new_since_save:
-                    self.cache.save(self._cache_path)
-            self.pool.shutdown()
+        for connection in leftover:  # pragma: no cover - stragglers only
+            connection.close()
+        with self._services_lock:
+            services = list(self._services.values())
+        for service in services:
+            service.close()  # borrowed pool/cache survive
+        if self._cache_path is not None and self.cache is not None:
+            if self.cache.new_since_save:
+                self.cache.save(self._cache_path)
+        self.pool.shutdown()
         self._stopped.set()
 
     # ------------------------------------------------------------------
     # Per-connection handling
     # ------------------------------------------------------------------
 
-    def _handle(self, conn: socket.socket) -> None:
-        conn.settimeout(self.POLL_INTERVAL)
-        reader = LineReader(conn, self.max_line_bytes)
+    def _handle(self, connection: _Connection) -> None:
+        sock = connection.sock
+        sock.settimeout(self.POLL_INTERVAL)
+        reader = LineReader(sock, self.max_line_bytes)
         try:
-            while not self._closing.is_set():
+            while not self._closing.is_set() and not connection.dead:
                 try:
                     line = reader.readline()
                 except TimeoutError:
@@ -271,76 +386,67 @@ class DualityServer:
                 except LineTooLong as exc:
                     # No trustworthy framing past an oversized line:
                     # report and hang up, leaving other clients alone.
-                    self._send_error(conn, None, exc)
+                    self._send_error(connection, None, exc)
                     break
                 if line is None:  # clean EOF or mid-request disconnect
                     break
                 if not line.strip():
                     continue
-                if not self._serve_line(conn, line):
+                if not self._serve_line(connection, line):
                     break
         except OSError:
-            # The client vanished mid-read or mid-write; its in-flight
-            # request (if any) is abandoned with it.
+            # The client vanished mid-read; its in-flight requests (if
+            # any) still resolve below — their sends just go nowhere.
             pass
         finally:
+            # Let this connection's in-flight tickets deliver, flush
+            # the outbox in order, then release the sockets.
+            connection.wait_idle(self.DRAIN_TIMEOUT)
             with self._conn_lock:
-                self._connections.discard(conn)
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
+                self._connections.discard(connection)
+            connection.close()
 
-    def _serve_line(self, conn: socket.socket, line: bytes) -> bool:
-        """Answer one request line; False ends the connection."""
+    def _serve_line(self, connection: _Connection, line: bytes) -> bool:
+        """Dispatch one request line; False ends the connection."""
         try:
             request = parse_request(line)
         except ProtocolError as exc:
-            self._send_error(conn, None, exc)
+            self._send_error(connection, None, exc)
             return True  # framing is intact: keep serving this client
         request_id = request.get("id")
         op = request.get("op", "solve")
-        try:
-            if op == "ping":
-                payload = {"id": request_id, "ok": True, "pong": True}
-            elif op == "stats":
-                payload = {"id": request_id, "ok": True, "stats": self.stats()}
-            elif op == "shutdown":
-                payload = {"id": request_id, "ok": True, "shutting_down": True}
-            else:
-                response = self._solve_request(request)
-                payload = {"ok": True}
-                payload.update(response_to_json(response))
-                payload["id"] = request_id  # the wire id wins over the queue's
-            # Count before sending: the moment the client has its
-            # answer, stats() must already reflect it.
+        if op == "ping":
             self._count("requests_served")
-        except Exception as exc:  # noqa: BLE001 - per-request error object
-            self._send_error(conn, request_id, exc)
+            connection.send({"id": request_id, "ok": True, "pong": True})
             return True
-        self._send(conn, payload)
+        if op == "stats":
+            self._count("requests_served")
+            connection.send({"id": request_id, "ok": True, "stats": self.stats()})
+            return True
         if op == "shutdown":
+            # This connection's own solves are tracked; once they have
+            # been enqueued, FIFO ordering puts them on the wire before
+            # the shutdown acknowledgement.
+            connection.wait_idle(self.DRAIN_TIMEOUT)
+            self._count("requests_served")
+            connection.send(
+                {"id": request_id, "ok": True, "shutting_down": True}
+            )
             self._begin_shutdown()
             return False
+        try:
+            ticket = self._dispatch(request)
+        except Exception as exc:  # noqa: BLE001 - per-request error object
+            self._send_error(connection, request_id, exc)
+            return True
+        self._track(connection)
+        ticket.add_done_callback(
+            lambda t: self._deliver(connection, request_id, t)
+        )
         return True
 
-    def _send(self, conn: socket.socket, payload: dict) -> None:
-        """One response write under its own (generous) timeout.
-
-        The per-connection poll timeout is for *reads*; a multi-second
-        write just means the client is slow draining its buffer, not
-        that anything is wrong.  A send that fails anyway — the client
-        stalled past :data:`SEND_TIMEOUT` or vanished — propagates its
-        ``OSError`` so the handler drops the connection: after a
-        partial line there is no way to keep the stream coherent.
-        """
-        conn.settimeout(self.SEND_TIMEOUT)
-        try:
-            send_json(conn, payload)
-        finally:
-            conn.settimeout(self.POLL_INTERVAL)
-
-    def _solve_request(self, request: dict):
+    def _dispatch(self, request: dict):
+        """Schedule one solve on the shared scheduler; its ticket."""
         method = request.get("method") or self.method
         if not isinstance(method, str):
             raise ProtocolError(f"method must be a string, got {method!r}")
@@ -356,28 +462,57 @@ class DualityServer:
                 "a solve request needs either inline 'g' and 'h' "
                 "hypergraphs or a server-side 'path'"
             )
-        with self._solve_lock:
-            service = self._service_for(method)
-            if isinstance(instance, str):
-                response = service.solve_file(instance)
-            else:
-                response = service.solve(*instance)
+        service = self._service_for(method)
+        return service.submit(instance, collect=False)
+
+    def _deliver(self, connection: _Connection, request_id, ticket) -> None:
+        """One ticket resolved: put its response on the connection's wire.
+
+        Runs in whatever thread completed the solve — never blocks on
+        the socket itself (that is the writer thread's job).
+        """
+        try:
+            error = ticket.exception()
+            if error is not None:
+                self._send_error(connection, request_id, error)
+                return
+            payload = {"ok": True}
+            payload.update(response_to_json(ticket.result()))
+            payload["id"] = request_id  # the wire id wins over the queue's
+            # Persist before the client can read the verdict: a crash
+            # after this send loses nothing the client saw.
             self._maybe_autosave()
-        return response
+            self._count("requests_served")
+            connection.send(payload)
+        finally:
+            self._settle(connection)
+
+    def _track(self, connection: _Connection) -> None:
+        connection.track()
+        with self._count_lock:
+            self._inflight += 1
+            self._idle.clear()
+
+    def _settle(self, connection: _Connection) -> None:
+        connection.settle()
+        with self._count_lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
 
     def _service_for(self, method: str) -> EngineService:
         """The per-method service view (shared pool, shared cache)."""
         with self._services_lock:
             service = self._services.get(method)
-        if service is None:
-            service = EngineService(
-                method=method,
-                # A portfolio winner is timing-dependent — exactly what
-                # a replay cache must not store (solve_many's rule).
-                cache=None if method == "portfolio" else self.cache,
-                pool=self.pool,
-            )
-            with self._services_lock:
+            if service is None:
+                service = EngineService(
+                    method=method,
+                    # A portfolio winner is timing-dependent — exactly
+                    # what a replay cache must not store (solve_many's
+                    # rule).
+                    cache=None if method == "portfolio" else self.cache,
+                    pool=self.pool,
+                )
                 self._services[method] = service
         return service
 
@@ -391,13 +526,10 @@ class DualityServer:
             self.cache.save(self._cache_path)
 
     def _send_error(
-        self, conn: socket.socket, request_id, exc: Exception
+        self, connection: _Connection, request_id, exc: Exception
     ) -> None:
         self._count("errors")
-        # A failed error write propagates like any failed response
-        # write: the handler closes the connection.
-        self._send(
-            conn,
+        connection.send(
             {
                 "id": request_id,
                 "ok": False,
@@ -405,7 +537,7 @@ class DualityServer:
                     "type": type(exc).__name__,
                     "message": str(exc),
                 },
-            },
+            }
         )
 
     # ------------------------------------------------------------------
@@ -419,6 +551,7 @@ class DualityServer:
             "n_jobs": self.pool.n_jobs,
             "connections_accepted": self.connections_accepted,
             "requests_served": self.requests_served,
+            "requests_inflight": self._inflight,
             "errors": self.errors,
             "pool_generations": self.pool.generations,
             "pool_restarts": self.pool.restarts,

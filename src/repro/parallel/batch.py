@@ -29,6 +29,7 @@ import tempfile
 import threading
 import time
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -62,6 +63,15 @@ class ResultCache:
     Replayed results carry fresh stats with ``extra["cached"] = True`` —
     work counters are not replayed, only the answer is.
 
+    ``max_entries`` bounds the cache with LRU eviction: both
+    :meth:`get` (a hit) and :meth:`put` refresh an entry's recency, and
+    once the cap is exceeded the least-recently-used entries are
+    dropped (counted in ``evictions``).  The default ``None`` keeps the
+    cache unbounded — the pre-PR-5 behaviour.  Persistence preserves
+    the recency order (least-recent first on disk), so a bounded cache
+    reloaded across sessions evicts the same entries it would have kept
+    evicting.
+
     The cache is thread-safe: a long-lived service multiplexes many
     connection handlers onto one instance, so every read and write
     takes an internal lock, and :meth:`save` is atomic (a temp-file
@@ -69,12 +79,25 @@ class ResultCache:
     previous generation of the file intact, never a truncated one.
     """
 
-    def __init__(self) -> None:
-        self._entries: dict[str, DualityResult] = {}
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be a positive cap or None, got {max_entries}"
+            )
+        self._entries: OrderedDict[str, DualityResult] = OrderedDict()
         self._lock = threading.RLock()
+        # Serializes whole save() calls (snapshot through os.replace).
+        # The entry lock alone is not enough: two concurrent autosaves
+        # could snapshot in one order and os.replace in the other,
+        # leaving an *older* snapshot as the file on disk — losing a
+        # verdict some client already received.  Savers queue; readers
+        # and writers of entries never wait on disk I/O.
+        self._save_lock = threading.Lock()
         self._new_since_save = 0
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -95,19 +118,34 @@ class ResultCache:
             return self._new_since_save
 
     def get(self, key: str) -> DualityResult | None:
-        """The cached result for ``key``, counting the hit/miss."""
+        """The cached result for ``key``, counting the hit/miss.
+
+        A hit refreshes the entry's recency (it becomes the last one an
+        LRU eviction would drop).
+        """
         with self._lock:
             result = self._entries.get(key)
             if result is None:
                 self.misses += 1
                 return None
+            self._entries.move_to_end(key)
             self.hits += 1
             return result
 
     def put(self, key: str, result: DualityResult) -> None:
         with self._lock:
             self._entries[key] = result
+            self._entries.move_to_end(key)
             self._new_since_save += 1
+            self._evict_over_cap()
+
+    def _evict_over_cap(self) -> None:
+        # Caller holds self._lock.
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
 
     # ------------------------------------------------------------------
     # Persistence
@@ -148,55 +186,65 @@ class ResultCache:
     def save(self, path: str | Path) -> int:
         """Write the JSON-representable entries; returns how many.
 
-        The write is atomic: the JSON lands in a temp sibling first and
-        is ``os.replace``d into place, so a crash (even ``kill -9``)
-        mid-save leaves either the previous generation of the file or
-        the new one — never a truncated, unparseable hybrid.
+        Entries land in recency order (least-recently-used first), so a
+        bounded cache survives a save/load round trip with its eviction
+        order intact.  The write is atomic: the JSON lands in a temp
+        sibling first and is ``os.replace``d into place, so a crash
+        (even ``kill -9``) mid-save leaves either the previous
+        generation of the file or the new one — never a truncated,
+        unparseable hybrid.
         """
-        with self._lock:
-            out = {}
-            for key, result in self._entries.items():
-                entry = self._entry_to_json(result)
-                if entry is not None:
-                    out[key] = entry
-            snapshotted = self._new_since_save
-        path = Path(path)
-        data = json.dumps(out, indent=1, sort_keys=True) + "\n"
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
+        with self._save_lock:
+            with self._lock:
+                out = {}
+                for key, result in self._entries.items():
+                    entry = self._entry_to_json(result)
+                    if entry is not None:
+                        out[key] = entry
+                snapshotted = self._new_since_save
+            path = Path(path)
+            data = json.dumps(out, indent=1) + "\n"
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        with self._lock:
-            # Only a *successful* write retires the dirty count — a
-            # failed save must leave the entries marked unsaved so the
-            # next flush (or the shutdown flush) retries them.  Entries
-            # added while the file was being written stay counted.
-            self._new_since_save -= min(snapshotted, self._new_since_save)
-        return len(out)
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            with self._lock:
+                # Only a *successful* write retires the dirty count — a
+                # failed save must leave the entries marked unsaved so
+                # the next flush (or the shutdown flush) retries them.
+                # Entries added while the file was being written stay
+                # counted.
+                self._new_since_save -= min(snapshotted, self._new_since_save)
+            return len(out)
 
     @classmethod
-    def load(cls, path: str | Path) -> "ResultCache":
+    def load(
+        cls, path: str | Path, max_entries: int | None = None
+    ) -> "ResultCache":
         """Read a cache written by :meth:`save` (missing file → empty).
 
-        Entries from older cache formats (pre-codec plain witnesses)
-        fail to decode and are dropped — a stale entry becomes a miss,
-        never a wrong answer.  The same degrade-to-misses rule covers
-        the whole file: an unreadable or corrupt cache yields an empty
-        cache with a warning, so a damaged file can cost recomputation
-        but can never block a service from starting.
+        ``max_entries`` caps the loaded cache with LRU eviction; a file
+        larger than the cap keeps only its most recent entries (files
+        store least-recent first).  Entries from older cache formats
+        (pre-codec plain witnesses) fail to decode and are dropped — a
+        stale entry becomes a miss, never a wrong answer.  The same
+        degrade-to-misses rule covers the whole file: an unreadable or
+        corrupt cache yields an empty cache with a warning, so a
+        damaged file can cost recomputation but can never block a
+        service from starting.
         """
-        cache = cls()
+        cache = cls(max_entries=max_entries)
         path = Path(path)
         if not path.exists():
             return cache
@@ -218,11 +266,16 @@ class ResultCache:
                 stacklevel=2,
             )
             return cache
-        for key, entry in raw.items():
-            try:
-                cache._entries[key] = cls._entry_from_json(entry)
-            except (CodecError, KeyError, TypeError, ValueError):
-                continue
+        with cache._lock:
+            # File order is recency order (least-recent first): insert
+            # in order and let the cap evict from the front, so only
+            # the most recent entries survive an over-cap load.
+            for key, entry in raw.items():
+                try:
+                    cache._entries[key] = cls._entry_from_json(entry)
+                except (CodecError, KeyError, TypeError, ValueError):
+                    continue
+            cache._evict_over_cap()
         return cache
 
 
@@ -295,10 +348,15 @@ def solve_many(
         A :class:`ResultCache` consulted before solving and updated
         after; hits replay the stored result with ``elapsed_s = 0``.
     pool:
-        An already-warm pool with a ``map(fn, items)`` method — normally
-        a :class:`repro.service.EnginePool` — to reuse across batches
-        instead of paying the per-call worker spawn.  The caller owns
-        its lifecycle (this function never shuts it down).
+        An already-warm pool — normally a
+        :class:`repro.service.EnginePool` — to reuse across batches
+        instead of paying the per-call worker spawn.  A pool exposing
+        the futures API (``submit(fn, item, collect=False)``) gets each
+        cache miss scheduled as its own future — the same per-item
+        scheduler the engine service runs on, with per-item
+        worker-death retry; a plain ``map(fn, items)`` pool falls back
+        to the lock-step batch.  The caller owns the pool's lifecycle
+        (this function never shuts it down).
 
     Results come back in input order, and each miss is solved by the
     ordinary serial engine inside its worker — so the batch's verdicts
@@ -359,7 +417,19 @@ def solve_many(
 
     if pool is None:
         pool = WorkerPool(n_jobs)
-    outcomes = pool.map(solve_batch_entry, payloads)
+    if hasattr(pool, "submit"):
+        # The futures scheduler (EnginePool): one future per miss, kept
+        # out of the pool's drain batch so a service sharing the pool
+        # never collects our items.  Awaiting in submission order keeps
+        # error behaviour identical to the lock-step path (first
+        # failure, in order), while the items still run concurrently.
+        futures = [
+            pool.submit(solve_batch_entry, payload, collect=False)
+            for payload in payloads
+        ]
+        outcomes = [future.result() for future in futures]
+    else:
+        outcomes = pool.map(solve_batch_entry, payloads)
     solved = {
         keys[pos]: outcome for pos, outcome in zip(unique_positions, outcomes)
     }

@@ -1,29 +1,39 @@
-"""A persistent, reusable worker pool with an explicit lifecycle.
+"""A persistent worker pool whose unit of scheduling is one *future*.
 
 :class:`repro.parallel.executor.WorkerPool` is deliberately transient:
 every ``map`` spawns a fresh ``multiprocessing.Pool`` and tears it down.
 That is the right shape for one-shot library calls, but a service that
 answers many small requests pays the fork-and-import cost on every one
-of them.  :class:`EnginePool` keeps the workers *warm* instead:
+of them.  :class:`EnginePool` keeps the workers *warm* — and, since
+PR 5, hands every submission back as a :class:`PoolFuture`, so callers
+can overlap arbitrarily many work items and collect each one the moment
+it finishes instead of marching in lock-step batches:
 
 * **start / submit / drain / shutdown** — an explicit lifecycle.
-  ``start`` spawns the workers once; ``submit`` enqueues work and
-  returns a ticket; ``drain`` waits for everything outstanding and
-  hands the results back by ticket; ``shutdown`` releases the workers.
-  ``drain`` leaves the pool warm — submit→drain cycles can repeat
-  indefinitely on the same worker processes.
+  ``start`` spawns the workers once; ``submit`` enqueues one work item
+  and returns its :class:`PoolFuture` (``result()`` blocks for that
+  item alone, ``add_done_callback`` fires the instant it completes,
+  out of submission order when the workers finish out of order);
+  ``drain`` waits for everything submitted-for-collection and hands the
+  results back by ticket in submission order — the lock-step view,
+  kept for batch callers; ``shutdown`` releases the workers.  ``drain``
+  leaves the pool warm — submit→drain cycles can repeat indefinitely on
+  the same worker processes.
 * **deterministic fallback** — ``n_jobs=1`` never touches
-  ``multiprocessing``: work runs in-process in submission order, the
-  same convention the rest of :mod:`repro.parallel` uses, so tests and
-  single-core environments exercise identical code paths.
-* **worker-death recovery** — the process backend is
+  ``multiprocessing``: work runs in-process *in the submitting thread*
+  at submit time, so a single-threaded caller sees strict submission
+  order (the convention the rest of :mod:`repro.parallel` uses) while
+  multiple threads sharing one pool each still make progress.
+* **per-item worker-death recovery** — the process backend is
   :class:`concurrent.futures.ProcessPoolExecutor`, which (unlike
   ``multiprocessing.Pool``) *detects* an abruptly dead worker instead
-  of hanging.  The pool catches the broken-pool error, respawns the
-  workers (a new *generation*), and resubmits the work that never
-  completed.  Work functions must therefore be idempotent — every
-  function this library ships to workers is a pure decision procedure,
-  so re-running one is always safe.
+  of hanging.  A dead worker surfaces as a broken-pool outcome on the
+  futures that were in flight; the first such future respawns the
+  workers (a new *generation*) and every lost item resubmits itself —
+  **only** the lost items: futures that already completed keep their
+  results and are never re-run.  Work functions must therefore be
+  idempotent — every function this library ships to workers is a pure
+  decision procedure, so re-running one is always safe.
 * **observability** — ``generations`` counts worker spawns (a warm pool
   stays at 1 across arbitrarily many batches — the property the tests
   assert), ``tasks_completed``/``restarts`` count throughput and
@@ -33,12 +43,16 @@ of them.  :class:`EnginePool` keeps the workers *warm* instead:
 The pool is duck-compatible with ``WorkerPool`` (it has ``map``), so
 :func:`repro.parallel.batch.solve_many` and
 :func:`repro.parallel.executor.solve_shards` accept one via their
-``pool=`` parameter and reuse it across calls.
+``pool=`` parameter and reuse it across calls; ``solve_many``
+additionally recognises the richer ``submit`` API and schedules its
+cache misses as individual futures.
 """
 
 from __future__ import annotations
 
 import os
+import sys
+import threading
 from collections.abc import Callable, Iterable
 
 from repro.parallel.executor import resolve_n_jobs
@@ -53,34 +67,112 @@ def _probe_pid(_item) -> int:
     return os.getpid()
 
 
-class _Pending:
-    """One submitted work item: its payload and (eventually) outcome."""
+class Completion:
+    """The resolve-once core shared by pool futures and service tickets.
 
-    __slots__ = ("fn", "item", "future", "done", "value", "error")
+    One value-or-error slot behind an event, plus completion callbacks
+    that run exactly once — immediately, in the registering thread, when
+    the completion has already settled.  A callback exception is
+    reported to ``stderr`` and swallowed: callbacks run in whatever
+    thread resolved the completion (a worker-collection thread for
+    process pools), and one faulty observer must not take the collector
+    down with it.
+    """
 
-    def __init__(self, fn: Callable, item) -> None:
+    def __init__(self) -> None:
+        self._settled = threading.Event()
+        self._mutex = threading.Lock()
+        self._value = None
+        self._error: BaseException | None = None
+        self._callbacks: list[Callable] = []
+
+    def done(self) -> bool:
+        """True once a value or an error has been recorded."""
+        return self._settled.is_set()
+
+    def wait(self, timeout: float | None = None) -> None:
+        if not self._settled.wait(timeout):
+            raise TimeoutError(f"work item did not complete within {timeout}s")
+
+    def result(self, timeout: float | None = None):
+        """Block until settled; the value, or the error re-raised."""
+        self.wait(timeout)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block until settled; the recorded error (``None`` on success)."""
+        self.wait(timeout)
+        return self._error
+
+    def add_done_callback(self, fn: Callable) -> None:
+        """Run ``fn(owner)`` on completion (now, if already settled)."""
+        with self._mutex:
+            if not self._settled.is_set():
+                self._callbacks.append(fn)
+                return
+        self._run_callback(fn)
+
+    # -- resolution (the owning pool/service side) ---------------------
+
+    #: What completion callbacks receive; owners override with `self`.
+    owner = None
+
+    def resolve(self, value=None, error: BaseException | None = None) -> bool:
+        """Record the outcome once; False when already settled."""
+        with self._mutex:
+            if self._settled.is_set():
+                return False
+            self._value = value
+            self._error = error
+            callbacks, self._callbacks = self._callbacks, []
+            self._settled.set()
+        for fn in callbacks:
+            self._run_callback(fn)
+        return True
+
+    def _run_callback(self, fn: Callable) -> None:
+        try:
+            fn(self.owner if self.owner is not None else self)
+        except Exception:  # noqa: BLE001 - observer bug, not ours
+            import traceback
+
+            print("completion callback failed:", file=sys.stderr)
+            traceback.print_exc()
+
+
+class PoolFuture(Completion):
+    """One submitted work item: ticket, payload, and completion handle.
+
+    ``ticket`` is the submission-order serial number (the key
+    :meth:`EnginePool.drain` reports results under); ``fn``/``item``
+    ride along so a worker-death recovery can resubmit exactly this
+    item; ``attempts`` counts how many times it has been shipped to a
+    worker set.
+    """
+
+    def __init__(self, ticket: int, fn: Callable, item) -> None:
+        super().__init__()
+        self.ticket = ticket
         self.fn = fn
         self.item = item
-        self.future = None
-        self.done = False
-        self.value = None
-        self.error: BaseException | None = None
+        self.attempts = 0
 
-    def settle(self) -> None:
-        """Record the outcome of a finished future."""
-        if self.done or self.future is None:
-            return
-        try:
-            self.value = self.future.result()
-        except BaseException as exc:  # noqa: BLE001 - re-raised at collect
-            self.error = exc
-        self.done = True
+    @property
+    def owner(self):  # callbacks receive the future itself
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "pending"
+        return f"PoolFuture(ticket={self.ticket}, {state}, attempts={self.attempts})"
 
 
 class EnginePool:
-    """Warm worker processes with start/submit/drain/shutdown lifecycle."""
+    """Warm worker processes scheduling per-item :class:`PoolFuture`\\ s."""
 
-    #: How many times a broken worker set is respawned before giving up.
+    #: How many times one item is (re)shipped across worker-set deaths
+    #: before its future gives up with an error.
     MAX_RESTARTS = 3
 
     def __init__(self, n_jobs: int | None = 1) -> None:
@@ -88,7 +180,9 @@ class EnginePool:
         self._executor = None
         self._started = False
         self._closed = False
-        self._pending: dict[int, _Pending] = {}
+        self._lock = threading.RLock()
+        #: Futures submitted with ``collect=True`` and not yet drained.
+        self._collectable: dict[int, PoolFuture] = {}
         self._next_ticket = 0
         #: Worker-set spawns so far (1 after ``start`` until a recovery).
         self.generations = 0
@@ -111,14 +205,16 @@ class EnginePool:
 
     def start(self) -> "EnginePool":
         """Spawn the workers (idempotent; a no-op at ``n_jobs=1``)."""
-        if self._closed:
-            raise PoolClosedError("cannot start a pool after shutdown")
-        if not self._started:
-            self._started = True
-            self._spawn()
+        with self._lock:
+            if self._closed:
+                raise PoolClosedError("cannot start a pool after shutdown")
+            if not self._started:
+                self._started = True
+                self._spawn()
         return self
 
     def _spawn(self) -> None:
+        # Caller holds self._lock.
         self.generations += 1
         if self.n_jobs == 1:
             return
@@ -133,16 +229,25 @@ class EnginePool:
     def shutdown(self) -> None:
         """Release the workers.  Idempotent: repeated calls are no-ops.
 
-        Outstanding submissions are discarded (drain first if their
-        results matter).
+        Futures still in flight are resolved with
+        :class:`PoolClosedError` (after the executor has been given the
+        chance to cancel them), so no waiter ever hangs on a pool that
+        no longer exists.
         """
-        if self._closed:
-            return
-        self._closed = True
-        self._pending.clear()
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            undrained = list(self._collectable.values())
+            self._collectable.clear()
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        for future in undrained:
+            # Already-settled futures ignore this (resolve-once).
+            future.resolve(
+                error=PoolClosedError("pool was shut down with work in flight")
+            )
 
     def __enter__(self) -> "EnginePool":
         return self.start()
@@ -154,65 +259,156 @@ class EnginePool:
     # Work
     # ------------------------------------------------------------------
 
-    def submit(self, fn: Callable, item) -> int:
-        """Enqueue ``fn(item)``; returns a ticket for :meth:`drain`.
+    def submit(self, fn: Callable, item, *, collect: bool = True) -> PoolFuture:
+        """Schedule ``fn(item)``; returns its :class:`PoolFuture`.
 
         ``fn`` must be a module-level (picklable) function when
         ``n_jobs > 1``.  Submitting is legal any time before
         ``shutdown`` — including after a ``drain`` (the workers stay
-        warm between batches).
+        warm between batches) and from any thread.
+
+        With ``collect=True`` (the default) the future also joins the
+        pool's drain batch: the next :meth:`drain` blocks on it and
+        reports its result under ``future.ticket``.  Callers that await
+        futures themselves — the service scheduler, ``solve_many`` —
+        pass ``collect=False`` so their items never leak into another
+        caller's drain.
         """
-        if self._closed:
-            raise PoolClosedError(
-                "pool is shut down; create a new EnginePool to submit again"
-            )
-        self.start()
-        ticket = self._next_ticket
-        self._next_ticket += 1
-        pending = _Pending(fn, item)
-        self._pending[ticket] = pending
-        if self._executor is None:
-            # In-process mode: run right away, in submission order.
-            try:
-                pending.value = fn(item)
-            except BaseException as exc:  # noqa: BLE001 - re-raised at collect
-                pending.error = exc
-            pending.done = True
+        with self._lock:
+            if self._closed:
+                raise PoolClosedError(
+                    "pool is shut down; create a new EnginePool to submit again"
+                )
+            if not self._started:
+                self._started = True
+                self._spawn()
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            future = PoolFuture(ticket, fn, item)
+            if collect:
+                self._collectable[ticket] = future
+            executor = self._executor
+        if executor is None:
+            self._run_inline(future)
         else:
-            pending.future = self._executor.submit(fn, item)
-        return ticket
+            self._ship(future, executor)
+        return future
+
+    def _run_inline(self, future: PoolFuture) -> None:
+        """In-process mode: run now, in the submitting thread."""
+        future.attempts += 1
+        try:
+            value = future.fn(future.item)
+        except BaseException as exc:  # noqa: BLE001 - re-raised at result()
+            future.resolve(error=exc)
+        else:
+            with self._lock:
+                self.tasks_completed += 1
+            future.resolve(value=value)
+
+    def _ship(self, future: PoolFuture, executor) -> None:
+        """Hand one item to a live executor and watch its outcome."""
+        future.attempts += 1
+        try:
+            handle = executor.submit(future.fn, future.item)
+        except RuntimeError as exc:
+            # The executor was shut down between our lock release and
+            # the submit — the pool is closing.
+            future.resolve(error=PoolClosedError(str(exc)))
+            return
+        handle.add_done_callback(
+            lambda handle, future=future, executor=executor: self._settle(
+                future, handle, executor
+            )
+        )
+
+    def _settle(self, future: PoolFuture, handle, executor) -> None:
+        """Record one executor outcome (runs in the collector thread)."""
+        from concurrent.futures import BrokenExecutor, CancelledError
+
+        try:
+            value = handle.result()
+        except (BrokenExecutor, CancelledError):
+            # The worker set died under this item (or shutdown cancelled
+            # it) — the item itself is innocent.  Retry it on a fresh
+            # generation; completed siblings are untouched.
+            self._retry(future, executor)
+            return
+        except BaseException as exc:  # noqa: BLE001 - re-raised at result()
+            future.resolve(error=exc)
+            return
+        with self._lock:
+            self.tasks_completed += 1
+        future.resolve(value=value)
+
+    def _retry(self, future: PoolFuture, dead_executor) -> None:
+        with self._lock:
+            if self._closed:
+                future.resolve(
+                    error=PoolClosedError("pool was shut down with work in flight")
+                )
+                return
+            if future.attempts > self.MAX_RESTARTS:
+                future.resolve(
+                    error=RuntimeError(
+                        f"worker pool broke {future.attempts} times under one "
+                        f"item; giving up (restarts so far: {self.restarts})"
+                    )
+                )
+                return
+            if self._executor is dead_executor:
+                # First future to observe this dead worker set respawns
+                # it; the others find the fresh generation already up.
+                self.restarts += 1
+                dead_executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+                self._spawn()
+            executor = self._executor
+        self._ship(future, executor)
 
     def drain(self) -> dict[int, object]:
-        """Wait for every outstanding submission; results by ticket.
+        """Await every collectable submission; results by ticket.
 
-        The pool stays warm afterwards — ``submit`` keeps working on the
-        same worker processes.  If a worker died mid-batch, the workers
-        are respawned and the lost items re-run transparently (counted
-        in ``restarts``).  A work-function exception is re-raised here,
-        and the batch is cleared either way — a failed drain never
-        poisons the next one.
+        The pool stays warm afterwards — ``submit`` keeps working on
+        the same worker processes.  Futures are awaited in submission
+        order; a work-function exception is re-raised here (the first
+        one, in ticket order) after the whole batch has settled, and
+        the batch is cleared either way — a failed drain never poisons
+        the next one.
         """
-        tickets = sorted(self._pending)
-        try:
-            results = self._collect(tickets)
-        finally:
-            for ticket in tickets:
-                self._pending.pop(ticket, None)
+        with self._lock:
+            batch = sorted(self._collectable.items())
+            self._collectable.clear()
+        results: dict[int, object] = {}
+        first_error: BaseException | None = None
+        for ticket, future in batch:
+            error = future.exception()
+            if error is not None:
+                if first_error is None:
+                    first_error = error
+            else:
+                results[ticket] = future.result()
+        if first_error is not None:
+            raise first_error
         return results
 
     def map(self, fn: Callable, items: Iterable) -> list:
         """``[fn(item) for item in items]`` on the warm workers.
 
         Duck-compatible with ``WorkerPool.map``; unlike it, repeated
-        calls reuse the live workers instead of spawning per call.
+        calls reuse the live workers instead of spawning per call.  The
+        items run as individual futures (outside the drain batch), so a
+        concurrent ``drain`` by another thread never steals them.
         """
-        tickets = [self.submit(fn, item) for item in items]
-        try:
-            results = self._collect(tickets)
-        finally:
-            for ticket in tickets:
-                self._pending.pop(ticket, None)
-        return [results[ticket] for ticket in tickets]
+        futures = [self.submit(fn, item, collect=False) for item in items]
+        first_error: BaseException | None = None
+        for future in futures:
+            error = future.exception()
+            if error is not None and first_error is None:
+                first_error = error
+        if first_error is not None:
+            raise first_error
+        return [future.result() for future in futures]
 
     def worker_pids(self) -> frozenset[int]:
         """The PIDs actually answering work right now (self at ``n_jobs=1``).
@@ -221,65 +417,6 @@ class EnginePool:
         same set across batches, a respawned one a disjoint set.
         """
         return frozenset(self.map(_probe_pid, range(max(1, self.n_jobs))))
-
-    # ------------------------------------------------------------------
-    # Collection and recovery
-    # ------------------------------------------------------------------
-
-    def _collect(self, tickets: list[int]) -> dict[int, object]:
-        from concurrent.futures import BrokenExecutor
-
-        attempts = 0
-        while True:
-            broken = False
-            for ticket in tickets:
-                pending = self._pending[ticket]
-                if pending.done:
-                    continue
-                # settle() never raises (outcomes are recorded in
-                # .error); a dead worker surfaces as a BrokenExecutor
-                # *outcome*, which flags the whole batch for recovery.
-                pending.settle()
-                if isinstance(pending.error, BrokenExecutor):
-                    pending.done = False
-                    pending.error = None
-                    broken = True
-                    break
-            if not broken:
-                break
-            attempts += 1
-            if attempts > self.MAX_RESTARTS:
-                raise RuntimeError(
-                    f"worker pool broke {attempts} times; giving up "
-                    f"(restarts so far: {self.restarts})"
-                )
-            self._recover()
-
-        out: dict[int, object] = {}
-        for ticket in tickets:
-            pending = self._pending[ticket]
-            if pending.error is not None:
-                raise pending.error
-            self.tasks_completed += 1
-            out[ticket] = pending.value
-        return out
-
-    def _recover(self) -> None:
-        """Respawn the workers and resubmit everything unfinished."""
-        from concurrent.futures import BrokenExecutor
-
-        self.restarts += 1
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
-        self._spawn()
-        for pending in self._pending.values():
-            if pending.done and isinstance(pending.error, BrokenExecutor):
-                # A sibling casualty of the same dead worker set.
-                pending.done = False
-                pending.error = None
-            if not pending.done and self._executor is not None:
-                pending.future = self._executor.submit(pending.fn, pending.item)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else ("warm" if self._started else "new")

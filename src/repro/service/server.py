@@ -1,19 +1,29 @@
-"""The engine service: a long-lived front end over the warm pool.
+"""The engine service: a concurrent request scheduler over the warm pool.
 
 :class:`EngineService` is what ``repro serve`` (and any embedding
-application) talks to.  It owns three pieces and wires them in the
-right order:
+application) talks to.  Since PR 5 it is a *scheduler*, not a lock-step
+queue: every :meth:`EngineService.submit` returns a
+:class:`ServiceTicket` — a request id that is also a completion handle
+— and requests resolve **out of submission order**, the moment their
+verdict exists.  The pieces, wired in the right order:
 
-1. a :class:`~repro.parallel.batch.ResultCache` **in front** of the
-   queue — repeat instances are answered from the cache without ever
-   reaching a worker, and the cache optionally persists to disk so
-   hits survive across service sessions;
-2. a request queue — ``submit`` accepts instances (``(G, H)`` pairs or
-   ``.hg`` instance paths) and returns request ids; ``drain`` flushes
-   the queue through the pool and returns responses in submission
-   order;
-3. a persistent :class:`~repro.service.pool.EnginePool` — workers spawn
-   once per service lifetime, not once per request batch.
+1. a :class:`~repro.parallel.batch.ResultCache` consulted **at submit
+   time** — a repeat instance's ticket resolves instantly, without ever
+   reaching a worker, and the cache optionally persists to disk so hits
+   survive across service sessions;
+2. an in-flight index — identical instances submitted concurrently
+   share one computation (the first ticket is the primary, the rest
+   replay its verdict, exactly the dedup rule ``solve_many`` applies
+   within a batch);
+3. a persistent :class:`~repro.service.pool.EnginePool` — each cache
+   miss becomes one :class:`~repro.service.pool.PoolFuture`, so a slow
+   instance never blocks an unrelated fast one (no head-of-line
+   blocking), and a worker death retries only the lost items.
+
+:meth:`EngineService.drain` survives as the lock-step compatibility
+view: it awaits every collectable ticket and returns responses in
+submission order, bit-for-bit what serial ``decide_duality`` calls
+would produce.
 
 Verdicts stream as JSON-ready dicts (:func:`response_to_json`): vertex
 labels travel through the lossless codec of
@@ -23,14 +33,19 @@ strings round-trips its certificates exactly.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.duality.result import DualityResult
-from repro.hypergraph import Hypergraph
-from repro.parallel.batch import BatchItem, ResultCache, load_instance, solve_many
+from repro.hypergraph import Hypergraph, instance_key, mask_payload
+from repro.parallel.batch import (
+    ResultCache,
+    load_instance,
+    solve_batch_entry,
+)
 from repro.parallel.codec import CodecError, encode_vertex_set
-from repro.service.pool import EnginePool, PoolClosedError
+from repro.service.pool import Completion, EnginePool, PoolClosedError
 
 
 @dataclass(frozen=True)
@@ -39,7 +54,8 @@ class ServiceResponse:
 
     ``request_id`` is the ticket ``submit`` returned; ``source`` the
     instance file path (``None`` for in-memory pairs); ``cached`` True
-    when the verdict came from the cache instead of a worker.
+    when the verdict came from the cache (or an identical in-flight
+    request) instead of its own worker run.
     """
 
     request_id: int
@@ -54,8 +70,63 @@ class ServiceResponse:
         return self.result.is_dual
 
 
+class ServiceTicket(int):
+    """A request id that is also the request's completion handle.
+
+    Tickets compare, hash, and serialize as their integer request id —
+    existing callers that treated ``submit``'s return value as an id
+    keep working unchanged — and additionally expose the future API:
+    :meth:`done`, :meth:`result` (the :class:`ServiceResponse`, or the
+    request's error re-raised), :meth:`exception`, and
+    :meth:`add_done_callback` (fires with the ticket, in whatever
+    thread resolved it, the instant the verdict exists).
+    """
+
+    def __new__(cls, request_id: int, source: str | None, key: str):
+        self = super().__new__(cls, request_id)
+        self.source = source
+        self.key = key
+        self._completion = Completion()
+        self._completion.owner = self
+        return self
+
+    @property
+    def request_id(self) -> int:
+        return int(self)
+
+    def done(self) -> bool:
+        """True once the verdict (or the request's error) exists."""
+        return self._completion.done()
+
+    def result(self, timeout: float | None = None) -> ServiceResponse:
+        """Block until answered; the response, or the error re-raised."""
+        return self._completion.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block until answered; the recorded error (``None`` on success)."""
+        return self._completion.exception(timeout)
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(ticket)`` on completion (now, if already answered)."""
+        self._completion.add_done_callback(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "pending"
+        return f"ServiceTicket({int(self)}, {state})"
+
+
+class _Inflight:
+    """One in-flight computation and every ticket awaiting it."""
+
+    __slots__ = ("key", "tickets")
+
+    def __init__(self, key: str, ticket: ServiceTicket) -> None:
+        self.key = key
+        self.tickets = [ticket]
+
+
 class EngineService:
-    """A persistent duality-deciding service: cache → queue → warm pool."""
+    """A concurrent duality scheduler: cache → in-flight dedup → warm pool."""
 
     def __init__(
         self,
@@ -64,18 +135,21 @@ class EngineService:
         cache: ResultCache | str | Path | None = None,
         pool: EnginePool | None = None,
         autosave: bool = True,
+        cache_max_entries: int | None = None,
     ) -> None:
         """Start a service session.
 
         ``cache`` may be a live :class:`ResultCache`, a path (loaded
-        now, persisted after every :meth:`drain` that computed new
-        verdicts and again on :meth:`close` — the cross-session
+        now, persisted after every computed verdict while ``autosave``
+        holds and again on :meth:`close` — the cross-session
         persistence mode), or ``None`` for no caching.  ``autosave=
         False`` restores the save-only-on-close behaviour for callers
-        that batch their own persistence.  ``pool`` lets several
-        services share one warm :class:`EnginePool`; a pool the service
-        created itself is shut down on :meth:`close`, a borrowed one is
-        left running.
+        that batch their own persistence.  ``cache_max_entries`` caps a
+        path-loaded cache with LRU eviction (``None`` — the default —
+        keeps it unbounded; ignored for a live ``cache`` object, which
+        carries its own cap).  ``pool`` lets several services share one
+        warm :class:`EnginePool`; a pool the service created itself is
+        shut down on :meth:`close`, a borrowed one is left running.
         """
         self.method = method
         if method == "portfolio" and cache is not None:
@@ -91,109 +165,186 @@ class EngineService:
         self._autosave = autosave
         if isinstance(cache, (str, Path)):
             self._cache_path = Path(cache)
-            self.cache: ResultCache | None = ResultCache.load(self._cache_path)
+            self.cache: ResultCache | None = ResultCache.load(
+                self._cache_path, max_entries=cache_max_entries
+            )
         else:
             self.cache = cache
         self._owns_pool = pool is None
         self.pool = pool if pool is not None else EnginePool(n_jobs)
         self.pool.start()
-        self._queue: list[tuple[int, str | None, tuple]] = []
+        self._lock = threading.RLock()
+        self._undrained: list[ServiceTicket] = []
+        self._inflight: dict[str, _Inflight] = {}
         self._next_id = 0
         self.requests = 0
         self._closed = False
 
     # ------------------------------------------------------------------
-    # Queue
+    # The scheduler
     # ------------------------------------------------------------------
 
-    def submit(self, instance) -> int:
-        """Queue one instance: a ``(G, H)`` pair or a ``.hg`` path.
+    def submit(self, instance, *, collect: bool = True) -> ServiceTicket:
+        """Schedule one instance: a ``(G, H)`` pair or a ``.hg`` path.
 
-        Returns the request id used in the matching
-        :class:`ServiceResponse`.  Raises :class:`PoolClosedError`
-        after :meth:`close`.  Path instances are loaded *here*, so a
-        missing or malformed file fails its own submit with the caller
-        still knowing which request it was — it can never take down a
-        later ``drain`` (and the rest of the queue) with it.
+        Returns the request's :class:`ServiceTicket` (usable directly
+        as its integer request id).  The cache is consulted *here*: a
+        hit's ticket is already resolved when ``submit`` returns, and
+        never touches a worker.  An identical instance already in
+        flight is joined, not recomputed.  Raises
+        :class:`PoolClosedError` after :meth:`close`.  Path instances
+        are loaded here too, so a missing or malformed file fails its
+        own submit with the caller still knowing which request it was —
+        it can never take down a later ``drain`` (and the rest of the
+        queue) with it.
+
+        With ``collect=True`` (the default) the ticket also joins the
+        drain batch: the next :meth:`drain` blocks on it and returns
+        its response in submission order.  Callers that await tickets
+        themselves — the TCP server, the ``serve`` stdin loop — pass
+        ``collect=False`` so their requests never leak into another
+        caller's drain.
         """
         if self._closed:
             raise PoolClosedError("service is closed; open a new EngineService")
         if isinstance(instance, (str, Path)):
             source: str | None = str(instance)
-            pair = load_instance(instance)
+            g, h = load_instance(instance)
         else:
             source = None
             g, h = instance
-            pair = (g, h)
-        request_id = self._next_id
-        self._next_id += 1
-        self._queue.append((request_id, source, pair))
-        self.requests += 1
-        return request_id
-
-    def drain(self) -> list[ServiceResponse]:
-        """Answer everything queued, in submission order.
-
-        Cache hits never reach the pool; misses are solved by the warm
-        workers with the ordinary serial engines (verdicts and
-        certificates identical to one-at-a-time ``decide_duality``
-        calls).  The service stays open — submit/drain cycles repeat on
-        the same workers.  In path-cache mode every drain that computed
-        new verdicts persists them (atomically) before returning, so a
-        session that crashes later has lost nothing it already
-        answered.
-        """
-        if self._closed:
-            raise PoolClosedError("service is closed; open a new EngineService")
-        if not self._queue:
-            return []
-        batch, self._queue = self._queue, []
-        items = solve_many(
-            [pair for _id, _source, pair in batch],
-            method=self.method,
-            cache=self.cache,
-            pool=self.pool,
+        key = instance_key(g, h, self.method)
+        cache_hit: DualityResult | None = None
+        entry: _Inflight | None = None
+        with self._lock:
+            if self._closed:
+                raise PoolClosedError(
+                    "service is closed; open a new EngineService"
+                )
+            request_id = self._next_id
+            self._next_id += 1
+            ticket = ServiceTicket(request_id, source, key)
+            if collect:
+                self._undrained.append(ticket)
+            self.requests += 1
+            joined = self._inflight.get(key)
+            if joined is not None:
+                # Same instance already computing: replay its verdict
+                # when it lands, without consulting the cache again —
+                # one solve, one recorded miss (solve_many's
+                # within-batch dedup rule).  An in-flight key cannot be
+                # in the cache: _on_solved fills the cache and retires
+                # the entry under this same lock.
+                joined.tickets.append(ticket)
+                return ticket
+            if self.cache is not None:
+                cache_hit = self.cache.get(key)
+            if cache_hit is None:
+                entry = _Inflight(key, ticket)
+                self._inflight[key] = entry
+        if cache_hit is not None:
+            ticket._completion.resolve(
+                value=self._response(ticket, cache_hit, 0.0, cached=True)
+            )
+            return ticket
+        payload = (mask_payload(g), mask_payload(h), self.method)
+        future = self.pool.submit(solve_batch_entry, payload, collect=False)
+        future.add_done_callback(
+            lambda f, entry=entry: self._on_solved(entry, f)
         )
+        return ticket
+
+    def _on_solved(self, entry: _Inflight, future) -> None:
+        """One computation landed: cache it, resolve every waiter.
+
+        Runs in whatever thread completed the future — the submitting
+        thread at ``n_jobs=1``, a pool collector thread otherwise.
+        """
+        error = future.exception()
+        with self._lock:
+            self._inflight.pop(entry.key, None)
+            tickets = list(entry.tickets)
+            if error is None:
+                result, elapsed = future.result()
+                if self.cache is not None:
+                    self.cache.put(entry.key, result)
+        if error is not None:
+            for ticket in tickets:
+                ticket._completion.resolve(error=error)
+            return
         if self._autosave:
+            # Persist before resolving: once a waiter has its answer,
+            # the verdict is already on disk — a crash loses nothing
+            # the service ever reported.
             self.persist()
-        return [
-            self._response(request_id, source, item)
-            for (request_id, source, _pair), item in zip(batch, items)
-        ]
+        primary = True
+        for ticket in tickets:
+            ticket._completion.resolve(
+                value=self._response(
+                    ticket,
+                    result,
+                    elapsed if primary else 0.0,
+                    cached=not primary,
+                )
+            )
+            primary = False
 
     @staticmethod
     def _response(
-        request_id: int, source: str | None, item: BatchItem
+        ticket: ServiceTicket,
+        result: DualityResult,
+        elapsed_s: float,
+        cached: bool,
     ) -> ServiceResponse:
         return ServiceResponse(
-            request_id=request_id,
-            source=source,
-            key=item.key,
-            result=item.result,
-            elapsed_s=item.elapsed_s,
-            cached=item.cached,
+            request_id=ticket.request_id,
+            source=ticket.source,
+            key=ticket.key,
+            result=result,
+            elapsed_s=elapsed_s,
+            cached=cached,
         )
 
-    def _solve_one(self, instance) -> ServiceResponse:
-        if self._queue:
-            # Draining here would answer the queued requests too and
-            # have nowhere to deliver them — refuse rather than silently
-            # discard someone's answers.
-            raise ValueError(
-                f"{len(self._queue)} request(s) already queued; call "
-                "drain() first, or submit this instance to the queue too"
-            )
-        self.submit(instance)
-        (response,) = self.drain()
-        return response
+    def drain(self) -> list[ServiceResponse]:
+        """Await everything submitted for collection, in submission order.
+
+        The lock-step compatibility view over the scheduler: responses
+        come back in the order the tickets were submitted, with
+        verdicts and certificates identical to one-at-a-time
+        ``decide_duality`` calls.  A request error is re-raised here
+        (the first one, in submission order) after the whole batch has
+        settled — the rest of the batch is still computed and cached.
+        The service stays open — submit/drain cycles repeat on the same
+        workers.  In path-cache mode every computed verdict has already
+        been persisted (atomically) by the time its ticket resolves, so
+        a session that crashes later has lost nothing it answered.
+        """
+        if self._closed:
+            raise PoolClosedError("service is closed; open a new EngineService")
+        with self._lock:
+            tickets, self._undrained = self._undrained, []
+        responses: list[ServiceResponse] = []
+        first_error: BaseException | None = None
+        for ticket in tickets:
+            error = ticket.exception()
+            if error is not None:
+                if first_error is None:
+                    first_error = error
+            else:
+                responses.append(ticket.result())
+        if first_error is not None:
+            raise first_error
+        if self._autosave:
+            self.persist()
+        return responses
 
     def solve(self, g: Hypergraph, h: Hypergraph) -> ServiceResponse:
-        """Answer one in-memory pair now (the queue must be empty)."""
-        return self._solve_one((g, h))
+        """Answer one in-memory pair now (queued requests are untouched)."""
+        return self.submit((g, h), collect=False).result()
 
     def solve_file(self, path: str | Path) -> ServiceResponse:
-        """Answer one ``.hg`` instance file now (the queue must be empty)."""
-        return self._solve_one(path)
+        """Answer one ``.hg`` instance file now (the queue is untouched)."""
+        return self.submit(path, collect=False).result()
 
     # ------------------------------------------------------------------
     # Lifecycle and introspection
@@ -201,15 +352,17 @@ class EngineService:
 
     def stats(self) -> dict:
         """A snapshot of service health for logs and tests."""
-        out = {
-            "requests": self.requests,
-            "queued": len(self._queue),
-            "method": self.method,
-            "n_jobs": self.pool.n_jobs,
-            "pool_generations": self.pool.generations,
-            "pool_restarts": self.pool.restarts,
-            "tasks_completed": self.pool.tasks_completed,
-        }
+        with self._lock:
+            out = {
+                "requests": self.requests,
+                "queued": len(self._undrained),
+                "inflight": len(self._inflight),
+                "method": self.method,
+                "n_jobs": self.pool.n_jobs,
+                "pool_generations": self.pool.generations,
+                "pool_restarts": self.pool.restarts,
+                "tasks_completed": self.pool.tasks_completed,
+            }
         if self.cache is not None:
             out["cache_hits"] = self.cache.hits
             out["cache_misses"] = self.cache.misses
@@ -223,7 +376,8 @@ class EngineService:
         since the last save; returns the number of entries on disk
         after the flush (0 when skipped).  The underlying
         :meth:`ResultCache.save` is atomic, so a crash mid-persist
-        leaves the previous cache generation loadable.
+        leaves the previous cache generation loadable.  Thread-safe —
+        completion callbacks call this after every computed verdict.
         """
         if self._cache_path is None or self.cache is None:
             return 0
@@ -235,7 +389,8 @@ class EngineService:
         """End the session: persist the cache, release owned workers.
 
         Idempotent.  A borrowed pool (one passed into the constructor)
-        is left running for its other users.
+        is left running for its other users; with an owned pool, any
+        ticket still in flight resolves with :class:`PoolClosedError`.
         """
         if self._closed:
             return

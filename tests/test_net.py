@@ -367,6 +367,187 @@ class TestServerFaultIsolation:
 
 
 # ---------------------------------------------------------------------------
+# The concurrent scheduler on the wire
+# ---------------------------------------------------------------------------
+
+SLOW_PAIR = threshold_dual_pair(13, 7)  # ~0.5 s under fk-b
+FAST_PAIRS = [
+    matching_dual_pair(3),
+    threshold_dual_pair(7, 4),
+    matching_dual_pair(2),
+]
+
+
+class TestConcurrentScheduling:
+    def test_fast_clients_finish_before_a_slow_instance(self):
+        """Acceptance: 4 clients, one of them on a deliberately slow
+        instance — the other clients' fast requests complete before it
+        (no head-of-line blocking), and every verdict stays bit-for-bit
+        identical to serial decide_duality."""
+        slow_reference = _reference_fields(*SLOW_PAIR)
+        fast_references = [_reference_fields(g, h) for g, h in FAST_PAIRS]
+        finished: dict[str, float] = {}
+        responses: dict[str, dict] = {}
+        errors: list[BaseException] = []
+
+        with DualityServer(method="fk-b", n_jobs=2) as server:
+            host, port = server.address
+
+            def slow_client() -> None:
+                try:
+                    with DualityClient(host, port, timeout=120) as client:
+                        responses["slow"] = client.solve(*SLOW_PAIR)
+                        finished["slow"] = time.monotonic()
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            def fast_client(index: int) -> None:
+                try:
+                    with DualityClient(host, port, timeout=120) as client:
+                        g, h = FAST_PAIRS[index]
+                        responses[f"fast-{index}"] = client.solve(g, h)
+                        finished[f"fast-{index}"] = time.monotonic()
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            slow = threading.Thread(target=slow_client)
+            slow.start()
+            # Only release the fast clients once the slow request is
+            # provably inside the scheduler — the stats op answering
+            # *while a solve is in flight* is itself the lock-free
+            # property the old server did not have.
+            with DualityClient(host, port) as probe:
+                deadline = time.monotonic() + 30
+                while probe.stats()["requests_inflight"] < 1:
+                    assert time.monotonic() < deadline, "slow solve never started"
+                    time.sleep(0.01)
+            fast_threads = [
+                threading.Thread(target=fast_client, args=(index,))
+                for index in range(len(FAST_PAIRS))
+            ]
+            for thread in fast_threads:
+                thread.start()
+            for thread in fast_threads:
+                thread.join(timeout=120)
+            slow.join(timeout=120)
+
+        assert not errors, errors
+        for index, reference in enumerate(fast_references):
+            assert _response_fields(responses[f"fast-{index}"]) == reference
+            assert finished[f"fast-{index}"] < finished["slow"], (
+                f"fast client {index} was head-of-line blocked"
+            )
+        assert _response_fields(responses["slow"]) == slow_reference
+
+    def test_one_connection_answers_out_of_order(self):
+        """A fast request pipelined *behind* a slow one on the same
+        connection is answered first — out-of-order on the wire, with
+        the echoed id as the correlation key."""
+        with DualityServer(method="fk-b", n_jobs=2) as server:
+            host, port = server.address
+            raw = socket.create_connection((host, port), timeout=120)
+            try:
+                for request_id, (g, h) in ((100, SLOW_PAIR), (200, FAST_PAIRS[0])):
+                    raw.sendall(
+                        json.dumps(
+                            {
+                                "id": request_id,
+                                "op": "solve",
+                                "g": encode_hypergraph(g),
+                                "h": encode_hypergraph(h),
+                            }
+                        ).encode("utf-8")
+                        + b"\n"
+                    )
+                wire = raw.makefile("rb")
+                first = json.loads(wire.readline())
+                second = json.loads(wire.readline())
+            finally:
+                raw.close()
+        assert [first["id"], second["id"]] == [200, 100]
+        assert first["ok"] and second["ok"]
+        assert _response_fields(first) == _reference_fields(*FAST_PAIRS[0])
+        assert _response_fields(second) == _reference_fields(*SLOW_PAIR)
+
+    def test_solve_many_reorders_arrivals_into_input_order(self):
+        instances = [SLOW_PAIR, *FAST_PAIRS]
+        with DualityServer(method="fk-b", n_jobs=2) as server:
+            with DualityClient(*server.address, timeout=120) as client:
+                responses = client.solve_many(instances)
+        assert [r["ok"] for r in responses] == [True] * len(instances)
+        for (g, h), response in zip(instances, responses):
+            assert _response_fields(response) == _reference_fields(g, h)
+
+
+# ---------------------------------------------------------------------------
+# Bounded result cache (LRU)
+# ---------------------------------------------------------------------------
+
+class TestResultCacheLRU:
+    @pytest.fixture(scope="class")
+    def result(self):
+        (item,) = solve_many([matching_dual_pair(3)], method="fk-b")
+        return item.result
+
+    def test_unbounded_by_default(self, result):
+        cache = ResultCache()
+        for n in range(100):
+            cache.put(f"key-{n}", result)
+        assert len(cache) == 100 and cache.evictions == 0
+
+    def test_put_evicts_least_recently_used(self, result):
+        cache = ResultCache(max_entries=3)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, result)
+        assert len(cache) == 3
+        assert "a" not in cache and "d" in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self, result):
+        cache = ResultCache(max_entries=3)
+        for key in ("a", "b", "c"):
+            cache.put(key, result)
+        assert cache.get("a") is result  # "a" is now the most recent…
+        cache.put("d", result)
+        assert "a" in cache and "b" not in cache  # …so "b" was evicted
+
+    def test_put_refreshes_recency(self, result):
+        cache = ResultCache(max_entries=3)
+        for key in ("a", "b", "c"):
+            cache.put(key, result)
+        cache.put("a", result)  # overwrite refreshes, not duplicates
+        assert len(cache) == 3
+        cache.put("d", result)
+        assert "a" in cache and "b" not in cache
+
+    def test_save_load_preserve_recency_order(self, result, tmp_path):
+        path = tmp_path / "lru.json"
+        cache = ResultCache(max_entries=3)
+        for key in ("a", "b", "c"):
+            cache.put(key, result)
+        cache.get("a")  # order on disk: b, c, a (least recent first)
+        assert cache.save(path) == 3
+        reloaded = ResultCache.load(path, max_entries=3)
+        reloaded.put("d", result)  # evicts "b", exactly as the original would
+        assert "b" not in reloaded
+        assert all(key in reloaded for key in ("a", "c", "d"))
+
+    def test_load_over_cap_keeps_most_recent(self, result, tmp_path):
+        path = tmp_path / "big.json"
+        cache = ResultCache()
+        for n in range(6):
+            cache.put(f"key-{n}", result)
+        cache.save(path)
+        trimmed = ResultCache.load(path, max_entries=2)
+        assert len(trimmed) == 2
+        assert "key-4" in trimmed and "key-5" in trimmed
+
+    def test_rejects_nonsensical_cap(self):
+        with pytest.raises(ValueError, match="positive"):
+            ResultCache(max_entries=0)
+
+
+# ---------------------------------------------------------------------------
 # Crash-safe persistence
 # ---------------------------------------------------------------------------
 
@@ -431,9 +612,11 @@ class TestCrashSafePersistence:
 
         reloaded = ResultCache.load(cache_path)  # must not raise
         assert len(reloaded) == 4000
-        # No stray temp generations left behind either.
+        # A SIGKILL inside the write window can strand at most the one
+        # in-progress temp sibling (cleanup code never runs on -9);
+        # what it must never do is leave cache.json itself truncated.
         leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
-        assert leftovers == []
+        assert len(leftovers) <= 1
 
     def test_corrupt_cache_file_degrades_to_misses_with_a_warning(
         self, tmp_path
@@ -568,6 +751,43 @@ class TestNetCli:
             assert line["source"] == str(path)
         expected = 0 if all(line["dual"] for line in lines) else 1
         assert out.returncode == expected
+
+    def test_client_cli_exits_nonzero_on_error_responses(
+        self, running_server, tmp_path
+    ):
+        """A server-side {"ok": false} error response must fail the
+        client's exit status, not just print a line (regression: a batch
+        with one bad instance used to look like success to scripts)."""
+        server, address, env = running_server
+        good = tmp_path / "good.hg"
+        hgio.dump_many(matching_dual_pair(3), good)
+        # Parses fine, but G is not simple: the *server* rejects it.
+        bad = tmp_path / "not-simple.hg"
+        bad.write_text("0\n0 1\n==\n0\n", encoding="utf-8")
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "client", address, str(good), str(bad)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=240,
+        )
+        lines = [json.loads(line) for line in out.stdout.strip().splitlines()]
+        assert out.returncode != 0
+        by_source = {line["source"]: line for line in lines}
+        assert by_source[str(good)]["dual"] is True
+        assert "simple" in by_source[str(bad)]["error"]
+        # A file the client cannot read fails the run the same way.
+        out = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "client", address,
+                str(good), str(tmp_path / "missing.hg"),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=240,
+        )
+        assert out.returncode != 0
 
     def test_client_shutdown_stops_the_server_gracefully(self, running_server):
         server, address, env = running_server

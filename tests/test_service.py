@@ -1,13 +1,18 @@
-"""Tests for the persistent engine service (:mod:`repro.service`).
+"""Tests for the concurrent engine scheduler (:mod:`repro.service`).
 
-Three contracts:
+Four contracts:
 
 * **lifecycle** — the :class:`EnginePool` spawns workers once and keeps
   them warm across batches; drain leaves it usable, shutdown is
   idempotent, submits after shutdown fail loudly, and a worker dying
-  mid-batch is recovered without losing or corrupting answers;
-* **service semantics** — :class:`EngineService` answers in submission
-  order with verdicts and certificates identical to serial
+  mid-flight retries **only the lost items** — completed futures keep
+  their results and never re-run;
+* **scheduling** — ``submit`` returns per-item futures/tickets that
+  resolve out of submission order (a slow item never blocks a fast
+  one), cache hits resolve at submit time without touching a worker,
+  and identical in-flight instances share one computation;
+* **service semantics** — :meth:`EngineService.drain` answers in
+  submission order with verdicts and certificates identical to serial
   ``decide_duality`` calls, and its cache sits in *front* of the pool
   (hits never reach a worker, and persist across sessions);
 * **lossless persistence** — the tagged codec round-trips every vertex
@@ -18,6 +23,9 @@ from __future__ import annotations
 
 import json
 import os
+import random
+import threading
+import time
 
 import pytest
 
@@ -45,6 +53,21 @@ from repro.service import EnginePool, EngineService, PoolClosedError, response_t
 def _double(x):
     """Module-level (picklable) work function."""
     return 2 * x
+
+
+def _sleepy(arg):
+    """Module-level work function: sleep ``duration``, return ``value``."""
+    duration, value = arg
+    time.sleep(duration)
+    return value
+
+
+def _record_run(arg):
+    """Module-level work function that logs each execution to a file."""
+    path, value = arg
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("ran\n")
+    return 2 * value
 
 
 def _die_unless_flagged(arg):
@@ -75,17 +98,17 @@ class TestEnginePoolLifecycle:
 
     def test_submit_then_drain_in_submission_order(self):
         with EnginePool(1) as pool:
-            tickets = [pool.submit(_double, n) for n in (5, 6, 7)]
+            futures = [pool.submit(_double, n) for n in (5, 6, 7)]
             results = pool.drain()
-            assert [results[t] for t in tickets] == [10, 12, 14]
+            assert [results[f.ticket] for f in futures] == [10, 12, 14]
 
     def test_submit_after_drain_keeps_working(self):
         with EnginePool(1) as pool:
             pool.submit(_double, 1)
             assert list(pool.drain().values()) == [2]
             # drain leaves the pool warm — this must not raise.
-            ticket = pool.submit(_double, 21)
-            assert pool.drain()[ticket] == 42
+            future = pool.submit(_double, 21)
+            assert pool.drain()[future.ticket] == 42
             assert pool.generations == 1
 
     def test_double_shutdown_is_a_noop(self):
@@ -154,8 +177,102 @@ class TestEnginePoolLifecycle:
             with pytest.raises(TypeError):
                 pool.map(len, [1, 2, 3])
             assert pool.drain() == {}
-            ticket = pool.submit(_double, 5)
-            assert pool.drain() == {ticket: 10}
+            future = pool.submit(_double, 5)
+            assert pool.drain() == {future.ticket: 10}
+
+
+# ---------------------------------------------------------------------------
+# Per-item futures: the scheduler under everything
+# ---------------------------------------------------------------------------
+
+class TestPoolFutures:
+    def test_in_process_submit_resolves_before_returning(self):
+        with EnginePool(1) as pool:
+            future = pool.submit(_double, 4)
+            assert future.done()
+            assert future.result() == 8
+            assert future.exception() is None
+            fired = []
+            future.add_done_callback(fired.append)  # already done: fires now
+            assert fired == [future]
+
+    def test_fast_future_overtakes_a_slow_one(self):
+        with EnginePool(2) as pool:
+            slow = pool.submit(_sleepy, (2.0, "slow"), collect=False)
+            fast = pool.submit(_sleepy, (0.0, "fast"), collect=False)
+            assert fast.result(timeout=30) == "fast"
+            # The fast item finished while the slow one is still in a
+            # worker: no head-of-line blocking through the pool.
+            assert not slow.done()
+            assert slow.result(timeout=30) == "slow"
+
+    def test_callbacks_fire_in_completion_order(self):
+        order: list[str] = []
+        lock = threading.Lock()
+
+        def note(label):
+            def callback(_future):
+                with lock:
+                    order.append(label)
+
+            return callback
+
+        with EnginePool(2) as pool:
+            slow = pool.submit(_sleepy, (1.5, None), collect=False)
+            fast = pool.submit(_sleepy, (0.0, None), collect=False)
+            slow.add_done_callback(note("slow"))
+            fast.add_done_callback(note("fast"))
+            slow.wait(timeout=30)
+            fast.wait(timeout=30)
+        assert order == ["fast", "slow"]
+
+    def test_future_error_is_isolated_to_its_item(self):
+        with EnginePool(1) as pool:
+            bad = pool.submit(len, 3, collect=False)  # TypeError
+            good = pool.submit(_double, 5, collect=False)
+            assert isinstance(bad.exception(), TypeError)
+            with pytest.raises(TypeError):
+                bad.result()
+            assert good.result() == 10
+
+    def test_shutdown_resolves_every_future(self):
+        # More items than workers: some are running when shutdown hits,
+        # some still queued.  Every future must settle — a value for
+        # the ones the executor finished, PoolClosedError for the ones
+        # it cancelled — so no waiter ever hangs on a dead pool.
+        pool = EnginePool(2).start()
+        futures = [
+            pool.submit(_sleepy, (0.3, n), collect=False) for n in range(6)
+        ]
+        time.sleep(0.1)  # let the first items reach the workers
+        pool.shutdown()
+        for n, future in enumerate(futures):
+            assert future.done()
+            error = future.exception()
+            if error is None:
+                assert future.result() == n
+            else:
+                assert isinstance(error, PoolClosedError)
+        assert any(f.exception() is None for f in futures)
+
+    def test_worker_death_retries_only_the_lost_items(self, tmp_path):
+        flag = str(tmp_path / "died.flag")
+        survivor_runs = str(tmp_path / "survivor.runs")
+        with EnginePool(2) as pool:
+            survivor = pool.submit(
+                _record_run, (survivor_runs, 21), collect=False
+            )
+            assert survivor.result(timeout=60) == 42  # done before the death
+            killer = pool.submit(_die_unless_flagged, (flag, 1), collect=False)
+            bystander = pool.submit(_double, 4, collect=False)
+            assert killer.result(timeout=60) == 2  # retried transparently
+            assert bystander.result(timeout=60) == 8
+            assert pool.restarts >= 1
+            assert killer.attempts >= 2
+        # The already-completed item kept its result and never re-ran.
+        with open(survivor_runs, encoding="utf-8") as handle:
+            assert handle.read().count("ran") == 1
+        assert survivor.result() == 42
 
 
 # ---------------------------------------------------------------------------
@@ -253,14 +370,18 @@ class TestEngineService:
             response = service.solve_file(path)
             assert response.is_dual and response.source == str(path)
 
-    def test_solve_refuses_to_discard_queued_requests(self):
+    def test_solve_coexists_with_queued_requests(self):
+        # solve() runs outside the drain batch (collect=False), so it
+        # can answer immediately without discarding anyone's queued
+        # requests — the old lock-step service had to refuse here.
         with EngineService(method="bm") as service:
             queued = service.submit(matching_dual_pair(3))
-            with pytest.raises(ValueError, match="already queued"):
-                service.solve(*matching_dual_pair(2))
-            # The queued request is still answerable afterwards.
+            assert service.solve(*matching_dual_pair(2)).is_dual
+            # The queued request is still answerable afterwards…
             (response,) = service.drain()
             assert response.request_id == queued and response.is_dual
+            # …and the inline solve never leaked into the drain batch.
+            assert service.drain() == []
 
     def test_bad_path_fails_its_own_submit_not_the_drain(self, tmp_path):
         g, h = matching_dual_pair(2)
@@ -310,6 +431,129 @@ class TestEngineService:
             decoded = json.loads(line)
             assert decoded["dual"] == response.is_dual
         assert json.loads(json.dumps(response_to_json(bad)))["witness"]
+
+
+# ---------------------------------------------------------------------------
+# Service tickets: the scheduler's request-level contract
+# ---------------------------------------------------------------------------
+
+class TestServiceTickets:
+    SLOW = threshold_dual_pair(13, 7)  # ~0.5 s under fk-b
+    FAST = [matching_dual_pair(3), threshold_dual_pair(7, 4), matching_dual_pair(2)]
+
+    def test_ticket_is_its_request_id(self):
+        with EngineService(method="bm") as service:
+            first = service.submit(matching_dual_pair(2))
+            second = service.submit(matching_dual_pair(3))
+            assert isinstance(first, int)
+            assert (first, second) == (0, 1)
+            assert second.request_id == 1
+            service.drain()
+
+    def test_cache_hit_ticket_resolves_at_submit_without_a_worker(self):
+        cache = ResultCache()
+        with EngineService(method="fk-b", cache=cache) as service:
+            service.solve(*matching_dual_pair(3))
+            solved = service.pool.tasks_completed
+            ticket = service.submit(matching_dual_pair(3), collect=False)
+            # Resolved the moment submit returned — no drain, no worker.
+            assert ticket.done()
+            response = ticket.result()
+            assert response.cached
+            assert service.pool.tasks_completed == solved
+            assert cache.hits == 1
+
+    def test_identical_inflight_instances_share_one_computation(self):
+        # n_jobs=2 so the first submit is still computing in a worker
+        # when the duplicate arrives; the duplicate must join it, not
+        # occupy the second worker.
+        cache = ResultCache()
+        with EngineService(method="fk-b", n_jobs=2, cache=cache) as service:
+            first = service.submit(self.SLOW, collect=False)
+            second = service.submit(self.SLOW, collect=False)
+            a = first.result(timeout=120)
+            b = second.result(timeout=120)
+            assert service.pool.tasks_completed == 1
+            assert not a.cached and b.cached
+            assert a.result.verdict == b.result.verdict
+            assert a.result.certificate == b.result.certificate
+            # One solve, one recorded miss: the joined duplicate never
+            # consulted the cache (solve_many's within-batch rule).
+            assert (cache.misses, cache.hits) == (1, 0)
+
+    def test_out_of_order_completion_submission_order_drain(self):
+        """Seeded fast/slow mix: fast tickets resolve before a slow one
+        submitted ahead of them, yet drain stays in submission order and
+        bit-for-bit identical to serial decide_duality."""
+        rng = random.Random(20260726)
+        fasts = list(self.FAST)
+        rng.shuffle(fasts)
+        instances = [self.SLOW] + fasts
+        completion: list[int] = []
+        lock = threading.Lock()
+
+        def note(ticket):
+            with lock:
+                completion.append(ticket.request_id)
+
+        with EngineService(method="fk-b", n_jobs=2) as service:
+            tickets = []
+            for pair in instances:
+                ticket = service.submit(pair)
+                ticket.add_done_callback(note)
+                tickets.append(ticket)
+            responses = service.drain()
+        # Submission-order determinism on the drain side…
+        assert [r.request_id for r in responses] == [int(t) for t in tickets]
+        for (g, h), response in zip(instances, responses):
+            reference = decide_duality(g, h, method="fk-b")
+            assert response.result.verdict == reference.verdict
+            assert response.result.certificate == reference.certificate
+        # …while completion genuinely happened out of order: every fast
+        # instance overtook the slow one submitted before it.
+        assert completion[-1] == tickets[0].request_id
+        assert sorted(completion) == [int(t) for t in tickets]
+
+    def test_ticket_after_service_close_errors(self):
+        service = EngineService(method="fk-b", n_jobs=2)
+        inflight = service.submit(self.SLOW, collect=False)
+        service.close()  # owned pool: shutdown resolves stragglers
+        assert inflight.done()
+        error = inflight.exception()
+        if error is not None:  # cancelled before a worker picked it up
+            assert isinstance(error, PoolClosedError)
+        with pytest.raises(PoolClosedError, match="closed"):
+            service.submit(matching_dual_pair(2))
+
+    def test_error_ticket_resolves_with_the_error(self, tmp_path):
+        from repro.hypergraph import Hypergraph
+
+        not_simple = Hypergraph([frozenset({0}), frozenset({0, 1})])
+        h = Hypergraph([frozenset({0})])
+        with EngineService(method="fk-b") as service:
+            bad = service.submit((not_simple, h), collect=False)
+            error = bad.exception()
+            assert error is not None and "simple" in str(error)
+            with pytest.raises(type(error)):
+                bad.result()
+            # The scheduler (and its pool) survived the bad request.
+            assert service.solve(*matching_dual_pair(2)).is_dual
+
+    def test_drain_raises_first_error_but_computes_the_rest(self):
+        from repro.hypergraph import Hypergraph
+
+        not_simple = Hypergraph([frozenset({0}), frozenset({0, 1})])
+        h = Hypergraph([frozenset({0})])
+        cache = ResultCache()
+        with EngineService(method="fk-b", cache=cache) as service:
+            service.submit(matching_dual_pair(3))
+            service.submit((not_simple, h))
+            service.submit(matching_dual_pair(2))
+            with pytest.raises(Exception, match="simple"):
+                service.drain()
+            # The healthy requests were still answered (and cached).
+            assert len(cache) == 2
+            assert service.submit(matching_dual_pair(3), collect=False).result().cached
 
 
 # ---------------------------------------------------------------------------
