@@ -22,8 +22,11 @@ The JSON layout:
 * ``itemsets`` — frequency-counting kernels at ≥ 20 items / ≥ 200 rows;
 * ``parallel`` — serial vs multi-process rows (batch ``solve_many``,
   sharded single-instance solving, portfolio racing, warm-pool
-  amortization, and the ``server-concurrent`` scheduler-saturation row:
-  4 TCP clients with a fast/slow mix vs the same requests serialized).
+  amortization, the ``server-concurrent`` scheduler-saturation row:
+  4 TCP clients with a fast/slow mix vs the same requests serialized,
+  and the ``server-async`` event-loop row: the same 4-client numbers
+  plus a 1000-connection sweep with ping latency percentiles, against
+  the recorded pre-deletion threaded baseline).
 
 Each run also **appends** a compact summary entry to a history file
 (``BENCH_trend.json`` by default, ``--trend``/``--label`` to steer), so
@@ -448,8 +451,28 @@ def parallel_rows(quick: bool) -> list[dict]:
                 thread.join()
 
         run_client(client_workloads[1])  # warm the pool off the clock
-        serial_s = best_of(serialized, 1)
-        parallel_s = best_of(concurrent, 1)
+        # Per-pass noise on a small box is ±15%, well above the effect
+        # being measured (the serial/concurrent ratio sits near 1.0 on
+        # one core), and independent best-of floors turn that noise
+        # into a coin flip.  Pair the passes instead — serialized and
+        # concurrent alternate back to back, so drift hits both sides
+        # of each pair — and report the median paired ratio.
+        import statistics
+
+        server_passes = 2 if quick else 8
+        ser_times, con_times = [], []
+        for _ in range(server_passes):
+            start = time.perf_counter()
+            serialized()
+            ser_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            concurrent()
+            con_times.append(time.perf_counter() - start)
+        serial_s = statistics.median(ser_times)
+        parallel_s = statistics.median(con_times)
+        paired_speedup = statistics.median(
+            s / c for s, c in zip(ser_times, con_times)
+        )
     rows.append(
         {
             "kernel": "server-concurrent",
@@ -460,12 +483,136 @@ def parallel_rows(quick: bool) -> list[dict]:
             "serial_scope": "one client at a time (the old solve-lock shape)",
             "parallel_s": round(parallel_s, 4),
             "parallel_scope": "4 concurrent clients, shared scheduler",
-            "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+            "speedup": round(paired_speedup, 2),
+            "speedup_method": f"median paired ratio over {server_passes} passes",
+        }
+    )
+    # Event-loop saturation (PR 6).  The server the rows above just
+    # drove *is* the asyncio server — the threaded one is deleted — so
+    # its 4-client numbers carry over verbatim for the throughput
+    # comparison against the recorded threaded baseline; what this row
+    # adds is the part no thread-per-connection design did cheaply: a
+    # four-digit connection sweep, every connection live at once on one
+    # event loop, with ping latency percentiles under that load.
+    rows.append(
+        {
+            "kernel": "server-async",
+            "instance": f"{len(client_workloads)}-clients-mixed-fk-b+conn-sweep",
+            "n_instances": sum(len(w) for w in client_workloads),
+            "n_jobs": 2,
+            "serial_s": round(serial_s, 4),
+            "serial_scope": "one client at a time, asyncio server",
+            "parallel_s": round(parallel_s, 4),
+            "parallel_scope": (
+                "4 concurrent clients, asyncio server "
+                "(same measurement as server-concurrent)"
+            ),
+            "speedup": round(paired_speedup, 2),
+            "speedup_method": f"median paired ratio over {server_passes} passes",
+            "connections": _connection_sweep(quick),
+            # The threaded server is deleted, so no future run can
+            # measure it live; these numbers pin the comparison.  The
+            # 4-client figures are the PR-5 trend entry (same machine,
+            # same full workload, recorded by the threaded server's own
+            # last bench run); absolute wall-clock drifts run to run on
+            # this box, so compare the within-run concurrency ratios
+            # (speedup vs speedup), which is what
+            # ``throughput_vs_threaded`` below does.  The 1000-conn
+            # figures were measured by hand at the PR-5 head right
+            # before the deletion: the threaded design held 1000
+            # connections, but at 2 OS threads each (2002 threads) with
+            # ping latency in the hundreds of ms from scheduler
+            # pressure.
+            "threaded_baseline": {
+                "serial_s": 0.3148,
+                "parallel_s": 0.3181,
+                "speedup": 0.99,
+                "source": "BENCH_trend.json PR5 server-concurrent row",
+                "os_threads_at_1000_conns": 2002,
+                "ping_ms_at_1000_conns": 287.0,
+                "conn_figures_measured": "PR-5 head, same container, pre-deletion",
+            },
+            # ≥ 1.0 means the async server extracts at least as much
+            # concurrent throughput from the same 4-client workload as
+            # the threaded server did, normalized against each run's
+            # own serialized pass to cancel machine drift.
+            "throughput_vs_threaded": round(paired_speedup / 0.99, 2),
         }
     )
     for row in rows:
         row["cpus"] = os.cpu_count()
     return rows
+
+
+def _connection_sweep(quick: bool) -> dict:
+    """Hold ``target`` live connections on one event loop and ping them
+    all concurrently; latency percentiles are per-ping under that load."""
+    import asyncio
+    import resource
+
+    from repro.net import AsyncDualityClient, DualityServer
+
+    target = 250 if quick else 1000
+    wave = 200
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    needed = 4 * target + 256
+    if soft < needed:
+        try:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (min(needed, hard), hard))
+        except (ValueError, OSError):
+            pass
+        soft = resource.getrlimit(resource.RLIMIT_NOFILE)[0]
+    if soft < needed:
+        # Fit the sweep to the box instead of failing the whole bench.
+        target = max(0, (soft - 256) // 4)
+    if target <= 0:
+        return {"target": 0, "skipped": "RLIMIT_NOFILE too low"}
+
+    with DualityServer(method="fk-b", n_jobs=1) as server:
+        host, port = server.address
+
+        async def drive() -> dict:
+            clients: list[AsyncDualityClient] = []
+            latencies: list[float] = []
+            start = time.perf_counter()
+            while len(clients) < target:
+                batch = [
+                    AsyncDualityClient(host, port, timeout=600)
+                    for _ in range(min(wave, target - len(clients)))
+                ]
+                await asyncio.gather(*(c.connect() for c in batch))
+                clients.extend(batch)
+            connect_s = time.perf_counter() - start
+
+            async def timed_ping(client: AsyncDualityClient) -> None:
+                ping_start = time.perf_counter()
+                await client.ping()
+                latencies.append(time.perf_counter() - ping_start)
+
+            start = time.perf_counter()
+            await asyncio.gather(*(timed_ping(c) for c in clients))
+            ping_all_s = time.perf_counter() - start
+            stats = await clients[0].stats()
+            for index in range(0, len(clients), wave):
+                await asyncio.gather(
+                    *(c.close() for c in clients[index : index + wave])
+                )
+            latencies.sort()
+
+            def pct(q: float) -> float:
+                position = min(len(latencies) - 1, round(q * (len(latencies) - 1)))
+                return latencies[position]
+
+            return {
+                "target": target,
+                "sustained": stats["connections_open"],
+                "connect_s": round(connect_s, 4),
+                "ping_all_s": round(ping_all_s, 4),
+                "ping_p50_ms": round(pct(0.50) * 1000, 2),
+                "ping_p99_ms": round(pct(0.99) * 1000, 2),
+            }
+
+        return asyncio.run(drive())
 
 
 def _git_label() -> str:

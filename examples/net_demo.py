@@ -1,10 +1,11 @@
 """The TCP front end: one warm server, many concurrent clients.
 
-PR 4's subsystem in one walkthrough:
+The network subsystem in one walkthrough:
 
-1. a :class:`DualityServer` on a loopback port — one warm
-   :class:`EnginePool` and one crash-safe result cache shared by every
-   connection,
+1. a :class:`DualityServer` (the asyncio event-loop server — every
+   connection is a coroutine, not a thread) on a loopback port, one
+   warm :class:`EnginePool` and one crash-safe result cache shared by
+   every connection,
 2. several concurrent :class:`DualityClient` sessions shipping
    instances inline through the lossless codec (no shared filesystem
    needed), verdicts bit-for-bit identical to serial ``decide_duality``,

@@ -220,6 +220,12 @@ def _serve_listen(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
         cache=args.cache,
         cache_max_entries=args.cache_max,
+        auth_token=args.auth_token,
+        **(
+            {"max_inflight": args.max_inflight}
+            if args.max_inflight is not None
+            else {}
+        ),
     )
     server.start()
     bound_host, bound_port = server.address
@@ -261,10 +267,13 @@ def _cmd_client(args: argparse.Namespace) -> int:
 
     exit_status = 0
     try:
-        client = DualityClient(args.address, timeout=args.timeout)
-    except (OSError, ValueError) as exc:
-        # No server (or a bad address) is an error line and status 1,
-        # not a traceback — scripts probe liveness with this.
+        client = DualityClient(
+            args.address, timeout=args.timeout, auth_token=args.auth_token
+        )
+    except (OSError, ValueError, RequestError) as exc:
+        # No server (or a bad address, or a rejected token) is an error
+        # line and status 1, not a traceback — scripts probe liveness
+        # with this.
         print(json.dumps({"error": f"connect {args.address}: {exc}"}), flush=True)
         return 1
     with client:
@@ -734,6 +743,38 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.add_argument(
+        "--async",
+        dest="async_server",
+        action="store_true",
+        help=(
+            "use the asyncio event-loop server for --listen (the "
+            "default — and only — server since the bake-in; the flag "
+            "is kept for compatibility)"
+        ),
+    )
+    p.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help=(
+            "require every --listen connection to authenticate its "
+            "first frame with this shared secret (an 'auth' op); a "
+            "wrong or missing token gets one error line and a "
+            "disconnect"
+        ),
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-connection backpressure cap for --listen: stop "
+            "reading a connection once it has N solves in flight "
+            "(default: the server's cap, 64)"
+        ),
+    )
+    p.add_argument(
         "--stats",
         action="store_true",
         help="print a final JSON stats line (requests, hits, pool health)",
@@ -769,6 +810,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=60.0,
         help="socket timeout in seconds (default: 60)",
+    )
+    p.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="shared secret for a server started with --auth-token",
     )
     p.add_argument(
         "--stats",

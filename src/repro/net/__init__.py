@@ -1,26 +1,35 @@
 """Network front end: the duality scheduler over TCP, many clients at once.
 
 :mod:`repro.service` made many concurrent calls cheap inside one
-process; this package puts them on a socket.  A :class:`DualityServer`
-multiplexes any number of connections onto **one** warm
+process; this package puts them on a socket.  An
+:class:`AsyncDualityServer` multiplexes any number of connections —
+thousands of them, on one event loop — onto **one** warm
 :class:`~repro.service.EnginePool` and **one** thread-safe, crash-safe
-:class:`~repro.parallel.batch.ResultCache` — with no solve lock:
-every request is dispatched straight to the service scheduler and its
+:class:`~repro.parallel.batch.ResultCache`, with no solve lock: every
+request is dispatched straight to the service scheduler and its
 response is written the moment the verdict exists, out of request
-order when a fast instance overtakes a slow one.  A
-:class:`DualityClient` talks to it in JSON lines
-(:mod:`repro.net.protocol`), shipping instances inline through the
-lossless vertex codec and re-ordering pipelined answers by their
-echoed ``id``.  CLI: ``repro serve --listen HOST:PORT`` on the server
-side, ``repro client HOST:PORT`` on the client side.
+order when a fast instance overtakes a slow one.  Backpressure is per
+connection (a max-inflight cap pauses *reading*; ``drain()`` throttles
+*writing*), so one firehosing or stalled client affects only itself,
+and an optional shared-secret token gates every connection's first
+frame.
+
+Clients talk JSON lines (:mod:`repro.net.protocol`), shipping
+instances inline through the lossless vertex codec and re-ordering
+pipelined answers by their echoed ``id``: :class:`AsyncDualityClient`
+for coroutine code (windowless pipelining under ``drain()`` flow
+control), :class:`DualityClient` as the blocking wrapper for scripts
+and the CLI.  ``repro serve --listen HOST:PORT`` on the server side,
+``repro client HOST:PORT`` on the client side.
 
 Layering: ``repro.net`` sits on top of ``repro.service`` (it drives
 :class:`~repro.service.EngineService` views); nothing below imports it,
 and library use without a network never pays for it.
 """
 
-from repro.net.client import DualityClient
+from repro.net.client import AsyncDualityClient, DualityClient
 from repro.net.protocol import (
+    AuthError,
     LineTooLong,
     MAX_LINE_BYTES,
     ProtocolError,
@@ -29,9 +38,12 @@ from repro.net.protocol import (
     encode_hypergraph,
     parse_response,
 )
-from repro.net.server import DualityServer, parse_address
+from repro.net.server import AsyncDualityServer, DualityServer, parse_address
 
 __all__ = [
+    "AsyncDualityClient",
+    "AsyncDualityServer",
+    "AuthError",
     "DualityClient",
     "DualityServer",
     "LineTooLong",

@@ -1,27 +1,42 @@
-"""A client library for the JSON-lines duality service.
+"""Client libraries for the JSON-lines duality service.
 
-:class:`DualityClient` speaks the :mod:`repro.net.protocol` wire format
-to a :class:`~repro.net.server.DualityServer`: connect once, then
-``solve`` / ``solve_many`` as often as the session needs — the server
-keeps its pool warm and its cache hot between requests.  Instances are
-shipped *inline* through the lossless codec (``.hg`` paths are read on
-the client's machine), so client and server need not share a
-filesystem; :meth:`DualityClient.solve_server_path` asks the server to
-load one of its own files instead.
+Two clients share one wire protocol:
+
+* :class:`AsyncDualityClient` — the native client of the event-loop
+  server.  ``solve_many`` streams the whole batch under ``drain()``
+  flow control (no fixed pipeline window: the server's per-connection
+  in-flight cap plus TCP pushback *are* the window) while a concurrent
+  reader collects answers, so ten thousand of these can share one
+  process;
+* :class:`DualityClient` — the synchronous compatibility wrapper for
+  scripts and the CLI: same methods, blocking calls, a bounded
+  :data:`~DualityClient.PIPELINE_WINDOW` standing in for the
+  concurrent reader.
+
+Both ship instances *inline* through the lossless codec (``.hg`` paths
+are read on the client's machine), so client and server need not share
+a filesystem; ``solve_server_path`` asks the server to load one of its
+own files instead.  Both authenticate with ``auth_token=`` against a
+server started with ``--auth-token``.
 
 Responses are the plain JSON dicts of the wire (the
 :func:`repro.service.response_to_json` fields): ``solve`` raises
 :class:`~repro.net.protocol.RequestError` on a per-request error, while
-``solve_many`` pipelines requests onto the socket and collects answers
-**as they arrive — out of request order** when the server's concurrent
-scheduler finishes a fast instance ahead of a slow one.  Arrivals are
-matched to requests by their echoed ``id``, and the results still come
-back in input order, with error responses in-line (``"ok": false``) so
-one bad instance cannot hide the other verdicts.
+``solve_many`` collects answers **as they arrive — out of request
+order** when the server's concurrent scheduler finishes a fast
+instance ahead of a slow one.  Arrivals are matched to requests by
+their echoed ``id``, and the results still come back in input order,
+with error responses in-line (``"ok": false``) so one bad instance
+cannot hide the other verdicts.  A server that disconnects
+mid-pipeline does not hang the batch: every unanswered request comes
+back as an in-line ``ConnectionError`` object and the client closes
+cleanly.
 """
 
 from __future__ import annotations
 
+import asyncio
+import json
 import socket
 from pathlib import Path
 
@@ -36,6 +51,39 @@ from repro.net.protocol import (
     send_json,
 )
 from repro.parallel.batch import load_instance
+
+#: Failures that end a wire conversation (as opposed to per-request
+#: errors, which arrive as ``"ok": false`` responses on a live stream).
+_WIRE_FAILURES = (ConnectionError, TimeoutError, OSError, ProtocolError)
+
+
+def _solve_request(
+    pair: tuple[Hypergraph, Hypergraph], method: str | None
+) -> dict:
+    g, h = pair
+    request: dict = {
+        "op": "solve",
+        "g": encode_hypergraph(g),
+        "h": encode_hypergraph(h),
+    }
+    if method is not None:
+        request["method"] = method
+    return request
+
+
+def _connection_lost_response(request_id, exc: BaseException) -> dict:
+    """The in-line error standing in for an answer the wire never got."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "type": "ConnectionError",
+            "message": (
+                "connection lost before the server answered "
+                f"({type(exc).__name__}: {exc})"
+            ),
+        },
+    }
 
 
 class DualityClient:
@@ -54,12 +102,15 @@ class DualityClient:
         port: int | None = None,
         timeout: float = 60.0,
         max_line_bytes: int = MAX_LINE_BYTES,
+        auth_token: str | None = None,
     ) -> None:
         """Connect to ``host:port`` (or one ``"HOST:PORT"`` string).
 
         ``timeout`` bounds every blocking socket operation; a server
         that stops answering surfaces as ``TimeoutError`` rather than a
-        hang.
+        hang.  ``auth_token`` authenticates the connection's first
+        frame against a token-protected server; a rejected token raises
+        :class:`RequestError` and closes the connection.
         """
         if port is None:
             from repro.net.server import parse_address
@@ -71,6 +122,12 @@ class DualityClient:
         )
         self._reader = LineReader(self._sock, max_line_bytes)
         self._next_id = 0
+        if auth_token is not None:
+            try:
+                self._checked(self.request({"op": "auth", "token": auth_token}))
+            except BaseException:
+                self.close()
+                raise
 
     # ------------------------------------------------------------------
     # Wire plumbing
@@ -206,7 +263,10 @@ class DualityClient:
         delays collection of the fast ones behind it.  The returned
         list is nevertheless in input order; a per-request error is
         returned as its ``"ok": false`` object instead of raised, so
-        the rest of the batch still gets verdicts.
+        the rest of the batch still gets verdicts.  If the server
+        disconnects mid-pipeline, every unanswered request comes back
+        as an in-line ``ConnectionError`` object — promptly, not after
+        the receive timeout — and the client is closed.
         """
         requests = [
             self._solve_request(
@@ -215,38 +275,42 @@ class DualityClient:
             )
             for item in instances
         ]
+        # Ids are assigned up front so that requests the wire never even
+        # took still map to a definite slot in the returned list.
         order: list[int] = []
+        for request in requests:
+            request["id"] = self._next_id
+            self._next_id += 1
+            order.append(request["id"])
         arrived: dict[int, dict] = {}
         outstanding: set[int] = set()
-        for request in requests:
-            request_id = self._send(request)
-            order.append(request_id)
-            outstanding.add(request_id)
-            if len(outstanding) >= self.PIPELINE_WINDOW:
+        failure: BaseException | None = None
+        try:
+            for request in requests:
+                send_json(self._require_open(), request)
+                outstanding.add(request["id"])
+                if len(outstanding) >= self.PIPELINE_WINDOW:
+                    request_id, response = self._receive_any(outstanding)
+                    arrived[request_id] = response
+            while outstanding:
                 request_id, response = self._receive_any(outstanding)
                 arrived[request_id] = response
-        while outstanding:
-            request_id, response = self._receive_any(outstanding)
-            arrived[request_id] = response
+        except _WIRE_FAILURES as exc:
+            failure = exc
+            self.close()
+        if failure is not None:
+            for request_id in order:
+                if request_id not in arrived:
+                    arrived[request_id] = _connection_lost_response(
+                        request_id, failure
+                    )
         return [arrived[request_id] for request_id in order]
 
     def shutdown_server(self) -> dict:
         """Ask the server to shut down gracefully (drain, flush, close)."""
         return self._checked(self.request({"op": "shutdown"}))
 
-    @staticmethod
-    def _solve_request(
-        pair: tuple[Hypergraph, Hypergraph], method: str | None
-    ) -> dict:
-        g, h = pair
-        request: dict = {
-            "op": "solve",
-            "g": encode_hypergraph(g),
-            "h": encode_hypergraph(h),
-        }
-        if method is not None:
-            request["method"] = method
-        return request
+    _solve_request = staticmethod(_solve_request)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -265,3 +329,294 @@ class DualityClient:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+class AsyncDualityClient:
+    """The event-loop client: one coroutine-friendly TCP connection.
+
+    Construct, then ``await connect()`` (or use ``async with``)::
+
+        async with AsyncDualityClient("127.0.0.1:7171") as client:
+            results = await client.solve_many(pairs)
+
+    ``solve_many`` is where this client earns its keep: a sender task
+    streams *every* request under ``await drain()`` — no fixed pipeline
+    window; the server's per-connection in-flight cap plus TCP pushback
+    bound the pipeline — while the caller's coroutine collects
+    responses as the scheduler finishes them.  Thousands of these
+    clients can share one event loop, which is how the connection-count
+    tests and benchmarks drive the server.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int | None = None,
+        timeout: float = 60.0,
+        max_line_bytes: int = MAX_LINE_BYTES,
+        auth_token: str | None = None,
+    ) -> None:
+        """Configure a client; nothing touches the network until
+        :meth:`connect`.  Parameters mirror :class:`DualityClient`.
+        """
+        if port is None:
+            from repro.net.server import parse_address
+
+            host, port = parse_address(host)
+        self._address = (host, port)
+        self._timeout = timeout
+        self._max_line_bytes = max_line_bytes
+        self._auth_token = auth_token
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._next_id = 0
+
+    async def connect(self) -> "AsyncDualityClient":
+        """Open the connection (and authenticate, when a token is set)."""
+        if self._writer is not None:
+            return self
+        host, port = self._address
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port, limit=self._max_line_bytes),
+            self._timeout,
+        )
+        if self._auth_token is not None:
+            try:
+                self._checked(
+                    await self.request({"op": "auth", "token": self._auth_token})
+                )
+            except BaseException:
+                await self.close()
+                raise
+        return self
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._writer is None
+
+    def _require_open(self) -> asyncio.StreamWriter:
+        if self._writer is None:
+            raise RuntimeError(
+                "client is not connected; await connect() first"
+            )
+        return self._writer
+
+    async def _send(self, request: dict) -> int:
+        """Assign an id and put one request on the wire (drain-throttled)."""
+        writer = self._require_open()
+        request_id = self._next_id
+        self._next_id += 1
+        request["id"] = request_id
+        try:
+            writer.write(json.dumps(request).encode("utf-8") + b"\n")
+            await asyncio.wait_for(writer.drain(), self._timeout)
+        except BaseException:
+            await self.close()
+            raise
+        return request_id
+
+    async def _read_response(self) -> dict:
+        """The next response line, whatever its id.
+
+        Raises ``ConnectionError`` on EOF and ``TimeoutError`` past the
+        client timeout; the *caller* decides whether that tears the
+        client down (round trips do; ``solve_many`` turns it into
+        in-line errors first).
+        """
+        reader = self._reader
+        if reader is None:
+            raise RuntimeError(
+                "client is not connected; await connect() first"
+            )
+        try:
+            line = await asyncio.wait_for(
+                reader.readuntil(b"\n"), self._timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            raise ConnectionError(
+                "server closed the connection before answering"
+            ) from exc
+        except asyncio.LimitOverrunError as exc:
+            raise ProtocolError(f"oversized response line: {exc}") from exc
+        return parse_response(line)
+
+    async def _receive(self, request_id: int) -> dict:
+        """One response, which must answer ``request_id`` (round trips)."""
+        try:
+            response = await self._read_response()
+        except BaseException:
+            await self.close()
+            raise
+        if response.get("id") != request_id:
+            await self.close()
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match request "
+                f"id {request_id} (no other request was outstanding)"
+            )
+        return response
+
+    async def _receive_any(self, outstanding: set[int]) -> tuple[int, dict]:
+        """The next response, matched to *some* outstanding id."""
+        response = await self._read_response()
+        request_id = response.get("id")
+        if request_id not in outstanding:
+            raise ProtocolError(
+                f"response id {request_id!r} does not match any outstanding "
+                f"request ({sorted(outstanding)})"
+            )
+        outstanding.discard(request_id)
+        return request_id, response
+
+    async def request(self, request: dict) -> dict:
+        """One raw request/response round trip (ids handled here)."""
+        return await self._receive(await self._send(request))
+
+    _checked = staticmethod(DualityClient._checked)
+
+    # ------------------------------------------------------------------
+    # The service API
+    # ------------------------------------------------------------------
+
+    async def ping(self) -> bool:
+        """Liveness probe: True when the server answers."""
+        response = self._checked(await self.request({"op": "ping"}))
+        return bool(response.get("pong"))
+
+    async def stats(self) -> dict:
+        """The server's health snapshot (pool, cache, counters)."""
+        return self._checked(await self.request({"op": "stats"}))["stats"]
+
+    async def solve(
+        self, g: Hypergraph, h: Hypergraph, method: str | None = None
+    ) -> dict:
+        """Decide one in-memory pair; raises :class:`RequestError` on error."""
+        return self._checked(await self.request(_solve_request((g, h), method)))
+
+    async def solve_path(
+        self, path: str | Path, method: str | None = None
+    ) -> dict:
+        """Decide one *client-side* ``.hg`` instance file (shipped inline)."""
+        return self._checked(
+            await self.request(_solve_request(load_instance(path), method))
+        )
+
+    async def solve_server_path(
+        self, path: str | Path, method: str | None = None
+    ) -> dict:
+        """Ask the server to load and decide one of *its own* ``.hg`` files."""
+        request: dict = {"op": "solve", "path": str(path)}
+        if method is not None:
+            request["method"] = method
+        return self._checked(await self.request(request))
+
+    async def solve_many(
+        self, instances, method: str | None = None
+    ) -> list[dict]:
+        """Decide a batch; full-pipeline streaming, results in input order.
+
+        A sender task streams every request back-to-back under ``await
+        drain()`` — the server's per-connection in-flight cap and TCP
+        flow control bound the pipeline, so there is no client-side
+        window to tune — while this coroutine collects responses in
+        whatever order the scheduler finishes them.  Per-request errors
+        come back in-line (``"ok": false``); a connection lost
+        mid-pipeline fills every unanswered slot with an in-line
+        ``ConnectionError`` object, promptly, and closes the client.
+        """
+        requests = [
+            _solve_request(
+                load_instance(item) if isinstance(item, (str, Path)) else item,
+                method,
+            )
+            for item in instances
+        ]
+        writer = self._require_open()
+        order: list[int] = []
+        for request in requests:
+            request["id"] = self._next_id
+            self._next_id += 1
+            order.append(request["id"])
+        arrived: dict[int, dict] = {}
+        outstanding: set[int] = set()
+        sent = asyncio.Event()
+
+        async def send_all() -> None:
+            try:
+                for request in requests:
+                    writer.write(json.dumps(request).encode("utf-8") + b"\n")
+                    outstanding.add(request["id"])
+                    sent.set()
+                    await writer.drain()
+            finally:
+                sent.set()  # wake the collector even on a send failure
+
+        sender = asyncio.ensure_future(send_all())
+        failure: BaseException | None = None
+        try:
+            for _ in order:
+                while not outstanding:
+                    # All sent-so-far answered: wait for the sender to
+                    # put more on the wire (or to fail trying).
+                    if sender.done():
+                        break
+                    sent.clear()
+                    await sent.wait()
+                if not outstanding:
+                    break
+                try:
+                    request_id, response = await self._receive_any(outstanding)
+                except _WIRE_FAILURES as exc:
+                    failure = exc
+                    break
+                arrived[request_id] = response
+        finally:
+            if not sender.done():
+                sender.cancel()
+            try:
+                await sender
+            except asyncio.CancelledError:
+                pass
+            except _WIRE_FAILURES as exc:
+                if failure is None:
+                    failure = exc
+        if len(arrived) < len(order):
+            await self.close()
+            if failure is None:  # pragma: no cover - defensive
+                failure = ConnectionError("response never arrived")
+            for request_id in order:
+                if request_id not in arrived:
+                    arrived[request_id] = _connection_lost_response(
+                        request_id, failure
+                    )
+        return [arrived[request_id] for request_id in order]
+
+    async def shutdown_server(self) -> dict:
+        """Ask the server to shut down gracefully (drain, flush, close)."""
+        return self._checked(await self.request({"op": "shutdown"}))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        writer = self._writer
+        if writer is None:
+            return
+        self._writer = None
+        self._reader = None
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (OSError, asyncio.CancelledError):
+            pass
+
+    async def __aenter__(self) -> "AsyncDualityClient":
+        return await self.connect()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()

@@ -16,7 +16,13 @@ solve    ``id`` (echoed back), optional ``method`` (per-request engine
          hypergraphs (:func:`encode_hypergraph`) or a server-side
          ``path`` to an ``.hg`` instance file
 ping     liveness probe; answered with ``{"pong": true}``
-stats    server/pool/cache health snapshot
+stats    server/pool/cache health snapshot: counters, per-connection
+         in-flight, cache hit/miss/eviction totals, p50/p99 service time
+auth     ``token``: the server's shared secret.  On a server started
+         with ``--auth-token`` this **must be the first frame** of the
+         connection; a wrong or missing token is answered with one
+         ``AuthError`` line and a disconnect.  Servers without a token
+         accept (and ignore) the op.
 shutdown ask the server to stop: in-flight requests drain, the cache is
          flushed atomically, the pool closes
 ======== ==================================================================
@@ -43,6 +49,15 @@ Framing is length-sane: a line longer than ``max_line_bytes`` (default
 connection is closed, because a half-read oversized line has no
 trustworthy resynchronisation point.
 
+Flow control is per connection, both ways.  The server stops *reading*
+a connection once it has ``max_inflight`` solves scheduled and
+undelivered for it — a client that pipelines beyond the cap backs up
+into its own socket buffers (TCP pushback), not server memory — and
+each connection's responses are written under ``drain()`` throttling,
+so a client that stops reading stalls only itself.  Clients should
+therefore keep consuming responses while they stream requests
+(:meth:`~repro.net.client.AsyncDualityClient.solve_many` does).
+
 Hypergraphs travel through the lossless tagged codec of
 :mod:`repro.parallel.codec` (one encoded vertex list per edge, plus the
 universe for isolated vertices), so tuple- or frozenset-labelled
@@ -61,7 +76,7 @@ from repro.parallel.codec import decode_vertex_set, encode_vertex_set
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
 #: The request operations a server understands.
-OPERATIONS = ("solve", "ping", "stats", "shutdown")
+OPERATIONS = ("solve", "ping", "stats", "auth", "shutdown")
 
 
 class ProtocolError(ValueError):
@@ -70,6 +85,10 @@ class ProtocolError(ValueError):
 
 class LineTooLong(ProtocolError):
     """A line exceeded the negotiated ``max_line_bytes`` ceiling."""
+
+
+class AuthError(ProtocolError):
+    """A missing or wrong shared-secret token on an auth-required server."""
 
 
 class RequestError(RuntimeError):

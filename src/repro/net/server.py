@@ -1,57 +1,77 @@
-"""A concurrent TCP front end over the :mod:`repro.service` scheduler.
+"""An asyncio TCP front end over the :mod:`repro.service` scheduler.
 
-Many clients, one warm pool — and since PR 5, **many solves at once**:
-the server owns a single :class:`~repro.service.pool.EnginePool` and a
-single (thread-safe) :class:`~repro.parallel.batch.ResultCache`, and
-every connection dispatches its requests straight to the shared
-scheduler.  There is no solve lock: each request becomes a
-:class:`~repro.service.ServiceTicket`, and its response is written to
-the wire **the moment it completes — out of request order** when a
-fast instance overtakes a slow one.  The protocol already correlates
-by ``id`` (echoed back verbatim), and
-:meth:`~repro.net.client.DualityClient.solve_many` re-orders arrivals,
-so a slow instance on one connection never head-of-line-blocks fast
-requests on another (or even on the same) connection.  Per-request
-``method`` overrides are served by per-method
-:class:`~repro.service.EngineService` views that all borrow the same
-pool and cache, so a mixed-engine workload still shares every warm
-worker and every cached verdict.
+Every connection is multiplexed onto **one event loop**: where the old
+thread-per-connection server spent two OS threads per client (and
+degraded past a few hundred connections), :class:`AsyncDualityServer`
+holds thousands of idle connections for the cost of their sockets —
+the reader of every connection is a thin coroutine, and the framing in
+:mod:`repro.net.protocol` plus the completion-driven
+:class:`~repro.service.ServiceTicket` scheduler mean nothing about the
+solve path had to change to get there.  Verdicts stay bit-for-bit
+identical to serial ``decide_duality``.
 
-Each connection runs two threads: a *reader* that parses request lines
-and dispatches tickets, and a *writer* that drains a FIFO outbox onto
-the socket — completion callbacks only ever enqueue, so a client that
-is slow to read its responses stalls its own writer thread and nobody
-else's.
+Threading model (three kinds of thread, each with one job):
 
-Lifecycle: :meth:`DualityServer.start` binds and spawns the accept
-loop; :meth:`DualityServer.shutdown` (or a client ``shutdown`` request,
-or ``KeyboardInterrupt`` in the CLI) waits for in-flight tickets to
-deliver, flushes the cache atomically to its path, then closes the
-pool.  Handler threads poll the closing flag between requests on a
-short socket timeout, so shutdown is graceful but bounded.
+* the **event loop thread** owns every connection: reading lines,
+  enqueueing responses, and all per-connection state.  It never solves,
+  never loads a file, and never touches the disk, so a slow instance
+  cannot freeze ten thousand idle connections;
+* a small **dispatcher executor** runs :meth:`EngineService.submit` —
+  request decoding, cache lookup, and (at ``n_jobs=1``) the inline
+  solve itself — off the loop;
+* the **pool's completion threads** resolve tickets.  Each ticket's
+  done-callback builds the response payload and autosaves the cache in
+  that thread, then bounces the finished payload into the loop via
+  ``call_soon_threadsafe`` (the bridge
+  :meth:`~repro.service.ServiceTicket.add_loop_callback` documents).
 
-Crash-safety: the cache is persisted after every computed verdict
-(``autosave_every``; default 1) *before* the verdict is written to the
-wire, so even a ``kill -9``'d server loses no verdict a client ever
-saw, and the atomic :meth:`~repro.parallel.batch.ResultCache.save`
-guarantees the file on disk is always a loadable generation.
+Backpressure, per connection, both directions:
+
+* **read side** — at most ``max_inflight`` solves may be scheduled and
+  undelivered per connection.  Past the cap the reader coroutine parks
+  on a semaphore instead of calling ``read`` — asyncio flow control
+  then stops the transport, TCP stops the peer, and a client that
+  pipelines a million requests buffers them in *its own* kernel, not in
+  server memory.  Non-solve ops hold slots from a second, smaller
+  window, so a ping flood cannot grow the outbox either;
+* **write side** — each connection has one writer task draining a FIFO
+  outbox with ``await writer.drain()`` under a send timeout.  A client
+  that stops reading stalls only its own writer (and, through the slot
+  cap, its own reader); past :data:`~AsyncDualityServer.SEND_TIMEOUT`
+  the connection is declared dead and dropped.
+
+Auth: with ``auth_token`` set, the first frame of every connection must
+be an ``auth`` op carrying the token — anything else (or a wrong token)
+gets one clean error line and a disconnect, and never reaches the
+scheduler.
+
+Lifecycle is unchanged from the threaded generations: :meth:`start`
+binds and spawns the loop thread, :meth:`shutdown` (or a client
+``shutdown`` request, or ``KeyboardInterrupt`` in the CLI) waits for
+in-flight tickets to deliver, flushes the cache atomically, then closes
+the pool.  Crash-safety is unchanged too: the cache persists after
+every computed verdict *before* the verdict is written to the wire.
 """
 
 from __future__ import annotations
 
-import queue
+import asyncio
+import hmac
+import json
 import socket
 import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.net.protocol import (
-    LineReader,
+    AuthError,
     LineTooLong,
     MAX_LINE_BYTES,
     ProtocolError,
     decode_hypergraph,
     parse_request,
-    send_json,
 )
 from repro.parallel.batch import ResultCache
 from repro.service import EnginePool, EngineService, response_to_json
@@ -67,95 +87,145 @@ def parse_address(text: str) -> tuple[str, int]:
     return host or "127.0.0.1", int(port)
 
 
-class _Connection:
-    """One client connection: a reader's socket plus an ordered writer.
+class _LatencyWindow:
+    """Service-time percentiles over a sliding window of recent requests.
 
-    Completion callbacks (and the reader itself) never touch the socket
-    directly — they :meth:`send` payloads into a FIFO outbox that a
-    dedicated writer thread drains.  That gives every connection
-    strictly ordered, non-interleaved response lines with no lock
-    around the socket, and confines a stalled client to its own writer.
+    ``record`` is called from completion threads, ``snapshot`` from
+    whatever thread answers a ``stats`` op — a lock and a bounded deque
+    keep both cheap (the window holds seconds; snapshots report ms).
+    """
 
-    The writer sends on a ``dup()`` of the socket so its (generous)
-    send timeout never races the reader's short poll timeout — socket
-    timeouts live on the Python socket object, not the connection.
+    def __init__(self, size: int = 2048) -> None:
+        self._window: deque[float] = deque(maxlen=size)
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._window.append(seconds)
+            self.count += 1
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        index = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            window = list(self._window)
+            count = self.count
+        if not window:
+            return {"count": 0, "p50_ms": None, "p99_ms": None, "mean_ms": None}
+        window.sort()
+        return {
+            "count": count,
+            "p50_ms": round(self._percentile(window, 0.50) * 1000, 3),
+            "p99_ms": round(self._percentile(window, 0.99) * 1000, 3),
+            "mean_ms": round(sum(window) / len(window) * 1000, 3),
+        }
+
+
+class _AsyncConnection:
+    """One client connection: loop-owned state plus its writer task.
+
+    Responses are enqueued (never written directly) into a FIFO outbox
+    that the connection's writer task drains with ``drain()``-based
+    flow control, so one connection's lines never interleave and a
+    stalled client blocks only itself.  ``slots`` is the read-side
+    backpressure cap: acquired by the reader before a solve is
+    dispatched, released by the writer once the response left (or the
+    wire died) — a full window parks the reader, which parks the
+    transport, which parks the peer.
     """
 
     _CLOSE = object()
 
-    def __init__(self, sock: socket.socket, index: int, send_timeout: float):
-        self.sock = sock
-        self.dead = False  # a send failed; the wire is untrustworthy
-        self._wire = sock.dup()
-        self._wire.settimeout(send_timeout)
-        self._outbox: queue.SimpleQueue = queue.SimpleQueue()
-        self._pending = 0
-        self._cond = threading.Condition()
-        self._finished = False
-        self.writer = threading.Thread(
-            target=self._write_loop, name=f"duality-send-{index}", daemon=True
-        )
-        self.writer.start()
+    def __init__(
+        self,
+        index: int,
+        writer: asyncio.StreamWriter,
+        max_inflight: int,
+        op_window: int,
+        send_timeout: float,
+    ) -> None:
+        self.index = index
+        self.writer = writer
+        self.dead = False  # a send failed or timed out; the wire is gone
+        self.authenticated = False
+        #: Solves dispatched and not yet enqueued for writing.  Touched
+        #: only on the event loop thread; read (atomically) by stats.
+        self.pending = 0
+        self.slots = asyncio.Semaphore(max_inflight)
+        self.op_slots = asyncio.Semaphore(op_window)
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        self.send_timeout = send_timeout
+        self.writer_task: asyncio.Task | None = None
+        self._closed = False
 
-    # -- in-flight accounting (per connection) -------------------------
+    # -- the write side (the only code that touches the transport) -----
 
-    def track(self) -> None:
-        with self._cond:
-            self._pending += 1
-
-    def settle(self) -> None:
-        with self._cond:
-            self._pending -= 1
-            self._cond.notify_all()
-
-    def wait_idle(self, timeout: float) -> bool:
-        """Block until every tracked request has been delivered."""
-        with self._cond:
-            return self._cond.wait_for(lambda: self._pending == 0, timeout)
-
-    # -- the write side -------------------------------------------------
-
-    def send(self, payload: dict) -> None:
-        """Enqueue one response line (FIFO; dropped once the wire died)."""
-        self._outbox.put(payload)
-
-    def _write_loop(self) -> None:
+    async def write_loop(self) -> None:
         while True:
-            payload = self._outbox.get()
+            payload, kind = await self.outbox.get()
             if payload is self._CLOSE:
                 return
-            if self.dead:
-                continue  # discard: the client is gone
-            try:
-                send_json(self._wire, payload)
-            except OSError:
-                # Stalled past the send timeout or vanished: this
-                # connection is over, but its in-flight verdicts are
-                # already cached — only the delivery is lost.
-                self.dead = True
+            if not self.dead:
+                try:
+                    self.writer.write(
+                        json.dumps(payload).encode("utf-8") + b"\n"
+                    )
+                    await asyncio.wait_for(
+                        self.writer.drain(), self.send_timeout
+                    )
+                except (OSError, TimeoutError):
+                    # Stalled past the send timeout or vanished: the
+                    # connection is over; computed verdicts are already
+                    # cached — only their delivery is lost.
+                    self.dead = True
+            if kind == "solve":
+                self.slots.release()
+            elif kind == "op":
+                self.op_slots.release()
 
-    def finish(self, timeout: float = 10.0) -> None:
-        """Flush the outbox and stop the writer (idempotent)."""
-        if not self._finished:
-            self._finished = True
-            self._outbox.put(self._CLOSE)
-        if self.writer is not threading.current_thread():
-            self.writer.join(timeout)
+    async def send_op(self, payload: dict) -> None:
+        """Enqueue one inline-op response (bounded by the op window)."""
+        await self.op_slots.acquire()
+        self.outbox.put_nowait((payload, "op"))
 
-    def close(self) -> None:
-        self.finish()
-        for sock in (self._wire, self.sock):
+    def enqueue_solve(self, payload: dict) -> None:
+        """Enqueue one solve response (its slot is already held)."""
+        self.outbox.put_nowait((payload, "solve"))
+
+    async def aclose(self) -> None:
+        """Flush the outbox, stop the writer, close the transport."""
+        if self._closed:
+            return
+        self._closed = True
+        self.outbox.put_nowait((self._CLOSE, None))
+        if self.writer_task is not None:
             try:
-                sock.close()
-            except OSError:  # pragma: no cover - already closed
+                await asyncio.wait_for(self.writer_task, 10)
+            except (TimeoutError, asyncio.CancelledError):
                 pass
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (OSError, asyncio.CancelledError):  # already broken
+            pass
 
 
-class DualityServer:
-    """JSON-lines-over-TCP duality scheduler: shared pool, shared cache."""
+class AsyncDualityServer:
+    """JSON-lines duality scheduler on one event loop: 10k connections,
+    per-connection backpressure, shared warm pool, shared cache."""
 
-    #: How often (seconds) idle handler threads poll the closing flag.
-    POLL_INTERVAL = 0.2
+    #: How many solves one connection may have scheduled-but-undelivered
+    #: before the server stops reading from it (asyncio flow control
+    #: then pushes back all the way to the client's send buffer).
+    MAX_INFLIGHT = 64
+
+    #: The same cap for inline ops (ping/stats): a response window so a
+    #: ping flood from a non-reading client cannot grow the outbox.
+    OP_WINDOW = 32
 
     #: How long (seconds) one response write may take before the client
     #: is declared stalled and its connection dropped.
@@ -164,6 +234,9 @@ class DualityServer:
     #: How long (seconds) a closing connection or server waits for its
     #: in-flight tickets to deliver before giving up on them.
     DRAIN_TIMEOUT = 30.0
+
+    #: listen(2) backlog — high enough for a reconnect stampede.
+    BACKLOG = 512
 
     def __init__(
         self,
@@ -175,6 +248,8 @@ class DualityServer:
         max_line_bytes: int = MAX_LINE_BYTES,
         autosave_every: int = 1,
         cache_max_entries: int | None = None,
+        max_inflight: int = MAX_INFLIGHT,
+        auth_token: str | None = None,
     ) -> None:
         """Configure a server (nothing binds until :meth:`start`).
 
@@ -183,17 +258,23 @@ class DualityServer:
         :class:`EngineService`'s convention: a live cache, a JSON path
         (loaded tolerantly now, flushed atomically while serving), or
         ``None``; ``cache_max_entries`` caps a path-loaded cache with
-        LRU eviction (``None`` = unbounded).  ``autosave_every``
-        persists the path-backed cache once at least that many new
-        verdicts accumulated (1 = after every computed verdict; 0
+        LRU eviction.  ``autosave_every`` persists the path-backed
+        cache once at least that many new verdicts accumulated (0
         disables autosave, leaving only the shutdown flush).
+        ``max_inflight`` is the per-connection backpressure cap;
+        ``auth_token`` (when set) makes the first frame of every
+        connection a mandatory ``auth`` op.
         """
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
         self._host = host
         self._port = port
         self.method = method
         self.n_jobs = n_jobs
         self.max_line_bytes = max_line_bytes
         self.autosave_every = autosave_every
+        self.max_inflight = max_inflight
+        self._auth_token = auth_token
         self._cache_path: Path | None = None
         if isinstance(cache, (str, Path)):
             self._cache_path = Path(cache)
@@ -205,23 +286,27 @@ class DualityServer:
         self.pool = EnginePool(n_jobs)
         self._services: dict[str, EngineService] = {}
         # Guards the _services dict itself (stats() snapshots it while
-        # handler threads insert); there is no solve lock — requests
-        # from every connection schedule concurrently on the pool.
+        # the loop inserts); solves schedule concurrently on the pool.
         self._services_lock = threading.Lock()
         self._listener: socket.socket | None = None
-        self._accept_thread: threading.Thread | None = None
-        self._handlers: list[threading.Thread] = []
-        self._connections: set[_Connection] = set()
+        self._thread: threading.Thread | None = None
+        self._dispatcher: ThreadPoolExecutor | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._connections: set[_AsyncConnection] = set()
         self._conn_lock = threading.Lock()
+        self._handler_tasks: set[asyncio.Task] = set()
         self._closing = threading.Event()
         self._stopped = threading.Event()
+        self._ready = threading.Event()
+        self._start_error: BaseException | None = None
         self._count_lock = threading.Lock()
-        # Server-wide in-flight tickets: shutdown waits for this to hit
-        # zero so every scheduled verdict gets delivered (or its
-        # connection declared dead) before the pool closes.
+        #: Server-wide in-flight solves (dispatched, response not yet
+        #: enqueued).  Mutated only on the loop thread; shutdown's drain
+        #: polls it so every scheduled verdict gets delivered (or its
+        #: connection declared dead) before the pool closes.
         self._inflight = 0
-        self._idle = threading.Event()
-        self._idle.set()
+        self.latency = _LatencyWindow()
         self.connections_accepted = 0
         self.requests_served = 0
         self.errors = 0
@@ -231,7 +316,7 @@ class DualityServer:
             setattr(self, counter, getattr(self, counter) + 1)
 
     # ------------------------------------------------------------------
-    # Lifecycle
+    # Lifecycle (the sync facade around the loop thread)
     # ------------------------------------------------------------------
 
     @property
@@ -241,11 +326,11 @@ class DualityServer:
             raise RuntimeError("server is not started")
         return self._listener.getsockname()[:2]
 
-    def start(self) -> "DualityServer":
-        """Bind, listen, and spawn the accept loop (idempotent)."""
+    def start(self) -> "AsyncDualityServer":
+        """Bind, listen, and spawn the event loop thread (idempotent)."""
         if self._closing.is_set():
             raise RuntimeError("server has been shut down; create a new one")
-        if self._listener is not None:
+        if self._thread is not None:
             return self
         # Bind before spawning workers: a taken port must fail with
         # nothing to clean up, not leak a running pool.
@@ -253,112 +338,83 @@ class DualityServer:
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
             listener.bind((self._host, self._port))
-            listener.listen()
+            listener.listen(self.BACKLOG)
+            listener.setblocking(False)
             self.pool.start()
         except BaseException:
             listener.close()
             self.pool.shutdown()
             raise
-        # Poll rather than block in accept(): closing a socket does not
-        # reliably wake a thread blocked in accept() on it, so a timed
-        # accept checking the closing flag is what makes shutdown work.
-        listener.settimeout(self.POLL_INTERVAL)
         self._listener = listener
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="duality-accept", daemon=True
+        # Dispatch (submit + inline solves at n_jobs=1) runs here, off
+        # the loop; two threads minimum so a cache hit is never parked
+        # behind one slow inline solve.
+        self._dispatcher = ThreadPoolExecutor(
+            max_workers=max(2, self.pool.n_jobs),
+            thread_name_prefix="duality-dispatch",
         )
-        self._accept_thread.start()
+        self._thread = threading.Thread(
+            target=self._thread_main, name="duality-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._start_error is not None:
+            error = self._start_error
+            self._thread.join(timeout=10)
+            raise error
         return self
 
-    def shutdown(self, timeout: float = 30.0) -> None:
+    def shutdown(self, timeout: float = 60.0) -> None:
         """Stop serving gracefully: deliver in-flight verdicts, flush
         the cache, close the pool.
 
-        Safe to call from any thread (including a handler answering a
-        ``shutdown`` request) and idempotent.  In-flight requests finish
-        and get their responses; idle connections are closed at the
-        next poll tick.
+        Safe to call from any thread and idempotent.  In-flight
+        requests finish and get their responses; idle connections see a
+        clean EOF.
         """
-        self._begin_shutdown()
-        thread = self._accept_thread
-        if thread is not None and thread is not threading.current_thread():
-            thread.join(timeout)
-        if not self._stopped.is_set():
-            # start() was never called (or the accept thread is wedged):
-            # finalize inline so the pool and cache are still released.
+        self._closing.set()
+        if self._thread is None:
+            # start() was never called: still release the pool and
+            # flush whatever the cache holds.
             self._finalize()
+            return
+        self._bounce_to_loop(self._signal_shutdown)
+        self._stopped.wait(timeout)
+        if self._thread is not threading.current_thread():
+            self._thread.join(timeout)
 
     def wait(self) -> None:
         """Block until the server has fully stopped (CLI foreground)."""
         while not self._stopped.wait(0.5):
             pass
 
-    def __enter__(self) -> "DualityServer":
+    def __enter__(self) -> "AsyncDualityServer":
         return self.start()
 
     def __exit__(self, *_exc) -> None:
         self.shutdown()
 
-    def _begin_shutdown(self) -> None:
-        if self._closing.is_set():
-            return
-        self._closing.set()
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:  # pragma: no cover - platform quirk
-                pass
-
-    # ------------------------------------------------------------------
-    # Accept loop and finalization
-    # ------------------------------------------------------------------
-
-    def _accept_loop(self) -> None:
+    def _thread_main(self) -> None:
         try:
-            while not self._closing.is_set():
-                try:
-                    conn, _addr = self._listener.accept()
-                except TimeoutError:
-                    continue  # poll tick: re-check the closing flag
-                except OSError:
-                    break  # listener closed by shutdown
-                self._count("connections_accepted")
-                connection = _Connection(
-                    conn, self.connections_accepted, self.SEND_TIMEOUT
-                )
-                with self._conn_lock:
-                    self._connections.add(connection)
-                # Drop finished handler threads so a long-lived server
-                # doesn't accumulate one dead Thread per connection.
-                self._handlers = [
-                    h for h in self._handlers if h.is_alive()
-                ]
-                handler = threading.Thread(
-                    target=self._handle,
-                    args=(connection,),
-                    name=f"duality-conn-{self.connections_accepted}",
-                    daemon=True,
-                )
-                self._handlers.append(handler)
-                handler.start()
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - defensive
+            if not self._ready.is_set():
+                self._start_error = exc
+                self._ready.set()
         finally:
-            self._begin_shutdown()
             self._finalize()
 
     def _finalize(self) -> None:
+        """Release everything (runs after the loop exits, or inline when
+        the server never started)."""
         if self._stopped.is_set():
             return
-        # Every scheduled ticket delivers (or its client is declared
-        # dead) before the workers disappear underneath it.
-        self._idle.wait(self.DRAIN_TIMEOUT)
-        for handler in self._handlers:
-            if handler is not threading.current_thread():
-                handler.join(timeout=10)
-        with self._conn_lock:
-            leftover = list(self._connections)
-            self._connections.clear()
-        for connection in leftover:  # pragma: no cover - stragglers only
-            connection.close()
+        self._closing.set()
+        if self._dispatcher is not None:
+            # Queued dispatches are cancelled; a running inline solve is
+            # awaited (threads cannot be killed, and its ticket resolves
+            # into a closed connection harmlessly).
+            self._dispatcher.shutdown(wait=True, cancel_futures=True)
         with self._services_lock:
             services = list(self._services.values())
         for service in services:
@@ -367,83 +423,262 @@ class DualityServer:
             if self.cache.new_since_save:
                 self.cache.save(self._cache_path)
         self.pool.shutdown()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         self._stopped.set()
 
+    def _signal_shutdown(self) -> None:
+        """Loop-side shutdown trigger (idempotent)."""
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    def _bounce_to_loop(self, fn, *args) -> None:
+        """Run ``fn(*args)`` on the event loop from any thread.
+
+        A loop that already closed (shutdown past its drain deadline)
+        swallows the bounce: by then nobody is listening.
+        """
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(fn, *args)
+        except RuntimeError:
+            pass
+
     # ------------------------------------------------------------------
-    # Per-connection handling
+    # The event loop
     # ------------------------------------------------------------------
 
-    def _handle(self, connection: _Connection) -> None:
-        sock = connection.sock
-        sock.settimeout(self.POLL_INTERVAL)
-        reader = LineReader(sock, self.max_line_bytes)
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        if self._closing.is_set():  # shutdown raced start
+            self._shutdown_event.set()
         try:
-            while not self._closing.is_set() and not connection.dead:
-                try:
-                    line = reader.readline()
-                except TimeoutError:
-                    continue
-                except LineTooLong as exc:
-                    # No trustworthy framing past an oversized line:
-                    # report and hang up, leaving other clients alone.
-                    self._send_error(connection, None, exc)
-                    break
-                if line is None:  # clean EOF or mid-request disconnect
+            server = await asyncio.start_server(
+                self._handle,
+                sock=self._listener,
+                limit=self.max_line_bytes,
+                backlog=self.BACKLOG,
+            )
+        except BaseException as exc:
+            self._start_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            self._closing.set()
+            server.close()
+            await server.wait_closed()
+            # Every scheduled ticket delivers (or its client is declared
+            # dead) before the workers disappear underneath it.
+            deadline = self._loop.time() + self.DRAIN_TIMEOUT
+            while self._inflight > 0 and self._loop.time() < deadline:
+                await asyncio.sleep(0.05)
+            with self._conn_lock:
+                leftover = list(self._connections)
+                self._connections.clear()
+            await asyncio.gather(
+                *(conn.aclose() for conn in leftover), return_exceptions=True
+            )
+            tasks = {t for t in self._handler_tasks if not t.done()}
+            if tasks:
+                await asyncio.wait(tasks, timeout=5)
+
+    # ------------------------------------------------------------------
+    # Per-connection handling (all on the loop thread)
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._count("connections_accepted")
+        conn = _AsyncConnection(
+            self.connections_accepted,
+            writer,
+            self.max_inflight,
+            self.OP_WINDOW,
+            self.SEND_TIMEOUT,
+        )
+        conn.writer_task = asyncio.ensure_future(conn.write_loop())
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        with self._conn_lock:
+            self._connections.add(conn)
+        try:
+            while not (self._closing.is_set() or conn.dead):
+                line = await self._read_line(conn, reader)
+                if line is None:
                     break
                 if not line.strip():
                     continue
-                if not self._serve_line(connection, line):
+                if not await self._serve_line(conn, line):
                     break
-        except OSError:
+        except (OSError, ConnectionError):
             # The client vanished mid-read; its in-flight requests (if
             # any) still resolve below — their sends just go nowhere.
             pass
         finally:
             # Let this connection's in-flight tickets deliver, flush
-            # the outbox in order, then release the sockets.
-            connection.wait_idle(self.DRAIN_TIMEOUT)
+            # the outbox in order, then release the transport.
+            await self._await_conn_pending(conn)
             with self._conn_lock:
-                self._connections.discard(connection)
-            connection.close()
+                self._connections.discard(conn)
+            await conn.aclose()
 
-    def _serve_line(self, connection: _Connection, line: bytes) -> bool:
+    async def _read_line(
+        self, conn: _AsyncConnection, reader: asyncio.StreamReader
+    ) -> bytes | None:
+        """One request line; ``None`` ends the connection.
+
+        A clean EOF and a mid-request disconnect (trailing partial
+        line) both end it quietly; an oversized line gets a
+        ``LineTooLong`` error response first, because a half-read line
+        has no trustworthy resynchronisation point.
+        """
+        try:
+            return await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError:
+            return None
+        except asyncio.LimitOverrunError:
+            self._count("errors")
+            await conn.send_op(
+                self._error_payload(
+                    None,
+                    LineTooLong(
+                        f"request line exceeds {self.max_line_bytes} bytes "
+                        "without a newline"
+                    ),
+                )
+            )
+            return None
+        except (OSError, ConnectionError):
+            return None
+
+    async def _serve_line(self, conn: _AsyncConnection, line: bytes) -> bool:
         """Dispatch one request line; False ends the connection."""
         try:
             request = parse_request(line)
         except ProtocolError as exc:
-            self._send_error(connection, None, exc)
+            self._count("errors")
+            await conn.send_op(self._error_payload(None, exc))
             return True  # framing is intact: keep serving this client
         request_id = request.get("id")
         op = request.get("op", "solve")
+        if self._auth_token is not None and not conn.authenticated:
+            if op != "auth" or not self._token_matches(request):
+                self._count("errors")
+                message = (
+                    "wrong token"
+                    if op == "auth"
+                    else (
+                        "authentication required: the first request "
+                        "must be an 'auth' op with the server's token"
+                    )
+                )
+                await conn.send_op(
+                    self._error_payload(request_id, AuthError(message))
+                )
+                return False  # one clean error line, then disconnect
+            conn.authenticated = True
+            self._count("requests_served")
+            await conn.send_op(
+                {"id": request_id, "ok": True, "authenticated": True}
+            )
+            return True
+        if op == "auth":
+            # No token required (or a redundant re-auth): fine, unless
+            # the token is configured and this one is wrong.
+            if self._auth_token is not None and not self._token_matches(request):
+                self._count("errors")
+                await conn.send_op(
+                    self._error_payload(request_id, AuthError("wrong token"))
+                )
+                return False
+            self._count("requests_served")
+            await conn.send_op(
+                {"id": request_id, "ok": True, "authenticated": True}
+            )
+            return True
         if op == "ping":
             self._count("requests_served")
-            connection.send({"id": request_id, "ok": True, "pong": True})
+            await conn.send_op({"id": request_id, "ok": True, "pong": True})
             return True
         if op == "stats":
             self._count("requests_served")
-            connection.send({"id": request_id, "ok": True, "stats": self.stats()})
+            await conn.send_op(
+                {"id": request_id, "ok": True, "stats": self.stats()}
+            )
             return True
         if op == "shutdown":
             # This connection's own solves are tracked; once they have
             # been enqueued, FIFO ordering puts them on the wire before
             # the shutdown acknowledgement.
-            connection.wait_idle(self.DRAIN_TIMEOUT)
+            await self._await_conn_pending(conn)
             self._count("requests_served")
-            connection.send(
+            await conn.send_op(
                 {"id": request_id, "ok": True, "shutting_down": True}
             )
-            self._begin_shutdown()
+            self._signal_shutdown()
             return False
+        # op == "solve": acquire a backpressure slot *before* reading
+        # any further — a connection at its cap parks here, the
+        # transport pauses, and the client's pipeline backs up into the
+        # client's own buffers instead of server memory.
+        await conn.slots.acquire()
+        conn.pending += 1
+        self._inflight += 1
+        try:
+            self._dispatcher.submit(self._dispatch_and_watch, conn, request)
+        except RuntimeError:  # dispatcher closed: the server is closing
+            conn.pending -= 1
+            self._inflight -= 1
+            conn.slots.release()
+            return False
+        return True
+
+    def _token_matches(self, request: dict) -> bool:
+        token = request.get("token")
+        return isinstance(token, str) and hmac.compare_digest(
+            token, self._auth_token
+        )
+
+    async def _await_conn_pending(self, conn: _AsyncConnection) -> None:
+        deadline = self._loop.time() + self.DRAIN_TIMEOUT
+        while conn.pending > 0 and self._loop.time() < deadline:
+            await asyncio.sleep(0.02)
+
+    # ------------------------------------------------------------------
+    # The solve path (dispatcher + completion threads)
+    # ------------------------------------------------------------------
+
+    def _dispatch_and_watch(self, conn: _AsyncConnection, request: dict) -> None:
+        """Submit one solve to the scheduler (dispatcher thread).
+
+        At ``n_jobs=1`` the submit runs the solve inline right here —
+        which is exactly why this is not the loop thread.
+        """
+        request_id = request.get("id")
+        started = time.monotonic()
         try:
             ticket = self._dispatch(request)
         except Exception as exc:  # noqa: BLE001 - per-request error object
-            self._send_error(connection, request_id, exc)
-            return True
-        self._track(connection)
+            self._count("errors")
+            self._bounce_to_loop(
+                self._deliver, conn, self._error_payload(request_id, exc)
+            )
+            return
         ticket.add_done_callback(
-            lambda t: self._deliver(connection, request_id, t)
+            lambda t: self._finish_request(conn, request_id, started, t)
         )
-        return True
 
     def _dispatch(self, request: dict):
         """Schedule one solve on the shared scheduler; its ticket."""
@@ -465,17 +700,19 @@ class DualityServer:
         service = self._service_for(method)
         return service.submit(instance, collect=False)
 
-    def _deliver(self, connection: _Connection, request_id, ticket) -> None:
-        """One ticket resolved: put its response on the connection's wire.
-
-        Runs in whatever thread completed the solve — never blocks on
-        the socket itself (that is the writer thread's job).
+    def _finish_request(
+        self, conn: _AsyncConnection, request_id, started: float, ticket
+    ) -> None:
+        """One ticket resolved: build its response and bounce it into
+        the loop.  Runs in whatever thread completed the solve — never
+        the loop thread, so the autosave's disk write cannot stall ten
+        thousand other connections.
         """
-        try:
-            error = ticket.exception()
-            if error is not None:
-                self._send_error(connection, request_id, error)
-                return
+        error = ticket.exception()
+        if error is not None:
+            self._count("errors")
+            payload = self._error_payload(request_id, error)
+        else:
             payload = {"ok": True}
             payload.update(response_to_json(ticket.result()))
             payload["id"] = request_id  # the wire id wins over the queue's
@@ -483,22 +720,14 @@ class DualityServer:
             # after this send loses nothing the client saw.
             self._maybe_autosave()
             self._count("requests_served")
-            connection.send(payload)
-        finally:
-            self._settle(connection)
+            self.latency.record(time.monotonic() - started)
+        self._bounce_to_loop(self._deliver, conn, payload)
 
-    def _track(self, connection: _Connection) -> None:
-        connection.track()
-        with self._count_lock:
-            self._inflight += 1
-            self._idle.clear()
-
-    def _settle(self, connection: _Connection) -> None:
-        connection.settle()
-        with self._count_lock:
-            self._inflight -= 1
-            if self._inflight == 0:
-                self._idle.set()
+    def _deliver(self, conn: _AsyncConnection, payload: dict) -> None:
+        """Loop thread: hand one finished response to the writer."""
+        conn.pending -= 1
+        self._inflight -= 1
+        conn.enqueue_solve(payload)
 
     def _service_for(self, method: str) -> EngineService:
         """The per-method service view (shared pool, shared cache)."""
@@ -525,34 +754,46 @@ class DualityServer:
         ):
             self.cache.save(self._cache_path)
 
-    def _send_error(
-        self, connection: _Connection, request_id, exc: Exception
-    ) -> None:
-        self._count("errors")
-        connection.send(
-            {
-                "id": request_id,
-                "ok": False,
-                "error": {
-                    "type": type(exc).__name__,
-                    "message": str(exc),
-                },
-            }
-        )
+    @staticmethod
+    def _error_payload(request_id, exc: BaseException) -> dict:
+        return {
+            "id": request_id,
+            "ok": False,
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+            },
+        }
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
-        """A JSON-safe health snapshot (also the ``stats`` op's answer)."""
+        """A JSON-safe health snapshot (also the ``stats`` op's answer).
+
+        Beyond the request/pool/cache counters, reports the
+        backpressure state (per-connection in-flight, the cap) and
+        service-time percentiles over the recent-request window.
+        """
+        with self._conn_lock:
+            open_conns = [(c.index, c.pending) for c in self._connections]
         out = {
             "method": self.method,
             "n_jobs": self.pool.n_jobs,
+            "auth_required": self._auth_token is not None,
+            "max_inflight": self.max_inflight,
             "connections_accepted": self.connections_accepted,
+            "connections_open": len(open_conns),
             "requests_served": self.requests_served,
             "requests_inflight": self._inflight,
+            "inflight_per_connection": {
+                str(index): pending
+                for index, pending in open_conns
+                if pending
+            },
             "errors": self.errors,
+            "latency": self.latency.snapshot(),
             "pool_generations": self.pool.generations,
             "pool_restarts": self.pool.restarts,
             "tasks_completed": self.pool.tasks_completed,
@@ -563,4 +804,10 @@ class DualityServer:
             out["cache_entries"] = len(self.cache)
             out["cache_hits"] = self.cache.hits
             out["cache_misses"] = self.cache.misses
+            out["cache_evictions"] = self.cache.evictions
         return out
+
+
+#: The event-loop server is *the* server since PR 6 (the threaded
+#: generations are gone); the historical name stays as the API.
+DualityServer = AsyncDualityServer

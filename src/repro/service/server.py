@@ -107,8 +107,35 @@ class ServiceTicket(int):
         return self._completion.exception(timeout)
 
     def add_done_callback(self, fn) -> None:
-        """Run ``fn(ticket)`` on completion (now, if already answered)."""
+        """Run ``fn(ticket)`` on completion (now, if already answered).
+
+        The callback runs in whatever thread resolved the ticket — the
+        submitting thread for a cache hit, a pool completion thread
+        otherwise — so it must be thread-safe and must not block.  Code
+        living on an asyncio loop should use :meth:`add_loop_callback`
+        instead of touching loop state from here.
+        """
         self._completion.add_done_callback(fn)
+
+    def add_loop_callback(self, loop, fn) -> None:
+        """Run ``fn(ticket)`` *on the event loop* once the ticket resolves.
+
+        The bridge between the completion-driven scheduler and asyncio
+        code: completions resolve in pool/submitter threads, where
+        touching loop state is undefined behaviour, so this wraps the
+        callback in ``loop.call_soon_threadsafe``.  A loop that has
+        already closed (server past its drain deadline) swallows the
+        callback — by then nobody is listening for the verdict, which
+        is already cached.
+        """
+
+        def _bounce(ticket) -> None:
+            try:
+                loop.call_soon_threadsafe(fn, ticket)
+            except RuntimeError:  # loop already closed
+                pass
+
+        self._completion.add_done_callback(_bounce)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done() else "pending"

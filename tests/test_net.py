@@ -18,6 +18,7 @@ The contracts:
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 import signal
@@ -42,6 +43,8 @@ from repro.hypergraph.generators import (
     threshold_dual_pair,
 )
 from repro.net import (
+    AsyncDualityClient,
+    AsyncDualityServer,
     DualityClient,
     DualityServer,
     LineTooLong,
@@ -819,3 +822,427 @@ class TestNetCli:
 
         with pytest.raises(SystemExit, match="repro client"):
             main(["serve", "--listen", "127.0.0.1:0", "whatever.hg"])
+
+
+# ---------------------------------------------------------------------------
+# The event-loop server: auth, backpressure, the async client
+# ---------------------------------------------------------------------------
+
+def _recv_lines(sock: socket.socket, count: int, timeout: float = 120.0):
+    """Read exactly ``count`` newline-terminated JSON objects raw."""
+    sock.settimeout(timeout)
+    buffer = b""
+    lines = []
+    while len(lines) < count:
+        while b"\n" not in buffer:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise AssertionError(
+                    f"EOF after {len(lines)} of {count} lines"
+                )
+            buffer += chunk
+        line, _, buffer = buffer.partition(b"\n")
+        lines.append(json.loads(line))
+    return lines
+
+
+def _recv_eof(sock: socket.socket, timeout: float = 30.0) -> None:
+    sock.settimeout(timeout)
+    leftovers = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            assert not leftovers.strip(), leftovers
+            return
+        leftovers += chunk
+
+
+class TestAuth:
+    TOKEN = "swordfish-7"
+
+    def test_first_frame_must_authenticate_on_the_raw_wire(self):
+        with DualityServer(auth_token=self.TOKEN) as server:
+            # Any first frame that is not a valid auth op — here a
+            # perfectly well-formed ping — gets one clean error line
+            # and a disconnect, and never reaches the scheduler.
+            raw = socket.create_connection(server.address, timeout=30)
+            try:
+                raw.sendall(b'{"id": 1, "op": "ping"}\n')
+                (line,) = _recv_lines(raw, 1)
+                assert line == {
+                    "id": 1,
+                    "ok": False,
+                    "error": {
+                        "type": "AuthError",
+                        "message": line["error"]["message"],
+                    },
+                }
+                _recv_eof(raw)
+            finally:
+                raw.close()
+            # A wrong token: same treatment.
+            raw = socket.create_connection(server.address, timeout=30)
+            try:
+                raw.sendall(b'{"id": 2, "op": "auth", "token": "nope"}\n')
+                (line,) = _recv_lines(raw, 1)
+                assert line["ok"] is False
+                assert line["error"]["type"] == "AuthError"
+                _recv_eof(raw)
+            finally:
+                raw.close()
+            # The right token opens the session; everything works after.
+            raw = socket.create_connection(server.address, timeout=30)
+            try:
+                raw.sendall(
+                    json.dumps(
+                        {"id": 3, "op": "auth", "token": self.TOKEN}
+                    ).encode()
+                    + b"\n"
+                )
+                (line,) = _recv_lines(raw, 1)
+                assert line == {"id": 3, "ok": True, "authenticated": True}
+                raw.sendall(b'{"id": 4, "op": "ping"}\n')
+                (line,) = _recv_lines(raw, 1)
+                assert line["pong"] is True
+            finally:
+                raw.close()
+
+    def test_clients_authenticate_and_solve(self, tmp_path):
+        g, h = matching_dual_pair(3)
+        reference = _reference_fields(g, h)
+        with DualityServer(auth_token=self.TOKEN) as server:
+            host, port = server.address
+            with DualityClient(
+                host, port, timeout=60, auth_token=self.TOKEN
+            ) as client:
+                assert _response_fields(client.solve(g, h)) == reference
+            with pytest.raises(RequestError, match="AuthError"):
+                DualityClient(host, port, timeout=60, auth_token="wrong")
+
+            async def drive() -> dict:
+                async with AsyncDualityClient(
+                    host, port, timeout=60, auth_token=self.TOKEN
+                ) as client:
+                    return await client.solve(g, h)
+
+            assert _response_fields(asyncio.run(drive())) == reference
+
+            async def rejected() -> None:
+                async with AsyncDualityClient(
+                    host, port, timeout=60, auth_token="wrong"
+                ):
+                    pass
+
+            with pytest.raises(RequestError, match="AuthError"):
+                asyncio.run(rejected())
+            # Auth failures count as errors, not served requests, and
+            # the server keeps serving.
+            assert server.stats()["errors"] >= 2
+            assert server.stats()["auth_required"] is True
+
+    def test_tokenless_server_ignores_auth(self):
+        with DualityServer() as server:
+            host, port = server.address
+            with DualityClient(
+                host, port, timeout=60, auth_token="anything"
+            ) as client:
+                assert client.ping() is True
+            assert server.stats()["auth_required"] is False
+
+
+class TestBackpressure:
+    def test_slow_reader_cannot_exceed_the_inflight_cap(self):
+        """A client that firehoses requests and never reads holds at
+        most ``max_inflight`` solves in the server — observed on the
+        raw wire via a second connection's stats polling — and still
+        gets every verdict once it starts reading."""
+        # Distinct instances so in-flight dedup cannot collapse them.
+        pairs = [
+            threshold_dual_pair(12, 6),
+            threshold_dual_pair(12, 7),
+            threshold_dual_pair(11, 6),
+            threshold_dual_pair(11, 5),
+            threshold_dual_pair(10, 5),
+        ]
+        references = [_reference_fields(g, h) for g, h in pairs]
+        with DualityServer(method="fk-b", max_inflight=2) as server:
+            host, port = server.address
+            raw = socket.create_connection((host, port), timeout=120)
+            try:
+                for index, (g, h) in enumerate(pairs):
+                    raw.sendall(
+                        json.dumps(
+                            {
+                                "id": index,
+                                "op": "solve",
+                                "g": encode_hypergraph(g),
+                                "h": encode_hypergraph(h),
+                            }
+                        ).encode("utf-8")
+                        + b"\n"
+                    )
+                # ... and do NOT read: the responses (and the unread
+                # requests) must not pile up server-side beyond the cap.
+                max_per_connection = 0
+                with DualityClient(host, port, timeout=60) as probe:
+                    deadline = time.monotonic() + 120
+                    while True:
+                        stats = probe.stats()
+                        per_conn = stats["inflight_per_connection"]
+                        if per_conn:
+                            max_per_connection = max(
+                                max_per_connection, *per_conn.values()
+                            )
+                        if stats["requests_served"] >= len(pairs):
+                            break
+                        assert time.monotonic() < deadline
+                        time.sleep(0.005)
+                assert max_per_connection <= 2, (
+                    f"inflight cap breached: {max_per_connection}"
+                )
+                # The cap was actually reached (the pipeline was deep
+                # enough to need pausing), not just never approached.
+                assert max_per_connection == 2
+                # Reading now yields every verdict, out of order or
+                # not, matched by id and bit-for-bit serial.
+                responses = _recv_lines(raw, len(pairs))
+                by_id = {response["id"]: response for response in responses}
+                for index, reference in enumerate(references):
+                    assert _response_fields(by_id[index]) == reference
+            finally:
+                raw.close()
+            assert server.stats()["max_inflight"] == 2
+
+
+class TestAsyncClient:
+    def test_round_trips_match_serial(self):
+        instances = _instances()
+        references = [_reference_fields(g, h) for g, h in instances]
+
+        async def drive(host: str, port: int) -> None:
+            async with AsyncDualityClient(host, port, timeout=120) as client:
+                assert await client.ping() is True
+                for (g, h), reference in zip(instances, references):
+                    assert _response_fields(await client.solve(g, h)) == reference
+                stats = await client.stats()
+                assert stats["connections_open"] == 1
+                assert stats["requests_served"] >= len(instances)
+
+        with DualityServer(method="fk-b") as server:
+            host, port = server.address
+            asyncio.run(drive(host, port))
+
+    def test_solve_many_streams_past_any_window(self):
+        """A 40-request batch — deeper than the sync client's window
+        and the default per-connection cap is irrelevant to it — comes
+        back in input order, every verdict bit-for-bit serial."""
+        base = _instances()
+        instances = [base[index % len(base)] for index in range(40)]
+        references = [_reference_fields(g, h) for g, h in instances]
+
+        async def drive(host: str, port: int) -> list[dict]:
+            async with AsyncDualityClient(host, port, timeout=120) as client:
+                return await client.solve_many(instances)
+
+        with DualityServer(method="fk-b", max_inflight=4) as server:
+            host, port = server.address
+            responses = asyncio.run(drive(host, port))
+        assert len(responses) == len(instances)
+        for response, reference in zip(responses, references):
+            assert response["ok"] is True
+            assert _response_fields(response) == reference
+
+    def test_solve_many_reports_errors_inline(self):
+        good = matching_dual_pair(3)
+        not_simple = Hypergraph([{0}, {0, 1}], vertices=range(2))
+        instances = [good, (not_simple, not_simple), good]
+
+        async def drive(host: str, port: int) -> list[dict]:
+            async with AsyncDualityClient(host, port, timeout=120) as client:
+                return await client.solve_many(instances)
+
+        with DualityServer(method="fk-b") as server:
+            responses = asyncio.run(drive(*server.address))
+        assert responses[0]["ok"] is True and responses[2]["ok"] is True
+        assert responses[1]["ok"] is False
+        assert "simple" in responses[1]["error"]["message"]
+
+
+class _OneAnswerServer(threading.Thread):
+    """A fake server that answers the first request, then cuts the
+    connection — the deterministic stand-in for a server dying (or
+    shutting down) mid-pipeline."""
+
+    def __init__(self, expected_requests: int) -> None:
+        super().__init__(daemon=True)
+        self._expected = expected_requests
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.address = self._listener.getsockname()[:2]
+
+    def run(self) -> None:
+        conn, _peer = self._listener.accept()
+        with conn:
+            # Drain the whole pipeline first (an abrupt close with
+            # unread bytes would RST and could destroy the one answer
+            # in flight — this test needs the deterministic half).
+            buffer = b""
+            while buffer.count(b"\n") < self._expected:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+            first, _, _rest = buffer.partition(b"\n")
+            request = json.loads(first)
+            conn.sendall(
+                json.dumps(
+                    {"id": request.get("id"), "ok": True, "pong": True}
+                ).encode()
+                + b"\n"
+            )
+            # Clean close with the rest of the pipeline unanswered.
+        self._listener.close()
+
+
+class TestDisconnectMidPipeline:
+    def test_sync_solve_many_returns_promptly_with_inline_errors(self):
+        fake = _OneAnswerServer(expected_requests=3)
+        fake.start()
+        host, port = fake.address
+        pairs = [matching_dual_pair(2)] * 3
+        client = DualityClient(host, port, timeout=120)
+        started = time.monotonic()
+        responses = client.solve_many(pairs)
+        elapsed = time.monotonic() - started
+        # Promptly — on the disconnect, not after the 120 s timeout.
+        assert elapsed < 30
+        assert len(responses) == 3
+        assert responses[0]["ok"] is True
+        for response in responses[1:]:
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ConnectionError"
+        assert client.closed
+
+    def test_async_solve_many_returns_promptly_with_inline_errors(self):
+        fake = _OneAnswerServer(expected_requests=3)
+        fake.start()
+        host, port = fake.address
+        pairs = [matching_dual_pair(2)] * 3
+
+        async def drive() -> tuple[list[dict], bool]:
+            client = AsyncDualityClient(host, port, timeout=120)
+            await client.connect()
+            responses = await client.solve_many(pairs)
+            return responses, client.closed
+
+        started = time.monotonic()
+        responses, closed = asyncio.run(drive())
+        elapsed = time.monotonic() - started
+        assert elapsed < 30
+        assert responses[0]["ok"] is True
+        for response in responses[1:]:
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ConnectionError"
+        assert closed
+
+
+class TestStatsCounters:
+    def test_stats_reports_backpressure_cache_and_latency(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        g, h = matching_dual_pair(3)
+        with DualityServer(
+            cache=cache_path, cache_max_entries=1, autosave_every=1
+        ) as server:
+            host, port = server.address
+            with DualityClient(host, port, timeout=60) as client:
+                client.solve(g, h)
+                client.solve(g, h)  # a cache hit
+                client.solve(*threshold_dual_pair(7, 4))  # evicts (cap 1)
+                stats = client.stats()
+            assert stats["max_inflight"] == server.max_inflight
+            assert stats["connections_open"] == 1
+            assert stats["inflight_per_connection"] == {}
+            assert stats["requests_inflight"] == 0
+            assert stats["cache_hits"] == 1
+            assert stats["cache_misses"] == 2
+            assert stats["cache_evictions"] == 1
+            latency = stats["latency"]
+            # Only computed verdicts are timed (2 misses; the hit is
+            # answered at submit and never reaches the pool).
+            assert latency["count"] == 3
+            assert latency["p50_ms"] is not None
+            assert latency["p99_ms"] >= latency["p50_ms"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Connection-count stress (opt in: pytest -m stress)
+# ---------------------------------------------------------------------------
+
+def _raise_fd_limit(needed: int) -> bool:
+    import resource
+
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft >= needed:
+        return True
+    try:
+        resource.setrlimit(
+            resource.RLIMIT_NOFILE, (min(needed, hard), hard)
+        )
+    except (ValueError, OSError):
+        return False
+    return resource.getrlimit(resource.RLIMIT_NOFILE)[0] >= needed
+
+
+@pytest.mark.stress
+class TestConnectionScale:
+    CONNECTIONS = 1000
+    WAVE = 200
+
+    def test_1k_connections_ping_and_solve(self):
+        """One event loop holds 1000 live connections: every one of
+        them pings, every one of them gets a verdict, and the server
+        reports them all open at once."""
+        # ~2 fds per connection server-side + 1 client-side, plus slack.
+        if not _raise_fd_limit(4 * self.CONNECTIONS + 256):
+            pytest.skip("cannot raise RLIMIT_NOFILE high enough")
+        g, h = matching_dual_pair(2)
+        reference = _reference_fields(g, h)
+
+        async def drive(host: str, port: int) -> dict:
+            clients: list[AsyncDualityClient] = []
+            try:
+                while len(clients) < self.CONNECTIONS:
+                    wave = [
+                        AsyncDualityClient(host, port, timeout=120)
+                        for _ in range(
+                            min(self.WAVE, self.CONNECTIONS - len(clients))
+                        )
+                    ]
+                    await asyncio.gather(*(c.connect() for c in wave))
+                    clients.extend(wave)
+                pongs = await asyncio.gather(*(c.ping() for c in clients))
+                assert all(pongs)
+                stats = await clients[0].stats()
+                assert stats["connections_open"] == self.CONNECTIONS
+                responses = await asyncio.gather(
+                    *(c.solve(g, h) for c in clients)
+                )
+                for response in responses:
+                    assert _response_fields(response) == reference
+                return await clients[0].stats()
+            finally:
+                for start in range(0, len(clients), self.WAVE):
+                    await asyncio.gather(
+                        *(
+                            c.close()
+                            for c in clients[start : start + self.WAVE]
+                        )
+                    )
+
+        with DualityServer(method="fk-b", cache=ResultCache()) as server:
+            host, port = server.address
+            stats = asyncio.run(drive(host, port))
+        assert stats["connections_accepted"] == self.CONNECTIONS
+        # 1000 identical instances, one computation: the cache and the
+        # in-flight dedup absorbed the rest.
+        assert stats["cache_misses"] == 1
+        assert stats["requests_served"] >= 2 * self.CONNECTIONS

@@ -780,3 +780,63 @@ class TestCodec:
         )
         cache = ResultCache.load(path)
         assert len(cache) == 0  # dropped, not mis-decoded
+
+
+class TestLoopCallbacks:
+    def test_add_loop_callback_runs_on_the_event_loop(self):
+        """The asyncio bridge: however the ticket resolves (worker
+        thread, submitter thread, cache hit at submit), the callback
+        always lands on the loop thread — that is the contract the TCP
+        server's delivery path is built on."""
+        import asyncio
+
+        with EngineService(method="fk-b", cache=ResultCache()) as service:
+
+            async def drive() -> list[tuple[int, bool, bool]]:
+                loop = asyncio.get_running_loop()
+                loop_thread = threading.get_ident()
+                landed: list[tuple[int, bool, bool]] = []
+                done = asyncio.Event()
+                # One computed verdict, then the same instance again —
+                # the second resolves already-cached, at submit time,
+                # in the submitting thread.
+                for expected in (False, True):
+                    ticket = await loop.run_in_executor(
+                        None,
+                        lambda: service.submit(
+                            matching_dual_pair(3), collect=False
+                        ),
+                    )
+                    done.clear()
+
+                    def on_done(t, expected=expected) -> None:
+                        landed.append(
+                            (
+                                threading.get_ident() == loop_thread,
+                                t.result().cached is expected,
+                                t.done(),
+                            )
+                        )
+                        done.set()
+
+                    ticket.add_loop_callback(loop, on_done)
+                    await asyncio.wait_for(done.wait(), 60)
+                return landed
+
+            landed = asyncio.run(drive())
+        assert landed == [(True, True, True), (True, True, True)]
+
+    def test_add_loop_callback_swallows_a_closed_loop(self):
+        """A verdict landing after its loop closed is dropped, not a
+        crash in the completion thread (the verdict itself is safe in
+        the cache)."""
+        import asyncio
+
+        loop = asyncio.new_event_loop()
+        loop.close()
+        fired: list[int] = []
+        with EngineService(method="bm") as service:
+            ticket = service.submit(matching_dual_pair(2), collect=False)
+            ticket.exception()  # settle first, then attach
+            ticket.add_loop_callback(loop, lambda t: fired.append(1))
+        assert fired == []
