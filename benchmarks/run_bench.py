@@ -539,6 +539,68 @@ def parallel_rows(quick: bool) -> list[dict]:
             "throughput_vs_threaded": round(paired_speedup / 0.99, 2),
         }
     )
+    # Observability overhead: the same solve_many batch with tracing +
+    # a timing log on vs everything off.  The obs layer's contract is
+    # zero-cost-when-disabled and a few percent at most when enabled;
+    # this row keeps the claim measured, not asserted.
+    import statistics
+    import tempfile
+
+    from repro.obs import disable_tracing, enable_tracing
+
+    obs_pairs = _batch_workload(quick)
+
+    def obs_off():
+        solve_many(obs_pairs, method="fk-b", n_jobs=2)
+
+    def obs_on():
+        enable_tracing()
+        try:
+            with tempfile.TemporaryDirectory() as tmp:
+                solve_many(
+                    obs_pairs,
+                    method="fk-b",
+                    n_jobs=2,
+                    timings=Path(tmp) / "timings.jsonl",
+                )
+        finally:
+            disable_tracing()
+
+    # Interleaved off/on passes with a median paired ratio, because on
+    # this 1-core container absolute wall-clock drifts run to run by
+    # more than the overhead being measured (same trick as the
+    # server-concurrent row).
+    obs_off()  # warm the workload off the clock
+    obs_passes = 2 if quick else 3
+    off_times: list[float] = []
+    on_times: list[float] = []
+    paired: list[float] = []
+    for _ in range(obs_passes):
+        start = time.perf_counter()
+        obs_off()
+        off_t = time.perf_counter() - start
+        start = time.perf_counter()
+        obs_on()
+        on_t = time.perf_counter() - start
+        off_times.append(off_t)
+        on_times.append(on_t)
+        paired.append(on_t / off_t)
+    ratio = statistics.median(paired)
+    rows.append(
+        {
+            "kernel": "obs-overhead",
+            "instance": f"batch-{len(obs_pairs)}x-fk-b",
+            "n_instances": len(obs_pairs),
+            "n_jobs": 2,
+            "serial_s": round(min(off_times), 4),
+            "serial_scope": "tracing + metrics + timings disabled",
+            "parallel_s": round(min(on_times), 4),
+            "parallel_scope": "global tracing on + timing log recording",
+            "speedup": round(1 / ratio, 2),
+            "speedup_method": f"median paired ratio over {obs_passes} passes",
+            "overhead_pct": round((ratio - 1) * 100, 1),
+        }
+    )
     for row in rows:
         row["cpus"] = os.cpu_count()
     return rows

@@ -7,6 +7,7 @@ Subcommands::
     serve      persistent engine service: stream instances, get JSON verdicts
                (--listen HOST:PORT serves them over TCP instead)
     client     send instances to a 'serve --listen' server, verdicts back
+    trace      solve one instance with tracing on and print the span tree
     tr         print the minimal transversals of a hypergraph file
     tree       print the Boros–Makino decomposition tree
     pathnode   resolve one path descriptor (Lemma 4.2)
@@ -80,7 +81,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     cache = ResultCache.load(args.cache) if args.cache else None
     start = time.perf_counter()
     items = solve_many(
-        args.instances, method=args.method, n_jobs=args.jobs, cache=cache
+        args.instances,
+        method=args.method,
+        n_jobs=args.jobs,
+        cache=cache,
+        timings=args.timings,
     )
     wall = time.perf_counter() - start
     width = max(len(Path(src).name) for src in map(str, args.instances))
@@ -136,6 +141,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
         cache=args.cache,
         cache_max_entries=args.cache_max,
+        timings=args.timings,
     ) as service:
         def emit_error(source: str, exc: Exception) -> None:
             nonlocal exit_status
@@ -221,6 +227,9 @@ def _serve_listen(args: argparse.Namespace) -> int:
         cache=args.cache,
         cache_max_entries=args.cache_max,
         auth_token=args.auth_token,
+        slow_ms=args.slow_ms,
+        trace_requests=args.trace,
+        timings=args.timings,
         **(
             {"max_inflight": args.max_inflight}
             if args.max_inflight is not None
@@ -264,11 +273,19 @@ def _cmd_client(args: argparse.Namespace) -> int:
 
     paths = [str(p) for p in args.instances if str(p) != "-"]
     use_stdin = not paths or any(str(p) == "-" for p in args.instances)
+    if args.metrics and not args.instances:
+        # A bare '--metrics' is a scrape, not a solve session: don't
+        # sit on stdin waiting for instance paths that never come.
+        use_stdin = False
+    want_trace = bool(args.trace or args.trace_out)
 
     exit_status = 0
     try:
         client = DualityClient(
-            args.address, timeout=args.timeout, auth_token=args.auth_token
+            args.address,
+            timeout=args.timeout,
+            auth_token=args.auth_token,
+            trace=want_trace,
         )
     except (OSError, ValueError, RequestError) as exc:
         # No server (or a bad address, or a rejected token) is an error
@@ -337,6 +354,10 @@ def _cmd_client(args: argparse.Namespace) -> int:
                     serve_one(line)
             if args.stats and not client.closed:
                 print(json.dumps({"stats": client.stats()}), flush=True)
+            if args.metrics and not client.closed:
+                # Prometheus text exposition straight to stdout — pipe
+                # it into a file or a pushgateway as-is.
+                print(client.metrics(), end="", flush=True)
         except KeyboardInterrupt:
             pass
         except BrokenPipeError:
@@ -346,6 +367,21 @@ def _cmd_client(args: argparse.Namespace) -> int:
             # error line, never a traceback.
             print(json.dumps({"error": str(exc)}), flush=True)
             exit_status = 1
+        if want_trace and client.trace_sink is not None:
+            from repro.obs import dump_chrome, format_tree
+
+            spans = client.trace_sink.spans()
+            if args.trace:
+                # The tree goes to stderr so stdout stays one JSON
+                # verdict per line for scripts.
+                print(format_tree(spans), file=sys.stderr)
+            if args.trace_out:
+                dump_chrome(spans, args.trace_out)
+                print(
+                    f"wrote {len(spans)} spans to {args.trace_out} "
+                    "(chrome://tracing / about:tracing)",
+                    file=sys.stderr,
+                )
         if args.shutdown and not client.closed:
             try:
                 client.shutdown_server()
@@ -355,6 +391,63 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 print(json.dumps({"error": f"shutdown: {exc}"}), flush=True)
                 exit_status = 1
     return exit_status
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` mode: one traced solve, span tree on stdout.
+
+    Runs the instance through the same :class:`EngineService` path as
+    ``repro serve`` with a per-request trace context, so the printed
+    tree shows the real service phases — parse, cache lookup, queue
+    wait, the worker-side solve (with the engine span inside it), and
+    for ``--repeat`` runs the cache-hit/dedup shape of the later
+    requests.  ``--trace-out`` additionally writes the spans as Chrome
+    trace-event JSON for ``chrome://tracing`` / Perfetto.
+    """
+    from repro.obs import (
+        Span,
+        SpanContext,
+        TraceSink,
+        dump_chrome,
+        format_tree,
+        new_trace_id,
+    )
+    from repro.parallel import ResultCache
+    from repro.service import EngineService
+
+    # An in-memory cache so --repeat actually shows the cache-hit span
+    # shape (a portfolio's verdict is timing-dependent, hence uncacheable).
+    cache = (
+        ResultCache() if args.repeat > 1 and args.method != "portfolio" else None
+    )
+    sink = TraceSink()
+    with EngineService(
+        method=args.method, n_jobs=args.jobs, cache=cache
+    ) as service:
+        for attempt in range(max(1, args.repeat)):
+            trace_id = new_trace_id()
+            root = Span(trace_id, "trace-request", tags={"request": attempt})
+            ctx = SpanContext(trace_id, root.span_id, sink)
+            ticket = service.submit(str(args.instance), trace=ctx)
+            response = ticket.result()
+            root.finish()
+            sink.record(root)
+            verdict = "dual" if response.is_dual else "NOT dual"
+            print(
+                f"{args.instance}: {verdict} "
+                f"(method={response.result.method}, "
+                f"origin={response.origin}, "
+                f"{response.elapsed_s * 1000:.1f}ms)"
+            )
+    print()
+    print(format_tree(sink.spans()))
+    if args.trace_out:
+        dump_chrome(sink.spans(), args.trace_out)
+        print(
+            f"\nwrote {len(sink)} spans to {args.trace_out} "
+            "(chrome://tracing / about:tracing)"
+        )
+    return 0 if response.is_dual else 1
 
 
 def _cmd_tr(args: argparse.Namespace) -> int:
@@ -678,6 +771,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON result cache, read before and written after the run",
     )
+    p.add_argument(
+        "--timings",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "append one JSON line per solved instance to FILE: engine, "
+            "elapsed seconds, and cheap structural features (edge "
+            "counts, max degree, ...) for offline engine-selection study"
+        ),
+    )
     p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser(
@@ -779,6 +883,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a final JSON stats line (requests, hits, pool health)",
     )
+    p.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "--listen only: log a structured JSON line to stderr (with "
+            "per-phase span timings) for every request slower than MS "
+            "milliseconds"
+        ),
+    )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "--listen only: trace every request server-side (clients "
+            "still only get spans back when they ask with a 'trace' "
+            "field); mostly useful together with --slow-ms"
+        ),
+    )
+    p.add_argument(
+        "--timings",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "append one JSON timing line per computed verdict to FILE "
+            "(engine, elapsed, structural features)"
+        ),
+    )
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -827,7 +961,73 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ask the server to shut down gracefully afterwards",
     )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "print the server's metrics as Prometheus text exposition "
+            "after the instances (with no instance arguments: scrape "
+            "and exit instead of reading stdin)"
+        ),
+    )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "trace every solve end-to-end (client edge + server "
+            "phases + worker solve) and print the span trees to "
+            "stderr when done"
+        ),
+    )
+    p.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the collected spans as Chrome trace-event JSON to "
+            "FILE (implies tracing; open in chrome://tracing or "
+            "Perfetto)"
+        ),
+    )
     p.set_defaults(fn=_cmd_client)
+
+    p = sub.add_parser(
+        "trace",
+        help="solve one instance with tracing on and print the span tree",
+        description=(
+            "Decide one instance file (.hg, G == H) through the engine "
+            "service with a per-request trace, then print the span "
+            "tree: parse, cache lookup, queue wait, the worker-side "
+            "solve with its engine span, serialize.  --repeat N solves "
+            "the same instance N times so the cache-hit shape of the "
+            "later requests is visible next to the computed first one."
+        ),
+    )
+    p.add_argument("instance", type=Path, help="instance file (.hg, G == H)")
+    p.add_argument("--method", default="fk-b", help="duality engine (default: fk-b)")
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (default: 1)",
+    )
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="solve the instance N times (N>=2 shows the cache-hit path)",
+    )
+    p.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write Chrome trace-event JSON to FILE",
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("tr", help="print minimal transversals")
     p.add_argument("g", type=Path)

@@ -38,6 +38,7 @@ from __future__ import annotations
 import asyncio
 import json
 import socket
+import time
 from pathlib import Path
 
 from repro.hypergraph import Hypergraph
@@ -50,6 +51,7 @@ from repro.net.protocol import (
     parse_response,
     send_json,
 )
+from repro.obs.trace import Span, TraceSink, new_trace_id
 from repro.parallel.batch import load_instance
 
 #: Failures that end a wire conversation (as opposed to per-request
@@ -69,6 +71,29 @@ def _solve_request(
     if method is not None:
         request["method"] = method
     return request
+
+
+def _merge_trace(
+    sink: TraceSink, response: dict, trace_id: str, sent_at: float
+) -> None:
+    """Record the client-edge span and adopt the server's span tree.
+
+    The ``client-request`` span covers send-to-receive wall time; the
+    server's piggybacked spans (rooted at its ``server`` span, whose
+    parent the server cannot know) are re-parented under it, so the
+    merged tree reads client edge → server → parse → cache lookup →
+    queue wait → worker solve → serialize, all one ``trace_id``.
+    """
+    edge = Span(trace_id, "client-request", start=sent_at)
+    edge.finish()
+    wire = response.get("trace") if isinstance(response, dict) else None
+    if isinstance(wire, dict):
+        for item in wire.get("spans") or []:
+            if isinstance(item, dict):
+                if item.get("parent_id") is None:
+                    item["parent_id"] = edge.span_id
+                sink.extend([item])
+    sink.record(edge)
 
 
 def _connection_lost_response(request_id, exc: BaseException) -> dict:
@@ -103,6 +128,7 @@ class DualityClient:
         timeout: float = 60.0,
         max_line_bytes: int = MAX_LINE_BYTES,
         auth_token: str | None = None,
+        trace: bool = False,
     ) -> None:
         """Connect to ``host:port`` (or one ``"HOST:PORT"`` string).
 
@@ -110,7 +136,10 @@ class DualityClient:
         that stops answering surfaces as ``TimeoutError`` rather than a
         hang.  ``auth_token`` authenticates the connection's first
         frame against a token-protected server; a rejected token raises
-        :class:`RequestError` and closes the connection.
+        :class:`RequestError` and closes the connection.  ``trace=True``
+        mints a trace id per solve, asks the server for its span tree
+        on every response, and collects the merged spans (client edge +
+        server phases) in :attr:`trace_sink`.
         """
         if port is None:
             from repro.net.server import parse_address
@@ -122,6 +151,10 @@ class DualityClient:
         )
         self._reader = LineReader(self._sock, max_line_bytes)
         self._next_id = 0
+        #: Merged spans of every traced solve (``None`` unless
+        #: ``trace=True``); render with :func:`repro.obs.format_tree`
+        #: or export with :func:`repro.obs.dump_chrome`.
+        self.trace_sink: TraceSink | None = TraceSink() if trace else None
         if auth_token is not None:
             try:
                 self._checked(self.request({"op": "auth", "token": auth_token}))
@@ -224,6 +257,17 @@ class DualityClient:
     # The service API
     # ------------------------------------------------------------------
 
+    def _solve_round_trip(self, request: dict) -> dict:
+        """One solve round trip, traced when the client traces."""
+        if self.trace_sink is None:
+            return self.request(request)
+        trace_id = new_trace_id()
+        request["trace"] = trace_id
+        sent_at = time.time()
+        response = self.request(request)
+        _merge_trace(self.trace_sink, response, trace_id, sent_at)
+        return response
+
     def ping(self) -> bool:
         """Liveness probe: True when the server answers."""
         return bool(self._checked(self.request({"op": "ping"})).get("pong"))
@@ -232,16 +276,22 @@ class DualityClient:
         """The server's health snapshot (pool, cache, counters)."""
         return self._checked(self.request({"op": "stats"}))["stats"]
 
+    def metrics(self) -> str:
+        """The server's metrics registry as Prometheus text exposition."""
+        return self._checked(self.request({"op": "metrics"}))["metrics"]
+
     def solve(
         self, g: Hypergraph, h: Hypergraph, method: str | None = None
     ) -> dict:
         """Decide one in-memory pair; raises :class:`RequestError` on error."""
-        return self._checked(self.request(self._solve_request((g, h), method)))
+        return self._checked(
+            self._solve_round_trip(self._solve_request((g, h), method))
+        )
 
     def solve_path(self, path: str | Path, method: str | None = None) -> dict:
         """Decide one *client-side* ``.hg`` instance file (shipped inline)."""
         return self._checked(
-            self.request(self._solve_request(load_instance(path), method))
+            self._solve_round_trip(self._solve_request(load_instance(path), method))
         )
 
     def solve_server_path(
@@ -251,7 +301,7 @@ class DualityClient:
         request: dict = {"op": "solve", "path": str(path)}
         if method is not None:
             request["method"] = method
-        return self._checked(self.request(request))
+        return self._checked(self._solve_round_trip(request))
 
     def solve_many(self, instances, method: str | None = None) -> list[dict]:
         """Decide a batch, pipelined; results in input order regardless.
@@ -284,17 +334,28 @@ class DualityClient:
             order.append(request["id"])
         arrived: dict[int, dict] = {}
         outstanding: set[int] = set()
+        traced: dict[int, tuple[str, float]] = {}
         failure: BaseException | None = None
+
+        def collect_one() -> None:
+            request_id, response = self._receive_any(outstanding)
+            arrived[request_id] = response
+            if request_id in traced:
+                trace_id, sent_at = traced.pop(request_id)
+                _merge_trace(self.trace_sink, response, trace_id, sent_at)
+
         try:
             for request in requests:
+                if self.trace_sink is not None:
+                    trace_id = new_trace_id()
+                    request["trace"] = trace_id
+                    traced[request["id"]] = (trace_id, time.time())
                 send_json(self._require_open(), request)
                 outstanding.add(request["id"])
                 if len(outstanding) >= self.PIPELINE_WINDOW:
-                    request_id, response = self._receive_any(outstanding)
-                    arrived[request_id] = response
+                    collect_one()
             while outstanding:
-                request_id, response = self._receive_any(outstanding)
-                arrived[request_id] = response
+                collect_one()
         except _WIRE_FAILURES as exc:
             failure = exc
             self.close()
@@ -355,6 +416,7 @@ class AsyncDualityClient:
         timeout: float = 60.0,
         max_line_bytes: int = MAX_LINE_BYTES,
         auth_token: str | None = None,
+        trace: bool = False,
     ) -> None:
         """Configure a client; nothing touches the network until
         :meth:`connect`.  Parameters mirror :class:`DualityClient`.
@@ -370,6 +432,8 @@ class AsyncDualityClient:
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._next_id = 0
+        #: Merged spans of every traced solve (see :class:`DualityClient`).
+        self.trace_sink: TraceSink | None = TraceSink() if trace else None
 
     async def connect(self) -> "AsyncDualityClient":
         """Open the connection (and authenticate, when a token is set)."""
@@ -481,6 +545,17 @@ class AsyncDualityClient:
     # The service API
     # ------------------------------------------------------------------
 
+    async def _solve_round_trip(self, request: dict) -> dict:
+        """One solve round trip, traced when the client traces."""
+        if self.trace_sink is None:
+            return await self.request(request)
+        trace_id = new_trace_id()
+        request["trace"] = trace_id
+        sent_at = time.time()
+        response = await self.request(request)
+        _merge_trace(self.trace_sink, response, trace_id, sent_at)
+        return response
+
     async def ping(self) -> bool:
         """Liveness probe: True when the server answers."""
         response = self._checked(await self.request({"op": "ping"}))
@@ -490,18 +565,24 @@ class AsyncDualityClient:
         """The server's health snapshot (pool, cache, counters)."""
         return self._checked(await self.request({"op": "stats"}))["stats"]
 
+    async def metrics(self) -> str:
+        """The server's metrics registry as Prometheus text exposition."""
+        return self._checked(await self.request({"op": "metrics"}))["metrics"]
+
     async def solve(
         self, g: Hypergraph, h: Hypergraph, method: str | None = None
     ) -> dict:
         """Decide one in-memory pair; raises :class:`RequestError` on error."""
-        return self._checked(await self.request(_solve_request((g, h), method)))
+        return self._checked(
+            await self._solve_round_trip(_solve_request((g, h), method))
+        )
 
     async def solve_path(
         self, path: str | Path, method: str | None = None
     ) -> dict:
         """Decide one *client-side* ``.hg`` instance file (shipped inline)."""
         return self._checked(
-            await self.request(_solve_request(load_instance(path), method))
+            await self._solve_round_trip(_solve_request(load_instance(path), method))
         )
 
     async def solve_server_path(
@@ -511,7 +592,7 @@ class AsyncDualityClient:
         request: dict = {"op": "solve", "path": str(path)}
         if method is not None:
             request["method"] = method
-        return self._checked(await self.request(request))
+        return self._checked(await self._solve_round_trip(request))
 
     async def solve_many(
         self, instances, method: str | None = None
@@ -536,10 +617,13 @@ class AsyncDualityClient:
         ]
         writer = self._require_open()
         order: list[int] = []
+        traced: dict[int, tuple[str, float]] = {}
         for request in requests:
             request["id"] = self._next_id
             self._next_id += 1
             order.append(request["id"])
+            if self.trace_sink is not None:
+                request["trace"] = new_trace_id()
         arrived: dict[int, dict] = {}
         outstanding: set[int] = set()
         sent = asyncio.Event()
@@ -547,6 +631,8 @@ class AsyncDualityClient:
         async def send_all() -> None:
             try:
                 for request in requests:
+                    if "trace" in request:
+                        traced[request["id"]] = (request["trace"], time.time())
                     writer.write(json.dumps(request).encode("utf-8") + b"\n")
                     outstanding.add(request["id"])
                     sent.set()
@@ -573,6 +659,9 @@ class AsyncDualityClient:
                     failure = exc
                     break
                 arrived[request_id] = response
+                if request_id in traced and self.trace_sink is not None:
+                    trace_id, sent_at = traced.pop(request_id)
+                    _merge_trace(self.trace_sink, response, trace_id, sent_at)
         finally:
             if not sender.done():
                 sender.cancel()

@@ -14,15 +14,26 @@ op       fields
 solve    ``id`` (echoed back), optional ``method`` (per-request engine
          override), and the instance: either inline ``g`` + ``h``
          hypergraphs (:func:`encode_hypergraph`) or a server-side
-         ``path`` to an ``.hg`` instance file
+         ``path`` to an ``.hg`` instance file.  An optional ``trace``
+         field (a trace-id string, or ``true`` to let the server mint
+         one) makes this one request traced: the response carries a
+         ``trace`` object ``{"id", "spans"}`` with the server-side span
+         tree (parse / cache-lookup / queue-wait / worker-solve /
+         serialize), each span a dict in the
+         :meth:`repro.obs.trace.Span.to_dict` shape
 ping     liveness probe; answered with ``{"pong": true}``
 stats    server/pool/cache health snapshot: counters, per-connection
-         in-flight, cache hit/miss/eviction totals, p50/p99 service time
+         in-flight, cache hit/miss/eviction totals, per-op request and
+         error tallies, p50/p99 service time
 auth     ``token``: the server's shared secret.  On a server started
          with ``--auth-token`` this **must be the first frame** of the
          connection; a wrong or missing token is answered with one
          ``AuthError`` line and a disconnect.  Servers without a token
          accept (and ignore) the op.
+metrics  the server's unified metrics registry rendered as Prometheus
+         text exposition (version 0.0.4), returned as the ``metrics``
+         string field of the response — counters, gauges, and the
+         solve-latency summary, scrape-ready
 shutdown ask the server to stop: in-flight requests drain, the cache is
          flushed atomically, the pool closes
 ======== ==================================================================
@@ -76,7 +87,7 @@ from repro.parallel.codec import decode_vertex_set, encode_vertex_set
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
 #: The request operations a server understands.
-OPERATIONS = ("solve", "ping", "stats", "auth", "shutdown")
+OPERATIONS = ("solve", "ping", "stats", "auth", "metrics", "shutdown")
 
 
 class ProtocolError(ValueError):

@@ -59,9 +59,9 @@ import asyncio
 import hmac
 import json
 import socket
+import sys
 import threading
 import time
-from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
@@ -73,6 +73,9 @@ from repro.net.protocol import (
     decode_hypergraph,
     parse_request,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timings import TimingLog
+from repro.obs.trace import Span, SpanContext, TraceSink, new_trace_id, record_span
 from repro.parallel.batch import ResultCache
 from repro.service import EnginePool, EngineService, response_to_json
 
@@ -87,42 +90,29 @@ def parse_address(text: str) -> tuple[str, int]:
     return host or "127.0.0.1", int(port)
 
 
-class _LatencyWindow:
-    """Service-time percentiles over a sliding window of recent requests.
+class _RequestTrace:
+    """The tracing state of one traced solve request.
 
-    ``record`` is called from completion threads, ``snapshot`` from
-    whatever thread answers a ``stats`` op — a lock and a bounded deque
-    keep both cheap (the window holds seconds; snapshots report ms).
+    ``sink`` is per-request so the spans can be handed back to the
+    client that asked for them; ``ctx`` parents the scheduler's phase
+    spans under the ``server`` root span; ``reply`` says whether the
+    client asked for the spans on the wire (a server traced only by
+    ``--slow-ms``/``--trace`` keeps them local).
     """
 
-    def __init__(self, size: int = 2048) -> None:
-        self._window: deque[float] = deque(maxlen=size)
-        self._lock = threading.Lock()
-        self.count = 0
+    __slots__ = ("sink", "ctx", "root", "reply")
 
-    def record(self, seconds: float) -> None:
-        with self._lock:
-            self._window.append(seconds)
-            self.count += 1
+    def __init__(self, trace_id: str, reply: bool) -> None:
+        self.sink = TraceSink(maxlen=256)
+        self.root = Span(trace_id, "server")
+        self.ctx = SpanContext(trace_id, self.root.span_id, self.sink)
+        self.reply = reply
 
-    @staticmethod
-    def _percentile(ordered: list[float], q: float) -> float:
-        index = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
-        return ordered[index]
-
-    def snapshot(self) -> dict:
-        with self._lock:
-            window = list(self._window)
-            count = self.count
-        if not window:
-            return {"count": 0, "p50_ms": None, "p99_ms": None, "mean_ms": None}
-        window.sort()
-        return {
-            "count": count,
-            "p50_ms": round(self._percentile(window, 0.50) * 1000, 3),
-            "p99_ms": round(self._percentile(window, 0.99) * 1000, 3),
-            "mean_ms": round(sum(window) / len(window) * 1000, 3),
-        }
+    def finish(self) -> list[dict]:
+        """Close the root span; every span of the request as dicts."""
+        self.root.finish()
+        self.sink.record(self.root)
+        return [item.to_dict() for item in self.sink.spans()]
 
 
 class _AsyncConnection:
@@ -250,6 +240,9 @@ class AsyncDualityServer:
         cache_max_entries: int | None = None,
         max_inflight: int = MAX_INFLIGHT,
         auth_token: str | None = None,
+        slow_ms: float | None = None,
+        trace_requests: bool = False,
+        timings: str | Path | None = None,
     ) -> None:
         """Configure a server (nothing binds until :meth:`start`).
 
@@ -264,6 +257,15 @@ class AsyncDualityServer:
         ``max_inflight`` is the per-connection backpressure cap;
         ``auth_token`` (when set) makes the first frame of every
         connection a mandatory ``auth`` op.
+
+        Observability knobs (all off by default, all verdict-neutral):
+        ``slow_ms`` logs one structured JSON line to stderr — with the
+        request's span breakdown — for every solve slower than that
+        many milliseconds; ``trace_requests`` traces *every* solve
+        server-side (clients can always trace their own requests with
+        the ``trace`` field regardless); ``timings`` appends one JSONL
+        row per computed solve (engine, elapsed, structural features)
+        to the given path.
         """
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be positive, got {max_inflight}")
@@ -306,14 +308,57 @@ class AsyncDualityServer:
         #: polls it so every scheduled verdict gets delivered (or its
         #: connection declared dead) before the pool closes.
         self._inflight = 0
-        self.latency = _LatencyWindow()
+        self.slow_ms = slow_ms
+        self.trace_requests = trace_requests
+        # One shared log for every per-method service view.
+        self.timings = TimingLog(timings) if timings is not None else None
         self.connections_accepted = 0
         self.requests_served = 0
         self.errors = 0
+        #: The unified metrics registry (the ``metrics`` op's answer).
+        self.registry = MetricsRegistry()
+        self.latency = self.registry.histogram(
+            "solve_latency_seconds",
+            "Solve wall time, dispatch to response build (seconds)",
+        )
+        self._requests_by_op = self.registry.counter(
+            "requests_total", "Requests answered, by op", ("op",)
+        )
+        self._errors_by_op = self.registry.counter(
+            "errors_total", "Error responses, by op", ("op",)
+        )
+        self.registry.gauge_fn(
+            "connections_open",
+            "Currently open client connections",
+            lambda: len(self._connections),
+        )
+        self.registry.gauge_fn(
+            "connections_accepted_total",
+            "Client connections accepted",
+            lambda: self.connections_accepted,
+        )
+        self.registry.gauge_fn(
+            "requests_inflight",
+            "Solves dispatched and not yet delivered",
+            lambda: self._inflight,
+        )
+        self.pool.register_metrics(self.registry)
+        if self.cache is not None:
+            self.cache.register_metrics(self.registry)
 
     def _count(self, counter: str) -> None:
         with self._count_lock:
             setattr(self, counter, getattr(self, counter) + 1)
+
+    def _tally(self, op: str) -> None:
+        """One answered request: the plain counter plus its per-op series."""
+        self._count("requests_served")
+        self._requests_by_op.inc(op=op)
+
+    def _tally_error(self, op: str) -> None:
+        """One error response: the plain counter plus its per-op series."""
+        self._count("errors")
+        self._errors_by_op.inc(op=op)
 
     # ------------------------------------------------------------------
     # Lifecycle (the sync facade around the loop thread)
@@ -422,6 +467,8 @@ class AsyncDualityServer:
         if self._cache_path is not None and self.cache is not None:
             if self.cache.new_since_save:
                 self.cache.save(self._cache_path)
+        if self.timings is not None:
+            self.timings.close()
         self.pool.shutdown()
         if self._listener is not None:
             try:
@@ -549,7 +596,7 @@ class AsyncDualityServer:
         except asyncio.IncompleteReadError:
             return None
         except asyncio.LimitOverrunError:
-            self._count("errors")
+            self._tally_error("protocol")
             await conn.send_op(
                 self._error_payload(
                     None,
@@ -568,14 +615,14 @@ class AsyncDualityServer:
         try:
             request = parse_request(line)
         except ProtocolError as exc:
-            self._count("errors")
+            self._tally_error("protocol")
             await conn.send_op(self._error_payload(None, exc))
             return True  # framing is intact: keep serving this client
         request_id = request.get("id")
         op = request.get("op", "solve")
         if self._auth_token is not None and not conn.authenticated:
             if op != "auth" or not self._token_matches(request):
-                self._count("errors")
+                self._tally_error("auth")
                 message = (
                     "wrong token"
                     if op == "auth"
@@ -589,7 +636,7 @@ class AsyncDualityServer:
                 )
                 return False  # one clean error line, then disconnect
             conn.authenticated = True
-            self._count("requests_served")
+            self._tally("auth")
             await conn.send_op(
                 {"id": request_id, "ok": True, "authenticated": True}
             )
@@ -598,24 +645,34 @@ class AsyncDualityServer:
             # No token required (or a redundant re-auth): fine, unless
             # the token is configured and this one is wrong.
             if self._auth_token is not None and not self._token_matches(request):
-                self._count("errors")
+                self._tally_error("auth")
                 await conn.send_op(
                     self._error_payload(request_id, AuthError("wrong token"))
                 )
                 return False
-            self._count("requests_served")
+            self._tally("auth")
             await conn.send_op(
                 {"id": request_id, "ok": True, "authenticated": True}
             )
             return True
         if op == "ping":
-            self._count("requests_served")
+            self._tally("ping")
             await conn.send_op({"id": request_id, "ok": True, "pong": True})
             return True
         if op == "stats":
-            self._count("requests_served")
+            self._tally("stats")
             await conn.send_op(
                 {"id": request_id, "ok": True, "stats": self.stats()}
+            )
+            return True
+        if op == "metrics":
+            self._tally("metrics")
+            await conn.send_op(
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "metrics": self.registry.expose(),
+                }
             )
             return True
         if op == "shutdown":
@@ -623,7 +680,7 @@ class AsyncDualityServer:
             # been enqueued, FIFO ordering puts them on the wire before
             # the shutdown acknowledgement.
             await self._await_conn_pending(conn)
-            self._count("requests_served")
+            self._tally("shutdown")
             await conn.send_op(
                 {"id": request_id, "ok": True, "shutting_down": True}
             )
@@ -660,6 +717,24 @@ class AsyncDualityServer:
     # The solve path (dispatcher + completion threads)
     # ------------------------------------------------------------------
 
+    def _request_trace(self, request: dict) -> _RequestTrace | None:
+        """The tracing state for one solve request (``None`` — the
+        common case — means zero tracing work on the whole path).
+
+        A request is traced when the client asked (``trace`` field: a
+        trace-id string to adopt, or ``true`` to mint one here) or the
+        server traces everything (``trace_requests`` / ``slow_ms``).
+        Only a client-requested trace is echoed on the response.
+        """
+        requested = request.get("trace")
+        if not (requested or self.trace_requests or self.slow_ms is not None):
+            return None
+        if isinstance(requested, str) and requested:
+            trace_id = requested
+        else:
+            trace_id = new_trace_id()
+        return _RequestTrace(trace_id, reply=bool(requested))
+
     def _dispatch_and_watch(self, conn: _AsyncConnection, request: dict) -> None:
         """Submit one solve to the scheduler (dispatcher thread).
 
@@ -668,20 +743,22 @@ class AsyncDualityServer:
         """
         request_id = request.get("id")
         started = time.monotonic()
+        trace = self._request_trace(request)
         try:
-            ticket = self._dispatch(request)
+            ticket = self._dispatch(request, trace)
         except Exception as exc:  # noqa: BLE001 - per-request error object
-            self._count("errors")
+            self._tally_error("solve")
             self._bounce_to_loop(
                 self._deliver, conn, self._error_payload(request_id, exc)
             )
             return
         ticket.add_done_callback(
-            lambda t: self._finish_request(conn, request_id, started, t)
+            lambda t: self._finish_request(conn, request_id, started, trace, t)
         )
 
-    def _dispatch(self, request: dict):
+    def _dispatch(self, request: dict, trace: _RequestTrace | None = None):
         """Schedule one solve on the shared scheduler; its ticket."""
+        parse_start = time.time()
         method = request.get("method") or self.method
         if not isinstance(method, str):
             raise ProtocolError(f"method must be a string, got {method!r}")
@@ -697,11 +774,27 @@ class AsyncDualityServer:
                 "a solve request needs either inline 'g' and 'h' "
                 "hypergraphs or a server-side 'path'"
             )
+        if trace is not None:
+            record_span(
+                trace.ctx,
+                "parse",
+                parse_start,
+                time.time(),
+                inline="path" not in request,
+                method=method,
+            )
         service = self._service_for(method)
-        return service.submit(instance, collect=False)
+        return service.submit(
+            instance, collect=False, trace=trace.ctx if trace else None
+        )
 
     def _finish_request(
-        self, conn: _AsyncConnection, request_id, started: float, ticket
+        self,
+        conn: _AsyncConnection,
+        request_id,
+        started: float,
+        trace: _RequestTrace | None,
+        ticket,
     ) -> None:
         """One ticket resolved: build its response and bounce it into
         the loop.  Runs in whatever thread completed the solve — never
@@ -710,18 +803,58 @@ class AsyncDualityServer:
         """
         error = ticket.exception()
         if error is not None:
-            self._count("errors")
+            self._tally_error("solve")
             payload = self._error_payload(request_id, error)
         else:
             payload = {"ok": True}
+            serialize_start = time.time()
             payload.update(response_to_json(ticket.result()))
             payload["id"] = request_id  # the wire id wins over the queue's
+            if trace is not None:
+                record_span(
+                    trace.ctx, "serialize", serialize_start, time.time()
+                )
             # Persist before the client can read the verdict: a crash
             # after this send loses nothing the client saw.
             self._maybe_autosave()
-            self._count("requests_served")
-            self.latency.record(time.monotonic() - started)
+            self._tally("solve")
+            self.latency.observe(time.monotonic() - started)
+        if trace is not None:
+            spans = trace.finish()
+            if trace.reply and payload.get("ok"):
+                payload["trace"] = {
+                    "id": trace.ctx.trace_id,
+                    "spans": spans,
+                }
+            self._maybe_log_slow(request_id, started, trace, spans)
         self._bounce_to_loop(self._deliver, conn, payload)
+
+    def _maybe_log_slow(
+        self, request_id, started: float, trace: _RequestTrace, spans: list[dict]
+    ) -> None:
+        """One structured stderr line per slow solve, with its span
+        breakdown — greppable, one JSON object per line."""
+        if self.slow_ms is None:
+            return
+        elapsed_ms = (time.monotonic() - started) * 1000
+        if elapsed_ms < self.slow_ms:
+            return
+        breakdown = {}
+        for item in spans:
+            end = item.get("end")
+            if end is not None:
+                duration = round((end - item["start"]) * 1000, 3)
+                name = item["name"]
+                breakdown[name] = max(duration, breakdown.get(name, 0.0))
+        line = {
+            "event": "slow_request",
+            "id": request_id,
+            "trace_id": trace.ctx.trace_id,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "threshold_ms": self.slow_ms,
+            "spans_ms": breakdown,
+        }
+        print(json.dumps(line, separators=(",", ":")), file=sys.stderr, flush=True)
 
     def _deliver(self, conn: _AsyncConnection, payload: dict) -> None:
         """Loop thread: hand one finished response to the writer."""
@@ -741,6 +874,7 @@ class AsyncDualityServer:
                     # rule).
                     cache=None if method == "portfolio" else self.cache,
                     pool=self.pool,
+                    timings=self.timings,
                 )
                 self._services[method] = service
         return service
@@ -773,11 +907,18 @@ class AsyncDualityServer:
         """A JSON-safe health snapshot (also the ``stats`` op's answer).
 
         Beyond the request/pool/cache counters, reports the
-        backpressure state (per-connection in-flight, the cap) and
-        service-time percentiles over the recent-request window.
+        backpressure state (per-connection in-flight, the cap),
+        per-op request and error tallies, and service-time percentiles
+        over the recent-request window.
         """
         with self._conn_lock:
             open_conns = [(c.index, c.pending) for c in self._connections]
+        requests_by_op = {
+            op: int(count) for op, count in self._requests_by_op.as_dict().items()
+        }
+        errors_by_op = {
+            op: int(count) for op, count in self._errors_by_op.as_dict().items()
+        }
         out = {
             "method": self.method,
             "n_jobs": self.pool.n_jobs,
@@ -786,6 +927,7 @@ class AsyncDualityServer:
             "connections_accepted": self.connections_accepted,
             "connections_open": len(open_conns),
             "requests_served": self.requests_served,
+            "requests_by_op": requests_by_op,
             "requests_inflight": self._inflight,
             "inflight_per_connection": {
                 str(index): pending
@@ -793,13 +935,20 @@ class AsyncDualityServer:
                 if pending
             },
             "errors": self.errors,
-            "latency": self.latency.snapshot(),
+            "errors_by_op": errors_by_op,
+            "latency": self.latency.snapshot_ms(),
             "pool_generations": self.pool.generations,
             "pool_restarts": self.pool.restarts,
             "tasks_completed": self.pool.tasks_completed,
         }
         with self._services_lock:
             out["methods_served"] = sorted(self._services)
+            services = list(self._services.values())
+        by_origin = {"computed": 0, "cache": 0, "dedup": 0}
+        for service in services:
+            for origin, count in service.stats()["by_origin"].items():
+                by_origin[origin] = by_origin.get(origin, 0) + count
+        out["responses_by_origin"] = by_origin
         if self.cache is not None:
             out["cache_entries"] = len(self.cache)
             out["cache_hits"] = self.cache.hits

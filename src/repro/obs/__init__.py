@@ -1,0 +1,66 @@
+"""Observability for the duality service: tracing, metrics, timings.
+
+Three small, dependency-free modules that every tier registers into:
+
+* :mod:`repro.obs.trace` — spans with trace-id propagation across
+  threads, processes, and the wire (zero-cost when disabled);
+* :mod:`repro.obs.metrics` — a unified counter/gauge/histogram
+  registry with Prometheus text exposition;
+* :mod:`repro.obs.timings` — append-only JSONL capture of per-engine
+  elapsed time plus structural features (the learned-engine-selection
+  data feed).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+)
+from repro.obs.timings import TimingLog, load_timings, structural_features
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    TraceSink,
+    current_context,
+    disable_tracing,
+    dump_chrome,
+    enable_tracing,
+    format_tree,
+    global_sink,
+    new_span_id,
+    new_trace_id,
+    record_span,
+    span,
+    to_chrome,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_exposition",
+    "TimingLog",
+    "load_timings",
+    "structural_features",
+    "NULL_SPAN",
+    "Span",
+    "SpanContext",
+    "TraceSink",
+    "current_context",
+    "disable_tracing",
+    "dump_chrome",
+    "enable_tracing",
+    "format_tree",
+    "global_sink",
+    "new_span_id",
+    "new_trace_id",
+    "record_span",
+    "span",
+    "to_chrome",
+    "tracing_enabled",
+]

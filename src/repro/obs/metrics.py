@@ -1,0 +1,460 @@
+"""A unified metrics registry with Prometheus text exposition.
+
+Before this module every layer kept private counters — the pool its
+``tasks_completed``, the cache its ``hits``/``misses``, the network
+server a ``_LatencyWindow`` of its own — and only the ``stats`` op
+could see any of it, in an ad-hoc JSON shape.  A
+:class:`MetricsRegistry` gives them one vocabulary:
+
+* :class:`Counter` — monotone totals, optionally labelled
+  (``requests_total{op="solve"}``);
+* :class:`Gauge` — point-in-time values, settable or **callback-backed**
+  (:meth:`MetricsRegistry.gauge_fn` reads a live attribute at scrape
+  time, which is how the pool/cache/service register their existing
+  counters without restructuring them);
+* :class:`Histogram` — a bounded sliding window of observations with
+  p50/p90/p99, exposed in Prometheus *summary* form (quantiles over
+  the window, cumulative ``_sum``/``_count`` over the metric's life).
+  This generalises — and replaces — the net server's private latency
+  window.
+
+:meth:`MetricsRegistry.expose` renders the whole registry in the
+Prometheus text exposition format (version 0.0.4), which is what the
+``metrics`` wire op and ``repro client --metrics`` return; every
+metric also has a JSON-safe :meth:`MetricsRegistry.snapshot` for the
+``stats`` op.  All mutators are thread-safe (completion threads,
+dispatcher threads, and the event loop all record concurrently); the
+costs are one small lock plus a dict update per event, cheap enough to
+leave on permanently.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from collections import deque
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape_label(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Shared identity: name, help text, label names."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...] = ()):
+        self.name = _check_name(name)
+        self.help = help
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _label_key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    # Each concrete metric yields (suffix, labels_dict, value) samples.
+    def samples(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def expose(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for suffix, labels, value in self.samples():
+            lines.append(
+                f"{self.name}{suffix}{_render_labels(labels)} "
+                f"{_format_value(value)}"
+            )
+        return "\n".join(lines)
+
+
+class Counter(Metric):
+    """A monotonically increasing total, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (inc by {amount})")
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        key = self._label_key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def total(self) -> float:
+        """The sum over every label combination."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def as_dict(self) -> dict:
+        """``{label-value-or-tuple: count}`` for JSON stats snapshots."""
+        with self._lock:
+            items = dict(self._values)
+        if not self.labelnames:
+            return {"": items.get((), 0.0)}
+        if len(self.labelnames) == 1:
+            return {key[0]: value for key, value in items.items()}
+        return {",".join(key): value for key, value in items.items()}
+
+    def samples(self):
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            yield "", dict(zip(self.labelnames, key)), value
+
+
+class Gauge(Metric):
+    """A point-in-time value: settable, or read through a callback."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        fn=None,
+    ):
+        super().__init__(name, help, labelnames)
+        if fn is not None and labelnames:
+            raise ValueError("callback gauges cannot be labelled")
+        self._fn = fn
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        if self._fn is not None:
+            raise ValueError(f"{self.name} is callback-backed; cannot set()")
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if self._fn is not None:
+            raise ValueError(f"{self.name} is callback-backed; cannot inc()")
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        key = self._label_key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self):
+        if self._fn is not None:
+            try:
+                yield "", {}, float(self._fn())
+            except Exception:  # noqa: BLE001 - a dead callback scrapes as NaN
+                yield "", {}, float("nan")
+            return
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            yield "", dict(zip(self.labelnames, key)), value
+
+
+class Histogram(Metric):
+    """Sliding-window observations with percentiles; Prometheus summary.
+
+    ``window`` bounds memory: only the most recent observations inform
+    the quantiles (a service that has been up for a month reports
+    *recent* latency, not its lifetime average), while ``_count`` and
+    ``_sum`` stay cumulative, so rate math over scrapes still works.
+
+    Edge cases are defined, not accidental: an empty window reports
+    ``None`` percentiles (and exposes no quantile samples — valid
+    exposition); a single sample is every percentile; past ``window``
+    observations the oldest fall out (wraparound).
+    """
+
+    kind = "summary"
+
+    #: The quantiles exposed by default.
+    QUANTILES = (0.5, 0.9, 0.99)
+
+    def __init__(self, name: str, help: str, window: int = 2048):
+        super().__init__(name, help, ())
+        if window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._window: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._window.append(float(value))
+            self.count += 1
+            self.sum += float(value)
+
+    def _ordered(self) -> list[float]:
+        with self._lock:
+            window = list(self._window)
+        window.sort()
+        return window
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float | None:
+        """Nearest-rank percentile over the sorted window."""
+        if not ordered:
+            return None
+        index = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def percentile(self, q: float) -> float | None:
+        """The ``q``-quantile over the current window (``None`` if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return self._percentile(self._ordered(), q)
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary: cumulative count, window percentiles/mean."""
+        ordered = self._ordered()
+        with self._lock:
+            count = self.count
+        if not ordered:
+            return {
+                "count": count,
+                "p50": None,
+                "p90": None,
+                "p99": None,
+                "mean": None,
+            }
+        return {
+            "count": count,
+            "p50": self._percentile(ordered, 0.50),
+            "p90": self._percentile(ordered, 0.90),
+            "p99": self._percentile(ordered, 0.99),
+            "mean": sum(ordered) / len(ordered),
+        }
+
+    def snapshot_ms(self) -> dict:
+        """The shape the server's ``stats`` op has always reported
+        (seconds in, milliseconds out; ``None`` on an empty window)."""
+        raw = self.snapshot()
+
+        def ms(value):
+            return round(value * 1000, 3) if value is not None else None
+
+        return {
+            "count": raw["count"],
+            "p50_ms": ms(raw["p50"]),
+            "p90_ms": ms(raw["p90"]),
+            "p99_ms": ms(raw["p99"]),
+            "mean_ms": ms(raw["mean"]),
+        }
+
+    def samples(self):
+        ordered = self._ordered()
+        with self._lock:
+            count, total = self.count, self.sum
+        for q in self.QUANTILES:
+            value = self._percentile(ordered, q)
+            if value is not None:
+                yield "", {"quantile": _format_value(q)}, value
+        yield "_sum", {}, total
+        yield "_count", {}, count
+
+
+class MetricsRegistry:
+    """Every metric of one process, in registration order.
+
+    ``counter``/``gauge``/``histogram`` are create-or-get by name (two
+    layers asking for ``requests_total`` share one counter — that is
+    the "unified" part), with a type/label mismatch raising instead of
+    silently shadowing.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, cls, name, help, **kwargs) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                labelnames = kwargs.get("labelnames", ())
+                if getattr(existing, "labelnames", ()) != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str, labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help, labelnames=tuple(labelnames))
+
+    def gauge(
+        self, name: str, help: str, labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help, labelnames=tuple(labelnames))
+
+    def gauge_fn(self, name: str, help: str, fn) -> Gauge:
+        """A callback gauge: ``fn()`` is read at scrape time.
+
+        The bridge from the pre-obs world — existing live counters
+        (``pool.tasks_completed``, ``cache.hits``) become metrics
+        without moving where they are maintained.
+        """
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if isinstance(existing, Gauge) and existing._fn is not None:
+                    existing._fn = fn  # re-registering rebinds the source
+                    return existing
+                raise ValueError(
+                    f"metric {name!r} already registered as a non-callback "
+                    f"{type(existing).__name__}"
+                )
+            metric = Gauge(name, help, fn=fn)
+            self._metrics[name] = metric
+            return metric
+
+    def histogram(self, name: str, help: str, window: int = 2048) -> Histogram:
+        return self._register(Histogram, name, help, window=window)
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __iter__(self):
+        with self._lock:
+            return iter(list(self._metrics.values()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def expose(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        blocks = [metric.expose() for metric in self]
+        return "\n".join(blocks) + ("\n" if blocks else "")
+
+    def snapshot(self) -> dict:
+        """A JSON-safe dump: counters as dicts, gauges as numbers,
+        histograms as percentile summaries."""
+        out: dict = {}
+        for metric in self:
+            if isinstance(metric, Counter):
+                if metric.labelnames:
+                    out[metric.name] = metric.as_dict()
+                else:
+                    out[metric.name] = metric.value()
+            elif isinstance(metric, Histogram):
+                out[metric.name] = metric.snapshot()
+            elif isinstance(metric, Gauge):
+                try:
+                    out[metric.name] = metric.value()
+                except ValueError:
+                    out[metric.name] = None
+        return out
+
+
+#: A light-weight validation of exposition output used by tests and CI
+#: (full client libraries are out of bounds for this repo's no-new-deps
+#: rule, so the checker lives here instead).
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+( [0-9]+)?$"
+)
+
+
+def parse_exposition(text: str) -> dict[str, dict]:
+    """Parse Prometheus text exposition into ``{metric: {labels: value}}``.
+
+    Strict enough to catch a malformed exposition (raises
+    ``ValueError``), small enough to inline in CI.  Sample keys are the
+    rendered label strings (``'{op="solve"}'``; ``''`` for unlabelled).
+    """
+    series: dict[str, dict] = {}
+    for line_no, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {line_no}: bad comment {line!r}")
+        if not _SAMPLE_RE.match(line):
+            raise ValueError(f"line {line_no}: bad sample {line!r}")
+        name_part, _, value_part = line.rpartition(" ")
+        if "{" in name_part:
+            name, _, labels = name_part.partition("{")
+            labels = "{" + labels
+        else:
+            name, labels = name_part, ""
+        value = float(value_part)
+        series.setdefault(name, {})[labels] = value
+    return series

@@ -1,0 +1,455 @@
+"""Low-overhead in-process tracing: spans, sinks, and propagation.
+
+One request to the duality service crosses a lot of machinery — client
+edge, wire framing, scheduler submit, cache lookup, pool queue, a
+worker *process*, response serialisation — and until this module the
+only record of that journey was a handful of counters.  A **span** is
+one named, timed phase of one request; a **trace** is every span that
+shares one ``trace_id``.  The design constraints, in order:
+
+* **zero-cost-when-disabled** — with no sink installed and no request
+  context active, :func:`span` returns a shared no-op singleton: one
+  function call, no allocation, no lock.  Verdicts are never touched
+  either way; tracing observes, it does not participate.
+* **thread-agnostic** — spans resolve in whatever thread finished the
+  work (submitting thread, pool collector thread, asyncio loop), so a
+  span carries its full identity (``trace_id``/``span_id``/
+  ``parent_id``) instead of relying on ambient state.  Ambient state
+  (a :class:`contextvars.ContextVar`) exists purely as a convenience
+  for straight-line code; cross-thread propagation is explicit — a
+  :class:`SpanContext` rides on the service ticket / pool future.
+* **process-crossing** — worker processes cannot share a sink, so a
+  worker builds plain span *dicts* (:meth:`Span.to_dict`) and returns
+  them piggybacked on its result; the service re-records them.  Spans
+  are timed on the wall clock (``time.time()``) precisely so that
+  spans from different processes on one machine land on one timeline.
+
+Two sink shapes cover every consumer: the **global sink** (a
+ring-buffered :class:`TraceSink`, installed by :func:`enable_tracing`)
+for whole-process tracing (``repro trace``, benchmarks), and small
+per-request sinks the network server creates so a traced request's
+spans can be returned to the client that minted the trace id.
+
+Rendering: :func:`format_tree` prints an indented span tree per trace;
+:func:`to_chrome` converts spans to the Chrome trace-event JSON format
+(load the file at ``chrome://tracing`` or https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+from collections import deque
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit trace id (16 hex chars)."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 32-bit span id (8 hex chars)."""
+    return os.urandom(4).hex()
+
+
+class Span:
+    """One named, timed phase of one trace.
+
+    ``start``/``end`` are wall-clock epoch seconds (see the module
+    docstring for why not ``monotonic``: worker-process spans must land
+    on the same timeline as the service's own).  ``tags`` is a small
+    flat dict of JSON-safe values.  A span is *recorded* — handed to a
+    sink — only when :meth:`finish`\\ ed through the :func:`span`
+    context manager or explicitly by its creator.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "end",
+        "tags",
+        "pid",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        name: str,
+        parent_id: str | None = None,
+        span_id: str | None = None,
+        start: float | None = None,
+        tags: dict | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id if span_id is not None else new_span_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start if start is not None else time.time()
+        self.end: float | None = None
+        self.tags = tags if tags is not None else {}
+        self.pid = os.getpid()
+
+    def finish(self, end: float | None = None) -> "Span":
+        if self.end is None:
+            self.end = end if end is not None else time.time()
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while unfinished)."""
+        if self.end is None:
+            return 0.0
+        return max(0.0, self.end - self.start)
+
+    def set_tag(self, key: str, value) -> None:
+        self.tags[key] = value
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict (the wire/worker form; lossless round trip)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "tags": dict(self.tags),
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output (worker/wire spans)."""
+        span = cls(
+            trace_id=str(payload["trace_id"]),
+            name=str(payload["name"]),
+            parent_id=payload.get("parent_id"),
+            span_id=str(payload["span_id"]),
+            start=float(payload["start"]),
+            tags=dict(payload.get("tags") or {}),
+        )
+        end = payload.get("end")
+        span.end = float(end) if end is not None else None
+        pid = payload.get("pid")
+        if pid is not None:
+            span.pid = int(pid)
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id}, dur={self.duration_s * 1000:.3f}ms)"
+        )
+
+
+class TraceSink:
+    """A thread-safe ring buffer of finished spans.
+
+    Bounded so an always-on tracer cannot grow without limit: past
+    ``maxlen`` the oldest spans fall off (``dropped`` counts them).
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._spans: deque[Span] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            if (
+                self._spans.maxlen is not None
+                and len(self._spans) == self._spans.maxlen
+            ):
+                self.dropped += 1
+            self._spans.append(span)
+
+    def extend(self, spans) -> None:
+        """Record many spans (e.g. a worker's piggybacked span dicts)."""
+        for span in spans:
+            if isinstance(span, dict):
+                span = Span.from_dict(span)
+            self.record(span)
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """A snapshot, oldest first (optionally one trace only)."""
+        with self._lock:
+            snapshot = list(self._spans)
+        if trace_id is None:
+            return snapshot
+        return [span for span in snapshot if span.trace_id == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids in the buffer, in first-seen order."""
+        seen: dict[str, None] = {}
+        for span in self.spans():
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class SpanContext:
+    """Where the *next* span belongs: trace id, parent span id, sink.
+
+    The explicit cross-thread propagation handle — cheap enough to ride
+    on every ticket/future of a traced request, and deliberately *not*
+    picklable as a whole (the sink stays in the service process; only
+    ``wire()``'s id pair crosses to workers).
+    """
+
+    __slots__ = ("trace_id", "span_id", "sink")
+
+    def __init__(
+        self, trace_id: str, span_id: str | None, sink: TraceSink
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sink = sink
+
+    def wire(self) -> tuple[str, str | None]:
+        """The picklable ``(trace_id, parent_span_id)`` pair for workers."""
+        return (self.trace_id, self.span_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanContext(trace={self.trace_id}, span={self.span_id})"
+
+
+# ---------------------------------------------------------------------------
+# Ambient state: the global sink and the contextvar
+# ---------------------------------------------------------------------------
+
+_GLOBAL_SINK: TraceSink | None = None
+
+_CTX: contextvars.ContextVar[SpanContext | None] = contextvars.ContextVar(
+    "repro_obs_span_context", default=None
+)
+
+
+def enable_tracing(maxlen: int = 4096) -> TraceSink:
+    """Install (or replace) the process-global span sink; returns it.
+
+    With a global sink installed, :func:`span` records even without an
+    explicit or ambient context — each orphan span starts a new trace.
+    """
+    global _GLOBAL_SINK
+    _GLOBAL_SINK = TraceSink(maxlen=maxlen)
+    return _GLOBAL_SINK
+
+
+def disable_tracing() -> None:
+    """Remove the global sink; :func:`span` returns to no-op (the default)."""
+    global _GLOBAL_SINK
+    _GLOBAL_SINK = None
+
+
+def tracing_enabled() -> bool:
+    return _GLOBAL_SINK is not None
+
+
+def global_sink() -> TraceSink | None:
+    return _GLOBAL_SINK
+
+
+def current_context() -> SpanContext | None:
+    """The ambient span context of this thread/task (or ``None``)."""
+    return _CTX.get()
+
+
+class _NullSpan:
+    """The shared no-op standing in for a span while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def set_tag(self, key: str, value) -> None:
+        pass
+
+    def finish(self, end: float | None = None) -> "_NullSpan":
+        return self
+
+    span_id = None
+    trace_id = None
+    duration_s = 0.0
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager recording one span and scoping the ambient context."""
+
+    __slots__ = ("span", "_sink", "_token")
+
+    def __init__(self, span: Span, sink: TraceSink) -> None:
+        self.span = span
+        self._sink = sink
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _CTX.set(
+            SpanContext(self.span.trace_id, self.span.span_id, self._sink)
+        )
+        return self.span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if self._token is not None:
+            _CTX.reset(self._token)
+        if exc_type is not None:
+            self.span.tags.setdefault("error", exc_type.__name__)
+        self.span.finish()
+        self._sink.record(self.span)
+        return False
+
+
+def span(name: str, ctx: SpanContext | None = None, **tags):
+    """Open one span: ``with span("cache-lookup") as s: ...``.
+
+    Parent resolution, in order: the explicit ``ctx``, the ambient
+    context (set by an enclosing ``span``), the global sink (a new
+    root trace per orphan span).  With none of the three, the shared
+    :data:`NULL_SPAN` comes back — no allocation, no recording.
+    """
+    if ctx is None:
+        ctx = _CTX.get()
+        if ctx is None:
+            sink = _GLOBAL_SINK
+            if sink is None:
+                return NULL_SPAN
+            ctx = SpanContext(new_trace_id(), None, sink)
+    return _ActiveSpan(
+        Span(ctx.trace_id, name, parent_id=ctx.span_id, tags=tags or None),
+        ctx.sink,
+    )
+
+
+def record_span(
+    ctx: SpanContext,
+    name: str,
+    start: float,
+    end: float,
+    span_id: str | None = None,
+    **tags,
+) -> Span:
+    """Record one already-timed phase under ``ctx`` (completion threads).
+
+    For code that measured a phase with plain timestamps — because the
+    phase started in one thread and ended in another — and only later
+    knows it belongs to a traced request.
+    """
+    recorded = Span(
+        ctx.trace_id,
+        name,
+        parent_id=ctx.span_id,
+        span_id=span_id,
+        start=start,
+        tags=tags or None,
+    )
+    recorded.finish(end)
+    ctx.sink.record(recorded)
+    return recorded
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def format_tree(spans: list[Span]) -> str:
+    """An indented per-trace span tree with durations and tags.
+
+    Orphans (spans whose parent never reached this sink — e.g. the
+    client-side parent of a server-recorded subtree) are treated as
+    roots, so a partial trace still renders instead of vanishing.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    by_trace: dict[str, list[Span]] = {}
+    for item in spans:
+        by_trace.setdefault(item.trace_id, []).append(item)
+    lines: list[str] = []
+    for trace_id, members in by_trace.items():
+        ids = {member.span_id for member in members}
+        children: dict[str | None, list[Span]] = {}
+        roots: list[Span] = []
+        for member in members:
+            if member.parent_id in ids:
+                children.setdefault(member.parent_id, []).append(member)
+            else:
+                roots.append(member)
+        roots.sort(key=lambda item: item.start)
+        lines.append(f"trace {trace_id} ({len(members)} spans)")
+
+        def walk(node: Span, depth: int) -> None:
+            tag_text = ""
+            if node.tags:
+                inner = ", ".join(
+                    f"{key}={value}" for key, value in sorted(node.tags.items())
+                )
+                tag_text = f"  [{inner}]"
+            lines.append(
+                f"{'  ' * depth}- {node.name}  "
+                f"{node.duration_s * 1000:.3f}ms{tag_text}"
+            )
+            for child in sorted(
+                children.get(node.span_id, []), key=lambda item: item.start
+            ):
+                walk(child, depth + 1)
+
+        for root in roots:
+            walk(root, 1)
+    return "\n".join(lines)
+
+
+def to_chrome(spans: list[Span]) -> dict:
+    """Spans as Chrome trace-event JSON (``chrome://tracing`` / Perfetto).
+
+    Complete events (``ph: "X"``) with microsecond timestamps; the
+    trace and span ids ride in ``args`` so the tree survives tools that
+    only show the flat timeline.
+    """
+    events = []
+    for item in spans:
+        events.append(
+            {
+                "name": item.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(item.start * 1_000_000, 3),
+                "dur": round(item.duration_s * 1_000_000, 3),
+                "pid": item.pid,
+                "tid": item.pid,
+                "args": {
+                    "trace_id": item.trace_id,
+                    "span_id": item.span_id,
+                    "parent_id": item.parent_id,
+                    **item.tags,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome(spans: list[Span], path) -> None:
+    """Write :func:`to_chrome` output to ``path`` as JSON."""
+    from pathlib import Path
+
+    Path(path).write_text(
+        json.dumps(to_chrome(spans), indent=1) + "\n", encoding="utf-8"
+    )

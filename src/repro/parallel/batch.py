@@ -42,6 +42,8 @@ from repro.duality.result import (
 )
 from repro.hypergraph import Hypergraph, instance_key, mask_payload, from_mask_payload
 from repro.hypergraph import io as hgio
+from repro.obs.timings import TimingLog, structural_features
+from repro.obs.trace import span
 from repro.parallel.codec import (
     CodecError,
     decode_vertex_set,
@@ -146,6 +148,22 @@ class ResultCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+
+    def register_metrics(self, registry) -> None:
+        """Expose the cache's live counters on an obs
+        :class:`~repro.obs.metrics.MetricsRegistry` as callback gauges."""
+        registry.gauge_fn(
+            "cache_hits_total", "Result cache hits", lambda: self.hits
+        )
+        registry.gauge_fn(
+            "cache_misses_total", "Result cache misses", lambda: self.misses
+        )
+        registry.gauge_fn(
+            "cache_evictions_total", "LRU evictions", lambda: self.evictions
+        )
+        registry.gauge_fn(
+            "cache_entries", "Entries currently cached", lambda: len(self)
+        )
 
     # ------------------------------------------------------------------
     # Persistence
@@ -322,12 +340,47 @@ def solve_batch_entry(payload: tuple) -> tuple[DualityResult, float]:
     return result, time.perf_counter() - start
 
 
+def solve_batch_entry_obs(payload: tuple) -> tuple[DualityResult, float, dict]:
+    """Worker: :func:`solve_batch_entry` under a traced request.
+
+    ``payload`` carries a fourth element — the picklable
+    ``(trace_id, parent_span_id)`` pair of the requesting trace.  The
+    verdict path is *identical* to the plain entry (same facade call,
+    same timer); the only additions are spans, and a sink cannot cross
+    a process boundary, so the worker's spans come back **piggybacked**
+    as plain dicts in the third return slot (``extras["spans"]``) for
+    the service to re-record.  The solve itself is one ``worker-solve``
+    span with a nested ``engine:<method>`` span; the deserialisation of
+    the mask payloads is tagged on as ``decode_ms``.
+    """
+    g_payload, h_payload, method, wire_ctx = payload
+    trace_id, parent_span_id = wire_ctx
+    from repro.duality import decide_duality
+    from repro.obs.trace import Span
+
+    outer = Span(trace_id, "worker-solve", parent_id=parent_span_id)
+    decode_start = time.perf_counter()
+    g = from_mask_payload(g_payload)
+    h = from_mask_payload(h_payload)
+    outer.set_tag("decode_ms", round((time.perf_counter() - decode_start) * 1000, 3))
+    inner = Span(trace_id, f"engine:{method}", parent_id=outer.span_id)
+    start = time.perf_counter()
+    result = decide_duality(g, h, method=method)
+    elapsed = time.perf_counter() - start
+    inner.finish()
+    inner.set_tag("dual", result.is_dual)
+    outer.finish()
+    extras = {"spans": [outer.to_dict(), inner.to_dict()]}
+    return result, elapsed, extras
+
+
 def solve_many(
     instances,
     method: str = "fk-b",
     n_jobs: int | None = 1,
     cache: ResultCache | None = None,
     pool=None,
+    timings: TimingLog | str | Path | None = None,
 ) -> list[BatchItem]:
     """Decide a batch of duality instances, optionally in parallel.
 
@@ -357,6 +410,13 @@ def solve_many(
         worker-death retry; a plain ``map(fn, items)`` pool falls back
         to the lock-step batch.  The caller owns the pool's lifecycle
         (this function never shuts it down).
+    timings:
+        A :class:`repro.obs.timings.TimingLog` (or a path to create
+        one) recording one JSONL row per solved miss — engine, elapsed,
+        structural features.  Verdicts are never affected.  When
+        process-wide tracing is enabled (:func:`repro.obs.enable_tracing`)
+        the batch additionally records ``batch-load`` / ``batch-solve``
+        spans; with tracing disabled both hooks are no-ops.
 
     Results come back in input order, and each miss is solved by the
     ordinary serial engine inside its worker — so the batch's verdicts
@@ -374,16 +434,19 @@ def solve_many(
             "(and hence the certificate) depends on timing; pick a "
             "concrete engine or drop the cache"
         )
+    if isinstance(timings, (str, Path)):
+        timings = TimingLog(timings)
     sources: list[str | None] = []
     pairs: list[tuple[Hypergraph, Hypergraph]] = []
-    for item in instances:
-        if isinstance(item, (str, Path)):
-            sources.append(str(item))
-            pairs.append(load_instance(item))
-        else:
-            g, h = item
-            sources.append(None)
-            pairs.append((g, h))
+    with span("batch-load"):
+        for item in instances:
+            if isinstance(item, (str, Path)):
+                sources.append(str(item))
+                pairs.append(load_instance(item))
+            else:
+                g, h = item
+                sources.append(None)
+                pairs.append((g, h))
 
     keys = [instance_key(g, h, method) for g, h in pairs]
     items: list[BatchItem | None] = [None] * len(pairs)
@@ -417,22 +480,37 @@ def solve_many(
 
     if pool is None:
         pool = WorkerPool(n_jobs)
-    if hasattr(pool, "submit"):
-        # The futures scheduler (EnginePool): one future per miss, kept
-        # out of the pool's drain batch so a service sharing the pool
-        # never collects our items.  Awaiting in submission order keeps
-        # error behaviour identical to the lock-step path (first
-        # failure, in order), while the items still run concurrently.
-        futures = [
-            pool.submit(solve_batch_entry, payload, collect=False)
-            for payload in payloads
-        ]
-        outcomes = [future.result() for future in futures]
-    else:
-        outcomes = pool.map(solve_batch_entry, payloads)
+    with span("batch-solve", misses=len(payloads), total=len(pairs)):
+        if hasattr(pool, "submit"):
+            # The futures scheduler (EnginePool): one future per miss,
+            # kept out of the pool's drain batch so a service sharing
+            # the pool never collects our items.  Awaiting in submission
+            # order keeps error behaviour identical to the lock-step
+            # path (first failure, in order), while the items still run
+            # concurrently.
+            futures = [
+                pool.submit(solve_batch_entry, payload, collect=False)
+                for payload in payloads
+            ]
+            outcomes = [future.result() for future in futures]
+        else:
+            outcomes = pool.map(solve_batch_entry, payloads)
     solved = {
         keys[pos]: outcome for pos, outcome in zip(unique_positions, outcomes)
     }
+    if timings is not None:
+        for pos, payload, outcome in zip(unique_positions, payloads, outcomes):
+            result, elapsed = outcome
+            try:
+                timings.record(
+                    method,
+                    elapsed,
+                    features=structural_features(payload[0], payload[1]),
+                    dual=result.is_dual,
+                    source=sources[pos],
+                )
+            except Exception:  # noqa: BLE001 - observation never breaks solves
+                pass
 
     for pos in miss_positions:
         key = keys[pos]

@@ -31,6 +31,7 @@ import time
 
 from repro.duality.result import DualityResult
 from repro.hypergraph import Hypergraph, from_mask_payload, mask_payload
+from repro.obs.trace import span
 from repro.parallel.executor import resolve_n_jobs
 
 #: The default complement of racers: the FK workhorse, the two
@@ -106,15 +107,19 @@ def race_portfolio(
         results: dict[str, DualityResult] = {}
         caught: dict[str, Exception] = {}
         for engine in engines:
-            start = time.perf_counter()
-            try:
-                results[engine] = decide_duality(g, h, method=engine)
-            except Exception as exc:
-                # Same contract as the race: a crashing engine is
-                # reported and the survivors keep competing.
-                caught[engine] = exc
-                failures[engine] = repr(exc)
-            timings[engine] = time.perf_counter() - start
+            # A no-op unless tracing is enabled for this process or
+            # request (repro.obs.span returns its null singleton then).
+            with span(f"engine:{engine}", mode="sequential") as engine_span:
+                start = time.perf_counter()
+                try:
+                    results[engine] = decide_duality(g, h, method=engine)
+                except Exception as exc:
+                    # Same contract as the race: a crashing engine is
+                    # reported and the survivors keep competing.
+                    caught[engine] = exc
+                    failures[engine] = repr(exc)
+                timings[engine] = time.perf_counter() - start
+                engine_span.set_tag("elapsed_ms", round(timings[engine] * 1000, 3))
         if not results:
             # No winner to return, so surface the real failure: the
             # first engine's exception (typically an input-validation

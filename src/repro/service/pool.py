@@ -53,6 +53,7 @@ from __future__ import annotations
 import os
 import sys
 import threading
+import time
 from collections.abc import Callable, Iterable
 
 from repro.parallel.executor import resolve_n_jobs
@@ -158,6 +159,13 @@ class PoolFuture(Completion):
         self.fn = fn
         self.item = item
         self.attempts = 0
+        #: Wall-clock submission time — with the worker span's start it
+        #: bounds how long the item sat in the pool queue (the
+        #: "queue-wait" span of a traced request).
+        self.submitted_at = time.time()
+        #: Optional :class:`repro.obs.trace.SpanContext` riding with the
+        #: item; the pool itself never reads it.
+        self.trace = None
 
     @property
     def owner(self):  # callbacks receive the future itself
@@ -409,6 +417,30 @@ class EnginePool:
         if first_error is not None:
             raise first_error
         return [future.result() for future in futures]
+
+    def register_metrics(self, registry) -> None:
+        """Expose the pool's live counters on a
+        :class:`repro.obs.metrics.MetricsRegistry` as callback gauges —
+        the counters stay where they are maintained; the registry reads
+        them at scrape time."""
+        registry.gauge_fn(
+            "pool_workers", "Configured worker count", lambda: self.n_jobs
+        )
+        registry.gauge_fn(
+            "pool_generations",
+            "Worker-set spawns (1 until a worker-death recovery)",
+            lambda: self.generations,
+        )
+        registry.gauge_fn(
+            "pool_tasks_completed_total",
+            "Work items completed by the pool",
+            lambda: self.tasks_completed,
+        )
+        registry.gauge_fn(
+            "pool_restarts_total",
+            "Worker-death recoveries performed",
+            lambda: self.restarts,
+        )
 
     def worker_pids(self) -> frozenset[int]:
         """The PIDs actually answering work right now (self at ``n_jobs=1``).

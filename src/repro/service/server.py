@@ -34,15 +34,19 @@ strings round-trips its certificates exactly.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.duality.result import DualityResult
 from repro.hypergraph import Hypergraph, instance_key, mask_payload
+from repro.obs.timings import TimingLog, structural_features
+from repro.obs.trace import record_span
 from repro.parallel.batch import (
     ResultCache,
     load_instance,
     solve_batch_entry,
+    solve_batch_entry_obs,
 )
 from repro.parallel.codec import CodecError, encode_vertex_set
 from repro.service.pool import Completion, EnginePool, PoolClosedError
@@ -55,7 +59,12 @@ class ServiceResponse:
     ``request_id`` is the ticket ``submit`` returned; ``source`` the
     instance file path (``None`` for in-memory pairs); ``cached`` True
     when the verdict came from the cache (or an identical in-flight
-    request) instead of its own worker run.
+    request) instead of its own worker run.  ``origin`` says which:
+    ``"computed"`` (this request's own worker run), ``"cache"`` (a
+    submit-time cache hit), or ``"dedup"`` (joined an identical
+    in-flight computation).  ``elapsed_s`` is the solve time of the
+    computation that produced the verdict — dedup joiners report the
+    primary's real elapsed, not 0.0 (they waited exactly as long).
     """
 
     request_id: int
@@ -64,6 +73,7 @@ class ServiceResponse:
     result: DualityResult
     elapsed_s: float
     cached: bool
+    origin: str = "computed"
 
     @property
     def is_dual(self) -> bool:
@@ -86,6 +96,10 @@ class ServiceTicket(int):
         self = super().__new__(cls, request_id)
         self.source = source
         self.key = key
+        #: Optional :class:`repro.obs.trace.SpanContext` for this
+        #: request; phase spans of the solve are recorded under it.
+        self.trace = None
+        self._joined_at: float | None = None
         self._completion = Completion()
         self._completion.owner = self
         return self
@@ -145,11 +159,14 @@ class ServiceTicket(int):
 class _Inflight:
     """One in-flight computation and every ticket awaiting it."""
 
-    __slots__ = ("key", "tickets")
+    __slots__ = ("key", "tickets", "features")
 
     def __init__(self, key: str, ticket: ServiceTicket) -> None:
         self.key = key
         self.tickets = [ticket]
+        #: Structural features of the instance (set when a timing log is
+        #: attached), recorded with the solve's elapsed time.
+        self.features: dict | None = None
 
 
 class EngineService:
@@ -163,6 +180,7 @@ class EngineService:
         pool: EnginePool | None = None,
         autosave: bool = True,
         cache_max_entries: int | None = None,
+        timings: TimingLog | str | Path | None = None,
     ) -> None:
         """Start a service session.
 
@@ -177,6 +195,9 @@ class EngineService:
         carries its own cap).  ``pool`` lets several services share one
         warm :class:`EnginePool`; a pool the service created itself is
         shut down on :meth:`close`, a borrowed one is left running.
+        ``timings`` (a :class:`~repro.obs.timings.TimingLog` or a path)
+        records every computed solve — engine, elapsed, structural
+        features — as one JSONL line; verdicts are never affected.
         """
         self.method = method
         if method == "portfolio" and cache is not None:
@@ -205,13 +226,24 @@ class EngineService:
         self._inflight: dict[str, _Inflight] = {}
         self._next_id = 0
         self.requests = 0
+        #: How each answered request got its verdict (satellite of the
+        #: dedup-elapsed fix): computed / cache / dedup.
+        self.by_origin = {"computed": 0, "cache": 0, "dedup": 0}
+        if isinstance(timings, (str, Path)):
+            self.timings: TimingLog | None = TimingLog(timings)
+            self._owns_timings = True
+        else:
+            self.timings = timings
+            self._owns_timings = False
         self._closed = False
 
     # ------------------------------------------------------------------
     # The scheduler
     # ------------------------------------------------------------------
 
-    def submit(self, instance, *, collect: bool = True) -> ServiceTicket:
+    def submit(
+        self, instance, *, collect: bool = True, trace=None
+    ) -> ServiceTicket:
         """Schedule one instance: a ``(G, H)`` pair or a ``.hg`` path.
 
         Returns the request's :class:`ServiceTicket` (usable directly
@@ -231,6 +263,11 @@ class EngineService:
         themselves — the TCP server, the ``serve`` stdin loop — pass
         ``collect=False`` so their requests never leak into another
         caller's drain.
+
+        ``trace`` (a :class:`repro.obs.trace.SpanContext`) makes this
+        one request traced: cache-lookup / dedup-join / queue-wait /
+        worker-solve spans are recorded under it as the request moves
+        through the scheduler.  ``None`` (the default) costs nothing.
         """
         if self._closed:
             raise PoolClosedError("service is closed; open a new EngineService")
@@ -243,6 +280,7 @@ class EngineService:
         key = instance_key(g, h, self.method)
         cache_hit: DualityResult | None = None
         entry: _Inflight | None = None
+        lookup_start = time.time() if trace is not None else 0.0
         with self._lock:
             if self._closed:
                 raise PoolClosedError(
@@ -251,6 +289,7 @@ class EngineService:
             request_id = self._next_id
             self._next_id += 1
             ticket = ServiceTicket(request_id, source, key)
+            ticket.trace = trace
             if collect:
                 self._undrained.append(ticket)
             self.requests += 1
@@ -263,19 +302,47 @@ class EngineService:
                 # in the cache: _on_solved fills the cache and retires
                 # the entry under this same lock.
                 joined.tickets.append(ticket)
+                ticket._joined_at = time.time()
                 return ticket
             if self.cache is not None:
                 cache_hit = self.cache.get(key)
             if cache_hit is None:
                 entry = _Inflight(key, ticket)
                 self._inflight[key] = entry
+        if trace is not None:
+            record_span(
+                trace,
+                "cache-lookup",
+                lookup_start,
+                time.time(),
+                hit=cache_hit is not None,
+                cached_service=self.cache is not None,
+            )
         if cache_hit is not None:
+            with self._lock:
+                self.by_origin["cache"] += 1
             ticket._completion.resolve(
-                value=self._response(ticket, cache_hit, 0.0, cached=True)
+                value=self._response(
+                    ticket, cache_hit, 0.0, cached=True, origin="cache"
+                )
             )
             return ticket
-        payload = (mask_payload(g), mask_payload(h), self.method)
-        future = self.pool.submit(solve_batch_entry, payload, collect=False)
+        g_payload, h_payload = mask_payload(g), mask_payload(h)
+        if self.timings is not None:
+            # Set before the pool sees the item: at n_jobs=1 the solve
+            # (and _on_solved) runs inline inside pool.submit.
+            entry.features = structural_features(g_payload, h_payload)
+        if trace is not None:
+            # The worker builds its spans under the request's trace id;
+            # only the picklable id pair crosses the process boundary.
+            payload = (g_payload, h_payload, self.method, trace.wire())
+            future = self.pool.submit(
+                solve_batch_entry_obs, payload, collect=False
+            )
+        else:
+            payload = (g_payload, h_payload, self.method)
+            future = self.pool.submit(solve_batch_entry, payload, collect=False)
+        future.trace = trace
         future.add_done_callback(
             lambda f, entry=entry: self._on_solved(entry, f)
         )
@@ -288,33 +355,101 @@ class EngineService:
         thread at ``n_jobs=1``, a pool collector thread otherwise.
         """
         error = future.exception()
+        worker_spans = None
         with self._lock:
             self._inflight.pop(entry.key, None)
             tickets = list(entry.tickets)
             if error is None:
-                result, elapsed = future.result()
+                outcome = future.result()
+                if len(outcome) == 3:
+                    # The traced worker entry piggybacks its spans on
+                    # the result (a sink cannot cross processes).
+                    result, elapsed, extras = outcome
+                    worker_spans = extras.get("spans")
+                else:
+                    result, elapsed = outcome
                 if self.cache is not None:
                     self.cache.put(entry.key, result)
         if error is not None:
             for ticket in tickets:
                 ticket._completion.resolve(error=error)
             return
+        trace = getattr(future, "trace", None)
+        if trace is not None and worker_spans:
+            # Queue wait is the gap between pool submission and the
+            # moment a worker actually picked the item up.
+            worker_start = min(s["start"] for s in worker_spans)
+            record_span(
+                trace,
+                "queue-wait",
+                future.submitted_at,
+                max(future.submitted_at, worker_start),
+            )
+            trace.sink.extend(worker_spans)
+        if self.timings is not None:
+            self._record_timings(entry, result, elapsed, trace)
         if self._autosave:
             # Persist before resolving: once a waiter has its answer,
             # the verdict is already on disk — a crash loses nothing
             # the service ever reported.
             self.persist()
+        with self._lock:
+            self.by_origin["computed"] += 1
+            self.by_origin["dedup"] += len(tickets) - 1
         primary = True
         for ticket in tickets:
+            if not primary and ticket.trace is not None:
+                # The joiner's own wait on the primary's computation.
+                record_span(
+                    ticket.trace,
+                    "dedup-join",
+                    ticket._joined_at if ticket._joined_at else time.time(),
+                    time.time(),
+                    key=entry.key[:16],
+                )
             ticket._completion.resolve(
                 value=self._response(
                     ticket,
                     result,
-                    elapsed if primary else 0.0,
+                    elapsed,
                     cached=not primary,
+                    origin="computed" if primary else "dedup",
                 )
             )
             primary = False
+
+    def _record_timings(self, entry, result, elapsed, trace) -> None:
+        """One JSONL row per computed solve (plus the portfolio's losers).
+
+        Never lets a logging failure poison a verdict that is already
+        computed — recording errors are swallowed.
+        """
+        trace_id = trace.trace_id if trace is not None else None
+        try:
+            self.timings.record(
+                self.method,
+                elapsed,
+                features=entry.features,
+                dual=result.is_dual,
+                trace_id=trace_id,
+            )
+            extra = getattr(result.stats, "extra", None)
+            portfolio = extra.get("portfolio") if isinstance(extra, dict) else None
+            if portfolio:
+                # The racer already timed every engine it ran — per-engine
+                # rows are exactly the learned-selection training signal.
+                for engine, engine_s in (portfolio.get("timings_s") or {}).items():
+                    self.timings.record(
+                        engine,
+                        engine_s,
+                        features=entry.features,
+                        dual=result.is_dual,
+                        trace_id=trace_id,
+                        role="portfolio",
+                        winner=portfolio.get("winner"),
+                    )
+        except Exception:  # noqa: BLE001 - observation must not break solves
+            pass
 
     @staticmethod
     def _response(
@@ -322,6 +457,7 @@ class EngineService:
         result: DualityResult,
         elapsed_s: float,
         cached: bool,
+        origin: str = "computed",
     ) -> ServiceResponse:
         return ServiceResponse(
             request_id=ticket.request_id,
@@ -330,6 +466,7 @@ class EngineService:
             result=result,
             elapsed_s=elapsed_s,
             cached=cached,
+            origin=origin,
         )
 
     def drain(self) -> list[ServiceResponse]:
@@ -389,12 +526,37 @@ class EngineService:
                 "pool_generations": self.pool.generations,
                 "pool_restarts": self.pool.restarts,
                 "tasks_completed": self.pool.tasks_completed,
+                "by_origin": dict(self.by_origin),
             }
         if self.cache is not None:
             out["cache_hits"] = self.cache.hits
             out["cache_misses"] = self.cache.misses
             out["cache_entries"] = len(self.cache)
+        if self.timings is not None:
+            out["timings_recorded"] = self.timings.records_written
         return out
+
+    def register_metrics(self, registry) -> None:
+        """Register service, pool, and cache counters on an obs
+        :class:`~repro.obs.metrics.MetricsRegistry` (callback gauges —
+        scrapes read the live values)."""
+        registry.gauge_fn(
+            "service_requests_total", "Requests submitted", lambda: self.requests
+        )
+        registry.gauge_fn(
+            "service_inflight",
+            "Distinct computations currently in flight",
+            lambda: len(self._inflight),
+        )
+        for origin in ("computed", "cache", "dedup"):
+            registry.gauge_fn(
+                f"service_responses_{origin}_total",
+                f"Responses answered via {origin}",
+                lambda origin=origin: self.by_origin[origin],
+            )
+        self.pool.register_metrics(registry)
+        if self.cache is not None:
+            self.cache.register_metrics(registry)
 
     def persist(self) -> int:
         """Flush new cache entries to the session's cache path (if any).
@@ -423,6 +585,8 @@ class EngineService:
             return
         self._closed = True
         self.persist()
+        if self._owns_timings and self.timings is not None:
+            self.timings.close()
         if self._owns_pool:
             self.pool.shutdown()
 
@@ -456,6 +620,7 @@ def response_to_json(response: ServiceResponse) -> dict:
         "verdict": result.verdict.value,
         "dual": result.is_dual,
         "cached": response.cached,
+        "origin": response.origin,
         "elapsed_ms": round(response.elapsed_s * 1000, 3),
         "kind": cert.kind.name if cert.kind is not None else None,
         "witness": witness,
