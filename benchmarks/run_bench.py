@@ -26,7 +26,10 @@ The JSON layout:
   4 TCP clients with a fast/slow mix vs the same requests serialized,
   and the ``server-async`` event-loop row: the same 4-client numbers
   plus a 1000-connection sweep with ping latency percentiles, against
-  the recorded pre-deletion threaded baseline).
+  the recorded pre-deletion threaded baseline, and the ``store-flush``
+  row: per-verdict persistence cost of the durable store's journal
+  append vs the legacy full-file ``cache.json`` rewrite at ≥ 1k
+  entries).
 
 Each run also **appends** a compact summary entry to a history file
 (``BENCH_trend.json`` by default, ``--trend``/``--label`` to steer), so
@@ -606,6 +609,85 @@ def parallel_rows(quick: bool) -> list[dict]:
     return rows
 
 
+def store_rows(quick: bool) -> list[dict]:
+    """The PR-8 ``store-flush`` row: per-verdict persistence cost.
+
+    "serial" is the legacy autosave shape — every new verdict rewrote
+    the whole ``cache.json``, so the per-verdict cost grows linearly
+    with the cache.  "parallel" is the durable store — one fsync'd
+    journal append plus a WAL insert, whatever the store already holds.
+    The ``scaling`` sub-table shows the divergence directly: the
+    rewrite cost grows ~8x from 128 to 1024 entries while the flush
+    cost stays flat.  Sizes are fixed (store operations are cheap
+    enough that ``--quick`` does not need to shrink them, and the
+    acceptance point is ≥ 1k entries).
+    """
+    import tempfile
+
+    from repro.parallel import ResultCache
+    from repro.parallel.batch import result_from_json, result_to_json
+    from repro.store import VerdictStore
+
+    del quick  # sizes are fixed; see the docstring
+    g, h = matching_dual_pair(3)
+    entry = result_to_json(decide_duality(g, h, method="fk-b"))
+    result = result_from_json(dict(entry))
+
+    sizes = (128, 1024)
+    scaling: dict[str, dict] = {}
+    flush_probes = 16
+    with tempfile.TemporaryDirectory() as tmp:
+        for n_entries in sizes:
+            # Legacy: a cache holding n entries pays a full-file rewrite
+            # to persist each new verdict.
+            cache = ResultCache()
+            for n in range(n_entries):
+                cache.put(f"key-{n:06d}", result)
+            cache_path = Path(tmp) / f"cache-{n_entries}.json"
+            rewrite_s = best_of(lambda: cache.save(cache_path), 3)
+
+            # Store: the same store size, per-verdict journal flush.
+            store = VerdictStore(Path(tmp) / f"store-{n_entries}.db")
+            for n in range(n_entries):
+                store.put_entry(f"key-{n:06d}", entry)
+            probe = [0]
+
+            def flush_batch():
+                for _ in range(flush_probes):
+                    probe[0] += 1
+                    store.put_entry(f"probe-{probe[0]:06d}", entry)
+
+            flush_s = best_of(flush_batch, 3) / flush_probes
+            store.close()
+            scaling[str(n_entries)] = {
+                "rewrite_s": round(rewrite_s, 6),
+                "flush_s": round(flush_s, 6),
+            }
+
+    small, big = (str(n) for n in sizes)
+    rewrite_big = scaling[big]["rewrite_s"]
+    flush_big = scaling[big]["flush_s"]
+    return [
+        {
+            "kernel": "store-flush",
+            "instance": f"{sizes[1]}-entries",
+            "n_entries": sizes[1],
+            "serial_s": rewrite_big,
+            "serial_scope": "legacy autosave: full cache.json rewrite per verdict",
+            "parallel_s": flush_big,
+            "parallel_scope": "journal append + fsync + WAL insert per verdict",
+            "speedup": round(rewrite_big / flush_big, 2) if flush_big else None,
+            "scaling": scaling,
+            # ~sizes-ratio means linear in the cache; ~1.0 means flat.
+            "rewrite_growth": round(
+                rewrite_big / scaling[small]["rewrite_s"], 1
+            ),
+            "flush_growth": round(flush_big / scaling[small]["flush_s"], 1),
+            "cpus": os.cpu_count(),
+        }
+    ]
+
+
 def _connection_sweep(quick: bool) -> dict:
     """Hold ``target`` live connections on one event loop and ping them
     all concurrently; latency percentiles are per-ping under that load."""
@@ -783,6 +865,8 @@ def main(argv: list[str] | None = None) -> int:
     report["itemsets"] = itemset_rows(args.quick)
     print("timing parallel subsystem (serial vs n_jobs=2 / racing) ...")
     report["parallel"] = parallel_rows(args.quick)
+    print("timing verdict persistence (full rewrite vs journal flush) ...")
+    report["parallel"] += store_rows(args.quick)
 
     args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.out}")

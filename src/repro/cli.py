@@ -7,6 +7,7 @@ Subcommands::
     serve      persistent engine service: stream instances, get JSON verdicts
                (--listen HOST:PORT serves them over TCP instead)
     client     send instances to a 'serve --listen' server, verdicts back
+    store      inspect / compact / import a durable verdict store
     trace      solve one instance with tracing on and print the span tree
     tr         print the minimal transversals of a hypergraph file
     tree       print the Boros–Makino decomposition tree
@@ -73,37 +74,61 @@ def _cmd_dual(args: argparse.Namespace) -> int:
     return 0 if result.is_dual else 1
 
 
+def _store_path(args: argparse.Namespace) -> Path | None:
+    """The durable-store path: ``--store``, or its legacy ``--cache`` alias.
+
+    Since PR 8 both flags open a :class:`~repro.store.VerdictStore` —
+    a pre-existing ``cache.json`` at the path is imported automatically
+    on first open, so old invocations keep their verdicts.
+    """
+    store = getattr(args, "store", None)
+    cache = getattr(args, "cache", None)
+    if store is not None and cache is not None:
+        raise SystemExit(
+            "pass either --store or --cache (its legacy alias), not both"
+        )
+    return store if store is not None else cache
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     import time
 
     from repro.parallel import ResultCache, solve_many
+    from repro.store import VerdictStore
 
-    cache = ResultCache.load(args.cache) if args.cache else None
-    start = time.perf_counter()
-    items = solve_many(
-        args.instances,
-        method=args.method,
-        n_jobs=args.jobs,
-        cache=cache,
-        timings=args.timings,
-    )
-    wall = time.perf_counter() - start
-    width = max(len(Path(src).name) for src in map(str, args.instances))
-    for item in items:
-        name = Path(item.source).name if item.source else "<inline>"
-        verdict = "dual    " if item.is_dual else "NOT dual"
-        suffix = "  [cached]" if item.cached else f"  {item.elapsed_s * 1000:8.1f}ms"
-        print(f"  {name:<{width}}  {verdict}{suffix}")
-    n_dual = sum(1 for item in items if item.is_dual)
-    summary = (
-        f"{len(items)} instances ({n_dual} dual, {len(items) - n_dual} not), "
-        f"method={args.method}, jobs={args.jobs}, wall {wall:.3f}s"
-    )
-    if cache is not None:
-        summary += f", cache hits/misses {cache.hits}/{cache.misses}"
-        saved = cache.save(args.cache)
-        summary += f", {saved} entries saved"
-    print(summary)
+    store_path = _store_path(args)
+    store = VerdictStore(store_path) if store_path else None
+    cache = ResultCache(backend=store) if store is not None else None
+    try:
+        start = time.perf_counter()
+        items = solve_many(
+            args.instances,
+            method=args.method,
+            n_jobs=args.jobs,
+            cache=cache,
+            timings=args.timings,
+        )
+        wall = time.perf_counter() - start
+        width = max(len(Path(src).name) for src in map(str, args.instances))
+        for item in items:
+            name = Path(item.source).name if item.source else "<inline>"
+            verdict = "dual    " if item.is_dual else "NOT dual"
+            suffix = (
+                "  [cached]" if item.cached else f"  {item.elapsed_s * 1000:8.1f}ms"
+            )
+            print(f"  {name:<{width}}  {verdict}{suffix}")
+        n_dual = sum(1 for item in items if item.is_dual)
+        summary = (
+            f"{len(items)} instances ({n_dual} dual, {len(items) - n_dual} not), "
+            f"method={args.method}, jobs={args.jobs}, wall {wall:.3f}s"
+        )
+        if cache is not None:
+            summary += f", cache hits/misses {cache.hits}/{cache.misses}"
+            summary += f", store holds {len(store)} verdicts"
+        print(summary)
+    finally:
+        if store is not None:
+            store.close()
     return 0 if n_dual == len(items) else 1
 
 
@@ -139,7 +164,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     with EngineService(
         method=args.method,
         n_jobs=args.jobs,
-        cache=args.cache,
+        store=_store_path(args),
         cache_max_entries=args.cache_max,
         timings=args.timings,
     ) as service:
@@ -224,7 +249,7 @@ def _serve_listen(args: argparse.Namespace) -> int:
         port=port,
         method=args.method,
         n_jobs=args.jobs,
-        cache=args.cache,
+        store=_store_path(args),
         cache_max_entries=args.cache_max,
         auth_token=args.auth_token,
         slow_ms=args.slow_ms,
@@ -268,9 +293,12 @@ def _cmd_client(args: argparse.Namespace) -> int:
     """
     import json
 
+    from repro.hypergraph import instance_key, pair_digest
     from repro.net import DualityClient, ProtocolError, RequestError
-    from repro.parallel.batch import load_instance
+    from repro.parallel.batch import load_instance, result_from_json
+    from repro.store import VerdictStore
 
+    store = VerdictStore(args.store) if args.store else None
     paths = [str(p) for p in args.instances if str(p) != "-"]
     use_stdin = not paths or any(str(p) == "-" for p in args.instances)
     if args.metrics and not args.instances:
@@ -291,6 +319,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
         # No server (or a bad address, or a rejected token) is an error
         # line and status 1, not a traceback — scripts probe liveness
         # with this.
+        if store is not None:
+            store.close()
         print(json.dumps({"error": f"connect {args.address}: {exc}"}), flush=True)
         return 1
     with client:
@@ -299,7 +329,59 @@ def _cmd_client(args: argparse.Namespace) -> int:
             print(json.dumps({"source": path, "error": detail}), flush=True)
             exit_status = 1
 
-        def emit_response(path: str, response: dict) -> None:
+        def store_hit(pair) -> dict | None:
+            """A local verdict for this exact labelled instance, if the
+            side store holds one — engine-bound, so only with an
+            explicit --method (the server's default is not known here).
+            """
+            if store is None or args.method is None:
+                return None
+            key = instance_key(*pair, args.method)
+            entry = store.get_entry(key)
+            if entry is None:
+                return None
+            return {
+                "ok": True,
+                "key": key,
+                "method": entry["method"],
+                "verdict": entry["verdict"],
+                "dual": entry["verdict"] == "dual",
+                "cached": True,
+                "origin": "store-local",
+                "elapsed_ms": 0.0,
+                "kind": entry["kind"],
+                "witness": entry["witness"],
+                "path": entry["path"],
+                "detail": entry.get("detail", ""),
+            }
+
+        def store_write_back(response: dict, digest: str | None) -> None:
+            """Persist a server verdict into the local side store."""
+            if store is None or response.get("origin") == "store-local":
+                return
+            key = response.get("key")
+            if not key:
+                return
+            entry = {
+                "verdict": response.get("verdict"),
+                "method": response.get("method"),
+                "kind": response.get("kind"),
+                "witness": response.get("witness"),
+                "detail": response.get("detail", ""),
+                "path": response.get("path"),
+            }
+            try:
+                # Only store entries that replay: a witness outside the
+                # codec (repr-degraded on the wire) must not poison the
+                # store with an undecodable row.
+                result_from_json(dict(entry))
+            except Exception:  # noqa: BLE001 - best-effort side store
+                return
+            store.put_entry(key, entry, digest=digest)
+
+        def emit_response(
+            path: str, response: dict, digest: str | None = None
+        ) -> None:
             nonlocal exit_status
             if not response.get("ok"):
                 info = response.get("error") or {}
@@ -308,24 +390,39 @@ def _cmd_client(args: argparse.Namespace) -> int:
                     f"{info.get('type', 'Error')}: {info.get('message', '')}",
                 )
                 return
+            store_write_back(response, digest)
             response["source"] = path
             print(json.dumps(response), flush=True)
             if not response.get("dual"):
                 exit_status = 1
 
         def serve_one(path: str) -> None:
+            pair = None
+            digest = None
+            if store is not None:
+                try:
+                    pair = load_instance(path)
+                except (OSError, ValueError) as exc:
+                    emit_error(path, str(exc))
+                    return
+                digest = pair_digest(*pair)
+                hit = store_hit(pair)
+                if hit is not None:
+                    emit_response(path, hit)
+                    return
             try:
                 response = client.solve_path(path, method=args.method)
             except (RequestError, OSError, ValueError) as exc:
                 emit_error(path, str(exc))
                 return
-            emit_response(path, response)
+            emit_response(path, response, digest)
 
         def serve_pipelined(batch: list[str]) -> None:
             # One pipelined batch: every loadable file goes out before
             # the first answer is awaited, so the server's scheduler
             # overlaps them; an unreadable file costs only its own
-            # error line.
+            # error line.  Verdicts print in input order, side-store
+            # hits answered locally in place.
             loaded = []
             for path in batch:
                 try:
@@ -334,11 +431,26 @@ def _cmd_client(args: argparse.Namespace) -> int:
                     emit_error(path, str(exc))
             if not loaded or client.closed:
                 return
-            responses = client.solve_many(
-                [pair for _path, pair in loaded], method=args.method
-            )
-            for (path, _pair), response in zip(loaded, responses):
-                emit_response(path, response)
+            results: dict[int, tuple[dict, str | None]] = {}
+            to_send = []
+            for idx, (path, pair) in enumerate(loaded):
+                digest = pair_digest(*pair) if store is not None else None
+                hit = store_hit(pair)
+                if hit is not None:
+                    results[idx] = (hit, None)
+                else:
+                    to_send.append((idx, pair, digest))
+            if to_send:
+                responses = client.solve_many(
+                    [pair for _idx, pair, _digest in to_send],
+                    method=args.method,
+                )
+                for (idx, _pair, digest), response in zip(to_send, responses):
+                    results[idx] = (response, digest)
+            for idx, (path, _pair) in enumerate(loaded):
+                if idx in results:
+                    response, digest = results[idx]
+                    emit_response(path, response, digest)
 
         try:
             # A receive failure closes the client (the stream has no
@@ -390,7 +502,46 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 # closing; report it, don't crash over it.
                 print(json.dumps({"error": f"shutdown: {exc}"}), flush=True)
                 exit_status = 1
+    if store is not None:
+        store.close()
     return exit_status
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """The ``store`` mode: inspect and maintain a durable verdict store.
+
+    ``stats`` prints the store's JSON health snapshot; ``compact``
+    folds the journal into SQLite and truncates it; ``import`` loads a
+    legacy ``cache.json`` into the store.  Opening the store already
+    auto-imports a legacy JSON file sitting at the store path itself.
+    """
+    import json
+
+    from repro.store import VerdictStore
+
+    if args.action == "import" and args.legacy is None:
+        raise SystemExit("store import needs the legacy cache.json path")
+    store = VerdictStore(args.path)
+    try:
+        if args.action == "stats":
+            print(json.dumps(store.stats(), indent=1))
+        elif args.action == "compact":
+            folded = store.compact()
+            print(
+                json.dumps(
+                    {
+                        "compacted": folded,
+                        "entries": len(store),
+                        "journal_bytes": store.journal_bytes(),
+                    }
+                )
+            )
+        elif args.action == "import":
+            imported = store.import_json(args.legacy)
+            print(json.dumps({"imported": imported, "entries": len(store)}))
+    finally:
+        store.close()
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -766,10 +917,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: 1; -1 = all cores)",
     )
     p.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help=(
+            "durable verdict store (journal + SQLite): verdicts are "
+            "read through it and every new one is persisted with an "
+            "O(1) fsync'd append; a legacy cache.json at the path is "
+            "imported automatically"
+        ),
+    )
+    p.add_argument(
         "--cache",
         type=Path,
         default=None,
-        help="JSON result cache, read before and written after the run",
+        help="legacy alias for --store (old JSON caches are imported)",
     )
     p.add_argument(
         "--timings",
@@ -819,13 +981,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent worker processes (default: 1; -1 = all cores)",
     )
     p.add_argument(
-        "--cache",
+        "--store",
         type=Path,
         default=None,
         help=(
-            "JSON result cache: loaded (tolerantly) at start, written "
-            "atomically after each new verdict and at shutdown"
+            "durable verdict store (journal + SQLite in WAL mode): "
+            "every computed verdict is one fsync'd append before it is "
+            "reported, several server processes can share one store "
+            "file, and per-engine timings land in its timings table; a "
+            "legacy cache.json at the path is imported automatically"
         ),
+    )
+    p.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        help="legacy alias for --store (old JSON caches are imported)",
     )
     p.add_argument(
         "--cache-max",
@@ -990,7 +1161,43 @@ def build_parser() -> argparse.ArgumentParser:
             "Perfetto)"
         ),
     )
+    p.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help=(
+            "local durable verdict store: server verdicts are written "
+            "back to it, and (with an explicit --method) instances it "
+            "already holds are answered locally without a round trip "
+            "(origin 'store-local')"
+        ),
+    )
     p.set_defaults(fn=_cmd_client)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect / compact / import a durable verdict store",
+        description=(
+            "Maintenance for the journal+SQLite verdict store that "
+            "'serve --store', 'batch --store', and 'client --store' "
+            "share.  'stats' prints a JSON health snapshot (entries, "
+            "timings, journal size, hit counters); 'compact' folds the "
+            "append journal into the SQLite tables and truncates it; "
+            "'import LEGACY.json' loads a ResultCache-format JSON "
+            "cache into the store (opening a store whose path holds a "
+            "legacy cache.json already imports it automatically)."
+        ),
+    )
+    p.add_argument("action", choices=("stats", "compact", "import"))
+    p.add_argument("path", type=Path, help="store file (SQLite database)")
+    p.add_argument(
+        "legacy",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="legacy cache.json to import (import action only)",
+    )
+    p.set_defaults(fn=_cmd_store)
 
     p = sub.add_parser(
         "trace",

@@ -12,6 +12,7 @@ from repro.hypergraph.canonical import (
     from_mask_payload,
     instance_key,
     mask_payload,
+    pair_digest,
 )
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.operations import (
@@ -54,6 +55,7 @@ __all__ = [
     "from_mask_payload",
     "instance_key",
     "mask_payload",
+    "pair_digest",
     "complement_family",
     "contract",
     "cross_intersecting",

@@ -95,6 +95,25 @@ def canonical_digest(hg: Hypergraph) -> str:
     return hashlib.sha256(_structure_bytes(hg)).hexdigest()
 
 
+def pair_digest(g: Hypergraph, h: Hypergraph) -> str:
+    """A structural digest of the duality instance ``(G, H)``.
+
+    The pair-level companion of :func:`canonical_digest`: labels and
+    engine name do not participate, so two instances that differ only
+    by an order-preserving vertex relabelling (applied to both sides)
+    share a digest.  The duality *verdict* is invariant under such a
+    relabelling, but certificates are not (witnesses are labelled
+    sets), which is why this digest can index verdicts — the durable
+    store's ``canonical_digest`` column — yet can never stand in for
+    :func:`instance_key` on the answer path.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(b"PAIR1")
+    hasher.update(_structure_bytes(g))
+    hasher.update(_structure_bytes(h))
+    return hasher.hexdigest()
+
+
 def instance_key(g: Hypergraph, h: Hypergraph, method: str = "") -> str:
     """A cache key for the duality instance ``(G, H)`` under ``method``.
 

@@ -78,6 +78,7 @@ from repro.obs.timings import TimingLog
 from repro.obs.trace import Span, SpanContext, TraceSink, new_trace_id, record_span
 from repro.parallel.batch import ResultCache
 from repro.service import EnginePool, EngineService, response_to_json
+from repro.store import VerdictStore
 
 
 def parse_address(text: str) -> tuple[str, int]:
@@ -243,6 +244,7 @@ class AsyncDualityServer:
         slow_ms: float | None = None,
         trace_requests: bool = False,
         timings: str | Path | None = None,
+        store: VerdictStore | str | Path | None = None,
     ) -> None:
         """Configure a server (nothing binds until :meth:`start`).
 
@@ -257,6 +259,15 @@ class AsyncDualityServer:
         ``max_inflight`` is the per-connection backpressure cap;
         ``auth_token`` (when set) makes the first frame of every
         connection a mandatory ``auth`` op.
+
+        ``store`` (a :class:`~repro.store.VerdictStore` or a path,
+        mutually exclusive with ``cache``) replaces the whole-file
+        autosave with the durable journal/SQLite store: every computed
+        verdict is one fsync'd append *before* it reaches the wire, two
+        server processes can share one store file, and per-engine
+        timings default into the store's ``timings`` table (an explicit
+        ``timings`` path still wins).  A legacy ``cache.json`` at the
+        store path is imported automatically on open.
 
         Observability knobs (all off by default, all verdict-neutral):
         ``slow_ms`` logs one structured JSON line to stderr — with the
@@ -278,9 +289,25 @@ class AsyncDualityServer:
         self.max_inflight = max_inflight
         self._auth_token = auth_token
         self._cache_path: Path | None = None
-        if isinstance(cache, (str, Path)):
+        if store is not None and cache is not None:
+            raise ValueError(
+                "pass either cache= (legacy whole-file persistence) or "
+                "store= (durable journal/SQLite store), not both"
+            )
+        self._owns_store = isinstance(store, (str, Path))
+        self.store: VerdictStore | None = (
+            VerdictStore(store) if self._owns_store else store
+        )
+        if self.store is not None:
+            # Write-through LRU over the store: puts are journal
+            # appends, so _maybe_autosave's whole-file path naturally
+            # never fires (new_since_save stays 0).
+            self.cache: ResultCache | None = ResultCache(
+                max_entries=cache_max_entries, backend=self.store
+            )
+        elif isinstance(cache, (str, Path)):
             self._cache_path = Path(cache)
-            self.cache: ResultCache | None = ResultCache.load(
+            self.cache = ResultCache.load(
                 self._cache_path, max_entries=cache_max_entries
             )
         else:
@@ -310,8 +337,14 @@ class AsyncDualityServer:
         self._inflight = 0
         self.slow_ms = slow_ms
         self.trace_requests = trace_requests
-        # One shared log for every per-method service view.
-        self.timings = TimingLog(timings) if timings is not None else None
+        # One shared log for every per-method service view; with a
+        # store and no explicit path, timings land in the store's table.
+        if timings is not None:
+            self.timings = TimingLog(timings)
+        elif self.store is not None:
+            self.timings = self.store.timing_log()
+        else:
+            self.timings = None
         self.connections_accepted = 0
         self.requests_served = 0
         self.errors = 0
@@ -345,6 +378,8 @@ class AsyncDualityServer:
         self.pool.register_metrics(self.registry)
         if self.cache is not None:
             self.cache.register_metrics(self.registry)
+        if self.store is not None:
+            self.store.register_metrics(self.registry)
 
     def _count(self, counter: str) -> None:
         with self._count_lock:
@@ -469,6 +504,8 @@ class AsyncDualityServer:
                 self.cache.save(self._cache_path)
         if self.timings is not None:
             self.timings.close()
+        if self._owns_store and self.store is not None:
+            self.store.close()
         self.pool.shutdown()
         if self._listener is not None:
             try:
@@ -954,6 +991,8 @@ class AsyncDualityServer:
             out["cache_hits"] = self.cache.hits
             out["cache_misses"] = self.cache.misses
             out["cache_evictions"] = self.cache.evictions
+        if self.store is not None:
+            out["store"] = self.store.stats()
         return out
 
 

@@ -40,7 +40,13 @@ from repro.duality.result import (
     FailureKind,
     Verdict,
 )
-from repro.hypergraph import Hypergraph, instance_key, mask_payload, from_mask_payload
+from repro.hypergraph import (
+    Hypergraph,
+    from_mask_payload,
+    instance_key,
+    mask_payload,
+    pair_digest,
+)
 from repro.hypergraph import io as hgio
 from repro.obs.timings import TimingLog, structural_features
 from repro.obs.trace import span
@@ -50,6 +56,53 @@ from repro.parallel.codec import (
     encode_vertex_set,
 )
 from repro.parallel.executor import WorkerPool, resolve_n_jobs
+
+
+def result_to_json(result: DualityResult) -> dict | None:
+    """One verdict as a JSON-safe entry dict (``None`` for witnesses the
+    codec cannot express — such results stay memory-only).
+
+    The shared persistence format of the legacy JSON cache file and the
+    durable :mod:`repro.store` journal/database: ``verdict`` /
+    ``method`` / ``kind`` / ``witness`` (tagged codec) / ``detail`` /
+    ``path``.
+    """
+    cert = result.certificate
+    try:
+        witness = encode_vertex_set(cert.witness)
+    except CodecError:
+        return None
+    return {
+        "verdict": result.verdict.value,
+        "method": result.method,
+        "kind": cert.kind.name if cert.kind is not None else None,
+        "witness": witness,
+        "detail": cert.detail,
+        "path": list(cert.path) if cert.path is not None else None,
+    }
+
+
+def result_from_json(entry: dict) -> DualityResult:
+    """Rebuild a :class:`DualityResult` from :func:`result_to_json` output.
+
+    Replayed results carry fresh stats with ``extra["cached"] = True`` —
+    work counters are not persisted, only the answer is.  Raises
+    (``KeyError`` / ``ValueError`` / :class:`CodecError`) on entries
+    from unknown or pre-codec formats; loaders treat that as a miss.
+    """
+    stats = DecisionStats()
+    stats.extra["cached"] = True
+    return DualityResult(
+        verdict=Verdict(entry["verdict"]),
+        certificate=Certificate(
+            kind=FailureKind[entry["kind"]] if entry["kind"] else None,
+            witness=decode_vertex_set(entry["witness"]),
+            detail=entry.get("detail", ""),
+            path=tuple(entry["path"]) if entry["path"] is not None else None,
+        ),
+        stats=stats,
+        method=entry["method"],
+    )
 
 
 class ResultCache:
@@ -79,9 +132,21 @@ class ResultCache:
     takes an internal lock, and :meth:`save` is atomic (a temp-file
     write followed by ``os.replace``) so a crash mid-save leaves the
     previous generation of the file intact, never a truncated one.
+
+    ``backend`` plugs in a durable store behind the LRU — anything with
+    the :class:`repro.store.VerdictStore` ``get(key)`` /
+    ``put(key, result, digest=...)`` surface.  Reads fall through to
+    the backend on a memory miss (a backend hit is promoted into the
+    LRU and counted as a hit); writes go **through** immediately, so a
+    backend-held verdict is durable the moment :meth:`put` returns and
+    the whole-file :meth:`save` cycle has nothing left to do
+    (``new_since_save`` stays 0).  The in-memory LRU semantics —
+    recency, eviction, the cap — are unchanged in both modes.
     """
 
-    def __init__(self, max_entries: int | None = None) -> None:
+    def __init__(
+        self, max_entries: int | None = None, backend=None
+    ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(
                 f"max_entries must be a positive cap or None, got {max_entries}"
@@ -95,7 +160,11 @@ class ResultCache:
         # verdict some client already received.  Savers queue; readers
         # and writers of entries never wait on disk I/O.
         self._save_lock = threading.Lock()
-        self._new_since_save = 0
+        # Keys added since the last save *and still present*: eviction
+        # and key-overwrites must not inflate the dirty count, or a
+        # churning bounded cache keeps autosaving an unchanged file.
+        self._unsaved: set[str] = set()
+        self.backend = backend
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
@@ -111,34 +180,70 @@ class ResultCache:
 
     @property
     def new_since_save(self) -> int:
-        """Entries added since the last :meth:`save` (or construction).
+        """Entries a :meth:`save` would write that no save has yet written.
 
         Lets a long-lived service persist only when there is something
         new — drain-time autosaves stay free on all-hit batches.
+        Evicted entries leave the count (a save would not write them)
+        and re-putting an existing key does not grow it (the file
+        already holds that verdict), so a churning bounded cache never
+        triggers autosaves that rewrite an unchanged file.  With a
+        durable ``backend`` every put is already persisted, so this
+        stays 0 and the whole-file save path never fires.
         """
         with self._lock:
-            return self._new_since_save
+            return len(self._unsaved)
+
+    @property
+    def backed(self) -> bool:
+        """True when a durable backend receives every put."""
+        return self.backend is not None
 
     def get(self, key: str) -> DualityResult | None:
         """The cached result for ``key``, counting the hit/miss.
 
         A hit refreshes the entry's recency (it becomes the last one an
-        LRU eviction would drop).
+        LRU eviction would drop).  On a memory miss a backend (when
+        plugged in) is consulted; its hit is promoted into the LRU —
+        without marking it dirty, the backend already holds it — and
+        counted as a hit.
         """
         with self._lock:
             result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return result
+            if self.backend is None:
+                self.misses += 1
+                return None
+        # Backend I/O happens outside the entry lock so other readers
+        # never wait on the disk.
+        result = self.backend.get(key)
+        with self._lock:
             if result is None:
                 self.misses += 1
                 return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return result
-
-    def put(self, key: str, result: DualityResult) -> None:
-        with self._lock:
             self._entries[key] = result
             self._entries.move_to_end(key)
-            self._new_since_save += 1
+            self.hits += 1
+            self._evict_over_cap()
+            return result
+
+    def put(self, key: str, result: DualityResult, digest: str | None = None) -> None:
+        """Insert one verdict (``digest`` — the optional
+        :func:`~repro.hypergraph.pair_digest` — travels to a durable
+        backend's structural index; the in-memory layer ignores it)."""
+        if self.backend is not None:
+            # Write-through *before* the entry becomes visible: any
+            # reader that sees this key can already rely on it being
+            # durable (the persist-before-resolve guarantee).
+            self.backend.put(key, result, digest=digest)
+        with self._lock:
+            if self.backend is None and key not in self._entries:
+                self._unsaved.add(key)
+            self._entries[key] = result
+            self._entries.move_to_end(key)
             self._evict_over_cap()
 
     def _evict_over_cap(self) -> None:
@@ -146,7 +251,8 @@ class ResultCache:
         if self.max_entries is None:
             return
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._unsaved.discard(evicted)
             self.evictions += 1
 
     def register_metrics(self, registry) -> None:
@@ -169,37 +275,11 @@ class ResultCache:
     # Persistence
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _entry_to_json(result: DualityResult) -> dict | None:
-        cert = result.certificate
-        try:
-            witness = encode_vertex_set(cert.witness)
-        except CodecError:
-            return None
-        return {
-            "verdict": result.verdict.value,
-            "method": result.method,
-            "kind": cert.kind.name if cert.kind is not None else None,
-            "witness": witness,
-            "detail": cert.detail,
-            "path": list(cert.path) if cert.path is not None else None,
-        }
-
-    @staticmethod
-    def _entry_from_json(entry: dict) -> DualityResult:
-        stats = DecisionStats()
-        stats.extra["cached"] = True
-        return DualityResult(
-            verdict=Verdict(entry["verdict"]),
-            certificate=Certificate(
-                kind=FailureKind[entry["kind"]] if entry["kind"] else None,
-                witness=decode_vertex_set(entry["witness"]),
-                detail=entry.get("detail", ""),
-                path=tuple(entry["path"]) if entry["path"] is not None else None,
-            ),
-            stats=stats,
-            method=entry["method"],
-        )
+    # The entry codec lives at module level (:func:`result_to_json` /
+    # :func:`result_from_json`) so the durable store shares it; the
+    # historical staticmethod names remain as aliases.
+    _entry_to_json = staticmethod(result_to_json)
+    _entry_from_json = staticmethod(result_from_json)
 
     def save(self, path: str | Path) -> int:
         """Write the JSON-representable entries; returns how many.
@@ -219,7 +299,7 @@ class ResultCache:
                     entry = self._entry_to_json(result)
                     if entry is not None:
                         out[key] = entry
-                snapshotted = self._new_since_save
+                snapshotted = set(self._unsaved)
             path = Path(path)
             data = json.dumps(out, indent=1) + "\n"
             fd, tmp_name = tempfile.mkstemp(
@@ -238,12 +318,12 @@ class ResultCache:
                     pass
                 raise
             with self._lock:
-                # Only a *successful* write retires the dirty count — a
+                # Only a *successful* write retires the dirty keys — a
                 # failed save must leave the entries marked unsaved so
                 # the next flush (or the shutdown flush) retries them.
-                # Entries added while the file was being written stay
-                # counted.
-                self._new_since_save -= min(snapshotted, self._new_since_save)
+                # Keys added while the file was being written stay
+                # marked.
+                self._unsaved -= snapshotted
             return len(out)
 
     @classmethod
@@ -434,8 +514,34 @@ def solve_many(
             "(and hence the certificate) depends on timing; pick a "
             "concrete engine or drop the cache"
         )
-    if isinstance(timings, (str, Path)):
+    # A path means this call owns the log (EngineService's ownership
+    # rule): open it here, close it on every exit path below — a batch
+    # sweep must not leak one file handle per call.
+    owns_timings = isinstance(timings, (str, Path))
+    if owns_timings:
         timings = TimingLog(timings)
+    try:
+        return _solve_many(
+            instances,
+            method=method,
+            n_jobs=n_jobs,
+            cache=cache,
+            pool=pool,
+            timings=timings,
+        )
+    finally:
+        if owns_timings:
+            timings.close()
+
+
+def _solve_many(
+    instances,
+    method: str,
+    n_jobs: int | None,
+    cache: ResultCache | None,
+    pool,
+    timings: TimingLog | None,
+) -> list[BatchItem]:
     sources: list[str | None] = []
     pairs: list[tuple[Hypergraph, Hypergraph]] = []
     with span("batch-load"):
@@ -524,5 +630,8 @@ def solve_many(
             cached=duplicate,
         )
         if cache is not None and not duplicate:
-            cache.put(key, result)
+            # A durable backend indexes verdicts structurally too; the
+            # digest is only worth hashing when such a backend exists.
+            digest = pair_digest(*pairs[pos]) if cache.backed else None
+            cache.put(key, result, digest=digest)
     return items

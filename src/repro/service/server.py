@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.duality.result import DualityResult
-from repro.hypergraph import Hypergraph, instance_key, mask_payload
+from repro.hypergraph import Hypergraph, instance_key, mask_payload, pair_digest
 from repro.obs.timings import TimingLog, structural_features
 from repro.obs.trace import record_span
 from repro.parallel.batch import (
@@ -50,6 +50,7 @@ from repro.parallel.batch import (
 )
 from repro.parallel.codec import CodecError, encode_vertex_set
 from repro.service.pool import Completion, EnginePool, PoolClosedError
+from repro.store import VerdictStore
 
 
 @dataclass(frozen=True)
@@ -159,7 +160,7 @@ class ServiceTicket(int):
 class _Inflight:
     """One in-flight computation and every ticket awaiting it."""
 
-    __slots__ = ("key", "tickets", "features")
+    __slots__ = ("key", "tickets", "features", "digest")
 
     def __init__(self, key: str, ticket: ServiceTicket) -> None:
         self.key = key
@@ -167,6 +168,10 @@ class _Inflight:
         #: Structural features of the instance (set when a timing log is
         #: attached), recorded with the solve's elapsed time.
         self.features: dict | None = None
+        #: Structural :func:`~repro.hypergraph.pair_digest` (set when a
+        #: durable store backs the cache), persisted alongside the
+        #: verdict as its secondary index.
+        self.digest: str | None = None
 
 
 class EngineService:
@@ -181,6 +186,7 @@ class EngineService:
         autosave: bool = True,
         cache_max_entries: int | None = None,
         timings: TimingLog | str | Path | None = None,
+        store: VerdictStore | str | Path | None = None,
     ) -> None:
         """Start a service session.
 
@@ -198,8 +204,29 @@ class EngineService:
         ``timings`` (a :class:`~repro.obs.timings.TimingLog` or a path)
         records every computed solve — engine, elapsed, structural
         features — as one JSONL line; verdicts are never affected.
+
+        ``store`` (a :class:`~repro.store.VerdictStore` or a path)
+        replaces the whole-file cache persistence with the durable
+        journal/SQLite store: every computed verdict is one fsync'd
+        journal append, the in-memory :class:`ResultCache` becomes a
+        read-through/write-through LRU over it, and — unless an
+        explicit ``timings`` sink is given — per-engine timings land in
+        the store's ``timings`` table.  Mutually exclusive with
+        ``cache``; a store the service opened from a path is closed on
+        :meth:`close`, a live one is left open for its other users.
         """
         self.method = method
+        if store is not None and cache is not None:
+            raise ValueError(
+                "pass either cache= (legacy whole-file persistence) or "
+                "store= (durable journal/SQLite store), not both"
+            )
+        if method == "portfolio" and store is not None:
+            raise ValueError(
+                "method='portfolio' cannot be cached: the winning engine "
+                "(and hence the certificate) depends on timing; pick a "
+                "concrete engine or drop the store"
+            )
         if method == "portfolio" and cache is not None:
             # Fail at session start, not mid-drain: a portfolio winner is
             # timing-dependent, which is exactly what a replay cache must
@@ -211,9 +238,21 @@ class EngineService:
             )
         self._cache_path: Path | None = None
         self._autosave = autosave
-        if isinstance(cache, (str, Path)):
+        self._owns_store = isinstance(store, (str, Path))
+        self.store: VerdictStore | None = (
+            VerdictStore(store) if self._owns_store else store
+        )
+        if self.store is not None:
+            # Write-through LRU over the durable store: every put is
+            # journal-appended before it is visible, so the whole-file
+            # persist()/autosave machinery naturally no-ops
+            # (new_since_save stays 0).
+            self.cache: ResultCache | None = ResultCache(
+                max_entries=cache_max_entries, backend=self.store
+            )
+        elif isinstance(cache, (str, Path)):
             self._cache_path = Path(cache)
-            self.cache: ResultCache | None = ResultCache.load(
+            self.cache = ResultCache.load(
                 self._cache_path, max_entries=cache_max_entries
             )
         else:
@@ -235,6 +274,11 @@ class EngineService:
         else:
             self.timings = timings
             self._owns_timings = False
+        if self.timings is None and self.store is not None:
+            # The store is the system of record: per-engine timings
+            # default into its timings table (an explicit JSONL sink
+            # still wins when the caller asked for one).
+            self.timings = self.store.timing_log()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -328,6 +372,10 @@ class EngineService:
             )
             return ticket
         g_payload, h_payload = mask_payload(g), mask_payload(h)
+        if self.cache is not None and self.cache.backed:
+            # The durable store indexes verdicts structurally too; the
+            # digest travels with the in-flight entry to _on_solved.
+            entry.digest = pair_digest(g, h)
         if self.timings is not None:
             # Set before the pool sees the item: at n_jobs=1 the solve
             # (and _on_solved) runs inline inside pool.submit.
@@ -369,7 +417,10 @@ class EngineService:
                 else:
                     result, elapsed = outcome
                 if self.cache is not None:
-                    self.cache.put(entry.key, result)
+                    # With a store backend this is the durable journal
+                    # append (persist-before-resolve happens right here,
+                    # before any waiter is resolved below).
+                    self.cache.put(entry.key, result, digest=entry.digest)
         if error is not None:
             for ticket in tickets:
                 ticket._completion.resolve(error=error)
@@ -534,6 +585,8 @@ class EngineService:
             out["cache_entries"] = len(self.cache)
         if self.timings is not None:
             out["timings_recorded"] = self.timings.records_written
+        if self.store is not None:
+            out["store"] = self.store.stats()
         return out
 
     def register_metrics(self, registry) -> None:
@@ -557,6 +610,8 @@ class EngineService:
         self.pool.register_metrics(registry)
         if self.cache is not None:
             self.cache.register_metrics(registry)
+        if self.store is not None:
+            self.store.register_metrics(registry)
 
     def persist(self) -> int:
         """Flush new cache entries to the session's cache path (if any).
@@ -587,6 +642,10 @@ class EngineService:
         self.persist()
         if self._owns_timings and self.timings is not None:
             self.timings.close()
+        if self._owns_store and self.store is not None:
+            # Folds the journal into SQLite and releases the handles; a
+            # borrowed store stays open for its other users.
+            self.store.close()
         if self._owns_pool:
             self.pool.shutdown()
 

@@ -1,0 +1,16 @@
+"""Durable verdict + timing store (ROADMAP direction 1).
+
+An append-only fsync'd journal (O(1) per verdict, crash-safe) compacted
+into SQLite in WAL mode (multi-process readers, single writer) — the
+system of record behind :class:`~repro.parallel.batch.ResultCache`'s
+pluggable backend, the service's persistence, and the net server's
+autosave.  See :mod:`repro.store.verdict_store` for the design notes.
+"""
+
+from repro.store.verdict_store import (
+    AUTO_COMPACT_BYTES,
+    StoreTimingLog,
+    VerdictStore,
+)
+
+__all__ = ["AUTO_COMPACT_BYTES", "StoreTimingLog", "VerdictStore"]
