@@ -29,7 +29,10 @@ The JSON layout:
   the recorded pre-deletion threaded baseline, and the ``store-flush``
   row: per-verdict persistence cost of the durable store's journal
   append vs the legacy full-file ``cache.json`` rewrite at ≥ 1k
-  entries).
+  entries, the ``distributed-shard`` row: one instance sharded over a
+  2-peer fleet of real servers via ``solve_shard`` against serial and
+  local sharding, and the ``hedge-tail`` row: p99 solve time with one
+  delay-proxied slow peer, hedging off vs a 50 ms hedge deadline).
 
 Each run also **appends** a compact summary entry to a history file
 (``BENCH_trend.json`` by default, ``--trend``/``--label`` to steer), so
@@ -688,6 +691,152 @@ def store_rows(quick: bool) -> list[dict]:
     ]
 
 
+def _delay_proxy(upstream: tuple, delay_s: float):
+    """A TCP proxy that delays every server→client chunk by ``delay_s``
+    — a deterministically slow peer for the hedge-tail row.  Returns
+    ``(listener, "host:port")``; close the listener to stop it."""
+    import socket
+    import threading
+
+    listener = socket.create_server(("127.0.0.1", 0))
+    address = "127.0.0.1:%d" % listener.getsockname()[1]
+
+    def pump(src, dst, delay):
+        try:
+            while True:
+                chunk = src.recv(65536)
+                if not chunk:
+                    break
+                if delay:
+                    time.sleep(delay)
+                dst.sendall(chunk)
+        except OSError:
+            pass
+        for sock in (src, dst):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def serve():
+        while True:
+            try:
+                conn, _peer = listener.accept()
+            except OSError:
+                return
+            try:
+                up = socket.create_connection(upstream)
+            except OSError:
+                conn.close()
+                continue
+            threading.Thread(target=pump, args=(conn, up, 0), daemon=True).start()
+            threading.Thread(
+                target=pump, args=(up, conn, delay_s), daemon=True
+            ).start()
+
+    threading.Thread(target=serve, daemon=True).start()
+    return listener, address
+
+
+def distributed_rows(quick: bool) -> list[dict]:
+    """The PR-9 distributed-sharding rows.
+
+    * ``distributed-shard`` — one instance sharded over a 2-peer fleet
+      of real duality servers (``solve_shard`` over TCP) vs the serial
+      engine, with the local 2-process sharding time for context: the
+      row says what the wire costs (or buys) at this instance size.
+    * ``hedge-tail`` — the same fleet with one peer behind a delay
+      proxy.  "serial" is the p99 solve time with hedging off (the
+      slow peer taxes whichever shards land on it); "parallel" is the
+      p99 with a 50 ms hedge deadline (duplicates relaunch on the fast
+      peer and win).  The row quantifies what hedged retries shave off
+      the tail, not average, latency.
+    """
+    from repro.net.server import DualityServer
+    from repro.parallel import PeerBackend, decide_duality_parallel
+
+    rows = []
+    repeats = 1 if quick else 2
+    g, h = threshold_dual_pair(11, 6) if quick else threshold_dual_pair(12, 6)
+
+    servers = [DualityServer(n_jobs=1).start() for _ in range(2)]
+    peers = ["%s:%d" % server.address for server in servers]
+    try:
+        serial_s = best_of(lambda: decide_duality(g, h, method="fk-b"), repeats)
+        local_s = best_of(
+            lambda: decide_duality(g, h, method="fk-b", n_jobs=2), repeats
+        )
+        with PeerBackend(peers, hedge_after=None) as backend:
+            reference = decide_duality(g, h, method="fk-b")
+            result = decide_duality_parallel(g, h, method="fk-b", backend=backend)
+            assert result.verdict == reference.verdict
+            distributed_s = best_of(
+                lambda: decide_duality_parallel(
+                    g, h, method="fk-b", backend=backend
+                ),
+                repeats,
+            )
+        rows.append(
+            {
+                "kernel": "distributed-shard",
+                "instance": f"threshold-{len(g.vertices)}",
+                "n_peers": 2,
+                "serial_s": round(serial_s, 4),
+                "parallel_s": round(distributed_s, 4),
+                "parallel_scope": "2 peer servers via solve_shard over TCP",
+                "local_shard_s": round(local_s, 4),
+                "speedup": round(serial_s / distributed_s, 2)
+                if distributed_s
+                else None,
+            }
+        )
+
+        # Hedge tail: peer 0 answers late by construction.
+        delay_s = 0.25
+        listener, slow_address = _delay_proxy(servers[0].address, delay_s)
+        solves = 8 if quick else 16
+        sg, sh = matching_dual_pair(4)
+        tails = {}
+        hedges = {}
+        try:
+            for label, hedge_after in (("off", None), ("on", 0.05)):
+                with PeerBackend(
+                    [slow_address, peers[1]], hedge_after=hedge_after
+                ) as backend:
+                    times = []
+                    for _ in range(solves):
+                        start = time.perf_counter()
+                        decide_duality_parallel(
+                            sg, sh, method="fk-b", backend=backend
+                        )
+                        times.append(time.perf_counter() - start)
+                    times.sort()
+                    tails[label] = times[min(len(times) - 1, int(len(times) * 0.99))]
+                    hedges[label] = backend.stats()["hedges_fired"]
+        finally:
+            listener.close()
+        rows.append(
+            {
+                "kernel": "hedge-tail",
+                "instance": f"matching-{len(sg.vertices)}-x{solves}",
+                "n_peers": 2,
+                "peer_delay_s": delay_s,
+                "serial_s": round(tails["off"], 4),
+                "serial_scope": "p99 solve, hedging off, one peer delayed",
+                "parallel_s": round(tails["on"], 4),
+                "parallel_scope": "p99 solve, 50 ms hedge deadline",
+                "hedges_fired": hedges["on"],
+                "speedup": round(tails["off"] / tails["on"], 2)
+                if tails["on"]
+                else None,
+            }
+        )
+    finally:
+        for server in servers:
+            server.shutdown()
+    return rows
+
+
 def _connection_sweep(quick: bool) -> dict:
     """Hold ``target`` live connections on one event loop and ping them
     all concurrently; latency percentiles are per-ping under that load."""
@@ -867,6 +1016,8 @@ def main(argv: list[str] | None = None) -> int:
     report["parallel"] = parallel_rows(args.quick)
     print("timing verdict persistence (full rewrite vs journal flush) ...")
     report["parallel"] += store_rows(args.quick)
+    print("timing distributed sharding (2-peer fleet, hedge tail) ...")
+    report["parallel"] += distributed_rows(args.quick)
 
     args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.out}")

@@ -160,6 +160,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     sources = [str(p) for p in args.instances if str(p) != "-"]
     use_stdin = not sources or any(str(p) == "-" for p in args.instances)
 
+    backend = _peer_backend(args)
     exit_status = 0
     with EngineService(
         method=args.method,
@@ -167,6 +168,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=_store_path(args),
         cache_max_entries=args.cache_max,
         timings=args.timings,
+        shard_backend=backend,
     ) as service:
         def emit_error(source: str, exc: Exception) -> None:
             nonlocal exit_status
@@ -225,11 +227,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 exit_status = 1
         if args.stats:
             try:
-                print(json.dumps({"stats": service.stats()}), flush=True)
+                stats = service.stats()
+                if backend is not None:
+                    stats["peers"] = backend.stats()
+                print(json.dumps({"stats": stats}), flush=True)
             except BrokenPipeError:
                 # stdout died mid-session; the stats line goes with it.
                 exit_status = 1
+    if backend is not None:
+        backend.close()
     return exit_status
+
+
+def _peer_backend(args: argparse.Namespace):
+    """The ``--peers`` fleet backend for the stdin serve mode (``None``
+    without the flag; ``--listen`` builds its own inside the server)."""
+    if not getattr(args, "peers", None):
+        return None
+    from repro.parallel.backends import PeerBackend
+
+    if args.hedge_ms is None:
+        hedge_after = PeerBackend.DEFAULT_HEDGE_AFTER
+    else:
+        hedge_after = args.hedge_ms / 1000.0 if args.hedge_ms > 0 else None
+    return PeerBackend(
+        [addr.strip() for addr in args.peers.split(",") if addr.strip()],
+        auth_token=args.peer_auth_token,
+        hedge_after=hedge_after,
+    )
 
 
 def _serve_listen(args: argparse.Namespace) -> int:
@@ -255,6 +280,13 @@ def _serve_listen(args: argparse.Namespace) -> int:
         slow_ms=args.slow_ms,
         trace_requests=args.trace,
         timings=args.timings,
+        peers=(
+            [a.strip() for a in args.peers.split(",") if a.strip()]
+            if args.peers
+            else None
+        ),
+        peer_auth_token=args.peer_auth_token,
+        hedge_ms=args.hedge_ms,
         **(
             {"max_inflight": args.max_inflight}
             if args.max_inflight is not None
@@ -1082,6 +1114,38 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "append one JSON timing line per computed verdict to FILE "
             "(engine, elapsed, structural features)"
+        ),
+    )
+    p.add_argument(
+        "--peers",
+        default=None,
+        metavar="HOST:PORT,...",
+        help=(
+            "coordinator mode: fan parallel-method shards out to these "
+            "worker servers (comma-separated 'repro serve --listen' "
+            "addresses) over the solve_shard op, with hedged retries; "
+            "merged verdicts stay bit-for-bit serial.  Workers "
+            "authenticate with --peer-auth-token"
+        ),
+    )
+    p.add_argument(
+        "--peer-auth-token",
+        default=None,
+        metavar="TOKEN",
+        help=(
+            "shared secret for the outgoing --peers connections (a "
+            "fleet usually shares one token with --auth-token)"
+        ),
+    )
+    p.add_argument(
+        "--hedge-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "--peers only: duplicate a shard onto another peer once it "
+            "has been in flight MS milliseconds; first resolution wins "
+            "(default: 250; 0 disables hedging deadlines)"
         ),
     )
     p.set_defaults(fn=_cmd_serve)

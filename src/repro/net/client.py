@@ -146,6 +146,9 @@ class DualityClient:
 
             host, port = parse_address(host)
         self._address = (host, port)
+        self._timeout = timeout
+        self._max_line_bytes = max_line_bytes
+        self._auth_token = auth_token
         self._sock: socket.socket | None = socket.create_connection(
             self._address, timeout=timeout
         )
@@ -303,7 +306,9 @@ class DualityClient:
             request["method"] = method
         return self._checked(self._solve_round_trip(request))
 
-    def solve_many(self, instances, method: str | None = None) -> list[dict]:
+    def solve_many(
+        self, instances, method: str | None = None, reconnect: int = 0
+    ) -> list[dict]:
         """Decide a batch, pipelined; results in input order regardless.
 
         ``instances`` mixes ``(G, H)`` pairs and client-side ``.hg``
@@ -317,6 +322,15 @@ class DualityClient:
         disconnects mid-pipeline, every unanswered request comes back
         as an in-line ``ConnectionError`` object — promptly, not after
         the receive timeout — and the client is closed.
+
+        ``reconnect`` makes a dropped connection *retryable* instead of
+        terminal: up to that many times, the client reopens the
+        connection (re-authenticating when a token is set) and resends
+        exactly the unanswered requests, keeping their ids and slots —
+        so a server restart mid-batch costs a resubmission, not the
+        batch.  Safe because solves are pure and cached server-side; a
+        request answered before the drop is never sent twice.  The
+        default 0 keeps the historical fail-fast behavior.
         """
         requests = [
             self._solve_request(
@@ -328,14 +342,17 @@ class DualityClient:
         # Ids are assigned up front so that requests the wire never even
         # took still map to a definite slot in the returned list.
         order: list[int] = []
+        by_id: dict[int, dict] = {}
         for request in requests:
             request["id"] = self._next_id
             self._next_id += 1
             order.append(request["id"])
+            by_id[request["id"]] = request
         arrived: dict[int, dict] = {}
         outstanding: set[int] = set()
         traced: dict[int, tuple[str, float]] = {}
         failure: BaseException | None = None
+        attempts = 0
 
         def collect_one() -> None:
             request_id, response = self._receive_any(outstanding)
@@ -344,21 +361,30 @@ class DualityClient:
                 trace_id, sent_at = traced.pop(request_id)
                 _merge_trace(self.trace_sink, response, trace_id, sent_at)
 
-        try:
-            for request in requests:
-                if self.trace_sink is not None:
-                    trace_id = new_trace_id()
-                    request["trace"] = trace_id
-                    traced[request["id"]] = (trace_id, time.time())
-                send_json(self._require_open(), request)
-                outstanding.add(request["id"])
-                if len(outstanding) >= self.PIPELINE_WINDOW:
+        while True:
+            try:
+                for request_id in [i for i in order if i not in arrived]:
+                    request = by_id[request_id]
+                    if self.trace_sink is not None:
+                        trace_id = request.get("trace") or new_trace_id()
+                        request["trace"] = trace_id
+                        traced[request_id] = (trace_id, time.time())
+                    send_json(self._require_open(), request)
+                    outstanding.add(request_id)
+                    if len(outstanding) >= self.PIPELINE_WINDOW:
+                        collect_one()
+                while outstanding:
                     collect_one()
-            while outstanding:
-                collect_one()
-        except _WIRE_FAILURES as exc:
-            failure = exc
-            self.close()
+                break
+            except _WIRE_FAILURES as exc:
+                failure = exc
+                self.close()
+                outstanding.clear()
+                if attempts < reconnect and self._reconnect():
+                    attempts += 1
+                    failure = None
+                    continue
+                break
         if failure is not None:
             for request_id in order:
                 if request_id not in arrived:
@@ -366,6 +392,35 @@ class DualityClient:
                         request_id, failure
                     )
         return [arrived[request_id] for request_id in order]
+
+    def _reconnect(self) -> bool:
+        """Open a fresh connection to the same server (and re-auth).
+
+        Retries the connect briefly (the server may be mid-restart);
+        False once the reconnect window is spent — the caller then falls
+        back to in-line ``ConnectionError`` objects.
+        """
+        deadline = time.monotonic() + min(self._timeout, 5.0)
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    self._address, timeout=self._timeout
+                )
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    return False
+                time.sleep(0.05)
+        self._reader = LineReader(self._sock, self._max_line_bytes)
+        if self._auth_token is not None:
+            try:
+                self._checked(
+                    self.request({"op": "auth", "token": self._auth_token})
+                )
+            except Exception:
+                self.close()
+                return False
+        return True
 
     def shutdown_server(self) -> dict:
         """Ask the server to shut down gracefully (drain, flush, close)."""
@@ -595,7 +650,7 @@ class AsyncDualityClient:
         return self._checked(await self._solve_round_trip(request))
 
     async def solve_many(
-        self, instances, method: str | None = None
+        self, instances, method: str | None = None, reconnect: int = 0
     ) -> list[dict]:
         """Decide a batch; full-pipeline streaming, results in input order.
 
@@ -607,6 +662,11 @@ class AsyncDualityClient:
         come back in-line (``"ok": false``); a connection lost
         mid-pipeline fills every unanswered slot with an in-line
         ``ConnectionError`` object, promptly, and closes the client.
+
+        ``reconnect`` (like :meth:`DualityClient.solve_many`'s) turns a
+        dropped connection into up to that many reopen-and-resend
+        rounds over exactly the unanswered requests, ids and result
+        slots preserved; 0 keeps the fail-fast default.
         """
         requests = [
             _solve_request(
@@ -615,22 +675,60 @@ class AsyncDualityClient:
             )
             for item in instances
         ]
-        writer = self._require_open()
+        self._require_open()
         order: list[int] = []
-        traced: dict[int, tuple[str, float]] = {}
+        by_id: dict[int, dict] = {}
         for request in requests:
             request["id"] = self._next_id
             self._next_id += 1
             order.append(request["id"])
+            by_id[request["id"]] = request
             if self.trace_sink is not None:
                 request["trace"] = new_trace_id()
         arrived: dict[int, dict] = {}
+        traced: dict[int, tuple[str, float]] = {}
+        failure: BaseException | None = None
+        attempts = 0
+        while True:
+            queue = [by_id[i] for i in order if i not in arrived]
+            failure = await self._pipeline_once(queue, arrived, traced)
+            if failure is None:
+                break
+            await self.close()
+            if attempts < reconnect and await self._reconnect():
+                attempts += 1
+                continue
+            break
+        if len(arrived) < len(order):
+            await self.close()
+            if failure is None:  # pragma: no cover - defensive
+                failure = ConnectionError("response never arrived")
+            for request_id in order:
+                if request_id not in arrived:
+                    arrived[request_id] = _connection_lost_response(
+                        request_id, failure
+                    )
+        return [arrived[request_id] for request_id in order]
+
+    async def _pipeline_once(
+        self,
+        queue: list[dict],
+        arrived: dict[int, dict],
+        traced: dict[int, tuple[str, float]],
+    ) -> BaseException | None:
+        """One streaming pass over ``queue`` on the current connection.
+
+        Collects into ``arrived``; returns the wire failure that ended
+        the pass early (``None`` on a complete pass), leaving already
+        collected answers in place for a retrying caller.
+        """
+        writer = self._require_open()
         outstanding: set[int] = set()
         sent = asyncio.Event()
 
         async def send_all() -> None:
             try:
-                for request in requests:
+                for request in queue:
                     if "trace" in request:
                         traced[request["id"]] = (request["trace"], time.time())
                     writer.write(json.dumps(request).encode("utf-8") + b"\n")
@@ -643,7 +741,7 @@ class AsyncDualityClient:
         sender = asyncio.ensure_future(send_all())
         failure: BaseException | None = None
         try:
-            for _ in order:
+            for _ in queue:
                 while not outstanding:
                     # All sent-so-far answered: wait for the sender to
                     # put more on the wire (or to fail trying).
@@ -672,16 +770,39 @@ class AsyncDualityClient:
             except _WIRE_FAILURES as exc:
                 if failure is None:
                     failure = exc
-        if len(arrived) < len(order):
-            await self.close()
-            if failure is None:  # pragma: no cover - defensive
-                failure = ConnectionError("response never arrived")
-            for request_id in order:
-                if request_id not in arrived:
-                    arrived[request_id] = _connection_lost_response(
-                        request_id, failure
-                    )
-        return [arrived[request_id] for request_id in order]
+        if failure is None and len(arrived) < len(
+            {request["id"] for request in queue} | set(arrived)
+        ):
+            failure = ConnectionError("response never arrived")
+        return failure
+
+    async def _reconnect(self) -> bool:
+        """Open a fresh connection to the same server (and re-auth);
+        False once the brief retry window is spent."""
+        await self.close()
+        deadline = time.monotonic() + min(self._timeout, 5.0)
+        while True:
+            try:
+                self._reader, self._writer = await asyncio.wait_for(
+                    asyncio.open_connection(
+                        *self._address, limit=self._max_line_bytes
+                    ),
+                    self._timeout,
+                )
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    return False
+                await asyncio.sleep(0.05)
+        if self._auth_token is not None:
+            try:
+                self._checked(
+                    await self.request({"op": "auth", "token": self._auth_token})
+                )
+            except Exception:
+                await self.close()
+                return False
+        return True
 
     async def shutdown_server(self) -> dict:
         """Ask the server to shut down gracefully (drain, flush, close)."""

@@ -21,6 +21,16 @@ solve    ``id`` (echoed back), optional ``method`` (per-request engine
          tree (parse / cache-lookup / queue-wait / worker-solve /
          serialize), each span a dict in the
          :meth:`repro.obs.trace.Span.to_dict` shape
+solve_shard one planned shard of a decomposed instance: ``id`` plus a
+         ``shard`` object in the wire shape of
+         :func:`repro.parallel.backends.encode_shard_request` (kind +
+         mask payload + shared vertex header).  The response carries
+         the runner's ``outcome``
+         (:func:`repro.parallel.backends.encode_shard_outcome`) — this
+         is how a coordinator's
+         :class:`~repro.parallel.backends.PeerBackend` fans one
+         instance out to a worker fleet.  Scheduling, backpressure,
+         auth, and tracing are exactly the ``solve`` op's
 ping     liveness probe; answered with ``{"pong": true}``
 stats    server/pool/cache health snapshot: counters, per-connection
          in-flight, cache hit/miss/eviction totals, per-op request and
@@ -87,7 +97,7 @@ from repro.parallel.codec import decode_vertex_set, encode_vertex_set
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
 #: The request operations a server understands.
-OPERATIONS = ("solve", "ping", "stats", "auth", "metrics", "shutdown")
+OPERATIONS = ("solve", "solve_shard", "ping", "stats", "auth", "metrics", "shutdown")
 
 
 class ProtocolError(ValueError):

@@ -76,7 +76,13 @@ from repro.net.protocol import (
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.timings import TimingLog
 from repro.obs.trace import Span, SpanContext, TraceSink, new_trace_id, record_span
+from repro.parallel.backends import (
+    PeerBackend,
+    decode_shard_item,
+    encode_shard_outcome,
+)
 from repro.parallel.batch import ResultCache
+from repro.parallel.executor import SHARD_RUNNERS
 from repro.service import EnginePool, EngineService, response_to_json
 from repro.store import VerdictStore
 
@@ -245,6 +251,9 @@ class AsyncDualityServer:
         trace_requests: bool = False,
         timings: str | Path | None = None,
         store: VerdictStore | str | Path | None = None,
+        peers: list | None = None,
+        peer_auth_token: str | None = None,
+        hedge_ms: float | None = None,
     ) -> None:
         """Configure a server (nothing binds until :meth:`start`).
 
@@ -277,6 +286,17 @@ class AsyncDualityServer:
         the ``trace`` field regardless); ``timings`` appends one JSONL
         row per computed solve (engine, elapsed, structural features)
         to the given path.
+
+        ``peers`` (a list of ``"host:port"`` worker addresses) turns
+        this server into a *coordinator*: parallel-method solves shard
+        through a :class:`~repro.parallel.backends.PeerBackend` onto
+        the fleet via the ``solve_shard`` op instead of the local
+        pool, with hedged retries after ``hedge_ms`` milliseconds
+        (``None`` keeps the backend's default deadline).
+        ``peer_auth_token`` authenticates the outgoing peer
+        connections (a fleet usually shares one secret).  Every server
+        answers ``solve_shard`` regardless, so any ``repro serve``
+        process can be a worker.
         """
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be positive, got {max_inflight}")
@@ -313,6 +333,17 @@ class AsyncDualityServer:
         else:
             self.cache = cache
         self.pool = EnginePool(n_jobs)
+        self.shard_backend: PeerBackend | None = None
+        if peers:
+            if hedge_ms is None:
+                hedge_after = PeerBackend.DEFAULT_HEDGE_AFTER
+            else:
+                # 0 (or negative) disables the hedging deadline; drop
+                # retries on a dead peer still fire immediately.
+                hedge_after = hedge_ms / 1000.0 if hedge_ms > 0 else None
+            self.shard_backend = PeerBackend(
+                peers, auth_token=peer_auth_token, hedge_after=hedge_after
+            )
         self._services: dict[str, EngineService] = {}
         # Guards the _services dict itself (stats() snapshots it while
         # the loop inserts); solves schedule concurrently on the pool.
@@ -376,6 +407,8 @@ class AsyncDualityServer:
             lambda: self._inflight,
         )
         self.pool.register_metrics(self.registry)
+        if self.shard_backend is not None:
+            self.shard_backend.register_metrics(self.registry)
         if self.cache is not None:
             self.cache.register_metrics(self.registry)
         if self.store is not None:
@@ -506,6 +539,8 @@ class AsyncDualityServer:
             self.timings.close()
         if self._owns_store and self.store is not None:
             self.store.close()
+        if self.shard_backend is not None:
+            self.shard_backend.close()
         self.pool.shutdown()
         if self._listener is not None:
             try:
@@ -723,15 +758,20 @@ class AsyncDualityServer:
             )
             self._signal_shutdown()
             return False
-        # op == "solve": acquire a backpressure slot *before* reading
-        # any further — a connection at its cap parks here, the
-        # transport pauses, and the client's pipeline backs up into the
-        # client's own buffers instead of server memory.
+        # op in ("solve", "solve_shard"): acquire a backpressure slot
+        # *before* reading any further — a connection at its cap parks
+        # here, the transport pauses, and the client's pipeline backs up
+        # into the client's own buffers instead of server memory.
         await conn.slots.acquire()
         conn.pending += 1
         self._inflight += 1
+        dispatch = (
+            self._dispatch_shard_and_watch
+            if op == "solve_shard"
+            else self._dispatch_and_watch
+        )
         try:
-            self._dispatcher.submit(self._dispatch_and_watch, conn, request)
+            self._dispatcher.submit(dispatch, conn, request)
         except RuntimeError:  # dispatcher closed: the server is closing
             conn.pending -= 1
             self._inflight -= 1
@@ -792,6 +832,75 @@ class AsyncDualityServer:
         ticket.add_done_callback(
             lambda t: self._finish_request(conn, request_id, started, trace, t)
         )
+
+    def _dispatch_shard_and_watch(
+        self, conn: _AsyncConnection, request: dict
+    ) -> None:
+        """Run one remote shard on the local pool (dispatcher thread).
+
+        The worker half of the ``solve_shard`` op: decode the shard to
+        the exact item a local :class:`WorkerPool` would have built,
+        run it through the same module-level runner, and answer with
+        the runner's outcome — so a coordinator's merge sees
+        bit-for-bit what local sharding would have produced.
+        """
+        request_id = request.get("id")
+        started = time.monotonic()
+        trace = self._request_trace(request)
+        try:
+            decode_start = time.time()
+            kind, item = decode_shard_item(request.get("shard"))
+            if trace is not None:
+                record_span(
+                    trace.ctx, "decode-shard", decode_start, time.time(), kind=kind
+                )
+            future = self.pool.submit(SHARD_RUNNERS[kind], item, collect=False)
+        except Exception as exc:  # noqa: BLE001 - per-request error object
+            self._tally_error("solve_shard")
+            self._bounce_to_loop(
+                self._deliver, conn, self._error_payload(request_id, exc)
+            )
+            return
+        future.add_done_callback(
+            lambda settled: self._finish_shard(
+                conn, request_id, kind, started, trace, settled
+            )
+        )
+
+    def _finish_shard(
+        self,
+        conn: _AsyncConnection,
+        request_id,
+        kind: str,
+        started: float,
+        trace: _RequestTrace | None,
+        future,
+    ) -> None:
+        """One shard settled: encode its outcome and bounce it into the
+        loop (runs in whichever thread completed the shard)."""
+        error = future.exception()
+        if error is not None:
+            self._tally_error("solve_shard")
+            payload = self._error_payload(request_id, error)
+        else:
+            serialize_start = time.time()
+            payload = {
+                "id": request_id,
+                "ok": True,
+                "outcome": encode_shard_outcome(kind, future.result()),
+            }
+            if trace is not None:
+                record_span(
+                    trace.ctx, "serialize", serialize_start, time.time()
+                )
+            self._tally("solve_shard")
+            self.latency.observe(time.monotonic() - started)
+        if trace is not None:
+            spans = trace.finish()
+            if trace.reply and payload.get("ok"):
+                payload["trace"] = {"id": trace.ctx.trace_id, "spans": spans}
+            self._maybe_log_slow(request_id, started, trace, spans)
+        self._bounce_to_loop(self._deliver, conn, payload)
 
     def _dispatch(self, request: dict, trace: _RequestTrace | None = None):
         """Schedule one solve on the shared scheduler; its ticket."""
@@ -912,6 +1021,7 @@ class AsyncDualityServer:
                     cache=None if method == "portfolio" else self.cache,
                     pool=self.pool,
                     timings=self.timings,
+                    shard_backend=self.shard_backend,
                 )
                 self._services[method] = service
         return service
@@ -993,6 +1103,8 @@ class AsyncDualityServer:
             out["cache_evictions"] = self.cache.evictions
         if self.store is not None:
             out["store"] = self.store.stats()
+        if self.shard_backend is not None:
+            out["peers"] = self.shard_backend.stats()
         return out
 
 

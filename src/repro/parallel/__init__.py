@@ -60,15 +60,28 @@ from repro.parallel.portfolio import (
     race_portfolio,
 )
 
+# Last: backends closes the import cycle through repro.service (it
+# needs the executor's runners and the pool's completion machinery).
+from repro.parallel.backends import (  # noqa: E402
+    LocalPoolBackend,
+    PeerBackend,
+    ShardBackend,
+    ShardRetryableError,
+)
+
 __all__ = [
     "BatchItem",
     "CodecError",
     "DEFAULT_PORTFOLIO",
     "FK_SHARDS_PER_JOB",
+    "LocalPoolBackend",
     "PARALLEL_METHODS",
+    "PeerBackend",
     "ResultCache",
     "Shard",
+    "ShardBackend",
     "ShardPlan",
+    "ShardRetryableError",
     "TREE_SHARDS_PER_JOB",
     "WorkerPool",
     "decide_duality_parallel",

@@ -1,0 +1,816 @@
+"""Pluggable shard-execution backends: local pool and remote peer fleet.
+
+:func:`repro.parallel.executor.solve_shards` separates *planning* from
+*dispatch*: a :class:`~repro.parallel.planner.ShardPlan` names the work
+(self-contained mask payloads over one shared ``VertexIndex``) and a
+merge replays the serial engine from the outcomes — it never cares
+where the shards actually ran.  This module makes "where" a first-class
+choice behind one interface:
+
+* :class:`LocalPoolBackend` — shards run on a warm
+  :class:`repro.service.EnginePool` (or in-process at ``n_jobs=1``),
+  bit-for-bit the behaviour the executor always had;
+* :class:`PeerBackend` — shards travel to remote duality servers over
+  the ``solve_shard`` wire op (JSON lines, pipelined per connection,
+  per-peer windows for backpressure, lazy reconnect), so one
+  coordinator fans a single instance out to a fleet.
+
+Both submit through :class:`repro.service.pool.HedgedFuture`: after a
+per-shard deadline a duplicate launches on another slot/peer and the
+first resolution wins — the classic tail cut, and the recovery path
+when a peer drops mid-shard (its in-flight futures resolve with
+:class:`ShardRetryableError`, feeding an immediate relaunch elsewhere).
+Because every shard runner is a pure decision procedure and the merge
+consumes outcomes in shard order, none of this can change a verdict,
+certificate, or counter.
+
+The wire codec here is deliberately lossless: labels come back as
+tuples, witnesses as ``frozenset``\\ s through the vertex codec, masks
+as arbitrary-precision ints — so a merged distributed result is
+bit-for-bit the local one.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections.abc import Sequence
+
+from repro.duality.policies import TieBreakPolicy, policy_by_name
+from repro.obs.metrics import Histogram
+from repro.obs.trace import record_span
+from repro.parallel.codec import decode_value, decode_vertex_set, encode_value, encode_vertex_set
+from repro.parallel.executor import (
+    SHARD_RUNNERS,
+    resolve_n_jobs,
+    shard_kind,
+)
+class _LazyPool:
+    """:mod:`repro.service.pool`, resolved at call time.
+
+    The pool module imports :mod:`repro.parallel` (and the service
+    package pulls in the store), so a module-level import here would
+    cycle whichever package happens to initialize first.  Every use
+    is inside a method, where all packages are long finished.
+    """
+
+    def __getattr__(self, name):
+        from repro.service import pool
+
+        return getattr(pool, name)
+
+
+_pool = _LazyPool()
+
+
+class ShardRetryableError(RuntimeError):
+    """A shard attempt failed for a transient reason (peer drop, send
+    failure, window timeout) — resubmitting the same shard elsewhere is
+    safe and expected.  The hedging layer treats this as "relaunch now"
+    rather than a terminal error."""
+
+
+# ---------------------------------------------------------------------------
+# Wire codec for shards and outcomes (the ``solve_shard`` op payloads)
+# ---------------------------------------------------------------------------
+#
+# Request ``shard`` field:
+#   {"kind": "fk", "payload": {"f": [...], "g": [...], "delta": D,
+#                              "depth": K, "use_b": true}}
+#   {"kind": "bm", "header": {"vertices": [...], "g": [...], "h": [...],
+#                             "policy": "paper"},
+#                  "payload": {"label": [...], "scope": M}}
+#   {"kind": "ls", "header": {"vertices": [...], "g": [...], "h": [...]},
+#                  "payload": {"label": [...], "scope": M}}
+#
+# Response ``outcome`` field: the runner's return tuple, field by field,
+# with witnesses through the vertex codec.  Masks are plain JSON ints
+# (arbitrary precision survives), labels round-trip to tuples.
+
+def encode_shard_request(kind: str, header: tuple, payload: tuple) -> dict:
+    """The JSON-safe ``shard`` field for one planned shard."""
+    if kind == "fk":
+        f_masks, g_masks, delta, depth, use_b = payload
+        return {
+            "kind": "fk",
+            "payload": {
+                "f": list(f_masks),
+                "g": list(g_masks),
+                "delta": delta,
+                "depth": depth,
+                "use_b": bool(use_b),
+            },
+        }
+    if kind not in ("bm", "ls"):
+        raise ValueError(f"unknown shard kind {kind!r}")
+    wire_header = {
+        "vertices": [encode_value(v) for v in header[0]],
+        "g": list(header[1]),
+        "h": list(header[2]),
+    }
+    if kind == "bm":
+        policy = header[3]
+        if not isinstance(policy, TieBreakPolicy):
+            raise ValueError(f"bm header carries no policy: {policy!r}")
+        wire_header["policy"] = policy.name
+    label, scope_mask = payload
+    return {
+        "kind": kind,
+        "header": wire_header,
+        "payload": {"label": list(label), "scope": scope_mask},
+    }
+
+
+def decode_shard_item(wire: dict) -> tuple[str, tuple]:
+    """``(kind, worker item)`` from a ``shard`` field — the item feeds
+    :data:`repro.parallel.executor.SHARD_RUNNERS` unchanged."""
+    if not isinstance(wire, dict):
+        raise ValueError("shard must be a JSON object")
+    kind = wire.get("kind")
+    payload = wire.get("payload")
+    if not isinstance(payload, dict):
+        raise ValueError("shard payload must be a JSON object")
+    if kind == "fk":
+        return kind, (
+            tuple(int(m) for m in payload["f"]),
+            tuple(int(m) for m in payload["g"]),
+            int(payload["delta"]),
+            int(payload["depth"]),
+            bool(payload["use_b"]),
+        )
+    if kind not in ("bm", "ls"):
+        raise ValueError(f"unknown shard kind {kind!r}")
+    wire_header = wire.get("header")
+    if not isinstance(wire_header, dict):
+        raise ValueError("shard header must be a JSON object")
+    header: tuple = (
+        tuple(decode_value(v) for v in wire_header["vertices"]),
+        tuple(int(m) for m in wire_header["g"]),
+        tuple(int(m) for m in wire_header["h"]),
+    )
+    if kind == "bm":
+        header += (policy_by_name(str(wire_header["policy"])),)
+    item = (header, tuple(int(i) for i in payload["label"]), int(payload["scope"]))
+    return kind, item
+
+
+def encode_shard_outcome(kind: str, outcome: tuple) -> dict:
+    """The JSON-safe ``outcome`` field from one shard runner's return."""
+    if kind == "fk":
+        failing, nodes, max_depth, base_cases = outcome
+        return {
+            "failing": None if failing is None else [failing[0], failing[1]],
+            "nodes": nodes,
+            "max_depth": max_depth,
+            "base_cases": base_cases,
+        }
+    if kind == "bm":
+        nodes, max_depth, max_branching, n_leaves, fails = outcome
+        return {
+            "nodes": nodes,
+            "max_depth": max_depth,
+            "max_branching": max_branching,
+            "n_leaves": n_leaves,
+            "fails": [
+                [list(label), encode_vertex_set(witness)]
+                for label, witness in fails
+            ],
+        }
+    if kind == "ls":
+        nodes, max_depth, first_max_label, fail = outcome
+        return {
+            "nodes": nodes,
+            "max_depth": max_depth,
+            "first_max_label": list(first_max_label),
+            "fail": None
+            if fail is None
+            else [list(fail[0]), encode_vertex_set(fail[1])],
+        }
+    raise ValueError(f"unknown shard kind {kind!r}")
+
+
+def decode_shard_outcome(kind: str, wire: dict) -> tuple:
+    """The runner's native return tuple back from the wire — exact
+    types (tuples, frozensets, ints), so the merges are bit-for-bit."""
+    if not isinstance(wire, dict):
+        raise ValueError("shard outcome must be a JSON object")
+    if kind == "fk":
+        failing = wire["failing"]
+        if failing is not None:
+            failing = (str(failing[0]), int(failing[1]))
+        return (
+            failing,
+            int(wire["nodes"]),
+            int(wire["max_depth"]),
+            int(wire["base_cases"]),
+        )
+    if kind == "bm":
+        return (
+            int(wire["nodes"]),
+            int(wire["max_depth"]),
+            int(wire["max_branching"]),
+            int(wire["n_leaves"]),
+            [
+                (tuple(int(i) for i in label), decode_vertex_set(witness))
+                for label, witness in wire["fails"]
+            ],
+        )
+    if kind == "ls":
+        fail = wire["fail"]
+        if fail is not None:
+            fail = (
+                tuple(int(i) for i in fail[0]),
+                decode_vertex_set(fail[1]),
+            )
+        return (
+            int(wire["nodes"]),
+            int(wire["max_depth"]),
+            tuple(int(i) for i in wire["first_max_label"]),
+            fail,
+        )
+    raise ValueError(f"unknown shard kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# The backend interface
+# ---------------------------------------------------------------------------
+
+class ShardBackend:
+    """Where shards run: submit one, or map a whole plan, hedged.
+
+    Subclasses implement :meth:`submit_shard` (one attempt on one
+    execution slot) and :attr:`width` (parallel capacity — it sizes the
+    shard plans pointed at this backend).  The base class supplies the
+    hedged fan-out: :meth:`map_shards` submits every shard of a plan as
+    a :class:`~repro.service.pool.HedgedFuture` and gathers outcomes in
+    shard order, which is all
+    :func:`repro.parallel.executor.solve_shards` needs.
+    """
+
+    name = "backend"
+
+    #: Errors that mean "relaunch this shard elsewhere, now".
+    RETRYABLE: tuple = (ShardRetryableError,)
+
+    def __init__(
+        self,
+        hedge_after: float | None = None,
+        max_attempts: int | None = None,
+    ) -> None:
+        #: Seconds a shard may run before a duplicate launches
+        #: (``None`` disables hedging).
+        self.hedge_after = hedge_after
+        self._max_attempts = max_attempts
+        self._counter_lock = threading.Lock()
+        #: Duplicate launches fired by per-shard deadlines.
+        self.hedges_fired = 0
+        #: Hedges whose duplicate won the resolution race.
+        self.hedges_won = 0
+
+    # -- subclass surface ----------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Parallel capacity: how many shards make sense in flight."""
+        raise NotImplementedError
+
+    def submit_shard(
+        self, kind: str, header: tuple, payload: tuple, *, exclude=(), trace=None
+    ) -> "_pool.Completion":
+        """One attempt of one shard on one slot; resolves with the
+        runner's outcome tuple.  ``exclude`` lists slots already trying
+        this shard (hedges prefer a different one); ``trace`` is an
+        optional :class:`~repro.obs.trace.SpanContext`."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release owned resources (idempotent)."""
+
+    # -- the hedged fan-out --------------------------------------------
+
+    @property
+    def max_attempts(self) -> int:
+        if self._max_attempts is not None:
+            return self._max_attempts
+        return max(2, self.width + 1)
+
+    def submit_hedged(
+        self, kind: str, header: tuple, payload: tuple, trace=None
+    ) -> HedgedFuture:
+        """Submit one shard with deadline hedging and drop retries."""
+        used: list = []
+
+        def launch(_attempt: int) -> "_pool.Completion":
+            attempt = self.submit_shard(
+                kind, header, payload, exclude=tuple(used), trace=trace
+            )
+            slot = getattr(attempt, "slot", None)
+            if slot is not None:
+                used.append(slot)
+            return attempt
+
+        return _pool.HedgedFuture(
+            launch,
+            hedge_after=self.hedge_after,
+            max_attempts=self.max_attempts,
+            retryable=self.RETRYABLE,
+            on_hedge=self._count_hedge,
+            on_hedge_won=self._count_hedge_won,
+        )
+
+    def map_shards(self, plan, trace=None) -> list:
+        """Every shard of a plan, hedged; outcomes in shard order."""
+        kind = shard_kind(plan)
+        futures = [
+            self.submit_hedged(kind, plan.header, shard.payload, trace=trace)
+            for shard in plan.shards
+        ]
+        return [future.result() for future in futures]
+
+    def _count_hedge(self) -> None:
+        with self._counter_lock:
+            self.hedges_fired += 1
+
+    def _count_hedge_won(self) -> None:
+        with self._counter_lock:
+            self.hedges_won += 1
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.name,
+            "width": self.width,
+            "hedge_after_s": self.hedge_after,
+            "hedges_fired": self.hedges_fired,
+            "hedges_won": self.hedges_won,
+        }
+
+    def __enter__(self) -> "ShardBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class LocalPoolBackend(ShardBackend):
+    """Today's execution path behind the backend interface.
+
+    Shards run on a warm :class:`repro.service.EnginePool` — in-process
+    at ``n_jobs=1``, worker processes above — through exactly the same
+    module-level runner functions ``pool.map`` always dispatched, so
+    outcomes (and therefore merged results) are bit-for-bit unchanged.
+    Hedging is off by default here: the pool already retries
+    worker-death per item, and duplicates on the same box only contend;
+    pass ``hedge_after`` to enable it anyway (it matters when the pool
+    is wide and one shard lands on a descheduled core).
+    """
+
+    name = "local-pool"
+
+    def __init__(
+        self,
+        n_jobs: int | None = 1,
+        pool=None,
+        hedge_after: float | None = None,
+        max_attempts: int | None = None,
+    ) -> None:
+        super().__init__(hedge_after=hedge_after, max_attempts=max_attempts)
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else _pool.EnginePool(resolve_n_jobs(n_jobs))
+
+    @property
+    def width(self) -> int:
+        return self.pool.n_jobs
+
+    def submit_shard(
+        self, kind: str, header: tuple, payload: tuple, *, exclude=(), trace=None
+    ) -> "_pool.Completion":
+        item = payload if kind == "fk" else (header, *payload)
+        return self.pool.submit(SHARD_RUNNERS[kind], item, collect=False)
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out["pool_generations"] = self.pool.generations
+        out["pool_tasks_completed"] = self.pool.tasks_completed
+        return out
+
+    def close(self) -> None:
+        if self._owns_pool:
+            self.pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# The peer fleet
+# ---------------------------------------------------------------------------
+
+class _PendingShard:
+    """One in-flight ``solve_shard`` request on one peer connection."""
+
+    __slots__ = ("kind", "completion", "trace", "sent_wall", "sent_perf")
+
+    def __init__(self, kind: str, completion: Completion, trace) -> None:
+        self.kind = kind
+        self.completion = completion
+        self.trace = trace
+        self.sent_wall = time.time()
+        self.sent_perf = time.perf_counter()
+
+
+class _PeerChannel:
+    """One pipelined connection to one peer duality server.
+
+    Requests multiplex over a single socket (sequential ids correlate
+    the out-of-order responses, the same contract as the ``solve`` op);
+    a dedicated reader thread resolves completions as lines arrive.  A
+    bounded in-flight window is the per-peer backpressure: past it,
+    submitters block until the peer drains.  Any wire failure *drops*
+    the channel: every outstanding completion resolves with
+    :class:`ShardRetryableError` — retryable by contract, because pure
+    shard runners can always re-run elsewhere — and the next submit
+    reconnects lazily.
+    """
+
+    #: Seconds between reconnect attempts to a peer that just refused.
+    RECONNECT_INTERVAL = 0.5
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        auth_token: str | None = None,
+        timeout: float = 60.0,
+        window: int = 32,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.auth_token = auth_token
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.window_size = window
+        self._window = threading.BoundedSemaphore(window)
+        self._lock = threading.RLock()
+        self._sock: socket.socket | None = None
+        self._reader_thread: threading.Thread | None = None
+        self._next_id = 0
+        self._pending: dict[int, _PendingShard] = {}
+        self._last_connect_attempt = 0.0
+        self._closed = False
+        self.connected = False
+        #: Sticky: this channel has dropped at least once.
+        self.degraded = False
+        self.shards_sent = 0
+        self.shards_completed = 0
+        self.reconnects = 0
+        self.drops = 0
+        self.latency = Histogram(
+            "peer_shard_latency_seconds",
+            "Per-shard round trip on this peer connection (seconds)",
+            window=1024,
+        )
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # -- connection management -----------------------------------------
+
+    def ensure_connected(self) -> bool:
+        """Connect if needed; False when the peer is (still) unreachable.
+
+        Failed attempts are rate-limited by :data:`RECONNECT_INTERVAL`
+        so a dead peer costs one connect per interval, not per shard.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            if self.connected:
+                return True
+            now = time.monotonic()
+            if now - self._last_connect_attempt < self.RECONNECT_INTERVAL:
+                return False
+            self._last_connect_attempt = now
+            try:
+                self._connect_locked()
+            except (OSError, ValueError) as exc:
+                self._abandon_socket_locked()
+                self._last_error = exc
+                return False
+            return True
+
+    def _connect_locked(self) -> None:
+        from repro.net.protocol import (
+            LineReader,
+            MAX_LINE_BYTES,
+            parse_response,
+            send_json,
+        )
+
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            reader = LineReader(sock, MAX_LINE_BYTES)
+            if self.auth_token is not None:
+                send_json(sock, {"op": "auth", "token": self.auth_token})
+                line = reader.readline()
+                if line is None:
+                    raise OSError("peer closed during auth handshake")
+                reply = parse_response(line)
+                if not reply.get("ok", False):
+                    # A rejected token is a configuration error, not a
+                    # transient one — surface it loudly.
+                    error = (reply.get("error") or {}).get("message", "auth failed")
+                    raise ValueError(f"peer {self.address} refused auth: {error}")
+        except BaseException:
+            sock.close()
+            raise
+        sock.settimeout(None)  # the reader blocks for responses
+        self._sock = sock
+        self.connected = True
+        if self.shards_sent or self.drops:
+            self.reconnects += 1  # only re-connects count, not the first
+        thread = threading.Thread(
+            target=self._read_loop,
+            args=(reader, sock),
+            name=f"peer-reader-{self.address}",
+            daemon=True,
+        )
+        self._reader_thread = thread
+        thread.start()
+
+    def _abandon_socket_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self.connected = False
+
+    # -- submit / complete ---------------------------------------------
+
+    def submit(self, kind: str, header: tuple, payload: tuple, trace=None) -> "_pool.Completion":
+        """Ship one shard; resolves with the decoded outcome tuple."""
+        from repro.net.protocol import send_json
+
+        if not self._window.acquire(timeout=self.timeout):
+            raise ShardRetryableError(
+                f"peer {self.address}: in-flight window full for {self.timeout}s"
+            )
+        completion = _pool.Completion()
+        completion.slot = self
+        try:
+            with self._lock:
+                if not self.connected and not self.ensure_connected():
+                    raise ShardRetryableError(
+                        f"peer {self.address} is unreachable"
+                    )
+                request_id = self._next_id
+                self._next_id += 1
+                request = {
+                    "op": "solve_shard",
+                    "id": request_id,
+                    "shard": encode_shard_request(kind, header, payload),
+                }
+                if trace is not None:
+                    request["trace"] = trace.trace_id
+                self._pending[request_id] = _PendingShard(kind, completion, trace)
+                try:
+                    send_json(self._sock, request)
+                except OSError as exc:
+                    self._pending.pop(request_id, None)
+                    self._drop_locked(exc)
+                    raise ShardRetryableError(
+                        f"peer {self.address} send failed: {exc}"
+                    ) from exc
+                self.shards_sent += 1
+        except BaseException:
+            self._window.release()
+            raise
+        return completion
+
+    def _read_loop(self, reader, sock) -> None:
+        from repro.net.protocol import parse_response
+
+        try:
+            while True:
+                line = reader.readline()
+                if line is None:
+                    raise ConnectionError("peer closed the connection")
+                self._complete(parse_response(line))
+        except Exception as exc:  # noqa: BLE001 - any wire failure drops
+            with self._lock:
+                if self._sock is sock and not self._closed:
+                    self._drop_locked(exc)
+
+    def _complete(self, response: dict) -> None:
+        with self._lock:
+            entry = self._pending.pop(response.get("id"), None)
+        if entry is None:
+            return  # a response nobody waits for any more
+        self._window.release()
+        elapsed = time.perf_counter() - entry.sent_perf
+        self.latency.observe(elapsed)
+        with self._lock:
+            self.shards_completed += 1
+        if entry.trace is not None:
+            self._record_shard_span(entry, response)
+        if response.get("ok", False):
+            try:
+                outcome = decode_shard_outcome(entry.kind, response.get("outcome"))
+            except (ValueError, KeyError, TypeError) as exc:
+                entry.completion.resolve(
+                    error=ValueError(
+                        f"peer {self.address} returned a malformed outcome: {exc}"
+                    )
+                )
+                return
+            entry.completion.resolve(value=outcome)
+            return
+        error = response.get("error") or {}
+        entry.completion.resolve(
+            error=RuntimeError(
+                f"peer {self.address} rejected shard: "
+                f"{error.get('type', 'Error')}: {error.get('message', '?')}"
+            )
+        )
+
+    def _record_shard_span(self, entry: _PendingShard, response: dict) -> None:
+        """The peer edge span, with the peer's own spans re-parented
+        under it (same shape as the client's ``_merge_trace``)."""
+        edge = record_span(
+            entry.trace,
+            "peer-shard",
+            entry.sent_wall,
+            time.time(),
+            peer=self.address,
+            kind=entry.kind,
+        )
+        wire = response.get("trace")
+        if isinstance(wire, dict):
+            for item in wire.get("spans") or []:
+                if isinstance(item, dict):
+                    if item.get("parent_id") is None:
+                        item["parent_id"] = edge.span_id
+                    entry.trace.sink.extend([item])
+
+    def _drop_locked(self, exc: BaseException) -> None:
+        """Caller holds the lock: fail every outstanding shard as
+        retryable and mark the channel down."""
+        self._abandon_socket_locked()
+        self.degraded = True
+        self.drops += 1
+        pending, self._pending = self._pending, {}
+        for entry in pending.values():
+            self._window.release()
+            entry.completion.resolve(
+                error=ShardRetryableError(
+                    f"peer {self.address} dropped mid-shard "
+                    f"({type(exc).__name__}: {exc})"
+                )
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._drop_locked(ConnectionError("channel closed"))
+
+    def stats(self) -> dict:
+        with self._lock:
+            inflight = len(self._pending)
+        return {
+            "peer": self.address,
+            "connected": self.connected,
+            "degraded": self.degraded,
+            "inflight": inflight,
+            "window": self.window_size,
+            "shards_sent": self.shards_sent,
+            "shards_completed": self.shards_completed,
+            "reconnects": self.reconnects,
+            "drops": self.drops,
+            "latency": self.latency.snapshot_ms(),
+        }
+
+
+class PeerBackend(ShardBackend):
+    """A fleet of duality servers as one shard-execution backend.
+
+    ``peers`` is a list of ``(host, port)`` pairs (or ``"host:port"``
+    strings); each gets one pipelined :class:`_PeerChannel`.  Shards go
+    to the least-loaded connected peer — hedges and drop retries prefer
+    a peer that has not yet tried the shard — so a killed or straggling
+    worker costs latency on its in-flight shards only, never the batch.
+
+    Hedging defaults on (:data:`DEFAULT_HEDGE_AFTER`): across a fleet a
+    straggler is the common failure mode, and the duplicate runs on
+    different hardware instead of contending locally.
+    """
+
+    name = "peers"
+
+    #: Default per-shard deadline before a duplicate launches.
+    DEFAULT_HEDGE_AFTER = 0.25
+
+    def __init__(
+        self,
+        peers: Sequence,
+        *,
+        auth_token: str | None = None,
+        timeout: float = 60.0,
+        window: int = 32,
+        hedge_after: float | None = DEFAULT_HEDGE_AFTER,
+        max_attempts: int | None = None,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        super().__init__(hedge_after=hedge_after, max_attempts=max_attempts)
+        addresses = [self._coerce_address(peer) for peer in peers]
+        if not addresses:
+            raise ValueError("PeerBackend needs at least one peer address")
+        self.channels = [
+            _PeerChannel(
+                host,
+                port,
+                auth_token=auth_token,
+                timeout=timeout,
+                window=window,
+                connect_timeout=connect_timeout,
+            )
+            for host, port in addresses
+        ]
+
+    @staticmethod
+    def _coerce_address(peer) -> tuple[str, int]:
+        if isinstance(peer, str):
+            from repro.net.server import parse_address
+
+            return parse_address(peer)
+        host, port = peer
+        return str(host), int(port)
+
+    @property
+    def width(self) -> int:
+        return max(1, len(self.channels))
+
+    def submit_shard(
+        self, kind: str, header: tuple, payload: tuple, *, exclude=(), trace=None
+    ) -> "_pool.Completion":
+        channel = self._pick(exclude)
+        return channel.submit(kind, header, payload, trace=trace)
+
+    def _pick(self, exclude=()) -> _PeerChannel:
+        """The least-loaded reachable peer, preferring unused ones."""
+        fresh = [c for c in self.channels if c not in exclude]
+        for pool in (fresh, list(self.channels)):
+            for channel in sorted(pool, key=lambda c: (c.inflight, c.address)):
+                if channel.ensure_connected():
+                    return channel
+        raise ShardRetryableError(
+            "no peer reachable: "
+            + ", ".join(c.address for c in self.channels)
+        )
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out["peers"] = [channel.stats() for channel in self.channels]
+        return out
+
+    def register_metrics(self, registry) -> None:
+        """Fleet-level callback gauges on a
+        :class:`repro.obs.metrics.MetricsRegistry`."""
+        registry.gauge_fn(
+            "peer_channels",
+            "Configured peer connections",
+            lambda: len(self.channels),
+        )
+        registry.gauge_fn(
+            "peer_channels_connected",
+            "Peer connections currently live",
+            lambda: sum(1 for c in self.channels if c.connected),
+        )
+        registry.gauge_fn(
+            "peer_shards_sent_total",
+            "Shards shipped to peers",
+            lambda: sum(c.shards_sent for c in self.channels),
+        )
+        registry.gauge_fn(
+            "peer_hedges_fired_total",
+            "Duplicate shard launches fired by the hedge deadline",
+            lambda: self.hedges_fired,
+        )
+        registry.gauge_fn(
+            "peer_hedges_won_total",
+            "Hedged duplicates that won the resolution race",
+            lambda: self.hedges_won,
+        )
+
+    def close(self) -> None:
+        for channel in self.channels:
+            channel.close()

@@ -207,6 +207,67 @@ def run_ls_shard(args: tuple) -> tuple:
 
 
 # ---------------------------------------------------------------------------
+# Dispatch: the planned method → worker function mapping
+# ---------------------------------------------------------------------------
+
+#: Planned-method name → short shard-kind tag.  The tag is what travels
+#: on the ``solve_shard`` wire op and what keys :data:`SHARD_RUNNERS`.
+SHARD_KINDS = {
+    "fredman-khachiyan-A": "fk",
+    "fredman-khachiyan-B": "fk",
+    "boros-makino": "bm",
+    "logspace": "ls",
+}
+
+#: Shard-kind tag → module-level worker function.  Every backend — the
+#: in-process map, the warm :class:`repro.service.EnginePool`, and a
+#: remote peer's ``solve_shard`` handler — runs exactly these.
+SHARD_RUNNERS = {
+    "fk": run_fk_shard,
+    "bm": run_bm_shard,
+    "ls": run_ls_shard,
+}
+
+
+def shard_kind(plan: ShardPlan) -> str:
+    """The shard-kind tag (``fk``/``bm``/``ls``) of a plan."""
+    try:
+        return SHARD_KINDS[plan.method]
+    except KeyError:
+        raise ValueError(
+            f"no shard runner for planned method {plan.method!r}"
+        ) from None
+
+
+def shard_worker_items(plan: ShardPlan) -> list[tuple]:
+    """The worker items for a plan's shards, in shard order.
+
+    FK shards are self-contained payloads; the tree engines' shards are
+    ``(shared header, *payload)`` tuples — the same shapes
+    :data:`SHARD_RUNNERS` expect and the wire codec serialises.
+    """
+    if shard_kind(plan) == "fk":
+        return [shard.payload for shard in plan.shards]
+    return [(plan.header, *shard.payload) for shard in plan.shards]
+
+
+def merge_shard_outcomes(
+    plan: ShardPlan, outcomes: Sequence[tuple]
+) -> DualityResult:
+    """Merge shard outcomes (in shard order) into the serial result.
+
+    ``outcomes[i]`` must be the return value of the plan's shard runner
+    on ``shard_worker_items(plan)[i]`` — wherever it actually ran.
+    """
+    kind = shard_kind(plan)
+    if kind == "fk":
+        return _merge_fk(plan, outcomes)
+    if kind == "bm":
+        return _merge_bm(plan, outcomes)
+    return _merge_logspace(plan, outcomes)
+
+
+# ---------------------------------------------------------------------------
 # Merges
 # ---------------------------------------------------------------------------
 
@@ -340,35 +401,38 @@ def _merge_logspace(plan: ShardPlan, outcomes: Sequence[tuple]) -> DualityResult
 # ---------------------------------------------------------------------------
 
 def solve_shards(
-    plan: ShardPlan, n_jobs: int | None = 1, pool=None
+    plan: ShardPlan,
+    n_jobs: int | None = 1,
+    pool=None,
+    backend=None,
+    trace=None,
 ) -> DualityResult:
-    """Run a plan's shards through a worker pool and merge.
+    """Run a plan's shards through an execution backend and merge.
 
-    ``pool`` may be any object with a ``map(fn, items)`` method — e.g. a
-    persistent :class:`repro.service.EnginePool` — in which case
-    ``n_jobs`` is ignored and the caller keeps ownership of the pool's
-    lifecycle; otherwise a transient :class:`WorkerPool` is used.
+    Three dispatch paths, one merge:
+
+    * ``backend`` — any :class:`repro.parallel.backends.ShardBackend`
+      (local warm pool or a remote peer fleet, with hedged retries);
+      ``n_jobs``/``pool`` are ignored and ``trace`` (a ``SpanContext``)
+      lets shard spans follow the request;
+    * ``pool`` — any object with a ``map(fn, items)`` method, e.g. a
+      persistent :class:`repro.service.EnginePool`; the caller keeps
+      ownership of its lifecycle;
+    * otherwise a transient :class:`WorkerPool` sized by ``n_jobs``.
+
+    The shard list may be empty (all root children were leaves, or the
+    root itself was); the merge handles those from the plan.
     """
     if plan.resolved is not None:
         return plan.resolved
+    if backend is not None:
+        outcomes = backend.map_shards(plan, trace=trace)
+        return merge_shard_outcomes(plan, outcomes)
     if pool is None:
         pool = WorkerPool(n_jobs)
-    if plan.method in ("fredman-khachiyan-A", "fredman-khachiyan-B"):
-        outcomes = pool.map(run_fk_shard, [s.payload for s in plan.shards])
-        return _merge_fk(plan, outcomes)
-    if plan.method == "boros-makino":
-        outcomes = pool.map(
-            run_bm_shard, [(plan.header, *s.payload) for s in plan.shards]
-        )
-        return _merge_bm(plan, outcomes)
-    if plan.method == "logspace":
-        # The shard list may be empty (all root children were leaves, or
-        # the root itself was); the merge handles those from the plan.
-        outcomes = pool.map(
-            run_ls_shard, [(plan.header, *s.payload) for s in plan.shards]
-        )
-        return _merge_logspace(plan, outcomes)
-    raise ValueError(f"no merge rule for planned method {plan.method!r}")
+    runner = SHARD_RUNNERS[shard_kind(plan)]
+    outcomes = pool.map(runner, shard_worker_items(plan))
+    return merge_shard_outcomes(plan, outcomes)
 
 
 def decide_duality_parallel(
@@ -377,6 +441,8 @@ def decide_duality_parallel(
     method: str = "fk-b",
     n_jobs: int | None = 1,
     pool=None,
+    backend=None,
+    trace=None,
     **options,
 ) -> DualityResult:
     """Sharded parallel duality decision, equivalent to the serial engines.
@@ -388,9 +454,14 @@ def decide_duality_parallel(
     ``pool`` reuses a persistent pool (e.g. a
     :class:`repro.service.EnginePool`) for the shard fan-out instead of
     spawning a transient one per call; its ``n_jobs`` then sizes the
-    shard plan.
+    shard plan.  ``backend`` dispatches shards through a
+    :class:`repro.parallel.backends.ShardBackend` instead (its ``width``
+    sizes the plan; ``trace`` threads a ``SpanContext`` to it).
     """
-    jobs = resolve_n_jobs(n_jobs if pool is None else pool.n_jobs)
+    if backend is not None:
+        jobs = max(1, backend.width)
+    else:
+        jobs = resolve_n_jobs(n_jobs if pool is None else pool.n_jobs)
     if method in ("fk-a", "fk-b"):
         if options.pop("use_bitset", True) is False:
             raise ValueError(
@@ -404,13 +475,13 @@ def decide_duality_parallel(
         plan = plan_fk(
             g, h, use_b=(method == "fk-b"), target_shards=jobs * FK_SHARDS_PER_JOB
         )
-        result = solve_shards(plan, jobs, pool=pool)
+        result = solve_shards(plan, jobs, pool=pool, backend=backend, trace=trace)
     elif method == "bm":
         options.setdefault(
             "target_shards", jobs * TREE_SHARDS_PER_JOB if jobs > 1 else None
         )
         plan = plan_bm(g, h, **options)
-        result = solve_shards(plan, jobs, pool=pool)
+        result = solve_shards(plan, jobs, pool=pool, backend=backend, trace=trace)
     elif method == "logspace":
         target = options.pop(
             "target_shards", jobs * TREE_SHARDS_PER_JOB if jobs > 1 else None
@@ -420,7 +491,7 @@ def decide_duality_parallel(
                 f"unknown option(s) for parallel 'logspace': {sorted(options)}"
             )
         plan = plan_logspace(g, h, target_shards=target)
-        result = solve_shards(plan, jobs, pool=pool)
+        result = solve_shards(plan, jobs, pool=pool, backend=backend, trace=trace)
     else:
         raise ValueError(
             f"method {method!r} has no sharded parallel path; "

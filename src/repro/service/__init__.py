@@ -28,6 +28,7 @@ it, and plain library use never pays for it.
 from repro.service.pool import (
     Completion,
     EnginePool,
+    HedgedFuture,
     PoolClosedError,
     PoolFuture,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "Completion",
     "EnginePool",
     "EngineService",
+    "HedgedFuture",
     "PoolClosedError",
     "PoolFuture",
     "ServiceResponse",

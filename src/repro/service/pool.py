@@ -176,6 +176,144 @@ class PoolFuture(Completion):
         return f"PoolFuture(ticket={self.ticket}, {state}, attempts={self.attempts})"
 
 
+class HedgedFuture(Completion):
+    """First-resolution-wins across duplicate launches of one work item.
+
+    Wraps a ``launch(attempt_index)`` callable that submits the item to
+    some execution slot (a pool worker, a remote peer) and returns a
+    :class:`Completion`-style future.  Three things launch attempts:
+
+    * attempt 0 fires at construction;
+    * after ``hedge_after`` seconds without a resolution a *hedge* — a
+      duplicate of the still-running attempt — launches, and the timer
+      re-arms so a second straggler hedges again.  First resolution
+      wins; the loser is cancelled in the only sense that exists across
+      a process or wire boundary — its eventual result is discarded by
+      the resolve-once core;
+    * an attempt failing with one of ``retryable`` relaunches
+      immediately: the worker died or the peer dropped mid-shard, and
+      the item itself is innocent (work functions are pure decision
+      procedures, so duplicate execution is always safe).
+
+    ``max_attempts`` bounds total launches.  A non-retryable error
+    resolves the future with that error as soon as no other attempt is
+    still outstanding; a retryable one only surfaces once the attempt
+    budget is spent and every launched attempt has failed.
+    """
+
+    def __init__(
+        self,
+        launch: Callable[[int], Completion],
+        *,
+        hedge_after: float | None = None,
+        max_attempts: int = 3,
+        retryable: tuple = (),
+        on_hedge: Callable | None = None,
+        on_hedge_won: Callable | None = None,
+    ) -> None:
+        super().__init__()
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self._launch = launch
+        self._hedge_after = hedge_after
+        self._max_attempts = max_attempts
+        self._retryable = tuple(retryable)
+        self._on_hedge = on_hedge
+        self._on_hedge_won = on_hedge_won
+        self._state = threading.Lock()
+        self._launched = 0
+        self._outstanding = 0
+        self._timer: threading.Timer | None = None
+        #: How many duplicate launches the deadline timer fired.
+        self.hedges_fired = 0
+        #: True when the winning resolution came from a hedge.
+        self.hedge_won = False
+        self._try_launch(hedge=False)
+        self._arm()
+
+    def _try_launch(self, hedge: bool) -> bool:
+        with self._state:
+            if self.done() or self._launched >= self._max_attempts:
+                return False
+            index = self._launched
+            self._launched += 1
+            self._outstanding += 1
+            if hedge:
+                self.hedges_fired += 1
+        if hedge and self._on_hedge is not None:
+            self._on_hedge()
+        try:
+            attempt = self._launch(index)
+        except BaseException as exc:  # noqa: BLE001 - the launch is an attempt
+            self._attempt_failed(hedge, exc)
+            return True
+        attempt.add_done_callback(
+            lambda settled, hedge=hedge: self._attempt_done(hedge, settled)
+        )
+        return True
+
+    def _attempt_done(self, hedge: bool, attempt) -> None:
+        error = attempt.exception()
+        if error is not None:
+            self._attempt_failed(hedge, error)
+            return
+        self._cancel_timer()
+        with self._state:
+            self._outstanding -= 1
+        if self.resolve(value=attempt.result()) and hedge:
+            self.hedge_won = True
+            if self._on_hedge_won is not None:
+                self._on_hedge_won()
+
+    def _attempt_failed(self, hedge: bool, error: BaseException) -> None:
+        with self._state:
+            self._outstanding -= 1
+            last_standing = self._outstanding == 0
+        if self.done():
+            return
+        if isinstance(error, self._retryable):
+            if self._try_launch(hedge=False):
+                return
+            # Budget spent (or a racing win): only the last failing
+            # attempt may surface the error.
+            with self._state:
+                last_standing = self._outstanding == 0
+        if last_standing:
+            self._cancel_timer()
+            self.resolve(error=error)
+
+    def _arm(self) -> None:
+        if self._hedge_after is None or self.done():
+            return
+        with self._state:
+            if self._timer is not None or self._launched >= self._max_attempts:
+                return
+            self._timer = threading.Timer(self._hedge_after, self._hedge_now)
+            self._timer.daemon = True
+            self._timer.start()
+
+    def _hedge_now(self) -> None:
+        with self._state:
+            self._timer = None
+        if self.done():
+            return
+        self._try_launch(hedge=True)
+        self._arm()
+
+    def _cancel_timer(self) -> None:
+        with self._state:
+            timer, self._timer = self._timer, None
+        if timer is not None:
+            timer.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "pending"
+        return (
+            f"HedgedFuture({state}, launched={self._launched}, "
+            f"hedges={self.hedges_fired})"
+        )
+
+
 class EnginePool:
     """Warm worker processes scheduling per-item :class:`PoolFuture`\\ s."""
 

@@ -49,6 +49,7 @@ from repro.parallel.batch import (
     solve_batch_entry_obs,
 )
 from repro.parallel.codec import CodecError, encode_vertex_set
+from repro.parallel.executor import PARALLEL_METHODS, decide_duality_parallel
 from repro.service.pool import Completion, EnginePool, PoolClosedError
 from repro.store import VerdictStore
 
@@ -187,6 +188,7 @@ class EngineService:
         cache_max_entries: int | None = None,
         timings: TimingLog | str | Path | None = None,
         store: VerdictStore | str | Path | None = None,
+        shard_backend=None,
     ) -> None:
         """Start a service session.
 
@@ -214,6 +216,15 @@ class EngineService:
         the store's ``timings`` table.  Mutually exclusive with
         ``cache``; a store the service opened from a path is closed on
         :meth:`close`, a live one is left open for its other users.
+
+        ``shard_backend`` (a :class:`~repro.parallel.backends.ShardBackend`)
+        redirects cache-miss solves of the parallel methods (``fk-a``,
+        ``fk-b``, ``bm``, ``logspace``) through
+        :func:`~repro.parallel.executor.decide_duality_parallel` on
+        that backend — the coordinator mode, where shards fan out to a
+        peer fleet instead of the local pool.  Other methods, cache
+        hits, and dedup joins are untouched; the backend is borrowed
+        (its owner closes it).
         """
         self.method = method
         if store is not None and cache is not None:
@@ -257,6 +268,7 @@ class EngineService:
             )
         else:
             self.cache = cache
+        self.shard_backend = shard_backend
         self._owns_pool = pool is None
         self.pool = pool if pool is not None else EnginePool(n_jobs)
         self.pool.start()
@@ -380,6 +392,9 @@ class EngineService:
             # Set before the pool sees the item: at n_jobs=1 the solve
             # (and _on_solved) runs inline inside pool.submit.
             entry.features = structural_features(g_payload, h_payload)
+        if self.shard_backend is not None and self.method in PARALLEL_METHODS:
+            self._solve_distributed(entry, ticket, g, h, trace)
+            return ticket
         if trace is not None:
             # The worker builds its spans under the request's trace id;
             # only the picklable id pair crosses the process boundary.
@@ -395,6 +410,44 @@ class EngineService:
             lambda f, entry=entry: self._on_solved(entry, f)
         )
         return ticket
+
+    def _solve_distributed(self, entry: _Inflight, ticket, g, h, trace) -> None:
+        """One cache-miss solve through the shard backend (coordinator
+        mode): plan locally, fan the shards out, merge — then feed the
+        verdict through the exact completion path a pool solve uses.
+
+        Runs synchronously in the submitting thread (the server's
+        dispatcher executor), like an inline ``n_jobs=1`` pool solve:
+        the backend's own width is the parallelism, so a second local
+        worker layer would only add queueing.  A synthetic completion
+        keeps every :meth:`_on_solved` invariant — persist before
+        resolve, dedup replay, timing rows — identical to the local
+        path.
+        """
+        future = Completion()
+        future.trace = trace
+        future.submitted_at = time.time()
+        future.add_done_callback(lambda f, entry=entry: self._on_solved(entry, f))
+        solve_start = time.time()
+        started = time.perf_counter()
+        try:
+            result = decide_duality_parallel(
+                g, h, method=self.method, backend=self.shard_backend, trace=trace
+            )
+        except Exception as exc:  # noqa: BLE001 - per-request error object
+            future.resolve(error=exc)
+            return
+        elapsed = time.perf_counter() - started
+        if trace is not None:
+            record_span(
+                trace,
+                "distributed-solve",
+                solve_start,
+                time.time(),
+                backend=self.shard_backend.name,
+                method=self.method,
+            )
+        future.resolve(value=(result, elapsed))
 
     def _on_solved(self, entry: _Inflight, future) -> None:
         """One computation landed: cache it, resolve every waiter.

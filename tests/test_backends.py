@@ -1,0 +1,348 @@
+"""Tests for the shard-execution backends (:mod:`repro.parallel.backends`).
+
+The contracts:
+
+* **codec losslessness** — shard requests and outcomes survive a JSON
+  round trip exactly: mask payloads, tuple vertex labels, frozenset
+  witnesses, and the bm policy all come back with the same types, so a
+  shard solved from decoded wire bytes equals one solved in process;
+* **LocalPoolBackend parity** — the backend interface over today's
+  :class:`EnginePool` path yields results bit-for-bit identical to the
+  serial engines and the direct pool dispatch;
+* **hedged retries** — :class:`HedgedFuture` fires a duplicate after
+  the deadline (first resolution wins), relaunches retryable failures
+  immediately, and surfaces errors only once the attempt budget is
+  spent (retryable) or right away (non-retryable);
+* **peer fault tolerance** — a dead peer's in-flight shards resolve as
+  retryable and reroute to a live peer without changing the answer; a
+  fleet with no reachable peer fails terminally instead of hanging.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.duality import decide_duality
+from repro.hypergraph.generators import (
+    disjoint_union_pair,
+    hard_nondual_pair,
+    matching_dual_pair,
+    threshold_dual_pair,
+)
+from repro.parallel import (
+    LocalPoolBackend,
+    PeerBackend,
+    ShardRetryableError,
+    decide_duality_parallel,
+    plan_bm,
+    plan_fk,
+    plan_logspace,
+)
+from repro.parallel.backends import (
+    decode_shard_item,
+    decode_shard_outcome,
+    encode_shard_outcome,
+    encode_shard_request,
+)
+from repro.parallel.executor import (
+    SHARD_RUNNERS,
+    merge_shard_outcomes,
+    shard_kind,
+    shard_worker_items,
+)
+from repro.service import Completion, HedgedFuture
+
+
+def _pairs():
+    return [
+        matching_dual_pair(3),
+        threshold_dual_pair(7, 4),
+        hard_nondual_pair(3),
+        # Tuple vertex labels — the codec must keep their exact types.
+        disjoint_union_pair(matching_dual_pair(2), matching_dual_pair(1)),
+    ]
+
+
+def _plans():
+    plans = []
+    for g, h in _pairs():
+        plans.append(plan_fk(g, h, use_b=True, target_shards=4))
+        plans.append(plan_bm(g, h, target_shards=4))
+        plans.append(plan_logspace(g, h, target_shards=4))
+    sharded = [p for p in plans if p.resolved is None and p.shards]
+    assert sharded, "test corpus produced no sharded plans"
+    return sharded
+
+
+def _wire(obj: dict) -> dict:
+    """A real JSON round trip — what the TCP hop does to the dict."""
+    return json.loads(json.dumps(obj))
+
+
+# ---------------------------------------------------------------------------
+# The wire codec
+# ---------------------------------------------------------------------------
+
+class TestShardCodec:
+    def test_request_round_trip_runs_identically(self):
+        for plan in _plans():
+            kind = shard_kind(plan)
+            for shard, item in zip(plan.shards, shard_worker_items(plan)):
+                wire = _wire(encode_shard_request(kind, plan.header, shard.payload))
+                decoded_kind, decoded_item = decode_shard_item(wire)
+                assert decoded_kind == kind
+                assert SHARD_RUNNERS[kind](decoded_item) == SHARD_RUNNERS[kind](item)
+
+    def test_outcome_round_trip_is_exact(self):
+        for plan in _plans():
+            kind = shard_kind(plan)
+            for item in shard_worker_items(plan):
+                outcome = SHARD_RUNNERS[kind](item)
+                back = decode_shard_outcome(kind, _wire(encode_shard_outcome(kind, outcome)))
+                assert back == outcome
+                assert type(back) is type(outcome)
+
+    def test_decoded_outcomes_merge_bit_for_bit(self):
+        for plan in _plans():
+            kind = shard_kind(plan)
+            outcomes = [SHARD_RUNNERS[kind](i) for i in shard_worker_items(plan)]
+            via_wire = [
+                decode_shard_outcome(kind, _wire(encode_shard_outcome(kind, o)))
+                for o in outcomes
+            ]
+            direct = merge_shard_outcomes(plan, outcomes)
+            merged = merge_shard_outcomes(plan, via_wire)
+            assert merged.verdict == direct.verdict
+            assert merged.certificate == direct.certificate
+            assert merged.stats.nodes == direct.stats.nodes
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(Exception):
+            decode_shard_item({"kind": "no-such-kind", "payload": {}})
+        with pytest.raises(Exception):
+            decode_shard_item({"payload": {}})
+
+
+# ---------------------------------------------------------------------------
+# The local backend
+# ---------------------------------------------------------------------------
+
+class TestLocalPoolBackend:
+    def test_bit_for_bit_with_the_serial_engines(self):
+        with LocalPoolBackend(n_jobs=1) as backend:
+            assert backend.width == 1
+            for g, h in _pairs():
+                for engine in ("fk-b", "bm", "logspace"):
+                    serial = decide_duality(g, h, method=engine)
+                    result = decide_duality_parallel(
+                        g, h, method=engine, backend=backend
+                    )
+                    assert result.verdict == serial.verdict, engine
+                    assert result.certificate == serial.certificate, engine
+
+    def test_stats_shape(self):
+        with LocalPoolBackend(n_jobs=1) as backend:
+            decide_duality_parallel(
+                *threshold_dual_pair(7, 4), method="fk-b", backend=backend
+            )
+            stats = backend.stats()
+        assert stats["backend"] == "local-pool"
+        assert stats["width"] == 1
+        assert stats["hedges_fired"] == 0
+        assert stats["pool_tasks_completed"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Hedged retries
+# ---------------------------------------------------------------------------
+
+def _manual_launcher():
+    """A launch function whose attempts the test resolves by hand."""
+    attempts: list[Completion] = []
+
+    def launch(_index: int) -> Completion:
+        attempt = Completion()
+        attempts.append(attempt)
+        return attempt
+
+    return attempts, launch
+
+
+def _wait_for(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.005)
+
+
+class TestHedgedFuture:
+    def test_single_attempt_wins_without_hedging(self):
+        attempts, launch = _manual_launcher()
+        future = HedgedFuture(launch, hedge_after=None, max_attempts=3)
+        attempts[0].resolve(value=42)
+        assert future.result(timeout=5) == 42
+        assert len(attempts) == 1
+        assert future.hedges_fired == 0
+        assert not future.hedge_won
+
+    def test_deadline_fires_a_hedge_and_the_hedge_wins(self):
+        attempts, launch = _manual_launcher()
+        fired = []
+        future = HedgedFuture(
+            launch,
+            hedge_after=0.02,
+            max_attempts=3,
+            on_hedge=lambda: fired.append(1),
+        )
+        _wait_for(lambda: len(attempts) >= 2)
+        attempts[1].resolve(value="hedge")
+        assert future.result(timeout=5) == "hedge"
+        assert future.hedge_won
+        assert future.hedges_fired >= 1
+        assert fired
+
+    def test_slow_original_still_wins_over_a_slower_hedge(self):
+        attempts, launch = _manual_launcher()
+        future = HedgedFuture(launch, hedge_after=0.02, max_attempts=3)
+        _wait_for(lambda: len(attempts) >= 2)
+        attempts[0].resolve(value="original")
+        assert future.result(timeout=5) == "original"
+        assert not future.hedge_won
+        # The loser's eventual resolution is discarded, not an error.
+        attempts[1].resolve(value="late hedge")
+        assert future.result(timeout=5) == "original"
+
+    def test_retryable_failure_relaunches_immediately(self):
+        attempts, launch = _manual_launcher()
+        future = HedgedFuture(
+            launch,
+            hedge_after=None,
+            max_attempts=3,
+            retryable=(ShardRetryableError,),
+        )
+        attempts[0].resolve(error=ShardRetryableError("peer dropped"))
+        _wait_for(lambda: len(attempts) >= 2)
+        attempts[1].resolve(value=7)
+        assert future.result(timeout=5) == 7
+
+    def test_retryable_budget_exhaustion_surfaces_the_error(self):
+        attempts, launch = _manual_launcher()
+        future = HedgedFuture(
+            launch,
+            hedge_after=None,
+            max_attempts=2,
+            retryable=(ShardRetryableError,),
+        )
+        attempts[0].resolve(error=ShardRetryableError("first"))
+        _wait_for(lambda: len(attempts) >= 2)
+        attempts[1].resolve(error=ShardRetryableError("second"))
+        with pytest.raises(ShardRetryableError):
+            future.result(timeout=5)
+
+    def test_non_retryable_error_is_terminal(self):
+        attempts, launch = _manual_launcher()
+        future = HedgedFuture(
+            launch,
+            hedge_after=None,
+            max_attempts=3,
+            retryable=(ShardRetryableError,),
+        )
+        attempts[0].resolve(error=ValueError("solver bug"))
+        with pytest.raises(ValueError):
+            future.result(timeout=5)
+        assert len(attempts) == 1
+
+    def test_rejects_a_zero_attempt_budget(self):
+        with pytest.raises(ValueError):
+            HedgedFuture(lambda i: Completion(), max_attempts=0)
+
+
+# ---------------------------------------------------------------------------
+# Peer fault tolerance
+# ---------------------------------------------------------------------------
+
+class _SlammingPeer(threading.Thread):
+    """Accepts connections and immediately closes them — a peer that is
+    reachable but drops every shard on the floor."""
+
+    def __init__(self) -> None:
+        super().__init__(daemon=True)
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        host, port = self._listener.getsockname()[:2]
+        self.address = f"{host}:{port}"
+        self.accepted = 0
+
+    def run(self) -> None:
+        while True:
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return
+            self.accepted += 1
+            conn.close()
+
+    def close(self) -> None:
+        self._listener.close()
+
+
+class TestPeerBackendFaults:
+    def test_dead_peer_reroutes_to_the_live_peer(self):
+        from repro.net.server import DualityServer
+
+        slammer = _SlammingPeer()
+        slammer.start()
+        with DualityServer(n_jobs=1) as server:
+            live = "%s:%d" % server.address
+            backend = PeerBackend([slammer.address, live], hedge_after=None)
+            try:
+                for g, h in _pairs():
+                    serial = decide_duality(g, h, method="fk-b")
+                    result = decide_duality_parallel(
+                        g, h, method="fk-b", backend=backend
+                    )
+                    assert result.verdict == serial.verdict
+                    assert result.certificate == serial.certificate
+                health = {p["peer"]: p for p in backend.stats()["peers"]}
+                assert health[live]["shards_completed"] > 0
+            finally:
+                backend.close()
+                slammer.close()
+        assert slammer.accepted > 0  # the dead peer really was tried
+
+    def test_no_reachable_peer_fails_terminally(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        host, port = listener.getsockname()[:2]
+        listener.close()  # nothing is listening there any more
+        backend = PeerBackend([f"{host}:{port}"], hedge_after=None, connect_timeout=0.2)
+        try:
+            with pytest.raises(ShardRetryableError):
+                decide_duality_parallel(
+                    *threshold_dual_pair(7, 4), method="fk-b", backend=backend
+                )
+        finally:
+            backend.close()
+
+    def test_peer_stats_shape(self):
+        from repro.net.server import DualityServer
+
+        with DualityServer(n_jobs=1) as server:
+            backend = PeerBackend(["%s:%d" % server.address], hedge_after=None)
+            try:
+                decide_duality_parallel(
+                    *threshold_dual_pair(7, 4), method="fk-b", backend=backend
+                )
+                stats = backend.stats()
+            finally:
+                backend.close()
+        assert stats["backend"] == "peers"
+        peer = stats["peers"][0]
+        assert peer["connected"] and not peer["degraded"]
+        assert peer["shards_sent"] == peer["shards_completed"] > 0
+        assert peer["drops"] == 0
+        assert peer["latency"]["count"] == peer["shards_completed"]
+        assert peer["latency"]["p99_ms"] >= peer["latency"]["p50_ms"] > 0.0

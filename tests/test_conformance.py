@@ -241,3 +241,149 @@ def test_dual_verdicts_match_ground_truth(engine):
         if not name.startswith("dual:"):
             continue
         assert decide_duality(g, h, method=engine).is_dual, name
+
+
+# ---------------------------------------------------------------------------
+# Distributed tier: a coordinator fanning shards out to peer servers
+# ---------------------------------------------------------------------------
+#
+# The fleet is real — in-process :class:`DualityServer` instances spoken
+# to over TCP via the ``solve_shard`` op — so this tier covers the wire
+# codec, the pipelined peer channels, and the hedged dispatch, not just
+# the merge.  The oracle is double: serial engines (verdict +
+# certificate) and an in-process replay of the *same shard plan* the
+# backend dispatches (full bit-for-bit result identity, stats included,
+# via ``_identical`` — FK shard counters depend on the plan width, so
+# the local oracle must shard at the fleet's width).
+
+#: Every how-many instances the non-default engines run distributed.
+DISTRIBUTED_STRIDE = max(1, N_INSTANCES // 30)
+
+
+def _golden_instances():
+    from pathlib import Path
+
+    from repro.parallel.batch import load_instance
+
+    root = Path(__file__).parent / "corpus"
+    return [(path.name, *load_instance(path)) for path in sorted(root.glob("*.hg"))]
+
+
+@pytest.fixture(scope="module")
+def peer_fleet():
+    """Three worker duality servers, shared across the distributed tier."""
+    from repro.net.server import DualityServer
+
+    servers = [DualityServer(n_jobs=1).start() for _ in range(3)]
+    yield servers
+    for server in servers:
+        server.shutdown()
+
+
+def _fleet_backend(servers, **kwargs):
+    from repro.parallel import PeerBackend
+
+    peers = ["%s:%d" % server.address for server in servers]
+    kwargs.setdefault("hedge_after", None)  # deterministic: no duplicates
+    return PeerBackend(peers, **kwargs)
+
+
+def _local_replay(g, h, engine, width):
+    """In-process replay of the exact plan a ``width``-wide backend runs.
+
+    The deterministic oracle for full ``_identical`` checks: same plan
+    width as the peer fleet, shards solved inline in submission order.
+    """
+    from repro.parallel import executor
+
+    class _Inline:
+        def map_shards(self, plan, trace=None):
+            runner = executor.SHARD_RUNNERS[executor.shard_kind(plan)]
+            return [runner(item) for item in executor.shard_worker_items(plan)]
+
+    backend = _Inline()
+    backend.width = width
+    return decide_duality_parallel(g, h, method=engine, backend=backend)
+
+
+def test_distributed_identical_to_serial_fuzzed(peer_fleet):
+    """fk-b distributed over 3 peers: every fuzzed instance, both oracles."""
+    backend = _fleet_backend(peer_fleet)
+    try:
+        for name, g, h in CORPUS:
+            serial = decide_duality(g, h, method="fk-b")
+            local = _local_replay(g, h, "fk-b", backend.width)
+            distributed = decide_duality_parallel(g, h, method="fk-b", backend=backend)
+            assert distributed.verdict == serial.verdict, name
+            assert distributed.certificate == serial.certificate, name
+            assert _identical(distributed, local), name
+    finally:
+        backend.close()
+
+
+def test_distributed_all_sharded_engines_on_stride(peer_fleet):
+    """Every sharded engine distributed, bit-for-bit with local sharding."""
+    backend = _fleet_backend(peer_fleet)
+    try:
+        for name, g, h in CORPUS[::DISTRIBUTED_STRIDE]:
+            for engine in SHARDED_ENGINES:
+                serial = decide_duality(g, h, method=engine)
+                local = _local_replay(g, h, engine, backend.width)
+                distributed = decide_duality_parallel(
+                    g, h, method=engine, backend=backend
+                )
+                assert distributed.verdict == serial.verdict, (name, engine)
+                assert distributed.certificate == serial.certificate, (name, engine)
+                assert _identical(distributed, local), (name, engine)
+    finally:
+        backend.close()
+
+
+def test_distributed_identical_on_golden_corpus(peer_fleet):
+    """The checked-in golden corpus, distributed, against both oracles."""
+    backend = _fleet_backend(peer_fleet)
+    try:
+        for name, g, h in _golden_instances():
+            for engine in ("fk-b", "bm"):
+                serial = decide_duality(g, h, method=engine)
+                local = _local_replay(g, h, engine, backend.width)
+                distributed = decide_duality_parallel(
+                    g, h, method=engine, backend=backend
+                )
+                assert distributed.verdict == serial.verdict, (name, engine)
+                assert distributed.certificate == serial.certificate, (name, engine)
+                assert _identical(distributed, local), (name, engine)
+    finally:
+        backend.close()
+
+
+def test_distributed_survives_peer_killed_mid_run():
+    """One peer dies mid-sweep: hedged retries reroute, verdicts hold.
+
+    The killed peer's in-flight shards resolve as retryable (the drop
+    contract of the peer channel) and relaunch on the survivors, so the
+    batch completes bit-for-bit — the peer costs latency, not answers.
+    """
+    from repro.net.server import DualityServer
+
+    servers = [DualityServer(n_jobs=1).start() for _ in range(3)]
+    backend = _fleet_backend(servers, hedge_after=0.2)
+    sample = CORPUS[::DISTRIBUTED_STRIDE]
+    kill_at = max(1, len(sample) // 3)
+    try:
+        for index, (name, g, h) in enumerate(sample):
+            if index == kill_at:
+                servers[0].shutdown()  # mid-run, without warning the backend
+            serial = decide_duality(g, h, method="fk-b")
+            local = _local_replay(g, h, "fk-b", backend.width)
+            distributed = decide_duality_parallel(g, h, method="fk-b", backend=backend)
+            assert distributed.verdict == serial.verdict, name
+            assert distributed.certificate == serial.certificate, name
+            assert _identical(distributed, local), name
+        health = backend.stats()["peers"]
+        assert not health[0]["connected"]  # the victim is marked down
+        assert any(peer["connected"] for peer in health[1:])
+    finally:
+        backend.close()
+        for server in servers[1:]:
+            server.shutdown()

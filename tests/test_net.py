@@ -1145,6 +1145,138 @@ class TestDisconnectMidPipeline:
         assert closed
 
 
+class _FlakyProxy(threading.Thread):
+    """A TCP proxy that kills its first connection after relaying
+    ``cut_after`` response lines, then relays later connections
+    transparently — a deterministic flaky network in front of a real
+    server."""
+
+    def __init__(self, upstream: tuple, cut_after: int = 1) -> None:
+        super().__init__(daemon=True)
+        self._upstream = upstream
+        self._cut_after = cut_after
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.address = self._listener.getsockname()[:2]
+        self.connections = 0
+
+    def run(self) -> None:
+        while True:
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            cut = self._cut_after if self.connections == 1 else None
+            threading.Thread(
+                target=self._relay, args=(conn, cut), daemon=True
+            ).start()
+
+    def _relay(self, conn: socket.socket, cut: int | None) -> None:
+        try:
+            up = socket.create_connection(self._upstream)
+        except OSError:
+            conn.close()
+            return
+
+        def pump_up() -> None:
+            try:
+                while True:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        break
+                    up.sendall(chunk)
+            except OSError:
+                pass
+            try:
+                up.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+
+        threading.Thread(target=pump_up, daemon=True).start()
+        sent_lines = 0
+        try:
+            while True:
+                chunk = up.recv(65536)
+                if not chunk:
+                    break
+                newlines = chunk.count(b"\n")
+                if cut is not None and sent_lines + newlines >= cut:
+                    # Forward up to (and including) the cut-th newline,
+                    # then kill both ends mid-pipeline.
+                    stop = -1
+                    for _ in range(cut - sent_lines):
+                        stop = chunk.find(b"\n", stop + 1)
+                    conn.sendall(chunk[: stop + 1])
+                    break
+                sent_lines += newlines
+                conn.sendall(chunk)
+        except OSError:
+            pass
+        finally:
+            # shutdown, not just close: the pump threads still hold the
+            # file descriptions open (blocked in recv), so a bare close
+            # would never send the FIN this test's cut depends on.
+            for sock in (conn, up):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                sock.close()
+
+    def close(self) -> None:
+        self._listener.close()
+
+
+class TestReconnectMidPipeline:
+    """``solve_many(..., reconnect=N)`` rides over a dropped connection:
+    already-arrived answers are kept, outstanding requests are resent on
+    a fresh connection, and the batch completes bit-for-bit.  (With the
+    default ``reconnect=0`` the drop stays terminal — the contract
+    :class:`TestDisconnectMidPipeline` pins.)"""
+
+    def test_sync_solve_many_reconnects_and_completes(self):
+        pairs = _instances()
+        with DualityServer(method="fk-b") as server:
+            proxy = _FlakyProxy(server.address, cut_after=1)
+            proxy.start()
+            host, port = proxy.address
+            try:
+                with DualityClient(host, port, timeout=60) as client:
+                    responses = client.solve_many(pairs, reconnect=2)
+            finally:
+                proxy.close()
+            assert proxy.connections >= 2  # the retry really reconnected
+            assert len(responses) == len(pairs)
+            for (g, h), response in zip(pairs, responses):
+                assert response["ok"] is True, response
+                assert _response_fields(response) == _reference_fields(g, h)
+
+    def test_async_solve_many_reconnects_and_completes(self):
+        pairs = _instances()
+        with DualityServer(method="fk-b") as server:
+            proxy = _FlakyProxy(server.address, cut_after=1)
+            proxy.start()
+            host, port = proxy.address
+
+            async def drive() -> list[dict]:
+                client = AsyncDualityClient(host, port, timeout=60)
+                await client.connect()
+                try:
+                    return await client.solve_many(pairs, reconnect=2)
+                finally:
+                    await client.close()
+
+            try:
+                responses = asyncio.run(drive())
+            finally:
+                proxy.close()
+            assert proxy.connections >= 2
+            assert len(responses) == len(pairs)
+            for (g, h), response in zip(pairs, responses):
+                assert response["ok"] is True, response
+                assert _response_fields(response) == _reference_fields(g, h)
+
+
 class TestStatsCounters:
     def test_stats_reports_backpressure_cache_and_latency(self, tmp_path):
         cache_path = tmp_path / "cache.json"
