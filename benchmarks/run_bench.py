@@ -691,6 +691,120 @@ def store_rows(quick: bool) -> list[dict]:
     ]
 
 
+def auto_select_rows(quick: bool) -> list[dict]:
+    """The PR-10 ``auto-select`` row: learned selection vs the portfolio.
+
+    A selector is trained online — sequential portfolio races over a
+    training workload record every racer's timing — then a held-out
+    workload is decided three ways:
+
+    * **best single engine** (the ``serial_s`` baseline): the fixed
+      engine with the lowest total wall in hindsight — the bar the
+      learned selection must stay within 1.2x of;
+    * **portfolio**: every racer on every instance, whose aggregate
+      CPU-seconds (``portfolio_cpu_s``) is the cost ``auto`` exists to
+      undercut;
+    * **auto** (``parallel_s``): per-instance prediction, reduced race
+      on low confidence, with the CPU it actually burned
+      (``auto_cpu_s``) summed from its own per-engine timings.
+    """
+    from repro.hypergraph import mask_payload
+    from repro.obs.timings import structural_features
+    from repro.select import fit_engine_model
+
+    # The same complement the portfolio row races: the generator
+    # families here are all paper §6 tractable classes, so including
+    # the ``tractable`` recognizer would degenerate every race (and the
+    # learned problem with it) to structural dispatch.
+    engines = ("fk-b", "bm", "logspace")
+
+    train_pairs = _batch_workload(quick)
+    train_rows = []
+    for pg, ph in train_pairs:
+        result = race_portfolio(pg, ph, engines=engines, n_jobs=1)
+        features = structural_features(mask_payload(pg), mask_payload(ph))
+        race = result.stats.extra["portfolio"]
+        for engine, elapsed in race["timings_s"].items():
+            if elapsed is not None:
+                train_rows.append(
+                    {"engine": engine, "elapsed_s": elapsed, **features}
+                )
+    model = fit_engine_model(train_rows)
+
+    eval_pairs = [
+        threshold_dual_pair(11, 5),
+        threshold_dual_pair(10, 6),
+        threshold_dual_pair(9, 4),
+        matching_dual_pair(7),
+    ]
+    if not quick:
+        eval_pairs += [threshold_dual_pair(12, 7), matching_dual_pair(6)]
+
+    # Every fixed engine choice, timed sequentially over the held-out
+    # workload: the per-engine totals are each engine's wall AND its
+    # CPU-seconds (single-threaded), so their sum is the aggregate CPU
+    # a sequential portfolio burns on this workload.
+    per_engine_total = {
+        engine: sum(
+            best_of(
+                lambda e=engine, a=pg, b=ph: decide_duality(a, b, method=e), 1
+            )
+            for pg, ph in eval_pairs
+        )
+        for engine in engines
+    }
+    portfolio_cpu = sum(per_engine_total.values())
+    best_engine = min(per_engine_total, key=lambda e: per_engine_total[e])
+    best_single_s = per_engine_total[best_engine]
+
+    modes: dict[str, int] = {}
+    auto_cpu = 0.0
+    # Warm the selector path (imports, feature kernels) off the clock,
+    # exactly like the per-engine baselines were warmed by the races.
+    decide_duality(*eval_pairs[0], method="auto", model=model)
+    auto_wall = 0.0
+    results = []
+    for pg, ph in eval_pairs:
+        start = time.perf_counter()
+        results.append(decide_duality(pg, ph, method="auto", model=model))
+        auto_wall += time.perf_counter() - start
+    for result in results:
+        auto = result.stats.extra["auto"]
+        modes[auto["mode"]] = modes.get(auto["mode"], 0) + 1
+        auto_cpu += sum(
+            t for t in auto["timings_s"].values() if t is not None
+        )
+
+    return [
+        {
+            "kernel": "auto-select",
+            "instance": f"batch-{len(eval_pairs)}x-heldout",
+            "n_instances": len(eval_pairs),
+            "n_jobs": 1,
+            "serial_s": round(best_single_s, 4),
+            "serial_scope": f"best single engine in hindsight ({best_engine})",
+            "parallel_s": round(auto_wall, 4),
+            "parallel_scope": "learned selection (predict / reduced race)",
+            "speedup": round(best_single_s / auto_wall, 2) if auto_wall else None,
+            "wall_ratio_vs_best": round(auto_wall / best_single_s, 3)
+            if best_single_s
+            else None,
+            "auto_cpu_s": round(auto_cpu, 4),
+            "portfolio_cpu_s": round(portfolio_cpu, 4),
+            "cpu_fraction_of_portfolio": round(auto_cpu / portfolio_cpu, 4)
+            if portfolio_cpu
+            else None,
+            "modes": modes,
+            "per_engine_s": {
+                engine: round(total, 4)
+                for engine, total in per_engine_total.items()
+            },
+            "train_groups": model.meta["groups"],
+            "cpus": os.cpu_count(),
+        }
+    ]
+
+
 def _delay_proxy(upstream: tuple, delay_s: float):
     """A TCP proxy that delays every server→client chunk by ``delay_s``
     — a deterministically slow peer for the hedge-tail row.  Returns
@@ -1016,6 +1130,8 @@ def main(argv: list[str] | None = None) -> int:
     report["parallel"] = parallel_rows(args.quick)
     print("timing verdict persistence (full rewrite vs journal flush) ...")
     report["parallel"] += store_rows(args.quick)
+    print("timing learned engine selection (auto vs best single / portfolio) ...")
+    report["parallel"] += auto_select_rows(args.quick)
     print("timing distributed sharding (2-peer fleet, hedge tail) ...")
     report["parallel"] += distributed_rows(args.quick)
 

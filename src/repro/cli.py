@@ -8,6 +8,7 @@ Subcommands::
                (--listen HOST:PORT serves them over TCP instead)
     client     send instances to a 'serve --listen' server, verdicts back
     store      inspect / compact / import a durable verdict store
+    model      fit / inspect / cross-validate the learned engine selector
     trace      solve one instance with tracing on and print the span tree
     tr         print the minimal transversals of a hypergraph file
     tree       print the Boros–Makino decomposition tree
@@ -50,9 +51,28 @@ def _print_family(title: str, edges) -> None:
         print(f"  {format_set(edge)}")
 
 
+def _export_model(args: argparse.Namespace) -> None:
+    """Make ``--model`` the process-wide default selector artifact.
+
+    ``set_default_model`` loads it eagerly (a broken artifact fails the
+    command, not the first solve), and the environment variable lets
+    spawned worker processes resolve the same artifact lazily.
+    """
+    model = getattr(args, "model", None)
+    if model is None:
+        return
+    import os
+
+    from repro.select import MODEL_ENV, set_default_model
+
+    set_default_model(model)
+    os.environ[MODEL_ENV] = str(model)
+
+
 def _cmd_dual(args: argparse.Namespace) -> int:
     from repro.duality import decide_duality, explain
 
+    _export_model(args)
     g = hgio.load(args.g)
     h = hgio.load(args.h)
     jobs = args.jobs
@@ -64,6 +84,12 @@ def _cmd_dual(args: argparse.Namespace) -> int:
     print(explain(g, h, result))
     if not result.is_dual and result.certificate.path is not None:
         print(f"certificate path descriptor: {list(result.certificate.path)}")
+    auto = result.stats.extra.get("auto")
+    if auto is not None:
+        print(
+            f"auto selection: {auto['engine']} "
+            f"(mode={auto['mode']}, confidence={auto['confidence']})"
+        )
     portfolio = result.stats.extra.get("portfolio")
     if portfolio is not None:
         timings = ", ".join(
@@ -96,6 +122,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.parallel import ResultCache, solve_many
     from repro.store import VerdictStore
 
+    _export_model(args)
     store_path = _store_path(args)
     store = VerdictStore(store_path) if store_path else None
     cache = ResultCache(backend=store) if store is not None else None
@@ -154,8 +181,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import EngineService, response_to_json
 
+    if getattr(args, "auto", False):
+        args.method = "auto"
+    _export_model(args)
     if args.listen:
         return _serve_listen(args)
+    if args.method in ("portfolio", "auto") and _store_path(args) is not None:
+        raise SystemExit(
+            f"serve --method {args.method} cannot verdict-cache race "
+            "outcomes; drop --store/--cache (a --listen server with "
+            "--store still records timing rows durably — it just skips "
+            "verdict caching for this method)"
+        )
 
     sources = [str(p) for p in args.instances if str(p) != "-"]
     use_stdin = not sources or any(str(p) == "-" for p in args.instances)
@@ -576,6 +613,113 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _model_rows(args: argparse.Namespace) -> list:
+    """The training corpus: timing rows from ``--store`` and/or
+    ``--timings`` (both TimingLog-shaped; concatenating them is fine)."""
+    rows: list = []
+    if args.store is not None:
+        from repro.store import VerdictStore
+
+        store = VerdictStore(args.store)
+        try:
+            rows.extend(store.load_timings())
+        finally:
+            store.close()
+    for path in args.timings or ():
+        from repro.obs.timings import load_timings
+
+        rows.extend(load_timings(path))
+    if not rows:
+        raise SystemExit(
+            "no timing rows: pass --store STORE.sqlite and/or --timings "
+            "FILE.jsonl (run e.g. 'repro batch ... --method portfolio "
+            "--timings FILE' first to accumulate them)"
+        )
+    return rows
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    """The ``model`` mode: fit / inspect / cross-validate the selector.
+
+    ``fit`` trains the :class:`~repro.select.EngineModel` (with the
+    embedded shard :class:`~repro.select.CostModel`) from recorded
+    timing rows and writes the JSON artifact; ``show`` prints an
+    artifact's engines, training metadata, and strongest per-engine
+    feature weights; ``eval`` runs deterministic k-fold
+    cross-validation on the rows and reports held-out accuracy and
+    mean regret in seconds.
+    """
+    import json
+
+    from repro.select import (
+        VECTOR_NAMES,
+        EngineModel,
+        ModelDataError,
+        cross_validate,
+        fit_engine_model,
+    )
+
+    if args.action == "fit":
+        rows = _model_rows(args)
+        engines = (
+            tuple(e.strip() for e in args.engines.split(",") if e.strip())
+            if args.engines
+            else None
+        )
+        try:
+            model = fit_engine_model(
+                rows,
+                engines=engines,
+                iterations=args.iterations,
+                with_cost=not args.no_cost,
+            )
+        except ModelDataError as exc:
+            raise SystemExit(f"model fit: {exc}")
+        model.save(args.out)
+        print(
+            json.dumps(
+                {
+                    "model": str(args.out),
+                    "engines": list(model.engines),
+                    "cost_model": model.cost is not None,
+                    **model.meta,
+                },
+                indent=1,
+            )
+        )
+    elif args.action == "show":
+        model = EngineModel.load(args.artifact)
+        top_weights = {}
+        for engine, row in zip(model.engines, model.weights):
+            ranked = sorted(
+                zip(VECTOR_NAMES, row), key=lambda item: -abs(item[1])
+            )
+            top_weights[engine] = {
+                name: round(weight, 4) for name, weight in ranked[:5]
+            }
+        print(
+            json.dumps(
+                {
+                    "artifact": str(args.artifact),
+                    "engines": list(model.engines),
+                    "vector_dim": len(VECTOR_NAMES),
+                    "cost_model": model.cost is not None,
+                    "meta": model.meta,
+                    "top_weights": top_weights,
+                },
+                indent=1,
+            )
+        )
+    elif args.action == "eval":
+        rows = _model_rows(args)
+        try:
+            report = cross_validate(rows, folds=args.folds)
+        except ModelDataError as exc:
+            raise SystemExit(f"model eval: {exc}")
+        print(json.dumps(report, indent=1))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """The ``trace`` mode: one traced solve, span tree on stdout.
 
@@ -914,7 +1058,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--method",
         default="bm",
-        help="duality engine (default: bm; 'portfolio' races several)",
+        help=(
+            "duality engine (default: bm; 'portfolio' races several, "
+            "'auto' picks one with the learned selector)"
+        ),
     )
     p.add_argument(
         "--jobs",
@@ -924,6 +1071,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for sharded solving (default: 1; "
             "--method portfolio defaults to one racer per engine)"
+        ),
+    )
+    p.add_argument(
+        "--model",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "selector artifact from 'repro model fit' for --method auto "
+            "(default: the REPRO_AUTO_MODEL environment variable)"
         ),
     )
     p.set_defaults(fn=_cmd_dual)
@@ -976,6 +1133,16 @@ def build_parser() -> argparse.ArgumentParser:
             "counts, max degree, ...) for offline engine-selection study"
         ),
     )
+    p.add_argument(
+        "--model",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "selector artifact from 'repro model fit' for --method auto "
+            "(exported to the workers via REPRO_AUTO_MODEL)"
+        ),
+    )
     p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser(
@@ -1005,6 +1172,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="instance files (.hg, G == H); none or '-' = read paths from stdin",
     )
     p.add_argument("--method", default="fk-b", help="duality engine (default: fk-b)")
+    p.add_argument(
+        "--auto",
+        action="store_true",
+        help=(
+            "shorthand for --method auto: per-instance learned engine "
+            "selection (cold start degrades to the portfolio race)"
+        ),
+    )
+    p.add_argument(
+        "--model",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "selector artifact from 'repro model fit' for --auto "
+            "(exported to the workers via REPRO_AUTO_MODEL; default: "
+            "that environment variable)"
+        ),
+    )
     p.add_argument(
         "--jobs",
         "-j",
@@ -1262,6 +1448,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="legacy cache.json to import (import action only)",
     )
     p.set_defaults(fn=_cmd_store)
+
+    p = sub.add_parser(
+        "model",
+        help="fit / inspect / cross-validate the learned engine selector",
+        description=(
+            "Train the transparent logistic engine selector (and its "
+            "embedded shard cost model) from the timing rows that "
+            "'--timings FILE' and 'serve --store' runs accumulate, "
+            "inspect a fitted artifact, or cross-validate the rows.  "
+            "The JSON artifact feeds --method auto ('dual', 'batch', "
+            "'serve --auto') directly via --model FILE or the "
+            "REPRO_AUTO_MODEL environment variable."
+        ),
+    )
+    msub = p.add_subparsers(dest="action", required=True)
+    mp = msub.add_parser(
+        "fit", help="train a selector artifact from timing rows"
+    )
+    mp.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="durable verdict store whose timings table supplies rows",
+    )
+    mp.add_argument(
+        "--timings",
+        type=Path,
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="timing JSONL file (repeatable; combined with --store rows)",
+    )
+    mp.add_argument(
+        "--out",
+        type=Path,
+        default=Path("engine-model.json"),
+        metavar="FILE",
+        help="artifact path to write (default: engine-model.json)",
+    )
+    mp.add_argument(
+        "--engines",
+        default=None,
+        metavar="A,B,...",
+        help="restrict the selector to these engines (default: all timed)",
+    )
+    mp.add_argument(
+        "--iterations",
+        type=int,
+        default=300,
+        help="gradient-descent iterations (default: 300)",
+    )
+    mp.add_argument(
+        "--no-cost",
+        action="store_true",
+        help="skip fitting the embedded shard cost model",
+    )
+    mp.set_defaults(fn=_cmd_model)
+    mp = msub.add_parser(
+        "show", help="print an artifact's engines, metadata, and weights"
+    )
+    mp.add_argument("artifact", type=Path, help="model JSON artifact")
+    mp.set_defaults(fn=_cmd_model)
+    mp = msub.add_parser(
+        "eval", help="k-fold cross-validate the selector on timing rows"
+    )
+    mp.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="durable verdict store whose timings table supplies rows",
+    )
+    mp.add_argument(
+        "--timings",
+        type=Path,
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="timing JSONL file (repeatable; combined with --store rows)",
+    )
+    mp.add_argument(
+        "--folds",
+        type=int,
+        default=3,
+        help="cross-validation folds (default: 3)",
+    )
+    mp.set_defaults(fn=_cmd_model)
 
     p = sub.add_parser(
         "trace",

@@ -21,6 +21,9 @@ dfs-enum      space-efficient DFS enumeration with early stop
               (the ref [44] Tamaki style)
 portfolio     several engines raced on the instance, first finisher
               wins (:mod:`repro.parallel.portfolio`)
+auto          learned selector: predict the winning engine from
+              structural features, race top-2 on low confidence
+              (:mod:`repro.select`)
 ============  =====================================================
 
 ``decide_duality`` additionally accepts ``n_jobs`` (sharded
@@ -79,10 +82,13 @@ PARALLEL_METHODS = ("fk-a", "fk-b", "bm", "logspace")
 def available_methods() -> list[str]:
     """The method names accepted by :func:`decide_duality`.
 
-    Includes ``"portfolio"`` — not an algorithm of its own but a race of
-    several (see :mod:`repro.parallel.portfolio`).
+    Includes two meta-methods that are not algorithms of their own:
+    ``"portfolio"`` (several engines raced, first finisher wins — see
+    :mod:`repro.parallel.portfolio`) and ``"auto"`` (the learned
+    selector: predict the winner, race only on low confidence — see
+    :mod:`repro.select`).
     """
-    return sorted([*_lazy_engines(), "portfolio"])
+    return sorted([*_lazy_engines(), "portfolio", "auto"])
 
 
 def _engine_options(fn: Callable) -> dict[str, object]:
@@ -172,10 +178,28 @@ def decide_duality(
         return race_portfolio(
             g, h, n_jobs=(None if n_jobs == -1 else n_jobs), **options
         )
+    if method == "auto":
+        from repro.select.selector import decide_auto
+
+        _reject_unknown_options(method, decide_auto, options)
+        return decide_auto(g, h, n_jobs=n_jobs, **options)
+    # ``cost_fn`` belongs to the shard *planner*, not any serial engine:
+    # it re-weighs how a sharded plan balances its frontier (verdicts
+    # and certificates are unchanged at any partition), so it is only
+    # meaningful on a parallel solve of a sharded method.
+    cost_fn = options.pop("cost_fn", None)
     if method not in engines:
         raise ValueError(_unknown_method_message(method, engines))
     fn = engines[method]
     _reject_unknown_options(method, fn, options)
+    if cost_fn is not None:
+        if method not in ("bm", "logspace") or n_jobs == 1:
+            raise ValueError(
+                f"cost_fn= re-weighs the tree planners' frontiers and needs "
+                f"a sharded parallel solve: method in 'bm', 'logspace' with "
+                f"n_jobs != 1 (got method={method!r}, n_jobs={n_jobs})"
+            )
+        options["cost_fn"] = cost_fn
     if n_jobs != 1:
         # repro.parallel stays unimported on the serial path — plain
         # serial use never pays for the subsystem.
@@ -200,7 +224,7 @@ def _unknown_method_message(method: str, engines: dict) -> str:
     closest match when the input looks like a typo."""
     from difflib import get_close_matches
 
-    names = sorted([*engines, "portfolio"])
+    names = sorted([*engines, "portfolio", "auto"])
     message = (
         f"unknown duality method {method!r}; valid methods are: "
         + ", ".join(repr(name) for name in names)

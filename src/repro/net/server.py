@@ -1015,10 +1015,12 @@ class AsyncDualityServer:
             if service is None:
                 service = EngineService(
                     method=method,
-                    # A portfolio winner is timing-dependent — exactly
-                    # what a replay cache must not store (solve_many's
-                    # rule).
-                    cache=None if method == "portfolio" else self.cache,
+                    # A portfolio (or auto-race) winner is timing-
+                    # dependent — exactly what a replay cache must not
+                    # store (solve_many's rule).  Timings still flow:
+                    # self.timings is shared below, so auto solves feed
+                    # the online-learning corpus even without a cache.
+                    cache=None if method in ("portfolio", "auto") else self.cache,
                     pool=self.pool,
                     timings=self.timings,
                     shard_backend=self.shard_backend,

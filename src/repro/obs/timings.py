@@ -63,7 +63,7 @@ def _side_features(masks) -> dict:
     }
 
 
-def structural_features(g_payload, h_payload) -> dict:
+def structural_features(g_payload, h_payload, deep: bool = False) -> dict:
     """Cheap instance features from mask payloads: one scan per side.
 
     ``g_payload``/``h_payload`` are ``(vertices, masks)`` pairs as
@@ -71,12 +71,19 @@ def structural_features(g_payload, h_payload) -> dict:
     returned dict is flat and JSON-safe; ``volume`` is the planner's
     ``|G|*|H|`` work estimate, included so recorded timings can be
     judged against the crude model they are meant to replace.
+
+    ``deep=True`` adds duality-tree-shape features from **one**
+    Boros–Makino root expansion (branch-pair count, max/mean child
+    volume, a depth estimate) — the quantities the Gottlob–Malizia
+    upper bounds are phrased in, and what a shard cost model needs.
+    The deep probe materialises the instance and runs one ``expand``,
+    so the default cheap path never pays for it.
     """
     g_vertices, g_masks = g_payload
     h_vertices, h_masks = h_payload
     g = _side_features(g_masks)
     h = _side_features(h_masks)
-    return {
+    features = {
         "n_vertices": len(g_vertices) or len(h_vertices),
         "g_edges": g["edges"],
         "h_edges": h["edges"],
@@ -90,6 +97,67 @@ def structural_features(g_payload, h_payload) -> dict:
         "h_max_degree": h["max_degree"],
         "volume": g["edges"] * h["edges"],
     }
+    if deep:
+        features.update(_deep_features(g_payload, h_payload))
+    return features
+
+
+def _deep_features(g_payload, h_payload) -> dict:
+    """Duality-tree-shape features from one planner probe (BM root
+    expansion, mirroring :func:`repro.parallel.planner.plan_bm`'s
+    prologue).  Failures — non-simple sides, entry-condition
+    violations — degrade to zeros: feature capture must never break a
+    solve, and "the tree has no branches" is itself a signal.
+    """
+    import math
+
+    zeros = {
+        "bm_branches": 0,
+        "bm_max_child_volume": 0,
+        "bm_mean_child_volume": 0.0,
+        "bm_depth_est": 0.0,
+    }
+    try:
+        from repro.duality.boros_makino import expand
+        from repro.duality.conditions import prepare_instance
+        from repro.duality.policies import PAPER_POLICY
+        from repro.duality.tree import Mark, NodeAttributes
+        from repro.hypergraph import from_mask_payload
+
+        entry = prepare_instance(
+            from_mask_payload(g_payload), from_mask_payload(h_payload)
+        )
+        if not entry.ok:
+            return zeros
+        g_v, h_v = entry.g, entry.h
+        if len(h_v) > len(g_v):  # plan_bm's size-order swap
+            g_v, h_v = h_v, g_v
+        universe = frozenset(g_v.vertices | h_v.vertices)
+        root = NodeAttributes((), universe, Mark.NIL, frozenset())
+        outcome = expand(root, g_v, h_v, PAPER_POLICY)
+        if isinstance(outcome, NodeAttributes):
+            return zeros  # single-node tree: a root that is a leaf
+        volumes = []
+        for child in outcome:
+            g_s, h_s = child.instance(g_v, h_v)
+            volumes.append(len(g_s) * len(h_s))
+        branches = len(outcome)
+        max_volume = max(volumes)
+        # Depth estimate: levels until the biggest child's volume is
+        # divided down to 1, assuming the root's branching repeats.
+        if max_volume > 1:
+            base = branches if branches > 1 else 2
+            depth_est = 1.0 + math.log(max_volume) / math.log(base)
+        else:
+            depth_est = 1.0
+        return {
+            "bm_branches": branches,
+            "bm_max_child_volume": max_volume,
+            "bm_mean_child_volume": round(sum(volumes) / branches, 3),
+            "bm_depth_est": round(depth_est, 3),
+        }
+    except Exception:  # noqa: BLE001 - observation must not break solves
+        return zeros
 
 
 class TimingLog:

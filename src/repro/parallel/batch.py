@@ -505,12 +505,13 @@ def solve_many(
     """
     if pool is None:
         resolve_n_jobs(n_jobs)  # validate early, before any loading
-    if cache is not None and method == "portfolio":
-        # A portfolio winner is timing-dependent, so its certificate is
-        # not a deterministic function of the instance — exactly what a
-        # replay cache must not store.
+    if cache is not None and method in ("portfolio", "auto"):
+        # A portfolio (or auto low-confidence race) winner is
+        # timing-dependent, so its certificate is not a deterministic
+        # function of the instance — exactly what a replay cache must
+        # not store.
         raise ValueError(
-            "method='portfolio' cannot be cached: the winning engine "
+            f"method={method!r} cannot be cached: the winning engine "
             "(and hence the certificate) depends on timing; pick a "
             "concrete engine or drop the cache"
         )
@@ -608,13 +609,39 @@ def _solve_many(
         for pos, payload, outcome in zip(unique_positions, payloads, outcomes):
             result, elapsed = outcome
             try:
+                features = structural_features(payload[0], payload[1])
                 timings.record(
                     method,
                     elapsed,
-                    features=structural_features(payload[0], payload[1]),
+                    features=features,
                     dual=result.is_dual,
                     source=sources[pos],
                 )
+                # A portfolio/auto solve additionally carries per-racer
+                # timings; record each as its own row (role-tagged, like
+                # the service does) — the sequential portfolio is how a
+                # training corpus for `repro model fit` is grown.
+                race = result.stats.extra.get("auto") or result.stats.extra.get(
+                    "portfolio"
+                )
+                if race:
+                    role = (
+                        "auto"
+                        if result.stats.extra.get("auto") is not None
+                        else "portfolio"
+                    )
+                    for engine, racer_s in (race.get("timings_s") or {}).items():
+                        if racer_s is None:
+                            continue
+                        timings.record(
+                            engine,
+                            racer_s,
+                            features=features,
+                            dual=result.is_dual,
+                            source=sources[pos],
+                            role=role,
+                            winner=race.get("winner") or race.get("engine"),
+                        )
             except Exception:  # noqa: BLE001 - observation never breaks solves
                 pass
 

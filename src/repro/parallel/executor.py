@@ -486,11 +486,12 @@ def decide_duality_parallel(
         target = options.pop(
             "target_shards", jobs * TREE_SHARDS_PER_JOB if jobs > 1 else None
         )
+        cost_fn = options.pop("cost_fn", None)
         if options:
             raise ValueError(
                 f"unknown option(s) for parallel 'logspace': {sorted(options)}"
             )
-        plan = plan_logspace(g, h, target_shards=target)
+        plan = plan_logspace(g, h, target_shards=target, cost_fn=cost_fn)
         result = solve_shards(plan, jobs, pool=pool, backend=backend, trace=trace)
     else:
         raise ValueError(

@@ -233,43 +233,56 @@ def _grow_frontier(
     g: Hypergraph,
     h: Hypergraph,
     expand_node,
+    cost_fn=None,
 ) -> list[NodeAttributes]:
-    """Shared frontier expansion: split the biggest subtree until
+    """Shared frontier expansion: split the costliest subtree until
     ``target_shards`` frontier nodes exist (or nothing is worth
     splitting).
 
     ``expand_node(attrs)`` performs one engine-specific expansion step,
     records the node (and any marked children) in the caller's plan
     bookkeeping, and returns the node's unexpanded interior children —
-    or ``None`` when the node turned out to be a leaf.  Volume
+    or ``None`` when the node turned out to be a leaf.  Cost
     estimates (which materialise restricted sub-instances) are only
     computed when expansion will actually be attempted: with
     ``target_shards=None``, or a frontier already at target, the
     children are returned as-is.
+
+    ``cost_fn(attrs, g, h) -> float`` replaces the default
+    ``|G^S|·|H_S|`` volume estimate (e.g. with a learned per-shard cost
+    predictor, :func:`repro.select.shard_cost_fn`).  A ``min_cost``
+    attribute on it replaces the :data:`RESHARD_MIN_VOLUME` re-shard
+    gate — the default 0.0 lets every positive-cost node split.  The
+    estimate only steers which node splits next; the executor's merges
+    reconstruct the serial result from *any* partition, so verdicts,
+    certificates, and stats are unchanged under any cost function.
     """
     if target_shards is None or len(children) >= target_shards:
         return children
-    frontier = [
-        (attrs, _restricted_volume(attrs, g, h)) for attrs in children
-    ]
+    if cost_fn is None:
+        estimate = _restricted_volume
+        gate = RESHARD_MIN_VOLUME
+    else:
+        estimate = cost_fn
+        gate = getattr(cost_fn, "min_cost", 0.0)
+    frontier = [(attrs, estimate(attrs, g, h)) for attrs in children]
     while len(frontier) < target_shards:
         candidates = [
-            (volume, pos)
-            for pos, (_attrs, volume) in enumerate(frontier)
-            if volume >= RESHARD_MIN_VOLUME
+            (cost, pos)
+            for pos, (_attrs, cost) in enumerate(frontier)
+            if cost >= gate and (cost_fn is None or cost > 0)
         ]
         if not candidates:
             break
-        _volume, pos = max(candidates, key=lambda c: (c[0], -c[1]))
+        _cost, pos = max(candidates, key=lambda c: (c[0], -c[1]))
         attrs, _ = frontier.pop(pos)
         grandchildren = expand_node(attrs)
         if grandchildren is None:
             continue
         frontier[pos:pos] = [
-            (child, _restricted_volume(child, g, h))
-            for child in grandchildren
+            (child, estimate(child, g, h)) for child in grandchildren
         ]
-    return [attrs for attrs, _volume in frontier]
+    return [attrs for attrs, _cost in frontier]
 
 
 def plan_bm(
@@ -278,6 +291,7 @@ def plan_bm(
     enforce_size_order: bool = True,
     policy: TieBreakPolicy = PAPER_POLICY,
     target_shards: int | None = None,
+    cost_fn=None,
 ) -> ShardPlan:
     """Shard the decomposition tree, re-sharding big subtrees on demand.
 
@@ -287,12 +301,18 @@ def plan_bm(
 
     ``target_shards=None`` reproduces the one-level plan (one shard per
     root child).  With a target, the planner repeatedly expands the
-    frontier node of largest estimated volume — mirroring the serial
+    frontier node of largest estimated cost — mirroring the serial
     engine's own expansion bit for bit — until the frontier holds
     ``target_shards`` nodes or only trivial subtrees remain.  Leaves
     discovered along the way stay in the plan (``extra["planned_leaves"]``)
     so merged stats and the fail-leaf priority match the serial engine
     at every re-shard depth.
+
+    ``cost_fn(attrs, g, h) -> float`` swaps the default ``|G^S|·|H_S|``
+    volume estimate for a pluggable per-shard cost predictor (see
+    :func:`_grow_frontier`); the default ``None`` keeps the volume
+    estimate bit-for-bit.  Results are identical under any cost
+    function — only shard balance changes.
     """
     from repro.duality.result import FailureKind, dual_result, not_dual_result
 
@@ -354,7 +374,9 @@ def plan_bm(
         )
         return child_outcome
 
-    frontier = _grow_frontier(outcome, target_shards, g_v, h_v, expand_bm_node)
+    frontier = _grow_frontier(
+        outcome, target_shards, g_v, h_v, expand_bm_node, cost_fn=cost_fn
+    )
 
     g_vertices, g_masks = mask_payload(g_v)
     _h_vertices, h_masks = mask_payload(h_v)
@@ -404,7 +426,10 @@ def _ls_children(
 
 
 def plan_logspace(
-    g: Hypergraph, h: Hypergraph, target_shards: int | None = None
+    g: Hypergraph,
+    h: Hypergraph,
+    target_shards: int | None = None,
+    cost_fn=None,
 ) -> ShardPlan:
     """Shard the Section 4 DFS, re-sharding big projections on demand.
 
@@ -418,9 +443,10 @@ def plan_logspace(
     priority replay the serial decider exactly.
 
     ``target_shards=None`` keeps the one-level plan (the root's interior
-    children); with a target, the largest-estimated-volume frontier node
+    children); with a target, the largest-estimated-cost frontier node
     is expanded via ``next`` until the target is met or only trivial
-    projections remain.
+    projections remain.  ``cost_fn`` swaps the volume estimate for a
+    pluggable per-shard cost predictor, exactly as in :func:`plan_bm`.
     """
     from repro.duality.result import not_dual_result
 
@@ -462,7 +488,7 @@ def plan_logspace(
         return nil_children
 
     frontier = _grow_frontier(
-        root_children, target_shards, g_v, h_v, expand_ls_node
+        root_children, target_shards, g_v, h_v, expand_ls_node, cost_fn=cost_fn
     )
 
     g_vertices, g_masks = mask_payload(g_v)

@@ -9,11 +9,18 @@ Every engine is a correct decider, so the first finisher's verdict is
 the instance's verdict, and its certificate is that engine's serial
 certificate, unchanged.
 
-Two modes:
+Three modes:
 
-* ``n_jobs > 1`` — one process per engine (capped at ``n_jobs``); the
-  first process to return wins and the rest are terminated.  Losers'
-  timings are unknown (recorded as ``None``).
+* ``pool=`` with ``n_jobs > 1`` — the race runs on a provided warm
+  :class:`repro.service.EnginePool`: one future per engine, first
+  completion wins.  No per-race process forks (the fork overhead that
+  otherwise pollutes the timing rows used for learned engine
+  selection); losers cannot be terminated mid-solve, so they run to
+  completion on the warm workers in the background (their timings are
+  recorded as ``None`` — unknown at decision time).
+* ``n_jobs > 1`` without a pool — one raw daemon process per engine
+  (capped at ``n_jobs``); the first process to return wins and the
+  rest are terminated.  Losers' timings are unknown (``None``).
 * ``n_jobs = 1`` — the deterministic in-process fallback: every engine
   runs to completion, all timings are recorded, and the winner is the
   engine with the smallest wall time (ties broken by portfolio order).
@@ -79,23 +86,34 @@ def race_portfolio(
     h: Hypergraph,
     engines: tuple[str, ...] | list[str] = DEFAULT_PORTFOLIO,
     n_jobs: int | None = None,
+    pool=None,
 ) -> DualityResult:
     """Race ``engines`` on ``(g, h)``; return the first finisher's result.
 
     ``n_jobs=None`` uses one worker per engine; ``n_jobs=1`` selects the
-    sequential fallback (all engines run, fastest wins).  The winner's
-    result is returned unchanged except for ``stats.extra["portfolio"]``.
+    sequential fallback (all engines run, fastest wins).  ``pool`` — a
+    warm :class:`repro.service.EnginePool` (anything with the futures
+    ``submit(fn, item, collect=False)`` surface) — runs the race on its
+    persistent workers instead of forking one daemon process per racer;
+    the caller owns the pool's lifecycle.  ``n_jobs=1`` still forces
+    the deterministic sequential fallback even with a pool.  The
+    winner's result is returned unchanged except for
+    ``stats.extra["portfolio"]``.
     """
     engines = tuple(engines)
     if not engines:
         raise ValueError("portfolio needs at least one engine")
     from repro.duality.engine import available_methods
 
-    unknown = [e for e in engines if e not in available_methods() or e == "portfolio"]
+    meta_methods = ("portfolio", "auto")
+    unknown = [
+        e for e in engines if e not in available_methods() or e in meta_methods
+    ]
     if unknown:
         raise ValueError(
             f"unknown portfolio engine(s) {unknown}; "
-            f"valid engines: {', '.join(m for m in available_methods() if m != 'portfolio')}"
+            f"valid engines: "
+            f"{', '.join(m for m in available_methods() if m not in meta_methods)}"
         )
     jobs = len(engines) if n_jobs is None else resolve_n_jobs(n_jobs)
 
@@ -133,6 +151,45 @@ def race_portfolio(
         winner = min(results, key=lambda e: (timings[e], engines.index(e)))
         result = results[winner]
         mode = "sequential"
+    elif pool is not None:
+        # The warm-pool race: one future per engine on the provided
+        # persistent workers — no per-race forks.  Futures cannot be
+        # terminated, so losers run to completion in the background
+        # (collect=False keeps them out of any service drain); their
+        # timings stay None, exactly like terminated raw-race losers.
+        from queue import Queue
+
+        completions: Queue = Queue()
+        timings = {engine: None for engine in engines}
+        for payload in _race_payloads(g, h, engines):
+            future = pool.submit(run_portfolio_entry, payload, collect=False)
+            future.add_done_callback(
+                lambda f, e=payload[0]: completions.put((e, f))
+            )
+        winner = None
+        result = None
+        remaining = len(engines)
+        while result is None and remaining:
+            engine, future = completions.get()
+            remaining -= 1
+            error = future.exception()
+            if error is not None:
+                # The pool already retried worker deaths; a surfaced
+                # error means the item itself is poison for that engine.
+                failures[engine] = repr(error)
+                continue
+            _engine, elapsed, engine_result, entry_error = future.result()
+            timings[engine] = elapsed
+            if entry_error is not None:
+                failures[engine] = entry_error
+                continue
+            winner, result = engine, engine_result
+        if result is None:
+            raise RuntimeError(
+                f"every portfolio engine failed on this instance: "
+                f"{engines} ({failures})"
+            )
+        mode = "pool-race"
     else:
         # One raw daemon Process per racer, reporting through a queue.
         # Deliberately NOT multiprocessing.Pool: terminating a Pool that

@@ -1,0 +1,77 @@
+"""Learned engine selection and shard cost modelling.
+
+The portfolio racer wins by brute force — ``n_jobs`` workers racing
+engines whose winner is usually predictable from cheap structural
+features.  This package replaces the brute force with a transparent,
+dependency-free learned loop over the timing rows the observability
+and store layers already accumulate:
+
+* :mod:`repro.select.model` — feature vectorization, a deterministic
+  multinomial-logistic :class:`EngineModel` (train / predict /
+  confidence / JSON serialize), and a ridge :class:`CostModel` whose
+  :func:`shard_cost_fn` plugs into the shard planner's ``cost_fn=``.
+* :mod:`repro.select.selector` — ``decide_duality(method="auto")``:
+  solve with the predicted engine on high confidence, race the top-2
+  prediction on low confidence, degrade to the full portfolio (with a
+  :class:`ColdStartWarning`) when no model exists, and record every
+  engine run back into the timing corpus for online improvement.
+
+Train, inspect, and cross-validate from the CLI: ``repro model
+fit|show|eval``; serve with ``repro serve --auto --model PATH``.
+"""
+
+from repro.select.model import (
+    BASE_FEATURE_NAMES,
+    DEEP_FEATURE_NAMES,
+    FEATURE_NAMES,
+    VECTOR_NAMES,
+    CostModel,
+    EngineModel,
+    ModelDataError,
+    TrainingGroup,
+    cross_validate,
+    extract_features,
+    feature_fingerprint,
+    fit_cost_model,
+    fit_engine_model,
+    shard_cost_fn,
+    training_groups,
+    vectorize,
+)
+from repro.select.selector import (
+    DEFAULT_CONFIDENCE,
+    DEFAULT_RACE_WIDTH,
+    MODEL_ENV,
+    ColdStartWarning,
+    decide_auto,
+    default_model,
+    reset_default_model,
+    set_default_model,
+)
+
+__all__ = [
+    "BASE_FEATURE_NAMES",
+    "ColdStartWarning",
+    "CostModel",
+    "DEEP_FEATURE_NAMES",
+    "DEFAULT_CONFIDENCE",
+    "DEFAULT_RACE_WIDTH",
+    "EngineModel",
+    "FEATURE_NAMES",
+    "MODEL_ENV",
+    "ModelDataError",
+    "TrainingGroup",
+    "VECTOR_NAMES",
+    "cross_validate",
+    "decide_auto",
+    "default_model",
+    "extract_features",
+    "feature_fingerprint",
+    "fit_cost_model",
+    "fit_engine_model",
+    "reset_default_model",
+    "set_default_model",
+    "shard_cost_fn",
+    "training_groups",
+    "vectorize",
+]

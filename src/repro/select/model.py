@@ -1,0 +1,655 @@
+"""Transparent learned models over the timing rows: selector + cost.
+
+Two tiny, dependency-free learners fit from the per-engine timing rows
+that :class:`~repro.obs.timings.TimingLog` and the PR-8
+:class:`~repro.store.VerdictStore` already accumulate:
+
+* :class:`EngineModel` — a multinomial logistic classifier predicting
+  which engine wins an instance from its
+  :func:`~repro.obs.timings.structural_features`, with a softmax
+  confidence score.  ``method="auto"`` solves directly with the
+  prediction when confident and races a reduced top-2 portfolio when
+  not (:mod:`repro.select.selector`).
+* :class:`CostModel` — a ridge regression on ``log`` elapsed seconds,
+  pluggable into the shard planner (``cost_fn=``) to replace the raw
+  ``|G^S|·|H_S|`` volume estimate when balancing skewed decomposition
+  trees.
+
+Everything is deterministic (zero initialisation, fixed-iteration
+full-batch gradient descent, closed-form normal equations) and pure
+Python — the feature vectors are a dozen-odd floats, so there is
+nothing here numpy would speed up enough to justify the dependency.
+Models serialize to a single human-readable JSON artifact
+(``format: repro-select-model``) holding the classifier, the optional
+cost regressor, and the standardisation statistics; :meth:`EngineModel.save`
+/ :meth:`EngineModel.load` round-trip it.
+
+Training data construction: rows recorded for the *same* instance share
+identical feature dicts, so rows are grouped by a feature fingerprint;
+within a group the winner is the engine with the smallest elapsed time.
+Only concrete-engine rows train (``portfolio``/``auto`` facade rows are
+aggregates, not engines), and only groups that timed at least two
+engines can label a winner — the rest still feed the cost regressor.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: The flat feature keys :func:`repro.obs.timings.structural_features`
+#: emits (base scan + the ``deep=True`` tree-shape probe).  Vectors are
+#: tolerant of missing keys — absent features read as 0, so models fit
+#: on cheap rows still accept deep rows and vice versa.
+BASE_FEATURE_NAMES = (
+    "n_vertices",
+    "g_edges",
+    "h_edges",
+    "g_total_size",
+    "h_total_size",
+    "g_max_edge",
+    "h_max_edge",
+    "g_min_edge",
+    "h_min_edge",
+    "g_max_degree",
+    "h_max_degree",
+    "volume",
+)
+DEEP_FEATURE_NAMES = (
+    "bm_branches",
+    "bm_max_child_volume",
+    "bm_mean_child_volume",
+    "bm_depth_est",
+)
+FEATURE_NAMES = BASE_FEATURE_NAMES + DEEP_FEATURE_NAMES
+
+#: Derived vector components appended after the per-feature ``log1p``
+#: terms: side asymmetry, densities, and threshold-likeness (uniform
+#: edge size — the Section 6 tractable class the ``tractable`` engine
+#: recognises outright).
+DERIVED_NAMES = (
+    "edge_ratio",
+    "g_density",
+    "h_density",
+    "g_uniform",
+    "h_uniform",
+)
+VECTOR_NAMES = tuple(f"log1p_{name}" for name in FEATURE_NAMES) + DERIVED_NAMES
+
+#: Facade method names that are not engines — their timing rows are
+#: race/selection aggregates and never train a model.
+NON_ENGINE_ROWS = ("portfolio", "auto")
+
+FORMAT = "repro-select-model"
+FORMAT_VERSION = 1
+
+#: Fewest winner-labelled groups worth fitting a classifier on.
+MIN_TRAIN_GROUPS = 4
+
+
+class ModelDataError(ValueError):
+    """The timing rows cannot support a fit (too few labelled groups)."""
+
+
+def _log1p(value) -> float:
+    return math.log1p(max(float(value), 0.0))
+
+
+def vectorize(features: dict) -> list[float]:
+    """One feature dict → the fixed-length model input vector.
+
+    Missing keys read as 0 (a model fit on cheap rows accepts deep rows
+    and vice versa); the derived terms are ratios that stay bounded on
+    degenerate instances.
+    """
+    vec = [_log1p(features.get(name, 0)) for name in FEATURE_NAMES]
+    g_edges = float(features.get("g_edges", 0))
+    h_edges = float(features.get("h_edges", 0))
+    n = float(features.get("n_vertices", 0))
+    vec.append(math.log((g_edges + 1.0) / (h_edges + 1.0)))
+    for side in ("g", "h"):
+        edges = float(features.get(f"{side}_edges", 0))
+        total = float(features.get(f"{side}_total_size", 0))
+        vec.append(total / (edges * n) if edges > 0 and n > 0 else 0.0)
+    for side in ("g", "h"):
+        lo = features.get(f"{side}_min_edge", 0)
+        hi = features.get(f"{side}_max_edge", 0)
+        vec.append(1.0 if features.get(f"{side}_edges", 0) and lo == hi else 0.0)
+    return vec
+
+
+def extract_features(row: dict) -> dict:
+    """The known feature keys of one timing row (rows carry features
+    flattened into the line, per the ``TimingLog`` schema)."""
+    return {name: row[name] for name in FEATURE_NAMES if name in row}
+
+
+def feature_fingerprint(features: dict) -> str:
+    """A stable per-instance key: rows recorded for the same instance
+    carry identical feature dicts, so this groups them."""
+    base = {name: features[name] for name in BASE_FEATURE_NAMES if name in features}
+    return json.dumps(base, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class TrainingGroup:
+    """All timings of one instance: its features and the best elapsed
+    seconds seen per concrete engine."""
+
+    features: dict
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def winner(self) -> str:
+        """Fastest engine; ties break by name for determinism."""
+        return min(self.timings, key=lambda e: (self.timings[e], e))
+
+
+def training_groups(rows) -> list[TrainingGroup]:
+    """Group timing rows by instance fingerprint, keeping per-engine
+    minima.  Rows without features, without a positive elapsed time, or
+    for a non-engine facade method are skipped."""
+    groups: dict[str, TrainingGroup] = {}
+    for row in rows:
+        engine = row.get("engine")
+        elapsed = row.get("elapsed_s")
+        if not isinstance(engine, str) or engine in NON_ENGINE_ROWS:
+            continue
+        if not isinstance(elapsed, (int, float)) or elapsed < 0:
+            continue
+        features = extract_features(row)
+        if not features:
+            continue
+        key = feature_fingerprint(features)
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = TrainingGroup(features=features)
+        previous = group.timings.get(engine)
+        if previous is None or elapsed < previous:
+            group.timings[engine] = float(elapsed)
+        # Deep rows enrich a group first seen through cheap rows.
+        for name, value in features.items():
+            group.features.setdefault(name, value)
+    return list(groups.values())
+
+
+# ---------------------------------------------------------------------------
+# Shared linear plumbing: standardisation, softmax, ridge solve
+# ---------------------------------------------------------------------------
+
+def _standardize_fit(rows: list[list[float]]) -> tuple[list[float], list[float]]:
+    dim = len(rows[0])
+    count = len(rows)
+    means = [sum(row[j] for row in rows) / count for j in range(dim)]
+    scales = []
+    for j in range(dim):
+        var = sum((row[j] - means[j]) ** 2 for row in rows) / count
+        std = math.sqrt(var)
+        scales.append(std if std > 1e-12 else 1.0)
+    return means, scales
+
+
+def _standardize_apply(
+    vec: list[float], means: list[float], scales: list[float]
+) -> list[float]:
+    return [(v - m) / s for v, m, s in zip(vec, means, scales)]
+
+
+def _softmax(scores: list[float]) -> list[float]:
+    peak = max(scores)
+    exps = [math.exp(s - peak) for s in scores]
+    total = sum(exps)
+    return [e / total for e in exps]
+
+
+def _solve_linear(matrix: list[list[float]], rhs: list[float]) -> list[float]:
+    """Gaussian elimination with partial pivoting — the ridge term keeps
+    the system well-conditioned at these dimensions (~20)."""
+    n = len(rhs)
+    aug = [list(matrix[i]) + [rhs[i]] for i in range(n)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(aug[r][col]))
+        if abs(aug[pivot][col]) < 1e-12:
+            continue
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv = 1.0 / aug[col][col]
+        for row in range(n):
+            if row == col:
+                continue
+            factor = aug[row][col] * inv
+            if factor == 0.0:
+                continue
+            for k in range(col, n + 1):
+                aug[row][k] -= factor * aug[col][k]
+    out = []
+    for i in range(n):
+        out.append(aug[i][n] / aug[i][i] if abs(aug[i][i]) > 1e-12 else 0.0)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The cost regressor
+# ---------------------------------------------------------------------------
+
+_COST_EPS = 1e-6
+
+
+@dataclass
+class CostModel:
+    """Ridge regression on ``log(elapsed + eps)`` over the feature vector.
+
+    ``predict_seconds`` is the planner-facing surface: a per-shard cost
+    estimate in seconds, monotone in the learned drivers of work rather
+    than in raw ``|G^S|·|H_S|``.
+    """
+
+    means: list[float]
+    scales: list[float]
+    weights: list[float]  # len == dim + 1, bias last
+    meta: dict = field(default_factory=dict)
+
+    def predict_seconds(self, features: dict) -> float:
+        x = _standardize_apply(vectorize(features), self.means, self.scales)
+        score = sum(w * v for w, v in zip(self.weights, x)) + self.weights[-1]
+        return max(math.exp(score) - _COST_EPS, 0.0)
+
+    def to_json(self) -> dict:
+        return {
+            "means": self.means,
+            "scales": self.scales,
+            "weights": self.weights,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CostModel":
+        return cls(
+            means=[float(v) for v in payload["means"]],
+            scales=[float(v) for v in payload["scales"]],
+            weights=[float(v) for v in payload["weights"]],
+            meta=dict(payload.get("meta") or {}),
+        )
+
+
+def fit_cost_model(rows, engine: str | None = None, l2: float = 1e-2) -> CostModel:
+    """Fit the per-instance cost regressor from timing rows.
+
+    ``engine`` restricts the fit to one engine's rows (the planner's
+    shard cost is engine-specific in principle); ``None`` pools every
+    concrete engine — coarser but available from far fewer rows.
+    """
+    samples: list[tuple[list[float], float]] = []
+    for row in rows:
+        name = row.get("engine")
+        elapsed = row.get("elapsed_s")
+        if not isinstance(name, str) or name in NON_ENGINE_ROWS:
+            continue
+        if engine is not None and name != engine:
+            continue
+        if not isinstance(elapsed, (int, float)) or elapsed < 0:
+            continue
+        features = extract_features(row)
+        if not features:
+            continue
+        samples.append((vectorize(features), math.log(elapsed + _COST_EPS)))
+    if len(samples) < 2:
+        raise ModelDataError(
+            f"cost model needs at least 2 featured timing rows, "
+            f"got {len(samples)}"
+        )
+    vectors = [vec for vec, _y in samples]
+    means, scales = _standardize_fit(vectors)
+    xs = [_standardize_apply(vec, means, scales) + [1.0] for vec in vectors]
+    ys = [y for _vec, y in samples]
+    dim = len(xs[0])
+    normal = [[0.0] * dim for _ in range(dim)]
+    rhs = [0.0] * dim
+    for x, y in zip(xs, ys):
+        for i in range(dim):
+            xi = x[i]
+            rhs[i] += xi * y
+            row_i = normal[i]
+            for j in range(dim):
+                row_i[j] += xi * x[j]
+    for i in range(dim - 1):  # leave the bias unregularised
+        normal[i][i] += l2
+    weights = _solve_linear(normal, rhs)
+    return CostModel(
+        means=means,
+        scales=scales,
+        weights=weights,
+        meta={"rows": len(samples), "engine": engine, "l2": l2},
+    )
+
+
+def shard_cost_fn(cost_model: CostModel, min_cost: float = 0.0):
+    """Wrap a :class:`CostModel` as a planner ``cost_fn``.
+
+    The returned callable has the planner's cost signature —
+    ``cost_fn(attrs, g, h) -> float`` — and estimates each frontier
+    node's restricted sub-instance in seconds.  ``min_cost`` becomes the
+    re-shard gate (the learned analogue of
+    :data:`~repro.parallel.planner.RESHARD_MIN_VOLUME`): frontier nodes
+    predicted cheaper are never split further.
+
+    Any cost function only changes how the planner *balances* shards;
+    the executor's merges reconstruct the serial result from every
+    partition, so verdicts, certificates, and stats stay bit-for-bit.
+    """
+    from repro.hypergraph import mask_payload
+    from repro.obs.timings import structural_features
+
+    def cost_fn(attrs, g, h) -> float:
+        g_s, h_s = attrs.instance(g, h)
+        features = structural_features(mask_payload(g_s), mask_payload(h_s))
+        return cost_model.predict_seconds(features)
+
+    cost_fn.min_cost = min_cost
+    return cost_fn
+
+
+# ---------------------------------------------------------------------------
+# The engine classifier
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EngineModel:
+    """The learned selector: softmax over engines from one feature dict.
+
+    ``weights[k]`` is engine ``engines[k]``'s row (dim + 1 floats, bias
+    last) over the standardised vector; ``rank`` orders engines by
+    probability and ``predict`` returns the top engine with its softmax
+    probability — the confidence the selector thresholds on.  ``cost``
+    optionally carries a :class:`CostModel` fit from the same rows, so
+    one JSON artifact serves both the selector and the shard planner.
+    """
+
+    engines: tuple[str, ...]
+    means: list[float]
+    scales: list[float]
+    weights: list[list[float]]
+    meta: dict = field(default_factory=dict)
+    cost: CostModel | None = None
+
+    @property
+    def trained(self) -> bool:
+        return len(self.engines) >= 2 and bool(self.weights)
+
+    def _probabilities(self, features: dict) -> list[float]:
+        x = _standardize_apply(vectorize(features), self.means, self.scales)
+        scores = [
+            sum(w * v for w, v in zip(row, x)) + row[-1] for row in self.weights
+        ]
+        return _softmax(scores)
+
+    def rank(self, features: dict) -> list[tuple[str, float]]:
+        """Engines by descending predicted win probability (name-order
+        tiebreak, so the ranking is deterministic)."""
+        probs = self._probabilities(features)
+        order = sorted(
+            zip(self.engines, probs), key=lambda item: (-item[1], item[0])
+        )
+        return [(engine, prob) for engine, prob in order]
+
+    def predict(self, features: dict) -> tuple[str, float]:
+        """The top engine and its confidence (top softmax probability)."""
+        engine, prob = self.rank(features)[0]
+        return engine, prob
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "format": FORMAT,
+            "version": FORMAT_VERSION,
+            "engines": list(self.engines),
+            "vector_names": list(VECTOR_NAMES),
+            "means": self.means,
+            "scales": self.scales,
+            "weights": self.weights,
+            "meta": self.meta,
+            "cost": self.cost.to_json() if self.cost is not None else None,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "EngineModel":
+        if payload.get("format") != FORMAT:
+            raise ValueError(
+                f"not a {FORMAT} artifact (format={payload.get('format')!r})"
+            )
+        if payload.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported {FORMAT} version {payload.get('version')!r}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        names = payload.get("vector_names")
+        if names is not None and list(names) != list(VECTOR_NAMES):
+            raise ValueError(
+                "model artifact was fit on a different feature vector; "
+                "refit with `repro model fit`"
+            )
+        cost_payload = payload.get("cost")
+        return cls(
+            engines=tuple(payload["engines"]),
+            means=[float(v) for v in payload["means"]],
+            scales=[float(v) for v in payload["scales"]],
+            weights=[[float(v) for v in row] for row in payload["weights"]],
+            meta=dict(payload.get("meta") or {}),
+            cost=CostModel.from_json(cost_payload) if cost_payload else None,
+        )
+
+    def save(self, path: str | os.PathLike) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_json(), indent=1) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "EngineModel":
+        return cls.from_json(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+
+def _fit_softmax(
+    xs: list[list[float]],
+    labels: list[int],
+    n_classes: int,
+    iterations: int,
+    lr: float,
+    l2: float,
+) -> list[list[float]]:
+    """Full-batch gradient descent on the multinomial cross-entropy.
+
+    Zero initialisation and a fixed iteration count keep the fit
+    deterministic; at these sizes (tens-to-thousands of rows, ~20
+    dims, a handful of classes) each pass is microseconds.
+    """
+    dim = len(xs[0])
+    weights = [[0.0] * dim for _ in range(n_classes)]
+    count = len(xs)
+    for _ in range(iterations):
+        grads = [[0.0] * dim for _ in range(n_classes)]
+        for x, label in zip(xs, labels):
+            scores = [
+                sum(w * v for w, v in zip(row, x)) for row in weights
+            ]
+            probs = _softmax(scores)
+            for k in range(n_classes):
+                delta = probs[k] - (1.0 if k == label else 0.0)
+                if delta == 0.0:
+                    continue
+                grad_k = grads[k]
+                for j in range(dim):
+                    grad_k[j] += delta * x[j]
+        for k in range(n_classes):
+            row = weights[k]
+            grad_k = grads[k]
+            for j in range(dim):
+                reg = l2 * row[j] if j < dim - 1 else 0.0  # bias free
+                row[j] -= lr * (grad_k[j] / count + reg)
+    return weights
+
+
+def fit_engine_model(
+    rows,
+    engines: tuple[str, ...] | list[str] | None = None,
+    iterations: int = 300,
+    lr: float = 0.5,
+    l2: float = 1e-3,
+    with_cost: bool = True,
+) -> EngineModel:
+    """Fit the selector (and, by default, the cost regressor) from rows.
+
+    ``rows`` is any iterable of ``TimingLog``-shaped dicts —
+    :func:`repro.obs.timings.load_timings` output or
+    :meth:`repro.store.VerdictStore.load_timings`.  Only groups that
+    timed ≥ 2 engines label a winner; raises :class:`ModelDataError`
+    when fewer than :data:`MIN_TRAIN_GROUPS` exist (run some sequential
+    portfolio sweeps first — each races every engine and records all of
+    their timings).
+    """
+    rows = list(rows)
+    groups = [g for g in training_groups(rows) if len(g.timings) >= 2]
+    if engines is None:
+        engines = sorted({e for g in groups for e in g.timings})
+    else:
+        engines = sorted(engines)
+        groups = [
+            g
+            for g in groups
+            if len([e for e in g.timings if e in engines]) >= 2
+        ]
+    if len(groups) < MIN_TRAIN_GROUPS or len(engines) < 2:
+        raise ModelDataError(
+            f"not enough training data: {len(groups)} winner-labelled "
+            f"instance groups over {len(engines)} engines (need >= "
+            f"{MIN_TRAIN_GROUPS} groups and >= 2 engines; sequential "
+            f"portfolio runs record every racer's timing)"
+        )
+    index = {engine: k for k, engine in enumerate(engines)}
+    labels = [
+        index[
+            min(
+                (e for e in g.timings if e in index),
+                key=lambda e: (g.timings[e], e),
+            )
+        ]
+        for g in groups
+    ]
+    vectors = [vectorize(g.features) for g in groups]
+    means, scales = _standardize_fit(vectors)
+    xs = [_standardize_apply(vec, means, scales) + [1.0] for vec in vectors]
+    weights = _fit_softmax(xs, labels, len(engines), iterations, lr, l2)
+
+    correct = 0
+    for x, label in zip(xs, labels):
+        scores = [sum(w * v for w, v in zip(row, x)) for row in weights]
+        if max(range(len(scores)), key=lambda k: (scores[k], -k)) == label:
+            correct += 1
+    majority = max(labels.count(k) for k in range(len(engines)))
+    model = EngineModel(
+        engines=tuple(engines),
+        means=means,
+        scales=scales,
+        weights=weights,
+        meta={
+            "groups": len(groups),
+            "rows": len(rows),
+            "train_accuracy": round(correct / len(groups), 4),
+            "majority_accuracy": round(majority / len(groups), 4),
+            "iterations": iterations,
+            "lr": lr,
+            "l2": l2,
+            "wins": {
+                engine: labels.count(index[engine]) for engine in engines
+            },
+        },
+    )
+    if with_cost:
+        try:
+            model.cost = fit_cost_model(rows)
+        except ModelDataError:
+            model.cost = None
+    return model
+
+
+def cross_validate(
+    rows,
+    folds: int = 3,
+    engines: tuple[str, ...] | list[str] | None = None,
+    iterations: int = 300,
+    lr: float = 0.5,
+    l2: float = 1e-3,
+) -> dict:
+    """Deterministic k-fold evaluation of the selector on timing rows.
+
+    Groups are assigned to folds round-robin in fingerprint order.
+    Reports held-out accuracy, the majority-class baseline, and the
+    *regret* — how much slower the predicted engine is than the true
+    winner, in seconds per instance (the number that actually matters:
+    a wrong pick between two near-tied engines costs nothing).
+    """
+    groups = [g for g in training_groups(rows) if len(g.timings) >= 2]
+    groups.sort(key=lambda g: feature_fingerprint(g.features))
+    folds = max(2, min(folds, len(groups)))
+    if len(groups) < MIN_TRAIN_GROUPS + 1:
+        raise ModelDataError(
+            f"cross-validation needs more data: {len(groups)} "
+            f"winner-labelled groups"
+        )
+    correct = evaluated = 0
+    regret_total = 0.0
+    for fold in range(folds):
+        train_rows: list[dict] = []
+        held: list[TrainingGroup] = []
+        for pos, group in enumerate(groups):
+            if pos % folds == fold:
+                held.append(group)
+            else:
+                for engine, elapsed in group.timings.items():
+                    train_rows.append(
+                        {"engine": engine, "elapsed_s": elapsed, **group.features}
+                    )
+        try:
+            model = fit_engine_model(
+                train_rows,
+                engines=engines,
+                iterations=iterations,
+                lr=lr,
+                l2=l2,
+                with_cost=False,
+            )
+        except ModelDataError:
+            continue
+        for group in held:
+            candidates = {
+                e: t for e, t in group.timings.items() if e in model.engines
+            }
+            if len(candidates) < 2:
+                continue
+            predicted, _conf = model.predict(group.features)
+            best = min(candidates.values())
+            chosen = candidates.get(predicted)
+            if chosen is None:
+                # Predicted engine untimed on this instance: charge the
+                # worst observed time — pessimistic, never flattering.
+                chosen = max(candidates.values())
+            evaluated += 1
+            regret_total += chosen - best
+            if group.timings.get(predicted) == best:
+                correct += 1
+    if evaluated == 0:
+        raise ModelDataError("no fold produced a fittable train split")
+    winners = [g.winner for g in groups]
+    majority = max(winners.count(w) for w in set(winners))
+    return {
+        "groups": len(groups),
+        "folds": folds,
+        "evaluated": evaluated,
+        "accuracy": round(correct / evaluated, 4),
+        "majority_accuracy": round(majority / len(groups), 4),
+        "mean_regret_s": round(regret_total / evaluated, 6),
+    }

@@ -1,0 +1,235 @@
+"""``method="auto"``: predict the winning engine, race only when unsure.
+
+The selector closes the loop the ROADMAP's learned-engine-selection
+direction describes:
+
+1. **Predict** — score the instance's
+   :func:`~repro.obs.timings.structural_features` through a trained
+   :class:`~repro.select.model.EngineModel`.
+2. **High confidence** — solve directly with the predicted engine: one
+   engine's CPU instead of the whole portfolio's.
+3. **Low confidence** — fall back to a *reduced* race of the top-2
+   predicted engines (still first-finisher-wins, still every-racer-
+   correct, but half-or-less of the full portfolio's aggregate CPU).
+4. **Cold start** — no model at all degrades to the full portfolio
+   race with a :class:`ColdStartWarning`; verdicts are unaffected.
+5. **Record** — when given a ``timings`` sink, every engine actually
+   run lands back as a ``role="auto"`` timing row, so the next
+   ``repro model fit`` learns from today's traffic (the online loop).
+
+Every path returns some engine's own serial result object — verdicts
+are engine-independent, so ``auto`` is bit-for-bit conformant with the
+serial engines on the verdict, like the portfolio.  And like the
+portfolio, the *certificate* may be timing-dependent on the race
+paths, so ``auto`` results are never verdict-cached (``solve_many``,
+``EngineService``, and the net server all refuse the combination).
+
+The default model resolves once per process from the
+``REPRO_AUTO_MODEL`` environment variable — the variable is inherited
+by spawned pool workers, so ``solve_many(method="auto")`` and the
+servers' worker processes pick the model up without any extra wiring.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from pathlib import Path
+
+from repro.hypergraph import Hypergraph, mask_payload
+from repro.obs.timings import TimingLog, structural_features
+from repro.select.model import EngineModel
+
+#: Top-probability threshold above which the predicted engine runs
+#: alone.  Below it the top-``race_width`` engines race.
+DEFAULT_CONFIDENCE = 0.65
+
+#: How many predicted engines the low-confidence fallback races.
+DEFAULT_RACE_WIDTH = 2
+
+#: Environment variable naming the default model artifact; inherited by
+#: spawned worker processes, which is how a batch/server model reaches
+#: ``decide_duality(method="auto")`` calls inside the pool.
+MODEL_ENV = "REPRO_AUTO_MODEL"
+
+
+class ColdStartWarning(RuntimeWarning):
+    """``method="auto"`` ran without a trained model (full-portfolio
+    fallback; verdicts unaffected, CPU savings forfeited)."""
+
+
+_UNRESOLVED = object()
+_default_model: EngineModel | None | object = _UNRESOLVED
+
+
+def set_default_model(model: EngineModel | str | os.PathLike | None) -> None:
+    """Set this process's default ``auto`` model (object, path, or
+    ``None`` to clear back to cold start).  A path is loaded eagerly so
+    a bad artifact fails here, not inside a solve."""
+    global _default_model
+    if isinstance(model, (str, os.PathLike)):
+        model = EngineModel.load(model)
+    _default_model = model
+
+
+def reset_default_model() -> None:
+    """Forget the resolved default so :data:`MODEL_ENV` is re-read (for
+    tests and long-lived processes that change the environment)."""
+    global _default_model
+    _default_model = _UNRESOLVED
+
+
+def default_model() -> EngineModel | None:
+    """The process default: whatever :func:`set_default_model` set, else
+    the :data:`MODEL_ENV` artifact, resolved once and memoised.  An
+    unreadable artifact warns and degrades to cold start — a stale env
+    var must not break solving."""
+    global _default_model
+    if _default_model is _UNRESOLVED:
+        path = os.environ.get(MODEL_ENV)
+        if path:
+            try:
+                _default_model = EngineModel.load(path)
+            except (OSError, ValueError, KeyError) as exc:
+                warnings.warn(
+                    f"ignoring unreadable auto-select model {path!r} "
+                    f"({exc}); method='auto' degrades to the portfolio",
+                    ColdStartWarning,
+                    stacklevel=2,
+                )
+                _default_model = None
+        else:
+            _default_model = None
+    return _default_model
+
+
+def _resolve_model(model) -> EngineModel | None:
+    if model is None:
+        return default_model()
+    if isinstance(model, (str, Path)):
+        return EngineModel.load(model)
+    return model
+
+
+def decide_auto(
+    g: Hypergraph,
+    h: Hypergraph,
+    model: EngineModel | str | Path | None = None,
+    confidence: float | None = None,
+    race_width: int = DEFAULT_RACE_WIDTH,
+    n_jobs: int = 1,
+    pool=None,
+    timings: TimingLog | None = None,
+    deep: bool = False,
+):
+    """Decide ``H = tr(G)`` with the learned selector.
+
+    Parameters
+    ----------
+    model:
+        An :class:`EngineModel`, a path to a saved artifact, or ``None``
+        for the process default (:func:`default_model`).  No trained
+        model → full portfolio race with a :class:`ColdStartWarning`.
+    confidence:
+        Threshold for solving with the prediction alone (default
+        :data:`DEFAULT_CONFIDENCE`).  ``confidence > 1`` forces the
+        reduced race on every instance; ``confidence <= 0`` forbids it.
+    race_width:
+        Engines in the low-confidence race (top-N predicted, min 2).
+    n_jobs:
+        Parallelism of the race paths (``1`` — the default — runs the
+        deterministic sequential race; ``-1`` one worker per racer).
+        The predicted-engine path always solves serially: the CPU
+        saving *is* the point.
+    pool:
+        A warm :class:`repro.service.EnginePool` handed through to
+        :func:`~repro.parallel.portfolio.race_portfolio`, so race
+        fallbacks reuse warm workers instead of forking.
+    timings:
+        A ``TimingLog``-shaped sink; every engine actually run is
+        recorded with ``role="auto"`` — the online-learning feed.
+    deep:
+        Compute the duality-tree-shape features
+        (``structural_features(deep=True)``) before predicting; only
+        useful under a model fit on deep rows.
+    """
+    from repro.duality.engine import decide_duality
+    from repro.parallel.portfolio import race_portfolio
+
+    resolved = _resolve_model(model)
+    g_payload, h_payload = mask_payload(g), mask_payload(h)
+    features = structural_features(g_payload, h_payload, deep=deep)
+    threshold = DEFAULT_CONFIDENCE if confidence is None else confidence
+    race_jobs = None if n_jobs == -1 else n_jobs
+
+    if resolved is None or not resolved.trained:
+        warnings.warn(
+            "method='auto' has no trained model (cold start): racing the "
+            "full portfolio instead; fit one with `repro model fit` and "
+            "export it via --model or REPRO_AUTO_MODEL",
+            ColdStartWarning,
+            stacklevel=2,
+        )
+        result = race_portfolio(g, h, n_jobs=race_jobs, pool=pool)
+        race = result.stats.extra["portfolio"]
+        auto = {
+            "mode": "cold-start",
+            "engine": race["winner"],
+            "confidence": None,
+            "engines": race["engines"],
+            "timings_s": race["timings_s"],
+        }
+    else:
+        ranking = resolved.rank(features)
+        top_engine, top_prob = ranking[0]
+        if top_prob >= threshold:
+            start = time.perf_counter()
+            result = decide_duality(g, h, method=top_engine)
+            elapsed = time.perf_counter() - start
+            auto = {
+                "mode": "predicted",
+                "engine": top_engine,
+                "confidence": round(top_prob, 4),
+                "engines": [top_engine],
+                "timings_s": {top_engine: round(elapsed, 6)},
+            }
+        else:
+            width = max(2, race_width)
+            racers = [engine for engine, _prob in ranking[:width]]
+            result = race_portfolio(
+                g, h, engines=racers, n_jobs=race_jobs, pool=pool
+            )
+            race = result.stats.extra["portfolio"]
+            auto = {
+                "mode": "reduced-race",
+                "engine": race["winner"],
+                "confidence": round(top_prob, 4),
+                "engines": racers,
+                "timings_s": race["timings_s"],
+            }
+    result.stats.extra["auto"] = auto
+    if timings is not None:
+        _record_auto_timings(timings, auto, features, result)
+    return result
+
+
+def _record_auto_timings(timings, auto: dict, features: dict, result) -> None:
+    """One ``role="auto"`` row per engine actually run — the online
+    feed back into the training corpus.  Recording failures are
+    swallowed: observation must never break a computed verdict."""
+    try:
+        for engine, elapsed in (auto.get("timings_s") or {}).items():
+            if elapsed is None:
+                continue  # a terminated race loser: no usable timing
+            timings.record(
+                engine,
+                elapsed,
+                features=features,
+                dual=result.is_dual,
+                role="auto",
+                winner=auto.get("engine"),
+                mode=auto.get("mode"),
+            )
+    except Exception:  # noqa: BLE001 - observation must not break solves
+        pass

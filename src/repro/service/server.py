@@ -232,18 +232,20 @@ class EngineService:
                 "pass either cache= (legacy whole-file persistence) or "
                 "store= (durable journal/SQLite store), not both"
             )
-        if method == "portfolio" and store is not None:
+        if method in ("portfolio", "auto") and store is not None:
             raise ValueError(
-                "method='portfolio' cannot be cached: the winning engine "
+                f"method={method!r} cannot be cached: the winning engine "
                 "(and hence the certificate) depends on timing; pick a "
-                "concrete engine or drop the store"
+                "concrete engine or drop the store (timings can still land "
+                "durably via timings=store.timing_log())"
             )
-        if method == "portfolio" and cache is not None:
-            # Fail at session start, not mid-drain: a portfolio winner is
-            # timing-dependent, which is exactly what a replay cache must
-            # not store (same rule as solve_many's).
+        if method in ("portfolio", "auto") and cache is not None:
+            # Fail at session start, not mid-drain: a portfolio (or auto
+            # low-confidence race) winner is timing-dependent, which is
+            # exactly what a replay cache must not store (same rule as
+            # solve_many's).
             raise ValueError(
-                "method='portfolio' cannot be cached: the winning engine "
+                f"method={method!r} cannot be cached: the winning engine "
                 "(and hence the certificate) depends on timing; pick a "
                 "concrete engine or drop the cache"
             )
@@ -538,8 +540,28 @@ class EngineService:
                 trace_id=trace_id,
             )
             extra = getattr(result.stats, "extra", None)
+            auto = extra.get("auto") if isinstance(extra, dict) else None
             portfolio = extra.get("portfolio") if isinstance(extra, dict) else None
-            if portfolio:
+            if auto:
+                # The selector's outcome rows (role="auto") feed the
+                # online-learning loop: each engine it actually ran,
+                # tagged with the chosen winner and the decision mode.
+                # A race fallback also sets extra["portfolio"]; the auto
+                # rows subsume it, so don't record the race twice.
+                for engine, engine_s in (auto.get("timings_s") or {}).items():
+                    if engine_s is None:
+                        continue
+                    self.timings.record(
+                        engine,
+                        engine_s,
+                        features=entry.features,
+                        dual=result.is_dual,
+                        trace_id=trace_id,
+                        role="auto",
+                        winner=auto.get("engine"),
+                        mode=auto.get("mode"),
+                    )
+            elif portfolio:
                 # The racer already timed every engine it ran — per-engine
                 # rows are exactly the learned-selection training signal.
                 for engine, engine_s in (portfolio.get("timings_s") or {}).items():

@@ -601,6 +601,31 @@ class VerdictStore:
             ).fetchone()
         return int(count)
 
+    def timings_by_engine(self) -> dict[str, int]:
+        """Timing-row counts per engine — how much training signal each
+        engine has contributed (``repro store stats`` surfaces this so
+        users can judge whether a model fit is worth running)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT engine, COUNT(*) FROM timings "
+                "GROUP BY engine ORDER BY engine"
+            ).fetchall()
+        return {engine: int(count) for engine, count in rows}
+
+    def feature_coverage(self) -> float | None:
+        """The fraction of timing rows that carry structural features
+        (rows without features cannot train the selector).  ``None``
+        when no timings are recorded."""
+        with self._lock:
+            total, featured = self._conn.execute(
+                "SELECT COUNT(*), "
+                "SUM(CASE WHEN features IS NOT NULL AND features != '' "
+                "AND features != '{}' THEN 1 ELSE 0 END) FROM timings"
+            ).fetchone()
+        if not total:
+            return None
+        return round(int(featured or 0) / int(total), 4)
+
     # ------------------------------------------------------------------
     # Introspection and lifecycle
     # ------------------------------------------------------------------
@@ -616,6 +641,8 @@ class VerdictStore:
             "path": self.path,
             "entries": len(self),
             "timings": self.timings_recorded(),
+            "timings_by_engine": self.timings_by_engine(),
+            "feature_coverage": self.feature_coverage(),
             "journal_bytes": self.journal_bytes(),
             "hits": self.hits,
             "misses": self.misses,

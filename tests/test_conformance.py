@@ -357,6 +357,91 @@ def test_distributed_identical_on_golden_corpus(peer_fleet):
         backend.close()
 
 
+# ---------------------------------------------------------------------------
+# Learned-selection tier: method="auto" conforms on every decision path
+# ---------------------------------------------------------------------------
+#
+# ``auto`` is a meta-method like ``portfolio``: every path returns some
+# serial engine's own result object, so its verdicts (and, on the
+# deterministic sequential paths checked here, its full results) must
+# be bit-for-bit reproducible by re-running the chosen engine serially.
+
+#: Every how-many instances the auto tier checks (it reruns the chosen
+#: engine serially per instance, so it strides like the other tiers).
+AUTO_STRIDE = max(1, N_INSTANCES // 30)
+
+
+@pytest.fixture(scope="module")
+def trained_selector():
+    """A selector trained online from sequential portfolio races over a
+    corpus slice — the exact bootstrap ``repro model fit`` documents."""
+    from repro.hypergraph import mask_payload
+    from repro.obs.timings import structural_features
+    from repro.parallel.portfolio import race_portfolio
+    from repro.select import fit_engine_model
+
+    rows = []
+    for _name, g, h in CORPUS[:: max(1, N_INSTANCES // 24)]:
+        result = race_portfolio(g, h, n_jobs=1)
+        features = structural_features(mask_payload(g), mask_payload(h))
+        race = result.stats.extra["portfolio"]
+        for engine, elapsed in race["timings_s"].items():
+            if elapsed is not None:
+                rows.append({"engine": engine, "elapsed_s": elapsed, **features})
+    return fit_engine_model(rows)
+
+
+def test_auto_verdicts_identical_to_serial(trained_selector):
+    """Trained auto (predicted or reduced-race) on a corpus stride:
+    the verdict matches serial, the result is the chosen engine's own."""
+    import warnings
+
+    for name, g, h in CORPUS[::AUTO_STRIDE]:
+        serial = decide_duality(g, h, method="bm")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a cold start here is a bug
+            result = decide_duality(g, h, method="auto", model=trained_selector)
+        assert result.verdict == serial.verdict, name
+        auto = result.stats.extra["auto"]
+        assert auto["mode"] in ("predicted", "reduced-race"), name
+        replay = decide_duality(g, h, method=auto["engine"])
+        assert _identical(result, replay), (name, auto)
+
+
+def test_auto_low_confidence_race_identical_to_serial(trained_selector):
+    """confidence > 1 forces the reduced race on every instance; the
+    sequential race winner's result is its engine's serial result."""
+    for name, g, h in CORPUS[::AUTO_STRIDE]:
+        result = decide_duality(
+            g, h, method="auto", model=trained_selector, confidence=1.5
+        )
+        auto = result.stats.extra["auto"]
+        assert auto["mode"] == "reduced-race", name
+        assert len(auto["engines"]) == 2, name
+        replay = decide_duality(g, h, method=auto["engine"])
+        assert _identical(result, replay), (name, auto)
+
+
+def test_auto_cold_start_identical_to_serial(monkeypatch):
+    """No model at all: auto warns and degrades to the full portfolio,
+    whose sequential winner is bit-for-bit some serial engine."""
+    from repro.select import ColdStartWarning, reset_default_model
+    from repro.select.selector import MODEL_ENV
+
+    monkeypatch.delenv(MODEL_ENV, raising=False)
+    reset_default_model()
+    try:
+        for name, g, h in CORPUS[::AUTO_STRIDE]:
+            with pytest.warns(ColdStartWarning):
+                result = decide_duality(g, h, method="auto")
+            auto = result.stats.extra["auto"]
+            assert auto["mode"] == "cold-start", name
+            replay = decide_duality(g, h, method=auto["engine"])
+            assert _identical(result, replay), (name, auto)
+    finally:
+        reset_default_model()
+
+
 def test_distributed_survives_peer_killed_mid_run():
     """One peer dies mid-sweep: hedged retries reroute, verdicts hold.
 

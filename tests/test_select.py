@@ -1,0 +1,588 @@
+"""Learned engine selection: model, selector, cost planner, satellites.
+
+Covers the ``repro.select`` package end to end:
+
+* feature vectorization and the deterministic logistic fit;
+* artifact serialization round trips (and version/format guards);
+* ``method="auto"`` conformance — predicted, reduced-race, and
+  cold-start paths all return some serial engine's own result;
+* the embedded :class:`CostModel` plugged into the shard planner via
+  ``cost_fn=`` stays bit-for-bit with serial solving;
+* the cache refusals (``solve_many`` / :class:`EngineService`);
+* the warm-pool portfolio race mode;
+* the ``repro model fit|show|eval`` CLI and the ``repro store stats``
+  per-engine timing counters.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.duality import decide_duality
+from repro.hypergraph import (
+    Hypergraph,
+    mask_payload,
+    transversal_hypergraph,
+)
+from repro.obs.timings import TimingLog, load_timings, structural_features
+from repro.select import (
+    MODEL_ENV,
+    VECTOR_NAMES,
+    ColdStartWarning,
+    CostModel,
+    EngineModel,
+    ModelDataError,
+    cross_validate,
+    default_model,
+    fit_cost_model,
+    fit_engine_model,
+    reset_default_model,
+    set_default_model,
+    shard_cost_fn,
+    training_groups,
+    vectorize,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_default_model(monkeypatch):
+    """Each test starts cold: no env model, no memoised default."""
+    monkeypatch.delenv(MODEL_ENV, raising=False)
+    reset_default_model()
+    yield
+    reset_default_model()
+
+
+def _pair(n: int = 3):
+    g = Hypergraph([{j, j + 1} for j in range(1, n + 1)])
+    return g, transversal_hypergraph(g)
+
+
+def _features(g, h, **kwargs):
+    return structural_features(mask_payload(g), mask_payload(h), **kwargs)
+
+
+def _synthetic_rows(n_groups: int = 12):
+    """Separable training rows: ``fk-b`` wins small, ``bm`` wins large."""
+    rows = []
+    for i in range(n_groups):
+        g, h = _pair(2 + i)
+        feats = _features(g, h)
+        fast = "fk-b" if i < n_groups // 2 else "bm"
+        slow = "bm" if fast == "fk-b" else "fk-b"
+        rows.append({"engine": fast, "elapsed_s": 0.001, **feats})
+        rows.append({"engine": slow, "elapsed_s": 0.05, **feats})
+    return rows
+
+
+@pytest.fixture(scope="module")
+def trained():
+    return fit_engine_model(_synthetic_rows())
+
+
+# ---------------------------------------------------------------------------
+# Features and fitting
+# ---------------------------------------------------------------------------
+
+
+def test_vectorize_shape_and_determinism():
+    g, h = _pair(4)
+    feats = _features(g, h)
+    vec = vectorize(feats)
+    assert len(vec) == len(VECTOR_NAMES)
+    assert vec == vectorize(dict(feats))
+    # Missing features default to zero rather than raising.
+    assert len(vectorize({})) == len(VECTOR_NAMES)
+
+
+def test_deep_features_are_opt_in():
+    g, h = _pair(4)
+    shallow = _features(g, h)
+    deep = _features(g, h, deep=True)
+    assert "bm_branches" not in shallow
+    assert deep["bm_branches"] >= 0
+    for name in ("bm_max_child_volume", "bm_mean_child_volume", "bm_depth_est"):
+        assert name in deep
+    # The shallow prefix is unchanged by the deep probe.
+    assert {k: deep[k] for k in shallow} == shallow
+
+
+def test_training_groups_label_winners():
+    rows = _synthetic_rows(6)
+    groups = training_groups(rows)
+    assert len(groups) == 6
+    assert all(len(g.timings) == 2 for g in groups)
+    assert {g.winner for g in groups} == {"fk-b", "bm"}
+
+
+def test_training_rows_exclude_meta_engines():
+    rows = _synthetic_rows(6)
+    g, h = _pair(3)
+    rows.append({"engine": "portfolio", "elapsed_s": 0.9, **_features(g, h)})
+    rows.append({"engine": "auto", "elapsed_s": 0.9, **_features(g, h)})
+    assert all(
+        engine not in ("portfolio", "auto")
+        for group in training_groups(rows)
+        for engine in group.timings
+    )
+
+
+def test_fit_is_separable_and_deterministic(trained):
+    assert trained.trained
+    assert trained.meta["train_accuracy"] == 1.0
+    small = _features(*_pair(2))
+    large = _features(*_pair(13))
+    assert trained.predict(small)[0] == "fk-b"
+    assert trained.predict(large)[0] == "bm"
+    again = fit_engine_model(_synthetic_rows())
+    assert again.to_json() == trained.to_json()
+
+
+def test_fit_under_trained_raises():
+    with pytest.raises(ModelDataError):
+        fit_engine_model(_synthetic_rows(2))
+    with pytest.raises(ModelDataError):
+        fit_engine_model([])
+
+
+def test_cross_validate_reports_regret():
+    report = cross_validate(_synthetic_rows())
+    assert report["evaluated"] > 0
+    assert 0.0 <= report["accuracy"] <= 1.0
+    assert report["mean_regret_s"] >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def test_artifact_round_trip(tmp_path, trained):
+    path = tmp_path / "model.json"
+    trained.save(path)
+    loaded = EngineModel.load(path)
+    assert loaded.to_json() == trained.to_json()
+    feats = _features(*_pair(4))
+    assert loaded.rank(feats) == trained.rank(feats)
+
+
+def test_artifact_guards(trained):
+    with pytest.raises(ValueError, match="not a"):
+        EngineModel.from_json({"format": "something-else"})
+    payload = trained.to_json()
+    payload["version"] = 999
+    with pytest.raises(ValueError, match="version"):
+        EngineModel.from_json(payload)
+    payload = trained.to_json()
+    payload["vector_names"] = ["bogus"]
+    with pytest.raises(ValueError, match="feature vector"):
+        EngineModel.from_json(payload)
+
+
+def test_cost_model_round_trips_inside_artifact(tmp_path, trained):
+    assert trained.cost is not None
+    path = tmp_path / "model.json"
+    trained.save(path)
+    loaded = EngineModel.load(path)
+    feats = _features(*_pair(5))
+    assert loaded.cost.predict_seconds(feats) == pytest.approx(
+        trained.cost.predict_seconds(feats)
+    )
+
+
+# ---------------------------------------------------------------------------
+# method="auto" paths
+# ---------------------------------------------------------------------------
+
+
+def test_auto_cold_start_degrades_to_portfolio():
+    g, h = _pair(3)
+    serial = decide_duality(g, h)
+    with pytest.warns(ColdStartWarning):
+        result = decide_duality(g, h, method="auto")
+    auto = result.stats.extra["auto"]
+    assert auto["mode"] == "cold-start"
+    assert result.verdict == serial.verdict
+    # The sequential full race timed every engine.
+    assert all(t is not None for t in auto["timings_s"].values())
+
+
+def test_auto_predicted_path_is_the_engines_serial_result(trained):
+    g, h = _pair(2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any ColdStartWarning is a bug here
+        result = decide_duality(g, h, method="auto", model=trained)
+    auto = result.stats.extra["auto"]
+    assert auto["mode"] == "predicted"
+    assert auto["engines"] == [auto["engine"]]
+    serial = decide_duality(g, h, method=auto["engine"])
+    assert result.verdict == serial.verdict
+    assert result.certificate == serial.certificate
+    assert result.method == serial.method
+
+
+def test_auto_low_confidence_runs_reduced_race(trained):
+    g, h = _pair(3)
+    result = decide_duality(
+        g, h, method="auto", model=trained, confidence=1.5
+    )
+    auto = result.stats.extra["auto"]
+    assert auto["mode"] == "reduced-race"
+    assert len(auto["engines"]) == 2
+    serial = decide_duality(g, h, method=auto["engine"])
+    assert result.verdict == serial.verdict
+    assert result.certificate == serial.certificate
+
+
+def test_auto_records_role_tagged_timings(tmp_path, trained):
+    log_path = tmp_path / "timings.jsonl"
+    g, h = _pair(3)
+    with TimingLog(log_path) as log:
+        decide_duality(
+            g, h, method="auto", model=trained, confidence=1.5, timings=log
+        )
+    rows = load_timings(log_path)
+    assert rows and all(row["role"] == "auto" for row in rows)
+    assert {row["engine"] for row in rows} <= set(trained.engines)
+    assert all(row["winner"] in trained.engines for row in rows)
+
+
+def test_auto_model_resolves_from_environment(tmp_path, monkeypatch, trained):
+    path = tmp_path / "model.json"
+    trained.save(path)
+    monkeypatch.setenv(MODEL_ENV, str(path))
+    reset_default_model()
+    assert default_model() is not None
+    g, h = _pair(2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = decide_duality(g, h, method="auto")
+    assert result.stats.extra["auto"]["mode"] in ("predicted", "reduced-race")
+
+
+def test_unreadable_env_model_degrades_to_cold_start(tmp_path, monkeypatch):
+    monkeypatch.setenv(MODEL_ENV, str(tmp_path / "missing.json"))
+    reset_default_model()
+    with pytest.warns(ColdStartWarning):
+        assert default_model() is None
+
+
+def test_set_default_model_accepts_objects_and_paths(tmp_path, trained):
+    set_default_model(trained)
+    assert default_model() is trained
+    path = tmp_path / "model.json"
+    trained.save(path)
+    set_default_model(path)
+    assert default_model().to_json() == trained.to_json()
+    set_default_model(None)
+    assert default_model() is None
+
+
+def test_auto_is_a_listed_method():
+    from repro.duality.engine import available_methods
+
+    assert "auto" in available_methods()
+    with pytest.raises(ValueError, match="auto"):
+        decide_duality(*_pair(2), method="autoo")
+
+
+# ---------------------------------------------------------------------------
+# Caching refusals
+# ---------------------------------------------------------------------------
+
+
+def test_solve_many_refuses_to_cache_auto(tmp_path):
+    from repro.parallel import ResultCache, solve_many
+
+    g, h = _pair(2)
+    with pytest.raises(ValueError, match="auto"):
+        solve_many([(g, h)], method="auto", cache=ResultCache())
+
+
+def test_engine_service_refuses_auto_caching(tmp_path):
+    from repro.parallel import ResultCache
+    from repro.service import EngineService
+
+    with pytest.raises(ValueError, match="auto"):
+        EngineService(method="auto", store=tmp_path / "store.db")
+    with pytest.raises(ValueError, match="auto"):
+        EngineService(method="auto", cache=ResultCache())
+
+
+def test_engine_service_auto_solves_and_records(tmp_path, trained):
+    from repro.service import EngineService
+
+    set_default_model(trained)
+    g, h = _pair(3)
+    log_path = tmp_path / "timings.jsonl"
+    with TimingLog(log_path) as log, EngineService(
+        method="auto", n_jobs=1, timings=log
+    ) as service:
+        response = service.submit((g, h)).result()
+    assert response.is_dual == decide_duality(g, h).is_dual
+    rows = load_timings(log_path)
+    # One overall engine="auto" summary row plus role-tagged per-engine
+    # rows for whichever engines the selector actually ran.
+    summary = [row for row in rows if row["engine"] == "auto"]
+    role_rows = [row for row in rows if row.get("role") == "auto"]
+    assert len(summary) == 1
+    assert role_rows
+    assert all(row["engine"] != "auto" for row in role_rows)
+
+
+# ---------------------------------------------------------------------------
+# Cost-model shard planning
+# ---------------------------------------------------------------------------
+
+
+def test_cost_model_fit_and_positive_predictions():
+    rows = _synthetic_rows()
+    cost = fit_cost_model(rows)
+    assert cost.predict_seconds(_features(*_pair(4))) >= 0.0
+    clone = CostModel.from_json(cost.to_json())
+    assert clone.predict_seconds(_features(*_pair(4))) == pytest.approx(
+        cost.predict_seconds(_features(*_pair(4)))
+    )
+    with pytest.raises(ModelDataError):
+        fit_cost_model([])
+
+
+def test_learned_cost_fn_keeps_plans_bit_for_bit(trained):
+    from repro.parallel import plan_bm, plan_logspace, solve_shards
+
+    cost_fn = shard_cost_fn(trained.cost)
+    for n in (5, 8):
+        g, h = _pair(n)
+        for engine, plan_fn in (("bm", plan_bm), ("logspace", plan_logspace)):
+            serial = decide_duality(g, h, method=engine)
+            plan = plan_fn(g, h, target_shards=4, cost_fn=cost_fn)
+            merged = solve_shards(plan, 1)
+            assert merged.verdict == serial.verdict, (engine, n)
+            assert merged.certificate == serial.certificate, (engine, n)
+            assert merged.stats.nodes == serial.stats.nodes, (engine, n)
+
+
+def test_cost_fn_facade_validation(trained):
+    g, h = _pair(3)
+    cost_fn = shard_cost_fn(trained.cost)
+    with pytest.raises(ValueError, match="cost_fn"):
+        decide_duality(g, h, method="fk-b", n_jobs=2, cost_fn=cost_fn)
+    with pytest.raises(ValueError, match="cost_fn"):
+        decide_duality(g, h, method="bm", cost_fn=cost_fn)
+
+
+def test_shard_cost_fn_min_cost_gate(trained):
+    gated = shard_cost_fn(trained.cost, min_cost=0.25)
+    assert gated.min_cost == 0.25
+    assert shard_cost_fn(trained.cost).min_cost == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Warm-pool portfolio race (satellite a)
+# ---------------------------------------------------------------------------
+
+
+def test_portfolio_pool_race_mode():
+    from repro.service import EnginePool
+
+    g, h = _pair(4)
+    serial = decide_duality(g, h)
+    from repro.parallel.portfolio import race_portfolio
+
+    with EnginePool(2) as pool:
+        result = race_portfolio(
+            g, h, engines=("fk-b", "bm"), n_jobs=2, pool=pool
+        )
+        race = result.stats.extra["portfolio"]
+        assert race["mode"] == "pool-race"
+        assert result.verdict == serial.verdict
+        # n_jobs=1 still forces the deterministic sequential fallback.
+        sequential = race_portfolio(
+            g, h, engines=("fk-b", "bm"), n_jobs=1, pool=pool
+        )
+        assert sequential.stats.extra["portfolio"]["mode"] == "sequential"
+        assert sequential.verdict == serial.verdict
+
+
+def test_portfolio_rejects_meta_engines():
+    from repro.parallel.portfolio import race_portfolio
+
+    g, h = _pair(2)
+    for meta in ("portfolio", "auto"):
+        with pytest.raises(ValueError, match="unknown portfolio engine"):
+            race_portfolio(g, h, engines=(meta,))
+
+
+def test_auto_race_fallback_reuses_pool(trained):
+    from repro.service import EnginePool
+
+    g, h = _pair(3)
+    with EnginePool(2) as pool:
+        result = decide_duality(
+            g,
+            h,
+            method="auto",
+            model=trained,
+            confidence=1.5,
+            n_jobs=2,
+            pool=pool,
+        )
+    auto = result.stats.extra["auto"]
+    assert auto["mode"] == "reduced-race"
+    assert result.stats.extra["portfolio"]["mode"] == "pool-race"
+    assert result.verdict == decide_duality(g, h).verdict
+
+
+# ---------------------------------------------------------------------------
+# Store stats satellite
+# ---------------------------------------------------------------------------
+
+
+def test_store_stats_report_timing_rows_per_engine(tmp_path):
+    from repro.store import VerdictStore
+
+    store = VerdictStore(tmp_path / "store.db")
+    try:
+        feats = _features(*_pair(3))
+        store.record_timing("fk-b", 0.01, features=feats, dual=True)
+        store.record_timing("fk-b", 0.02, features=feats, dual=True)
+        store.record_timing("bm", 0.03, dual=True)
+        stats = store.stats()
+        assert stats["timings_by_engine"] == {"bm": 1, "fk-b": 2}
+        assert stats["feature_coverage"] == round(2 / 3, 4)
+    finally:
+        store.close()
+
+
+def test_store_stats_empty_feature_coverage(tmp_path):
+    from repro.store import VerdictStore
+
+    store = VerdictStore(tmp_path / "store.db")
+    try:
+        stats = store.stats()
+        assert stats["timings_by_engine"] == {}
+        assert stats["feature_coverage"] is None
+    finally:
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro model fit | show | eval, batch --timings corpus growth
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def timings_file(tmp_path):
+    path = tmp_path / "timings.jsonl"
+    with TimingLog(path) as log:
+        for row in _synthetic_rows():
+            engine = row.pop("engine")
+            elapsed = row.pop("elapsed_s")
+            log.record(engine, elapsed, features=row, dual=True)
+    return path
+
+
+def test_model_cli_fit_show_eval(tmp_path, timings_file, capsys):
+    from repro.cli import main
+
+    out_path = tmp_path / "model.json"
+    assert (
+        main(
+            [
+                "model",
+                "fit",
+                "--timings",
+                str(timings_file),
+                "--out",
+                str(out_path),
+            ]
+        )
+        == 0
+    )
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["engines"] == ["bm", "fk-b"]
+    assert summary["cost_model"] is True
+
+    assert main(["model", "show", str(out_path)]) == 0
+    shown = json.loads(capsys.readouterr().out)
+    assert shown["engines"] == ["bm", "fk-b"]
+    assert set(shown["top_weights"]) == {"bm", "fk-b"}
+
+    assert main(["model", "eval", "--timings", str(timings_file)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["evaluated"] > 0
+
+    loaded = EngineModel.load(out_path)
+    assert loaded.trained
+
+
+def test_model_cli_fit_without_rows_exits(tmp_path):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="no timing rows"):
+        main(["model", "fit", "--out", str(tmp_path / "m.json")])
+
+
+def test_model_cli_fit_from_store(tmp_path, capsys):
+    from repro.cli import main
+    from repro.store import VerdictStore
+
+    store_path = tmp_path / "store.db"
+    store = VerdictStore(store_path)
+    try:
+        for row in _synthetic_rows():
+            engine = row.pop("engine")
+            elapsed = row.pop("elapsed_s")
+            store.record_timing(engine, elapsed, features=row, dual=True)
+    finally:
+        store.close()
+    out_path = tmp_path / "model.json"
+    assert (
+        main(
+            ["model", "fit", "--store", str(store_path), "--out", str(out_path)]
+        )
+        == 0
+    )
+    assert json.loads(capsys.readouterr().out)["engines"] == ["bm", "fk-b"]
+
+
+def test_batch_portfolio_grows_training_corpus(tmp_path):
+    """A sequential portfolio sweep records one row per racer —
+    the documented way to bootstrap a training corpus."""
+    from repro.hypergraph import io as hgio
+    from repro.parallel import solve_many
+
+    paths = []
+    for i in range(3):
+        g, h = _pair(3 + i)
+        path = tmp_path / f"inst{i}.hg"
+        hgio.dump_many((g, h), path)
+        paths.append(path)
+    log_path = tmp_path / "timings.jsonl"
+    solve_many(paths, method="portfolio", timings=log_path)
+    rows = load_timings(log_path)
+    racers = [row for row in rows if row.get("role") == "portfolio"]
+    # 4 racers per instance, plus the one overall portfolio row each.
+    assert len(racers) == 12
+    assert len(rows) == 15
+    assert all("n_vertices" in row for row in racers)
+    groups = training_groups(rows)
+    assert all(len(group.timings) == 4 for group in groups)
+
+
+def test_serve_cli_refuses_auto_with_store(tmp_path):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="cannot verdict-cache"):
+        main(
+            [
+                "serve",
+                "--auto",
+                "--store",
+                str(tmp_path / "s.db"),
+                str(tmp_path / "missing.hg"),
+            ]
+        )
